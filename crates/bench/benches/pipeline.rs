@@ -1,0 +1,44 @@
+//! Criterion bench: the end-to-end paper pipeline — spec → GSPN →
+//! reachability → CTMC solve → metrics — on the Table VII single-DC
+//! architectures (the two-DC models are benchmarked once per run by the
+//! `table7`/`fig7` binaries; they are too heavy for statistical sampling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtc_core::prelude::*;
+use std::time::Duration;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cs = CaseStudy::paper();
+    let mut group = c.benchmark_group("end_to_end");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+
+    for machines in [1usize, 2, 4] {
+        let spec = cs.single_dc_spec(machines);
+        group.bench_with_input(
+            BenchmarkId::new("single_dc", machines),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let model = CloudModel::build(spec.clone()).expect("builds");
+                    model.evaluate(&EvalOptions::default()).expect("evaluates")
+                })
+            },
+        );
+    }
+
+    // Separate the phases for the 4-PM architecture.
+    let model = CloudModel::build(cs.single_dc_spec(4)).expect("builds");
+    group.bench_function("explore_only_4pm", |b| {
+        b.iter(|| model.state_space(&EvalOptions::default()).expect("explores"))
+    });
+    let graph = model.state_space(&EvalOptions::default()).expect("explores");
+    group.bench_function("solve_only_4pm", |b| {
+        b.iter(|| model.evaluate_on(&graph, &EvalOptions::default()).expect("solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

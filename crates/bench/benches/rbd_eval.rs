@@ -1,0 +1,83 @@
+//! Criterion bench: RBD evaluation — availability, folding, cut sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtc_rbd::{fold, minimal_cut_sets, mttf_non_repairable, Block};
+use std::time::Duration;
+
+fn k_of_n_block(n: usize) -> Block {
+    // Component availability ~0.7: reliable enough to be realistic, weak
+    // enough that k-of-n Birnbaum differences stay far from the f64
+    // cancellation floor even at n = 256.
+    Block::k_of_n(
+        n / 2 + 1,
+        (0..n).map(|i| Block::exponential(format!("C{i}"), 20.0 + i as f64, 8.0)),
+    )
+}
+
+fn layered(width: usize, depth: usize) -> Block {
+    let mut layer: Vec<Block> = (0..width)
+        .map(|i| Block::exponential(format!("L0_{i}"), 500.0 + i as f64 * 10.0, 4.0))
+        .collect();
+    for d in 1..depth {
+        layer = (0..width)
+            .map(|i| {
+                if (d + i) % 2 == 0 {
+                    Block::series(vec![layer[i % layer.len()].clone(), layer[(i + 1) % layer.len()].clone()])
+                } else {
+                    Block::parallel(vec![layer[i % layer.len()].clone(), layer[(i + 1) % layer.len()].clone()])
+                }
+            })
+            .collect();
+    }
+    Block::series(layer)
+}
+
+fn bench_availability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbd_availability");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[8usize, 64, 256] {
+        let block = k_of_n_block(n);
+        group.bench_with_input(BenchmarkId::new("k_of_n", n), &block, |b, blk| {
+            b.iter(|| blk.availability())
+        });
+    }
+    let deep = layered(6, 5);
+    group.bench_function("layered_6x5", |b| b.iter(|| deep.availability()));
+    group.finish();
+}
+
+fn bench_fold_and_mttf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbd_fold");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    for &n in &[8usize, 32] {
+        let block = k_of_n_block(n);
+        group.bench_with_input(BenchmarkId::new("frequency_duration", n), &block, |b, blk| {
+            b.iter(|| fold(blk).expect("folds"))
+        });
+    }
+    let par = Block::parallel((0..3).map(|i| Block::exponential(format!("P{i}"), 900.0, 10.0)));
+    group.bench_function("mttf_numeric_integration", |b| {
+        b.iter(|| mttf_non_repairable(&par).expect("integrates"))
+    });
+    group.finish();
+}
+
+fn bench_cut_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbd_cut_sets");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    for &n in &[6usize, 10] {
+        let block = k_of_n_block(n);
+        group.bench_with_input(BenchmarkId::new("k_of_n", n), &block, |b, blk| {
+            b.iter(|| minimal_cut_sets(blk))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_availability, bench_fold_and_mttf, bench_cut_sets);
+criterion_main!(benches);

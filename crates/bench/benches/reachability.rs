@@ -1,0 +1,89 @@
+//! Criterion bench: tangible reachability-graph generation throughput,
+//! including vanishing-marking elimination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtc_petri::{explore, IntExpr, PetriNet, PetriNetBuilder, ReachOptions, ServerSemantics};
+use std::time::Duration;
+
+/// A closed tandem network of `stations` queues sharing `tokens` jobs —
+/// state space C(tokens + stations - 1, stations - 1).
+fn tandem(stations: usize, tokens: u32) -> PetriNet {
+    let mut b = PetriNetBuilder::new();
+    let places: Vec<_> = (0..stations)
+        .map(|i| b.place(format!("Q{i}"), if i == 0 { tokens } else { 0 }))
+        .collect();
+    for i in 0..stations {
+        let next = places[(i + 1) % stations];
+        b.timed(format!("S{i}"), 1.0 + i as f64 * 0.3, ServerSemantics::Single)
+            .input(places[i])
+            .output(next)
+            .done();
+    }
+    b.build().expect("valid tandem")
+}
+
+/// Tandem with immediate routing stages between queues (stresses the
+/// vanishing eliminator).
+fn tandem_with_routing(stations: usize, tokens: u32) -> PetriNet {
+    let mut b = PetriNetBuilder::new();
+    let queues: Vec<_> = (0..stations)
+        .map(|i| b.place(format!("Q{i}"), if i == 0 { tokens } else { 0 }))
+        .collect();
+    let gates: Vec<_> = (0..stations).map(|i| b.place(format!("G{i}"), 0)).collect();
+    for i in 0..stations {
+        b.timed(format!("S{i}"), 1.0, ServerSemantics::Single)
+            .input(queues[i])
+            .output(gates[i])
+            .done();
+        // Weighted fork back into two destinations.
+        let a = queues[(i + 1) % stations];
+        let c = queues[(i + 2) % stations];
+        b.immediate_weighted(format!("RA{i}"), 3.0, 0).input(gates[i]).output(a).done();
+        b.immediate_weighted(format!("RB{i}"), 1.0, 0).input(gates[i]).output(c).done();
+    }
+    b.build().expect("valid routed tandem")
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+
+    for &(stations, tokens) in &[(4usize, 8u32), (5, 10), (6, 10)] {
+        let net = tandem(stations, tokens);
+        group.bench_with_input(
+            BenchmarkId::new("tandem", format!("{stations}x{tokens}")),
+            &net,
+            |b, net| b.iter(|| explore(net, &ReachOptions::default()).expect("explores")),
+        );
+    }
+    for &(stations, tokens) in &[(4usize, 6u32), (5, 6)] {
+        let net = tandem_with_routing(stations, tokens);
+        group.bench_with_input(
+            BenchmarkId::new("tandem_vanishing", format!("{stations}x{tokens}")),
+            &net,
+            |b, net| b.iter(|| explore(net, &ReachOptions::default()).expect("explores")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_metric_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric_eval");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let net = tandem(5, 10);
+    let graph = explore(&net, &ReachOptions::default()).expect("explores");
+    let sol = graph.solve().expect("solves");
+    let q0 = net.place("Q0").expect("place");
+    let q1 = net.place("Q1").expect("place");
+    let expr = IntExpr::tokens(q0).ge(3).and(IntExpr::tokens(q1).le(2));
+    group.bench_function("probability_expr", |b| b.iter(|| sol.probability(&expr)));
+    group.bench_function("expected_tokens", |b| b.iter(|| sol.expected_tokens(q0)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_exploration, bench_metric_evaluation);
+criterion_main!(benches);

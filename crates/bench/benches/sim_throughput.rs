@@ -1,0 +1,73 @@
+//! Criterion bench: discrete-event simulator throughput (simulated hours
+//! per wall-clock second) on nets with and without immediate transitions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtc_petri::{IntExpr, PetriNetBuilder, ServerSemantics};
+use dtc_sim::{SimConfig, Simulator};
+use std::time::Duration;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+
+    // Repairable component pair (pure timed net).
+    {
+        let mut b = PetriNetBuilder::new();
+        let on1 = b.place("ON1", 1);
+        let off1 = b.place("OFF1", 0);
+        let on2 = b.place("ON2", 1);
+        let off2 = b.place("OFF2", 0);
+        b.timed_delay("F1", 1000.0, ServerSemantics::Single).input(on1).output(off1).done();
+        b.timed_delay("R1", 10.0, ServerSemantics::Single).input(off1).output(on1).done();
+        b.timed_delay("F2", 500.0, ServerSemantics::Single).input(on2).output(off2).done();
+        b.timed_delay("R2", 5.0, ServerSemantics::Single).input(off2).output(on2).done();
+        let net = b.build().expect("builds");
+        let expr = IntExpr::tokens(on1).gt(0).and(IntExpr::tokens(on2).gt(0));
+        let cfg = SimConfig {
+            warmup: 100.0,
+            horizon: 50_000.0,
+            replications: 2,
+            seed: 1,
+            confidence: 0.95,
+        };
+        group.bench_function("two_components_50kh", |bch| {
+            let sim = Simulator::new(&net).expect("sim");
+            bch.iter(|| sim.steady_probability(&expr, &cfg).expect("estimates"))
+        });
+    }
+
+    // Queue with immediate routing (stresses the settle loop).
+    {
+        let mut b = PetriNetBuilder::new();
+        let q = b.place("Q", 0);
+        let gate = b.place("GATE", 0);
+        let pa = b.place("PA", 0);
+        let pb = b.place("PB", 0);
+        b.timed("ARR", 2.0, ServerSemantics::Single).output(q).inhibitor(q, 20).done();
+        b.timed("SRV", 3.0, ServerSemantics::Single).input(q).output(gate).done();
+        b.immediate_weighted("RA", 1.0, 0).input(gate).output(pa).done();
+        b.immediate_weighted("RB", 3.0, 0).input(gate).output(pb).done();
+        b.timed("DA", 5.0, ServerSemantics::Single).input(pa).done();
+        b.timed("DB", 5.0, ServerSemantics::Single).input(pb).done();
+        let net = b.build().expect("builds");
+        let expr = IntExpr::tokens(q).ge(5);
+        let cfg = SimConfig {
+            warmup: 50.0,
+            horizon: 20_000.0,
+            replications: 2,
+            seed: 2,
+            confidence: 0.95,
+        };
+        group.bench_function("queue_with_routing_20kh", |bch| {
+            let sim = Simulator::new(&net).expect("sim");
+            bch.iter(|| sim.steady_probability(&expr, &cfg).expect("estimates"))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

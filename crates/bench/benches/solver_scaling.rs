@@ -1,0 +1,70 @@
+//! Criterion bench: steady-state solver scaling with chain size.
+//!
+//! Birth–death chains are the canonical scalable CTMC; sizes span the range
+//! the case-study models produce. Compares Gauss–Seidel against the dense
+//! direct solver (small sizes only) and the power method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtc_markov::{Ctmc, CtmcBuilder, Method, SolverOptions};
+use std::time::Duration;
+
+fn birth_death(n: usize) -> Ctmc {
+    let mut b = CtmcBuilder::new(n);
+    for i in 0..n - 1 {
+        b.rate(i, i + 1, 1.0 + (i % 7) as f64 * 0.25);
+        b.rate(i + 1, i, 2.0 + (i % 5) as f64 * 0.5);
+    }
+    b.build().expect("valid chain")
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+
+    for &n in &[64usize, 512, 4096] {
+        let chain = birth_death(n);
+        group.bench_with_input(BenchmarkId::new("gauss_seidel", n), &chain, |b, ch| {
+            b.iter(|| {
+                ch.steady_state_with(Method::GaussSeidel, &SolverOptions::default())
+                    .expect("converges")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("power", n), &chain, |b, ch| {
+            let opts = SolverOptions { tolerance: 1e-10, ..Default::default() };
+            b.iter(|| ch.steady_state_with(Method::Power, &opts).expect("converges"))
+        });
+        if n <= 512 {
+            group.bench_with_input(BenchmarkId::new("direct", n), &chain, |b, ch| {
+                b.iter(|| {
+                    ch.steady_state_with(Method::Direct, &SolverOptions::default())
+                        .expect("solves")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_uniformization");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[64usize, 512] {
+        let chain = birth_death(n);
+        let pi0: Vec<f64> = {
+            let mut v = vec![0.0; n];
+            v[0] = 1.0;
+            v
+        };
+        group.bench_with_input(BenchmarkId::new("t=10", n), &chain, |b, ch| {
+            b.iter(|| ch.transient(&pi0, 10.0).expect("transient"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_transient);
+criterion_main!(benches);

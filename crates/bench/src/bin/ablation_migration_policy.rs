@@ -1,0 +1,100 @@
+//! Ablation: the migration policy knob `l` and the value of each recovery
+//! mechanism.
+//!
+//! Compares, on the Rio–Brasília deployment (reduced to one PM per DC so
+//! all variants solve in seconds):
+//!
+//! * no second data center at all,
+//! * two DCs but **no** migration links (the warm DC only helps if VMs are
+//!   already there — they never are),
+//! * migration on total PM outage (`l = 1`, the paper's Table IV guard),
+//! * no backup server vs backup server,
+//!
+//! quantifying how much each mechanism contributes to availability.
+//!
+//! ```sh
+//! cargo run --release -p dtc-bench --bin ablation_migration_policy
+//! ```
+
+use dtc_core::prelude::*;
+use dtc_geo::BRASILIA;
+
+fn reduced(cs: &CaseStudy) -> CloudSystemSpec {
+    let mut spec = cs.two_dc_spec(&BRASILIA, 0.35, 100.0);
+    for dc in &mut spec.data_centers {
+        dc.pms.truncate(1);
+    }
+    spec.min_running_vms = 1;
+    spec
+}
+
+fn main() {
+    let cs = CaseStudy::paper();
+    let opts = EvalOptions::default();
+    let mut rows: Vec<(String, AvailabilityReport)> = Vec::new();
+
+    // 1. Single DC (drop the second site entirely).
+    {
+        let mut spec = reduced(&cs);
+        spec.data_centers.truncate(1);
+        spec.direct_mtt_hours = vec![vec![None]];
+        spec.data_centers[0].backup_inbound_mtt_hours = None;
+        spec.backup = None;
+        let r = CloudModel::build(spec).unwrap().evaluate(&opts).unwrap();
+        rows.push(("single DC (no failover site)".into(), r));
+    }
+
+    // 2. Two DCs, no migration of any kind.
+    {
+        let mut spec = reduced(&cs);
+        spec.direct_mtt_hours = vec![vec![None, None], vec![None, None]];
+        for dc in &mut spec.data_centers {
+            dc.backup_inbound_mtt_hours = None;
+        }
+        spec.backup = None;
+        let r = CloudModel::build(spec).unwrap().evaluate(&opts).unwrap();
+        rows.push(("two DCs, no migration links".into(), r));
+    }
+
+    // 3. Direct migration only (no backup server).
+    {
+        let mut spec = reduced(&cs);
+        for dc in &mut spec.data_centers {
+            dc.backup_inbound_mtt_hours = None;
+        }
+        spec.backup = None;
+        let r = CloudModel::build(spec).unwrap().evaluate(&opts).unwrap();
+        rows.push(("direct migration, no backup server".into(), r));
+    }
+
+    // 4. The paper's full mechanism set (l = 1).
+    {
+        let spec = reduced(&cs);
+        let r = CloudModel::build(spec).unwrap().evaluate(&opts).unwrap();
+        rows.push(("direct migration + backup server (paper)".into(), r));
+    }
+
+    println!("mechanism ablation — Rio–Brasília, α=0.35, 100-year disasters, k=1\n");
+    println!(
+        "{:<42} {:>12} {:>7} {:>14} {:>8}",
+        "configuration", "availability", "nines", "downtime h/yr", "states"
+    );
+    dtc_bench::rule(88);
+    for (name, r) in &rows {
+        println!(
+            "{:<42} {:>12.7} {:>7.2} {:>14.2} {:>8}",
+            name, r.availability, r.nines, r.downtime_hours_per_year, r.tangible_states
+        );
+    }
+
+    let base = rows[0].1.nines;
+    println!("\nnines gained over the single-DC baseline:");
+    for (name, r) in rows.iter().skip(1) {
+        println!("  {:+.3}  {name}", r.nines - base);
+    }
+    println!(
+        "\nReading: the warm site is worthless without migration links; the\n\
+         backup server matters exactly in the disaster/network-failure cases\n\
+         where the source NAS is unreadable."
+    );
+}

@@ -1,0 +1,64 @@
+//! Ablation: discrete-event simulation vs numeric CTMC solution.
+//!
+//! For a ladder of models, checks that the simulator's 99% confidence
+//! interval covers the numeric steady-state availability, and reports how
+//! simulation effort trades against interval width.
+//!
+//! ```sh
+//! cargo run --release -p dtc-bench --bin ablation_sim_vs_numeric
+//! ```
+
+use dtc_core::prelude::*;
+use dtc_sim::{SimConfig, TimingOverrides};
+use std::time::Instant;
+
+fn main() {
+    let cs = CaseStudy::paper();
+    let models = [
+        ("single-PM", CloudModel::build(cs.single_dc_spec(1)).expect("builds")),
+        ("2-PM", CloudModel::build(cs.single_dc_spec(2)).expect("builds")),
+        ("4-PM", CloudModel::build(cs.single_dc_spec(4)).expect("builds")),
+    ];
+
+    for (label, model) in &models {
+        let numeric = model.evaluate(&EvalOptions::default()).expect("numeric");
+        println!("\n=== {label}: numeric availability {:.7} ===", numeric.availability);
+        println!(
+            "{:>12} {:>10} {:>14} {:>12} {:>8} {:>10}",
+            "horizon (h)", "reps", "estimate", "half-width", "covers", "time"
+        );
+        for (horizon, reps) in [(200_000.0, 8), (800_000.0, 8), (3_200_000.0, 8)] {
+            let cfg = SimConfig {
+                warmup: 20_000.0,
+                horizon,
+                replications: reps,
+                seed: 0xDC2013,
+                confidence: 0.99,
+            };
+            let t0 = Instant::now();
+            match model.simulate_availability(&cfg, &TimingOverrides::new()) {
+                Ok(est) => println!(
+                    "{:>12.0e} {:>10} {:>14.7} {:>12.2e} {:>8} {:>10.1?}",
+                    horizon,
+                    reps,
+                    est.mean,
+                    est.half_width,
+                    est.covers(numeric.availability),
+                    t0.elapsed()
+                ),
+                Err(e) => println!("{horizon:>12.0e} failed: {e}"),
+            }
+        }
+    }
+    println!(
+        "\nReading: disasters strike every ~876,000 h on average, so horizons\n\
+         shorter than that see almost no disasters — the estimate is then\n\
+         biased above the true availability by nearly the whole disaster\n\
+         term, and the replication CI (built from a heavily skewed sample)\n\
+         cannot flag it. Coverage only becomes reliable once the horizon\n\
+         spans several disaster periods. This rare-event wall is exactly why\n\
+         the paper solves these models numerically; simulation earns its\n\
+         keep for validation and non-exponential timing (see\n\
+         ablation_deterministic_mtt)."
+    );
+}

@@ -1,0 +1,95 @@
+//! Regenerates the paper's model-definition artifacts (Figs. 2–6, Tables
+//! I–V) directly from the constructed nets, so the printed structure is the
+//! structure the solvers run.
+//!
+//! ```sh
+//! cargo run --release -p dtc-bench --bin describe_models          # blocks
+//! cargo run --release -p dtc-bench --bin describe_models -- --full # + Fig. 6
+//! ```
+
+use dtc_core::blocks::{add_simple_component, add_vm_behavior, InfraRefs};
+use dtc_core::prelude::*;
+use dtc_geo::BRASILIA;
+use dtc_petri::{NetDisplay, PetriNetBuilder};
+
+fn main() {
+    let params = PaperParams::table_vi();
+
+    println!("=== Fig. 2 / Table I — SIMPLE_COMPONENT (instantiated for OSPM) ===\n");
+    {
+        let mut b = PetriNetBuilder::new();
+        let ospm = params.ospm_folded().expect("folds");
+        add_simple_component(&mut b, "OSPM", ospm);
+        let net = b.build().expect("builds");
+        println!("{}", NetDisplay::new(&net));
+    }
+
+    println!("=== Fig. 5 — RBD folding feeding the SPN layer ===\n");
+    {
+        let ospm = params.ospm_folded().expect("folds");
+        let nas = params.nas_net_folded().expect("folds");
+        println!("OS (4000 h / 1 h) ⊕ PM (1000 h / 12 h)  [series]");
+        println!(
+            "  -> OSPM_F delay = {:.3} h, OSPM_R delay = {:.3} h\n",
+            ospm.mttf_hours, ospm.mttr_hours
+        );
+        println!("Switch ⊕ Router ⊕ NAS  [series]");
+        println!(
+            "  -> NAS_NET_F delay = {:.1} h, NAS_NET_R delay = {:.3} h\n",
+            nas.mttf_hours, nas.mttr_hours
+        );
+    }
+
+    println!("=== Fig. 3 / Tables II–III — VM_BEHAVIOR (one PM with full infra) ===\n");
+    {
+        let mut b = PetriNetBuilder::new();
+        let ospm = add_simple_component(&mut b, "OSPM1", params.ospm_folded().expect("folds"));
+        let nas = add_simple_component(&mut b, "NAS_NET1", params.nas_net_folded().expect("folds"));
+        let dc = add_simple_component(&mut b, "DC1", params.disaster(100.0));
+        let pool = b.place("FailedVMS", 0);
+        let infra =
+            InfraRefs { ospm_up: ospm.up, nas_net_up: Some(nas.up), dc_up: Some(dc.up) };
+        add_vm_behavior(&mut b, "1", 2, 2, params.vm_params(), &infra, pool);
+        let net = b.build().expect("builds");
+        println!("{}", NetDisplay::new(&net));
+    }
+
+    let full = std::env::args().any(|a| a == "--full");
+    let cs = CaseStudy::paper();
+    let spec = cs.two_dc_spec(&BRASILIA, 0.35, 100.0);
+    let model = CloudModel::build(spec).expect("builds");
+
+    println!("=== Fig. 4 / Tables IV–V — TRANSMISSION_COMPONENT guards ===\n");
+    {
+        let net = model.net();
+        for name in ["TRI_12", "TRI_21", "TBI_12", "TBI_21"] {
+            let t = net.transition(name).expect("transmission transition");
+            let def = net.transition_def(t);
+            println!("{name}: {}", net.display_expr(&def.guard));
+        }
+        println!();
+        for name in ["TRE_12", "TRE_21", "TBE_12", "TBE_21"] {
+            let t = net.transition(name).expect("transfer transition");
+            let def = net.transition_def(t);
+            if let dtc_petri::TransitionKind::Timed { rate, semantics } = def.kind {
+                println!(
+                    "{name}: exp, delay = {:.3} h (MTT), markup constant, concurrency {semantics}",
+                    1.0 / rate
+                );
+            }
+        }
+        println!();
+    }
+
+    if full {
+        println!("=== Fig. 6 — full two-data-center model (Rio–Brasília instance) ===\n");
+        println!("{}", NetDisplay::new(model.net()));
+        println!(
+            "availability metric: P{{{}}}",
+            model.net().display_expr(&model.availability_expr())
+        );
+    } else {
+        println!("(run with --full to print the complete Fig. 6 net: {} places, {} transitions)",
+            model.net().num_places(), model.net().num_transitions());
+    }
+}

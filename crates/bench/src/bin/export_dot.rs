@@ -1,0 +1,56 @@
+//! Writes Graphviz DOT renderings of the paper's model figures to `./dot/`.
+//!
+//! ```sh
+//! cargo run --release -p dtc-bench --bin export_dot
+//! dot -Tpdf dot/fig6_full_model.dot -o fig6.pdf   # if graphviz is installed
+//! ```
+
+use dtc_core::blocks::{add_simple_component, add_vm_behavior, InfraRefs};
+use dtc_core::prelude::*;
+use dtc_geo::BRASILIA;
+use dtc_petri::{to_dot, PetriNetBuilder};
+use std::fs;
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = Path::new("dot");
+    fs::create_dir_all(out_dir)?;
+    let params = PaperParams::table_vi();
+
+    // Fig. 2 — SIMPLE_COMPONENT.
+    {
+        let mut b = PetriNetBuilder::new();
+        add_simple_component(&mut b, "X", ComponentParams::new(1000.0, 10.0));
+        let net = b.build().expect("builds");
+        fs::write(out_dir.join("fig2_simple_component.dot"), to_dot(&net))?;
+    }
+
+    // Fig. 3 — VM_BEHAVIOR with its infrastructure.
+    {
+        let mut b = PetriNetBuilder::new();
+        let ospm = add_simple_component(&mut b, "OSPM1", params.ospm_folded().expect("folds"));
+        let nas =
+            add_simple_component(&mut b, "NAS_NET1", params.nas_net_folded().expect("folds"));
+        let dc = add_simple_component(&mut b, "DC1", params.disaster(100.0));
+        let pool = b.place("FailedVMS", 0);
+        let infra =
+            InfraRefs { ospm_up: ospm.up, nas_net_up: Some(nas.up), dc_up: Some(dc.up) };
+        add_vm_behavior(&mut b, "1", 2, 2, params.vm_params(), &infra, pool);
+        let net = b.build().expect("builds");
+        fs::write(out_dir.join("fig3_vm_behavior.dot"), to_dot(&net))?;
+    }
+
+    // Figs. 4+6 — the full two-DC model (the transmission component is the
+    // subgraph around TRP_/TBP_ places).
+    {
+        let cs = CaseStudy::paper();
+        let model = CloudModel::build(cs.two_dc_spec(&BRASILIA, 0.35, 100.0)).expect("builds");
+        fs::write(out_dir.join("fig6_full_model.dot"), to_dot(model.net()))?;
+    }
+
+    println!("wrote dot/fig2_simple_component.dot");
+    println!("wrote dot/fig3_vm_behavior.dot");
+    println!("wrote dot/fig6_full_model.dot");
+    println!("render with: dot -Tpdf dot/<file>.dot -o <file>.pdf");
+    Ok(())
+}

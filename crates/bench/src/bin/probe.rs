@@ -1,0 +1,15 @@
+use dtc_core::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let cs = CaseStudy::paper();
+    let spec = cs.two_dc_spec(&dtc_geo::BRASILIA, 0.35, 100.0);
+    let model = CloudModel::build(spec).unwrap();
+    let t0 = Instant::now();
+    let graph = model.state_space(&EvalOptions::default()).unwrap();
+    println!("explore: {:?}  states={} edges={}", t0.elapsed(), graph.num_states(), graph.stats().edges);
+    let t1 = Instant::now();
+    let report = model.evaluate_on(&graph, &EvalOptions::default()).unwrap();
+    println!("solve:   {:?}", t1.elapsed());
+    println!("{report}");
+}

@@ -1,0 +1,59 @@
+//! Parameter-sensitivity study: which knob moves availability most?
+//!
+//! Computes availability elasticities (`∂ ln A / ∂ ln θ`, ±5% central
+//! differences) for every parameter of two deployments: the 4-PM single-DC
+//! architecture and a reduced Rio–Brasília two-DC system. Extends the
+//! paper's analysis (which varies α and the disaster rate only) to all
+//! model inputs.
+//!
+//! ```sh
+//! cargo run --release -p dtc-bench --bin sensitivity
+//! ```
+
+use dtc_core::prelude::*;
+use dtc_geo::BRASILIA;
+
+fn print_rows(rows: &[SensitivityRow]) {
+    println!(
+        "{:<28} {:>14} {:>12} {:>16}",
+        "parameter", "base value (h)", "elasticity", "ΔU per +1% (1e-6)"
+    );
+    dtc_bench::rule(74);
+    for r in rows {
+        println!(
+            "{:<28} {:>14.3} {:>12.5} {:>16.3}",
+            r.parameter.to_string(),
+            r.base_value,
+            r.elasticity,
+            // unavailability_shift is per ln-unit; scale to per +1%.
+            -r.unavailability_shift * 0.01 * 1e6
+        );
+    }
+}
+
+fn main() {
+    let cs = CaseStudy::paper();
+    let opts = EvalOptions::default();
+
+    println!("=== 4 machines, one data center ===\n");
+    let spec = cs.single_dc_spec(4);
+    let rows = availability_sensitivity(&spec, &opts, 0.05, 4).expect("sensitivity");
+    print_rows(&rows);
+
+    println!("\n=== Rio–Brasília two-DC (reduced: 1 PM/DC, k=1) ===\n");
+    let mut spec = cs.two_dc_spec(&BRASILIA, 0.35, 100.0);
+    for dc in &mut spec.data_centers {
+        dc.pms.truncate(1);
+    }
+    spec.min_running_vms = 1;
+    let rows = availability_sensitivity(&spec, &opts, 0.05, 4).expect("sensitivity");
+    print_rows(&rows);
+
+    println!(
+        "\nReading: in the single-DC system the disaster and the PM series\n\
+         dominate; adding the failover DC demotes the disaster parameters\n\
+         and promotes the migration times (MTT) and the backup server —\n\
+         the design lever shifts from hardware to the network, which is\n\
+         the paper's core argument."
+    );
+}

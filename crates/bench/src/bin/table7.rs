@@ -1,0 +1,68 @@
+//! Regenerates the paper's **Table VII** — availability of the eight
+//! baseline architectures — and prints paper-vs-measured side by side.
+//!
+//! The five two-data-center rows solve the full Fig. 6 model (~126 000
+//! tangible states each); expect a few minutes of wall-clock time.
+//!
+//! ```sh
+//! cargo run --release -p dtc-bench --bin table7
+//! ```
+
+use dtc_bench::{pct_delta, rule, PAPER_TABLE_VII};
+use dtc_core::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let cs = CaseStudy::paper();
+    let scenarios = table_vii_scenarios(&cs);
+    let specs: Vec<CloudSystemSpec> = scenarios.iter().map(|s| s.spec.clone()).collect();
+
+    let t0 = Instant::now();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(4);
+    eprintln!("evaluating {} architectures on {threads} threads…", specs.len());
+    let outcomes = sweep_reports(&specs, &EvalOptions::default(), threads);
+    eprintln!("done in {:?}\n", t0.elapsed());
+
+    println!("Table VII — availability of the baseline architectures");
+    println!(
+        "{:<52} {:>12} {:>7} | {:>12} {:>7} | {:>9}",
+        "Architecture", "paper A", "nines", "measured A", "nines", "ΔA"
+    );
+    rule(110);
+    for (scenario, outcome) in scenarios.iter().zip(&outcomes) {
+        let paper = PAPER_TABLE_VII
+            .iter()
+            .find(|row| row.name == scenario.name)
+            .expect("every scenario has a paper row");
+        match &outcome.report {
+            Ok(r) => println!(
+                "{:<52} {:>12.7} {:>7.2} | {:>12.7} {:>7.2} | {:>9}",
+                scenario.name,
+                paper.availability,
+                paper.nines,
+                r.availability,
+                r.nines,
+                pct_delta(r.availability, paper.availability)
+            ),
+            Err(e) => println!("{:<52} FAILED: {e}", scenario.name),
+        }
+    }
+
+    println!("\nShape checks (see DESIGN.md §5):");
+    let avail: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.report.as_ref().map(|r| r.availability).unwrap_or(f64::NAN))
+        .collect();
+    let check = |label: &str, ok: bool| {
+        println!("  [{}] {label}", if ok { "ok" } else { "VIOLATED" });
+    };
+    check("single-DC ordering: 1 PM < 2 PM < 4 PM", avail[0] < avail[1] && avail[1] < avail[2]);
+    check(
+        "every two-DC architecture beats every single-DC one",
+        avail[3..].iter().all(|a| *a > avail[2]),
+    );
+    check(
+        "two-DC availability decreases with distance (Brasilia…Tokio)",
+        avail[3..].windows(2).all(|w| w[0] > w[1]),
+    );
+}

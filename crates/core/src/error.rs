@@ -1,0 +1,76 @@
+//! Error type for model construction and evaluation.
+
+use std::fmt;
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, CloudError>;
+
+/// Errors from building or evaluating cloud dependability models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudError {
+    /// The system specification is structurally invalid.
+    BadSpec(String),
+    /// Error from the RBD folding layer.
+    Rbd(dtc_rbd::RbdError),
+    /// Error from the Petri-net analysis layer.
+    Petri(dtc_petri::PetriError),
+    /// Error from the simulation layer.
+    Sim(dtc_sim::SimError),
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::BadSpec(msg) => write!(f, "invalid system spec: {msg}"),
+            CloudError::Rbd(e) => write!(f, "rbd: {e}"),
+            CloudError::Petri(e) => write!(f, "petri: {e}"),
+            CloudError::Sim(e) => write!(f, "sim: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CloudError::BadSpec(_) => None,
+            CloudError::Rbd(e) => Some(e),
+            CloudError::Petri(e) => Some(e),
+            CloudError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<dtc_rbd::RbdError> for CloudError {
+    fn from(e: dtc_rbd::RbdError) -> Self {
+        CloudError::Rbd(e)
+    }
+}
+
+impl From<dtc_petri::PetriError> for CloudError {
+    fn from(e: dtc_petri::PetriError) -> Self {
+        CloudError::Petri(e)
+    }
+}
+
+impl From<dtc_sim::SimError> for CloudError {
+    fn from(e: dtc_sim::SimError) -> Self {
+        CloudError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CloudError = dtc_rbd::RbdError::EmptyComposition.into();
+        assert!(e.source().is_some());
+        let e: CloudError = dtc_petri::PetriError::EmptyNet.into();
+        assert!(e.to_string().contains("petri"));
+        let e: CloudError = dtc_sim::SimError::ImmediateLivelock.into();
+        assert!(e.to_string().contains("sim"));
+        assert!(CloudError::BadSpec("x".into()).source().is_none());
+    }
+}

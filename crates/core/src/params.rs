@@ -1,0 +1,258 @@
+//! Dependability parameters — the paper's Table VI and case-study constants.
+//!
+//! All times are in **hours** unless a name says otherwise. The component
+//! MTTF/MTTR values are quoted verbatim from Table VI of the paper, which in
+//! turn sourced them from Kim et al. (PRDC'09), Cisco dependability sheets,
+//! and a MegaPath SLA ([19]–[22] in the paper).
+
+/// A repairable component's exponential parameters, in hours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ComponentParams {
+    /// Mean time to failure.
+    pub mttf_hours: f64,
+    /// Mean time to repair.
+    pub mttr_hours: f64,
+}
+
+impl ComponentParams {
+    /// Creates a parameter pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both values are finite and positive.
+    pub fn new(mttf_hours: f64, mttr_hours: f64) -> Self {
+        assert!(
+            mttf_hours.is_finite() && mttf_hours > 0.0,
+            "MTTF must be positive, got {mttf_hours}"
+        );
+        assert!(
+            mttr_hours.is_finite() && mttr_hours > 0.0,
+            "MTTR must be positive, got {mttr_hours}"
+        );
+        ComponentParams { mttf_hours, mttr_hours }
+    }
+
+    /// Steady-state availability `MTTF/(MTTF+MTTR)`.
+    pub fn availability(&self) -> f64 {
+        self.mttf_hours / (self.mttf_hours + self.mttr_hours)
+    }
+}
+
+/// Virtual-machine timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VmParams {
+    /// Mean time to failure of a running VM.
+    pub mttf_hours: f64,
+    /// Mean time to repair a failed VM.
+    pub mttr_hours: f64,
+    /// Mean time to start (boot) a VM.
+    pub start_hours: f64,
+}
+
+/// Hours in a (non-leap) year; the paper quotes disaster times in years and
+/// repair times in hours.
+pub const HOURS_PER_YEAR: f64 = 8760.0;
+
+/// One row of the paper's Table VI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableViRow {
+    /// Component name as printed in the paper.
+    pub component: &'static str,
+    /// MTTF in hours.
+    pub mttf_hours: f64,
+    /// MTTR in hours.
+    pub mttr_hours: f64,
+}
+
+/// The paper's Table VI, verbatim.
+pub const TABLE_VI: [TableViRow; 7] = [
+    TableViRow { component: "Operating System (OS)", mttf_hours: 4000.0, mttr_hours: 1.0 },
+    TableViRow {
+        component: "Hardware of Physical Machine (PM)",
+        mttf_hours: 1000.0,
+        mttr_hours: 12.0,
+    },
+    TableViRow { component: "Switch", mttf_hours: 430_000.0, mttr_hours: 4.0 },
+    TableViRow { component: "Router", mttf_hours: 14_077_473.0, mttr_hours: 4.0 },
+    TableViRow { component: "NAS", mttf_hours: 20_000_000.0, mttr_hours: 2.0 },
+    TableViRow { component: "VM", mttf_hours: 2880.0, mttr_hours: 0.5 },
+    TableViRow { component: "Backup Server", mttf_hours: 50_000.0, mttr_hours: 0.5 },
+];
+
+/// Component-level inputs for the hierarchical models, prefilled with
+/// Table VI. Override fields to study other hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperParams {
+    /// Operating system.
+    pub os: ComponentParams,
+    /// Physical-machine hardware.
+    pub pm: ComponentParams,
+    /// Network switch.
+    pub switch: ComponentParams,
+    /// Router.
+    pub router: ComponentParams,
+    /// Network-attached storage.
+    pub nas: ComponentParams,
+    /// Virtual machine (MTTF/MTTR; start time below).
+    pub vm: ComponentParams,
+    /// Backup server.
+    pub backup: ComponentParams,
+    /// VM boot time in hours (paper: five minutes).
+    pub vm_start_hours: f64,
+    /// Data-center recovery time after a disaster (paper: one year).
+    pub dc_recovery_hours: f64,
+    /// VM image size in gigabytes (paper: 4 GB).
+    pub vm_size_gb: f64,
+    /// Minimum running VMs for the system to be operational (paper: 2).
+    pub min_running_vms: u32,
+}
+
+impl PaperParams {
+    /// Table VI plus the case-study constants of Section V.
+    pub fn table_vi() -> Self {
+        PaperParams {
+            os: ComponentParams::new(4000.0, 1.0),
+            pm: ComponentParams::new(1000.0, 12.0),
+            switch: ComponentParams::new(430_000.0, 4.0),
+            router: ComponentParams::new(14_077_473.0, 4.0),
+            nas: ComponentParams::new(20_000_000.0, 2.0),
+            vm: ComponentParams::new(2880.0, 0.5),
+            backup: ComponentParams::new(50_000.0, 0.5),
+            vm_start_hours: 5.0 / 60.0,
+            dc_recovery_hours: HOURS_PER_YEAR,
+            vm_size_gb: 4.0,
+            min_running_vms: 2,
+        }
+    }
+
+    /// VM timing bundle.
+    pub fn vm_params(&self) -> VmParams {
+        VmParams {
+            mttf_hours: self.vm.mttf_hours,
+            mttr_hours: self.vm.mttr_hours,
+            start_hours: self.vm_start_hours,
+        }
+    }
+
+    /// Disaster component for a mean time between disasters in **years**
+    /// (the paper sweeps 100, 200, 300) and the configured recovery time.
+    pub fn disaster(&self, mean_years: f64) -> ComponentParams {
+        ComponentParams::new(mean_years * HOURS_PER_YEAR, self.dc_recovery_hours)
+    }
+
+    /// The folded OS+PM series (paper Fig. 5) as SIMPLE_COMPONENT params.
+    pub fn ospm_folded(&self) -> crate::error::Result<ComponentParams> {
+        let block = dtc_rbd::Block::series([
+            dtc_rbd::Block::exponential("OS", self.os.mttf_hours, self.os.mttr_hours),
+            dtc_rbd::Block::exponential("PM", self.pm.mttf_hours, self.pm.mttr_hours),
+        ]);
+        let folded = dtc_rbd::fold(&block)?;
+        Ok(ComponentParams::new(folded.mttf, folded.mttr))
+    }
+
+    /// The folded switch+router+NAS series (paper Section IV-D) as
+    /// SIMPLE_COMPONENT params.
+    pub fn nas_net_folded(&self) -> crate::error::Result<ComponentParams> {
+        let block = dtc_rbd::Block::series([
+            dtc_rbd::Block::exponential(
+                "Switch",
+                self.switch.mttf_hours,
+                self.switch.mttr_hours,
+            ),
+            dtc_rbd::Block::exponential(
+                "Router",
+                self.router.mttf_hours,
+                self.router.mttr_hours,
+            ),
+            dtc_rbd::Block::exponential("NAS", self.nas.mttf_hours, self.nas.mttr_hours),
+        ]);
+        let folded = dtc_rbd::fold(&block)?;
+        Ok(ComponentParams::new(folded.mttf, folded.mttr))
+    }
+}
+
+/// Converts an availability into "number of nines", the paper's Fig. 7
+/// y-axis: `nines = -log10(1 - A)`.
+///
+/// Perfect availability maps to `f64::INFINITY`.
+pub fn nines(availability: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&availability),
+        "availability must be in [0,1], got {availability}"
+    );
+    if availability >= 1.0 {
+        f64::INFINITY
+    } else {
+        -(1.0 - availability).log10()
+    }
+}
+
+/// Converts availability to expected downtime in hours per year.
+pub fn downtime_hours_per_year(availability: f64) -> f64 {
+    (1.0 - availability) * HOURS_PER_YEAR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vi_matches_paper() {
+        let p = PaperParams::table_vi();
+        assert_eq!(p.os.mttf_hours, 4000.0);
+        assert_eq!(p.pm.mttr_hours, 12.0);
+        assert_eq!(p.router.mttf_hours, 14_077_473.0);
+        assert_eq!(p.vm.mttr_hours, 0.5);
+        assert_eq!(p.min_running_vms, 2);
+        assert!((p.vm_start_hours - 1.0 / 12.0).abs() < 1e-12);
+        assert_eq!(TABLE_VI.len(), 7);
+    }
+
+    #[test]
+    fn disaster_params() {
+        let p = PaperParams::table_vi();
+        let d = p.disaster(100.0);
+        assert_eq!(d.mttf_hours, 876_000.0);
+        assert_eq!(d.mttr_hours, 8760.0);
+        assert!((d.availability() - 100.0 / 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ospm_fold_reproduces_series_availability() {
+        let p = PaperParams::table_vi();
+        let ospm = p.ospm_folded().unwrap();
+        let expect = (4000.0 / 4001.0) * (1000.0 / 1012.0);
+        assert!((ospm.availability() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nas_net_fold_is_highly_available() {
+        let p = PaperParams::table_vi();
+        let nn = p.nas_net_folded().unwrap();
+        assert!(nn.availability() > 0.99998);
+        assert!(nn.mttf_hours > 300_000.0);
+    }
+
+    #[test]
+    fn nines_examples_from_table_vii() {
+        // Paper: A=0.9997317 -> 3.57 nines.
+        assert!((nines(0.9997317) - 3.5714).abs() < 0.01);
+        // A=0.9842914 -> 1.80 nines.
+        assert!((nines(0.9842914) - 1.8038).abs() < 0.01);
+        assert_eq!(nines(1.0), f64::INFINITY);
+        assert!((nines(0.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downtime_conversion() {
+        assert!((downtime_hours_per_year(0.9990) - 8.76).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTTF")]
+    fn bad_params_panic() {
+        ComponentParams::new(0.0, 1.0);
+    }
+}

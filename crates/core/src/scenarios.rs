@@ -1,0 +1,298 @@
+//! The paper's Section V case study, as reusable scenario generators.
+//!
+//! * **Table VII** — eight baseline architectures: one/two/four machines in
+//!   a single data center, and five two-data-center deployments
+//!   (Rio de Janeiro paired with Brasília, Recife, New York, Calcutta,
+//!   Tokyo) at α = 0.35 and a 100-year disaster MTTF.
+//! * **Figure 7** — the full sweep: every city pair × α ∈ {0.35, 0.40,
+//!   0.45} × disaster mean time ∈ {100, 200, 300} years, reported as the
+//!   improvement in number of nines over that pair's baseline.
+//!
+//! The Backup Server sits in São Paulo; VM images are 4 GB; at least two
+//! running VMs are required (`k = 2`); a VM boots in five minutes; a data
+//! center takes one year to recover from a disaster.
+
+use crate::params::PaperParams;
+use crate::system::{CloudSystemSpec, DataCenterSpec, PmSpec};
+use dtc_geo::{
+    haversine_km, City, WanModel, BRASILIA, CALCUTTA, NEW_YORK, RECIFE, RIO_DE_JANEIRO,
+    SAO_PAULO, TOKYO,
+};
+
+/// The five case-study secondary sites (primary is always Rio de Janeiro).
+pub const SECONDARY_CITIES: [City; 5] = [BRASILIA, RECIFE, NEW_YORK, CALCUTTA, TOKYO];
+
+/// The α values swept by the paper.
+pub const ALPHAS: [f64; 3] = [0.35, 0.40, 0.45];
+
+/// The disaster mean times (years) swept by the paper.
+pub const DISASTER_YEARS: [f64; 3] = [100.0, 200.0, 300.0];
+
+/// Baseline sweep point: α = 0.35, disaster mean time = 100 years.
+pub const BASELINE_ALPHA: f64 = 0.35;
+/// Baseline disaster mean time in years.
+pub const BASELINE_DISASTER_YEARS: f64 = 100.0;
+
+/// Case-study context: dependability parameters, WAN model and the backup
+/// site.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Component parameters (Table VI).
+    pub params: PaperParams,
+    /// Distance → throughput model.
+    pub wan: WanModel,
+    /// Primary site (Rio de Janeiro in the paper).
+    pub primary: City,
+    /// Backup Server location (São Paulo in the paper).
+    pub backup_site: City,
+}
+
+impl CaseStudy {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        CaseStudy {
+            params: PaperParams::table_vi(),
+            wan: WanModel::paper_calibrated(),
+            primary: RIO_DE_JANEIRO,
+            backup_site: SAO_PAULO,
+        }
+    }
+
+    /// Mean VM-migration time between the primary DC and `secondary`
+    /// (hours).
+    pub fn mtt_dcs_hours(&self, secondary: &City, alpha: f64) -> f64 {
+        self.wan.mtt_between_hours(&self.primary, secondary, alpha, self.params.vm_size_gb)
+    }
+
+    /// Mean restore time from the Backup Server into a DC at `city` (hours).
+    pub fn mtt_backup_hours(&self, city: &City, alpha: f64) -> f64 {
+        self.wan.mtt_between_hours(&self.backup_site, city, alpha, self.params.vm_size_gb)
+    }
+
+    /// Single-data-center architecture with `machines` PMs
+    /// (Table VII rows 1–3).
+    ///
+    /// Placement: four VMs spread over up to two hot PMs (two VMs each,
+    /// matching "up to two VMs per machine"); additional PMs join the warm
+    /// pool. The one-machine row hosts two VMs on its single PM.
+    /// Disasters strike with the baseline 100-year mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines == 0`.
+    pub fn single_dc_spec(&self, machines: usize) -> CloudSystemSpec {
+        assert!(machines > 0, "need at least one machine");
+        let p = &self.params;
+        let mut pms = Vec::with_capacity(machines);
+        for i in 0..machines {
+            if i < 2 {
+                pms.push(PmSpec::hot(2, 2));
+            } else {
+                pms.push(PmSpec::warm(2));
+            }
+        }
+        CloudSystemSpec {
+            ospm: p.ospm_folded().expect("Table VI folds"),
+            vm: p.vm_params(),
+            data_centers: vec![DataCenterSpec {
+                label: "1".into(),
+                pms,
+                disaster: Some(p.disaster(BASELINE_DISASTER_YEARS)),
+                nas_net: Some(p.nas_net_folded().expect("Table VI folds")),
+                backup_inbound_mtt_hours: None,
+            }],
+            backup: None,
+            direct_mtt_hours: vec![vec![None]],
+            min_running_vms: p.min_running_vms,
+            migration_threshold: 1,
+        }
+    }
+
+    /// Two-data-center architecture (Fig. 6): primary DC in Rio with two
+    /// hot PMs (2 VMs each), secondary DC at `secondary` with two warm PMs,
+    /// Backup Server in São Paulo, disasters in both DCs.
+    pub fn two_dc_spec(
+        &self,
+        secondary: &City,
+        alpha: f64,
+        disaster_years: f64,
+    ) -> CloudSystemSpec {
+        let p = &self.params;
+        let mtt = self.mtt_dcs_hours(secondary, alpha);
+        let bk1 = self.mtt_backup_hours(&self.primary, alpha);
+        let bk2 = self.mtt_backup_hours(secondary, alpha);
+        let mk_dc = |label: &str, hot: bool, backup_mtt: f64| DataCenterSpec {
+            label: label.into(),
+            pms: if hot {
+                vec![PmSpec::hot(2, 2), PmSpec::hot(2, 2)]
+            } else {
+                vec![PmSpec::warm(2), PmSpec::warm(2)]
+            },
+            disaster: Some(p.disaster(disaster_years)),
+            nas_net: Some(p.nas_net_folded().expect("Table VI folds")),
+            backup_inbound_mtt_hours: Some(backup_mtt),
+        };
+        CloudSystemSpec {
+            ospm: p.ospm_folded().expect("Table VI folds"),
+            vm: p.vm_params(),
+            data_centers: vec![mk_dc("1", true, bk1), mk_dc("2", false, bk2)],
+            backup: Some(p.backup),
+            direct_mtt_hours: vec![vec![None, Some(mtt)], vec![Some(mtt), None]],
+            min_running_vms: p.min_running_vms,
+            migration_threshold: 1,
+        }
+    }
+
+    /// Distance from the primary site to `secondary` in km.
+    pub fn distance_km(&self, secondary: &City) -> f64 {
+        haversine_km(&self.primary, secondary)
+    }
+}
+
+/// A named scenario (used by the Table VII harness).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Row label as printed in the paper.
+    pub name: String,
+    /// The system to evaluate.
+    pub spec: CloudSystemSpec,
+}
+
+/// The eight Table VII rows.
+pub fn table_vii_scenarios(cs: &CaseStudy) -> Vec<Scenario> {
+    let mut rows = vec![
+        Scenario {
+            name: "Cloud system with one machine".into(),
+            spec: cs.single_dc_spec(1),
+        },
+        Scenario {
+            name: "Cloud system with two machines in one data center".into(),
+            spec: cs.single_dc_spec(2),
+        },
+        Scenario {
+            name: "Cloud system with four machines in one data center".into(),
+            spec: cs.single_dc_spec(4),
+        },
+    ];
+    for city in SECONDARY_CITIES {
+        rows.push(Scenario {
+            name: format!("Baseline architecture: Rio de janeiro - {}", city.name),
+            spec: cs.two_dc_spec(&city, BASELINE_ALPHA, BASELINE_DISASTER_YEARS),
+        });
+    }
+    rows
+}
+
+/// One point of the Figure 7 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig7Point {
+    /// Secondary city.
+    pub city: City,
+    /// Network quality constant.
+    pub alpha: f64,
+    /// Disaster mean time in years.
+    pub disaster_years: f64,
+    /// Whether this is the pair's baseline configuration.
+    pub is_baseline: bool,
+    /// The system to evaluate.
+    pub spec: CloudSystemSpec,
+}
+
+/// The full Figure 7 sweep: 5 cities × 3 α × 3 disaster means (45 points,
+/// of which 5 are the per-pair baselines).
+pub fn figure7_scenarios(cs: &CaseStudy) -> Vec<Fig7Point> {
+    let mut out = Vec::with_capacity(45);
+    for city in SECONDARY_CITIES {
+        for alpha in ALPHAS {
+            for years in DISASTER_YEARS {
+                out.push(Fig7Point {
+                    city,
+                    alpha,
+                    disaster_years: years,
+                    is_baseline: alpha == BASELINE_ALPHA && years == BASELINE_DISASTER_YEARS,
+                    spec: cs.two_dc_spec(&city, alpha, years),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_case_study_mtts_increase_with_distance() {
+        let cs = CaseStudy::paper();
+        let mut prev = 0.0;
+        for city in SECONDARY_CITIES {
+            let mtt = cs.mtt_dcs_hours(&city, 0.35);
+            assert!(mtt > prev, "{}: {mtt}", city.name);
+            prev = mtt;
+        }
+    }
+
+    #[test]
+    fn mtt_decreases_with_alpha() {
+        let cs = CaseStudy::paper();
+        let a = cs.mtt_dcs_hours(&TOKYO, 0.35);
+        let b = cs.mtt_dcs_hours(&TOKYO, 0.45);
+        assert!(b < a);
+        assert!((a / b - 0.45 / 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_vii_has_eight_rows() {
+        let cs = CaseStudy::paper();
+        let rows = table_vii_scenarios(&cs);
+        assert_eq!(rows.len(), 8);
+        assert!(rows[0].name.contains("one machine"));
+        assert!(rows[7].name.contains("Tokio"));
+        // Single-DC rows have no backup; two-DC rows do.
+        assert!(rows[0].spec.backup.is_none());
+        assert!(rows[3].spec.backup.is_some());
+        assert_eq!(rows[3].spec.data_centers.len(), 2);
+    }
+
+    #[test]
+    fn single_dc_placement() {
+        let cs = CaseStudy::paper();
+        let one = cs.single_dc_spec(1);
+        assert_eq!(one.total_vms(), 2);
+        let two = cs.single_dc_spec(2);
+        assert_eq!(two.total_vms(), 4);
+        let four = cs.single_dc_spec(4);
+        assert_eq!(four.total_vms(), 4);
+        assert_eq!(four.total_pms(), 4);
+        // Two of the four are warm.
+        let warm = four.data_centers[0].pms.iter().filter(|p| p.initial_vms == 0).count();
+        assert_eq!(warm, 2);
+    }
+
+    #[test]
+    fn figure7_sweep_structure() {
+        let cs = CaseStudy::paper();
+        let pts = figure7_scenarios(&cs);
+        assert_eq!(pts.len(), 45);
+        assert_eq!(pts.iter().filter(|p| p.is_baseline).count(), 5);
+        // All specs share k=2 and N=4.
+        for p in &pts {
+            assert_eq!(p.spec.min_running_vms, 2);
+            assert_eq!(p.spec.total_vms(), 4);
+        }
+    }
+
+    #[test]
+    fn two_dc_spec_mtt_matrix_symmetric() {
+        let cs = CaseStudy::paper();
+        let spec = cs.two_dc_spec(&BRASILIA, 0.4, 200.0);
+        assert_eq!(spec.direct_mtt_hours[0][1], spec.direct_mtt_hours[1][0]);
+        assert!(spec.direct_mtt_hours[0][1].unwrap() > 0.0);
+        // Backup restore into Rio is faster than into Tokyo.
+        let spec_tokyo = cs.two_dc_spec(&TOKYO, 0.4, 200.0);
+        let bk1 = spec_tokyo.data_centers[0].backup_inbound_mtt_hours.unwrap();
+        let bk2 = spec_tokyo.data_centers[1].backup_inbound_mtt_hours.unwrap();
+        assert!(bk1 < bk2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Cities and great-circle distances.
+//!
+//! The DSN'13 case study places data centers in five city pairs anchored at
+//! Rio de Janeiro, with the backup server in São Paulo. Coordinates here are
+//! city-center WGS-84; distances are great-circle (haversine), which is what
+//! the paper's distance-driven throughput model needs.
+
+use std::fmt;
+
+/// A named geographic location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct City {
+    /// Display name.
+    pub name: &'static str,
+    /// Latitude in degrees (north positive).
+    pub lat_deg: f64,
+    /// Longitude in degrees (east positive).
+    pub lon_deg: f64,
+}
+
+impl fmt::Display for City {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+/// Rio de Janeiro, Brazil — the anchor of every case-study pair.
+pub const RIO_DE_JANEIRO: City =
+    City { name: "Rio de Janeiro", lat_deg: -22.9068, lon_deg: -43.1729 };
+/// Brasília, Brazil.
+pub const BRASILIA: City = City { name: "Brasilia", lat_deg: -15.7939, lon_deg: -47.8828 };
+/// Recife, Brazil.
+pub const RECIFE: City = City { name: "Recife", lat_deg: -8.0476, lon_deg: -34.8770 };
+/// São Paulo, Brazil — the paper's Backup Server location.
+pub const SAO_PAULO: City = City { name: "Sao Paulo", lat_deg: -23.5505, lon_deg: -46.6333 };
+/// New York, USA.
+pub const NEW_YORK: City = City { name: "NewYork", lat_deg: 40.7128, lon_deg: -74.0060 };
+/// Calcutta (Kolkata), India.
+pub const CALCUTTA: City = City { name: "Calcutta", lat_deg: 22.5726, lon_deg: 88.3639 };
+/// Tokyo, Japan (the paper spells it "Tokio").
+pub const TOKYO: City = City { name: "Tokio", lat_deg: 35.6762, lon_deg: 139.6503 };
+
+/// All cities used by the case study.
+pub const CASE_STUDY_CITIES: [City; 7] =
+    [RIO_DE_JANEIRO, BRASILIA, RECIFE, SAO_PAULO, NEW_YORK, CALCUTTA, TOKYO];
+
+/// London, UK (extra site for user studies beyond the paper).
+pub const LONDON: City = City { name: "London", lat_deg: 51.5074, lon_deg: -0.1278 };
+/// Frankfurt, Germany.
+pub const FRANKFURT: City = City { name: "Frankfurt", lat_deg: 50.1109, lon_deg: 8.6821 };
+/// Singapore.
+pub const SINGAPORE: City = City { name: "Singapore", lat_deg: 1.3521, lon_deg: 103.8198 };
+/// Sydney, Australia.
+pub const SYDNEY: City = City { name: "Sydney", lat_deg: -33.8688, lon_deg: 151.2093 };
+/// San Francisco, USA.
+pub const SAN_FRANCISCO: City =
+    City { name: "San Francisco", lat_deg: 37.7749, lon_deg: -122.4194 };
+/// Johannesburg, South Africa.
+pub const JOHANNESBURG: City =
+    City { name: "Johannesburg", lat_deg: -26.2041, lon_deg: 28.0473 };
+
+impl City {
+    /// Creates a city with validated WGS-84 coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if latitude is outside `[-90, 90]` or longitude outside
+    /// `[-180, 180]`.
+    pub fn new(name: &'static str, lat_deg: f64, lon_deg: f64) -> Self {
+        assert!(
+            (-90.0..=90.0).contains(&lat_deg),
+            "latitude {lat_deg} outside [-90, 90]"
+        );
+        assert!(
+            (-180.0..=180.0).contains(&lon_deg),
+            "longitude {lon_deg} outside [-180, 180]"
+        );
+        City { name, lat_deg, lon_deg }
+    }
+}
+
+/// Mean Earth radius in kilometers (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Great-circle distance between two cities in kilometers (haversine).
+pub fn haversine_km(a: &City, b: &City) -> f64 {
+    let (lat1, lon1) = (a.lat_deg.to_radians(), a.lon_deg.to_radians());
+    let (lat2, lon2) = (b.lat_deg.to_radians(), b.lon_deg.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2)
+        + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        assert_eq!(haversine_km(&RIO_DE_JANEIRO, &RIO_DE_JANEIRO), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let d1 = haversine_km(&RIO_DE_JANEIRO, &TOKYO);
+        let d2 = haversine_km(&TOKYO, &RIO_DE_JANEIRO);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_distances_within_tolerance() {
+        // Reference great-circle distances (±2%).
+        let cases = [
+            (RIO_DE_JANEIRO, BRASILIA, 930.0),
+            (RIO_DE_JANEIRO, RECIFE, 1870.0),
+            (RIO_DE_JANEIRO, SAO_PAULO, 360.0),
+            (RIO_DE_JANEIRO, NEW_YORK, 7750.0),
+            (RIO_DE_JANEIRO, TOKYO, 18550.0),
+        ];
+        for (a, b, expect) in cases {
+            let d = haversine_km(&a, &b);
+            assert!(
+                (d - expect).abs() / expect < 0.02,
+                "{} - {}: {d:.0} km vs {expect:.0} km",
+                a.name,
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn case_study_ordering_by_distance() {
+        // The paper's pairs sorted: Brasilia < Recife < NewYork < Calcutta < Tokio.
+        let pairs = [BRASILIA, RECIFE, NEW_YORK, CALCUTTA, TOKYO];
+        let mut prev = 0.0;
+        for c in pairs {
+            let d = haversine_km(&RIO_DE_JANEIRO, &c);
+            assert!(d > prev, "{} at {d} not increasing", c.name);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn extra_cities_have_sane_distances() {
+        // London–Frankfurt ≈ 640 km; Singapore–Sydney ≈ 6300 km.
+        let lf = haversine_km(&LONDON, &FRANKFURT);
+        assert!((lf - 640.0).abs() / 640.0 < 0.05, "{lf}");
+        let ss = haversine_km(&SINGAPORE, &SYDNEY);
+        assert!((ss - 6300.0).abs() / 6300.0 < 0.05, "{ss}");
+        let sj = haversine_km(&SAN_FRANCISCO, &JOHANNESBURG);
+        assert!(sj > 15_000.0 && sj < 18_000.0, "{sj}");
+    }
+
+    #[test]
+    fn city_new_validates() {
+        let c = City::new("Test", 45.0, 90.0);
+        assert_eq!(c.name, "Test");
+        assert_eq!(c.to_string(), "Test");
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn bad_latitude_panics() {
+        City::new("Bad", 91.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longitude")]
+    fn bad_longitude_panics() {
+        City::new("Bad", 0.0, 181.0);
+    }
+
+    #[test]
+    fn triangle_inequality_sample() {
+        let ab = haversine_km(&RIO_DE_JANEIRO, &SAO_PAULO);
+        let bc = haversine_km(&SAO_PAULO, &NEW_YORK);
+        let ac = haversine_km(&RIO_DE_JANEIRO, &NEW_YORK);
+        assert!(ac <= ab + bc + 1e-9);
+    }
+}

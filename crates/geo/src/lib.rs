@@ -1,0 +1,29 @@
+//! # dtc-geo — geography and WAN throughput for the case study
+//!
+//! Distance-driven migration-time modeling for the DSN'13 disaster-tolerant
+//! cloud reproduction: the case-study cities, great-circle distances, and a
+//! PingER-style `distance → RTT → throughput → MTT` model with the paper's
+//! network-quality constant α.
+//!
+//! # Example
+//!
+//! ```
+//! use dtc_geo::{WanModel, RIO_DE_JANEIRO, BRASILIA, TOKYO};
+//!
+//! let wan = WanModel::paper_calibrated();
+//! let near = wan.mtt_between_hours(&RIO_DE_JANEIRO, &BRASILIA, 0.35, 4.0);
+//! let far = wan.mtt_between_hours(&RIO_DE_JANEIRO, &TOKYO, 0.35, 4.0);
+//! assert!(far > near, "moving a VM image farther takes longer");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod city;
+pub mod wan;
+
+pub use city::{
+    haversine_km, City, BRASILIA, CALCUTTA, CASE_STUDY_CITIES, EARTH_RADIUS_KM, NEW_YORK,
+    RECIFE, RIO_DE_JANEIRO, SAO_PAULO, TOKYO,
+};
+pub use wan::{WanModel, FIBER_SPEED_KM_S};

@@ -1,0 +1,346 @@
+//! Absorbing-chain analysis: mean time to absorption and absorption
+//! probabilities.
+//!
+//! Reliability (as opposed to availability) questions are absorbing-chain
+//! questions: make every "system failed" state absorbing, then the mean time
+//! to absorption from the initial state is the MTTF, and `R(t)` is the
+//! transient probability of not yet being absorbed.
+
+use crate::ctmc::Ctmc;
+use crate::error::{MarkovError, Result};
+use crate::solve::dense_solve;
+
+/// Results of absorbing analysis for a CTMC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsorptionAnalysis {
+    /// For each state: expected time to absorption (0 for absorbing states).
+    pub mean_time_to_absorption: Vec<f64>,
+    /// Indices of the absorbing states found.
+    pub absorbing_states: Vec<usize>,
+}
+
+/// Computes expected time to absorption for every transient state of `ctmc`.
+///
+/// States with zero exit rate are absorbing. The expected times solve
+/// `Q_TT · τ = -1` where `Q_TT` is the generator restricted to transient
+/// states (dense solve; intended for chains up to a few thousand states).
+///
+/// # Errors
+///
+/// * [`MarkovError::Singular`] if some transient state cannot reach any
+///   absorbing state (its expected absorption time is infinite).
+/// * [`MarkovError::Empty`] if the chain has no absorbing states at all.
+pub fn mean_time_to_absorption(ctmc: &Ctmc) -> Result<AbsorptionAnalysis> {
+    let n = ctmc.num_states();
+    let absorbing: Vec<usize> =
+        (0..n).filter(|&i| ctmc.exit_rates()[i] == 0.0).collect();
+    if absorbing.is_empty() {
+        return Err(MarkovError::Empty);
+    }
+    let transient: Vec<usize> =
+        (0..n).filter(|&i| ctmc.exit_rates()[i] != 0.0).collect();
+    let index_of: std::collections::HashMap<usize, usize> =
+        transient.iter().enumerate().map(|(k, &s)| (s, k)).collect();
+    let m = transient.len();
+    let mut a = vec![vec![0.0; m]; m];
+    for (row, &s) in transient.iter().enumerate() {
+        let (cols, vals) = ctmc.generator().row(s);
+        for (c, v) in cols.iter().zip(vals) {
+            if let Some(&col) = index_of.get(&(*c as usize)) {
+                a[row][col] = *v;
+            }
+        }
+    }
+    let b = vec![-1.0; m];
+    let tau = dense_solve(a, b)?;
+    let mut full = vec![0.0; n];
+    for (k, &s) in transient.iter().enumerate() {
+        full[s] = tau[k];
+    }
+    Ok(AbsorptionAnalysis { mean_time_to_absorption: full, absorbing_states: absorbing })
+}
+
+/// Iterative (Gauss–Seidel) mean time to absorption for **large sparse**
+/// chains where the dense solve of [`mean_time_to_absorption`] is
+/// infeasible. `absorbing` marks the target states; transitions *out of*
+/// absorbing states are ignored, so any CTMC can be analyzed "as if" a
+/// state set were absorbing — which is how a repairable system model
+/// yields its MTTF (make every service-down state absorbing and measure
+/// the time to reach the set).
+///
+/// Solves `Q_TT · τ = -1` by Gauss–Seidel sweeps (the system is a
+/// nonsingular M-matrix when every transient state can reach the set).
+///
+/// # Errors
+///
+/// * [`MarkovError::Empty`] if no state is marked absorbing.
+/// * [`MarkovError::NotConverged`] if sweeps exhaust the budget (e.g. some
+///   transient state cannot reach the absorbing set, making the true value
+///   infinite).
+pub fn mean_time_to_absorption_iterative(
+    ctmc: &Ctmc,
+    absorbing: &[bool],
+    opts: &crate::solve::SolverOptions,
+) -> Result<Vec<f64>> {
+    let n = ctmc.num_states();
+    if absorbing.len() != n {
+        return Err(MarkovError::DimensionMismatch { expected: n, got: absorbing.len() });
+    }
+    if !absorbing.iter().any(|&a| a) {
+        return Err(MarkovError::Empty);
+    }
+    let q = ctmc.generator();
+    // Diagonal of each transient row (must be nonzero: a transient state
+    // with no outgoing rate can never be absorbed).
+    let mut diag = vec![0.0f64; n];
+    for i in 0..n {
+        if !absorbing[i] {
+            let d = q.get(i, i);
+            if d == 0.0 {
+                return Err(MarkovError::ZeroDiagonal { state: i });
+            }
+            diag[i] = d;
+        }
+    }
+    let mut tau = vec![0.0f64; n];
+    let mut last_delta = f64::INFINITY;
+    for it in 1..=opts.max_iterations {
+        let mut delta: f64 = 0.0;
+        for i in 0..n {
+            if absorbing[i] {
+                continue;
+            }
+            // Q_TT row i: τ_i = -(1 + Σ_{j≠i, j transient} q_ij τ_j) / q_ii.
+            let (cols, vals) = q.row(i);
+            let mut acc = 1.0; // the -(-1) right-hand side
+            for (c, v) in cols.iter().zip(vals) {
+                let j = *c as usize;
+                if j != i && !absorbing[j] {
+                    acc += v * tau[j];
+                }
+            }
+            let new = -acc / diag[i];
+            delta = delta.max((new - tau[i]).abs());
+            tau[i] = new;
+        }
+        last_delta = delta;
+        if it % opts.check_every == 0 {
+            let scale = tau.iter().cloned().fold(0.0, f64::max).max(1e-300);
+            if delta / scale <= opts.tolerance {
+                return Ok(tau);
+            }
+        }
+    }
+    let scale = tau.iter().cloned().fold(0.0, f64::max).max(1e-300);
+    if opts.accept_loose > 0.0 && last_delta / scale <= opts.accept_loose {
+        return Ok(tau);
+    }
+    Err(MarkovError::NotConverged {
+        method: crate::solve::Method::GaussSeidel,
+        iterations: opts.max_iterations,
+        residual: last_delta,
+    })
+}
+
+/// Probability of eventually being absorbed in each absorbing state, per
+/// starting transient state. Returns a row-major `transient × absorbing`
+/// matrix alongside the state index lists.
+pub fn absorption_probabilities(
+    ctmc: &Ctmc,
+) -> Result<(Vec<usize>, Vec<usize>, Vec<Vec<f64>>)> {
+    let n = ctmc.num_states();
+    let absorbing: Vec<usize> =
+        (0..n).filter(|&i| ctmc.exit_rates()[i] == 0.0).collect();
+    if absorbing.is_empty() {
+        return Err(MarkovError::Empty);
+    }
+    let transient: Vec<usize> =
+        (0..n).filter(|&i| ctmc.exit_rates()[i] != 0.0).collect();
+    let index_of: std::collections::HashMap<usize, usize> =
+        transient.iter().enumerate().map(|(k, &s)| (s, k)).collect();
+    let m = transient.len();
+    let mut probs = vec![vec![0.0; absorbing.len()]; m];
+    for (a_col, &a_state) in absorbing.iter().enumerate() {
+        // Solve Q_TT x = -R[:, a] where R is transient->absorbing rates.
+        let mut mat = vec![vec![0.0; m]; m];
+        let mut rhs = vec![0.0; m];
+        for (row, &s) in transient.iter().enumerate() {
+            let (cols, vals) = ctmc.generator().row(s);
+            for (c, v) in cols.iter().zip(vals) {
+                let j = *c as usize;
+                if let Some(&col) = index_of.get(&j) {
+                    mat[row][col] = *v;
+                } else if j == a_state {
+                    rhs[row] -= *v;
+                }
+            }
+        }
+        let x = dense_solve(mat, rhs)?;
+        for (row, xv) in x.iter().enumerate() {
+            probs[row][a_col] = *xv;
+        }
+    }
+    Ok((transient, absorbing, probs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    #[test]
+    fn single_exponential_stage() {
+        // 0 -> 1 at rate 2: MTTA from 0 is 0.5.
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 2.0);
+        let c = b.build().unwrap();
+        let a = mean_time_to_absorption(&c).unwrap();
+        assert_eq!(a.absorbing_states, vec![1]);
+        assert!((a.mean_time_to_absorption[0] - 0.5).abs() < 1e-12);
+        assert_eq!(a.mean_time_to_absorption[1], 0.0);
+    }
+
+    #[test]
+    fn erlang_two_stages() {
+        // 0 ->(r) 1 ->(r) 2: MTTA = 2/r.
+        let r = 4.0;
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, r);
+        b.rate(1, 2, r);
+        let c = b.build().unwrap();
+        let a = mean_time_to_absorption(&c).unwrap();
+        assert!((a.mean_time_to_absorption[0] - 2.0 / r).abs() < 1e-12);
+        assert!((a.mean_time_to_absorption[1] - 1.0 / r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repairable_system_mttf_with_repair() {
+        // Classic: up(0) -> down-absorbing via intermediate degraded(1) with
+        // repair. λ1: 0->1, μ: 1->0, λ2: 1->2(absorbing).
+        // MTTA(0) = (λ1 + λ2 + μ) / (λ1 λ2).
+        let (l1, l2, mu) = (0.01, 0.05, 1.0);
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, l1);
+        b.rate(1, 0, mu);
+        b.rate(1, 2, l2);
+        let c = b.build().unwrap();
+        let a = mean_time_to_absorption(&c).unwrap();
+        let expect = (l1 + l2 + mu) / (l1 * l2);
+        assert!(
+            (a.mean_time_to_absorption[0] - expect).abs() / expect < 1e-10,
+            "got {} expect {expect}",
+            a.mean_time_to_absorption[0]
+        );
+    }
+
+    #[test]
+    fn absorption_probabilities_split() {
+        // 0 -> 1 (rate 1), 0 -> 2 (rate 3): P(absorb in 1) = 1/4.
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0);
+        b.rate(0, 2, 3.0);
+        let c = b.build().unwrap();
+        let (transient, absorbing, probs) = absorption_probabilities(&c).unwrap();
+        assert_eq!(transient, vec![0]);
+        assert_eq!(absorbing, vec![1, 2]);
+        assert!((probs[0][0] - 0.25).abs() < 1e-12);
+        assert!((probs[0][1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iterative_matches_dense_on_erlang() {
+        let r = 4.0;
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, r);
+        b.rate(1, 2, r);
+        let c = b.build().unwrap();
+        let dense = mean_time_to_absorption(&c).unwrap();
+        let tau = mean_time_to_absorption_iterative(
+            &c,
+            &[false, false, true],
+            &crate::solve::SolverOptions::default(),
+        )
+        .unwrap();
+        for (a, b) in tau.iter().zip(&dense.mean_time_to_absorption) {
+            assert!((a - b).abs() < 1e-9, "{tau:?} vs dense");
+        }
+    }
+
+    #[test]
+    fn iterative_treats_marked_states_as_absorbing() {
+        // Repairable 2-state chain; mark "down" as absorbing -> MTTA from
+        // up = MTTF even though the chain itself has a repair transition.
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0 / 500.0);
+        b.rate(1, 0, 1.0 / 5.0);
+        let c = b.build().unwrap();
+        let tau = mean_time_to_absorption_iterative(
+            &c,
+            &[false, true],
+            &crate::solve::SolverOptions::default(),
+        )
+        .unwrap();
+        assert!((tau[0] - 500.0).abs() < 1e-6, "{tau:?}");
+        assert_eq!(tau[1], 0.0);
+    }
+
+    #[test]
+    fn iterative_mtta_with_repair_detour() {
+        // up(0) <-> degraded(1) -> failed(2). Same closed form as the dense
+        // test: MTTA(0) = (λ1+λ2+μ)/(λ1 λ2).
+        let (l1, l2, mu) = (0.01, 0.05, 1.0);
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, l1);
+        b.rate(1, 0, mu);
+        b.rate(1, 2, l2);
+        let c = b.build().unwrap();
+        let tau = mean_time_to_absorption_iterative(
+            &c,
+            &[false, false, true],
+            &crate::solve::SolverOptions::default(),
+        )
+        .unwrap();
+        let expect = (l1 + l2 + mu) / (l1 * l2);
+        assert!((tau[0] - expect).abs() / expect < 1e-8, "{} vs {expect}", tau[0]);
+    }
+
+    #[test]
+    fn iterative_rejects_empty_set_and_bad_len() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0);
+        b.rate(1, 0, 1.0);
+        let c = b.build().unwrap();
+        let opts = crate::solve::SolverOptions::default();
+        assert!(matches!(
+            mean_time_to_absorption_iterative(&c, &[false, false], &opts),
+            Err(MarkovError::Empty)
+        ));
+        assert!(matches!(
+            mean_time_to_absorption_iterative(&c, &[false], &opts),
+            Err(MarkovError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn no_absorbing_state_is_error() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0);
+        b.rate(1, 0, 1.0);
+        let c = b.build().unwrap();
+        assert!(matches!(mean_time_to_absorption(&c), Err(MarkovError::Empty)));
+    }
+
+    #[test]
+    fn unreachable_absorption_is_singular() {
+        // 0 <-> 1 closed class; 2 -> 3 absorbing; 0 cannot reach 3.
+        let mut b = CtmcBuilder::new(4);
+        b.rate(0, 1, 1.0);
+        b.rate(1, 0, 1.0);
+        b.rate(2, 3, 1.0);
+        let c = b.build().unwrap();
+        assert!(matches!(
+            mean_time_to_absorption(&c),
+            Err(MarkovError::Singular { .. })
+        ));
+    }
+}

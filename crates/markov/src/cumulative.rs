@@ -1,0 +1,161 @@
+//! Cumulative (integral) transient measures by uniformization.
+//!
+//! Steady-state availability tells you the long-run fraction of up time;
+//! SLAs are written over **finite windows** ("no more than X hours of
+//! downtime this year"). The relevant measure is the *expected interval
+//! availability* `(1/T)·E[∫₀ᵀ 1_up(u) du]`, obtained from the integral of
+//! the transient distribution:
+//!
+//! `∫₀ᵗ π(u) du = Σ_k c_k · π0 Pᵏ`, with
+//! `c_k = (1/Λ)(1 − Σ_{i≤k} pois(Λt; i))`
+//!
+//! — the same uniformized power sequence as the point transient, weighted
+//! by complementary Poisson CDF terms.
+
+use crate::ctmc::Ctmc;
+use crate::error::{MarkovError, Result};
+use crate::transient::poisson_weights;
+
+/// Expected accumulated reward `E[∫₀ᵗ r(X_u) du]` starting from `pi0`.
+///
+/// `reward[i]` is the reward rate in state `i`; with an indicator reward
+/// this is the expected total up time in `[0, t]`.
+///
+/// # Errors
+///
+/// Dimension mismatches and negative horizons, as
+/// [`crate::ctmc::Ctmc::transient`].
+pub fn cumulative_reward(ctmc: &Ctmc, pi0: &[f64], t: f64, reward: &[f64]) -> Result<f64> {
+    let n = ctmc.num_states();
+    if pi0.len() != n {
+        return Err(MarkovError::DimensionMismatch { expected: n, got: pi0.len() });
+    }
+    if reward.len() != n {
+        return Err(MarkovError::DimensionMismatch { expected: n, got: reward.len() });
+    }
+    if t < 0.0 {
+        return Err(MarkovError::NegativeTime(t));
+    }
+    if t == 0.0 {
+        return Ok(0.0);
+    }
+    let lambda = ctmc.uniformization_rate();
+    let p = ctmc.uniformized(lambda);
+    let weights = poisson_weights(lambda * t, 1e-13);
+    // c_k = (1/Λ)(1 − CDF_k). Accumulate the CDF as we walk k upward; the
+    // truncated tail beyond the last weight contributes c_k ≈ 0 ... except
+    // that 1 − CDF_k for k beyond the mass is ~0 by construction of the
+    // truncation (weights sum to 1).
+    let mut acc = 0.0;
+    let mut cdf = 0.0;
+    let mut cur = pi0.to_vec();
+    let mut next = vec![0.0; n];
+    let dot = |v: &[f64]| -> f64 { v.iter().zip(reward).map(|(a, b)| a * b).sum() };
+    for (k, w) in weights.iter().enumerate() {
+        if k > 0 {
+            p.vec_mul_into(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cdf += w;
+        let ck = (1.0 - cdf).max(0.0) / lambda;
+        if ck > 0.0 {
+            acc += ck * dot(&cur);
+        }
+    }
+    Ok(acc)
+}
+
+/// Expected interval availability over `[0, t]`: the fraction of the window
+/// spent in states where `up[i]` is true.
+pub fn interval_availability(
+    ctmc: &Ctmc,
+    pi0: &[f64],
+    t: f64,
+    up: impl Fn(usize) -> bool,
+) -> Result<f64> {
+    if t <= 0.0 {
+        return Err(MarkovError::NegativeTime(t));
+    }
+    let reward: Vec<f64> =
+        (0..ctmc.num_states()).map(|i| if up(i) { 1.0 } else { 0.0 }).collect();
+    Ok(cumulative_reward(ctmc, pi0, t, &reward)? / t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    fn repairable(lam: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, lam);
+        b.rate(1, 0, mu);
+        b.build().unwrap()
+    }
+
+    /// Closed form for the 2-state chain started up:
+    /// ∫₀ᵗ p_up(u) du = A·t + (1−A)(1 − e^{−(λ+μ)t})/(λ+μ).
+    fn closed_form_uptime(lam: f64, mu: f64, t: f64) -> f64 {
+        let a = mu / (lam + mu);
+        a * t + (1.0 - a) * (1.0 - (-(lam + mu) * t).exp()) / (lam + mu)
+    }
+
+    #[test]
+    fn cumulative_matches_closed_form() {
+        let (lam, mu) = (0.3, 1.7);
+        let c = repairable(lam, mu);
+        for t in [0.1, 1.0, 5.0, 50.0] {
+            let got = cumulative_reward(&c, &[1.0, 0.0], t, &[1.0, 0.0]).unwrap();
+            let expect = closed_form_uptime(lam, mu, t);
+            assert!(
+                (got - expect).abs() < 1e-8 * expect.max(1.0),
+                "t={t}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_availability_between_point_values() {
+        // Starting up, availability decays monotonically, so the interval
+        // average lies between A(t) and 1.
+        let c = repairable(0.1, 1.0);
+        let t = 5.0;
+        let ia = interval_availability(&c, &[1.0, 0.0], t, |i| i == 0).unwrap();
+        let point = c.transient(&[1.0, 0.0], t).unwrap()[0];
+        let steady = c.steady_state().unwrap()[0];
+        assert!(ia > point, "{ia} should exceed A(t)={point}");
+        assert!(ia < 1.0);
+        assert!(ia > steady);
+    }
+
+    #[test]
+    fn long_window_approaches_steady_state() {
+        let c = repairable(0.2, 0.8);
+        let ia = interval_availability(&c, &[1.0, 0.0], 1e5, |i| i == 0).unwrap();
+        let steady = c.steady_state().unwrap()[0];
+        assert!((ia - steady).abs() < 1e-4, "{ia} vs {steady}");
+    }
+
+    #[test]
+    fn zero_horizon_and_mismatch_rejected() {
+        let c = repairable(1.0, 1.0);
+        assert!(matches!(
+            interval_availability(&c, &[1.0, 0.0], 0.0, |_| true),
+            Err(MarkovError::NegativeTime(_))
+        ));
+        assert!(matches!(
+            cumulative_reward(&c, &[1.0], 1.0, &[1.0, 0.0]),
+            Err(MarkovError::DimensionMismatch { .. })
+        ));
+        assert_eq!(cumulative_reward(&c, &[1.0, 0.0], 0.0, &[1.0, 0.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cumulative_with_unit_reward_equals_t() {
+        // Reward 1 everywhere integrates to exactly t.
+        let c = repairable(0.5, 0.5);
+        let t = 7.3;
+        let got = cumulative_reward(&c, &[1.0, 0.0], t, &[1.0, 1.0]).unwrap();
+        assert!((got - t).abs() < 1e-8, "{got}");
+    }
+}

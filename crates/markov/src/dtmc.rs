@@ -1,0 +1,165 @@
+//! Discrete-time Markov chains.
+//!
+//! DTMCs appear in this workspace as uniformized CTMCs and as embedded
+//! jump chains; they are also useful on their own for modeling inspection
+//! cycles. The API mirrors [`crate::ctmc::Ctmc`].
+
+use crate::error::{MarkovError, Result};
+use crate::solve::{power_stationary, SolveStats, SolverOptions};
+use crate::sparse::{CooMatrix, CsrMatrix};
+
+/// Builder for a row-stochastic transition-probability matrix.
+#[derive(Debug, Clone)]
+pub struct DtmcBuilder {
+    n: usize,
+    coo: CooMatrix,
+}
+
+impl DtmcBuilder {
+    /// Creates a builder for `n` states.
+    pub fn new(n: usize) -> Self {
+        DtmcBuilder { n, coo: CooMatrix::new(n, n) }
+    }
+
+    /// Adds probability mass `p` to transition `from -> to` (accumulating).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or non-finite/negative probability.
+    pub fn prob(&mut self, from: usize, to: usize, p: f64) -> &mut Self {
+        assert!(p.is_finite() && p >= 0.0, "probability must be >= 0, got {p}");
+        if p > 0.0 {
+            self.coo.push(from, to, p);
+        }
+        self
+    }
+
+    /// Finalizes and validates row-stochasticity (each row sums to 1 within
+    /// `1e-9`; rows with no mass are rejected).
+    pub fn build(&self) -> Result<Dtmc> {
+        if self.n == 0 {
+            return Err(MarkovError::Empty);
+        }
+        let p = CsrMatrix::from_coo(&self.coo);
+        Dtmc::from_matrix(p)
+    }
+}
+
+/// A discrete-time Markov chain over a row-stochastic matrix.
+#[derive(Debug, Clone)]
+pub struct Dtmc {
+    p: CsrMatrix,
+}
+
+impl Dtmc {
+    /// Validates and wraps a transition matrix.
+    pub fn from_matrix(p: CsrMatrix) -> Result<Self> {
+        let n = p.nrows();
+        if n == 0 {
+            return Err(MarkovError::Empty);
+        }
+        if p.ncols() != n {
+            return Err(MarkovError::NotSquare { nrows: n, ncols: p.ncols() });
+        }
+        for i in 0..n {
+            let (_, vals) = p.row(i);
+            let sum: f64 = vals.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(MarkovError::NotStochastic { state: i, sum });
+            }
+            if vals.iter().any(|v| *v < 0.0) {
+                return Err(MarkovError::InvalidGenerator {
+                    state: i,
+                    detail: "negative probability".into(),
+                });
+            }
+        }
+        Ok(Dtmc { p })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.p.nrows()
+    }
+
+    /// Borrows the transition matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.p
+    }
+
+    /// Stationary distribution via power iteration.
+    pub fn stationary(&self, opts: &SolverOptions) -> Result<(Vec<f64>, SolveStats)> {
+        let n = self.num_states();
+        power_stationary(&self.p, &vec![1.0 / n as f64; n], opts)
+    }
+
+    /// Distribution after `k` steps from `pi0`.
+    pub fn step_n(&self, pi0: &[f64], k: usize) -> Result<Vec<f64>> {
+        let n = self.num_states();
+        if pi0.len() != n {
+            return Err(MarkovError::DimensionMismatch { expected: n, got: pi0.len() });
+        }
+        let mut cur = pi0.to_vec();
+        let mut next = vec![0.0; n];
+        for _ in 0..k {
+            self.p.vec_mul_into(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weather() -> Dtmc {
+        // Classic 2-state weather chain.
+        let mut b = DtmcBuilder::new(2);
+        b.prob(0, 0, 0.9).prob(0, 1, 0.1);
+        b.prob(1, 0, 0.5).prob(1, 1, 0.5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stationary_closed_form() {
+        let d = weather();
+        let (pi, _) = d.stationary(&SolverOptions::default()).unwrap();
+        // pi0 = 5/6, pi1 = 1/6.
+        assert!((pi[0] - 5.0 / 6.0).abs() < 1e-9);
+        assert!((pi[1] - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_n_approaches_stationary() {
+        let d = weather();
+        let pi100 = d.step_n(&[0.0, 1.0], 200).unwrap();
+        assert!((pi100[0] - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_step_is_matrix_row() {
+        let d = weather();
+        let pi1 = d.step_n(&[1.0, 0.0], 1).unwrap();
+        assert_eq!(pi1, vec![0.9, 0.1]);
+    }
+
+    #[test]
+    fn non_stochastic_rejected() {
+        let mut b = DtmcBuilder::new(2);
+        b.prob(0, 0, 0.7); // row 0 sums to 0.7
+        b.prob(1, 1, 1.0);
+        assert!(matches!(b.build(), Err(MarkovError::NotStochastic { state: 0, .. })));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(DtmcBuilder::new(0).build(), Err(MarkovError::Empty)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn negative_probability_panics() {
+        DtmcBuilder::new(1).prob(0, 0, -0.1);
+    }
+}

@@ -1,0 +1,595 @@
+//! Linear-system machinery behind the steady-state solvers.
+//!
+//! Steady-state analysis of a CTMC with infinitesimal generator `Q` solves
+//! `π Q = 0` subject to `Σ πᵢ = 1`. Working with the transpose turns this
+//! into the more familiar `Qᵀ πᵀ = 0`, a singular system whose one-dimensional
+//! null space is pinned down by the normalization constraint.
+//!
+//! Three families of methods are provided:
+//!
+//! * **Power method** on the uniformized DTMC `P = I + Q/Λ` — robust,
+//!   memory-light, geometric convergence governed by the subdominant
+//!   eigenvalue.
+//! * **Stationary iterations** (Jacobi, Gauss–Seidel, SOR) on `Qᵀ x = 0` —
+//!   usually far fewer iterations than power for stiff dependability models
+//!   (rates spanning `1/minutes` to `1/centuries`).
+//! * **Dense direct elimination** with partial pivoting for small chains —
+//!   used as ground truth in tests and for models below a few thousand
+//!   states.
+
+use crate::error::{MarkovError, Result};
+use crate::sparse::CsrMatrix;
+
+/// Convergence/iteration knobs shared by the iterative solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOptions {
+    /// Maximum number of sweeps before giving up.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the max-norm of successive-iterate deltas
+    /// (relative to the iterate's max entry).
+    pub tolerance: f64,
+    /// Relaxation factor for [`Method::Sor`]; ignored by other methods.
+    pub relaxation: f64,
+    /// Check convergence every `check_every` sweeps.
+    pub check_every: usize,
+    /// If the iteration budget runs out but the relative delta is already
+    /// below this looser threshold, accept the solution (the achieved
+    /// residual is reported in [`SolveStats`]) instead of failing. Stiff
+    /// nearly-decomposable dependability chains routinely converge to 1e-9
+    /// quickly and then crawl; demanding 1e-12 there is counterproductive.
+    /// Set to 0 to always fail on budget exhaustion. Note the criterion is
+    /// delta-based: for nearly-completely-decomposable chains the true
+    /// error can exceed the last delta, so results accepted this way carry
+    /// their achieved residual in [`SolveStats`] for the caller to judge.
+    pub accept_loose: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            max_iterations: 200_000,
+            tolerance: 1e-12,
+            relaxation: 1.0,
+            check_every: 8,
+            accept_loose: 1e-7,
+        }
+    }
+}
+
+/// Steady-state solution method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Method {
+    /// Power iteration on the uniformized chain.
+    Power,
+    /// Jacobi sweeps on `Qᵀx = 0`.
+    Jacobi,
+    /// Gauss–Seidel sweeps on `Qᵀx = 0` (default).
+    #[default]
+    GaussSeidel,
+    /// Successive over-relaxation with [`SolverOptions::relaxation`].
+    Sor,
+    /// Dense LU-style elimination; exact up to rounding, `O(n³)`.
+    Direct,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Method::Power => "power",
+            Method::Jacobi => "jacobi",
+            Method::GaussSeidel => "gauss-seidel",
+            Method::Sor => "sor",
+            Method::Direct => "direct",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Outcome of an iterative solve: the solution plus convergence diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Number of sweeps/iterations performed.
+    pub iterations: usize,
+    /// Final residual estimate (max-norm of the last delta, or of `xQᵀ` for
+    /// the direct method).
+    pub residual: f64,
+    /// Method that produced the solution.
+    pub method: Method,
+}
+
+/// Normalizes `x` to sum to one (in place). Returns the pre-normalization sum.
+pub(crate) fn normalize(x: &mut [f64]) -> f64 {
+    let sum: f64 = x.iter().sum();
+    if sum != 0.0 {
+        for v in x.iter_mut() {
+            *v /= sum;
+        }
+    }
+    sum
+}
+
+/// Cleans a converged stationary vector: clamps noise-level negative
+/// entries (iterative solvers converge within a tolerance, so entries whose
+/// true value is ~0 can come out at `-ε`) to zero and renormalizes.
+/// Entries more negative than `floor` indicate the solve actually failed
+/// and are reported via the returned flag.
+pub(crate) fn sanitize_distribution(x: &mut [f64], floor: f64) -> bool {
+    let scale = x.iter().cloned().fold(0.0, f64::max).max(1e-300);
+    let mut ok = true;
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            if *v < -floor * scale {
+                ok = false;
+            }
+            *v = 0.0;
+        }
+    }
+    normalize(x);
+    ok
+}
+
+fn max_abs_delta(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Power iteration for `π = π P` on a stochastic matrix `P` (rows sum to 1).
+///
+/// `pi0` seeds the iteration; it is normalized internally.
+pub fn power_stationary(
+    p: &CsrMatrix,
+    pi0: &[f64],
+    opts: &SolverOptions,
+) -> Result<(Vec<f64>, SolveStats)> {
+    let n = p.nrows();
+    if p.ncols() != n {
+        return Err(MarkovError::NotSquare { nrows: n, ncols: p.ncols() });
+    }
+    if pi0.len() != n {
+        return Err(MarkovError::DimensionMismatch { expected: n, got: pi0.len() });
+    }
+    let mut x = pi0.to_vec();
+    normalize(&mut x);
+    let mut y = vec![0.0; n];
+    let mut last_delta = f64::INFINITY;
+    for it in 1..=opts.max_iterations {
+        p.vec_mul_into(&x, &mut y);
+        normalize(&mut y);
+        if it % opts.check_every == 0 || it == opts.max_iterations {
+            last_delta = max_abs_delta(&x, &y);
+            let scale = y.iter().cloned().fold(0.0, f64::max).max(1e-300);
+            if last_delta / scale <= opts.tolerance {
+                std::mem::swap(&mut x, &mut y);
+                if !sanitize_distribution(&mut x, 1e-6) {
+                    return Err(MarkovError::NotConverged {
+                        method: Method::Power,
+                        iterations: it,
+                        residual: last_delta,
+                    });
+                }
+                return Ok((x, SolveStats { iterations: it, residual: last_delta, method: Method::Power }));
+            }
+        }
+        std::mem::swap(&mut x, &mut y);
+    }
+    let scale = x.iter().cloned().fold(0.0, f64::max).max(1e-300);
+    if opts.accept_loose > 0.0
+        && last_delta / scale <= opts.accept_loose
+        && sanitize_distribution(&mut x, 1e-6)
+    {
+        return Ok((
+            x,
+            SolveStats {
+                iterations: opts.max_iterations,
+                residual: last_delta,
+                method: Method::Power,
+            },
+        ));
+    }
+    Err(MarkovError::NotConverged {
+        method: Method::Power,
+        iterations: opts.max_iterations,
+        residual: last_delta,
+    })
+}
+
+/// Gauss–Seidel / SOR / Jacobi sweeps solving `A x = 0`, `Σx = 1` where `A`
+/// is expected to be `Qᵀ` of an irreducible generator (strictly negative
+/// diagonal, non-negative off-diagonals, columns of `Q` summing to zero).
+pub fn stationary_iteration(
+    a: &CsrMatrix,
+    x0: &[f64],
+    method: Method,
+    opts: &SolverOptions,
+) -> Result<(Vec<f64>, SolveStats)> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(MarkovError::NotSquare { nrows: n, ncols: a.ncols() });
+    }
+    if x0.len() != n {
+        return Err(MarkovError::DimensionMismatch { expected: n, got: x0.len() });
+    }
+    let omega = match method {
+        Method::Jacobi => 1.0,
+        Method::GaussSeidel => 1.0,
+        Method::Sor => {
+            if !(0.0 < opts.relaxation && opts.relaxation < 2.0) {
+                return Err(MarkovError::BadRelaxation(opts.relaxation));
+            }
+            opts.relaxation
+        }
+        other => {
+            return Err(MarkovError::UnsupportedMethod {
+                method: other,
+                context: "stationary_iteration",
+            })
+        }
+    };
+    // Pre-extract diagonal; a zero diagonal entry means an absorbing state,
+    // which has no unique normalized stationary vector under this solver.
+    let mut diag = vec![0.0; n];
+    for i in 0..n {
+        let d = a.get(i, i);
+        if d == 0.0 {
+            return Err(MarkovError::ZeroDiagonal { state: i });
+        }
+        diag[i] = d;
+    }
+    let mut x = x0.to_vec();
+    normalize(&mut x);
+    let jacobi = matches!(method, Method::Jacobi);
+    let mut prev = vec![0.0; n];
+    let mut last_delta = f64::INFINITY;
+    for it in 1..=opts.max_iterations {
+        prev.copy_from_slice(&x);
+        if jacobi {
+            // Damped Jacobi: x_i <- (1-d)·prev_i + d·(-(Σ_{j≠i} a_ij prev_j)/a_ii).
+            // Undamped Jacobi has iteration-matrix eigenvalues on the unit
+            // circle for singular M-matrix systems (e.g. two-state chains
+            // oscillate with period 2); damping pulls them strictly inside.
+            const JACOBI_DAMPING: f64 = 0.75;
+            for i in 0..n {
+                let (cols, vals) = a.row(i);
+                let mut acc = 0.0;
+                for (c, v) in cols.iter().zip(vals) {
+                    let j = *c as usize;
+                    if j != i {
+                        acc += v * prev[j];
+                    }
+                }
+                x[i] = (1.0 - JACOBI_DAMPING) * prev[i] + JACOBI_DAMPING * (-acc / diag[i]);
+            }
+        } else {
+            for i in 0..n {
+                let (cols, vals) = a.row(i);
+                let mut acc = 0.0;
+                for (c, v) in cols.iter().zip(vals) {
+                    let j = *c as usize;
+                    if j != i {
+                        acc += v * x[j];
+                    }
+                }
+                let gs = -acc / diag[i];
+                x[i] = (1.0 - omega) * x[i] + omega * gs;
+            }
+        }
+        normalize(&mut x);
+        if it % opts.check_every == 0 || it == opts.max_iterations {
+            last_delta = max_abs_delta(&prev, &x);
+            let scale = x.iter().cloned().fold(0.0, f64::max).max(1e-300);
+            if last_delta / scale <= opts.tolerance {
+                if !sanitize_distribution(&mut x, 1e-6) {
+                    return Err(MarkovError::NotConverged {
+                        method,
+                        iterations: it,
+                        residual: last_delta,
+                    });
+                }
+                return Ok((x, SolveStats { iterations: it, residual: last_delta, method }));
+            }
+        }
+    }
+    let scale = x.iter().cloned().fold(0.0, f64::max).max(1e-300);
+    if opts.accept_loose > 0.0
+        && last_delta / scale <= opts.accept_loose
+        && sanitize_distribution(&mut x, 1e-6)
+    {
+        return Ok((
+            x,
+            SolveStats { iterations: opts.max_iterations, residual: last_delta, method },
+        ));
+    }
+    Err(MarkovError::NotConverged {
+        method,
+        iterations: opts.max_iterations,
+        residual: last_delta,
+    })
+}
+
+/// Dense direct solve of `π Q = 0`, `Σπ = 1` by Gaussian elimination with
+/// partial pivoting, replacing the last column of `Qᵀ` equations with the
+/// normalization row.
+///
+/// # Errors
+///
+/// Fails with [`MarkovError::Singular`] if the pivot falls below machine
+/// tolerance — in practice this means `Q` was reducible (several closed
+/// communicating classes), so no unique stationary distribution exists.
+pub fn direct_stationary(q: &CsrMatrix) -> Result<(Vec<f64>, SolveStats)> {
+    let n = q.nrows();
+    if q.ncols() != n {
+        return Err(MarkovError::NotSquare { nrows: n, ncols: q.ncols() });
+    }
+    if n == 0 {
+        return Err(MarkovError::Empty);
+    }
+    // Build dense Qᵀ with the last equation replaced by Σπ = 1.
+    let mut a = vec![vec![0.0f64; n]; n];
+    for (i, j, v) in q.iter() {
+        a[j][i] = v; // transpose
+    }
+    let mut b = vec![0.0f64; n];
+    for j in 0..n {
+        a[n - 1][j] = 1.0;
+    }
+    b[n - 1] = 1.0;
+
+    // Gaussian elimination with partial pivoting.
+    let scale: f64 = a
+        .iter()
+        .flat_map(|r| r.iter().map(|v| v.abs()))
+        .fold(0.0, f64::max)
+        .max(1.0);
+    for col in 0..n {
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, a[r][col].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty range");
+        if pivot_val <= f64::EPSILON * scale * n as f64 {
+            return Err(MarkovError::Singular { pivot: col });
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        for r in (col + 1)..n {
+            let f = a[r][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r][c] -= f * a[col][c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = b[i];
+        for j in (i + 1)..n {
+            acc -= a[i][j] * x[j];
+        }
+        x[i] = acc / a[i][i];
+    }
+    // Clamp tiny negatives produced by rounding, then renormalize; a large
+    // negative means the elimination went numerically wrong.
+    if !sanitize_distribution(&mut x, 1e-6) {
+        return Err(MarkovError::Singular { pivot: n - 1 });
+    }
+    // Residual: max |(xQ)_j|.
+    let residual = q.vec_mul(&x).iter().map(|v| v.abs()).fold(0.0, f64::max);
+    Ok((x, SolveStats { iterations: 1, residual, method: Method::Direct }))
+}
+
+/// Solves the dense linear system `A x = b` by Gaussian elimination with
+/// partial pivoting. Consumed by absorbing-chain analysis.
+pub fn dense_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = a.len();
+    if n == 0 {
+        return Err(MarkovError::Empty);
+    }
+    for row in &a {
+        if row.len() != n {
+            return Err(MarkovError::NotSquare { nrows: n, ncols: row.len() });
+        }
+    }
+    if b.len() != n {
+        return Err(MarkovError::DimensionMismatch { expected: n, got: b.len() });
+    }
+    let scale: f64 = a
+        .iter()
+        .flat_map(|r| r.iter().map(|v| v.abs()))
+        .fold(0.0, f64::max)
+        .max(1.0);
+    for col in 0..n {
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, a[r][col].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty range");
+        if pivot_val <= f64::EPSILON * scale * n as f64 {
+            return Err(MarkovError::Singular { pivot: col });
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        for r in (col + 1)..n {
+            let f = a[r][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r][c] -= f * a[col][c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = b[i];
+        for j in (i + 1)..n {
+            acc -= a[i][j] * x[j];
+        }
+        x[i] = acc / a[i][i];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CooMatrix;
+
+    /// Two-state birth–death generator with rates λ (0→1) and μ (1→0).
+    fn two_state(lambda: f64, mu: f64) -> CsrMatrix {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, -lambda);
+        coo.push(0, 1, lambda);
+        coo.push(1, 0, mu);
+        coo.push(1, 1, -mu);
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn direct_two_state_closed_form() {
+        let q = two_state(2.0, 3.0);
+        let (pi, stats) = direct_stationary(&q).unwrap();
+        assert!((pi[0] - 0.6).abs() < 1e-12, "pi={pi:?}");
+        assert!((pi[1] - 0.4).abs() < 1e-12);
+        assert!(stats.residual < 1e-12);
+    }
+
+    #[test]
+    fn gauss_seidel_matches_direct() {
+        let q = two_state(0.001, 1.0); // stiff
+        let qt = q.transpose();
+        let (pi, _) = stationary_iteration(
+            &qt,
+            &[0.5, 0.5],
+            Method::GaussSeidel,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        let (exact, _) = direct_stationary(&q).unwrap();
+        for (a, b) in pi.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-9, "{pi:?} vs {exact:?}");
+        }
+    }
+
+    #[test]
+    fn jacobi_and_sor_match_direct() {
+        let q = two_state(5.0, 7.0);
+        let qt = q.transpose();
+        let (exact, _) = direct_stationary(&q).unwrap();
+        for method in [Method::Jacobi, Method::Sor] {
+            let opts = SolverOptions { relaxation: 1.1, ..Default::default() };
+            let (pi, stats) = stationary_iteration(&qt, &[1.0, 0.0], method, &opts).unwrap();
+            for (a, b) in pi.iter().zip(&exact) {
+                assert!((a - b).abs() < 1e-9, "method {method:?}: {pi:?} vs {exact:?}");
+            }
+            assert!(stats.iterations > 0);
+        }
+    }
+
+    #[test]
+    fn power_on_uniformized_chain() {
+        let q = two_state(1.0, 4.0);
+        // P = I + Q/Λ with Λ = 5.
+        let mut p = q.clone();
+        p.scale(1.0 / 5.0);
+        let mut coo = CooMatrix::new(2, 2);
+        for (i, j, v) in p.iter() {
+            coo.push(i, j, v);
+        }
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        let p = CsrMatrix::from_coo(&coo);
+        let (pi, _) =
+            power_stationary(&p, &[1.0, 0.0], &SolverOptions::default()).unwrap();
+        assert!((pi[0] - 0.8).abs() < 1e-9, "pi={pi:?}");
+        assert!((pi[1] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direct_detects_reducible_chain() {
+        // Two disconnected absorbing states: no unique stationary vector.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 0.0);
+        coo.push(1, 1, 0.0);
+        let q = CsrMatrix::from_coo(&coo);
+        assert!(matches!(direct_stationary(&q), Err(MarkovError::Singular { .. })));
+    }
+
+    #[test]
+    fn iteration_rejects_absorbing_state() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, -1.0);
+        coo.push(0, 1, 1.0);
+        // state 1 absorbing -> zero diagonal in Qᵀ row 1? Qᵀ[1][1] = Q[1][1] = 0.
+        let q = CsrMatrix::from_coo(&coo);
+        let qt = q.transpose();
+        let err = stationary_iteration(
+            &qt,
+            &[0.5, 0.5],
+            Method::GaussSeidel,
+            &SolverOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MarkovError::ZeroDiagonal { state: 1 }));
+    }
+
+    #[test]
+    fn sor_rejects_bad_relaxation() {
+        let q = two_state(1.0, 1.0);
+        let qt = q.transpose();
+        let opts = SolverOptions { relaxation: 2.5, ..Default::default() };
+        let err =
+            stationary_iteration(&qt, &[0.5, 0.5], Method::Sor, &opts).unwrap_err();
+        assert!(matches!(err, MarkovError::BadRelaxation(_)));
+    }
+
+    #[test]
+    fn dense_solve_simple() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![3.0, 5.0];
+        let x = dense_solve(a, b).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_state_birth_death_all_methods_agree() {
+        // Birth-death chain with distinct rates; closed form via detailed balance.
+        let n = 5;
+        let birth = [1.0, 2.0, 3.0, 4.0];
+        let death = [5.0, 4.0, 3.0, 2.0];
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push(i, i + 1, birth[i]);
+            coo.push(i + 1, i, death[i]);
+        }
+        for i in 0..n {
+            let mut out = 0.0;
+            if i < n - 1 {
+                out += birth[i];
+            }
+            if i > 0 {
+                out += death[i - 1];
+            }
+            coo.push(i, i, -out);
+        }
+        let q = CsrMatrix::from_coo(&coo);
+        let mut expect = vec![1.0; n];
+        for i in 1..n {
+            expect[i] = expect[i - 1] * birth[i - 1] / death[i - 1];
+        }
+        normalize(&mut expect);
+        let (exact, _) = direct_stationary(&q).unwrap();
+        for (a, b) in exact.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let qt = q.transpose();
+        for m in [Method::Jacobi, Method::GaussSeidel, Method::Sor] {
+            let opts = SolverOptions { relaxation: 1.2, ..Default::default() };
+            let (pi, _) = stationary_iteration(&qt, &vec![1.0; n], m, &opts).unwrap();
+            for (a, b) in pi.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-8, "method {m:?}");
+            }
+        }
+    }
+}

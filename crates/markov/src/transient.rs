@@ -1,0 +1,164 @@
+//! Poisson probability weights for uniformization (Jensen's method).
+//!
+//! Transient CTMC solutions take the form
+//! `π(t) = Σ_{k≥0} e^{-Λt} (Λt)^k / k! · π0 Pᵏ`. The weights are Poisson
+//! probabilities with mean `m = Λt`; computing them naively overflows for
+//! `m` beyond a few hundred, so we follow the spirit of the Fox–Glynn
+//! algorithm: start at the mode, recur outwards in scaled space, and
+//! truncate both tails at a requested mass `ε`.
+
+/// Computes truncated Poisson(m) weights `w[k]` for `k = 0..=right`, where
+/// weights below the truncation threshold on both tails are returned as zero.
+/// The returned vector always starts at `k = 0` for caller convenience
+/// (left-truncated entries are zeros), and sums to 1 within `epsilon`.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or not finite, or `epsilon` not in `(0, 1)`.
+pub fn poisson_weights(mean: f64, epsilon: f64) -> Vec<f64> {
+    assert!(mean.is_finite() && mean >= 0.0, "mean must be finite and >= 0, got {mean}");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1), got {epsilon}");
+    if mean == 0.0 {
+        return vec![1.0];
+    }
+    // Work in log space around the mode to avoid overflow/underflow.
+    let mode = mean.floor() as usize;
+    let ln_mean = mean.ln();
+    // log Poisson pmf at k, via Stirling-free recurrence from the mode.
+    // ln p(k) = -m + k ln m - ln k!
+    let ln_p_mode = -mean + (mode as f64) * ln_mean - ln_factorial(mode);
+
+    // Expand right tail until cumulative (relative) mass is negligible.
+    let mut ln_terms: Vec<(usize, f64)> = vec![(mode, ln_p_mode)];
+    let mut ln_pk = ln_p_mode;
+    let mut k = mode;
+    // Right tail: p(k+1) = p(k) * m/(k+1).
+    loop {
+        k += 1;
+        ln_pk += ln_mean - (k as f64).ln();
+        ln_terms.push((k, ln_pk));
+        if ln_pk < ln_p_mode + (epsilon / 2.0).ln() - (k as f64 - mean).abs().max(1.0).ln() {
+            // Heuristic cutoff; verified by renormalization below.
+            if (k as f64) > mean + 8.0 * mean.sqrt().max(4.0) {
+                break;
+            }
+        }
+        if k > mode + 10_000_000 {
+            break; // hard safety bound
+        }
+    }
+    // Left tail: p(k-1) = p(k) * k/m.
+    let mut ln_pk = ln_p_mode;
+    let mut k = mode;
+    while k > 0 {
+        ln_pk += (k as f64).ln() - ln_mean;
+        k -= 1;
+        ln_terms.push((k, ln_pk));
+        if (k as f64) < mean - 8.0 * mean.sqrt().max(4.0) {
+            break;
+        }
+    }
+    let right = ln_terms.iter().map(|&(k, _)| k).max().unwrap_or(0);
+    let mut w = vec![0.0; right + 1];
+    // Shift by max log for numerical stability, then normalize exactly.
+    let max_ln = ln_terms.iter().map(|&(_, l)| l).fold(f64::NEG_INFINITY, f64::max);
+    for &(k, l) in &ln_terms {
+        w[k] = (l - max_ln).exp();
+    }
+    let total: f64 = w.iter().sum();
+    for v in &mut w {
+        *v /= total;
+    }
+    w
+}
+
+/// Natural log of `k!` via `lgamma`-style Lanczos-free summation (exact
+/// summation for small `k`, Stirling series beyond).
+pub fn ln_factorial(k: usize) -> f64 {
+    if k < 2 {
+        return 0.0;
+    }
+    if k <= 256 {
+        (2..=k).map(|i| (i as f64).ln()).sum()
+    } else {
+        // Stirling with correction terms; error < 1e-12 for k > 256.
+        let x = k as f64;
+        x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+            - 1.0 / (360.0 * x * x * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mean_is_point_mass() {
+        assert_eq!(poisson_weights(0.0, 1e-12), vec![1.0]);
+    }
+
+    #[test]
+    fn small_mean_matches_direct_pmf() {
+        let m = 2.5;
+        let w = poisson_weights(m, 1e-14);
+        for (k, wk) in w.iter().enumerate().take(12) {
+            let direct = (-m + (k as f64) * m.ln() - ln_factorial(k)).exp();
+            assert!((wk - direct).abs() < 1e-10, "k={k}: {wk} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for m in [0.1, 1.0, 17.3, 400.0, 12345.6] {
+            let w = poisson_weights(m, 1e-12);
+            let s: f64 = w.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "mean {m}: sum {s}");
+        }
+    }
+
+    #[test]
+    fn large_mean_does_not_overflow() {
+        let w = poisson_weights(1e6, 1e-10);
+        let s: f64 = w.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        // Mass should be centred near the mean.
+        let mean_est: f64 = w.iter().enumerate().map(|(k, v)| k as f64 * v).sum();
+        assert!((mean_est - 1e6).abs() < 1e4 * 0.5);
+    }
+
+    #[test]
+    fn mode_carries_most_mass_nearby() {
+        let m = 50.0;
+        let w = poisson_weights(m, 1e-12);
+        let argmax = w
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, _)| k)
+            .unwrap();
+        assert!((argmax as f64 - m).abs() <= 1.0);
+    }
+
+    #[test]
+    fn ln_factorial_agrees_with_exact() {
+        // 20! = 2432902008176640000
+        let exact = (2432902008176640000.0f64).ln();
+        assert!((ln_factorial(20) - exact).abs() < 1e-9);
+        // Stirling branch continuity at the switch point.
+        let a = ln_factorial(256);
+        let b = ln_factorial(257);
+        assert!((b - a - 257f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean")]
+    fn negative_mean_panics() {
+        poisson_weights(-1.0, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn bad_epsilon_panics() {
+        poisson_weights(1.0, 1.5);
+    }
+}

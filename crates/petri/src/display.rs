@@ -1,0 +1,145 @@
+//! Paper-style textual rendering of nets.
+//!
+//! `describe_models` (in `dtc-bench`) uses these helpers to regenerate the
+//! DSN'13 paper's model-definition tables (Tables I–V) directly from the
+//! constructed nets, so the printed attributes are guaranteed to match what
+//! the analysis actually runs.
+
+use crate::model::{PetriNet, TransitionKind};
+use std::fmt;
+
+/// Wrapper that renders a net as a readable structural summary.
+pub struct NetDisplay<'a> {
+    net: &'a PetriNet,
+}
+
+impl<'a> NetDisplay<'a> {
+    /// Creates the display adapter.
+    pub fn new(net: &'a PetriNet) -> Self {
+        NetDisplay { net }
+    }
+}
+
+impl fmt::Display for NetDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let net = self.net;
+        writeln!(
+            f,
+            "net: {} places, {} transitions",
+            net.num_places(),
+            net.num_transitions()
+        )?;
+        writeln!(f, "places (initial marking):")?;
+        let m0 = net.initial_marking();
+        for p in net.places() {
+            writeln!(f, "  {:<24} {}", net.place_name(p), m0[p.index()])?;
+        }
+        writeln!(f, "transitions:")?;
+        writeln!(
+            f,
+            "  {:<16} {:<10} {:>12} {:<8} {:<6} {}",
+            "name", "type", "delay/weight", "markup", "conc.", "arcs / guard"
+        )?;
+        for (_, tr) in net.transitions() {
+            let (ty, value, markup, conc) = match tr.kind {
+                TransitionKind::Timed { rate, semantics } => {
+                    ("exp", format!("{:.6}", 1.0 / rate), "constant", semantics.to_string())
+                }
+                TransitionKind::Immediate { weight, priority } => (
+                    "imm",
+                    format!("w={weight}"),
+                    "-",
+                    format!("pri={priority}"),
+                ),
+            };
+            let ins: Vec<String> = tr
+                .inputs
+                .iter()
+                .map(|(p, n)| arc_str(net.place_name(*p), *n))
+                .collect();
+            let outs: Vec<String> = tr
+                .outputs
+                .iter()
+                .map(|(p, n)| arc_str(net.place_name(*p), *n))
+                .collect();
+            let inh: Vec<String> = tr
+                .inhibitors
+                .iter()
+                .map(|(p, n)| format!("o{}<{n}", net.place_name(*p)))
+                .collect();
+            write!(
+                f,
+                "  {:<16} {:<10} {:>12} {:<8} {:<6} {} -> {}",
+                tr.name,
+                ty,
+                value,
+                markup,
+                conc,
+                ins.join("+"),
+                outs.join("+")
+            )?;
+            if !inh.is_empty() {
+                write!(f, " [{}]", inh.join(","))?;
+            }
+            let guard = net.display_expr(&tr.guard).to_string();
+            if guard != "TRUE" {
+                write!(f, " if {guard}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn arc_str(name: &str, n: u32) -> String {
+    if n == 1 {
+        name.to_string()
+    } else {
+        format!("{n}x{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::IntExpr;
+    use crate::model::{PetriNetBuilder, ServerSemantics};
+
+    #[test]
+    fn renders_paper_style_summary() {
+        let mut b = PetriNetBuilder::new();
+        let on = b.place("X_ON", 1);
+        let off = b.place("X_OFF", 0);
+        b.timed_delay("X_Failure", 4000.0, ServerSemantics::Single)
+            .input(on)
+            .output(off)
+            .done();
+        b.timed_delay("X_Repair", 1.0, ServerSemantics::Single)
+            .input(off)
+            .output(on)
+            .guard(IntExpr::tokens(on).eq(0))
+            .done();
+        let net = b.build().unwrap();
+        let s = NetDisplay::new(&net).to_string();
+        assert!(s.contains("X_Failure"));
+        assert!(s.contains("exp"));
+        assert!(s.contains("ss"));
+        assert!(s.contains("4000"));
+        assert!(s.contains("if ((#X_ON=0))") || s.contains("if (#X_ON=0)"), "{s}");
+    }
+
+    #[test]
+    fn renders_immediate_and_inhibitor() {
+        let mut b = PetriNetBuilder::new();
+        let p = b.place("P", 1);
+        let q = b.place("Q", 0);
+        b.immediate_weighted("IMM", 2.0, 1).input_n(p, 2).output(q).inhibitor(q, 3).done();
+        let net = b.build().unwrap();
+        let s = NetDisplay::new(&net).to_string();
+        assert!(s.contains("imm"));
+        assert!(s.contains("w=2"));
+        assert!(s.contains("pri=1"));
+        assert!(s.contains("2xP"));
+        assert!(s.contains("oQ<3"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Graphviz DOT export of nets — renders the paper's Figures 2–6 from the
+//! constructed models (`dot -Tpdf` turns the output into diagrams).
+
+use crate::model::{PetriNet, TransitionKind};
+use std::fmt::Write as _;
+
+/// Renders `net` as a Graphviz digraph.
+///
+/// Places are circles annotated with their initial token count, timed
+/// transitions are open boxes labeled with their mean delay, immediate
+/// transitions are filled bars, inhibitor arcs end in `odot` heads, and
+/// non-trivial guards appear as dashed label notes.
+pub fn to_dot(net: &PetriNet) -> String {
+    let mut out = String::new();
+    out.push_str("digraph petri {\n  rankdir=LR;\n  node [fontsize=10];\n");
+    for p in net.places() {
+        let tokens = net.initial_marking()[p.index()];
+        let label = if tokens > 0 {
+            format!("{}\\n({tokens})", net.place_name(p))
+        } else {
+            net.place_name(p).to_string()
+        };
+        let _ = writeln!(
+            out,
+            "  \"P_{}\" [shape=circle, label=\"{label}\"];",
+            net.place_name(p)
+        );
+    }
+    for (_, tr) in net.transitions() {
+        match tr.kind {
+            TransitionKind::Timed { rate, .. } => {
+                let _ = writeln!(
+                    out,
+                    "  \"T_{}\" [shape=box, label=\"{}\\n{:.4}\"];",
+                    tr.name,
+                    tr.name,
+                    1.0 / rate
+                );
+            }
+            TransitionKind::Immediate { weight, priority } => {
+                let _ = writeln!(
+                    out,
+                    "  \"T_{}\" [shape=box, style=filled, fillcolor=black, fontcolor=white, \
+                     height=0.1, label=\"{}\\nw={weight} pri={priority}\"];",
+                    tr.name, tr.name
+                );
+            }
+        }
+        for (p, w) in &tr.inputs {
+            let attr = if *w > 1 { format!(" [label=\"{w}\"]") } else { String::new() };
+            let _ = writeln!(
+                out,
+                "  \"P_{}\" -> \"T_{}\"{attr};",
+                net.place_name(*p),
+                tr.name
+            );
+        }
+        for (p, w) in &tr.outputs {
+            let attr = if *w > 1 { format!(" [label=\"{w}\"]") } else { String::new() };
+            let _ = writeln!(
+                out,
+                "  \"T_{}\" -> \"P_{}\"{attr};",
+                tr.name,
+                net.place_name(*p)
+            );
+        }
+        for (p, w) in &tr.inhibitors {
+            let _ = writeln!(
+                out,
+                "  \"P_{}\" -> \"T_{}\" [arrowhead=odot, label=\"<{w}\"];",
+                net.place_name(*p),
+                tr.name
+            );
+        }
+        let guard = net.display_expr(&tr.guard).to_string();
+        if guard != "TRUE" {
+            let escaped = guard.replace('"', "\\\"");
+            let _ = writeln!(
+                out,
+                "  \"G_{}\" [shape=note, fontsize=8, style=dashed, label=\"{escaped}\"];\n  \
+                 \"G_{}\" -> \"T_{}\" [style=dashed, arrowhead=none];",
+                tr.name, tr.name, tr.name
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::IntExpr;
+    use crate::model::{PetriNetBuilder, ServerSemantics};
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut b = PetriNetBuilder::new();
+        let on = b.place("X_ON", 1);
+        let off = b.place("X_OFF", 0);
+        let gate = b.place("GATE", 0);
+        b.timed_delay("X_Failure", 1000.0, ServerSemantics::Single)
+            .input(on)
+            .output(off)
+            .done();
+        b.immediate_weighted("FLUSH", 2.0, 1)
+            .input_n(off, 2)
+            .output(on)
+            .inhibitor(gate, 3)
+            .guard(IntExpr::tokens(gate).eq(0))
+            .done();
+        let net = b.build().unwrap();
+        let dot = to_dot(&net);
+        assert!(dot.starts_with("digraph petri {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("\"P_X_ON\" [shape=circle, label=\"X_ON\\n(1)\"]"));
+        assert!(dot.contains("\"T_X_Failure\" [shape=box"));
+        assert!(dot.contains("1000.0000"));
+        assert!(dot.contains("fillcolor=black"));
+        assert!(dot.contains("w=2 pri=1"));
+        assert!(dot.contains("[label=\"2\"]"), "arc multiplicity shown");
+        assert!(dot.contains("arrowhead=odot"));
+        assert!(dot.contains("shape=note"), "guard note present");
+        assert!(dot.contains("(#GATE=0)"));
+    }
+
+    #[test]
+    fn dot_is_balanced() {
+        let mut b = PetriNetBuilder::new();
+        let p = b.place("P", 1);
+        b.timed("T", 1.0, ServerSemantics::Single).input(p).output(p).done();
+        let net = b.build().unwrap();
+        let dot = to_dot(&net);
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type for net construction and analysis.
+
+use std::fmt;
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, PetriError>;
+
+/// Errors arising while building or analyzing a net.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PetriError {
+    /// The net has no places.
+    EmptyNet,
+    /// Two places or two transitions share a name.
+    DuplicateName {
+        /// `"place"` or `"transition"`.
+        kind: &'static str,
+        /// The offending name.
+        name: String,
+    },
+    /// Reachability exploration exceeded the configured state bound.
+    StateSpaceExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A cycle of immediate firings was found: the net can fire immediates
+    /// forever without time advancing (a modeling bug).
+    VanishingLoop {
+        /// A marking on the cycle, rendered as `place=tokens` pairs.
+        witness: String,
+    },
+    /// A vanishing resolution chain exceeded the depth bound — almost always
+    /// a sign of an unbounded immediate cascade.
+    VanishingDepthExceeded {
+        /// The configured depth bound.
+        limit: usize,
+    },
+    /// The initial marking is a deadlock with no timed behavior at all.
+    DeadInitialMarking,
+    /// The tangible reachability graph is empty (the net never leaves
+    /// vanishing markings).
+    NoTangibleStates,
+    /// An error bubbled up from the CTMC solver.
+    Markov(dtc_markov::MarkovError),
+    /// A marking-dependent query referenced an unknown place name.
+    UnknownPlace(String),
+}
+
+impl fmt::Display for PetriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PetriError::EmptyNet => write!(f, "net has no places"),
+            PetriError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name {name:?}")
+            }
+            PetriError::StateSpaceExceeded { limit } => {
+                write!(f, "reachable state space exceeds the configured limit of {limit}")
+            }
+            PetriError::VanishingLoop { witness } => {
+                write!(f, "immediate transitions cycle without time advancing (at {witness})")
+            }
+            PetriError::VanishingDepthExceeded { limit } => {
+                write!(f, "vanishing-marking chain deeper than {limit}")
+            }
+            PetriError::DeadInitialMarking => {
+                write!(f, "initial marking enables no transition")
+            }
+            PetriError::NoTangibleStates => {
+                write!(f, "no tangible marking is reachable")
+            }
+            PetriError::Markov(e) => write!(f, "markov solver: {e}"),
+            PetriError::UnknownPlace(name) => write!(f, "unknown place {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PetriError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PetriError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dtc_markov::MarkovError> for PetriError {
+    fn from(e: dtc_markov::MarkovError) -> Self {
+        PetriError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_for_all_variants() {
+        let variants = vec![
+            PetriError::EmptyNet,
+            PetriError::DuplicateName { kind: "place", name: "P".into() },
+            PetriError::StateSpaceExceeded { limit: 10 },
+            PetriError::VanishingLoop { witness: "P=1".into() },
+            PetriError::VanishingDepthExceeded { limit: 5 },
+            PetriError::DeadInitialMarking,
+            PetriError::NoTangibleStates,
+            PetriError::Markov(dtc_markov::MarkovError::Empty),
+            PetriError::UnknownPlace("X".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn markov_error_converts_and_sources() {
+        use std::error::Error;
+        let e: PetriError = dtc_markov::MarkovError::Empty.into();
+        assert!(e.source().is_some());
+    }
+}

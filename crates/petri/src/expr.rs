@@ -1,0 +1,473 @@
+//! Marking-dependent expressions: the guard/metric language of the nets.
+//!
+//! The DSN'13 paper writes guards like
+//! `(#OSPM_UP1 = 0) OR (#NAS_NET_UP1 = 0) OR (#DC_UP1 = 0)` and metrics like
+//! `P{#VM_UP1 + #VM_UP2 + #VM_UP3 + #VM_UP4 >= j}`. This module provides the
+//! corresponding little expression language: integer expressions over place
+//! markings ([`IntExpr`]) and boolean combinations of comparisons
+//! ([`BoolExpr`]), with `Display` implementations that render in the paper's
+//! notation.
+//!
+//! # Examples
+//!
+//! ```
+//! use dtc_petri::expr::{IntExpr, BoolExpr};
+//! use dtc_petri::model::PlaceId;
+//!
+//! let up = PlaceId::new(0);
+//! let guard = IntExpr::tokens(up).eq(0).or(IntExpr::tokens(PlaceId::new(1)).eq(0));
+//! assert!(guard.eval(&|p| if p == up { 0 } else { 3 }));
+//! ```
+
+use crate::model::PlaceId;
+use std::fmt;
+
+/// Comparison operators between integer expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Integer-valued marking expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IntExpr {
+    /// `#p` — number of tokens in a place.
+    Tokens(PlaceId),
+    /// Integer literal.
+    Const(i64),
+    /// Sum of sub-expressions.
+    Sum(Vec<IntExpr>),
+    /// Difference `a - b`.
+    Sub(Box<IntExpr>, Box<IntExpr>),
+}
+
+impl IntExpr {
+    /// `#p`.
+    pub fn tokens(p: PlaceId) -> Self {
+        IntExpr::Tokens(p)
+    }
+
+    /// Integer literal.
+    pub fn constant(v: i64) -> Self {
+        IntExpr::Const(v)
+    }
+
+    /// Sum of `#p` over several places.
+    pub fn tokens_sum<I: IntoIterator<Item = PlaceId>>(places: I) -> Self {
+        IntExpr::Sum(places.into_iter().map(IntExpr::Tokens).collect())
+    }
+
+    /// `self + other`.
+    pub fn plus(self, other: IntExpr) -> Self {
+        match self {
+            IntExpr::Sum(mut v) => {
+                v.push(other);
+                IntExpr::Sum(v)
+            }
+            s => IntExpr::Sum(vec![s, other]),
+        }
+    }
+
+    /// `self - other`.
+    pub fn minus(self, other: IntExpr) -> Self {
+        IntExpr::Sub(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates against a marking accessor.
+    pub fn value(&self, tokens: &impl Fn(PlaceId) -> u32) -> i64 {
+        match self {
+            IntExpr::Tokens(p) => tokens(*p) as i64,
+            IntExpr::Const(v) => *v,
+            IntExpr::Sum(parts) => parts.iter().map(|e| e.value(tokens)).sum(),
+            IntExpr::Sub(a, b) => a.value(tokens) - b.value(tokens),
+        }
+    }
+
+    /// All places this expression reads.
+    pub fn places(&self, out: &mut Vec<PlaceId>) {
+        match self {
+            IntExpr::Tokens(p) => out.push(*p),
+            IntExpr::Const(_) => {}
+            IntExpr::Sum(parts) => parts.iter().for_each(|e| e.places(out)),
+            IntExpr::Sub(a, b) => {
+                a.places(out);
+                b.places(out);
+            }
+        }
+    }
+
+    /// Rewrites every place reference through `f` (used by net composition
+    /// to remap ids when importing a subnet).
+    pub fn map_places(&self, f: &impl Fn(PlaceId) -> PlaceId) -> IntExpr {
+        match self {
+            IntExpr::Tokens(p) => IntExpr::Tokens(f(*p)),
+            IntExpr::Const(v) => IntExpr::Const(*v),
+            IntExpr::Sum(parts) => {
+                IntExpr::Sum(parts.iter().map(|e| e.map_places(f)).collect())
+            }
+            IntExpr::Sub(a, b) => {
+                IntExpr::Sub(Box::new(a.map_places(f)), Box::new(b.map_places(f)))
+            }
+        }
+    }
+
+    /// Comparison builders yielding [`BoolExpr`].
+    pub fn cmp(self, op: CmpOp, rhs: impl Into<IntExpr>) -> BoolExpr {
+        BoolExpr::Cmp(self, op, rhs.into())
+    }
+
+    /// `self = rhs`.
+    pub fn eq(self, rhs: impl Into<IntExpr>) -> BoolExpr {
+        self.cmp(CmpOp::Eq, rhs)
+    }
+
+    /// `self != rhs`.
+    pub fn ne(self, rhs: impl Into<IntExpr>) -> BoolExpr {
+        self.cmp(CmpOp::Ne, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: impl Into<IntExpr>) -> BoolExpr {
+        self.cmp(CmpOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: impl Into<IntExpr>) -> BoolExpr {
+        self.cmp(CmpOp::Le, rhs)
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: impl Into<IntExpr>) -> BoolExpr {
+        self.cmp(CmpOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: impl Into<IntExpr>) -> BoolExpr {
+        self.cmp(CmpOp::Ge, rhs)
+    }
+}
+
+impl From<i64> for IntExpr {
+    fn from(v: i64) -> Self {
+        IntExpr::Const(v)
+    }
+}
+
+impl From<PlaceId> for IntExpr {
+    fn from(p: PlaceId) -> Self {
+        IntExpr::Tokens(p)
+    }
+}
+
+/// Boolean marking expression (guards and metric predicates).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BoolExpr {
+    /// Constant truth value.
+    Const(bool),
+    /// Integer comparison.
+    Cmp(IntExpr, CmpOp, IntExpr),
+    /// Conjunction.
+    And(Vec<BoolExpr>),
+    /// Disjunction.
+    Or(Vec<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Always-true guard.
+    pub fn always() -> Self {
+        BoolExpr::Const(true)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: BoolExpr) -> Self {
+        match self {
+            BoolExpr::And(mut v) => {
+                v.push(other);
+                BoolExpr::And(v)
+            }
+            s => BoolExpr::And(vec![s, other]),
+        }
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: BoolExpr) -> Self {
+        match self {
+            BoolExpr::Or(mut v) => {
+                v.push(other);
+                BoolExpr::Or(v)
+            }
+            s => BoolExpr::Or(vec![s, other]),
+        }
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        BoolExpr::Not(Box::new(self))
+    }
+
+    /// Evaluates against a marking accessor.
+    pub fn eval(&self, tokens: &impl Fn(PlaceId) -> u32) -> bool {
+        match self {
+            BoolExpr::Const(b) => *b,
+            BoolExpr::Cmp(a, op, b) => op.apply(a.value(tokens), b.value(tokens)),
+            BoolExpr::And(parts) => parts.iter().all(|e| e.eval(tokens)),
+            BoolExpr::Or(parts) => parts.iter().any(|e| e.eval(tokens)),
+            BoolExpr::Not(e) => !e.eval(tokens),
+        }
+    }
+
+    /// All places this expression reads (with duplicates).
+    pub fn places(&self) -> Vec<PlaceId> {
+        let mut out = Vec::new();
+        self.collect_places(&mut out);
+        out
+    }
+
+    fn collect_places(&self, out: &mut Vec<PlaceId>) {
+        match self {
+            BoolExpr::Const(_) => {}
+            BoolExpr::Cmp(a, _, b) => {
+                a.places(out);
+                b.places(out);
+            }
+            BoolExpr::And(parts) | BoolExpr::Or(parts) => {
+                parts.iter().for_each(|e| e.collect_places(out))
+            }
+            BoolExpr::Not(e) => e.collect_places(out),
+        }
+    }
+}
+
+/// Renders expressions in the paper's notation, resolving place names via a
+/// lookup function. [`crate::model::PetriNet::display_expr`] supplies the
+/// net's names.
+pub struct ExprDisplay<'a, F: Fn(PlaceId) -> &'a str> {
+    expr: &'a BoolExpr,
+    names: F,
+}
+
+impl<'a, F: Fn(PlaceId) -> &'a str> ExprDisplay<'a, F> {
+    /// Creates a display adapter with the given name resolver.
+    pub fn new(expr: &'a BoolExpr, names: F) -> Self {
+        ExprDisplay { expr, names }
+    }
+
+    fn fmt_int(&self, e: &IntExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match e {
+            IntExpr::Tokens(p) => write!(f, "#{}", (self.names)(*p)),
+            IntExpr::Const(v) => write!(f, "{v}"),
+            IntExpr::Sum(parts) => {
+                write!(f, "(")?;
+                for (i, part) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    self.fmt_int(part, f)?;
+                }
+                write!(f, ")")
+            }
+            IntExpr::Sub(a, b) => {
+                write!(f, "(")?;
+                self.fmt_int(a, f)?;
+                write!(f, " - ")?;
+                self.fmt_int(b, f)?;
+                write!(f, ")")
+            }
+        }
+    }
+
+    fn fmt_bool(&self, e: &BoolExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match e {
+            BoolExpr::Const(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            BoolExpr::Cmp(a, op, b) => {
+                write!(f, "(")?;
+                self.fmt_int(a, f)?;
+                write!(f, "{op}")?;
+                self.fmt_int(b, f)?;
+                write!(f, ")")
+            }
+            BoolExpr::And(parts) => {
+                write!(f, "(")?;
+                for (i, part) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    self.fmt_bool(part, f)?;
+                }
+                write!(f, ")")
+            }
+            BoolExpr::Or(parts) => {
+                write!(f, "(")?;
+                for (i, part) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    self.fmt_bool(part, f)?;
+                }
+                write!(f, ")")
+            }
+            BoolExpr::Not(inner) => {
+                write!(f, "NOT ")?;
+                self.fmt_bool(inner, f)
+            }
+        }
+    }
+}
+
+impl<'a, F: Fn(PlaceId) -> &'a str> fmt::Display for ExprDisplay<'a, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_bool(self.expr, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> PlaceId {
+        PlaceId::new(i)
+    }
+
+    #[test]
+    fn int_eval() {
+        let e = IntExpr::tokens_sum([pid(0), pid(1)]).plus(IntExpr::constant(2));
+        let v = e.value(&|p| p.index() as u32 + 1);
+        assert_eq!(v, 1 + 2 + 2);
+    }
+
+    #[test]
+    fn sub_eval() {
+        let e = IntExpr::tokens(pid(0)).minus(IntExpr::constant(3));
+        assert_eq!(e.value(&|_| 10), 7);
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = |n: u32| move |_: PlaceId| n;
+        assert!(IntExpr::tokens(pid(0)).eq(2).eval(&t(2)));
+        assert!(IntExpr::tokens(pid(0)).ne(3).eval(&t(2)));
+        assert!(IntExpr::tokens(pid(0)).lt(3).eval(&t(2)));
+        assert!(IntExpr::tokens(pid(0)).le(2).eval(&t(2)));
+        assert!(IntExpr::tokens(pid(0)).gt(1).eval(&t(2)));
+        assert!(IntExpr::tokens(pid(0)).ge(2).eval(&t(2)));
+        assert!(!IntExpr::tokens(pid(0)).gt(2).eval(&t(2)));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let up0 = IntExpr::tokens(pid(0)).gt(0);
+        let up1 = IntExpr::tokens(pid(1)).gt(0);
+        let both = up0.clone().and(up1.clone());
+        let either = up0.clone().or(up1.clone());
+        let tokens = |p: PlaceId| if p == pid(0) { 1 } else { 0 };
+        assert!(!both.eval(&tokens));
+        assert!(either.eval(&tokens));
+        assert!(up1.not().eval(&tokens));
+        assert!(BoolExpr::always().eval(&tokens));
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let a = IntExpr::tokens(pid(0)).gt(0);
+        let b = IntExpr::tokens(pid(1)).gt(0);
+        let c = IntExpr::tokens(pid(2)).gt(0);
+        let e = a.and(b).and(c);
+        match e {
+            BoolExpr::And(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn places_collected() {
+        let e = IntExpr::tokens(pid(3))
+            .plus(IntExpr::tokens(pid(5)))
+            .ge(1)
+            .and(IntExpr::tokens(pid(3)).eq(0));
+        let mut places = e.places();
+        places.sort();
+        assert_eq!(places, vec![pid(3), pid(3), pid(5)]);
+    }
+
+    #[test]
+    fn map_places_rewrites_references() {
+        let e = IntExpr::tokens_sum([pid(0), pid(1)])
+            .minus(IntExpr::tokens(pid(2)))
+            .ge(1);
+        let shifted = match &e {
+            BoolExpr::Cmp(a, op, b) => BoolExpr::Cmp(
+                a.map_places(&|p: PlaceId| PlaceId::new(p.index() as u32 + 10)),
+                *op,
+                b.clone(),
+            ),
+            _ => unreachable!(),
+        };
+        let mut places = shifted.places();
+        places.sort();
+        assert_eq!(places, vec![pid(10), pid(11), pid(12)]);
+        // Semantics preserved under a consistent shift.
+        let orig = e.eval(&|p| p.index() as u32);
+        let moved = shifted.eval(&|p| (p.index() - 10) as u32);
+        assert_eq!(orig, moved);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let names = ["OSPM_UP1", "NAS_NET_UP1", "DC_UP1"];
+        let guard = IntExpr::tokens(pid(0))
+            .eq(0)
+            .or(IntExpr::tokens(pid(1)).eq(0))
+            .or(IntExpr::tokens(pid(2)).eq(0));
+        let shown = ExprDisplay::new(&guard, |p| names[p.index()]).to_string();
+        assert_eq!(shown, "((#OSPM_UP1=0) OR (#NAS_NET_UP1=0) OR (#DC_UP1=0))");
+    }
+
+    #[test]
+    fn display_not_and_sum() {
+        let names = ["A", "B"];
+        let guard = IntExpr::tokens_sum([pid(0), pid(1)]).eq(0).not();
+        let shown = ExprDisplay::new(&guard, |p| names[p.index()]).to_string();
+        assert_eq!(shown, "NOT ((#A + #B)=0)");
+    }
+}

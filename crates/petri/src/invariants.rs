@@ -1,0 +1,333 @@
+//! Structural analysis: place and transition invariants.
+//!
+//! A **place invariant** (P-invariant) is a non-negative integer weighting
+//! `y` of places with `yᵀ·C = 0`, where `C` is the incidence matrix — the
+//! weighted token count `Σ y[p]·#p` is then constant in *every* reachable
+//! marking, regardless of guards or timing. For the cloud models this
+//! proves token conservation structurally: each `SIMPLE_COMPONENT`
+//! contributes `#X_UP + #X_DOWN = 1` and the VM circulation contributes
+//! `Σ VM places + pools + transfers = N`.
+//!
+//! A **transition invariant** (T-invariant) is the dual: a firing-count
+//! vector `x ≥ 0` with `C·x = 0`, describing firing sequences that return
+//! the net to its starting marking (cyclic behavior such as
+//! failure→repair).
+//!
+//! Both are computed with the classical Farkas elimination; the number of
+//! minimal invariants can grow exponentially, so the computation is bounded
+//! and returns [`PetriError::StateSpaceExceeded`]-style failure via
+//! [`InvariantError`] when the bound is hit.
+
+use crate::model::PetriNet;
+use std::fmt;
+
+/// Error from invariant computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantError {
+    /// Intermediate row count exceeded the bound.
+    TooManyRows {
+        /// The configured bound.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for InvariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantError::TooManyRows { limit } => {
+                write!(f, "invariant computation exceeded {limit} intermediate rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantError {}
+
+/// One invariant: integer weights (place-indexed for P-invariants,
+/// transition-indexed for T-invariants).
+pub type Invariant = Vec<u64>;
+
+/// The incidence matrix `C[p][t] = W(t→p) − W(p→t)` of a net.
+pub fn incidence_matrix(net: &PetriNet) -> Vec<Vec<i64>> {
+    let mut c = vec![vec![0i64; net.num_transitions()]; net.num_places()];
+    for (t, tr) in net.transitions() {
+        for (p, w) in &tr.inputs {
+            c[p.index()][t.index()] -= *w as i64;
+        }
+        for (p, w) in &tr.outputs {
+            c[p.index()][t.index()] += *w as i64;
+        }
+    }
+    c
+}
+
+/// Minimal-support place invariants of `net`.
+///
+/// # Errors
+///
+/// [`InvariantError::TooManyRows`] if the Farkas elimination exceeds
+/// `max_rows` intermediate rows.
+pub fn place_invariants(net: &PetriNet, max_rows: usize) -> Result<Vec<Invariant>, InvariantError> {
+    let c = incidence_matrix(net);
+    farkas(&c, max_rows)
+}
+
+/// Minimal-support transition invariants of `net` (the same computation on
+/// the transposed incidence matrix).
+pub fn transition_invariants(
+    net: &PetriNet,
+    max_rows: usize,
+) -> Result<Vec<Invariant>, InvariantError> {
+    let c = incidence_matrix(net);
+    let nt = net.num_transitions();
+    let np = net.num_places();
+    let mut ct = vec![vec![0i64; np]; nt];
+    for (p, row) in c.iter().enumerate() {
+        for (t, v) in row.iter().enumerate() {
+            ct[t][p] = *v;
+        }
+    }
+    farkas(&ct, max_rows)
+}
+
+/// Farkas algorithm: minimal non-negative integer solutions of `yᵀ·M = 0`.
+///
+/// Works on the extended matrix `[M | I]`; after eliminating every column of
+/// `M`, the identity part of the surviving rows holds the invariants.
+fn farkas(m: &[Vec<i64>], max_rows: usize) -> Result<Vec<Invariant>, InvariantError> {
+    let nrows = m.len();
+    if nrows == 0 {
+        return Ok(Vec::new());
+    }
+    let ncols = m[0].len();
+    // Each row: (remaining M part, identity part).
+    let mut rows: Vec<(Vec<i64>, Vec<i64>)> = m
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut id = vec![0i64; nrows];
+            id[i] = 1;
+            (r.clone(), id)
+        })
+        .collect();
+
+    for col in 0..ncols {
+        let mut next: Vec<(Vec<i64>, Vec<i64>)> = Vec::new();
+        // Keep rows already zero in this column.
+        let (zeros, nonzeros): (Vec<_>, Vec<_>) =
+            rows.into_iter().partition(|(r, _)| r[col] == 0);
+        next.extend(zeros);
+        // Combine each positive row with each negative row.
+        let pos: Vec<&(Vec<i64>, Vec<i64>)> =
+            nonzeros.iter().filter(|(r, _)| r[col] > 0).collect();
+        let neg: Vec<&(Vec<i64>, Vec<i64>)> =
+            nonzeros.iter().filter(|(r, _)| r[col] < 0).collect();
+        for (rp, ip) in &pos {
+            for (rn, inn) in &neg {
+                let a = rp[col];
+                let b = -rn[col];
+                let g = gcd(a as u64, b as u64) as i64;
+                let (fa, fb) = (b / g, a / g);
+                let mut new_m: Vec<i64> =
+                    rp.iter().zip(rn).map(|(x, y)| fa * x + fb * y).collect();
+                let mut new_i: Vec<i64> =
+                    ip.iter().zip(inn).map(|(x, y)| fa * x + fb * y).collect();
+                // Normalize by gcd of all entries.
+                let g_all = new_m
+                    .iter()
+                    .chain(new_i.iter())
+                    .fold(0u64, |acc, v| gcd(acc, v.unsigned_abs()));
+                if g_all > 1 {
+                    new_m.iter_mut().for_each(|v| *v /= g_all as i64);
+                    new_i.iter_mut().for_each(|v| *v /= g_all as i64);
+                }
+                next.push((new_m, new_i));
+                if next.len() > max_rows {
+                    return Err(InvariantError::TooManyRows { limit: max_rows });
+                }
+            }
+        }
+        rows = next;
+    }
+
+    // Surviving identity parts are non-negative solutions; keep minimal
+    // support only, dropping duplicates and supersets.
+    let mut invs: Vec<Invariant> = rows
+        .into_iter()
+        .map(|(_, id)| id.into_iter().map(|v| v as u64).collect::<Invariant>())
+        .filter(|v| v.iter().any(|&x| x > 0))
+        .collect();
+    invs.sort();
+    invs.dedup();
+    // Minimal support: remove any invariant whose support is a strict
+    // superset of another's.
+    let supports: Vec<Vec<usize>> = invs
+        .iter()
+        .map(|v| v.iter().enumerate().filter(|(_, &x)| x > 0).map(|(i, _)| i).collect())
+        .collect();
+    let keep: Vec<bool> = supports
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            !supports.iter().enumerate().any(|(j, other)| {
+                j != i
+                    && other.len() < s.len()
+                    && other.iter().all(|x| s.contains(x))
+            })
+        })
+        .collect();
+    Ok(invs
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(v, k)| k.then_some(v))
+        .collect())
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a.max(1)
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Checks a marking against a set of P-invariants and an initial marking:
+/// returns the indices of violated invariants (empty = consistent).
+pub fn check_invariants(
+    invariants: &[Invariant],
+    initial: &[u32],
+    marking: &[u32],
+) -> Vec<usize> {
+    invariants
+        .iter()
+        .enumerate()
+        .filter_map(|(k, inv)| {
+            let base: u64 = inv.iter().zip(initial).map(|(w, t)| w * *t as u64).sum();
+            let now: u64 = inv.iter().zip(marking).map(|(w, t)| w * *t as u64).sum();
+            (base != now).then_some(k)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PetriNetBuilder, ServerSemantics};
+
+    fn simple_component() -> PetriNet {
+        let mut b = PetriNetBuilder::new();
+        let on = b.place("ON", 1);
+        let off = b.place("OFF", 0);
+        b.timed("F", 0.01, ServerSemantics::Single).input(on).output(off).done();
+        b.timed("R", 1.0, ServerSemantics::Single).input(off).output(on).done();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn simple_component_invariants() {
+        let net = simple_component();
+        let p = place_invariants(&net, 10_000).unwrap();
+        // Exactly one P-invariant: #ON + #OFF = const.
+        assert_eq!(p, vec![vec![1, 1]]);
+        let t = transition_invariants(&net, 10_000).unwrap();
+        // Exactly one T-invariant: fire F and R once each.
+        assert_eq!(t, vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn open_net_has_no_place_invariant() {
+        // Source/sink net: tokens are created and destroyed.
+        let mut b = PetriNetBuilder::new();
+        let q = b.place("Q", 0);
+        b.timed("ARR", 1.0, ServerSemantics::Single).output(q).inhibitor(q, 5).done();
+        b.timed("SRV", 2.0, ServerSemantics::Single).input(q).done();
+        let net = b.build().unwrap();
+        let p = place_invariants(&net, 10_000).unwrap();
+        assert!(p.is_empty(), "{p:?}");
+        // But it has the cyclic T-invariant (one arrival + one service).
+        let t = transition_invariants(&net, 10_000).unwrap();
+        assert_eq!(t, vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn weighted_arcs_weighted_invariant() {
+        // T consumes 2 from A, produces 1 in B; U consumes 1 from B,
+        // produces 2 in A. Invariant: 1·#A + 2·#B.
+        let mut b = PetriNetBuilder::new();
+        let a = b.place("A", 2);
+        let c = b.place("B", 0);
+        b.timed("T", 1.0, ServerSemantics::Single).input_n(a, 2).output(c).done();
+        b.timed("U", 1.0, ServerSemantics::Single).input(c).output_n(a, 2).done();
+        let net = b.build().unwrap();
+        let p = place_invariants(&net, 10_000).unwrap();
+        assert_eq!(p, vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn two_components_two_invariants() {
+        let mut b = PetriNetBuilder::new();
+        let on1 = b.place("ON1", 1);
+        let off1 = b.place("OFF1", 0);
+        let on2 = b.place("ON2", 1);
+        let off2 = b.place("OFF2", 0);
+        b.timed("F1", 0.1, ServerSemantics::Single).input(on1).output(off1).done();
+        b.timed("R1", 1.0, ServerSemantics::Single).input(off1).output(on1).done();
+        b.timed("F2", 0.1, ServerSemantics::Single).input(on2).output(off2).done();
+        b.timed("R2", 1.0, ServerSemantics::Single).input(off2).output(on2).done();
+        let net = b.build().unwrap();
+        let p = place_invariants(&net, 10_000).unwrap();
+        assert_eq!(p.len(), 2);
+        for inv in &p {
+            assert_eq!(inv.iter().sum::<u64>(), 2);
+        }
+    }
+
+    #[test]
+    fn invariants_hold_on_reachable_states() {
+        use crate::reach::{explore, ReachOptions};
+        let mut b = PetriNetBuilder::new();
+        let p1 = b.place("P1", 3);
+        let p2 = b.place("P2", 0);
+        let p3 = b.place("P3", 0);
+        b.timed("A", 1.0, ServerSemantics::Infinite).input(p1).output(p2).done();
+        b.immediate("B").input(p2).output(p3).done();
+        b.timed("C", 2.0, ServerSemantics::Single).input(p3).output(p1).done();
+        let net = b.build().unwrap();
+        let invs = place_invariants(&net, 10_000).unwrap();
+        assert!(!invs.is_empty());
+        let init = net.initial_marking();
+        let graph = explore(&net, &ReachOptions::default()).unwrap();
+        for m in graph.states() {
+            assert!(check_invariants(&invs, &init, m).is_empty());
+        }
+    }
+
+    #[test]
+    fn row_bound_enforced() {
+        // A dense exchange net can blow up; bound of 1 row must trip.
+        let mut b = PetriNetBuilder::new();
+        let ps: Vec<_> = (0..4).map(|i| b.place(format!("P{i}"), 1)).collect();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    b.timed(format!("T{i}{j}"), 1.0, ServerSemantics::Single)
+                        .input(ps[i])
+                        .output(ps[j])
+                        .done();
+                }
+            }
+        }
+        let net = b.build().unwrap();
+        let err = place_invariants(&net, 1).unwrap_err();
+        assert!(matches!(err, InvariantError::TooManyRows { limit: 1 }));
+    }
+
+    #[test]
+    fn check_invariants_flags_violation() {
+        let net = simple_component();
+        let invs = place_invariants(&net, 100).unwrap();
+        let init = net.initial_marking();
+        assert!(check_invariants(&invs, &init, &[1, 0]).is_empty());
+        assert_eq!(check_invariants(&invs, &init, &[1, 1]), vec![0]);
+    }
+}

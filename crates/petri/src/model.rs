@@ -1,0 +1,777 @@
+//! Net structure: places, transitions, arcs, guards and markings.
+//!
+//! The formalism is the GSPN dialect used by the DSN'13 paper (and by tools
+//! like TimeNET/Mercury): exponentially timed transitions with single-server,
+//! infinite-server or k-server semantics, immediate transitions with firing
+//! weights and priorities, input/output/inhibitor arcs with multiplicities,
+//! and marking-dependent enabling guards.
+
+use crate::error::{PetriError, Result};
+use crate::expr::{BoolExpr, ExprDisplay};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a place within its net (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(u32);
+
+impl PlaceId {
+    /// Creates an id from a raw index.
+    pub fn new(index: u32) -> Self {
+        PlaceId(index)
+    }
+
+    /// The dense index of this place.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a transition within its net (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionId(u32);
+
+impl TransitionId {
+    /// Creates an id from a raw index.
+    pub fn new(index: u32) -> Self {
+        TransitionId(index)
+    }
+
+    /// The dense index of this transition.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Concurrency (server) semantics of a timed transition.
+///
+/// With enabling degree `d` (how many times the input arcs could fire):
+/// single-server fires at `rate`, infinite-server at `d · rate`, `KServer(k)`
+/// at `min(d, k) · rate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServerSemantics {
+    /// One token served at a time (`ss` in the paper's tables).
+    #[default]
+    Single,
+    /// Every enabled token served in parallel (`is`).
+    Infinite,
+    /// At most `k` parallel servers.
+    KServer(u32),
+}
+
+impl fmt::Display for ServerSemantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerSemantics::Single => f.write_str("ss"),
+            ServerSemantics::Infinite => f.write_str("is"),
+            ServerSemantics::KServer(k) => write!(f, "{k}s"),
+        }
+    }
+}
+
+/// What kind of transition this is, with its stochastic parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransitionKind {
+    /// Exponentially distributed delay with the given **rate** (1/mean) and
+    /// server semantics.
+    Timed {
+        /// Firing rate (inverse of the mean delay).
+        rate: f64,
+        /// Concurrency semantics.
+        semantics: ServerSemantics,
+    },
+    /// Fires in zero time when enabled. Among enabled immediates of the
+    /// highest priority, one is chosen with probability proportional to
+    /// `weight`.
+    Immediate {
+        /// Relative firing weight.
+        weight: f64,
+        /// Priority class; higher fires first.
+        priority: u8,
+    },
+}
+
+impl TransitionKind {
+    /// Whether this is an immediate transition.
+    pub fn is_immediate(&self) -> bool {
+        matches!(self, TransitionKind::Immediate { .. })
+    }
+}
+
+/// A transition together with its arcs and guard.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Human-readable unique name (paper-style, e.g. `VM_STRT1`).
+    pub name: String,
+    /// Stochastic kind and parameters.
+    pub kind: TransitionKind,
+    /// Input arcs `(place, multiplicity)`; tokens consumed on firing.
+    pub inputs: Vec<(PlaceId, u32)>,
+    /// Output arcs `(place, multiplicity)`; tokens produced on firing.
+    pub outputs: Vec<(PlaceId, u32)>,
+    /// Inhibitor arcs `(place, threshold)`; transition disabled while
+    /// `#place >= threshold`.
+    pub inhibitors: Vec<(PlaceId, u32)>,
+    /// Enabling guard; must evaluate true for the transition to be enabled.
+    pub guard: BoolExpr,
+}
+
+/// A marking: token count per place, indexed by [`PlaceId`].
+pub type Marking = Box<[u32]>;
+
+/// An immutable generalized stochastic Petri net.
+///
+/// Build one with [`PetriNetBuilder`]. The net owns the initial marking;
+/// analyses ([`crate::reach`]) and simulation (`dtc-sim`) take the net by
+/// reference.
+#[derive(Debug, Clone)]
+pub struct PetriNet {
+    place_names: Vec<String>,
+    initial: Vec<u32>,
+    transitions: Vec<Transition>,
+    name_to_place: HashMap<String, PlaceId>,
+    name_to_transition: HashMap<String, TransitionId>,
+}
+
+impl PetriNet {
+    /// Number of places.
+    pub fn num_places(&self) -> usize {
+        self.place_names.len()
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Name of a place.
+    pub fn place_name(&self, p: PlaceId) -> &str {
+        &self.place_names[p.index()]
+    }
+
+    /// Looks a place up by name.
+    pub fn place(&self, name: &str) -> Option<PlaceId> {
+        self.name_to_place.get(name).copied()
+    }
+
+    /// Looks a transition up by name.
+    pub fn transition(&self, name: &str) -> Option<TransitionId> {
+        self.name_to_transition.get(name).copied()
+    }
+
+    /// Borrows a transition definition.
+    pub fn transition_def(&self, t: TransitionId) -> &Transition {
+        &self.transitions[t.index()]
+    }
+
+    /// Iterates over `(id, transition)` pairs.
+    pub fn transitions(&self) -> impl Iterator<Item = (TransitionId, &Transition)> {
+        self.transitions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TransitionId::new(i as u32), t))
+    }
+
+    /// Iterates over place ids.
+    pub fn places(&self) -> impl Iterator<Item = PlaceId> {
+        (0..self.place_names.len() as u32).map(PlaceId::new)
+    }
+
+    /// The initial marking.
+    pub fn initial_marking(&self) -> Marking {
+        self.initial.clone().into_boxed_slice()
+    }
+
+    /// Total tokens in the initial marking.
+    pub fn initial_tokens(&self) -> u64 {
+        self.initial.iter().map(|&t| t as u64).sum()
+    }
+
+    /// Whether `t` is enabled in `marking` (inputs, inhibitors and guard).
+    pub fn is_enabled(&self, t: TransitionId, marking: &[u32]) -> bool {
+        let tr = &self.transitions[t.index()];
+        tr.inputs.iter().all(|(p, m)| marking[p.index()] >= *m)
+            && tr.inhibitors.iter().all(|(p, m)| marking[p.index()] < *m)
+            && tr.guard.eval(&|p: PlaceId| marking[p.index()])
+    }
+
+    /// Enabling degree of `t` in `marking`: how many times the input arcs
+    /// could be satisfied (0 when disabled by inhibitor/guard). For a
+    /// transition with no input arcs the degree is 1 when enabled.
+    pub fn enabling_degree(&self, t: TransitionId, marking: &[u32]) -> u32 {
+        if !self.is_enabled(t, marking) {
+            return 0;
+        }
+        let tr = &self.transitions[t.index()];
+        tr.inputs
+            .iter()
+            .map(|(p, m)| marking[p.index()] / *m)
+            .min()
+            .unwrap_or(1)
+    }
+
+    /// The effective firing rate of a timed transition in `marking`,
+    /// accounting for server semantics. Returns `None` for immediate
+    /// transitions or when disabled.
+    pub fn firing_rate(&self, t: TransitionId, marking: &[u32]) -> Option<f64> {
+        let tr = &self.transitions[t.index()];
+        let TransitionKind::Timed { rate, semantics } = tr.kind else {
+            return None;
+        };
+        let degree = self.enabling_degree(t, marking);
+        if degree == 0 {
+            return None;
+        }
+        let servers = match semantics {
+            ServerSemantics::Single => 1,
+            ServerSemantics::Infinite => degree,
+            ServerSemantics::KServer(k) => degree.min(k),
+        };
+        Some(rate * servers as f64)
+    }
+
+    /// Fires `t` in `marking`, returning the successor marking.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if `t` is not enabled.
+    pub fn fire(&self, t: TransitionId, marking: &[u32]) -> Marking {
+        debug_assert!(self.is_enabled(t, marking), "firing disabled transition");
+        let tr = &self.transitions[t.index()];
+        let mut next: Vec<u32> = marking.to_vec();
+        for (p, m) in &tr.inputs {
+            next[p.index()] -= m;
+        }
+        for (p, m) in &tr.outputs {
+            next[p.index()] += m;
+        }
+        next.into_boxed_slice()
+    }
+
+    /// Whether any immediate transition is enabled in `marking` (i.e. the
+    /// marking is *vanishing*).
+    pub fn is_vanishing(&self, marking: &[u32]) -> bool {
+        self.transitions().any(|(id, tr)| tr.kind.is_immediate() && self.is_enabled(id, marking))
+    }
+
+    /// Enabled immediate transitions of the highest enabled priority class,
+    /// with their weights.
+    pub fn enabled_immediates(&self, marking: &[u32]) -> Vec<(TransitionId, f64)> {
+        let mut best: Option<u8> = None;
+        let mut out: Vec<(TransitionId, f64, u8)> = Vec::new();
+        for (id, tr) in self.transitions() {
+            if let TransitionKind::Immediate { weight, priority } = tr.kind {
+                if self.is_enabled(id, marking) {
+                    if best.is_none_or(|b| priority > b) {
+                        best = Some(priority);
+                    }
+                    out.push((id, weight, priority));
+                }
+            }
+        }
+        let Some(best) = best else { return Vec::new() };
+        out.into_iter()
+            .filter(|&(_, _, p)| p == best)
+            .map(|(id, w, _)| (id, w))
+            .collect()
+    }
+
+    /// Enabled timed transitions with their effective rates.
+    pub fn enabled_timed(&self, marking: &[u32]) -> Vec<(TransitionId, f64)> {
+        self.transitions()
+            .filter(|(_, tr)| !tr.kind.is_immediate())
+            .filter_map(|(id, _)| self.firing_rate(id, marking).map(|r| (id, r)))
+            .collect()
+    }
+
+    /// Renders a guard (or metric predicate) with this net's place names.
+    pub fn display_expr<'a>(
+        &'a self,
+        expr: &'a BoolExpr,
+    ) -> ExprDisplay<'a, impl Fn(PlaceId) -> &'a str> {
+        ExprDisplay::new(expr, move |p: PlaceId| self.place_name(p))
+    }
+}
+
+/// Builder for [`PetriNet`].
+///
+/// # Examples
+///
+/// ```
+/// use dtc_petri::model::{PetriNetBuilder, ServerSemantics};
+///
+/// let mut b = PetriNetBuilder::new();
+/// let on = b.place("X_ON", 1);
+/// let off = b.place("X_OFF", 0);
+/// b.timed("X_Failure", 1.0 / 1000.0, ServerSemantics::Single)
+///     .input(on)
+///     .output(off)
+///     .done();
+/// b.timed("X_Repair", 1.0 / 10.0, ServerSemantics::Single)
+///     .input(off)
+///     .output(on)
+///     .done();
+/// let net = b.build()?;
+/// assert_eq!(net.num_places(), 2);
+/// # Ok::<(), dtc_petri::PetriError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct PetriNetBuilder {
+    place_names: Vec<String>,
+    initial: Vec<u32>,
+    transitions: Vec<Transition>,
+}
+
+impl PetriNetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a place with an initial token count, returning its id.
+    pub fn place(&mut self, name: impl Into<String>, initial_tokens: u32) -> PlaceId {
+        let id = PlaceId::new(self.place_names.len() as u32);
+        self.place_names.push(name.into());
+        self.initial.push(initial_tokens);
+        id
+    }
+
+    /// Starts a timed (exponential) transition with mean rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn timed(
+        &mut self,
+        name: impl Into<String>,
+        rate: f64,
+        semantics: ServerSemantics,
+    ) -> TransitionBuilder<'_> {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+        TransitionBuilder {
+            owner: self,
+            tr: Transition {
+                name: name.into(),
+                kind: TransitionKind::Timed { rate, semantics },
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+                inhibitors: Vec::new(),
+                guard: BoolExpr::always(),
+            },
+        }
+    }
+
+    /// Starts a timed transition specified by its mean **delay** instead of
+    /// its rate — matching the paper's tables, which list MTTF/MTTR/MTT.
+    pub fn timed_delay(
+        &mut self,
+        name: impl Into<String>,
+        mean_delay: f64,
+        semantics: ServerSemantics,
+    ) -> TransitionBuilder<'_> {
+        assert!(
+            mean_delay.is_finite() && mean_delay > 0.0,
+            "mean delay must be positive, got {mean_delay}"
+        );
+        self.timed(name, 1.0 / mean_delay, semantics)
+    }
+
+    /// Starts an immediate transition with weight 1 and priority 0.
+    pub fn immediate(&mut self, name: impl Into<String>) -> TransitionBuilder<'_> {
+        self.immediate_weighted(name, 1.0, 0)
+    }
+
+    /// Starts an immediate transition with explicit weight and priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not finite and positive.
+    pub fn immediate_weighted(
+        &mut self,
+        name: impl Into<String>,
+        weight: f64,
+        priority: u8,
+    ) -> TransitionBuilder<'_> {
+        assert!(weight.is_finite() && weight > 0.0, "weight must be positive, got {weight}");
+        TransitionBuilder {
+            owner: self,
+            tr: Transition {
+                name: name.into(),
+                kind: TransitionKind::Immediate { weight, priority },
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+                inhibitors: Vec::new(),
+                guard: BoolExpr::always(),
+            },
+        }
+    }
+
+    /// Imports another net into this builder — the *net union* composition
+    /// rule the paper adopts from de Albuquerque et al. (its reference
+    /// [17]): every place/transition of `other` is added after renaming
+    /// through `rename`, and **places whose renamed name already exists in
+    /// this builder are fused** with the existing place (the existing
+    /// initial marking wins). Guards are remapped to the new place ids.
+    ///
+    /// Returns the mapping from `other`'s place ids to ids in this builder.
+    ///
+    /// Transition-name collisions are not fused; they surface as
+    /// [`PetriError::DuplicateName`] at [`PetriNetBuilder::build`] time, so
+    /// use a distinguishing `rename` for transitions too if both nets share
+    /// transition names.
+    pub fn import(
+        &mut self,
+        other: &PetriNet,
+        rename: impl Fn(&str) -> String,
+    ) -> Vec<PlaceId> {
+        let mut map = Vec::with_capacity(other.num_places());
+        let m0 = other.initial_marking();
+        for p in other.places() {
+            let new_name = rename(other.place_name(p));
+            let existing = self
+                .place_names
+                .iter()
+                .position(|n| *n == new_name)
+                .map(|i| PlaceId::new(i as u32));
+            match existing {
+                Some(id) => map.push(id),
+                None => map.push(self.place(new_name, m0[p.index()])),
+            }
+        }
+        let remap = |p: PlaceId| map[p.index()];
+        for (_, tr) in other.transitions() {
+            let mut new_tr = tr.clone();
+            new_tr.name = rename(&tr.name);
+            new_tr.inputs = tr.inputs.iter().map(|&(p, w)| (remap(p), w)).collect();
+            new_tr.outputs = tr.outputs.iter().map(|&(p, w)| (remap(p), w)).collect();
+            new_tr.inhibitors = tr.inhibitors.iter().map(|&(p, w)| (remap(p), w)).collect();
+            new_tr.guard = map_bool_places(&tr.guard, &remap);
+            self.transitions.push(new_tr);
+        }
+        map
+    }
+
+    /// Finalizes the net.
+    ///
+    /// # Errors
+    ///
+    /// * [`PetriError::DuplicateName`] if two places or two transitions share
+    ///   a name.
+    /// * [`PetriError::EmptyNet`] if there are no places.
+    pub fn build(self) -> Result<PetriNet> {
+        if self.place_names.is_empty() {
+            return Err(PetriError::EmptyNet);
+        }
+        let mut name_to_place = HashMap::new();
+        for (i, n) in self.place_names.iter().enumerate() {
+            if name_to_place.insert(n.clone(), PlaceId::new(i as u32)).is_some() {
+                return Err(PetriError::DuplicateName { kind: "place", name: n.clone() });
+            }
+        }
+        let mut name_to_transition = HashMap::new();
+        for (i, t) in self.transitions.iter().enumerate() {
+            if name_to_transition
+                .insert(t.name.clone(), TransitionId::new(i as u32))
+                .is_some()
+            {
+                return Err(PetriError::DuplicateName {
+                    kind: "transition",
+                    name: t.name.clone(),
+                });
+            }
+        }
+        Ok(PetriNet {
+            place_names: self.place_names,
+            initial: self.initial,
+            transitions: self.transitions,
+            name_to_place,
+            name_to_transition,
+        })
+    }
+}
+
+/// Remaps the places of a boolean expression (helper for
+/// [`PetriNetBuilder::import`]).
+fn map_bool_places(e: &BoolExpr, f: &impl Fn(PlaceId) -> PlaceId) -> BoolExpr {
+    match e {
+        BoolExpr::Const(b) => BoolExpr::Const(*b),
+        BoolExpr::Cmp(a, op, b) => BoolExpr::Cmp(a.map_places(f), *op, b.map_places(f)),
+        BoolExpr::And(parts) => {
+            BoolExpr::And(parts.iter().map(|p| map_bool_places(p, f)).collect())
+        }
+        BoolExpr::Or(parts) => {
+            BoolExpr::Or(parts.iter().map(|p| map_bool_places(p, f)).collect())
+        }
+        BoolExpr::Not(inner) => BoolExpr::Not(Box::new(map_bool_places(inner, f))),
+    }
+}
+
+/// In-progress transition being added to a [`PetriNetBuilder`].
+///
+/// Call [`TransitionBuilder::done`] to commit; dropping without `done`
+/// discards the transition (a debug assertion catches this in tests).
+#[derive(Debug)]
+pub struct TransitionBuilder<'a> {
+    owner: &'a mut PetriNetBuilder,
+    tr: Transition,
+}
+
+impl<'a> TransitionBuilder<'a> {
+    /// Adds an input arc with multiplicity 1.
+    pub fn input(self, p: PlaceId) -> Self {
+        self.input_n(p, 1)
+    }
+
+    /// Adds an input arc with multiplicity `n`.
+    pub fn input_n(mut self, p: PlaceId, n: u32) -> Self {
+        assert!(n > 0, "arc multiplicity must be positive");
+        self.tr.inputs.push((p, n));
+        self
+    }
+
+    /// Adds an output arc with multiplicity 1.
+    pub fn output(self, p: PlaceId) -> Self {
+        self.output_n(p, 1)
+    }
+
+    /// Adds an output arc with multiplicity `n`.
+    pub fn output_n(mut self, p: PlaceId, n: u32) -> Self {
+        assert!(n > 0, "arc multiplicity must be positive");
+        self.tr.outputs.push((p, n));
+        self
+    }
+
+    /// Adds an inhibitor arc: transition disabled while `#p >= n`.
+    pub fn inhibitor(mut self, p: PlaceId, n: u32) -> Self {
+        assert!(n > 0, "inhibitor threshold must be positive");
+        self.tr.inhibitors.push((p, n));
+        self
+    }
+
+    /// Sets the enabling guard (replacing any previous guard).
+    pub fn guard(mut self, g: BoolExpr) -> Self {
+        self.tr.guard = g;
+        self
+    }
+
+    /// Commits the transition to the builder and returns its id.
+    pub fn done(self) -> TransitionId {
+        let id = TransitionId::new(self.owner.transitions.len() as u32);
+        self.owner.transitions.push(self.tr);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::IntExpr;
+
+    fn simple_component() -> PetriNet {
+        let mut b = PetriNetBuilder::new();
+        let on = b.place("X_ON", 1);
+        let off = b.place("X_OFF", 0);
+        b.timed("X_Failure", 0.001, ServerSemantics::Single).input(on).output(off).done();
+        b.timed("X_Repair", 0.1, ServerSemantics::Single).input(off).output(on).done();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let net = simple_component();
+        assert_eq!(net.num_places(), 2);
+        assert_eq!(net.num_transitions(), 2);
+        let on = net.place("X_ON").unwrap();
+        assert_eq!(net.place_name(on), "X_ON");
+        assert!(net.place("missing").is_none());
+        assert!(net.transition("X_Repair").is_some());
+    }
+
+    #[test]
+    fn enabling_and_firing() {
+        let net = simple_component();
+        let m0 = net.initial_marking();
+        let fail = net.transition("X_Failure").unwrap();
+        let repair = net.transition("X_Repair").unwrap();
+        assert!(net.is_enabled(fail, &m0));
+        assert!(!net.is_enabled(repair, &m0));
+        let m1 = net.fire(fail, &m0);
+        assert_eq!(&*m1, &[0, 1]);
+        assert!(net.is_enabled(repair, &m1));
+        assert_eq!(net.firing_rate(repair, &m1), Some(0.1));
+        assert_eq!(net.firing_rate(fail, &m1), None);
+    }
+
+    #[test]
+    fn infinite_server_scales_rate() {
+        let mut b = PetriNetBuilder::new();
+        let p = b.place("P", 3);
+        let q = b.place("Q", 0);
+        let t = b.timed("T", 2.0, ServerSemantics::Infinite).input(p).output(q).done();
+        let k = b.timed("K", 2.0, ServerSemantics::KServer(2)).input(p).output(q).done();
+        let net = b.build().unwrap();
+        let m = net.initial_marking();
+        assert_eq!(net.firing_rate(t, &m), Some(6.0));
+        assert_eq!(net.firing_rate(k, &m), Some(4.0));
+    }
+
+    #[test]
+    fn multiplicity_affects_degree() {
+        let mut b = PetriNetBuilder::new();
+        let p = b.place("P", 5);
+        let t = b.timed("T", 1.0, ServerSemantics::Infinite).input_n(p, 2).done();
+        let net = b.build().unwrap();
+        let m = net.initial_marking();
+        assert_eq!(net.enabling_degree(t, &m), 2);
+    }
+
+    #[test]
+    fn inhibitor_disables() {
+        let mut b = PetriNetBuilder::new();
+        let p = b.place("P", 1);
+        let q = b.place("Q", 2);
+        let t = b.timed("T", 1.0, ServerSemantics::Single).input(p).inhibitor(q, 2).done();
+        let net = b.build().unwrap();
+        let m = net.initial_marking();
+        assert!(!net.is_enabled(t, &m));
+        let m2: Marking = vec![1, 1].into_boxed_slice();
+        assert!(net.is_enabled(t, &m2));
+    }
+
+    #[test]
+    fn guard_gates_enabling() {
+        let mut b = PetriNetBuilder::new();
+        let p = b.place("P", 1);
+        let w = b.place("W", 0);
+        let t = b
+            .immediate("T")
+            .input(p)
+            .guard(IntExpr::tokens(w).gt(0))
+            .done();
+        let net = b.build().unwrap();
+        assert!(!net.is_enabled(t, &net.initial_marking()));
+        let m: Marking = vec![1, 1].into_boxed_slice();
+        assert!(net.is_enabled(t, &m));
+        assert!(net.is_vanishing(&m));
+        assert!(!net.is_vanishing(&net.initial_marking()));
+    }
+
+    #[test]
+    fn highest_priority_immediates_win() {
+        let mut b = PetriNetBuilder::new();
+        let p = b.place("P", 1);
+        let lo = b.immediate_weighted("LO", 1.0, 0).input(p).done();
+        let hi = b.immediate_weighted("HI", 3.0, 2).input(p).done();
+        let hi2 = b.immediate_weighted("HI2", 1.0, 2).input(p).done();
+        let net = b.build().unwrap();
+        let en = net.enabled_immediates(&net.initial_marking());
+        let ids: Vec<TransitionId> = en.iter().map(|&(t, _)| t).collect();
+        assert!(ids.contains(&hi) && ids.contains(&hi2) && !ids.contains(&lo));
+        assert_eq!(en.iter().map(|&(_, w)| w).sum::<f64>(), 4.0);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = PetriNetBuilder::new();
+        b.place("P", 0);
+        b.place("P", 0);
+        assert!(matches!(b.build(), Err(PetriError::DuplicateName { kind: "place", .. })));
+
+        let mut b = PetriNetBuilder::new();
+        let p = b.place("P", 1);
+        b.timed("T", 1.0, ServerSemantics::Single).input(p).done();
+        b.timed("T", 1.0, ServerSemantics::Single).input(p).done();
+        assert!(matches!(
+            b.build(),
+            Err(PetriError::DuplicateName { kind: "transition", .. })
+        ));
+    }
+
+    #[test]
+    fn empty_net_rejected() {
+        assert!(matches!(PetriNetBuilder::new().build(), Err(PetriError::EmptyNet)));
+    }
+
+    #[test]
+    fn enabled_timed_lists_rates() {
+        let net = simple_component();
+        let m = net.initial_marking();
+        let en = net.enabled_timed(&m);
+        assert_eq!(en.len(), 1);
+        assert_eq!(en[0].1, 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let mut b = PetriNetBuilder::new();
+        b.place("P", 0);
+        b.timed("T", 0.0, ServerSemantics::Single).done();
+    }
+
+    #[test]
+    fn import_renames_and_fuses_shared_places() {
+        // Build a reusable "component" net with a guard.
+        let mut cb = PetriNetBuilder::new();
+        let on = cb.place("ON", 1);
+        let off = cb.place("OFF", 0);
+        let shared = cb.place("SHARED", 0);
+        cb.timed("FAIL", 0.1, ServerSemantics::Single).input(on).output(off).done();
+        cb.immediate("FLUSH")
+            .input(off)
+            .output(shared)
+            .guard(IntExpr::tokens(on).eq(0))
+            .done();
+        let component = cb.build().unwrap();
+
+        // Union two instances on a shared pool place.
+        let mut b = PetriNetBuilder::new();
+        let pool = b.place("SHARED", 0);
+        let map1 = b.import(&component, |n| {
+            if n == "SHARED" { n.into() } else { format!("{n}_1") }
+        });
+        let map2 = b.import(&component, |n| {
+            if n == "SHARED" { n.into() } else { format!("{n}_2") }
+        });
+        // Both instances fused onto the same pool place.
+        assert_eq!(map1[shared.index()], pool);
+        assert_eq!(map2[shared.index()], pool);
+        assert_ne!(map1[on.index()], map2[on.index()]);
+
+        let net = b.build().unwrap();
+        assert_eq!(net.num_places(), 5); // pool + 2×(ON, OFF)
+        assert_eq!(net.num_transitions(), 4);
+        // Guards were remapped to the renamed ON places.
+        let flush1 = net.transition("FLUSH_1").unwrap();
+        let guard = net.display_expr(&net.transition_def(flush1).guard).to_string();
+        assert_eq!(guard, "(#ON_1=0)");
+        // Initial marking carried over per instance.
+        let m0 = net.initial_marking();
+        assert_eq!(m0[net.place("ON_1").unwrap().index()], 1);
+        assert_eq!(m0[net.place("ON_2").unwrap().index()], 1);
+    }
+
+    #[test]
+    fn import_name_collision_detected_at_build() {
+        let mut cb = PetriNetBuilder::new();
+        let p = cb.place("P", 1);
+        cb.timed("T", 1.0, ServerSemantics::Single).input(p).done();
+        let component = cb.build().unwrap();
+        let mut b = PetriNetBuilder::new();
+        b.import(&component, |n| n.to_string());
+        b.import(&component, |n| n.to_string()); // duplicate transition "T"
+        assert!(matches!(
+            b.build(),
+            Err(PetriError::DuplicateName { kind: "transition", .. })
+        ));
+    }
+
+    #[test]
+    fn timed_delay_is_reciprocal() {
+        let mut b = PetriNetBuilder::new();
+        let p = b.place("P", 1);
+        let t = b.timed_delay("T", 4.0, ServerSemantics::Single).input(p).done();
+        let net = b.build().unwrap();
+        assert_eq!(net.firing_rate(t, &net.initial_marking()), Some(0.25));
+    }
+}

@@ -1,0 +1,469 @@
+//! Reliability block diagram structure and evaluation.
+//!
+//! A block is either a basic component or a series / parallel / k-of-n /
+//! bridge composition of sub-blocks. Blocks are assumed statistically
+//! independent, so availability composes by the standard formulas and
+//! reliability composes the same way pointwise in `t`.
+
+use crate::error::{RbdError, Result};
+use std::fmt;
+
+/// Stochastic model of a basic component.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ComponentModel {
+    /// Repairable component with exponential failure and repair times.
+    Exponential {
+        /// Mean time to failure.
+        mttf: f64,
+        /// Mean time to repair.
+        mttr: f64,
+    },
+    /// Component described only by a fixed steady-state availability.
+    /// `reliability(t)` treats it as the constant `availability` (an
+    /// approximation; use `Exponential` when timing matters).
+    FixedAvailability(f64),
+}
+
+/// A named basic component.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Component {
+    /// Human-readable name (e.g. `"Operating System"`).
+    pub name: String,
+    /// Stochastic model.
+    pub model: ComponentModel,
+}
+
+impl Component {
+    /// Repairable exponential component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mttf` or `mttr` are not finite and positive.
+    pub fn exponential(name: impl Into<String>, mttf: f64, mttr: f64) -> Self {
+        assert!(mttf.is_finite() && mttf > 0.0, "mttf must be positive, got {mttf}");
+        assert!(mttr.is_finite() && mttr > 0.0, "mttr must be positive, got {mttr}");
+        Component { name: name.into(), model: ComponentModel::Exponential { mttf, mttr } }
+    }
+
+    /// Component pinned to a fixed availability in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is outside `[0, 1]`.
+    pub fn fixed(name: impl Into<String>, a: f64) -> Self {
+        assert!((0.0..=1.0).contains(&a), "availability must be in [0,1], got {a}");
+        Component { name: name.into(), model: ComponentModel::FixedAvailability(a) }
+    }
+
+    /// Steady-state availability.
+    pub fn availability(&self) -> f64 {
+        match self.model {
+            ComponentModel::Exponential { mttf, mttr } => mttf / (mttf + mttr),
+            ComponentModel::FixedAvailability(a) => a,
+        }
+    }
+
+    /// Probability of surviving `[0, t]` with no repair.
+    pub fn reliability(&self, t: f64) -> f64 {
+        match self.model {
+            ComponentModel::Exponential { mttf, .. } => (-t / mttf).exp(),
+            ComponentModel::FixedAvailability(a) => a,
+        }
+    }
+
+    /// Steady-state failure frequency (failures per unit time):
+    /// `A / MTTF` for exponential components, `None` for fixed ones.
+    pub fn failure_frequency(&self) -> Option<f64> {
+        match self.model {
+            ComponentModel::Exponential { mttf, mttr } => {
+                Some((mttf / (mttf + mttr)) / mttf)
+            }
+            ComponentModel::FixedAvailability(_) => None,
+        }
+    }
+}
+
+/// A reliability block diagram.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Block {
+    /// Basic component (a leaf of the diagram).
+    Basic(Component),
+    /// All sub-blocks required (logical AND).
+    Series(Vec<Block>),
+    /// At least one sub-block required (logical OR).
+    Parallel(Vec<Block>),
+    /// At least `k` of the sub-blocks required.
+    KOfN {
+        /// Required number of working sub-blocks.
+        k: usize,
+        /// The sub-blocks.
+        blocks: Vec<Block>,
+    },
+    /// Classic five-element bridge: `a`,`b` top rail, `c`,`d` bottom rail,
+    /// `e` the cross-link. Evaluated exactly by pivotal decomposition on `e`.
+    Bridge {
+        /// Top-left element.
+        a: Box<Block>,
+        /// Top-right element.
+        b: Box<Block>,
+        /// Bottom-left element.
+        c: Box<Block>,
+        /// Bottom-right element.
+        d: Box<Block>,
+        /// Cross-link element.
+        e: Box<Block>,
+    },
+}
+
+impl Block {
+    /// Convenience constructor: a repairable exponential leaf.
+    pub fn exponential(name: impl Into<String>, mttf: f64, mttr: f64) -> Self {
+        Block::Basic(Component::exponential(name, mttf, mttr))
+    }
+
+    /// Convenience constructor: a fixed-availability leaf.
+    pub fn fixed(name: impl Into<String>, a: f64) -> Self {
+        Block::Basic(Component::fixed(name, a))
+    }
+
+    /// Series composition.
+    pub fn series(blocks: impl IntoIterator<Item = Block>) -> Self {
+        Block::Series(blocks.into_iter().collect())
+    }
+
+    /// Parallel composition.
+    pub fn parallel(blocks: impl IntoIterator<Item = Block>) -> Self {
+        Block::Parallel(blocks.into_iter().collect())
+    }
+
+    /// k-of-n composition.
+    pub fn k_of_n(k: usize, blocks: impl IntoIterator<Item = Block>) -> Self {
+        Block::KOfN { k, blocks: blocks.into_iter().collect() }
+    }
+
+    /// Validates structural well-formedness (non-empty compositions,
+    /// `1 <= k <= n`).
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            Block::Basic(_) => Ok(()),
+            Block::Series(v) | Block::Parallel(v) => {
+                if v.is_empty() {
+                    return Err(RbdError::EmptyComposition);
+                }
+                v.iter().try_for_each(Block::validate)
+            }
+            Block::KOfN { k, blocks } => {
+                if blocks.is_empty() {
+                    return Err(RbdError::EmptyComposition);
+                }
+                if *k == 0 || *k > blocks.len() {
+                    return Err(RbdError::BadVotingThreshold { k: *k, n: blocks.len() });
+                }
+                blocks.iter().try_for_each(Block::validate)
+            }
+            Block::Bridge { a, b, c, d, e } => {
+                for blk in [a, b, c, d, e] {
+                    blk.validate()?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Steady-state availability of the diagram.
+    pub fn availability(&self) -> f64 {
+        self.eval(&|c: &Component| c.availability())
+    }
+
+    /// Probability of surviving `[0, t]` with no repairs.
+    pub fn reliability(&self, t: f64) -> f64 {
+        assert!(t >= 0.0, "time must be non-negative");
+        self.eval(&|c: &Component| c.reliability(t))
+    }
+
+    /// Evaluates the structure with a per-leaf probability function — the
+    /// common core of availability and reliability. Exposed for sensitivity
+    /// computations in [`crate::fold`].
+    pub fn eval(&self, leaf: &impl Fn(&Component) -> f64) -> f64 {
+        match self {
+            Block::Basic(c) => leaf(c),
+            Block::Series(v) => v.iter().map(|b| b.eval(leaf)).product(),
+            Block::Parallel(v) => {
+                1.0 - v.iter().map(|b| 1.0 - b.eval(leaf)).product::<f64>()
+            }
+            Block::KOfN { k, blocks } => {
+                // DP over "number of working sub-blocks": poly multiplication.
+                let mut dist = vec![1.0f64];
+                for b in blocks {
+                    let p = b.eval(leaf);
+                    let mut next = vec![0.0; dist.len() + 1];
+                    for (i, &di) in dist.iter().enumerate() {
+                        next[i] += di * (1.0 - p);
+                        next[i + 1] += di * p;
+                    }
+                    dist = next;
+                }
+                dist.iter().skip(*k).sum()
+            }
+            Block::Bridge { a, b, c, d, e } => {
+                let (pa, pb, pc, pd, pe) =
+                    (a.eval(leaf), b.eval(leaf), c.eval(leaf), d.eval(leaf), e.eval(leaf));
+                // Pivot on the cross-link e:
+                // e up: (a ∥ c) in series with (b ∥ d)
+                let up = (1.0 - (1.0 - pa) * (1.0 - pc)) * (1.0 - (1.0 - pb) * (1.0 - pd));
+                // e down: (a·b) ∥ (c·d)
+                let down = 1.0 - (1.0 - pa * pb) * (1.0 - pc * pd);
+                pe * up + (1.0 - pe) * down
+            }
+        }
+    }
+
+    /// Visits each leaf component in depth-first order.
+    pub fn for_each_component<'a>(&'a self, f: &mut impl FnMut(&'a Component)) {
+        match self {
+            Block::Basic(c) => f(c),
+            Block::Series(v) | Block::Parallel(v) => {
+                v.iter().for_each(|b| b.for_each_component(f))
+            }
+            Block::KOfN { blocks, .. } => {
+                blocks.iter().for_each(|b| b.for_each_component(f))
+            }
+            Block::Bridge { a, b, c, d, e } => {
+                for blk in [a, b, c, d, e] {
+                    blk.for_each_component(f);
+                }
+            }
+        }
+    }
+
+    /// Number of leaf components.
+    pub fn num_components(&self) -> usize {
+        let mut n = 0;
+        self.for_each_component(&mut |_| n += 1);
+        n
+    }
+
+    /// Evaluates the structure with per-leaf probabilities supplied by
+    /// index (depth-first leaf order). Used for Birnbaum importance.
+    pub fn eval_indexed(&self, probs: &[f64]) -> f64 {
+        let mut idx = 0usize;
+        self.eval_indexed_inner(probs, &mut idx)
+    }
+
+    fn eval_indexed_inner(&self, probs: &[f64], idx: &mut usize) -> f64 {
+        match self {
+            Block::Basic(_) => {
+                let p = probs[*idx];
+                *idx += 1;
+                p
+            }
+            Block::Series(v) => {
+                let mut prod = 1.0;
+                for b in v {
+                    prod *= b.eval_indexed_inner(probs, idx);
+                }
+                prod
+            }
+            Block::Parallel(v) => {
+                let mut prod = 1.0;
+                for b in v {
+                    prod *= 1.0 - b.eval_indexed_inner(probs, idx);
+                }
+                1.0 - prod
+            }
+            Block::KOfN { k, blocks } => {
+                let mut dist = vec![1.0f64];
+                for b in blocks {
+                    let p = b.eval_indexed_inner(probs, idx);
+                    let mut next = vec![0.0; dist.len() + 1];
+                    for (i, &di) in dist.iter().enumerate() {
+                        next[i] += di * (1.0 - p);
+                        next[i + 1] += di * p;
+                    }
+                    dist = next;
+                }
+                dist.iter().skip(*k).sum()
+            }
+            Block::Bridge { a, b, c, d, e } => {
+                let pa = a.eval_indexed_inner(probs, idx);
+                let pb = b.eval_indexed_inner(probs, idx);
+                let pc = c.eval_indexed_inner(probs, idx);
+                let pd = d.eval_indexed_inner(probs, idx);
+                let pe = e.eval_indexed_inner(probs, idx);
+                let up = (1.0 - (1.0 - pa) * (1.0 - pc)) * (1.0 - (1.0 - pb) * (1.0 - pd));
+                let down = 1.0 - (1.0 - pa * pb) * (1.0 - pc * pd);
+                pe * up + (1.0 - pe) * down
+            }
+        }
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Block::Basic(c) => write!(f, "{}", c.name),
+            Block::Series(v) => {
+                write!(f, "series(")?;
+                for (i, b) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, ")")
+            }
+            Block::Parallel(v) => {
+                write!(f, "parallel(")?;
+                for (i, b) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, ")")
+            }
+            Block::KOfN { k, blocks } => {
+                write!(f, "{k}-of-{}(", blocks.len())?;
+                for (i, b) in blocks.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, ")")
+            }
+            Block::Bridge { a, b, c, d, e } => {
+                write!(f, "bridge({a}, {b}, {c}, {d}, {e})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_availability() {
+        let c = Component::exponential("OS", 4000.0, 1.0);
+        assert!((c.availability() - 4000.0 / 4001.0).abs() < 1e-12);
+        assert!((c.reliability(4000.0) - (-1.0f64).exp()).abs() < 1e-12);
+        let f = Component::fixed("X", 0.99);
+        assert_eq!(f.availability(), 0.99);
+        assert_eq!(f.failure_frequency(), None);
+    }
+
+    #[test]
+    fn series_availability_is_product() {
+        let b = Block::series([
+            Block::exponential("OS", 4000.0, 1.0),
+            Block::exponential("PM", 1000.0, 12.0),
+        ]);
+        let expect = (4000.0 / 4001.0) * (1000.0 / 1012.0);
+        assert!((b.availability() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_availability() {
+        let b = Block::parallel([Block::fixed("A", 0.9), Block::fixed("B", 0.8)]);
+        assert!((b.availability() - (1.0 - 0.1 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_of_n_matches_binomial() {
+        // 2-of-3 identical components with availability p.
+        let p: f64 = 0.9;
+        let b = Block::k_of_n(2, (0..3).map(|i| Block::fixed(format!("C{i}"), p)));
+        let expect = 3.0 * p * p * (1.0 - p) + p * p * p;
+        assert!((b.availability() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_of_n_non_identical() {
+        let (p1, p2, p3) = (0.9, 0.8, 0.7);
+        let b = Block::k_of_n(
+            2,
+            [Block::fixed("a", p1), Block::fixed("b", p2), Block::fixed("c", p3)],
+        );
+        let expect = p1 * p2 * (1.0 - p3)
+            + p1 * (1.0 - p2) * p3
+            + (1.0 - p1) * p2 * p3
+            + p1 * p2 * p3;
+        assert!((b.availability() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_of_n_equals_parallel_and_n_of_n_equals_series() {
+        let blocks = vec![Block::fixed("a", 0.9), Block::fixed("b", 0.85)];
+        let par = Block::parallel(blocks.clone());
+        let ser = Block::series(blocks.clone());
+        let one = Block::k_of_n(1, blocks.clone());
+        let two = Block::k_of_n(2, blocks);
+        assert!((par.availability() - one.availability()).abs() < 1e-12);
+        assert!((ser.availability() - two.availability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bridge_closed_form() {
+        // All components identical with probability p:
+        // R = 2p^2 + 2p^3 - 5p^4 + 2p^5.
+        let p: f64 = 0.9;
+        let mk = |n: &str| Box::new(Block::fixed(n, p));
+        let b = Block::Bridge { a: mk("a"), b: mk("b"), c: mk("c"), d: mk("d"), e: mk("e") };
+        let expect = 2.0 * p.powi(2) + 2.0 * p.powi(3) - 5.0 * p.powi(4) + 2.0 * p.powi(5);
+        assert!((b.availability() - expect).abs() < 1e-12, "{}", b.availability());
+    }
+
+    #[test]
+    fn reliability_composes_pointwise() {
+        let b = Block::parallel([
+            Block::exponential("A", 1.0, 1.0),
+            Block::exponential("B", 1.0, 1.0),
+        ]);
+        let t = 0.7;
+        let r = 1.0 - (1.0 - (-t / 1.0f64).exp()).powi(2);
+        assert!((b.reliability(t) - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_structures() {
+        assert!(matches!(
+            Block::Series(vec![]).validate(),
+            Err(RbdError::EmptyComposition)
+        ));
+        assert!(matches!(
+            Block::k_of_n(5, [Block::fixed("a", 0.5)]).validate(),
+            Err(RbdError::BadVotingThreshold { k: 5, n: 1 })
+        ));
+        assert!(Block::fixed("x", 0.5).validate().is_ok());
+    }
+
+    #[test]
+    fn eval_indexed_matches_eval() {
+        let b = Block::series([
+            Block::parallel([Block::fixed("a", 0.9), Block::fixed("b", 0.8)]),
+            Block::fixed("c", 0.95),
+        ]);
+        let probs = vec![0.9, 0.8, 0.95];
+        assert!((b.eval_indexed(&probs) - b.availability()).abs() < 1e-12);
+        assert_eq!(b.num_components(), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let b = Block::series([
+            Block::exponential("OS", 4000.0, 1.0),
+            Block::exponential("PM", 1000.0, 12.0),
+        ]);
+        assert_eq!(b.to_string(), "series(OS, PM)");
+    }
+
+    #[test]
+    #[should_panic(expected = "mttf must be positive")]
+    fn bad_mttf_panics() {
+        Component::exponential("X", -1.0, 1.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for diagram construction and folding.
+
+use std::fmt;
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, RbdError>;
+
+/// Errors produced by RBD validation and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RbdError {
+    /// A series/parallel/k-of-n node has no children.
+    EmptyComposition,
+    /// `k` outside `1..=n` in a k-of-n node.
+    BadVotingThreshold {
+        /// Requested threshold.
+        k: usize,
+        /// Number of sub-blocks.
+        n: usize,
+    },
+    /// Folding requires every leaf to carry MTTF/MTTR, but a
+    /// fixed-availability leaf was found.
+    FixedComponentInFold {
+        /// Name of the offending leaf.
+        name: String,
+    },
+    /// The system failure frequency is zero, so no equivalent MTTF exists.
+    DegenerateFold,
+}
+
+impl fmt::Display for RbdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbdError::EmptyComposition => write!(f, "composition has no sub-blocks"),
+            RbdError::BadVotingThreshold { k, n } => {
+                write!(f, "k-of-n threshold {k} outside 1..={n}")
+            }
+            RbdError::FixedComponentInFold { name } => write!(
+                f,
+                "component {name:?} has fixed availability and no failure rate; folding undefined"
+            ),
+            RbdError::DegenerateFold => {
+                write!(f, "system never fails; equivalent MTTF undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RbdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(RbdError::EmptyComposition.to_string().contains("sub-blocks"));
+        assert!(RbdError::BadVotingThreshold { k: 4, n: 2 }.to_string().contains('4'));
+        assert!(RbdError::FixedComponentInFold { name: "X".into() }
+            .to_string()
+            .contains("X"));
+        assert!(!RbdError::DegenerateFold.to_string().is_empty());
+    }
+}

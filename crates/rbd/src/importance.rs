@@ -1,0 +1,150 @@
+//! Component importance measures.
+//!
+//! Given a system diagram, importance measures rank components by how much
+//! they matter to system availability — the input to "which component
+//! should we upgrade?" decisions (compare the paper's related work [13],
+//! which found that replacing machines with more reliable ones barely moved
+//! Eucalyptus availability):
+//!
+//! * **Birnbaum** `I_B = ∂A_sys/∂A_i = A(i up) − A(i down)` — structural
+//!   leverage.
+//! * **Fussell–Vesely** `I_FV = 1 − U(A_i=1)/U` — fraction of system
+//!   unavailability involving component `i`.
+//! * **RAW** (risk achievement worth) `U(A_i=0)/U` — how much worse things
+//!   get if the component is lost for good.
+//! * **RRW** (risk reduction worth) `U/U(A_i=1)` — how much better things
+//!   get if the component were perfect.
+
+use crate::block::Block;
+
+/// Importance measures for one component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportanceRow {
+    /// Component name.
+    pub name: String,
+    /// Steady-state availability of the component itself.
+    pub availability: f64,
+    /// Birnbaum importance.
+    pub birnbaum: f64,
+    /// Fussell–Vesely importance.
+    pub fussell_vesely: f64,
+    /// Risk achievement worth.
+    pub raw: f64,
+    /// Risk reduction worth (∞ if a perfect component removes all risk).
+    pub rrw: f64,
+}
+
+/// Computes all importance measures for every leaf, sorted by descending
+/// Birnbaum importance.
+pub fn importance_report(block: &Block) -> Vec<ImportanceRow> {
+    let n = block.num_components();
+    let mut probs = Vec::with_capacity(n);
+    let mut names = Vec::with_capacity(n);
+    block.for_each_component(&mut |c| {
+        probs.push(c.availability());
+        names.push(c.name.clone());
+    });
+    let base_a = block.eval_indexed(&probs);
+    let base_u = 1.0 - base_a;
+    let mut scratch = probs.clone();
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        scratch[i] = 1.0;
+        let a_up = block.eval_indexed(&scratch);
+        scratch[i] = 0.0;
+        let a_down = block.eval_indexed(&scratch);
+        scratch[i] = probs[i];
+        let u_up = 1.0 - a_up; // unavailability with a perfect component i
+        let u_down = 1.0 - a_down; // with component i failed forever
+        rows.push(ImportanceRow {
+            name: names[i].clone(),
+            availability: probs[i],
+            birnbaum: a_up - a_down,
+            fussell_vesely: if base_u > 0.0 { 1.0 - u_up / base_u } else { 0.0 },
+            raw: if base_u > 0.0 { u_down / base_u } else { f64::INFINITY },
+            rrw: if u_up > 0.0 { base_u / u_up } else { f64::INFINITY },
+        });
+    }
+    rows.sort_by(|a, b| b.birnbaum.total_cmp(&a.birnbaum));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+
+    #[test]
+    fn series_pair_importance() {
+        // series(A=0.9, B=0.99): A is the weak link.
+        let b = Block::series([Block::fixed("A", 0.9), Block::fixed("B", 0.99)]);
+        let rows = importance_report(&b);
+        // Birnbaum of A = availability of B and vice versa.
+        let a = rows.iter().find(|r| r.name == "A").unwrap();
+        let b_row = rows.iter().find(|r| r.name == "B").unwrap();
+        assert!((a.birnbaum - 0.99).abs() < 1e-12);
+        assert!((b_row.birnbaum - 0.9).abs() < 1e-12);
+        // FV: U = 1-0.891=0.109. With A perfect, U=0.01 -> FV_A ≈ 0.908.
+        assert!((a.fussell_vesely - (1.0 - 0.01 / 0.109)).abs() < 1e-9);
+        // The weak component also tops the FV/RRW ranking.
+        assert!(a.fussell_vesely > b_row.fussell_vesely);
+        assert!(a.rrw > b_row.rrw);
+        // Sorted by Birnbaum: A first.
+        assert_eq!(rows[0].name, "A");
+    }
+
+    #[test]
+    fn parallel_pair_importance() {
+        // parallel(A=0.9, B=0.8): Birnbaum_A = 1 - 0.8 = 0.2.
+        let b = Block::parallel([Block::fixed("A", 0.9), Block::fixed("B", 0.8)]);
+        let rows = importance_report(&b);
+        let a = rows.iter().find(|r| r.name == "A").unwrap();
+        assert!((a.birnbaum - 0.2).abs() < 1e-12);
+        // Removing A entirely: U = 1-0.8 = 0.2; base U = 0.02 -> RAW = 10.
+        assert!((a.raw - 10.0).abs() < 1e-9);
+        // Perfect A removes all risk in a parallel pair -> RRW infinite.
+        assert!(a.rrw.is_infinite());
+        assert!((a.fussell_vesely - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redundant_component_has_lower_birnbaum_than_series_one() {
+        // series(A, parallel(B, C)): A is structurally critical.
+        let b = Block::series([
+            Block::fixed("A", 0.95),
+            Block::parallel([Block::fixed("B", 0.95), Block::fixed("C", 0.95)]),
+        ]);
+        let rows = importance_report(&b);
+        assert_eq!(rows[0].name, "A");
+        let a = &rows[0];
+        let b_row = rows.iter().find(|r| r.name == "B").unwrap();
+        assert!(a.birnbaum > 3.0 * b_row.birnbaum);
+    }
+
+    #[test]
+    fn paper_nas_net_ranking() {
+        // Switch is by far the least reliable of the three network parts.
+        let b = Block::series([
+            Block::exponential("Switch", 430_000.0, 4.0),
+            Block::exponential("Router", 14_077_473.0, 4.0),
+            Block::exponential("NAS", 20_000_000.0, 2.0),
+        ]);
+        let rows = importance_report(&b);
+        let fv: Vec<(&str, f64)> =
+            rows.iter().map(|r| (r.name.as_str(), r.fussell_vesely)).collect();
+        let switch = fv.iter().find(|(n, _)| *n == "Switch").unwrap().1;
+        let router = fv.iter().find(|(n, _)| *n == "Router").unwrap().1;
+        assert!(switch > 0.7, "switch dominates network unavailability: {fv:?}");
+        assert!(switch > router);
+    }
+
+    #[test]
+    fn perfect_system_degenerates_gracefully() {
+        let b = Block::series([Block::fixed("A", 1.0), Block::fixed("B", 1.0)]);
+        let rows = importance_report(&b);
+        for r in rows {
+            assert_eq!(r.fussell_vesely, 0.0);
+            assert!(r.raw.is_infinite() || r.raw >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # dtc-rbd — reliability block diagrams
+//!
+//! The combinatorial half of the DSN'13 paper's hierarchical modeling
+//! approach: series / parallel / k-of-n / bridge diagrams over repairable
+//! components, with
+//!
+//! * steady-state availability and time-dependent reliability,
+//! * **folding** a diagram into an equivalent (MTTF, MTTR) pair via the
+//!   frequency–duration method — the step that feeds the SPN layer's
+//!   `SIMPLE_COMPONENT`s (paper Fig. 5),
+//! * non-repairable MTTF by numeric integration of `R(t)`,
+//! * minimal path/cut sets and Birnbaum importance.
+//!
+//! # Example: the paper's OS+PM series (Fig. 5)
+//!
+//! ```
+//! use dtc_rbd::{Block, fold};
+//!
+//! let ospm = Block::series([
+//!     Block::exponential("OS", 4000.0, 1.0),
+//!     Block::exponential("PM", 1000.0, 12.0),
+//! ]);
+//! let folded = fold(&ospm)?;
+//! // The folded pair reproduces the series availability exactly.
+//! let a = folded.mttf / (folded.mttf + folded.mttr);
+//! assert!((a - ospm.availability()).abs() < 1e-12);
+//! # Ok::<(), dtc_rbd::RbdError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod error;
+pub mod fold;
+pub mod importance;
+pub mod quad;
+pub mod sets;
+
+pub use block::{Block, Component, ComponentModel};
+pub use error::{RbdError, Result};
+pub use fold::{birnbaum_importance, fold, mttf_non_repairable, Folded};
+pub use importance::{importance_report, ImportanceRow};
+pub use sets::{leaf_names, minimal_cut_sets, minimal_path_sets, LeafSet};

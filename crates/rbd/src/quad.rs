@@ -1,0 +1,129 @@
+//! Numeric integration of reliability curves.
+//!
+//! MTTF of a non-repairable system is `∫₀^∞ R(t) dt`. For pure series of
+//! exponential components this has a closed form, but parallel/k-of-n
+//! structures do not, so we integrate numerically: adaptive Simpson panels
+//! over `[0, T]` with `T` doubled until the integrand has decayed.
+
+/// Adaptive Simpson quadrature of `f` over `[a, b]` to absolute tolerance
+/// `tol`.
+///
+/// # Panics
+///
+/// Panics if `a > b` or `tol <= 0`.
+pub fn adaptive_simpson(f: &impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(a <= b, "invalid interval [{a}, {b}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    if a == b {
+        return 0.0;
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    simpson_rec(f, a, b, fa, fm, fb, simpson(a, b, fa, fm, fb), tol, 48)
+}
+
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simpson_rec(
+    f: &impl Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        simpson_rec(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+            + simpson_rec(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+    }
+}
+
+/// Integrates a monotonically decaying non-negative function (a reliability
+/// curve) over `[0, ∞)` by expanding the horizon until both the function
+/// value and the last panel's contribution are negligible.
+pub fn integrate_decaying(f: &impl Fn(f64) -> f64, initial_horizon: f64, tol: f64) -> f64 {
+    assert!(initial_horizon > 0.0, "horizon must be positive");
+    let mut total = 0.0;
+    let mut lo = 0.0;
+    let mut hi = initial_horizon;
+    for _ in 0..128 {
+        let panel = adaptive_simpson(f, lo, hi, tol * 0.01);
+        total += panel;
+        let tail_value = f(hi);
+        if tail_value * hi < tol * 0.1 && panel < tol.max(total * 1e-12) {
+            break;
+        }
+        lo = hi;
+        hi *= 2.0;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_polynomial_exactly() {
+        // Simpson is exact for cubics.
+        let f = |x: f64| 3.0 * x * x;
+        let v = adaptive_simpson(&f, 0.0, 2.0, 1e-12);
+        assert!((v - 8.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn integrates_exponential() {
+        let f = |x: f64| (-x).exp();
+        let v = adaptive_simpson(&f, 0.0, 40.0, 1e-12);
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decaying_integral_of_exponential_is_mean() {
+        for lambda in [0.1, 1.0, 10.0] {
+            let f = move |x: f64| (-lambda * x).exp();
+            let v = integrate_decaying(&f, 1.0, 1e-10);
+            assert!(
+                (v - 1.0 / lambda).abs() < 1e-6 / lambda,
+                "lambda={lambda}: {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn decaying_integral_of_parallel_pair() {
+        // R(t) = 2e^{-t} - e^{-2t}; integral = 2 - 1/2 = 1.5.
+        let f = |x: f64| 2.0 * (-x).exp() - (-2.0 * x).exp();
+        let v = integrate_decaying(&f, 1.0, 1e-10);
+        assert!((v - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_width_interval() {
+        assert_eq!(adaptive_simpson(&|x: f64| x, 1.0, 1.0, 1e-9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn reversed_interval_panics() {
+        adaptive_simpson(&|x: f64| x, 1.0, 0.0, 1e-9);
+    }
+}

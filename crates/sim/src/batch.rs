@@ -1,0 +1,224 @@
+//! Batch-means steady-state estimation.
+//!
+//! Independent replications (see [`crate::runner`]) pay the warm-up cost
+//! once per replication; the batch-means method runs **one** long
+//! trajectory, discards a single warm-up, slices the rest into equal-time
+//! batches, and treats per-batch time averages as approximately independent
+//! samples. It is the method of choice when warm-up is expensive relative
+//! to the correlation time (true for stiff dependability models, where
+//! rare events dominate).
+
+use crate::error::{Result, SimError};
+use crate::runner::Simulator;
+use crate::stats::{estimate_from_samples, Estimate};
+use dtc_petri::expr::{BoolExpr, IntExpr};
+use dtc_petri::model::PlaceId;
+
+/// Configuration for a batch-means run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchMeansConfig {
+    /// Warm-up time discarded once at the start.
+    pub warmup: f64,
+    /// Length of each batch (model time).
+    pub batch_time: f64,
+    /// Number of batches (the sample size for the CI).
+    pub batches: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Confidence level.
+    pub confidence: f64,
+}
+
+impl Default for BatchMeansConfig {
+    fn default() -> Self {
+        BatchMeansConfig {
+            warmup: 10_000.0,
+            batch_time: 50_000.0,
+            batches: 20,
+            seed: 0xBA7C4,
+            confidence: 0.95,
+        }
+    }
+}
+
+impl BatchMeansConfig {
+    fn validate(&self) -> Result<()> {
+        if !(self.batch_time > 0.0)
+            || self.warmup < 0.0
+            || self.batches < 2
+            || !(self.confidence > 0.0 && self.confidence < 1.0)
+        {
+            return Err(SimError::BadConfig(format!("{self:?}")));
+        }
+        Ok(())
+    }
+}
+
+impl<'a> Simulator<'a> {
+    /// Steady-state probability of `expr` by the batch-means method.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadConfig`] for invalid configurations; livelock errors
+    /// as in the replication estimator.
+    pub fn steady_probability_batch_means(
+        &self,
+        expr: &BoolExpr,
+        cfg: &BatchMeansConfig,
+    ) -> Result<Estimate> {
+        cfg.validate()?;
+        let means = self.batch_series(cfg, |m| {
+            if expr.eval(&|p: PlaceId| m[p.index()]) {
+                1.0
+            } else {
+                0.0
+            }
+        })?;
+        Ok(estimate_from_samples(&means, cfg.confidence))
+    }
+
+    /// Steady-state expectation of an integer expression by batch means.
+    pub fn steady_expected_batch_means(
+        &self,
+        expr: &IntExpr,
+        cfg: &BatchMeansConfig,
+    ) -> Result<Estimate> {
+        cfg.validate()?;
+        let means = self.batch_series(cfg, |m| expr.value(&|p: PlaceId| m[p.index()]) as f64)?;
+        Ok(estimate_from_samples(&means, cfg.confidence))
+    }
+
+    /// Runs one long trajectory and returns per-batch time averages of
+    /// `value(marking)`.
+    fn batch_series(
+        &self,
+        cfg: &BatchMeansConfig,
+        value: impl Fn(&[u32]) -> f64,
+    ) -> Result<Vec<f64>> {
+        let mut walker = crate::runner::Run::new(self, cfg.seed);
+        walker.settle()?;
+        let end = cfg.warmup + cfg.batch_time * cfg.batches as f64;
+        let mut acc = vec![0.0f64; cfg.batches];
+        loop {
+            let seg_start = walker.clock();
+            let v = value(walker.marking());
+            let advanced = walker.step()?;
+            let seg_end = if advanced { walker.clock().min(end) } else { end };
+            // Distribute [seg_start, seg_end) across batch windows.
+            let mut t0 = seg_start.max(cfg.warmup);
+            while t0 < seg_end {
+                let batch = ((t0 - cfg.warmup) / cfg.batch_time) as usize;
+                let batch = batch.min(cfg.batches - 1);
+                let window_end = cfg.warmup + cfg.batch_time * (batch + 1) as f64;
+                let t1 = seg_end.min(window_end);
+                acc[batch] += v * (t1 - t0);
+                t0 = t1;
+            }
+            if !advanced || walker.clock() >= end {
+                break;
+            }
+        }
+        Ok(acc.into_iter().map(|a| a / cfg.batch_time).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtc_petri::model::{PetriNetBuilder, ServerSemantics};
+
+    fn simple(mttf: f64, mttr: f64) -> dtc_petri::PetriNet {
+        let mut b = PetriNetBuilder::new();
+        let on = b.place("ON", 1);
+        let off = b.place("OFF", 0);
+        b.timed_delay("F", mttf, ServerSemantics::Single).input(on).output(off).done();
+        b.timed_delay("R", mttr, ServerSemantics::Single).input(off).output(on).done();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn batch_means_covers_closed_form() {
+        let net = simple(100.0, 10.0);
+        let sim = Simulator::new(&net).unwrap();
+        let cfg = BatchMeansConfig {
+            warmup: 1_000.0,
+            batch_time: 20_000.0,
+            batches: 16,
+            seed: 21,
+            confidence: 0.99,
+        };
+        let expr = IntExpr::tokens(net.place("ON").unwrap()).gt(0);
+        let est = sim.steady_probability_batch_means(&expr, &cfg).unwrap();
+        let exact = 100.0 / 110.0;
+        assert!(est.covers(exact), "CI {:?} misses {exact}", est.interval());
+    }
+
+    #[test]
+    fn batch_means_expected_queue_length() {
+        let (lambda, mu, k) = (1.0, 2.0, 5u32);
+        let mut b = PetriNetBuilder::new();
+        let q = b.place("Q", 0);
+        b.timed("A", lambda, ServerSemantics::Single).output(q).inhibitor(q, k).done();
+        b.timed("S", mu, ServerSemantics::Single).input(q).done();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net).unwrap();
+        let cfg = BatchMeansConfig {
+            warmup: 500.0,
+            batch_time: 15_000.0,
+            batches: 12,
+            seed: 5,
+            confidence: 0.99,
+        };
+        let rho: f64 = lambda / mu;
+        let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        let expect: f64 = (0..=k).map(|i| i as f64 * rho.powi(i as i32) / norm).sum();
+        let est = sim
+            .steady_expected_batch_means(&IntExpr::tokens(q), &cfg)
+            .unwrap();
+        assert!(est.covers(expect), "CI {:?} misses {expect}", est.interval());
+    }
+
+    #[test]
+    fn batch_means_reproducible() {
+        let net = simple(10.0, 1.0);
+        let sim = Simulator::new(&net).unwrap();
+        let cfg = BatchMeansConfig { batches: 4, batch_time: 500.0, warmup: 50.0, seed: 9, confidence: 0.95 };
+        let expr = IntExpr::tokens(net.place("ON").unwrap()).gt(0);
+        let a = sim.steady_probability_batch_means(&expr, &cfg).unwrap();
+        let b = sim.steady_probability_batch_means(&expr, &cfg).unwrap();
+        assert_eq!(a.mean, b.mean);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let net = simple(1.0, 1.0);
+        let sim = Simulator::new(&net).unwrap();
+        let expr = IntExpr::tokens(net.place("ON").unwrap()).gt(0);
+        let cfg = BatchMeansConfig { batches: 1, ..Default::default() };
+        assert!(matches!(
+            sim.steady_probability_batch_means(&expr, &cfg),
+            Err(SimError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn deadlock_fills_remaining_batches() {
+        let mut b = PetriNetBuilder::new();
+        let on = b.place("ON", 1);
+        let off = b.place("OFF", 0);
+        b.timed("F", 1.0, ServerSemantics::Single).input(on).output(off).done();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net).unwrap();
+        let cfg = BatchMeansConfig {
+            warmup: 0.0,
+            batch_time: 100.0,
+            batches: 5,
+            seed: 3,
+            confidence: 0.95,
+        };
+        let expr = IntExpr::tokens(off).gt(0);
+        let est = sim.steady_probability_batch_means(&expr, &cfg).unwrap();
+        // After the single failure the system sits in OFF forever.
+        assert!(est.mean > 0.95, "{}", est.mean);
+    }
+}

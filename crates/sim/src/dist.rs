@@ -1,0 +1,252 @@
+//! Firing-time distributions for simulation.
+//!
+//! The numeric pipeline is restricted to exponential transitions (that is
+//! what makes the model a CTMC); the simulator additionally supports the
+//! non-exponential distributions TimeNET offers, which powers the
+//! "deterministic transfer time" ablation of the reproduction.
+
+use rand::Rng;
+
+/// A firing-time distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Exponential with the given rate (1/mean).
+    Exponential {
+        /// Firing rate.
+        rate: f64,
+    },
+    /// Always exactly `value`.
+    Deterministic {
+        /// The constant delay.
+        value: f64,
+    },
+    /// Uniform on `[low, high]`.
+    Uniform {
+        /// Lower bound.
+        low: f64,
+        /// Upper bound.
+        high: f64,
+    },
+    /// Sum of `k` exponential stages, each with the given rate.
+    Erlang {
+        /// Number of stages.
+        k: u32,
+        /// Per-stage rate.
+        rate: f64,
+    },
+    /// Weibull with shape `k` and scale `lambda`.
+    Weibull {
+        /// Shape parameter.
+        shape: f64,
+        /// Scale parameter.
+        scale: f64,
+    },
+    /// Log-normal with the given parameters of the underlying normal.
+    LogNormal {
+        /// Mean of `ln X`.
+        mu: f64,
+        /// Standard deviation of `ln X`.
+        sigma: f64,
+    },
+}
+
+impl Distribution {
+    /// Exponential distribution with mean `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m` is finite and positive.
+    pub fn exponential_mean(m: f64) -> Self {
+        assert!(m.is_finite() && m > 0.0, "mean must be positive, got {m}");
+        Distribution::Exponential { rate: 1.0 / m }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Distribution::Exponential { rate } => 1.0 / rate,
+            Distribution::Deterministic { value } => value,
+            Distribution::Uniform { low, high } => 0.5 * (low + high),
+            Distribution::Erlang { k, rate } => k as f64 / rate,
+            Distribution::Weibull { shape, scale } => scale * gamma(1.0 + 1.0 / shape),
+            Distribution::LogNormal { mu, sigma } => (mu + 0.5 * sigma * sigma).exp(),
+        }
+    }
+
+    /// Whether samples are memoryless (only the exponential is).
+    pub fn is_memoryless(&self) -> bool {
+        matches!(self, Distribution::Exponential { .. })
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Distribution::Exponential { rate } => sample_exp(rng, rate),
+            Distribution::Deterministic { value } => value,
+            Distribution::Uniform { low, high } => rng.gen_range(low..=high),
+            Distribution::Erlang { k, rate } => {
+                (0..k).map(|_| sample_exp(rng, rate)).sum()
+            }
+            Distribution::Weibull { shape, scale } => {
+                let u: f64 = sample_unit(rng);
+                scale * (-u.ln()).powf(1.0 / shape)
+            }
+            Distribution::LogNormal { mu, sigma } => {
+                (mu + sigma * sample_standard_normal(rng)).exp()
+            }
+        }
+    }
+
+    /// Validates parameters, returning a human-readable complaint if bad.
+    pub fn validate(&self) -> Result<(), String> {
+        let ok = match *self {
+            Distribution::Exponential { rate } => rate.is_finite() && rate > 0.0,
+            Distribution::Deterministic { value } => value.is_finite() && value > 0.0,
+            Distribution::Uniform { low, high } => {
+                low.is_finite() && high.is_finite() && 0.0 <= low && low < high
+            }
+            Distribution::Erlang { k, rate } => k > 0 && rate.is_finite() && rate > 0.0,
+            Distribution::Weibull { shape, scale } => shape > 0.0 && scale > 0.0,
+            Distribution::LogNormal { sigma, .. } => sigma > 0.0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("invalid distribution parameters: {self:?}"))
+        }
+    }
+}
+
+fn sample_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // (0, 1] to keep ln() finite.
+    1.0 - rng.gen::<f64>()
+}
+
+fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    -sample_unit(rng).ln() / rate
+}
+
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller.
+    let u1 = sample_unit(rng);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Lanczos approximation of the gamma function (for Weibull means).
+fn gamma(x: f64) -> f64 {
+    // Coefficients for g=7, n=9 (Numerical Recipes).
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean(d: Distribution, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_sample_mean_matches() {
+        let d = Distribution::exponential_mean(4.0);
+        let m = sample_mean(d, 200_000);
+        assert!((m - 4.0).abs() < 0.05, "{m}");
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Distribution::Deterministic { value: 2.5 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 2.5);
+        }
+        assert_eq!(d.mean(), 2.5);
+    }
+
+    #[test]
+    fn uniform_sample_mean() {
+        let d = Distribution::Uniform { low: 1.0, high: 3.0 };
+        let m = sample_mean(d, 100_000);
+        assert!((m - 2.0).abs() < 0.01, "{m}");
+    }
+
+    #[test]
+    fn erlang_mean_and_samples() {
+        let d = Distribution::Erlang { k: 3, rate: 2.0 };
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+        let m = sample_mean(d, 100_000);
+        assert!((m - 1.5).abs() < 0.02, "{m}");
+    }
+
+    #[test]
+    fn weibull_mean_shape_one_is_exponential() {
+        let d = Distribution::Weibull { shape: 1.0, scale: 3.0 };
+        assert!((d.mean() - 3.0).abs() < 1e-9);
+        let m = sample_mean(d, 200_000);
+        assert!((m - 3.0).abs() < 0.05, "{m}");
+    }
+
+    #[test]
+    fn weibull_mean_shape_two() {
+        // mean = scale * Γ(1.5) = scale * √π/2.
+        let d = Distribution::Weibull { shape: 2.0, scale: 1.0 };
+        let expect = (std::f64::consts::PI).sqrt() / 2.0;
+        assert!((d.mean() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_mean() {
+        let d = Distribution::LogNormal { mu: 0.0, sigma: 0.5 };
+        let expect = (0.125f64).exp();
+        assert!((d.mean() - expect).abs() < 1e-12);
+        let m = sample_mean(d, 300_000);
+        assert!((m - expect).abs() < 0.01, "{m} vs {expect}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Distribution::Exponential { rate: 1.0 }.validate().is_ok());
+        assert!(Distribution::Exponential { rate: 0.0 }.validate().is_err());
+        assert!(Distribution::Uniform { low: 2.0, high: 1.0 }.validate().is_err());
+        assert!(Distribution::Deterministic { value: -1.0 }.validate().is_err());
+    }
+
+    #[test]
+    fn memoryless_flag() {
+        assert!(Distribution::Exponential { rate: 1.0 }.is_memoryless());
+        assert!(!Distribution::Deterministic { value: 1.0 }.is_memoryless());
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Errors produced while configuring or executing a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A timing override referenced a transition that does not exist or is
+    /// immediate.
+    UnknownTransition(String),
+    /// A non-memoryless distribution was placed on a transition with
+    /// infinite/k-server semantics.
+    NonExponentialMultiServer {
+        /// The offending transition name.
+        name: String,
+    },
+    /// Distribution parameters failed validation.
+    BadDistribution(String),
+    /// More than a million immediate firings without reaching a tangible
+    /// marking — an immediate cycle.
+    ImmediateLivelock,
+    /// Invalid simulation configuration.
+    BadConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownTransition(name) => {
+                write!(f, "no timed transition named {name:?}")
+            }
+            SimError::NonExponentialMultiServer { name } => write!(
+                f,
+                "transition {name:?}: non-exponential timing requires single-server semantics"
+            ),
+            SimError::BadDistribution(d) => write!(f, "{d}"),
+            SimError::ImmediateLivelock => {
+                write!(f, "immediate transitions fired 10^6 times without settling")
+            }
+            SimError::BadConfig(c) => write!(f, "invalid simulation config: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(SimError::UnknownTransition("T".into()).to_string().contains("T"));
+        assert!(SimError::ImmediateLivelock.to_string().contains("settling"));
+        assert!(SimError::BadConfig("x".into()).to_string().contains('x'));
+    }
+}

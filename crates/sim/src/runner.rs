@@ -1,0 +1,595 @@
+//! The discrete-event simulation engine.
+//!
+//! Executes a `dtc-petri` net under race semantics: exponential transitions
+//! are resampled after every event (valid by memorylessness), non-exponential
+//! transitions keep their scheduled firing instant while continuously enabled
+//! ("enable memory", TimeNET's default policy). Immediate transitions fire in
+//! zero time, chosen by weight within the highest enabled priority class.
+//!
+//! Estimation uses independent replications with Student-t confidence
+//! intervals: time-weighted averages for steady-state measures (after a
+//! warm-up period) and end-state evaluation for transient measures.
+
+use crate::dist::Distribution;
+use crate::error::{Result, SimError};
+use crate::stats::{estimate_from_samples, Estimate};
+use dtc_petri::expr::{BoolExpr, IntExpr};
+use dtc_petri::model::{PetriNet, PlaceId, ServerSemantics, TransitionKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Replaces the exponential timing of named transitions with arbitrary
+/// distributions (the non-exponential ablation knob).
+#[derive(Debug, Clone, Default)]
+pub struct TimingOverrides {
+    by_name: HashMap<String, Distribution>,
+}
+
+impl TimingOverrides {
+    /// No overrides.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides transition `name` with `dist`.
+    pub fn set(&mut self, name: impl Into<String>, dist: Distribution) -> &mut Self {
+        self.by_name.insert(name.into(), dist);
+        self
+    }
+
+    /// Iterates over the overrides.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Distribution)> {
+        self.by_name.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Time discarded at the start of each replication (steady-state only).
+    pub warmup: f64,
+    /// Measured time per replication (after warm-up).
+    pub horizon: f64,
+    /// Number of independent replications.
+    pub replications: usize,
+    /// Base RNG seed; replication `i` derives its own stream.
+    pub seed: u64,
+    /// Confidence level for intervals.
+    pub confidence: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            warmup: 1_000.0,
+            horizon: 100_000.0,
+            replications: 16,
+            seed: 0xD7C1_0AD5,
+            confidence: 0.95,
+        }
+    }
+}
+
+impl SimConfig {
+    fn validate(&self) -> Result<()> {
+        if !(self.horizon > 0.0)
+            || self.warmup < 0.0
+            || self.replications < 2
+            || !(self.confidence > 0.0 && self.confidence < 1.0)
+        {
+            return Err(SimError::BadConfig(format!("{self:?}")));
+        }
+        Ok(())
+    }
+}
+
+/// A simulator bound to a net, with per-transition firing distributions.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    net: &'a PetriNet,
+    /// One entry per transition; `None` for immediates.
+    dists: Vec<Option<Distribution>>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator using each timed transition's exponential rate.
+    pub fn new(net: &'a PetriNet) -> Result<Self> {
+        Self::with_overrides(net, &TimingOverrides::new())
+    }
+
+    /// Builds a simulator with some transitions' timing replaced.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownTransition`] for an override naming no timed
+    ///   transition.
+    /// * [`SimError::NonExponentialMultiServer`] when a non-memoryless
+    ///   distribution is placed on a transition with infinite/k-server
+    ///   semantics (enable-memory clocks are only tracked per transition,
+    ///   not per server).
+    /// * [`SimError::BadDistribution`] for invalid parameters.
+    pub fn with_overrides(net: &'a PetriNet, overrides: &TimingOverrides) -> Result<Self> {
+        for (name, d) in overrides.iter() {
+            d.validate().map_err(SimError::BadDistribution)?;
+            match net.transition(name) {
+                None => return Err(SimError::UnknownTransition(name.to_string())),
+                Some(t) => {
+                    let def = net.transition_def(t);
+                    match def.kind {
+                        TransitionKind::Immediate { .. } => {
+                            return Err(SimError::UnknownTransition(name.to_string()))
+                        }
+                        TransitionKind::Timed { semantics, .. } => {
+                            if !d.is_memoryless()
+                                && !matches!(semantics, ServerSemantics::Single)
+                            {
+                                return Err(SimError::NonExponentialMultiServer {
+                                    name: name.to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut dists = Vec::with_capacity(net.num_transitions());
+        for (_, tr) in net.transitions() {
+            let d = match tr.kind {
+                TransitionKind::Immediate { .. } => None,
+                TransitionKind::Timed { rate, .. } => Some(
+                    overrides
+                        .by_name
+                        .get(&tr.name)
+                        .copied()
+                        .unwrap_or(Distribution::Exponential { rate }),
+                ),
+            };
+            dists.push(d);
+        }
+        Ok(Simulator { net, dists })
+    }
+
+    /// Steady-state probability of `expr` (time-weighted fraction).
+    pub fn steady_probability(&self, expr: &BoolExpr, cfg: &SimConfig) -> Result<Estimate> {
+        cfg.validate()?;
+        let samples = self.replicate(cfg, |run| {
+            run.time_average(cfg.warmup, cfg.horizon, |m| {
+                if expr.eval(&|p: PlaceId| m[p.index()]) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+        })?;
+        Ok(estimate_from_samples(&samples, cfg.confidence))
+    }
+
+    /// Steady-state expectation of an integer marking expression.
+    pub fn steady_expected(&self, expr: &IntExpr, cfg: &SimConfig) -> Result<Estimate> {
+        cfg.validate()?;
+        let samples = self.replicate(cfg, |run| {
+            run.time_average(cfg.warmup, cfg.horizon, |m| {
+                expr.value(&|p: PlaceId| m[p.index()]) as f64
+            })
+        })?;
+        Ok(estimate_from_samples(&samples, cfg.confidence))
+    }
+
+    /// Probability that `expr` holds at time `t` (independent replications,
+    /// binary outcome each).
+    pub fn transient_probability(
+        &self,
+        expr: &BoolExpr,
+        t: f64,
+        cfg: &SimConfig,
+    ) -> Result<Estimate> {
+        cfg.validate()?;
+        if t < 0.0 {
+            return Err(SimError::BadConfig(format!("negative time {t}")));
+        }
+        let samples = self.replicate(cfg, |run| {
+            let m = run.state_at(t)?;
+            Ok(if expr.eval(&|p: PlaceId| m[p.index()]) { 1.0 } else { 0.0 })
+        })?;
+        Ok(estimate_from_samples(&samples, cfg.confidence))
+    }
+
+    fn replicate(
+        &self,
+        cfg: &SimConfig,
+        f: impl Fn(&mut Run<'_>) -> Result<f64>,
+    ) -> Result<Vec<f64>> {
+        let mut samples = Vec::with_capacity(cfg.replications);
+        for rep in 0..cfg.replications {
+            let mut run = Run::new(self, splitmix(cfg.seed, rep as u64));
+            samples.push(f(&mut run)?);
+        }
+        Ok(samples)
+    }
+}
+
+/// Derives a decorrelated per-replication seed (SplitMix64 finalizer).
+fn splitmix(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One replication in progress. Also used by the batch-means estimator in
+/// [`crate::batch`], which drives the event loop directly.
+pub(crate) struct Run<'a> {
+    sim: &'a Simulator<'a>,
+    marking: Vec<u32>,
+    clock: f64,
+    /// Scheduled absolute firing times of enabled non-memoryless transitions.
+    pending: Vec<Option<f64>>,
+    rng: StdRng,
+}
+
+impl<'a> Run<'a> {
+    pub(crate) fn new(sim: &'a Simulator<'a>, seed: u64) -> Self {
+        Run {
+            sim,
+            marking: sim.net.initial_marking().to_vec(),
+            clock: 0.0,
+            pending: vec![None; sim.net.num_transitions()],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current simulation clock.
+    pub(crate) fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Current (tangible after `settle`) marking.
+    pub(crate) fn marking(&self) -> &[u32] {
+        &self.marking
+    }
+
+    /// Fires immediates until the marking is tangible.
+    pub(crate) fn settle(&mut self) -> Result<()> {
+        let mut fired = 0usize;
+        loop {
+            let enabled = self.sim.net.enabled_immediates(&self.marking);
+            if enabled.is_empty() {
+                return Ok(());
+            }
+            fired += 1;
+            if fired > 1_000_000 {
+                return Err(SimError::ImmediateLivelock);
+            }
+            let total: f64 = enabled.iter().map(|&(_, w)| w).sum();
+            let mut x = self.rng.gen::<f64>() * total;
+            let mut chosen = enabled[enabled.len() - 1].0;
+            for &(t, w) in &enabled {
+                if x < w {
+                    chosen = t;
+                    break;
+                }
+                x -= w;
+            }
+            self.marking = self.sim.net.fire(chosen, &self.marking).to_vec();
+        }
+    }
+
+    /// Advances by one timed firing. Returns `false` on deadlock.
+    pub(crate) fn step(&mut self) -> Result<bool> {
+        self.settle()?;
+        let net = self.sim.net;
+        let mut winner: Option<(usize, f64)> = None;
+        for (i, dist) in self.sim.dists.iter().enumerate() {
+            let Some(dist) = dist else { continue };
+            let t = dtc_petri::model::TransitionId::new(i as u32);
+            let degree = net.enabling_degree(t, &self.marking);
+            if degree == 0 {
+                self.pending[i] = None;
+                continue;
+            }
+            let fire_at = if dist.is_memoryless() {
+                // Effective rate includes server semantics.
+                let rate = net
+                    .firing_rate(t, &self.marking)
+                    .expect("enabled timed transition has a rate");
+                self.clock + Distribution::Exponential { rate }.sample(&mut self.rng)
+            } else {
+                match self.pending[i] {
+                    Some(at) => at,
+                    None => {
+                        let at = self.clock + dist.sample(&mut self.rng);
+                        self.pending[i] = Some(at);
+                        at
+                    }
+                }
+            };
+            if winner.is_none_or(|(_, best)| fire_at < best) {
+                winner = Some((i, fire_at));
+            }
+        }
+        let Some((idx, at)) = winner else {
+            return Ok(false);
+        };
+        self.clock = at;
+        self.pending[idx] = None;
+        let t = dtc_petri::model::TransitionId::new(idx as u32);
+        self.marking = self.sim.net.fire(t, &self.marking).to_vec();
+        self.settle()?;
+        Ok(true)
+    }
+
+    /// Time-weighted average of `value(marking)` over
+    /// `[warmup, warmup + horizon]`.
+    fn time_average(
+        &mut self,
+        warmup: f64,
+        horizon: f64,
+        value: impl Fn(&[u32]) -> f64,
+    ) -> Result<f64> {
+        self.settle()?;
+        let end = warmup + horizon;
+        let mut acc = 0.0;
+        loop {
+            let seg_start = self.clock;
+            let v = value(&self.marking);
+            let advanced = self.advance_one(end)?;
+            let seg_end = self.clock.min(end);
+            let lo = seg_start.max(warmup);
+            if seg_end > lo {
+                acc += v * (seg_end - lo);
+            }
+            if !advanced || self.clock >= end {
+                // Deadlock: the final marking persists to the horizon.
+                if !advanced && self.clock < end {
+                    let lo = self.clock.max(warmup);
+                    acc += v * (end - lo);
+                }
+                break;
+            }
+        }
+        Ok(acc / horizon)
+    }
+
+    /// Runs until the clock passes `t`, returning the marking occupied at `t`.
+    fn state_at(&mut self, t: f64) -> Result<Vec<u32>> {
+        self.settle()?;
+        loop {
+            let before = self.marking.clone();
+            let advanced = self.step()?;
+            if !advanced || self.clock > t {
+                return Ok(before);
+            }
+        }
+    }
+
+    /// Like [`Run::step`] but does not advance past `end` (the marking at
+    /// `end` is the current one). Returns `false` on deadlock.
+    fn advance_one(&mut self, _end: f64) -> Result<bool> {
+        self.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtc_petri::model::{PetriNetBuilder, ServerSemantics};
+
+    fn simple(mttf: f64, mttr: f64) -> PetriNet {
+        let mut b = PetriNetBuilder::new();
+        let on = b.place("ON", 1);
+        let off = b.place("OFF", 0);
+        b.timed_delay("FAIL", mttf, ServerSemantics::Single).input(on).output(off).done();
+        b.timed_delay("REPAIR", mttr, ServerSemantics::Single).input(off).output(on).done();
+        b.build().unwrap()
+    }
+
+    fn up_expr(net: &PetriNet) -> BoolExpr {
+        IntExpr::tokens(net.place("ON").unwrap()).gt(0)
+    }
+
+    #[test]
+    fn steady_availability_covers_closed_form() {
+        let net = simple(100.0, 10.0);
+        let sim = Simulator::new(&net).unwrap();
+        let cfg = SimConfig {
+            warmup: 500.0,
+            horizon: 20_000.0,
+            replications: 12,
+            seed: 7,
+            confidence: 0.99,
+        };
+        let est = sim.steady_probability(&up_expr(&net), &cfg).unwrap();
+        let exact = 100.0 / 110.0;
+        assert!(
+            est.covers(exact),
+            "CI [{:?}] misses {exact}",
+            est.interval()
+        );
+        assert!(est.half_width < 0.02);
+    }
+
+    #[test]
+    fn mm1k_simulation_matches_closed_form() {
+        let (lambda, mu, k) = (1.0, 2.0, 4u32);
+        let mut b = PetriNetBuilder::new();
+        let q = b.place("Q", 0);
+        b.timed("ARRIVE", lambda, ServerSemantics::Single).output(q).inhibitor(q, k).done();
+        b.timed("SERVE", mu, ServerSemantics::Single).input(q).done();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net).unwrap();
+        let cfg = SimConfig {
+            warmup: 200.0,
+            horizon: 30_000.0,
+            replications: 10,
+            seed: 3,
+            confidence: 0.99,
+        };
+        let rho: f64 = lambda / mu;
+        let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        let expect_mean: f64 =
+            (0..=k).map(|i| i as f64 * rho.powi(i as i32) / norm).sum();
+        let qp = net.place("Q").unwrap();
+        let est = sim.steady_expected(&IntExpr::tokens(qp), &cfg).unwrap();
+        assert!(est.covers(expect_mean), "CI {:?} misses {expect_mean}", est.interval());
+    }
+
+    #[test]
+    fn transient_matches_closed_form() {
+        let lam: f64 = 0.1;
+        let mu: f64 = 1.0;
+        let net = simple(1.0 / lam, 1.0 / mu);
+        let sim = Simulator::new(&net).unwrap();
+        let cfg = SimConfig {
+            warmup: 0.0,
+            horizon: 1.0,
+            replications: 400,
+            seed: 11,
+            confidence: 0.99,
+        };
+        let t = 5.0;
+        let a = mu / (lam + mu);
+        let expect = a + (1.0 - a) * (-(lam + mu) * t).exp();
+        let est = sim.transient_probability(&up_expr(&net), t, &cfg).unwrap();
+        assert!(est.covers(expect), "CI {:?} misses {expect}", est.interval());
+    }
+
+    #[test]
+    fn weighted_fork_frequencies() {
+        let mut b = PetriNetBuilder::new();
+        let idle = b.place("IDLE", 1);
+        let choice = b.place("CHOICE", 0);
+        let pa = b.place("PA", 0);
+        let pb = b.place("PB", 0);
+        b.timed("GO", 10.0, ServerSemantics::Single).input(idle).output(choice).done();
+        b.immediate_weighted("A", 1.0, 0).input(choice).output(pa).done();
+        b.immediate_weighted("B", 3.0, 0).input(choice).output(pb).done();
+        b.timed("DA", 10.0, ServerSemantics::Single).input(pa).output(idle).done();
+        b.timed("DB", 10.0, ServerSemantics::Single).input(pb).output(idle).done();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net).unwrap();
+        let cfg = SimConfig {
+            warmup: 100.0,
+            horizon: 20_000.0,
+            replications: 8,
+            seed: 5,
+            confidence: 0.99,
+        };
+        let est_a = sim
+            .steady_probability(&IntExpr::tokens(pa).gt(0), &cfg)
+            .unwrap();
+        let est_b = sim
+            .steady_probability(&IntExpr::tokens(pb).gt(0), &cfg)
+            .unwrap();
+        let ratio = est_a.mean / (est_a.mean + est_b.mean);
+        assert!((ratio - 0.25).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_override_changes_variance_not_mean_rate() {
+        // M/D/1/K vs M/M/1/K: deterministic service keeps the same mean
+        // service time; mean queue length drops (less variance).
+        let (lambda, mu, k) = (0.8, 1.0, 10u32);
+        let mut b = PetriNetBuilder::new();
+        let q = b.place("Q", 0);
+        b.timed("ARRIVE", lambda, ServerSemantics::Single).output(q).inhibitor(q, k).done();
+        b.timed("SERVE", mu, ServerSemantics::Single).input(q).done();
+        let net = b.build().unwrap();
+        let cfg = SimConfig {
+            warmup: 500.0,
+            horizon: 30_000.0,
+            replications: 8,
+            seed: 17,
+            confidence: 0.95,
+        };
+        let qp = net.place("Q").unwrap();
+        let exp_sim = Simulator::new(&net).unwrap();
+        let exp_len = exp_sim.steady_expected(&IntExpr::tokens(qp), &cfg).unwrap();
+        let mut ov = TimingOverrides::new();
+        ov.set("SERVE", Distribution::Deterministic { value: 1.0 / mu });
+        let det_sim = Simulator::with_overrides(&net, &ov).unwrap();
+        let det_len = det_sim.steady_expected(&IntExpr::tokens(qp), &cfg).unwrap();
+        assert!(
+            det_len.mean < exp_len.mean,
+            "M/D/1 queue should be shorter: {} vs {}",
+            det_len.mean,
+            exp_len.mean
+        );
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let net = simple(50.0, 5.0);
+        let sim = Simulator::new(&net).unwrap();
+        let cfg = SimConfig {
+            warmup: 10.0,
+            horizon: 1000.0,
+            replications: 4,
+            seed: 99,
+            confidence: 0.95,
+        };
+        let a = sim.steady_probability(&up_expr(&net), &cfg).unwrap();
+        let b = sim.steady_probability(&up_expr(&net), &cfg).unwrap();
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.half_width, b.half_width);
+    }
+
+    #[test]
+    fn unknown_override_rejected() {
+        let net = simple(1.0, 1.0);
+        let mut ov = TimingOverrides::new();
+        ov.set("NOPE", Distribution::Deterministic { value: 1.0 });
+        assert!(matches!(
+            Simulator::with_overrides(&net, &ov),
+            Err(SimError::UnknownTransition(_))
+        ));
+    }
+
+    #[test]
+    fn non_exponential_on_infinite_server_rejected() {
+        let mut b = PetriNetBuilder::new();
+        let p = b.place("P", 2);
+        b.timed("T", 1.0, ServerSemantics::Infinite).input(p).done();
+        let net = b.build().unwrap();
+        let mut ov = TimingOverrides::new();
+        ov.set("T", Distribution::Deterministic { value: 1.0 });
+        assert!(matches!(
+            Simulator::with_overrides(&net, &ov),
+            Err(SimError::NonExponentialMultiServer { .. })
+        ));
+    }
+
+    #[test]
+    fn deadlocked_net_reports_final_state_fraction() {
+        // One-shot net: ON -> OFF, then deadlock; availability over a long
+        // horizon tends to 0.
+        let mut b = PetriNetBuilder::new();
+        let on = b.place("ON", 1);
+        let off = b.place("OFF", 0);
+        b.timed("FAIL", 1.0, ServerSemantics::Single).input(on).output(off).done();
+        let net = b.build().unwrap();
+        let sim = Simulator::new(&net).unwrap();
+        let cfg = SimConfig {
+            warmup: 0.0,
+            horizon: 1000.0,
+            replications: 4,
+            seed: 1,
+            confidence: 0.95,
+        };
+        let est = sim
+            .steady_probability(&IntExpr::tokens(on).gt(0), &cfg)
+            .unwrap();
+        assert!(est.mean < 0.01, "{}", est.mean);
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let net = simple(1.0, 1.0);
+        let sim = Simulator::new(&net).unwrap();
+        let cfg = SimConfig { replications: 1, ..Default::default() };
+        assert!(matches!(
+            sim.steady_probability(&up_expr(&net), &cfg),
+            Err(SimError::BadConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,98 @@
+//! Economics: is the second data center worth the money?
+//!
+//! The paper motivates disaster tolerance through SLA penalties. This
+//! example prices three architectures — one site, one site + backup-only,
+//! two sites — under a configurable cost model, and reports the break-even
+//! outage cost at which the failover site pays for itself.
+//!
+//! ```sh
+//! cargo run --release --example cost_comparison
+//! ```
+
+use dtcloud::core::prelude::*;
+use dtcloud::geo::{WanModel, BRASILIA, RIO_DE_JANEIRO, SAO_PAULO};
+
+fn main() -> dtcloud::core::Result<()> {
+    let params = PaperParams::table_vi();
+    let wan = WanModel::paper_calibrated();
+    let alpha = 0.35;
+    let gb = params.vm_size_gb;
+    let mtt = wan.mtt_between_hours(&RIO_DE_JANEIRO, &BRASILIA, alpha, gb);
+    let bk1 = wan.mtt_between_hours(&SAO_PAULO, &RIO_DE_JANEIRO, alpha, gb);
+    let bk2 = wan.mtt_between_hours(&SAO_PAULO, &BRASILIA, alpha, gb);
+
+    let dc = |label: &str, hot: bool, bk: Option<f64>| DataCenterSpec {
+        label: label.into(),
+        pms: vec![if hot { PmSpec::hot(2, 2) } else { PmSpec::warm(2) }],
+        disaster: Some(params.disaster(100.0)),
+        nas_net: Some(params.nas_net_folded().expect("folds")),
+        backup_inbound_mtt_hours: bk,
+    };
+
+    // Architecture A: single site.
+    let single = CloudSystemSpec {
+        ospm: params.ospm_folded()?,
+        vm: params.vm_params(),
+        data_centers: vec![dc("1", true, None)],
+        backup: None,
+        direct_mtt_hours: vec![vec![None]],
+        min_running_vms: 1,
+        migration_threshold: 1,
+    };
+    // Architecture B: two sites + backup server (the paper's design).
+    let dual = CloudSystemSpec {
+        ospm: params.ospm_folded()?,
+        vm: params.vm_params(),
+        data_centers: vec![dc("1", true, Some(bk1)), dc("2", false, Some(bk2))],
+        backup: Some(params.backup),
+        direct_mtt_hours: vec![vec![None, Some(mtt)], vec![Some(mtt), None]],
+        min_running_vms: 1,
+        migration_threshold: 1,
+    };
+
+    let opts = EvalOptions::default();
+    let costs = CostModel::default();
+
+    println!(
+        "cost model: outage ${}/h, site ${}/y, PM ${}/y, backup ${}/y\n",
+        costs.downtime_cost_per_hour,
+        costs.site_cost_per_year,
+        costs.pm_cost_per_year,
+        costs.backup_cost_per_year
+    );
+    println!(
+        "{:<28} {:>12} {:>13} {:>13} {:>13}",
+        "architecture", "availability", "downtime $/y", "infra $/y", "total $/y"
+    );
+
+    let mut evaluated = Vec::new();
+    for (name, spec) in [("single site (Rio)", single), ("dual site (Rio+Brasília)", dual)] {
+        let model = CloudModel::build(spec.clone())?;
+        let report = model.evaluate(&opts)?;
+        let cost = costs.annual_cost(&spec, &report);
+        println!(
+            "{:<28} {:>12.6} {:>13.0} {:>13.0} {:>13.0}",
+            name,
+            report.availability,
+            cost.downtime,
+            cost.infrastructure,
+            cost.total()
+        );
+        evaluated.push((name, spec, report, cost));
+    }
+
+    let (_, _, r_single, c_single) = &evaluated[0];
+    let (_, _, r_dual, c_dual) = &evaluated[1];
+    let extra_infra = c_dual.infrastructure - c_single.infrastructure;
+    match CostModel::break_even_rate(r_single.availability, r_dual.availability, extra_infra)
+    {
+        Some(rate) => println!(
+            "\nthe failover site pays for itself once an outage hour costs more \
+             than ${rate:.0}\n(availability gain: {:.4} -> {:.4}, extra infrastructure \
+             ${extra_infra:.0}/year)",
+            r_single.availability, r_dual.availability
+        ),
+        None => println!("\nthe failover site never pays for itself at these parameters"),
+    }
+    Ok(())
+}

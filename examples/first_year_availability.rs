@@ -1,0 +1,88 @@
+//! Transient analysis: what availability should a customer expect in the
+//! first week / month / year of operation?
+//!
+//! Steady-state availability is the long-run limit; a fresh deployment
+//! starts with everything working, so early SLA windows look better. This
+//! example computes the point availability curve `A(t)` and the expected
+//! interval availability over growing windows for a compact two-site
+//! system — the cumulative-measure machinery the paper lists as future
+//! work ("assess performance metrics in the proposed method").
+//!
+//! ```sh
+//! cargo run --release --example first_year_availability
+//! ```
+
+use dtcloud::core::prelude::*;
+use dtcloud::geo::{WanModel, BRASILIA, RIO_DE_JANEIRO, SAO_PAULO};
+
+fn main() -> dtcloud::core::Result<()> {
+    let params = PaperParams::table_vi();
+    let wan = WanModel::paper_calibrated();
+    let alpha = 0.35;
+    let gb = params.vm_size_gb;
+    let mtt = wan.mtt_between_hours(&RIO_DE_JANEIRO, &BRASILIA, alpha, gb);
+    let bk1 = wan.mtt_between_hours(&SAO_PAULO, &RIO_DE_JANEIRO, alpha, gb);
+    let bk2 = wan.mtt_between_hours(&SAO_PAULO, &BRASILIA, alpha, gb);
+
+    let dc = |label: &str, hot: bool, bk: f64| DataCenterSpec {
+        label: label.into(),
+        pms: vec![if hot { PmSpec::hot(2, 2) } else { PmSpec::warm(2) }],
+        disaster: Some(params.disaster(100.0)),
+        nas_net: Some(params.nas_net_folded().expect("folds")),
+        backup_inbound_mtt_hours: Some(bk),
+    };
+    let spec = CloudSystemSpec {
+        ospm: params.ospm_folded()?,
+        vm: params.vm_params(),
+        data_centers: vec![dc("1", true, bk1), dc("2", false, bk2)],
+        backup: Some(params.backup),
+        direct_mtt_hours: vec![vec![None, Some(mtt)], vec![Some(mtt), None]],
+        min_running_vms: 1,
+        migration_threshold: 1,
+    };
+    let model = CloudModel::build(spec)?;
+    let graph = model.state_space(&EvalOptions::default())?;
+    let steady = model.evaluate_on(&graph, &EvalOptions::default())?;
+
+    println!("steady-state availability: {:.7} ({:.2} nines)\n", steady.availability, steady.nines);
+
+    println!("point availability A(t):");
+    let times = [1.0, 24.0, 168.0, 720.0, 4380.0, 8760.0, 43_800.0];
+    let curve = model.transient_availability(&graph, &times)?;
+    for (t, a) in times.iter().zip(&curve) {
+        println!("  t = {:>8.0} h ({:>9}) : {:.7}", t, label(*t), a);
+    }
+
+    println!("\nexpected interval availability over [0, T]:");
+    for horizon in [168.0, 720.0, 8760.0, 87_600.0] {
+        let ia = model.interval_availability(&graph, horizon)?;
+        let downtime = (1.0 - ia) * horizon;
+        println!(
+            "  T = {:>7.0} h ({:>9}) : {:.7}  (expected downtime {:.2} h)",
+            horizon,
+            label(horizon),
+            ia,
+            downtime
+        );
+    }
+
+    println!(
+        "\nReading: a new deployment outperforms its steady state for months\n\
+         (no disaster debt yet); SLA credits computed from steady-state\n\
+         availability are conservative for year one."
+    );
+    Ok(())
+}
+
+fn label(hours: f64) -> &'static str {
+    match hours as u64 {
+        0..=1 => "1 hour",
+        2..=24 => "1 day",
+        25..=168 => "1 week",
+        169..=720 => "1 month",
+        721..=4380 => "6 months",
+        4381..=8760 => "1 year",
+        8761..=43800 => "5 years",
+        _ => "10 years",
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-crate integration: the paper's hierarchical modeling chain.
+//!
+//! RBD folding (`dtc-rbd`) feeds SIMPLE_COMPONENT parameters (`dtc-core`)
+//! whose SPN (`dtc-petri`) is solved as a CTMC (`dtc-markov`) — and the
+//! numbers must line up with the combinatorial answers at every step.
+
+use dtcloud::core::prelude::*;
+use dtcloud::petri::{explore, IntExpr, PetriNetBuilder, ReachOptions};
+use dtcloud::rbd::{fold, Block};
+
+#[test]
+fn folded_ospm_spn_reproduces_rbd_availability() {
+    // Fig. 5: RBD (OS series PM) -> folded MTTF/MTTR -> SPN simple component.
+    let params = PaperParams::table_vi();
+    let rbd_block = Block::series([
+        Block::exponential("OS", params.os.mttf_hours, params.os.mttr_hours),
+        Block::exponential("PM", params.pm.mttf_hours, params.pm.mttr_hours),
+    ]);
+    let rbd_avail = rbd_block.availability();
+    let folded = fold(&rbd_block).unwrap();
+
+    let mut b = PetriNetBuilder::new();
+    let comp = add_simple_component(
+        &mut b,
+        "OSPM",
+        ComponentParams::new(folded.mttf, folded.mttr),
+    );
+    let net = b.build().unwrap();
+    let graph = explore(&net, &ReachOptions::default()).unwrap();
+    let sol = graph.solve().unwrap();
+    let spn_avail = sol.probability(&IntExpr::tokens(comp.up).gt(0));
+
+    assert!(
+        (spn_avail - rbd_avail).abs() < 1e-10,
+        "SPN {spn_avail} vs RBD {rbd_avail}"
+    );
+}
+
+#[test]
+fn folded_nas_net_matches_product_of_components() {
+    let params = PaperParams::table_vi();
+    let nas_net = params.nas_net_folded().unwrap();
+    let expect = params.switch.availability()
+        * params.router.availability()
+        * params.nas.availability();
+    assert!((nas_net.availability() - expect).abs() < 1e-12);
+}
+
+#[test]
+fn hierarchical_vs_flat_model_agree() {
+    // Folding OS+PM into one SPN component must give (nearly) the same
+    // availability as modeling OS and PM as two separate SPN components in
+    // series. The fold preserves steady-state availability exactly; the
+    // *dynamics* differ only in higher moments.
+    let params = PaperParams::table_vi();
+
+    // Flat: two simple components; system up iff both up.
+    let mut b = PetriNetBuilder::new();
+    let os = add_simple_component(&mut b, "OS", params.os);
+    let pm = add_simple_component(&mut b, "PM", params.pm);
+    let net = b.build().unwrap();
+    let graph = explore(&net, &ReachOptions::default()).unwrap();
+    let sol = graph.solve().unwrap();
+    let flat = sol.probability(
+        &IntExpr::tokens(os.up).gt(0).and(IntExpr::tokens(pm.up).gt(0)),
+    );
+
+    // Hierarchical: one folded component.
+    let folded = params.ospm_folded().unwrap();
+    let mut b = PetriNetBuilder::new();
+    let comp = add_simple_component(&mut b, "OSPM", folded);
+    let net = b.build().unwrap();
+    let graph = explore(&net, &ReachOptions::default()).unwrap();
+    let sol = graph.solve().unwrap();
+    let hier = sol.probability(&IntExpr::tokens(comp.up).gt(0));
+
+    assert!((flat - hier).abs() < 1e-9, "flat {flat} vs hierarchical {hier}");
+}
+
+#[test]
+fn rbd_reliability_is_upper_bounded_by_availability_path() {
+    // Sanity across crates: with repair, availability exceeds the
+    // no-repair reliability at any fixed mission time >> MTTR.
+    let params = PaperParams::table_vi();
+    let block = Block::series([
+        Block::exponential("OS", params.os.mttf_hours, params.os.mttr_hours),
+        Block::exponential("PM", params.pm.mttf_hours, params.pm.mttr_hours),
+    ]);
+    let availability = block.availability();
+    let reliability_at_mttf = block.reliability(params.pm.mttf_hours);
+    assert!(availability > reliability_at_mttf);
+}
+
+#[test]
+fn absorbing_analysis_matches_rbd_mttf_for_series() {
+    // MTTF of a non-repairable series via (a) closed form in dtc-rbd and
+    // (b) mean time to absorption of the corresponding CTMC in dtc-markov.
+    use dtcloud::markov::{mean_time_to_absorption, CtmcBuilder};
+    let (mttf_a, mttf_b) = (4000.0, 1000.0);
+    let block = Block::series([
+        Block::exponential("A", mttf_a, 1.0),
+        Block::exponential("B", mttf_b, 1.0),
+    ]);
+    let rbd_mttf = dtcloud::rbd::mttf_non_repairable(&block).unwrap();
+
+    // CTMC: state 0 = both up, absorbing state 1 = failed.
+    let mut b = CtmcBuilder::new(2);
+    b.rate(0, 1, 1.0 / mttf_a + 1.0 / mttf_b);
+    let chain = b.build().unwrap();
+    let analysis = mean_time_to_absorption(&chain).unwrap();
+    assert!(
+        (analysis.mean_time_to_absorption[0] - rbd_mttf).abs() < 1e-9,
+        "{} vs {rbd_mttf}",
+        analysis.mean_time_to_absorption[0]
+    );
+}

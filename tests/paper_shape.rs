@@ -1,0 +1,153 @@
+//! End-to-end checks of the paper's qualitative results (the "shape" the
+//! reproduction must preserve — see DESIGN.md §5).
+//!
+//! These use the full-fidelity Table VII single-DC architectures plus
+//! reduced two-DC variants (one PM per DC) so the whole file solves in
+//! seconds; the full-size numbers come from the `table7`/`fig7` binaries
+//! and are recorded in EXPERIMENTS.md.
+
+use dtcloud::core::prelude::*;
+use dtcloud::geo::{BRASILIA, TOKYO};
+
+fn reduced_two_dc(city: &dtcloud::geo::City, alpha: f64, disaster_years: f64) -> CloudSystemSpec {
+    let cs = CaseStudy::paper();
+    let mut spec = cs.two_dc_spec(city, alpha, disaster_years);
+    // Shrink: one PM per DC, keep everything else identical.
+    for dc in &mut spec.data_centers {
+        dc.pms.truncate(1);
+    }
+    spec.min_running_vms = 1;
+    spec
+}
+
+#[test]
+fn table_vii_single_dc_rows_ordering_and_levels() {
+    let cs = CaseStudy::paper();
+    let opts = EvalOptions::default();
+    let one = CloudModel::build(cs.single_dc_spec(1)).unwrap().evaluate(&opts).unwrap();
+    let two = CloudModel::build(cs.single_dc_spec(2)).unwrap().evaluate(&opts).unwrap();
+    let four = CloudModel::build(cs.single_dc_spec(4)).unwrap().evaluate(&opts).unwrap();
+
+    // Paper ordering: one < two < four machines.
+    assert!(one.availability < two.availability, "{} !< {}", one.availability, two.availability);
+    assert!(two.availability < four.availability, "{} !< {}", two.availability, four.availability);
+
+    // Reconstruction check (DESIGN.md §5): the 2- and 4-machine rows are
+    // dominated by the disaster term 100/101 ≈ 0.990099; paper reports
+    // 0.9899101 and 0.9900631.
+    assert!((two.availability - 0.98991).abs() < 2e-4, "2-PM row: {}", two.availability);
+    assert!((four.availability - 0.99006).abs() < 2e-4, "4-PM row: {}", four.availability);
+}
+
+#[test]
+fn closer_secondary_site_gives_higher_availability() {
+    let opts = EvalOptions::default();
+    let near = CloudModel::build(reduced_two_dc(&BRASILIA, 0.35, 100.0))
+        .unwrap()
+        .evaluate(&opts)
+        .unwrap();
+    let far = CloudModel::build(reduced_two_dc(&TOKYO, 0.35, 100.0))
+        .unwrap()
+        .evaluate(&opts)
+        .unwrap();
+    assert!(
+        near.availability > far.availability,
+        "Brasília {} should beat Tokyo {}",
+        near.availability,
+        far.availability
+    );
+}
+
+#[test]
+fn better_network_quality_improves_availability() {
+    let opts = EvalOptions::default();
+    let slow = CloudModel::build(reduced_two_dc(&TOKYO, 0.35, 100.0))
+        .unwrap()
+        .evaluate(&opts)
+        .unwrap();
+    let fast = CloudModel::build(reduced_two_dc(&TOKYO, 0.45, 100.0))
+        .unwrap()
+        .evaluate(&opts)
+        .unwrap();
+    assert!(
+        fast.availability > slow.availability,
+        "α=0.45 ({}) should beat α=0.35 ({})",
+        fast.availability,
+        slow.availability
+    );
+}
+
+#[test]
+fn rarer_disasters_improve_availability() {
+    let opts = EvalOptions::default();
+    let frequent = CloudModel::build(reduced_two_dc(&BRASILIA, 0.35, 100.0))
+        .unwrap()
+        .evaluate(&opts)
+        .unwrap();
+    let rare = CloudModel::build(reduced_two_dc(&BRASILIA, 0.35, 300.0))
+        .unwrap()
+        .evaluate(&opts)
+        .unwrap();
+    assert!(
+        rare.availability > frequent.availability,
+        "300-year disasters ({}) should beat 100-year ({})",
+        rare.availability,
+        frequent.availability
+    );
+}
+
+#[test]
+fn distance_effect_dominates_at_low_alpha_network_at_long_distance() {
+    // Fig. 7 narrative: "smaller distances and disaster mean time
+    // significantly affect availability; for larger distances availability
+    // is mostly impacted by network speed."
+    let opts = EvalOptions::default();
+    let tokyo_alpha = CloudModel::build(reduced_two_dc(&TOKYO, 0.45, 100.0))
+        .unwrap()
+        .evaluate(&opts)
+        .unwrap()
+        .nines
+        - CloudModel::build(reduced_two_dc(&TOKYO, 0.35, 100.0))
+            .unwrap()
+            .evaluate(&opts)
+            .unwrap()
+            .nines;
+    let tokyo_disaster = CloudModel::build(reduced_two_dc(&TOKYO, 0.35, 300.0))
+        .unwrap()
+        .evaluate(&opts)
+        .unwrap()
+        .nines
+        - CloudModel::build(reduced_two_dc(&TOKYO, 0.35, 100.0))
+            .unwrap()
+            .evaluate(&opts)
+            .unwrap()
+            .nines;
+    assert!(
+        tokyo_alpha > tokyo_disaster,
+        "at Tokyo distance, α improvement ({tokyo_alpha:.3} nines) should exceed \
+         disaster-rarity improvement ({tokyo_disaster:.3} nines)"
+    );
+}
+
+#[test]
+fn full_fig6_model_beats_single_dc_and_matches_paper_band() {
+    // The one full-size solve in the integration suite: the paper's Fig. 6
+    // instance for Rio–Brasília at baseline parameters. Paper: 0.9997317
+    // (3.57 nines). Our calibration must land in the same band and beat
+    // every single-DC architecture.
+    let cs = CaseStudy::paper();
+    let opts = EvalOptions::default();
+    let report = CloudModel::build(cs.two_dc_spec(&BRASILIA, 0.35, 100.0))
+        .unwrap()
+        .evaluate(&opts)
+        .unwrap();
+    assert!(
+        report.nines > 3.0 && report.nines < 4.2,
+        "Rio–Brasília baseline at {:.2} nines, expected ~3.5",
+        report.nines
+    );
+    let four = CloudModel::build(cs.single_dc_spec(4)).unwrap().evaluate(&opts).unwrap();
+    assert!(report.availability > four.availability);
+    // Paper's Fig. 6 instance: N = 4 VMs, k = 2, 126k-state band.
+    assert!(report.tangible_states > 50_000, "{}", report.tangible_states);
+}

@@ -1,0 +1,206 @@
+//! Property-based tests over the modeling pipeline (proptest).
+//!
+//! Invariants checked on randomized systems and parameters:
+//!
+//! * steady-state vectors are probability distributions,
+//! * VM tokens are conserved in every reachable tangible marking,
+//! * no tangible marking hosts VM tokens on dead infrastructure,
+//! * availability is monotone in component MTTF,
+//! * RBD availability equals the SPN availability for simple components,
+//! * the `nines` transform is monotone.
+
+use dtcloud::core::prelude::*;
+use dtcloud::petri::PlaceId;
+use proptest::prelude::*;
+
+fn arb_component() -> impl Strategy<Value = ComponentParams> {
+    // MTTF/MTTR ratios are kept within ~1e5: more extreme combinations
+    // produce nearly-completely-decomposable chains whose iterative solves
+    // crawl — a solver-stress concern (exercised in dtc-markov's own
+    // tests), not a modeling-invariant concern.
+    (100.0f64..100_000.0, 0.5f64..50.0)
+        .prop_map(|(mttf, mttr)| ComponentParams::new(mttf, mttr))
+}
+
+fn arb_vm() -> impl Strategy<Value = VmParams> {
+    (100.0f64..10_000.0, 0.1f64..10.0, 0.01f64..1.0).prop_map(|(f, r, s)| VmParams {
+        mttf_hours: f,
+        mttr_hours: r,
+        start_hours: s,
+    })
+}
+
+/// A small random cloud: 1–2 DCs, 1–2 PMs each, capacities 1–2.
+fn arb_spec() -> impl Strategy<Value = CloudSystemSpec> {
+    (
+        arb_component(),
+        arb_vm(),
+        1usize..=2,                  // number of DCs
+        prop::collection::vec((0u32..=2, 1u32..=2), 1..=2), // PM templates
+        any::<bool>(),               // disasters?
+        any::<bool>(),               // nas?
+        any::<bool>(),               // backup?
+        0.5f64..50.0,                // mtt
+    )
+        .prop_map(|(ospm, vm, ndc, pm_templates, disasters, nas, backup, mtt)| {
+            let use_backup = backup && (disasters || nas) && ndc > 1;
+            let dcs: Vec<DataCenterSpec> = (0..ndc)
+                .map(|i| DataCenterSpec {
+                    label: format!("{}", i + 1),
+                    pms: pm_templates
+                        .iter()
+                        .map(|&(vms, cap)| PmSpec {
+                            initial_vms: vms.min(cap),
+                            capacity: cap,
+                        })
+                        .collect(),
+                    disaster: disasters.then(|| ComponentParams::new(50_000.0, 1000.0)),
+                    nas_net: nas.then(|| ComponentParams::new(100_000.0, 4.0)),
+                    backup_inbound_mtt_hours: use_backup.then_some(mtt * 1.5),
+                })
+                .collect();
+            let n: u32 = dcs
+                .iter()
+                .flat_map(|d| d.pms.iter())
+                .map(|p| p.initial_vms)
+                .sum();
+            let matrix: Vec<Vec<Option<f64>>> = (0..ndc)
+                .map(|i| {
+                    (0..ndc)
+                        .map(|j| if i == j { None } else { Some(mtt) })
+                        .collect()
+                })
+                .collect();
+            CloudSystemSpec {
+                ospm,
+                vm,
+                data_centers: dcs,
+                backup: use_backup.then(|| ComponentParams::new(50_000.0, 0.5)),
+                direct_mtt_hours: matrix,
+                min_running_vms: n.min(1),
+                migration_threshold: 1,
+            }
+        })
+        .prop_filter("at least one VM", |s| s.total_vms() > 0)
+        // Keep the state spaces test-sized: the full case-study model runs
+        // in the integration suite; here we want many small random systems.
+        .prop_filter("bounded size", |s| s.total_vms() <= 3 && s.total_pms() <= 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn steady_state_is_distribution_and_tokens_conserved(spec in arb_spec()) {
+        let n = spec.total_vms();
+        let model = CloudModel::build(spec).unwrap();
+        let graph = model.state_space(&EvalOptions::default()).unwrap();
+
+        // All VM-capable places.
+        let mut places: Vec<PlaceId> = model.vm_up_places();
+        for dc in model.data_centers() {
+            places.push(dc.pool);
+            for v in &dc.vms {
+                places.push(v.vm_down);
+                places.push(v.vm_stg);
+            }
+        }
+        for t in model.transfers().iter().chain(model.backup_transfers()) {
+            places.push(t.in_flight);
+        }
+        for m in graph.states() {
+            let total: u32 = places.iter().map(|p| m[p.index()]).sum();
+            prop_assert_eq!(total, n, "token conservation violated");
+        }
+
+        let sol = graph.solve().unwrap();
+        let sum: f64 = sol.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8, "probabilities sum to {}", sum);
+        prop_assert!(sol.probabilities().iter().all(|p| *p >= -1e-12));
+
+        let report = model.evaluate_on(&graph, &EvalOptions::default()).unwrap();
+        prop_assert!((0.0..=1.0).contains(&report.availability));
+        prop_assert!(report.expected_running_vms <= n as f64 + 1e-9);
+    }
+
+    #[test]
+    fn no_vm_tokens_on_dead_infrastructure(spec in arb_spec()) {
+        let model = CloudModel::build(spec).unwrap();
+        let graph = model.state_space(&EvalOptions::default()).unwrap();
+        for m in graph.states() {
+            for dc in model.data_centers() {
+                let dc_dead = dc
+                    .disaster
+                    .as_ref()
+                    .map(|d| m[d.up.index()] == 0)
+                    .unwrap_or(false)
+                    || dc
+                        .nas_net
+                        .as_ref()
+                        .map(|nn| m[nn.up.index()] == 0)
+                        .unwrap_or(false);
+                for (ospm, vmb) in dc.ospms.iter().zip(&dc.vms) {
+                    let pm_dead = m[ospm.up.index()] == 0;
+                    if pm_dead || dc_dead {
+                        prop_assert_eq!(
+                            m[vmb.vm_up.index()] + m[vmb.vm_down.index()] + m[vmb.vm_stg.index()],
+                            0,
+                            "VM tokens on dead infra in {:?}", m
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn availability_monotone_in_pm_mttf(
+        mttf in 500.0f64..5_000.0,
+        factor in 1.2f64..4.0,
+    ) {
+        let mk = |mttf: f64| {
+            let spec = CloudSystemSpec {
+                ospm: ComponentParams::new(mttf, 12.0),
+                vm: VmParams { mttf_hours: 2880.0, mttr_hours: 0.5, start_hours: 0.1 },
+                data_centers: vec![DataCenterSpec {
+                    label: "1".into(),
+                    pms: vec![PmSpec::hot(1, 1)],
+                    disaster: None,
+                    nas_net: None,
+                    backup_inbound_mtt_hours: None,
+                }],
+                backup: None,
+                direct_mtt_hours: vec![vec![None]],
+                min_running_vms: 1,
+                migration_threshold: 1,
+            };
+            CloudModel::build(spec).unwrap().evaluate(&EvalOptions::default()).unwrap()
+        };
+        let low = mk(mttf);
+        let high = mk(mttf * factor);
+        prop_assert!(
+            high.availability > low.availability,
+            "MTTF {} -> {} lowered availability {} -> {}",
+            mttf, mttf * factor, low.availability, high.availability
+        );
+    }
+
+    #[test]
+    fn nines_is_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(nines(lo) <= nines(hi));
+    }
+
+    #[test]
+    fn rbd_and_spn_agree_for_simple_components(c in arb_component()) {
+        use dtcloud::petri::{explore, IntExpr, PetriNetBuilder, ReachOptions};
+        let block = dtcloud::rbd::Block::exponential("X", c.mttf_hours, c.mttr_hours);
+        let mut b = PetriNetBuilder::new();
+        let comp = add_simple_component(&mut b, "X", c);
+        let net = b.build().unwrap();
+        let sol_graph = explore(&net, &ReachOptions::default()).unwrap();
+        let sol = sol_graph.solve().unwrap();
+        let spn = sol.probability(&IntExpr::tokens(comp.up).gt(0));
+        prop_assert!((spn - block.availability()).abs() < 1e-9);
+    }
+}

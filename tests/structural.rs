@@ -1,0 +1,108 @@
+//! Structural (state-space-free) validation of the generated cloud models:
+//! place invariants prove token conservation without exploring a single
+//! marking, and the incidence matrix of every block has the expected shape.
+
+use dtcloud::core::prelude::*;
+use dtcloud::petri::{check_invariants, place_invariants, to_dot};
+
+fn small_two_dc() -> CloudModel {
+    let params = PaperParams::table_vi();
+    let dc = |label: &str, hot: bool| DataCenterSpec {
+        label: label.into(),
+        pms: vec![if hot { PmSpec::hot(2, 2) } else { PmSpec::warm(2) }],
+        disaster: Some(params.disaster(100.0)),
+        nas_net: Some(params.nas_net_folded().expect("folds")),
+        backup_inbound_mtt_hours: Some(2.0),
+    };
+    let spec = CloudSystemSpec {
+        ospm: params.ospm_folded().expect("folds"),
+        vm: params.vm_params(),
+        data_centers: vec![dc("1", true), dc("2", false)],
+        backup: Some(params.backup),
+        direct_mtt_hours: vec![vec![None, Some(3.0)], vec![Some(3.0), None]],
+        min_running_vms: 1,
+        migration_threshold: 1,
+    };
+    CloudModel::build(spec).expect("builds")
+}
+
+#[test]
+fn cloud_model_has_expected_place_invariants() {
+    let model = small_two_dc();
+    let net = model.net();
+    let invs = place_invariants(net, 500_000).expect("invariants computable");
+
+    // One binary invariant per simple component: 2 OSPMs + 2 NAS + 2 DC +
+    // backup = 7, plus the global VM-token invariant = 8 minimal invariants.
+    assert_eq!(invs.len(), 8, "{invs:?}");
+
+    // The VM invariant must cover VM places, pools and transfer places with
+    // weight 1 and evaluate to N = 2 on the initial marking.
+    let m0 = net.initial_marking();
+    let vm_up1 = net.place("VM_UP1").expect("place").index();
+    let vm_inv = invs
+        .iter()
+        .find(|inv| inv[vm_up1] > 0)
+        .expect("an invariant covers VM_UP1");
+    let weighted: u64 = vm_inv.iter().zip(m0.iter()).map(|(w, t)| w * *t as u64).sum();
+    assert_eq!(weighted, 2, "two VMs in circulation");
+    for name in ["FailedVMS1", "FailedVMS2", "TRP_12", "TBP_21", "VM_STG2", "VM_DOWN1"] {
+        let idx = net.place(name).expect("place").index();
+        assert_eq!(vm_inv[idx], 1, "{name} must belong to the VM invariant");
+    }
+    // Component places do not belong to the VM invariant.
+    let dc_up = net.place("DC_UP1").expect("place").index();
+    assert_eq!(vm_inv[dc_up], 0);
+
+    // Every component invariant sums to exactly 1 on the initial marking.
+    for inv in &invs {
+        let base: u64 = inv.iter().zip(m0.iter()).map(|(w, t)| w * *t as u64).sum();
+        assert!(base == 1 || base == 2, "invariant base {base}");
+    }
+}
+
+#[test]
+fn invariants_hold_on_every_reachable_state() {
+    let model = small_two_dc();
+    let net = model.net();
+    let invs = place_invariants(net, 500_000).expect("invariants");
+    let m0 = net.initial_marking();
+    let graph = model.state_space(&EvalOptions::default()).expect("explores");
+    for m in graph.states() {
+        let violated = check_invariants(&invs, &m0, m);
+        assert!(violated.is_empty(), "invariants {violated:?} violated in {m:?}");
+    }
+}
+
+#[test]
+fn dot_export_of_full_model_is_well_formed() {
+    let model = small_two_dc();
+    let dot = to_dot(model.net());
+    assert!(dot.starts_with("digraph petri {"));
+    assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    // Every place and transition appears.
+    for p in model.net().places() {
+        assert!(dot.contains(&format!("\"P_{}\"", model.net().place_name(p))));
+    }
+    for (_, tr) in model.net().transitions() {
+        assert!(dot.contains(&format!("\"T_{}\"", tr.name)));
+    }
+    // Guards show up as notes.
+    assert!(dot.contains("shape=note"));
+}
+
+#[test]
+fn incidence_matrix_dimensions_and_flush_rows() {
+    use dtcloud::petri::incidence_matrix;
+    let model = small_two_dc();
+    let net = model.net();
+    let c = incidence_matrix(net);
+    assert_eq!(c.len(), net.num_places());
+    assert!(c.iter().all(|row| row.len() == net.num_transitions()));
+    // The FPM_UP1 flush moves one token VM_UP1 -> FailedVMS1.
+    let t = net.transition("FPM_UP1").expect("transition").index();
+    let vm_up1 = net.place("VM_UP1").expect("place").index();
+    let pool1 = net.place("FailedVMS1").expect("place").index();
+    assert_eq!(c[vm_up1][t], -1);
+    assert_eq!(c[pool1][t], 1);
+}
