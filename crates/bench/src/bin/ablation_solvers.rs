@@ -84,7 +84,9 @@ fn main() {
                             .unwrap_or_else(|| "-".into())
                     );
                 }
-                Err(e) => println!("{:<14} failed after {:?}: {e}", method.to_string(), t0.elapsed()),
+                Err(e) => {
+                    println!("{:<14} failed after {:?}: {e}", method.to_string(), t0.elapsed())
+                }
             }
         }
 

@@ -44,7 +44,8 @@ fn main() {
     {
         let mut b = PetriNetBuilder::new();
         let ospm = add_simple_component(&mut b, "OSPM1", params.ospm_folded().expect("folds"));
-        let nas = add_simple_component(&mut b, "NAS_NET1", params.nas_net_folded().expect("folds"));
+        let nas =
+            add_simple_component(&mut b, "NAS_NET1", params.nas_net_folded().expect("folds"));
         let dc = add_simple_component(&mut b, "DC1", params.disaster(100.0));
         let pool = b.place("FailedVMS", 0);
         let infra =
@@ -89,7 +90,10 @@ fn main() {
             model.net().display_expr(&model.availability_expr())
         );
     } else {
-        println!("(run with --full to print the complete Fig. 6 net: {} places, {} transitions)",
-            model.net().num_places(), model.net().num_transitions());
+        println!(
+            "(run with --full to print the complete Fig. 6 net: {} places, {} transitions)",
+            model.net().num_places(),
+            model.net().num_transitions()
+        );
     }
 }

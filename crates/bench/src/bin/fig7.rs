@@ -2,71 +2,55 @@
 //! number of nines) of every case-study configuration over its per-pair
 //! baseline (α = 0.35, disaster mean time = 100 years).
 //!
-//! 45 full-size models are solved (5 city pairs × 3 α × 3 disaster means);
-//! expect ~10 minutes of wall-clock time in release mode.
+//! Thin wrapper over the scenario engine: the 45 configurations (5 city
+//! pairs × 3 α × 3 disaster means) come from the bundled `fig7` catalog;
+//! the five baselines are shared grid points, so the executor's dedup
+//! serves them from one evaluation each. Expect ~10 minutes of wall-clock
+//! time in release mode. Equivalent CLI: `dtc fig7`.
 //!
 //! ```sh
 //! cargo run --release -p dtc-bench --bin fig7
 //! ```
 
-use dtc_core::prelude::*;
-use dtc_core::scenarios::{ALPHAS, DISASTER_YEARS, SECONDARY_CITIES};
-use std::time::Instant;
+use dtc_engine::cli::render_fig7_grid;
+use dtc_engine::prelude::*;
 
 fn main() {
-    let cs = CaseStudy::paper();
-    let points = figure7_scenarios(&cs);
-    let specs: Vec<CloudSystemSpec> = points.iter().map(|p| p.spec.clone()).collect();
+    let catalog = dtc_engine::catalogs::fig7();
+    let scenarios = catalog.expand().expect("bundled catalog expands");
+    let opts =
+        RunOptions { threads: RunOptions::default().threads.min(4), ..Default::default() };
+    eprintln!("evaluating {} configurations on {} threads…", scenarios.len(), opts.threads);
+    let cache = EvalCache::in_memory();
+    let result = run_batch(&scenarios, &cache, &opts);
+    eprintln!("{}", render_summary(&result));
 
-    let t0 = Instant::now();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(4);
-    eprintln!("evaluating {} configurations on {threads} threads…", specs.len());
-    let outcomes = sweep_reports(&specs, &EvalOptions::default(), threads);
-    eprintln!("done in {:?}\n", t0.elapsed());
+    print!("{}", render_fig7_grid(&scenarios, &result.outcomes));
 
-    let nines_of = |idx: usize| -> f64 {
-        outcomes[idx].report.as_ref().map(|r| r.nines).unwrap_or(f64::NAN)
-    };
-    let avail_of = |idx: usize| -> f64 {
-        outcomes[idx].report.as_ref().map(|r| r.availability).unwrap_or(f64::NAN)
-    };
-
-    // Index points by (city, alpha, years).
-    let find = |city: &str, alpha: f64, years: f64| -> usize {
-        points
+    let nines_at = |sec: &str, alpha: f64, years: f64| -> f64 {
+        scenarios
             .iter()
-            .position(|p| p.city.name == city && p.alpha == alpha && p.disaster_years == years)
-            .expect("point exists")
+            .position(|s| {
+                s.secondary.as_deref() == Some(sec)
+                    && s.alpha == Some(alpha)
+                    && s.disaster_years == Some(years)
+            })
+            .and_then(|i| result.outcomes[i].report.as_ref().ok().map(|r| r.nines))
+            .unwrap_or(f64::NAN)
     };
-
-    println!("Figure 7 — availability increase over the per-pair baseline");
-    println!("(baseline: α = 0.35, disaster mean time = 100 years; Δ in number of nines)\n");
-    println!(
-        "{:<10} {:>6} | {:>10} {:>10} {:>10} | {:>8}",
-        "pair", "α", "100 y", "200 y", "300 y", "base A"
-    );
-    dtc_bench::rule(66);
-    for city in SECONDARY_CITIES {
-        let base = find(city.name, 0.35, 100.0);
-        let base_nines = nines_of(base);
-        for alpha in ALPHAS {
-            let deltas: Vec<String> = DISASTER_YEARS
-                .iter()
-                .map(|&y| format!("{:+.3}", nines_of(find(city.name, alpha, y)) - base_nines))
-                .collect();
-            if alpha == 0.35 {
-                println!(
-                    "{:<10} {:>6.2} | {:>10} {:>10} {:>10} | {:>8.6}",
-                    city.name, alpha, deltas[0], deltas[1], deltas[2], avail_of(base)
-                );
-            } else {
-                println!(
-                    "{:<10} {:>6.2} | {:>10} {:>10} {:>10} |",
-                    "", alpha, deltas[0], deltas[1], deltas[2]
-                );
+    // Derive the axes from the expanded catalog (first-appearance order) so
+    // the shape checks follow fig7.toml if its grid is ever edited.
+    fn distinct<T: PartialEq>(items: impl Iterator<Item = T>) -> Vec<T> {
+        items.fold(Vec::new(), |mut acc, x| {
+            if !acc.contains(&x) {
+                acc.push(x);
             }
-        }
+            acc
+        })
     }
+    let pairs = distinct(scenarios.iter().filter_map(|s| s.secondary.as_deref()));
+    let alphas = distinct(scenarios.iter().filter_map(|s| s.alpha));
+    let years = distinct(scenarios.iter().filter_map(|s| s.disaster_years));
 
     // The paper's headline observations, checked mechanically.
     println!("\nShape checks (paper Section V):");
@@ -75,11 +59,14 @@ fn main() {
     };
     // 1. Best configuration: Brasília, α = 0.45, 300-year disasters.
     let mut best: (f64, String) = (f64::NEG_INFINITY, String::new());
-    for p in &points {
-        let idx = find(p.city.name, p.alpha, p.disaster_years);
-        let n = nines_of(idx);
-        if n > best.0 {
-            best = (n, format!("{} α={} disaster={}y", p.city.name, p.alpha, p.disaster_years));
+    for &pair in &pairs {
+        for &a in &alphas {
+            for &y in &years {
+                let n = nines_at(pair, a, y);
+                if n > best.0 {
+                    best = (n, format!("{pair} α={a} disaster={y}y"));
+                }
+            }
         }
     }
     check(
@@ -87,21 +74,17 @@ fn main() {
         best.1.contains("Brasilia") && best.1.contains("0.45") && best.1.contains("300"),
     );
     // 2. Δnines from α grows with distance (network dominates far pairs).
-    let alpha_gain = |city: &str| nines_of(find(city, 0.45, 100.0)) - nines_of(find(city, 0.35, 100.0));
+    let alpha_gain = |pair: &str| nines_at(pair, 0.45, 100.0) - nines_at(pair, 0.35, 100.0);
     check(
         "α improvement larger for Tokio than for Brasilia",
         alpha_gain("Tokio") > alpha_gain("Brasilia"),
     );
     // 3. Monotone in both knobs for every pair.
-    let monotone = SECONDARY_CITIES.iter().all(|c| {
-        ALPHAS.windows(2).all(|aw| {
-            DISASTER_YEARS.iter().all(|&y| {
-                nines_of(find(c.name, aw[1], y)) >= nines_of(find(c.name, aw[0], y)) - 1e-6
-            })
-        }) && DISASTER_YEARS.windows(2).all(|yw| {
-            ALPHAS.iter().all(|&a| {
-                nines_of(find(c.name, a, yw[1])) >= nines_of(find(c.name, a, yw[0])) - 1e-6
-            })
+    let monotone = pairs.iter().all(|pair| {
+        alphas.windows(2).all(|aw| {
+            years.iter().all(|&y| nines_at(pair, aw[1], y) >= nines_at(pair, aw[0], y) - 1e-6)
+        }) && years.windows(2).all(|yw| {
+            alphas.iter().all(|&a| nines_at(pair, a, yw[1]) >= nines_at(pair, a, yw[0]) - 1e-6)
         })
     });
     check("availability monotone in α and disaster mean time for every pair", monotone);

@@ -7,7 +7,12 @@ fn main() {
     let model = CloudModel::build(spec).unwrap();
     let t0 = Instant::now();
     let graph = model.state_space(&EvalOptions::default()).unwrap();
-    println!("explore: {:?}  states={} edges={}", t0.elapsed(), graph.num_states(), graph.stats().edges);
+    println!(
+        "explore: {:?}  states={} edges={}",
+        t0.elapsed(),
+        graph.num_states(),
+        graph.stats().edges
+    );
     let t1 = Instant::now();
     let report = model.evaluate_on(&graph, &EvalOptions::default()).unwrap();
     println!("solve:   {:?}", t1.elapsed());

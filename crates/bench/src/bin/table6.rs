@@ -13,10 +13,7 @@ fn main() {
     println!("{:<36} {:>14} {:>10}", "Component", "MTTF (h)", "MTTR (h)");
     dtc_bench::rule(62);
     for row in TABLE_VI {
-        println!(
-            "{:<36} {:>14} {:>10}",
-            row.component, row.mttf_hours, row.mttr_hours
-        );
+        println!("{:<36} {:>14} {:>10}", row.component, row.mttf_hours, row.mttr_hours);
     }
 
     let p = PaperParams::table_vi();

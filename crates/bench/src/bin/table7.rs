@@ -1,55 +1,35 @@
 //! Regenerates the paper's **Table VII** — availability of the eight
 //! baseline architectures — and prints paper-vs-measured side by side.
 //!
-//! The five two-data-center rows solve the full Fig. 6 model (~126 000
-//! tangible states each); expect a few minutes of wall-clock time.
+//! Thin wrapper over the scenario engine: the architectures come from the
+//! bundled `table7` catalog (which carries the paper's published values as
+//! `expect_availability`), evaluation runs through the content-addressed
+//! cache, and the five two-data-center rows solve the full Fig. 6 model
+//! (~126 000 tangible states each) — expect a few minutes of wall-clock
+//! time. Equivalent CLI: `dtc table7`.
 //!
 //! ```sh
 //! cargo run --release -p dtc-bench --bin table7
 //! ```
 
-use dtc_bench::{pct_delta, rule, PAPER_TABLE_VII};
-use dtc_core::prelude::*;
-use std::time::Instant;
+use dtc_engine::prelude::*;
 
 fn main() {
-    let cs = CaseStudy::paper();
-    let scenarios = table_vii_scenarios(&cs);
-    let specs: Vec<CloudSystemSpec> = scenarios.iter().map(|s| s.spec.clone()).collect();
-
-    let t0 = Instant::now();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(4);
-    eprintln!("evaluating {} architectures on {threads} threads…", specs.len());
-    let outcomes = sweep_reports(&specs, &EvalOptions::default(), threads);
-    eprintln!("done in {:?}\n", t0.elapsed());
+    let catalog = dtc_engine::catalogs::table7();
+    let scenarios = catalog.expand().expect("bundled catalog expands");
+    let opts =
+        RunOptions { threads: RunOptions::default().threads.min(4), ..Default::default() };
+    eprintln!("evaluating {} architectures on {} threads…", scenarios.len(), opts.threads);
+    let cache = EvalCache::in_memory();
+    let result = run_batch(&scenarios, &cache, &opts);
+    eprintln!("{}", render_summary(&result));
 
     println!("Table VII — availability of the baseline architectures");
-    println!(
-        "{:<52} {:>12} {:>7} | {:>12} {:>7} | {:>9}",
-        "Architecture", "paper A", "nines", "measured A", "nines", "ΔA"
-    );
-    rule(110);
-    for (scenario, outcome) in scenarios.iter().zip(&outcomes) {
-        let paper = PAPER_TABLE_VII
-            .iter()
-            .find(|row| row.name == scenario.name)
-            .expect("every scenario has a paper row");
-        match &outcome.report {
-            Ok(r) => println!(
-                "{:<52} {:>12.7} {:>7.2} | {:>12.7} {:>7.2} | {:>9}",
-                scenario.name,
-                paper.availability,
-                paper.nines,
-                r.availability,
-                r.nines,
-                pct_delta(r.availability, paper.availability)
-            ),
-            Err(e) => println!("{:<52} FAILED: {e}", scenario.name),
-        }
-    }
+    print!("{}", render(&scenarios, &result, Format::Table));
 
     println!("\nShape checks (see DESIGN.md §5):");
-    let avail: Vec<f64> = outcomes
+    let avail: Vec<f64> = result
+        .outcomes
         .iter()
         .map(|o| o.report.as_ref().map(|r| r.availability).unwrap_or(f64::NAN))
         .collect();

@@ -179,21 +179,13 @@ pub fn add_vm_behavior(
         .done();
 
     let down = infra_down_expr(infra);
-    b.immediate(format!("FPM_UP{suffix}"))
-        .input(vm_up)
-        .output(pool)
-        .guard(down.clone())
-        .done();
+    b.immediate(format!("FPM_UP{suffix}")).input(vm_up).output(pool).guard(down.clone()).done();
     b.immediate(format!("FPM_DW{suffix}"))
         .input(vm_down)
         .output(pool)
         .guard(down.clone())
         .done();
-    b.immediate(format!("FPM_ST{suffix}"))
-        .input(vm_stg)
-        .output(pool)
-        .guard(down)
-        .done();
+    b.immediate(format!("FPM_ST{suffix}")).input(vm_stg).output(pool).guard(down).done();
 
     let capacity_free = IntExpr::tokens_sum([vm_up, vm_down, vm_stg]).lt(capacity as i64);
     let vm_subs = b
@@ -300,11 +292,8 @@ mod tests {
         let ospm = add_simple_component(&mut b, "OSPM1", ComponentParams::new(100.0, 1.0));
         let nas = add_simple_component(&mut b, "NAS_NET1", ComponentParams::new(100.0, 1.0));
         let dc = add_simple_component(&mut b, "DC1", ComponentParams::new(100.0, 1.0));
-        let infra = InfraRefs {
-            ospm_up: ospm.up,
-            nas_net_up: Some(nas.up),
-            dc_up: Some(dc.up),
-        };
+        let infra =
+            InfraRefs { ospm_up: ospm.up, nas_net_up: Some(nas.up), dc_up: Some(dc.up) };
         let net_b = infra_down_expr(&infra);
         let pool = b.place("POOL", 0);
         let _ = pool;

@@ -152,7 +152,10 @@ mod tests {
         // (direct_mtt and paths unchanged; only the component's presence
         // drives the cost term.)
         let with = cm.annual_cost(&spec, &r);
-        assert!((with.infrastructure - without.infrastructure - cm.backup_cost_per_year).abs() < 1e-9);
+        assert!(
+            (with.infrastructure - without.infrastructure - cm.backup_cost_per_year).abs()
+                < 1e-9
+        );
     }
 
     #[test]

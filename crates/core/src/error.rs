@@ -16,6 +16,10 @@ pub enum CloudError {
     Petri(dtc_petri::PetriError),
     /// Error from the simulation layer.
     Sim(dtc_sim::SimError),
+    /// A panic escaped the model pipeline while evaluating a scenario; the
+    /// sweep harness converts it into a per-scenario error so one bad spec
+    /// cannot poison a whole batch.
+    Panicked(String),
 }
 
 impl fmt::Display for CloudError {
@@ -25,6 +29,7 @@ impl fmt::Display for CloudError {
             CloudError::Rbd(e) => write!(f, "rbd: {e}"),
             CloudError::Petri(e) => write!(f, "petri: {e}"),
             CloudError::Sim(e) => write!(f, "sim: {e}"),
+            CloudError::Panicked(msg) => write!(f, "evaluation panicked: {msg}"),
         }
     }
 }
@@ -32,7 +37,7 @@ impl fmt::Display for CloudError {
 impl std::error::Error for CloudError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CloudError::BadSpec(_) => None,
+            CloudError::BadSpec(_) | CloudError::Panicked(_) => None,
             CloudError::Rbd(e) => Some(e),
             CloudError::Petri(e) => Some(e),
             CloudError::Sim(e) => Some(e),

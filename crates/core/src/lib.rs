@@ -72,12 +72,8 @@ pub mod prelude {
     pub use crate::scenarios::{
         figure7_scenarios, table_vii_scenarios, CaseStudy, Fig7Point, Scenario,
     };
-    pub use crate::sensitivity::{
-        availability_sensitivity, Parameter, SensitivityRow,
-    };
+    pub use crate::sensitivity::{availability_sensitivity, Parameter, SensitivityRow};
     pub use crate::sweep::{sweep_reports, SweepOutcome};
-    pub use crate::system::{
-        CloudModel, CloudSystemSpec, DataCenterSpec, PmSpec,
-    };
+    pub use crate::system::{CloudModel, CloudSystemSpec, DataCenterSpec, PmSpec};
     pub use crate::{CloudError, Result};
 }

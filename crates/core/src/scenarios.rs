@@ -161,10 +161,7 @@ pub struct Scenario {
 /// The eight Table VII rows.
 pub fn table_vii_scenarios(cs: &CaseStudy) -> Vec<Scenario> {
     let mut rows = vec![
-        Scenario {
-            name: "Cloud system with one machine".into(),
-            spec: cs.single_dc_spec(1),
-        },
+        Scenario { name: "Cloud system with one machine".into(), spec: cs.single_dc_spec(1) },
         Scenario {
             name: "Cloud system with two machines in one data center".into(),
             spec: cs.single_dc_spec(2),

@@ -124,21 +124,15 @@ pub fn parameter_value(spec: &CloudSystemSpec, param: &Parameter) -> f64 {
         Parameter::VmStart => spec.vm.start_hours,
         Parameter::BackupMttf => spec.backup.expect("backup present").mttf_hours,
         Parameter::BackupMttr => spec.backup.expect("backup present").mttr_hours,
-        Parameter::NasMttf(d) => {
-            spec.data_centers[*d].nas_net.expect("nas present").mttf_hours
-        }
-        Parameter::NasMttr(d) => {
-            spec.data_centers[*d].nas_net.expect("nas present").mttr_hours
-        }
+        Parameter::NasMttf(d) => spec.data_centers[*d].nas_net.expect("nas present").mttf_hours,
+        Parameter::NasMttr(d) => spec.data_centers[*d].nas_net.expect("nas present").mttr_hours,
         Parameter::DisasterMttf(d) => {
             spec.data_centers[*d].disaster.expect("disaster present").mttf_hours
         }
         Parameter::DisasterMttr(d) => {
             spec.data_centers[*d].disaster.expect("disaster present").mttr_hours
         }
-        Parameter::DirectMtt(i, j) => {
-            spec.direct_mtt_hours[*i][*j].expect("link present")
-        }
+        Parameter::DirectMtt(i, j) => spec.direct_mtt_hours[*i][*j].expect("link present"),
         Parameter::BackupMtt(d) => {
             spec.data_centers[*d].backup_inbound_mtt_hours.expect("path present")
         }
@@ -289,8 +283,7 @@ mod tests {
     #[test]
     fn elasticity_signs_are_physical() {
         let s = spec();
-        let rows =
-            availability_sensitivity(&s, &EvalOptions::default(), 0.05, 2).unwrap();
+        let rows = availability_sensitivity(&s, &EvalOptions::default(), 0.05, 2).unwrap();
         let get = |p: &Parameter| {
             rows.iter().find(|r| &r.parameter == p).expect("row exists").elasticity
         };
@@ -308,8 +301,7 @@ mod tests {
         // the disaster (~9.9e-3); VM repair/boot timing is orders of
         // magnitude less important. The ranking must reflect that.
         let s = spec();
-        let rows =
-            availability_sensitivity(&s, &EvalOptions::default(), 0.05, 2).unwrap();
+        let rows = availability_sensitivity(&s, &EvalOptions::default(), 0.05, 2).unwrap();
         let top = &rows[0];
         assert!(
             matches!(
@@ -322,9 +314,8 @@ mod tests {
             "top parameter was {}",
             top.parameter
         );
-        let rank_of = |p: &Parameter| {
-            rows.iter().position(|r| &r.parameter == p).expect("row exists")
-        };
+        let rank_of =
+            |p: &Parameter| rows.iter().position(|r| &r.parameter == p).expect("row exists");
         // Both infrastructure knobs outrank the VM boot time.
         assert!(rank_of(&Parameter::OspmMttf) < rank_of(&Parameter::VmStart));
         assert!(rank_of(&Parameter::DisasterMttf(0)) < rank_of(&Parameter::VmStart));

@@ -1,14 +1,20 @@
 //! Parallel evaluation of scenario batches.
 //!
 //! The Figure 7 sweep solves 45 independent models; this module fans the
-//! work out over a scoped thread pool (crossbeam) with a shared work queue,
-//! collecting per-scenario reports (or errors) in input order.
+//! work out over a scoped thread pool (`std::thread::scope`) with a shared
+//! work queue, collecting per-scenario reports (or errors) in input order.
+//!
+//! Each scenario is additionally isolated with `catch_unwind`: a panic
+//! while building or solving one model (for example a non-finite rate that
+//! trips a builder assertion) becomes a [`CloudError::Panicked`] for that
+//! scenario instead of poisoning the whole batch.
 
 use crate::error::CloudError;
 use crate::metrics::{AvailabilityReport, EvalOptions};
 use crate::system::{CloudModel, CloudSystemSpec};
-use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Result of evaluating one scenario in a sweep.
 #[derive(Debug, Clone)]
@@ -19,9 +25,31 @@ pub struct SweepOutcome {
     pub report: Result<AvailabilityReport, CloudError>,
 }
 
+/// Builds and evaluates one spec, converting panics into errors.
+pub(crate) fn evaluate_guarded(
+    spec: &CloudSystemSpec,
+    opts: &EvalOptions,
+) -> Result<AvailabilityReport, CloudError> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        CloudModel::build(spec.clone()).and_then(|model| model.evaluate(opts))
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(CloudError::Panicked(msg))
+        }
+    }
+}
+
 /// Evaluates every spec, spreading work over `threads` worker threads
 /// (clamped to at least 1). Results are returned in input order; individual
-/// failures are captured per scenario instead of aborting the batch.
+/// failures — including panics inside the model pipeline — are captured per
+/// scenario instead of aborting the batch.
 pub fn sweep_reports(
     specs: &[CloudSystemSpec],
     opts: &EvalOptions,
@@ -31,23 +59,23 @@ pub fn sweep_reports(
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<SweepOutcome>>> = Mutex::new(vec![None; specs.len()]);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= specs.len() {
                     break;
                 }
-                let report = CloudModel::build(specs[i].clone())
-                    .and_then(|model| model.evaluate(opts));
-                results.lock()[i] = Some(SweepOutcome { index: i, report });
+                let report = evaluate_guarded(&specs[i], opts);
+                let mut slots = results.lock().expect("results mutex poisoned");
+                slots[i] = Some(SweepOutcome { index: i, report });
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("results mutex poisoned")
         .into_iter()
         .map(|o| o.expect("every index filled"))
         .collect()
@@ -106,5 +134,23 @@ mod tests {
         let specs = vec![tiny(1000.0)];
         let out = sweep_reports(&specs, &EvalOptions::default(), 0);
         assert!(out[0].report.is_ok());
+    }
+
+    #[test]
+    fn panicking_scenario_becomes_error_not_batch_poison() {
+        // A NaN MTTF sails past spec validation (the ComponentParams value
+        // is forged with a struct literal, skipping `new`) and trips the
+        // positive-rate assertion inside the Petri-net builder — a panic.
+        let mut evil = tiny(1000.0);
+        evil.ospm = ComponentParams { mttf_hours: f64::NAN, mttr_hours: 12.0 };
+        let specs = vec![tiny(1000.0), evil, tiny(2000.0)];
+        let out = sweep_reports(&specs, &EvalOptions::default(), 2);
+        assert!(out[0].report.is_ok());
+        assert!(
+            matches!(&out[1].report, Err(CloudError::Panicked(msg)) if msg.contains("positive")),
+            "expected Panicked, got {:?}",
+            out[1].report
+        );
+        assert!(out[2].report.is_ok(), "batch must survive a panicking scenario");
     }
 }

@@ -82,11 +82,7 @@ pub struct CloudSystemSpec {
 impl CloudSystemSpec {
     /// Total VMs in the system (`N`).
     pub fn total_vms(&self) -> u32 {
-        self.data_centers
-            .iter()
-            .flat_map(|dc| dc.pms.iter())
-            .map(|pm| pm.initial_vms)
-            .sum()
+        self.data_centers.iter().flat_map(|dc| dc.pms.iter()).map(|pm| pm.initial_vms).sum()
     }
 
     /// Total PMs across all DCs.
@@ -258,13 +254,11 @@ impl CloudModel {
         });
 
         // Guard fragments per DC.
-        let pm_up_sum = |dc: &DataCenterModel| {
-            IntExpr::tokens_sum(dc.ospms.iter().map(|c| c.up))
-        };
+        let pm_up_sum =
+            |dc: &DataCenterModel| IntExpr::tokens_sum(dc.ospms.iter().map(|c| c.up));
         // Source DC lost too many PMs (paper: all PMs down, l = 1).
-        let pm_deficit = |dc: &DataCenterModel| {
-            pm_up_sum(dc).lt(spec.migration_threshold as i64)
-        };
+        let pm_deficit =
+            |dc: &DataCenterModel| pm_up_sum(dc).lt(spec.migration_threshold as i64);
         // Source storage readable: network and DC alive (conjuncts only for
         // modeled components).
         let src_readable = |dc: &DataCenterModel| {
@@ -392,10 +386,7 @@ impl CloudModel {
 
     /// All `VM_UP` places across the system.
     pub fn vm_up_places(&self) -> Vec<PlaceId> {
-        self.dcs
-            .iter()
-            .flat_map(|dc| dc.vms.iter().map(|v| v.vm_up))
-            .collect()
+        self.dcs.iter().flat_map(|dc| dc.vms.iter().map(|v| v.vm_up)).collect()
     }
 
     /// The paper's availability predicate
@@ -471,11 +462,7 @@ impl CloudModel {
             &dtc_markov::SolverOptions::default(),
         )
         .map_err(dtc_petri::PetriError::from)?;
-        Ok(graph
-            .initial_distribution()
-            .iter()
-            .map(|&(i, p)| p * tau[i])
-            .sum())
+        Ok(graph.initial_distribution().iter().map(|&(i, p)| p * tau[i]).sum())
     }
 
     /// Availability for **every** service threshold `k = 0..=N` from a
@@ -744,8 +731,10 @@ mod tests {
         let mttf_two = two.mean_time_to_service_failure(&g2).unwrap();
         // Both in the hundreds of hours; within 2x of each other.
         assert!(mttf_one > 100.0 && mttf_two > 100.0);
-        assert!(mttf_two < mttf_one * 2.0 && mttf_two > mttf_one / 2.0,
-            "{mttf_one} vs {mttf_two}");
+        assert!(
+            mttf_two < mttf_one * 2.0 && mttf_two > mttf_one / 2.0,
+            "{mttf_one} vs {mttf_two}"
+        );
     }
 
     #[test]
@@ -768,10 +757,7 @@ mod tests {
     fn transient_availability_decays_to_steady_state() {
         let model = CloudModel::build(tiny_spec()).unwrap();
         let graph = model.state_space(&EvalOptions::default()).unwrap();
-        let steady = model
-            .evaluate_on(&graph, &EvalOptions::default())
-            .unwrap()
-            .availability;
+        let steady = model.evaluate_on(&graph, &EvalOptions::default()).unwrap().availability;
         let times = [0.0, 10.0, 100.0, 1000.0, 100_000.0];
         let curve = model.transient_availability(&graph, &times).unwrap();
         assert!((curve[0] - 1.0).abs() < 1e-9, "starts fully up: {curve:?}");
@@ -785,10 +771,7 @@ mod tests {
     fn interval_availability_brackets_point_values() {
         let model = CloudModel::build(tiny_spec()).unwrap();
         let graph = model.state_space(&EvalOptions::default()).unwrap();
-        let steady = model
-            .evaluate_on(&graph, &EvalOptions::default())
-            .unwrap()
-            .availability;
+        let steady = model.evaluate_on(&graph, &EvalOptions::default()).unwrap().availability;
         let year = model.interval_availability(&graph, 8760.0).unwrap();
         // Starting all-up, the first-year average beats steady state but is
         // below 1.
@@ -809,9 +792,7 @@ mod tests {
             seed: 13,
             confidence: 0.99,
         };
-        let est = model
-            .simulate_availability(&cfg, &TimingOverrides::new())
-            .unwrap();
+        let est = model.simulate_availability(&cfg, &TimingOverrides::new()).unwrap();
         assert!(
             est.covers(report.availability),
             "simulation CI {:?} misses numeric {}",

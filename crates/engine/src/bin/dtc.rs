@@ -1,0 +1,6 @@
+//! The `dtc` command-line evaluator; see `dtc help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dtc_engine::cli::run_cli(&args));
+}

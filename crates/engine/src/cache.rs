@@ -1,0 +1,425 @@
+//! The content-addressed evaluation cache.
+//!
+//! Maps [`SpecKey`]s (structural hashes of spec + evaluation options) to
+//! memoized [`AvailabilityReport`]s. Lives in memory, with an optional
+//! on-disk JSON store so repeated `dtc` invocations skip re-exploring
+//! state spaces entirely. Lookups verify the stored canonical encoding, so
+//! a hash collision degrades to a miss, never to a wrong answer.
+
+use crate::error::{EngineError, Result};
+use crate::hash::SpecKey;
+use crate::value::Value;
+use dtc_core::metrics::AvailabilityReport;
+use dtc_core::params::{downtime_hours_per_year, nines};
+use dtc_markov::{Method, SolveStats};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss counters and current size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that required an evaluation.
+    pub misses: usize,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    canonical: String,
+    report: AvailabilityReport,
+}
+
+/// A concurrent evaluation cache with an optional JSON backing file.
+#[derive(Debug)]
+pub struct EvalCache {
+    map: Mutex<BTreeMap<String, Entry>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    store: Option<PathBuf>,
+}
+
+impl EvalCache {
+    /// A purely in-memory cache.
+    pub fn in_memory() -> EvalCache {
+        EvalCache {
+            map: Mutex::new(BTreeMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            store: None,
+        }
+    }
+
+    /// A cache backed by a JSON file; existing entries are loaded, and
+    /// [`EvalCache::persist`] writes the current contents back.
+    ///
+    /// Errors on an unreadable or invalid store; use
+    /// [`EvalCache::fresh_store`] to start over while keeping the path.
+    pub fn with_store(path: impl Into<PathBuf>) -> Result<EvalCache> {
+        let path = path.into();
+        let cache = EvalCache::in_memory();
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| EngineError::Io(format!("{}: {e}", path.display())))?;
+            cache.load_json(&text)?;
+        }
+        Ok(EvalCache { store: Some(path), ..cache })
+    }
+
+    /// A cache that will persist to `path` without loading whatever is
+    /// there now — the recovery path when the store file is corrupt.
+    pub fn fresh_store(path: impl Into<PathBuf>) -> EvalCache {
+        EvalCache { store: Some(path.into()), ..EvalCache::in_memory() }
+    }
+
+    /// Looks up a report. The canonical encoding must match the stored one
+    /// for a hit (collision safety).
+    pub fn get(&self, key: &SpecKey, canonical: &str) -> Option<AvailabilityReport> {
+        let map = self.map.lock().expect("cache mutex poisoned");
+        match map.get(&key.0) {
+            Some(e) if e.canonical == canonical => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.report)
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a report under its key.
+    pub fn put(&self, key: &SpecKey, canonical: &str, report: AvailabilityReport) {
+        let mut map = self.map.lock().expect("cache mutex poisoned");
+        map.insert(key.0.clone(), Entry { canonical: canonical.to_string(), report });
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache mutex poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters plus current size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Where this cache persists to, if anywhere.
+    pub fn store_path(&self) -> Option<&Path> {
+        self.store.as_deref()
+    }
+
+    /// Writes the store file, if one was configured.
+    ///
+    /// Entries written to the file by other processes since our load are
+    /// merged in first (our entries win on key conflicts), so concurrent
+    /// invocations sharing one store extend it instead of overwriting each
+    /// other; a corrupt concurrent state is simply replaced. The write goes
+    /// through a temp file + rename, so a crash mid-persist cannot leave a
+    /// truncated store. The read-merge-write sequence itself is not atomic:
+    /// two processes persisting at the same instant can still drop the
+    /// slower one's new entries — a re-solve on the next run, never a wrong
+    /// answer.
+    pub fn persist(&self) -> Result<()> {
+        let Some(path) = &self.store else { return Ok(()) };
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let _ = self.load_json_keeping_existing(&text);
+        }
+        let json = self.to_json();
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, json)
+            .map_err(|e| EngineError::Io(format!("{}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| EngineError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Serializes every entry to the store's JSON schema.
+    pub fn to_json(&self) -> String {
+        let map = self.map.lock().expect("cache mutex poisoned");
+        let entries: Vec<Value> = map
+            .iter()
+            .map(|(key, e)| {
+                let mut t = BTreeMap::new();
+                t.insert("key".into(), Value::Str(key.clone()));
+                t.insert("canonical".into(), Value::Str(e.canonical.clone()));
+                t.insert("report".into(), report_to_value(&e.report));
+                Value::Table(t)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("version".into(), Value::Int(1));
+        root.insert("entries".into(), Value::Array(entries));
+        Value::Table(root).to_json()
+    }
+
+    /// Merges entries from a JSON store document into this cache,
+    /// overwriting entries with colliding keys.
+    pub fn load_json(&self, text: &str) -> Result<()> {
+        self.merge_json(text, true)
+    }
+
+    /// Like [`EvalCache::load_json`], but entries already in memory win on
+    /// key conflicts (used when merging concurrent writers at persist
+    /// time).
+    pub fn load_json_keeping_existing(&self, text: &str) -> Result<()> {
+        self.merge_json(text, false)
+    }
+
+    fn merge_json(&self, text: &str, overwrite: bool) -> Result<()> {
+        let root = Value::from_json(text)?;
+        match root.get("version").and_then(|v| v.as_i64()) {
+            Some(1) => {}
+            v => {
+                return Err(EngineError::Schema(format!(
+                    "unsupported cache store version {v:?}"
+                )))
+            }
+        }
+        let entries = root
+            .get("entries")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| EngineError::Schema("cache store has no entries array".into()))?;
+        let mut map = self.map.lock().expect("cache mutex poisoned");
+        for e in entries {
+            let key = e
+                .get("key")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| EngineError::Schema("cache entry missing key".into()))?;
+            let canonical = e
+                .get("canonical")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| EngineError::Schema("cache entry missing canonical".into()))?;
+            let report =
+                report_from_value(e.get("report").ok_or_else(|| {
+                    EngineError::Schema("cache entry missing report".into())
+                })?)?;
+            if !overwrite && map.contains_key(key) {
+                continue;
+            }
+            map.insert(key.to_string(), Entry { canonical: canonical.to_string(), report });
+        }
+        Ok(())
+    }
+}
+
+fn method_name(m: Method) -> &'static str {
+    match m {
+        Method::Power => "power",
+        Method::Jacobi => "jacobi",
+        Method::GaussSeidel => "gauss-seidel",
+        Method::Sor => "sor",
+        Method::Direct => "direct",
+    }
+}
+
+/// Parses a solver-method name (the [`Method`] `Display` form).
+pub fn method_from_name(name: &str) -> Option<Method> {
+    match name {
+        "power" => Some(Method::Power),
+        "jacobi" => Some(Method::Jacobi),
+        "gauss-seidel" => Some(Method::GaussSeidel),
+        "sor" => Some(Method::Sor),
+        "direct" => Some(Method::Direct),
+        _ => None,
+    }
+}
+
+/// Serializes a report for the store. `nines` and downtime are derived
+/// fields recomputed on load, which keeps every stored number finite.
+pub fn report_to_value(r: &AvailabilityReport) -> Value {
+    let mut t = BTreeMap::new();
+    t.insert("availability".into(), Value::Float(r.availability));
+    t.insert("expected_running_vms".into(), Value::Float(r.expected_running_vms));
+    t.insert(
+        "capacity_oriented_availability".into(),
+        Value::Float(r.capacity_oriented_availability),
+    );
+    t.insert("tangible_states".into(), Value::Int(r.tangible_states as i64));
+    t.insert("edges".into(), Value::Int(r.edges as i64));
+    t.insert("vanishing_markings".into(), Value::Int(r.vanishing_markings as i64));
+    t.insert("solver_iterations".into(), Value::Int(r.solve.iterations as i64));
+    t.insert("solver_residual".into(), Value::Float(r.solve.residual));
+    t.insert("solver_method".into(), Value::Str(method_name(r.solve.method).into()));
+    Value::Table(t)
+}
+
+/// Inverse of [`report_to_value`].
+pub fn report_from_value(v: &Value) -> Result<AvailabilityReport> {
+    let ctx = "cache report";
+    let f = |key: &str| -> Result<f64> {
+        v.get(key)
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| EngineError::Schema(format!("{ctx}: missing {key}")))
+    };
+    let u = |key: &str| -> Result<usize> {
+        v.get(key)
+            .and_then(|x| x.as_i64())
+            .and_then(|x| usize::try_from(x).ok())
+            .ok_or_else(|| EngineError::Schema(format!("{ctx}: missing {key}")))
+    };
+    let availability = f("availability")?;
+    if !(0.0..=1.0).contains(&availability) {
+        return Err(EngineError::Schema(format!(
+            "{ctx}: availability {availability} outside [0, 1]"
+        )));
+    }
+    let method = v
+        .get("solver_method")
+        .and_then(|x| x.as_str())
+        .and_then(method_from_name)
+        .ok_or_else(|| EngineError::Schema(format!("{ctx}: bad solver_method")))?;
+    Ok(AvailabilityReport {
+        availability,
+        nines: nines(availability),
+        downtime_hours_per_year: downtime_hours_per_year(availability),
+        expected_running_vms: f("expected_running_vms")?,
+        capacity_oriented_availability: f("capacity_oriented_availability")?,
+        tangible_states: u("tangible_states")?,
+        edges: u("edges")?,
+        vanishing_markings: u("vanishing_markings")?,
+        solve: SolveStats {
+            iterations: u("solver_iterations")?,
+            residual: f("solver_residual")?,
+            method,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::key_of_encoding;
+    use dtc_petri::reach::ReachStats;
+
+    fn report(a: f64) -> AvailabilityReport {
+        AvailabilityReport::new(
+            a,
+            3.9,
+            4,
+            ReachStats { tangible_states: 126_000, vanishing_markings: 40, edges: 500_000 },
+            SolveStats { iterations: 321, residual: 4.2e-13, method: Method::GaussSeidel },
+        )
+    }
+
+    #[test]
+    fn get_put_and_stats() {
+        let cache = EvalCache::in_memory();
+        let key = key_of_encoding("canon-a");
+        assert!(cache.get(&key, "canon-a").is_none());
+        cache.put(&key, "canon-a", report(0.999));
+        let hit = cache.get(&key, "canon-a").unwrap();
+        assert_eq!(hit, report(0.999));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn collision_means_miss_not_wrong_answer() {
+        let cache = EvalCache::in_memory();
+        let key = key_of_encoding("canon-a");
+        cache.put(&key, "canon-a", report(0.999));
+        // Same key, different canonical form: must refuse.
+        assert!(cache.get(&key, "canon-b").is_none());
+    }
+
+    #[test]
+    fn report_round_trip_is_exact() {
+        for a in [0.0, 0.5, 0.9997317, 1.0] {
+            let r = report(a);
+            let v = report_to_value(&r);
+            let back = report_from_value(&Value::from_json(&v.to_json()).unwrap()).unwrap();
+            assert_eq!(r, back, "availability {a}");
+        }
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dtc-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        let _ = std::fs::remove_file(&path);
+
+        let cache = EvalCache::with_store(&path).unwrap();
+        let key = key_of_encoding("canon-x");
+        cache.put(&key, "canon-x", report(0.995));
+        cache.persist().unwrap();
+
+        let reloaded = EvalCache::with_store(&path).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.get(&key, "canon-x").unwrap(), report(0.995));
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_merge_at_persist() {
+        let dir = std::env::temp_dir().join(format!("dtc-cache-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.json");
+        let _ = std::fs::remove_file(&path);
+
+        // Two processes load the same (empty) store…
+        let a = EvalCache::with_store(&path).unwrap();
+        let b = EvalCache::with_store(&path).unwrap();
+        a.put(&key_of_encoding("spec-a"), "spec-a", report(0.99));
+        b.put(&key_of_encoding("spec-b"), "spec-b", report(0.98));
+        // …and persist one after the other: the second must keep the
+        // first's entry instead of overwriting the file with its own view.
+        a.persist().unwrap();
+        b.persist().unwrap();
+
+        let merged = EvalCache::with_store(&path).unwrap();
+        assert_eq!(merged.len(), 2, "both writers' entries survive");
+        assert!(merged.get(&key_of_encoding("spec-a"), "spec-a").is_some());
+        assert!(merged.get(&key_of_encoding("spec-b"), "spec-b").is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fresh_store_ignores_corrupt_file_and_replaces_it() {
+        let dir = std::env::temp_dir().join(format!("dtc-cache-fresh-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "garbage{").unwrap();
+
+        assert!(EvalCache::with_store(&path).is_err(), "strict open rejects corruption");
+        let cache = EvalCache::fresh_store(&path);
+        assert!(cache.is_empty());
+        cache.put(&key_of_encoding("x"), "x", report(0.9));
+        cache.persist().unwrap();
+        let reopened = EvalCache::with_store(&path).unwrap();
+        assert_eq!(reopened.len(), 1, "corrupt store was replaced");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_store_rejected() {
+        let cache = EvalCache::in_memory();
+        assert!(cache.load_json("{\"version\":2,\"entries\":[]}").is_err());
+        assert!(cache.load_json("not json").is_err());
+        assert!(cache.load_json("{\"version\":1,\"entries\":[{\"key\":\"k\"}]}").is_err());
+    }
+
+    #[test]
+    fn method_names_round_trip() {
+        for m in
+            [Method::Power, Method::Jacobi, Method::GaussSeidel, Method::Sor, Method::Direct]
+        {
+            assert_eq!(method_from_name(method_name(m)), Some(m));
+        }
+        assert_eq!(method_from_name("nope"), None);
+    }
+}

@@ -1,0 +1,1106 @@
+//! The declarative scenario-catalog schema and its grid expansion.
+//!
+//! A catalog file describes *what* to evaluate — cloud architectures over
+//! cities (or raw lat/lon coordinates), hot/warm PM pools, disaster and
+//! backup parameters — plus parameter grids (`alpha = [0.35, 0.40, 0.45]`)
+//! that expand into scenario batches. The evaluation machinery
+//! ([`crate::executor`]) is fully decoupled from it.
+//!
+//! ```toml
+//! [catalog]
+//! name = "figure7"
+//! baseline_alpha = 0.35
+//! baseline_disaster_years = 100.0
+//!
+//! [[scenario]]
+//! name = "fig7"
+//! kind = "two_dc"
+//! secondary = ["Brasilia", "Recife", "NewYork", "Calcutta", "Tokio"]
+//! alpha = [0.35, 0.40, 0.45]
+//! disaster_years = [100.0, 200.0, 300.0]
+//! ```
+//!
+//! Three scenario kinds are supported:
+//!
+//! * `single_dc` — `machines` PMs in one data center (paper Table VII
+//!   rows 1–3),
+//! * `two_dc` — the paper's Fig. 6 architecture: hot primary, warm
+//!   secondary, backup server (defaults: Rio de Janeiro / São Paulo),
+//! * `custom` — explicit `[[scenario.dc]]` entries with per-DC pools,
+//!   disaster/network switches and arbitrary sites, meshed by the WAN
+//!   model.
+
+use crate::error::{EngineError, Result};
+use crate::value::Value;
+use dtc_core::params::PaperParams;
+use dtc_core::system::{CloudSystemSpec, DataCenterSpec, PmSpec};
+use dtc_geo::{find_city, haversine_deg_km, City, WanModel};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A geographic site: a built-in city by name, or raw WGS-84 coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Site {
+    /// Display name (used in scenario names).
+    pub name: String,
+    /// Latitude in degrees.
+    pub lat_deg: f64,
+    /// Longitude in degrees.
+    pub lon_deg: f64,
+}
+
+impl Site {
+    /// Site from a built-in [`City`].
+    pub fn from_city(c: &City) -> Site {
+        Site { name: c.name.to_string(), lat_deg: c.lat_deg, lon_deg: c.lon_deg }
+    }
+
+    /// Great-circle distance to another site in km.
+    pub fn distance_km(&self, other: &Site) -> f64 {
+        haversine_deg_km(self.lat_deg, self.lon_deg, other.lat_deg, other.lon_deg)
+    }
+}
+
+/// A site reference as written in a catalog: a city name, or coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SiteRef {
+    /// Built-in city, looked up with [`dtc_geo::find_city`].
+    Named(String),
+    /// Explicit coordinates.
+    Coords {
+        /// Display name.
+        name: String,
+        /// Latitude in degrees.
+        lat_deg: f64,
+        /// Longitude in degrees.
+        lon_deg: f64,
+    },
+}
+
+impl SiteRef {
+    /// Resolves to a concrete site.
+    pub fn resolve(&self) -> Result<Site> {
+        match self {
+            SiteRef::Named(name) => find_city(name)
+                .map(|c| Site::from_city(&c))
+                .ok_or_else(|| EngineError::UnknownCity(name.clone())),
+            SiteRef::Coords { name, lat_deg, lon_deg } => {
+                if !(-90.0..=90.0).contains(lat_deg) || !(-180.0..=180.0).contains(lon_deg) {
+                    return Err(EngineError::Schema(format!(
+                        "site {name:?}: coordinates ({lat_deg}, {lon_deg}) out of range"
+                    )));
+                }
+                Ok(Site { name: name.clone(), lat_deg: *lat_deg, lon_deg: *lon_deg })
+            }
+        }
+    }
+
+    fn from_value(v: &Value, field: &str) -> Result<SiteRef> {
+        match v {
+            Value::Str(name) => Ok(SiteRef::Named(name.clone())),
+            Value::Table(_) => {
+                let name = req_str(v, "name", field)?;
+                Ok(SiteRef::Coords {
+                    name,
+                    lat_deg: req_f64(v, "lat", field)?,
+                    lon_deg: req_f64(v, "lon", field)?,
+                })
+            }
+            _ => Err(EngineError::Schema(format!(
+                "{field}: expected a city name or {{ name, lat, lon }}"
+            ))),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            SiteRef::Named(name) => Value::Str(name.clone()),
+            SiteRef::Coords { name, lat_deg, lon_deg } => {
+                let mut t = BTreeMap::new();
+                t.insert("name".into(), Value::Str(name.clone()));
+                t.insert("lat".into(), Value::Float(*lat_deg));
+                t.insert("lon".into(), Value::Float(*lon_deg));
+                Value::Table(t)
+            }
+        }
+    }
+}
+
+/// One parameter axis: a fixed scalar, or a swept list of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Axis<T> {
+    /// Single value; does not contribute to the grid or to naming.
+    Fixed(T),
+    /// Swept values; the cartesian product over all swept axes forms the
+    /// scenario grid.
+    Sweep(Vec<T>),
+}
+
+impl<T> Axis<T> {
+    /// The axis values (one for `Fixed`).
+    pub fn values(&self) -> &[T] {
+        match self {
+            Axis::Fixed(v) => std::slice::from_ref(v),
+            Axis::Sweep(vs) => vs,
+        }
+    }
+
+    /// Whether this axis is swept (participates in generated names).
+    pub fn is_sweep(&self) -> bool {
+        matches!(self, Axis::Sweep(_))
+    }
+}
+
+/// The architecture family of a scenario template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Kind {
+    /// One data center with `machines` PMs.
+    SingleDc,
+    /// The paper's two-data-center architecture.
+    TwoDc,
+    /// Explicit per-DC specification.
+    Custom(Vec<DcTemplate>),
+}
+
+/// One data center of a `custom` scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcTemplate {
+    /// Where it is.
+    pub site: SiteRef,
+    /// Hot-pool PMs (start with `vms_per_pm` running VMs each).
+    pub hot_pms: u32,
+    /// Warm-pool PMs (powered, no VMs).
+    pub warm_pms: u32,
+    /// VMs initially running on each hot PM.
+    pub vms_per_pm: u32,
+    /// VM capacity of every PM.
+    pub pm_capacity: u32,
+    /// Model disaster occurrence/recovery for this DC.
+    pub disaster: bool,
+    /// Model the switch+router+NAS network component.
+    pub nas_net: bool,
+    /// Restore path from the backup server into this DC (requires a
+    /// catalog-level backup site).
+    pub backup_link: bool,
+}
+
+/// A declarative scenario template (possibly a grid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioTemplate {
+    /// Base name.
+    pub name: String,
+    /// Optional naming pattern with `{secondary}` / `{alpha}` /
+    /// `{disaster_years}` / `{machines}` placeholders; overrides the
+    /// default `name[axis=value,…]` naming of grid points.
+    pub name_template: Option<String>,
+    /// Architecture family.
+    pub kind: Kind,
+    /// PM count (single_dc only).
+    pub machines: Axis<i64>,
+    /// Secondary site(s) (two_dc only).
+    pub secondary: Axis<SiteRef>,
+    /// Network-quality constant α.
+    pub alpha: Axis<f64>,
+    /// Mean time between disasters, years.
+    pub disaster_years: Axis<f64>,
+    /// Primary site (two_dc; default Rio de Janeiro).
+    pub primary: SiteRef,
+    /// Backup-server site. Defaults to São Paulo for `two_dc`; `None`
+    /// means no backup server for `custom`.
+    pub backup_site: Option<SiteRef>,
+    /// Override the paper's `k` (minimum running VMs).
+    pub min_running_vms: Option<u32>,
+    /// Override the migration threshold `l`.
+    pub migration_threshold: Option<u32>,
+    /// Reference availability (e.g. the paper's published value) carried
+    /// through to reports.
+    pub expect_availability: Option<f64>,
+}
+
+/// A parsed catalog: shared parameters plus scenario templates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Catalog {
+    /// Catalog name.
+    pub name: String,
+    /// Free-text description.
+    pub description: String,
+    /// α value marking per-group baselines (Fig. 7 style reporting).
+    pub baseline_alpha: Option<f64>,
+    /// Disaster mean time (years) marking per-group baselines.
+    pub baseline_disaster_years: Option<f64>,
+    /// Component parameters (Table VI with `[params]` overrides applied).
+    pub params: PaperParams,
+    /// Distance → throughput model.
+    pub wan: WanModel,
+    /// The scenario templates.
+    pub templates: Vec<ScenarioTemplate>,
+}
+
+/// One concrete, evaluable scenario produced by catalog expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Unique name within the batch.
+    pub name: String,
+    /// The compiled system specification.
+    pub spec: CloudSystemSpec,
+    /// Secondary-site name, if the template had one.
+    pub secondary: Option<String>,
+    /// α used, if applicable.
+    pub alpha: Option<f64>,
+    /// Disaster mean time (years) used, if applicable.
+    pub disaster_years: Option<f64>,
+    /// PM count, for single_dc scenarios.
+    pub machines: Option<u32>,
+    /// Whether this point matches the catalog's baseline α/disaster pair.
+    pub is_baseline: bool,
+    /// Reference availability carried from the template.
+    pub expect_availability: Option<f64>,
+}
+
+// ---------------------------------------------------------------------------
+// Schema helpers
+// ---------------------------------------------------------------------------
+
+fn schema_err(msg: String) -> EngineError {
+    EngineError::Schema(msg)
+}
+
+fn req_str(v: &Value, key: &str, ctx: &str) -> Result<String> {
+    v.get(key)
+        .and_then(|x| x.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| schema_err(format!("{ctx}: missing string field {key:?}")))
+}
+
+fn req_f64(v: &Value, key: &str, ctx: &str) -> Result<f64> {
+    v.get(key)
+        .and_then(|x| x.as_f64())
+        .ok_or_else(|| schema_err(format!("{ctx}: missing numeric field {key:?}")))
+}
+
+fn opt_f64(v: &Value, key: &str, ctx: &str) -> Result<Option<f64>> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| schema_err(format!("{ctx}: field {key:?} must be numeric"))),
+    }
+}
+
+fn opt_u32(v: &Value, key: &str, ctx: &str) -> Result<Option<u32>> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => {
+            let i = x.as_i64().ok_or_else(|| {
+                schema_err(format!("{ctx}: field {key:?} must be an integer"))
+            })?;
+            u32::try_from(i)
+                .map(Some)
+                .map_err(|_| schema_err(format!("{ctx}: field {key:?} must be non-negative")))
+        }
+    }
+}
+
+fn opt_bool(v: &Value, key: &str, ctx: &str, default: bool) -> Result<bool> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_bool()
+            .ok_or_else(|| schema_err(format!("{ctx}: field {key:?} must be a boolean"))),
+    }
+}
+
+fn f64_axis(v: &Value, key: &str, ctx: &str, default: f64) -> Result<Axis<f64>> {
+    match v.get(key) {
+        None => Ok(Axis::Fixed(default)),
+        Some(Value::Array(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(item.as_f64().ok_or_else(|| {
+                    schema_err(format!("{ctx}: {key:?} entries must be numeric"))
+                })?);
+            }
+            if out.is_empty() {
+                return Err(schema_err(format!("{ctx}: {key:?} sweep is empty")));
+            }
+            Ok(Axis::Sweep(out))
+        }
+        Some(x) => x
+            .as_f64()
+            .map(Axis::Fixed)
+            .ok_or_else(|| schema_err(format!("{ctx}: {key:?} must be numeric"))),
+    }
+}
+
+fn int_axis(v: &Value, key: &str, ctx: &str, default: i64) -> Result<Axis<i64>> {
+    match v.get(key) {
+        None => Ok(Axis::Fixed(default)),
+        Some(Value::Array(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(item.as_i64().ok_or_else(|| {
+                    schema_err(format!("{ctx}: {key:?} entries must be integers"))
+                })?);
+            }
+            if out.is_empty() {
+                return Err(schema_err(format!("{ctx}: {key:?} sweep is empty")));
+            }
+            Ok(Axis::Sweep(out))
+        }
+        Some(x) => x
+            .as_i64()
+            .map(Axis::Fixed)
+            .ok_or_else(|| schema_err(format!("{ctx}: {key:?} must be an integer"))),
+    }
+}
+
+fn site_axis(v: &Value, key: &str, ctx: &str, default: &str) -> Result<Axis<SiteRef>> {
+    match v.get(key) {
+        None => Ok(Axis::Fixed(SiteRef::Named(default.to_string()))),
+        Some(Value::Array(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(SiteRef::from_value(item, ctx)?);
+            }
+            if out.is_empty() {
+                return Err(schema_err(format!("{ctx}: {key:?} sweep is empty")));
+            }
+            Ok(Axis::Sweep(out))
+        }
+        Some(x) => Ok(Axis::Fixed(SiteRef::from_value(x, ctx)?)),
+    }
+}
+
+fn f64_axis_to_value(axis: &Axis<f64>) -> Value {
+    match axis {
+        Axis::Fixed(v) => Value::Float(*v),
+        Axis::Sweep(vs) => Value::Array(vs.iter().map(|v| Value::Float(*v)).collect()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+impl Catalog {
+    /// Parses a catalog from TOML text.
+    pub fn from_toml_str(text: &str) -> Result<Catalog> {
+        Catalog::from_value(&crate::toml::parse(text)?)
+    }
+
+    /// Parses a catalog from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Catalog> {
+        Catalog::from_value(&Value::from_json(text)?)
+    }
+
+    /// Reads a catalog file, dispatching on the `.json` extension
+    /// (everything else is treated as TOML).
+    pub fn from_path(path: &std::path::Path) -> Result<Catalog> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| EngineError::Io(format!("{}: {e}", path.display())))?;
+        if path.extension().is_some_and(|e| e == "json") {
+            Catalog::from_json_str(&text)
+        } else {
+            Catalog::from_toml_str(&text)
+        }
+    }
+
+    /// Builds a catalog from a parsed [`Value`] tree.
+    pub fn from_value(root: &Value) -> Result<Catalog> {
+        let meta = root
+            .get("catalog")
+            .ok_or_else(|| schema_err("missing [catalog] section".into()))?;
+        let name = req_str(meta, "name", "[catalog]")?;
+        let description =
+            meta.get("description").and_then(|v| v.as_str()).unwrap_or("").to_string();
+        let baseline_alpha = opt_f64(meta, "baseline_alpha", "[catalog]")?;
+        let baseline_disaster_years = opt_f64(meta, "baseline_disaster_years", "[catalog]")?;
+
+        let params = parse_params(root.get("params"))?;
+
+        let mut templates = Vec::new();
+        match root.get("scenario") {
+            None => return Err(schema_err("catalog declares no [[scenario]] entries".into())),
+            Some(Value::Array(items)) => {
+                for (i, item) in items.iter().enumerate() {
+                    templates.push(parse_template(item, i)?);
+                }
+            }
+            Some(_) => {
+                return Err(schema_err("\"scenario\" must be an array of tables".into()))
+            }
+        }
+
+        Ok(Catalog {
+            name,
+            description,
+            baseline_alpha,
+            baseline_disaster_years,
+            params,
+            wan: WanModel::paper_calibrated(),
+            templates,
+        })
+    }
+
+    /// Serializes back to a [`Value`] tree (the inverse of
+    /// [`Catalog::from_value`] up to field defaults).
+    pub fn to_value(&self) -> Value {
+        let mut meta = BTreeMap::new();
+        meta.insert("name".into(), Value::Str(self.name.clone()));
+        meta.insert("description".into(), Value::Str(self.description.clone()));
+        if let Some(a) = self.baseline_alpha {
+            meta.insert("baseline_alpha".into(), Value::Float(a));
+        }
+        if let Some(y) = self.baseline_disaster_years {
+            meta.insert("baseline_disaster_years".into(), Value::Float(y));
+        }
+
+        let mut root = BTreeMap::new();
+        root.insert("catalog".into(), Value::Table(meta));
+        root.insert("params".into(), params_to_value(&self.params));
+        root.insert(
+            "scenario".into(),
+            Value::Array(self.templates.iter().map(template_to_value).collect()),
+        );
+        Value::Table(root)
+    }
+
+    /// Expands every template's parameter grid into concrete scenarios.
+    ///
+    /// Names are checked for uniqueness across the whole batch.
+    pub fn expand(&self) -> Result<Vec<Scenario>> {
+        let mut out = Vec::new();
+        for t in &self.templates {
+            expand_template(self, t, &mut out)?;
+        }
+        let mut seen = std::collections::HashSet::new();
+        for s in &out {
+            if !seen.insert(s.name.as_str()) {
+                return Err(schema_err(format!(
+                    "duplicate scenario name {:?} after expansion; add a name_template or \
+                     distinct names",
+                    s.name
+                )));
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn parse_params(v: Option<&Value>) -> Result<PaperParams> {
+    let mut p = PaperParams::table_vi();
+    let Some(v) = v else { return Ok(p) };
+    let ctx = "[params]";
+    let pair = |v: &Value, key: &str, current: dtc_core::ComponentParams| -> Result<_> {
+        match v.get(key) {
+            None => Ok(current),
+            Some(t) => {
+                let mttf = req_f64(t, "mttf_hours", key)?;
+                let mttr = req_f64(t, "mttr_hours", key)?;
+                if !(mttf.is_finite() && mttf > 0.0 && mttr.is_finite() && mttr > 0.0) {
+                    return Err(schema_err(format!(
+                        "[params.{key}]: MTTF/MTTR must be positive and finite"
+                    )));
+                }
+                Ok(dtc_core::ComponentParams::new(mttf, mttr))
+            }
+        }
+    };
+    p.os = pair(v, "os", p.os)?;
+    p.pm = pair(v, "pm", p.pm)?;
+    p.switch = pair(v, "switch", p.switch)?;
+    p.router = pair(v, "router", p.router)?;
+    p.nas = pair(v, "nas", p.nas)?;
+    p.vm = pair(v, "vm", p.vm)?;
+    p.backup = pair(v, "backup", p.backup)?;
+    if let Some(x) = opt_f64(v, "vm_start_hours", ctx)? {
+        p.vm_start_hours = x;
+    }
+    if let Some(x) = opt_f64(v, "dc_recovery_hours", ctx)? {
+        p.dc_recovery_hours = x;
+    }
+    if let Some(x) = opt_f64(v, "vm_size_gb", ctx)? {
+        p.vm_size_gb = x;
+    }
+    if let Some(x) = opt_u32(v, "min_running_vms", ctx)? {
+        p.min_running_vms = x;
+    }
+    Ok(p)
+}
+
+fn params_to_value(p: &PaperParams) -> Value {
+    let pair = |c: &dtc_core::ComponentParams| {
+        let mut t = BTreeMap::new();
+        t.insert("mttf_hours".into(), Value::Float(c.mttf_hours));
+        t.insert("mttr_hours".into(), Value::Float(c.mttr_hours));
+        Value::Table(t)
+    };
+    let mut t = BTreeMap::new();
+    t.insert("os".into(), pair(&p.os));
+    t.insert("pm".into(), pair(&p.pm));
+    t.insert("switch".into(), pair(&p.switch));
+    t.insert("router".into(), pair(&p.router));
+    t.insert("nas".into(), pair(&p.nas));
+    t.insert("vm".into(), pair(&p.vm));
+    t.insert("backup".into(), pair(&p.backup));
+    t.insert("vm_start_hours".into(), Value::Float(p.vm_start_hours));
+    t.insert("dc_recovery_hours".into(), Value::Float(p.dc_recovery_hours));
+    t.insert("vm_size_gb".into(), Value::Float(p.vm_size_gb));
+    t.insert("min_running_vms".into(), Value::Int(p.min_running_vms as i64));
+    Value::Table(t)
+}
+
+fn parse_template(v: &Value, index: usize) -> Result<ScenarioTemplate> {
+    let ctx = format!("[[scenario]] #{}", index + 1);
+    let kind_name = req_str(v, "kind", &ctx)?;
+    let name = match v.get("name").and_then(|x| x.as_str()) {
+        Some(n) => n.to_string(),
+        None => format!("scenario-{}", index + 1),
+    };
+    let name_template = v.get("name_template").and_then(|x| x.as_str()).map(str::to_string);
+
+    let kind = match kind_name.as_str() {
+        "single_dc" => Kind::SingleDc,
+        "two_dc" => Kind::TwoDc,
+        "custom" => {
+            let dcs = match v.get("dc") {
+                Some(Value::Array(items)) if !items.is_empty() => {
+                    let mut out = Vec::with_capacity(items.len());
+                    for (j, item) in items.iter().enumerate() {
+                        out.push(parse_dc_template(item, &ctx, j)?);
+                    }
+                    out
+                }
+                _ => {
+                    return Err(schema_err(format!(
+                        "{ctx}: custom scenarios need at least one [[scenario.dc]]"
+                    )))
+                }
+            };
+            Kind::Custom(dcs)
+        }
+        other => {
+            return Err(schema_err(format!(
+                "{ctx}: unknown kind {other:?} (expected single_dc, two_dc or custom)"
+            )))
+        }
+    };
+
+    let backup_site = match v.get("backup_site") {
+        None => match kind {
+            Kind::TwoDc => Some(SiteRef::Named("Sao Paulo".into())),
+            _ => None,
+        },
+        Some(x) => Some(SiteRef::from_value(x, &ctx)?),
+    };
+
+    Ok(ScenarioTemplate {
+        name,
+        name_template,
+        kind,
+        machines: int_axis(v, "machines", &ctx, 1)?,
+        secondary: site_axis(v, "secondary", &ctx, "Brasilia")?,
+        alpha: f64_axis(v, "alpha", &ctx, 0.35)?,
+        disaster_years: f64_axis(v, "disaster_years", &ctx, 100.0)?,
+        primary: match v.get("primary") {
+            None => SiteRef::Named("Rio de Janeiro".into()),
+            Some(x) => SiteRef::from_value(x, &ctx)?,
+        },
+        backup_site,
+        min_running_vms: opt_u32(v, "min_running_vms", &ctx)?,
+        migration_threshold: opt_u32(v, "migration_threshold", &ctx)?,
+        expect_availability: opt_f64(v, "expect_availability", &ctx)?,
+    })
+}
+
+fn parse_dc_template(v: &Value, ctx: &str, index: usize) -> Result<DcTemplate> {
+    let dctx = format!("{ctx} dc #{}", index + 1);
+    let site = match v.get("site").or_else(|| v.get("city")) {
+        Some(x) => SiteRef::from_value(x, &dctx)?,
+        None => return Err(schema_err(format!("{dctx}: missing site/city"))),
+    };
+    let hot_pms = opt_u32(v, "hot_pms", &dctx)?.unwrap_or(0);
+    let warm_pms = opt_u32(v, "warm_pms", &dctx)?.unwrap_or(0);
+    if hot_pms + warm_pms == 0 {
+        return Err(schema_err(format!("{dctx}: needs at least one PM")));
+    }
+    let pm_capacity = opt_u32(v, "pm_capacity", &dctx)?.unwrap_or(2);
+    Ok(DcTemplate {
+        site,
+        hot_pms,
+        warm_pms,
+        vms_per_pm: opt_u32(v, "vms_per_pm", &dctx)?.unwrap_or(pm_capacity),
+        pm_capacity,
+        disaster: opt_bool(v, "disaster", &dctx, true)?,
+        nas_net: opt_bool(v, "nas_net", &dctx, true)?,
+        backup_link: opt_bool(v, "backup_link", &dctx, true)?,
+    })
+}
+
+fn template_to_value(t: &ScenarioTemplate) -> Value {
+    let mut v = BTreeMap::new();
+    v.insert("name".into(), Value::Str(t.name.clone()));
+    if let Some(nt) = &t.name_template {
+        v.insert("name_template".into(), Value::Str(nt.clone()));
+    }
+    let kind = match &t.kind {
+        Kind::SingleDc => "single_dc",
+        Kind::TwoDc => "two_dc",
+        Kind::Custom(_) => "custom",
+    };
+    v.insert("kind".into(), Value::Str(kind.into()));
+    v.insert(
+        "machines".into(),
+        match &t.machines {
+            Axis::Fixed(m) => Value::Int(*m),
+            Axis::Sweep(ms) => Value::Array(ms.iter().map(|m| Value::Int(*m)).collect()),
+        },
+    );
+    v.insert(
+        "secondary".into(),
+        match &t.secondary {
+            Axis::Fixed(s) => s.to_value(),
+            Axis::Sweep(ss) => Value::Array(ss.iter().map(SiteRef::to_value).collect()),
+        },
+    );
+    v.insert("alpha".into(), f64_axis_to_value(&t.alpha));
+    v.insert("disaster_years".into(), f64_axis_to_value(&t.disaster_years));
+    v.insert("primary".into(), t.primary.to_value());
+    if let Some(b) = &t.backup_site {
+        v.insert("backup_site".into(), b.to_value());
+    }
+    if let Some(k) = t.min_running_vms {
+        v.insert("min_running_vms".into(), Value::Int(k as i64));
+    }
+    if let Some(l) = t.migration_threshold {
+        v.insert("migration_threshold".into(), Value::Int(l as i64));
+    }
+    if let Some(a) = t.expect_availability {
+        v.insert("expect_availability".into(), Value::Float(a));
+    }
+    if let Kind::Custom(dcs) = &t.kind {
+        v.insert(
+            "dc".into(),
+            Value::Array(
+                dcs.iter()
+                    .map(|d| {
+                        let mut dv = BTreeMap::new();
+                        dv.insert("site".into(), d.site.to_value());
+                        dv.insert("hot_pms".into(), Value::Int(d.hot_pms as i64));
+                        dv.insert("warm_pms".into(), Value::Int(d.warm_pms as i64));
+                        dv.insert("vms_per_pm".into(), Value::Int(d.vms_per_pm as i64));
+                        dv.insert("pm_capacity".into(), Value::Int(d.pm_capacity as i64));
+                        dv.insert("disaster".into(), Value::Bool(d.disaster));
+                        dv.insert("nas_net".into(), Value::Bool(d.nas_net));
+                        dv.insert("backup_link".into(), Value::Bool(d.backup_link));
+                        Value::Table(dv)
+                    })
+                    .collect(),
+            ),
+        );
+    }
+    Value::Table(v)
+}
+
+// ---------------------------------------------------------------------------
+// Expansion
+// ---------------------------------------------------------------------------
+
+fn expand_template(cat: &Catalog, t: &ScenarioTemplate, out: &mut Vec<Scenario>) -> Result<()> {
+    for secondary in t.secondary.values() {
+        for &alpha in t.alpha.values() {
+            for &years in t.disaster_years.values() {
+                for &machines in t.machines.values() {
+                    out.push(instantiate(cat, t, secondary, alpha, years, machines)?);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn instantiate(
+    cat: &Catalog,
+    t: &ScenarioTemplate,
+    secondary: &SiteRef,
+    alpha: f64,
+    years: f64,
+    machines: i64,
+) -> Result<Scenario> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(schema_err(format!("{}: alpha {alpha} outside (0, 1]", t.name)));
+    }
+    if !(years.is_finite() && years > 0.0) {
+        return Err(schema_err(format!("{}: disaster_years {years} must be positive", t.name)));
+    }
+    let secondary_site = secondary.resolve()?;
+    let mut spec = match &t.kind {
+        Kind::SingleDc => {
+            let machines =
+                usize::try_from(machines).ok().filter(|m| *m > 0).ok_or_else(|| {
+                    schema_err(format!("{}: machines must be >= 1, got {machines}", t.name))
+                })?;
+            build_single_dc(&cat.params, machines, years)
+        }
+        Kind::TwoDc => {
+            let primary = t.primary.resolve()?;
+            let backup = t
+                .backup_site
+                .as_ref()
+                .expect("two_dc templates always have a backup site")
+                .resolve()?;
+            build_two_dc(cat, &primary, &secondary_site, &backup, alpha, years)
+        }
+        Kind::Custom(dcs) => {
+            let backup = t.backup_site.as_ref().map(SiteRef::resolve).transpose()?;
+            build_custom(cat, dcs, backup.as_ref(), alpha, years, &t.name)?
+        }
+    };
+    if let Some(k) = t.min_running_vms {
+        spec.min_running_vms = k;
+    }
+    if let Some(l) = t.migration_threshold {
+        spec.migration_threshold = l;
+    }
+
+    let uses_secondary = matches!(t.kind, Kind::TwoDc);
+    let uses_machines = matches!(t.kind, Kind::SingleDc);
+    let name = scenario_name(t, &secondary_site, alpha, years, machines);
+    let is_baseline = cat.baseline_alpha.is_some_and(|a| a == alpha)
+        && cat.baseline_disaster_years.is_some_and(|y| y == years);
+
+    Ok(Scenario {
+        name,
+        spec,
+        secondary: uses_secondary.then(|| secondary_site.name.clone()),
+        alpha: (!matches!(t.kind, Kind::SingleDc)).then_some(alpha),
+        disaster_years: Some(years),
+        machines: uses_machines.then_some(machines as u32),
+        is_baseline,
+        expect_availability: t.expect_availability,
+    })
+}
+
+fn scenario_name(
+    t: &ScenarioTemplate,
+    secondary: &Site,
+    alpha: f64,
+    years: f64,
+    machines: i64,
+) -> String {
+    if let Some(pattern) = &t.name_template {
+        return pattern
+            .replace("{secondary}", &secondary.name)
+            .replace("{alpha}", &format!("{alpha}"))
+            .replace("{disaster_years}", &format!("{years}"))
+            .replace("{machines}", &format!("{machines}"));
+    }
+    let mut name = t.name.clone();
+    let mut bindings = Vec::new();
+    if t.secondary.is_sweep() {
+        bindings.push(format!("secondary={}", secondary.name));
+    }
+    if t.alpha.is_sweep() {
+        bindings.push(format!("alpha={alpha}"));
+    }
+    if t.disaster_years.is_sweep() {
+        bindings.push(format!("disaster_years={years}"));
+    }
+    if t.machines.is_sweep() {
+        bindings.push(format!("machines={machines}"));
+    }
+    if !bindings.is_empty() {
+        let _ = write!(name, "[{}]", bindings.join(","));
+    }
+    name
+}
+
+// ---------------------------------------------------------------------------
+// Spec builders (mirroring dtc_core::scenarios::CaseStudy bit-for-bit for
+// the paper's architectures; the golden tests pin the equivalence)
+// ---------------------------------------------------------------------------
+
+fn mtt_hours(cat: &Catalog, a: &Site, b: &Site, alpha: f64) -> f64 {
+    cat.wan.mtt_hours(a.distance_km(b), alpha, cat.params.vm_size_gb)
+}
+
+fn build_single_dc(p: &PaperParams, machines: usize, disaster_years: f64) -> CloudSystemSpec {
+    let mut pms = Vec::with_capacity(machines);
+    for i in 0..machines {
+        if i < 2 {
+            pms.push(PmSpec::hot(2, 2));
+        } else {
+            pms.push(PmSpec::warm(2));
+        }
+    }
+    CloudSystemSpec {
+        ospm: p.ospm_folded().expect("Table VI folds"),
+        vm: p.vm_params(),
+        data_centers: vec![DataCenterSpec {
+            label: "1".into(),
+            pms,
+            disaster: Some(p.disaster(disaster_years)),
+            nas_net: Some(p.nas_net_folded().expect("Table VI folds")),
+            backup_inbound_mtt_hours: None,
+        }],
+        backup: None,
+        direct_mtt_hours: vec![vec![None]],
+        min_running_vms: p.min_running_vms,
+        migration_threshold: 1,
+    }
+}
+
+fn build_two_dc(
+    cat: &Catalog,
+    primary: &Site,
+    secondary: &Site,
+    backup_site: &Site,
+    alpha: f64,
+    disaster_years: f64,
+) -> CloudSystemSpec {
+    let p = &cat.params;
+    let mtt = mtt_hours(cat, primary, secondary, alpha);
+    let bk1 = mtt_hours(cat, backup_site, primary, alpha);
+    let bk2 = mtt_hours(cat, backup_site, secondary, alpha);
+    let mk_dc = |label: &str, hot: bool, backup_mtt: f64| DataCenterSpec {
+        label: label.into(),
+        pms: if hot {
+            vec![PmSpec::hot(2, 2), PmSpec::hot(2, 2)]
+        } else {
+            vec![PmSpec::warm(2), PmSpec::warm(2)]
+        },
+        disaster: Some(p.disaster(disaster_years)),
+        nas_net: Some(p.nas_net_folded().expect("Table VI folds")),
+        backup_inbound_mtt_hours: Some(backup_mtt),
+    };
+    CloudSystemSpec {
+        ospm: p.ospm_folded().expect("Table VI folds"),
+        vm: p.vm_params(),
+        data_centers: vec![mk_dc("1", true, bk1), mk_dc("2", false, bk2)],
+        backup: Some(p.backup),
+        direct_mtt_hours: vec![vec![None, Some(mtt)], vec![Some(mtt), None]],
+        min_running_vms: p.min_running_vms,
+        migration_threshold: 1,
+    }
+}
+
+fn build_custom(
+    cat: &Catalog,
+    dcs: &[DcTemplate],
+    backup_site: Option<&Site>,
+    alpha: f64,
+    disaster_years: f64,
+    name: &str,
+) -> Result<CloudSystemSpec> {
+    let p = &cat.params;
+    let sites: Vec<Site> = dcs.iter().map(|d| d.site.resolve()).collect::<Result<_>>()?;
+    let any_backup_link = dcs.iter().any(|d| d.backup_link) && backup_site.is_some();
+    let data_centers: Vec<DataCenterSpec> = dcs
+        .iter()
+        .zip(&sites)
+        .enumerate()
+        .map(|(i, (d, site))| DataCenterSpec {
+            label: format!("{}", i + 1),
+            pms: (0..d.hot_pms)
+                .map(|_| PmSpec::hot(d.vms_per_pm.min(d.pm_capacity), d.pm_capacity))
+                .chain((0..d.warm_pms).map(|_| PmSpec::warm(d.pm_capacity)))
+                .collect(),
+            disaster: d.disaster.then(|| p.disaster(disaster_years)),
+            nas_net: d.nas_net.then(|| p.nas_net_folded().expect("Table VI folds")),
+            backup_inbound_mtt_hours: match (d.backup_link, backup_site) {
+                (true, Some(b)) => Some(mtt_hours(cat, b, site, alpha)),
+                _ => None,
+            },
+        })
+        .collect();
+    if data_centers.is_empty() {
+        return Err(schema_err(format!("{name}: custom scenario has no data centers")));
+    }
+    let n = sites.len();
+    let direct_mtt_hours: Vec<Vec<Option<f64>>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| (i != j).then(|| mtt_hours(cat, &sites[i], &sites[j], alpha)))
+                .collect()
+        })
+        .collect();
+    Ok(CloudSystemSpec {
+        ospm: p.ospm_folded().expect("Table VI folds"),
+        vm: p.vm_params(),
+        data_centers,
+        backup: any_backup_link.then_some(p.backup),
+        direct_mtt_hours,
+        min_running_vms: p.min_running_vms,
+        migration_threshold: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+[catalog]
+name = "mini"
+description = "small test catalog"
+baseline_alpha = 0.35
+baseline_disaster_years = 100.0
+
+[[scenario]]
+name = "single"
+kind = "single_dc"
+machines = 2
+
+[[scenario]]
+name = "pair"
+kind = "two_dc"
+secondary = ["Brasilia", "Tokio"]
+alpha = [0.35, 0.45]
+disaster_years = 100.0
+"#;
+
+    #[test]
+    fn parses_and_expands_grid() {
+        let cat = Catalog::from_toml_str(MINI).unwrap();
+        assert_eq!(cat.name, "mini");
+        assert_eq!(cat.templates.len(), 2);
+        let scenarios = cat.expand().unwrap();
+        // 1 single + 2 cities × 2 alphas.
+        assert_eq!(scenarios.len(), 5);
+        assert_eq!(scenarios[0].name, "single");
+        assert_eq!(scenarios[0].machines, Some(2));
+        assert!(scenarios[0].secondary.is_none());
+        assert_eq!(scenarios[1].name, "pair[secondary=Brasilia,alpha=0.35]");
+        assert!(scenarios[1].is_baseline);
+        assert!(!scenarios[2].is_baseline, "alpha 0.45 is not the baseline");
+        assert_eq!(scenarios[3].secondary.as_deref(), Some("Tokio"));
+        // Tokio is farther: bigger migration MTT.
+        let near = scenarios[1].spec.direct_mtt_hours[0][1].unwrap();
+        let far = scenarios[3].spec.direct_mtt_hours[0][1].unwrap();
+        assert!(far > near);
+    }
+
+    #[test]
+    fn custom_kind_builds_meshes() {
+        let doc = r#"
+[catalog]
+name = "tri"
+
+[[scenario]]
+name = "three-sites"
+kind = "custom"
+backup_site = "Sao Paulo"
+[[scenario.dc]]
+site = "Rio de Janeiro"
+hot_pms = 2
+[[scenario.dc]]
+site = "Recife"
+warm_pms = 1
+[[scenario.dc]]
+site = { name = "Atlantis", lat = -10.0, lon = -20.0 }
+warm_pms = 1
+backup_link = false
+"#;
+        let cat = Catalog::from_toml_str(doc).unwrap();
+        let scenarios = cat.expand().unwrap();
+        assert_eq!(scenarios.len(), 1);
+        let spec = &scenarios[0].spec;
+        assert_eq!(spec.data_centers.len(), 3);
+        assert!(spec.backup.is_some());
+        assert!(spec.data_centers[0].backup_inbound_mtt_hours.is_some());
+        assert!(spec.data_centers[2].backup_inbound_mtt_hours.is_none());
+        // Full mesh: every off-diagonal entry present and symmetric.
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    assert!(spec.direct_mtt_hours[i][j].is_none());
+                } else {
+                    assert_eq!(spec.direct_mtt_hours[i][j], spec.direct_mtt_hours[j][i]);
+                    assert!(spec.direct_mtt_hours[i][j].unwrap() > 0.0);
+                }
+            }
+        }
+        // The model actually compiles.
+        dtc_core::CloudModel::build(spec.clone()).unwrap();
+    }
+
+    #[test]
+    fn value_round_trip_preserves_catalog() {
+        let cat = Catalog::from_toml_str(MINI).unwrap();
+        let json = cat.to_value().to_json();
+        let back = Catalog::from_json_str(&json).unwrap();
+        assert_eq!(cat, back);
+        assert_eq!(cat.expand().unwrap(), back.expand().unwrap());
+    }
+
+    #[test]
+    fn params_overrides_apply() {
+        let doc = r#"
+[catalog]
+name = "tuned"
+
+[params]
+pm = { mttf_hours = 2000.0, mttr_hours = 6.0 }
+vm_size_gb = 8.0
+min_running_vms = 3
+
+[[scenario]]
+name = "s"
+kind = "two_dc"
+"#;
+        let cat = Catalog::from_toml_str(doc).unwrap();
+        assert_eq!(cat.params.pm.mttf_hours, 2000.0);
+        assert_eq!(cat.params.vm_size_gb, 8.0);
+        let s = &cat.expand().unwrap()[0];
+        assert_eq!(s.spec.min_running_vms, 3);
+        // Bigger images take longer to move than the 4 GB default.
+        let baseline = Catalog::from_toml_str(
+            "[catalog]\nname='x'\n[[scenario]]\nname='s'\nkind='two_dc'\n",
+        )
+        .unwrap();
+        let b = &baseline.expand().unwrap()[0];
+        assert!(
+            s.spec.direct_mtt_hours[0][1].unwrap() > b.spec.direct_mtt_hours[0][1].unwrap()
+        );
+    }
+
+    #[test]
+    fn schema_errors_are_informative() {
+        let missing = "[[scenario]]\nname='s'\nkind='two_dc'\n";
+        assert!(matches!(
+            Catalog::from_toml_str(missing),
+            Err(EngineError::Schema(msg)) if msg.contains("[catalog]")
+        ));
+        let bad_kind = "[catalog]\nname='x'\n[[scenario]]\nkind='weird'\n";
+        assert!(matches!(
+            Catalog::from_toml_str(bad_kind),
+            Err(EngineError::Schema(msg)) if msg.contains("weird")
+        ));
+        let unknown_city = "[catalog]\nname='x'\n[[scenario]]\nkind='two_dc'\nsecondary='Oz'\n";
+        let cat = Catalog::from_toml_str(unknown_city).unwrap();
+        assert!(matches!(cat.expand(), Err(EngineError::UnknownCity(c)) if c == "Oz"));
+        let dup = "[catalog]\nname='x'\n[[scenario]]\nname='s'\nkind='two_dc'\n\
+                   [[scenario]]\nname='s'\nkind='two_dc'\n";
+        let cat = Catalog::from_toml_str(dup).unwrap();
+        assert!(
+            matches!(cat.expand(), Err(EngineError::Schema(msg)) if msg.contains("duplicate"))
+        );
+    }
+
+    #[test]
+    fn name_template_substitution() {
+        let doc = r#"
+[catalog]
+name = "named"
+
+[[scenario]]
+name_template = "Baseline architecture: Rio de janeiro - {secondary}"
+kind = "two_dc"
+secondary = ["Brasilia"]
+"#;
+        let cat = Catalog::from_toml_str(doc).unwrap();
+        let s = &cat.expand().unwrap()[0];
+        assert_eq!(s.name, "Baseline architecture: Rio de janeiro - Brasilia");
+    }
+}

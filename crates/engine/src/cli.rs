@@ -1,0 +1,315 @@
+//! The `dtc` command-line interface.
+//!
+//! ```text
+//! dtc run <catalog.toml|.json> [options]   evaluate a scenario catalog
+//! dtc table7 [options]                     bundled Table VII catalog
+//! dtc fig7 [options]                       bundled Figure 7 catalog
+//! dtc validate <catalog>                   parse + expand + compile only
+//! dtc help                                 this text
+//!
+//! options:
+//!   --format table|csv|json   output format (default table)
+//!   --threads N               worker threads (default: available cores)
+//!   --solver NAME             power|jacobi|gauss-seidel|sor|direct
+//!   --cache FILE              persistent JSON evaluation cache
+//! ```
+//!
+//! Results go to stdout; progress and the cache summary go to stderr.
+
+use crate::cache::{method_from_name, EvalCache};
+use crate::catalog::{Catalog, Scenario};
+use crate::error::{EngineError, Result};
+use crate::executor::{run_batch, BatchResult, Outcome, RunOptions};
+use crate::output::{render, render_summary, Format};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+dtc — disaster-tolerant cloud scenario evaluator
+
+usage:
+  dtc run <catalog.toml|.json> [options]   evaluate a scenario catalog
+  dtc table7 [options]                     bundled DSN'13 Table VII catalog
+  dtc fig7 [options]                       bundled DSN'13 Figure 7 catalog
+  dtc validate <catalog>                   parse, expand and compile only
+  dtc help                                 show this text
+
+options:
+  --format table|csv|json   output format (default table)
+  --threads N               worker threads (default: available cores)
+  --solver NAME             power|jacobi|gauss-seidel|sor|direct
+  --cache FILE              persistent JSON evaluation cache
+";
+
+#[derive(Debug)]
+struct CliOptions {
+    format: Format,
+    run: RunOptions,
+    cache_path: Option<PathBuf>,
+}
+
+fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>)> {
+    let mut opts =
+        CliOptions { format: Format::Table, run: RunOptions::default(), cache_path: None };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| EngineError::Schema(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--format" => {
+                let v = take("--format")?;
+                opts.format = Format::from_name(&v).ok_or_else(|| {
+                    EngineError::Schema(format!("unknown format {v:?} (table, csv or json)"))
+                })?;
+            }
+            "--threads" => {
+                let v = take("--threads")?;
+                opts.run.threads = v.parse().map_err(|_| {
+                    EngineError::Schema(format!("--threads expects a number, got {v:?}"))
+                })?;
+            }
+            "--solver" => {
+                let v = take("--solver")?;
+                opts.run.eval.method = method_from_name(&v).ok_or_else(|| {
+                    EngineError::Schema(format!(
+                        "unknown solver {v:?} (power, jacobi, gauss-seidel, sor or direct)"
+                    ))
+                })?;
+            }
+            "--cache" => opts.cache_path = Some(PathBuf::from(take("--cache")?)),
+            other if other.starts_with("--") => {
+                return Err(EngineError::Schema(format!("unknown option {other}")));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    Ok((opts, positional))
+}
+
+fn open_cache(opts: &CliOptions) -> Result<EvalCache> {
+    match &opts.cache_path {
+        Some(path) => match EvalCache::with_store(path.clone()) {
+            Ok(cache) => Ok(cache),
+            // A corrupt store (truncated write, version skew) must not
+            // wedge every subsequent run: warn, start fresh, overwrite on
+            // persist.
+            Err(e) => {
+                eprintln!("dtc: warning: ignoring unusable cache store: {e}");
+                Ok(EvalCache::fresh_store(path.clone()))
+            }
+        },
+        None => Ok(EvalCache::in_memory()),
+    }
+}
+
+fn evaluate(catalog: &Catalog, opts: &CliOptions) -> Result<(Vec<Scenario>, BatchResult)> {
+    let scenarios = catalog.expand()?;
+    eprintln!(
+        "catalog {:?}: {} scenario(s) on {} thread(s)…",
+        catalog.name,
+        scenarios.len(),
+        opts.run.threads.max(1)
+    );
+    let cache = open_cache(opts)?;
+    let result = run_batch(&scenarios, &cache, &opts.run);
+    cache.persist()?;
+    eprintln!("{}", render_summary(&result));
+    Ok((scenarios, result))
+}
+
+/// Renders the Figure 7 view: per city pair, the change in number of nines
+/// over that pair's baseline point.
+pub fn render_fig7_grid(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
+    let nines_of = |sec: &str, alpha: f64, years: f64| -> f64 {
+        scenarios
+            .iter()
+            .position(|s| {
+                s.secondary.as_deref() == Some(sec)
+                    && s.alpha == Some(alpha)
+                    && s.disaster_years == Some(years)
+            })
+            .and_then(|i| outcomes[i].report.as_ref().ok().map(|r| r.nines))
+            .unwrap_or(f64::NAN)
+    };
+    // Distinct secondaries / alphas / years, in first-appearance order.
+    let mut pairs: Vec<String> = Vec::new();
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut years_axis: Vec<f64> = Vec::new();
+    for s in scenarios {
+        if let Some(sec) = &s.secondary {
+            if !pairs.contains(sec) {
+                pairs.push(sec.clone());
+            }
+        }
+        if let Some(a) = s.alpha {
+            if !alphas.contains(&a) {
+                alphas.push(a);
+            }
+        }
+        if let Some(y) = s.disaster_years {
+            if !years_axis.contains(&y) {
+                years_axis.push(y);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 7 — availability increase over the per-pair baseline (Δ nines)\n"
+    );
+    let _ = write!(out, "{:<12} {:>6} |", "pair", "α");
+    for y in &years_axis {
+        let _ = write!(out, " {:>9}", format!("{y} y"));
+    }
+    let _ = writeln!(out, " | {:>9}", "base A");
+    let width = 22 + 10 * years_axis.len() + 12;
+    let _ = writeln!(out, "{}", "-".repeat(width));
+    for pair in &pairs {
+        let base = scenarios
+            .iter()
+            .position(|s| s.secondary.as_deref() == Some(pair.as_str()) && s.is_baseline);
+        let (base_nines, base_avail) = match base {
+            Some(i) => match &outcomes[i].report {
+                Ok(r) => (r.nines, r.availability),
+                Err(_) => (f64::NAN, f64::NAN),
+            },
+            None => (f64::NAN, f64::NAN),
+        };
+        for (row, &alpha) in alphas.iter().enumerate() {
+            if row == 0 {
+                let _ = write!(out, "{:<12} {:>6.2} |", pair, alpha);
+            } else {
+                let _ = write!(out, "{:<12} {:>6.2} |", "", alpha);
+            }
+            for &y in &years_axis {
+                let delta = nines_of(pair, alpha, y) - base_nines;
+                let _ = write!(out, " {:>+9.3}", delta);
+            }
+            if row == 0 {
+                let _ = writeln!(out, " | {:>9.6}", base_avail);
+            } else {
+                let _ = writeln!(out, " |");
+            }
+        }
+    }
+    out
+}
+
+fn cmd_run(catalog: Catalog, opts: &CliOptions) -> Result<()> {
+    let (scenarios, result) = evaluate(&catalog, opts)?;
+    print!("{}", render(&scenarios, &result, opts.format));
+    Ok(())
+}
+
+fn cmd_fig7(catalog: Catalog, opts: &CliOptions) -> Result<()> {
+    let (scenarios, result) = evaluate(&catalog, opts)?;
+    match opts.format {
+        Format::Table => print!("{}", render_fig7_grid(&scenarios, &result.outcomes)),
+        other => print!("{}", render(&scenarios, &result, other)),
+    }
+    Ok(())
+}
+
+fn cmd_validate(catalog: Catalog) -> Result<()> {
+    let scenarios = catalog.expand()?;
+    let mut compiled = 0usize;
+    for s in &scenarios {
+        dtc_core::CloudModel::build(s.spec.clone()).map_err(|e| {
+            EngineError::Schema(format!("scenario {:?} does not compile: {e}", s.name))
+        })?;
+        compiled += 1;
+    }
+    println!(
+        "catalog {:?} ok: {} template(s), {} scenario(s), all compile",
+        catalog.name,
+        catalog.templates.len(),
+        compiled
+    );
+    for s in &scenarios {
+        println!(
+            "  {:<60} dcs={} pms={} vms={} k={}",
+            s.name,
+            s.spec.data_centers.len(),
+            s.spec.total_pms(),
+            s.spec.total_vms(),
+            s.spec.min_running_vms
+        );
+    }
+    Ok(())
+}
+
+fn dispatch(args: &[String]) -> Result<()> {
+    let Some(command) = args.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let (opts, positional) = parse_options(&args[1..])?;
+    let catalog_from_arg = |what: &str| -> Result<Catalog> {
+        let path = positional
+            .first()
+            .ok_or_else(|| EngineError::Schema(format!("{what} needs a catalog file")))?;
+        Catalog::from_path(std::path::Path::new(path))
+    };
+    match command.as_str() {
+        "run" => cmd_run(catalog_from_arg("run")?, &opts),
+        "table7" => cmd_run(crate::catalogs::table7(), &opts),
+        "fig7" => cmd_fig7(crate::catalogs::fig7(), &opts),
+        "validate" => cmd_validate(catalog_from_arg("validate")?),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(EngineError::Schema(format!("unknown command {other:?}; try `dtc help`"))),
+    }
+}
+
+/// CLI entry point; returns the process exit code.
+pub fn run_cli(args: &[String]) -> i32 {
+    match dispatch(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("dtc: {e}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_parsing() {
+        let args: Vec<String> = ["--format", "csv", "--threads", "2", "--solver", "power", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (opts, positional) = parse_options(&args).unwrap();
+        assert_eq!(opts.format, Format::Csv);
+        assert_eq!(opts.run.threads, 2);
+        assert_eq!(opts.run.eval.method, dtc_markov::Method::Power);
+        assert_eq!(positional, vec!["x".to_string()]);
+
+        assert!(parse_options(&["--format".into(), "xml".into()]).is_err());
+        assert!(parse_options(&["--threads".into()]).is_err());
+        assert!(parse_options(&["--wat".into()]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert_eq!(run_cli(&["frobnicate".into()]), 2);
+        assert_eq!(run_cli(&[]), 0, "no command prints usage");
+        assert_eq!(run_cli(&["help".into()]), 0);
+    }
+
+    #[test]
+    fn run_needs_a_catalog_path() {
+        assert_eq!(run_cli(&["run".into()]), 2);
+        assert_eq!(run_cli(&["run".into(), "/no/such/file.toml".into()]), 2);
+    }
+}

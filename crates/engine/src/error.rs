@@ -1,0 +1,76 @@
+//! Error type for catalog parsing, cache I/O and scenario execution.
+
+use dtc_core::CloudError;
+use std::fmt;
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors from the scenario engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Syntax error in a TOML catalog file.
+    Toml {
+        /// 1-based line of the offending input.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Syntax error in a JSON document.
+    Json(String),
+    /// The document parsed but does not match the catalog schema.
+    Schema(String),
+    /// A scenario references a city with no built-in coordinates.
+    UnknownCity(String),
+    /// Filesystem error (path and OS message).
+    Io(String),
+    /// Error bubbled up from the modeling layer.
+    Cloud(CloudError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Toml { line, msg } => {
+                write!(f, "toml parse error (line {line}): {msg}")
+            }
+            EngineError::Json(msg) => write!(f, "json parse error: {msg}"),
+            EngineError::Schema(msg) => write!(f, "catalog schema error: {msg}"),
+            EngineError::UnknownCity(name) => write!(
+                f,
+                "unknown city {name:?}: not a built-in site; give lat/lon coordinates instead"
+            ),
+            EngineError::Io(msg) => write!(f, "io error: {msg}"),
+            EngineError::Cloud(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Cloud(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CloudError> for EngineError {
+    fn from(e: CloudError) -> Self {
+        EngineError::Cloud(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EngineError::Toml { line: 3, msg: "bad".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e: EngineError = CloudError::BadSpec("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(EngineError::Schema("y".into()).to_string().contains("schema"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Cached, deduplicated, parallel evaluation of scenario batches.
+//!
+//! The upgraded sweep executor: scenarios are keyed by structural hash
+//! first, identical specs are folded together (grid cells often share a
+//! baseline), cached results are reused, and only the remaining unique
+//! specs fan out over the parallel sweep harness
+//! ([`dtc_core::sweep::sweep_reports`] — which already isolates
+//! per-scenario panics).
+
+use crate::cache::{CacheStats, EvalCache};
+use crate::catalog::Scenario;
+use crate::hash::{canonical_encoding, SpecKey};
+use dtc_core::metrics::{AvailabilityReport, EvalOptions};
+use dtc_core::sweep::sweep_reports;
+use dtc_core::system::CloudSystemSpec;
+use dtc_core::CloudError;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// How a scenario's report was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Solved in this batch.
+    Evaluated,
+    /// Copied from another scenario in this batch with an identical spec.
+    Deduplicated,
+    /// Served by the evaluation cache.
+    Cached,
+}
+
+/// Result for one scenario of a batch.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Index into the input batch.
+    pub index: usize,
+    /// Scenario name.
+    pub name: String,
+    /// Structural hash of spec + options.
+    pub key: SpecKey,
+    /// Where the result came from.
+    pub provenance: Provenance,
+    /// The evaluation result.
+    pub report: Result<AvailabilityReport, CloudError>,
+}
+
+/// A whole batch's outcomes plus cache statistics.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-scenario outcomes, in input order.
+    pub outcomes: Vec<Outcome>,
+    /// Unique specs actually solved in this batch.
+    pub evaluated: usize,
+    /// Scenarios answered by folding onto an identical spec in the batch.
+    pub deduplicated: usize,
+    /// Scenarios answered from the cache store.
+    pub cached: usize,
+    /// Cache counters after the batch.
+    pub cache_stats: CacheStats,
+    /// Wall-clock time spent solving.
+    pub solve_time: Duration,
+}
+
+impl BatchResult {
+    /// Scenarios that did not require solving a model (cache + dedup).
+    pub fn total_hits(&self) -> usize {
+        self.cached + self.deduplicated
+    }
+}
+
+/// Execution knobs for a batch.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads for the fan-out (0 = one per scenario, capped by the
+    /// harness).
+    pub threads: usize,
+    /// Numeric evaluation options (also part of every cache key).
+    pub eval: EvalOptions,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        RunOptions { threads, eval: EvalOptions::default() }
+    }
+}
+
+/// Evaluates a batch of scenarios with dedup and caching.
+///
+/// Successful reports are inserted into `cache`; errors are never cached.
+/// Call [`EvalCache::persist`] afterwards to flush a disk-backed cache.
+pub fn run_batch(scenarios: &[Scenario], cache: &EvalCache, opts: &RunOptions) -> BatchResult {
+    let keyed: Vec<(SpecKey, String)> = scenarios
+        .iter()
+        .map(|s| {
+            let canonical = canonical_encoding(&s.spec, &opts.eval);
+            (crate::hash::key_of_encoding(&canonical), canonical)
+        })
+        .collect();
+
+    // Resolve each scenario: cache hit, duplicate of an earlier scenario,
+    // or representative of a new unique spec (scheduled for evaluation).
+    #[derive(Clone, Copy)]
+    enum Plan {
+        FromCache(AvailabilityReport),
+        Duplicate { representative: usize },
+        Evaluate { slot: usize },
+    }
+    let mut plans: Vec<Plan> = Vec::with_capacity(scenarios.len());
+    let mut first_of_key: HashMap<&str, usize> = HashMap::new();
+    let mut to_solve: Vec<CloudSystemSpec> = Vec::new();
+    let mut cached = 0usize;
+    let mut deduplicated = 0usize;
+
+    for (i, s) in scenarios.iter().enumerate() {
+        let (key, canonical) = &keyed[i];
+        if let Some(&rep) = first_of_key.get(key.0.as_str()) {
+            deduplicated += 1;
+            plans.push(Plan::Duplicate { representative: rep });
+            continue;
+        }
+        first_of_key.insert(key.0.as_str(), i);
+        if let Some(report) = cache.get(key, canonical) {
+            cached += 1;
+            plans.push(Plan::FromCache(report));
+        } else {
+            let slot = to_solve.len();
+            to_solve.push(s.spec.clone());
+            plans.push(Plan::Evaluate { slot });
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let solved = sweep_reports(&to_solve, &opts.eval, opts.threads);
+    let solve_time = t0.elapsed();
+
+    // First pass: outcomes for cache hits and representatives.
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; scenarios.len()];
+    for (i, plan) in plans.iter().enumerate() {
+        let (key, canonical) = &keyed[i];
+        match plan {
+            Plan::FromCache(report) => {
+                outcomes[i] = Some(Outcome {
+                    index: i,
+                    name: scenarios[i].name.clone(),
+                    key: key.clone(),
+                    provenance: Provenance::Cached,
+                    report: Ok(*report),
+                });
+            }
+            Plan::Evaluate { slot } => {
+                let report = solved[*slot].report.clone();
+                if let Ok(r) = &report {
+                    cache.put(key, canonical, *r);
+                }
+                outcomes[i] = Some(Outcome {
+                    index: i,
+                    name: scenarios[i].name.clone(),
+                    key: key.clone(),
+                    provenance: Provenance::Evaluated,
+                    report,
+                });
+            }
+            Plan::Duplicate { .. } => {}
+        }
+    }
+    // Second pass: duplicates copy their representative's report.
+    for (i, plan) in plans.iter().enumerate() {
+        if let Plan::Duplicate { representative } = plan {
+            let report = outcomes[*representative]
+                .as_ref()
+                .expect("representatives are resolved in the first pass")
+                .report
+                .clone();
+            outcomes[i] = Some(Outcome {
+                index: i,
+                name: scenarios[i].name.clone(),
+                key: keyed[i].0.clone(),
+                provenance: Provenance::Deduplicated,
+                report,
+            });
+        }
+    }
+
+    BatchResult {
+        outcomes: outcomes.into_iter().map(|o| o.expect("all indices planned")).collect(),
+        evaluated: to_solve.len(),
+        deduplicated,
+        cached,
+        cache_stats: cache.stats(),
+        solve_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtc_core::params::{ComponentParams, VmParams};
+    use dtc_core::system::{DataCenterSpec, PmSpec};
+
+    fn tiny(mttf: f64) -> CloudSystemSpec {
+        CloudSystemSpec {
+            ospm: ComponentParams::new(mttf, 12.0),
+            vm: VmParams { mttf_hours: 2880.0, mttr_hours: 0.5, start_hours: 0.1 },
+            data_centers: vec![DataCenterSpec {
+                label: "1".into(),
+                pms: vec![PmSpec::hot(1, 1)],
+                disaster: None,
+                nas_net: None,
+                backup_inbound_mtt_hours: None,
+            }],
+            backup: None,
+            direct_mtt_hours: vec![vec![None]],
+            min_running_vms: 1,
+            migration_threshold: 1,
+        }
+    }
+
+    fn scenario(name: &str, spec: CloudSystemSpec) -> Scenario {
+        Scenario {
+            name: name.into(),
+            spec,
+            secondary: None,
+            alpha: None,
+            disaster_years: None,
+            machines: None,
+            is_baseline: false,
+            expect_availability: None,
+        }
+    }
+
+    #[test]
+    fn dedup_folds_identical_specs_with_identical_output() {
+        let batch = vec![
+            scenario("a", tiny(1000.0)),
+            scenario("b", tiny(2000.0)),
+            scenario("a-again", tiny(1000.0)),
+            scenario("a-thrice", tiny(1000.0)),
+        ];
+        let cache = EvalCache::in_memory();
+        let result = run_batch(&batch, &cache, &RunOptions::default());
+        assert_eq!(result.evaluated, 2, "only two unique specs solved");
+        assert_eq!(result.deduplicated, 2);
+        assert!(result.total_hits() >= 2, "shared specs count as hits");
+        let a = result.outcomes[0].report.as_ref().unwrap();
+        let a2 = result.outcomes[2].report.as_ref().unwrap();
+        let a3 = result.outcomes[3].report.as_ref().unwrap();
+        assert_eq!(a, a2, "deduplicated output must be bit-identical");
+        assert_eq!(a, a3);
+        assert_eq!(result.outcomes[2].provenance, Provenance::Deduplicated);
+        assert_ne!(
+            result.outcomes[0].report.as_ref().unwrap().availability,
+            result.outcomes[1].report.as_ref().unwrap().availability
+        );
+    }
+
+    #[test]
+    fn second_run_is_all_cache_hits() {
+        let batch = vec![scenario("a", tiny(1000.0)), scenario("b", tiny(2000.0))];
+        let cache = EvalCache::in_memory();
+        let first = run_batch(&batch, &cache, &RunOptions::default());
+        assert_eq!(first.evaluated, 2);
+        assert_eq!(first.cached, 0);
+
+        let second = run_batch(&batch, &cache, &RunOptions::default());
+        assert_eq!(second.evaluated, 0, "everything served from cache");
+        assert_eq!(second.cached, 2);
+        for (x, y) in first.outcomes.iter().zip(&second.outcomes) {
+            assert_eq!(
+                x.report.as_ref().unwrap(),
+                y.report.as_ref().unwrap(),
+                "cached output identical"
+            );
+            assert_eq!(y.provenance, Provenance::Cached);
+        }
+    }
+
+    #[test]
+    fn different_eval_options_do_not_share_cache_entries() {
+        let batch = vec![scenario("a", tiny(1000.0))];
+        let cache = EvalCache::in_memory();
+        run_batch(&batch, &cache, &RunOptions::default());
+        let mut opts = RunOptions::default();
+        opts.eval.method = dtc_markov::Method::Power;
+        let r = run_batch(&batch, &cache, &opts);
+        assert_eq!(r.cached, 0, "different solver, different key");
+        assert_eq!(r.evaluated, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn failures_propagate_and_are_not_cached() {
+        let mut bad = tiny(1000.0);
+        bad.min_running_vms = 99;
+        let batch = vec![
+            scenario("ok", tiny(1000.0)),
+            scenario("bad", bad.clone()),
+            scenario("bad-again", bad),
+        ];
+        let cache = EvalCache::in_memory();
+        let result = run_batch(&batch, &cache, &RunOptions::default());
+        assert!(result.outcomes[0].report.is_ok());
+        assert!(result.outcomes[1].report.is_err());
+        assert!(
+            result.outcomes[2].report.is_err(),
+            "duplicates of a failing spec fail identically"
+        );
+        assert_eq!(cache.len(), 1, "only the success is memoized");
+
+        // Re-running re-attempts the failure (it was never cached) …
+        let again = run_batch(&batch, &cache, &RunOptions::default());
+        assert_eq!(again.evaluated, 1);
+        assert!(again.outcomes[1].report.is_err());
+    }
+}

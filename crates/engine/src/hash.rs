@@ -1,0 +1,186 @@
+//! Stable structural hashing of compiled specifications.
+//!
+//! A [`SpecKey`] content-addresses one *evaluation*: the full
+//! [`CloudSystemSpec`] plus every evaluation option that can change the
+//! numbers (solver method, tolerances, reachability bounds). Equal
+//! spec+options pairs always produce equal keys, across processes and
+//! platforms: floats are encoded by their IEEE-754 bit patterns, strings
+//! length-prefixed, and the whole canonical byte string is hashed with two
+//! independently-seeded FNV-1a 64-bit passes (128 bits total).
+//!
+//! The canonical encoding itself is kept alongside cache entries, so a
+//! (vanishingly unlikely) hash collision degrades to a cache miss rather
+//! than a wrong answer.
+
+use dtc_core::metrics::EvalOptions;
+use dtc_core::system::CloudSystemSpec;
+use std::fmt::Write as _;
+
+/// A 128-bit content hash, rendered as 32 lowercase hex digits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SpecKey(pub String);
+
+impl std::fmt::Display for SpecKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+const FNV_OFFSET_A: u64 = 0xCBF2_9CE4_8422_2325;
+// Second pass: a different, fixed offset decorrelates the two 64-bit halves.
+const FNV_OFFSET_B: u64 = 0x6C62_272E_07BB_0142;
+
+fn fnv1a(bytes: &[u8], mut state: u64) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Canonical, deterministic encoding of a spec + evaluation options.
+pub fn canonical_encoding(spec: &CloudSystemSpec, opts: &EvalOptions) -> String {
+    let mut s = String::with_capacity(512);
+    let f = |s: &mut String, x: f64| {
+        let _ = write!(s, "{:016x},", x.to_bits());
+    };
+    let of = |s: &mut String, x: Option<f64>| match x {
+        None => s.push_str("-,"),
+        Some(x) => {
+            let _ = write!(s, "{:016x},", x.to_bits());
+        }
+    };
+
+    s.push_str("v1;ospm:");
+    f(&mut s, spec.ospm.mttf_hours);
+    f(&mut s, spec.ospm.mttr_hours);
+    s.push_str("vm:");
+    f(&mut s, spec.vm.mttf_hours);
+    f(&mut s, spec.vm.mttr_hours);
+    f(&mut s, spec.vm.start_hours);
+    s.push_str("dcs:[");
+    for dc in &spec.data_centers {
+        let _ = write!(s, "{{l:{}:{};pms:[", dc.label.len(), dc.label);
+        for pm in &dc.pms {
+            let _ = write!(s, "({},{})", pm.initial_vms, pm.capacity);
+        }
+        s.push_str("];d:");
+        match dc.disaster {
+            None => s.push_str("-,"),
+            Some(c) => {
+                f(&mut s, c.mttf_hours);
+                f(&mut s, c.mttr_hours);
+            }
+        }
+        s.push_str("n:");
+        match dc.nas_net {
+            None => s.push_str("-,"),
+            Some(c) => {
+                f(&mut s, c.mttf_hours);
+                f(&mut s, c.mttr_hours);
+            }
+        }
+        s.push_str("b:");
+        of(&mut s, dc.backup_inbound_mtt_hours);
+        s.push('}');
+    }
+    s.push_str("];bkp:");
+    match spec.backup {
+        None => s.push_str("-,"),
+        Some(c) => {
+            f(&mut s, c.mttf_hours);
+            f(&mut s, c.mttr_hours);
+        }
+    }
+    s.push_str("mtt:[");
+    for row in &spec.direct_mtt_hours {
+        s.push('[');
+        for cell in row {
+            of(&mut s, *cell);
+        }
+        s.push(']');
+    }
+    let _ = write!(s, "];k:{};l:{};", spec.min_running_vms, spec.migration_threshold);
+    // Evaluation options: the derived Debug form is deterministic and
+    // covers every field, including ones added later.
+    let _ = write!(s, "opts:{:?};{:?};{:?}", opts.method, opts.solver, opts.reach);
+    s
+}
+
+/// Hashes a spec + evaluation options into a cache key.
+pub fn spec_key(spec: &CloudSystemSpec, opts: &EvalOptions) -> SpecKey {
+    key_of_encoding(&canonical_encoding(spec, opts))
+}
+
+/// Hashes an already-computed canonical encoding.
+pub fn key_of_encoding(canonical: &str) -> SpecKey {
+    let bytes = canonical.as_bytes();
+    let a = fnv1a(bytes, FNV_OFFSET_A);
+    let b = fnv1a(bytes, FNV_OFFSET_B);
+    SpecKey(format!("{a:016x}{b:016x}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtc_core::params::{ComponentParams, VmParams};
+    use dtc_core::system::{DataCenterSpec, PmSpec};
+
+    fn spec() -> CloudSystemSpec {
+        CloudSystemSpec {
+            ospm: ComponentParams::new(1000.0, 12.0),
+            vm: VmParams { mttf_hours: 2880.0, mttr_hours: 0.5, start_hours: 0.1 },
+            data_centers: vec![DataCenterSpec {
+                label: "1".into(),
+                pms: vec![PmSpec::hot(2, 2)],
+                disaster: Some(ComponentParams::new(876_000.0, 8760.0)),
+                nas_net: None,
+                backup_inbound_mtt_hours: None,
+            }],
+            backup: None,
+            direct_mtt_hours: vec![vec![None]],
+            min_running_vms: 2,
+            migration_threshold: 1,
+        }
+    }
+
+    #[test]
+    fn equal_specs_hash_equal() {
+        let opts = EvalOptions::default();
+        assert_eq!(spec_key(&spec(), &opts), spec_key(&spec().clone(), &opts));
+    }
+
+    #[test]
+    fn perturbed_params_change_the_key() {
+        let opts = EvalOptions::default();
+        let base = spec_key(&spec(), &opts);
+        let mut tweaked = spec();
+        tweaked.ospm.mttf_hours += 1e-9;
+        assert_ne!(base, spec_key(&tweaked, &opts), "tiny float perturbations must be seen");
+        let mut tweaked = spec();
+        tweaked.min_running_vms = 1;
+        assert_ne!(base, spec_key(&tweaked, &opts));
+        let mut tweaked = spec();
+        tweaked.data_centers[0].label = "2".into();
+        assert_ne!(base, spec_key(&tweaked, &opts));
+    }
+
+    #[test]
+    fn options_are_part_of_the_identity() {
+        let base = spec_key(&spec(), &EvalOptions::default());
+        let mut opts = EvalOptions::default();
+        opts.solver.tolerance = 1e-6;
+        assert_ne!(base, spec_key(&spec(), &opts));
+        let opts = EvalOptions { method: dtc_markov::Method::Power, ..EvalOptions::default() };
+        assert_ne!(base, spec_key(&spec(), &opts));
+    }
+
+    #[test]
+    fn key_is_hex_128() {
+        let k = spec_key(&spec(), &EvalOptions::default());
+        assert_eq!(k.0.len(), 32);
+        assert!(k.0.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(k.to_string(), k.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Rendering batch results as text tables, CSV, or JSON.
+
+use crate::catalog::Scenario;
+use crate::executor::{BatchResult, Outcome, Provenance};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Output format selector for the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Human-readable aligned table.
+    #[default]
+    Table,
+    /// Comma-separated values with a header row.
+    Csv,
+    /// A JSON array of result objects.
+    Json,
+}
+
+impl Format {
+    /// Parses a `--format` argument.
+    pub fn from_name(name: &str) -> Option<Format> {
+        match name {
+            "table" => Some(Format::Table),
+            "csv" => Some(Format::Csv),
+            "json" => Some(Format::Json),
+            _ => None,
+        }
+    }
+}
+
+fn provenance_tag(p: Provenance) -> &'static str {
+    match p {
+        Provenance::Evaluated => "solved",
+        Provenance::Deduplicated => "dedup",
+        Provenance::Cached => "cache",
+    }
+}
+
+/// Renders outcomes in the requested format.
+pub fn render(scenarios: &[Scenario], result: &BatchResult, format: Format) -> String {
+    match format {
+        Format::Table => render_table(scenarios, &result.outcomes),
+        Format::Csv => render_csv(scenarios, &result.outcomes),
+        Format::Json => render_json(scenarios, &result.outcomes),
+    }
+}
+
+/// One-line cache/dedup summary (for stderr).
+pub fn render_summary(result: &BatchResult) -> String {
+    format!(
+        "{} scenario(s): {} solved, {} from cache, {} deduplicated ({} hit(s) total); \
+         solve time {:?}; cache holds {} entr{}",
+        result.outcomes.len(),
+        result.evaluated,
+        result.cached,
+        result.deduplicated,
+        result.total_hits(),
+        result.solve_time,
+        result.cache_stats.entries,
+        if result.cache_stats.entries == 1 { "y" } else { "ies" },
+    )
+}
+
+fn render_table(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
+    let name_width = scenarios.iter().map(|s| s.name.len()).max().unwrap_or(8).clamp(8, 60);
+    let any_expect = scenarios.iter().any(|s| s.expect_availability.is_some());
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{:<name_width$} {:>12} {:>7} {:>10} {:>9} {:>7}",
+        "scenario", "A", "nines", "down h/y", "states", "source"
+    );
+    if any_expect {
+        let _ = write!(out, " {:>12} {:>9}", "paper A", "ΔA");
+    }
+    out.push('\n');
+    let total_width = out.trim_end().chars().count();
+    let _ = writeln!(out, "{}", "-".repeat(total_width));
+    for (s, o) in scenarios.iter().zip(outcomes) {
+        match &o.report {
+            Ok(r) => {
+                let _ = write!(
+                    out,
+                    "{:<name_width$} {:>12.7} {:>7.2} {:>10.2} {:>9} {:>7}",
+                    s.name,
+                    r.availability,
+                    r.nines,
+                    r.downtime_hours_per_year,
+                    r.tangible_states,
+                    provenance_tag(o.provenance),
+                );
+                if any_expect {
+                    match s.expect_availability {
+                        Some(paper) => {
+                            let _ = write!(
+                                out,
+                                " {:>12.7} {:>8.3}%",
+                                paper,
+                                (r.availability - paper) / paper * 100.0
+                            );
+                        }
+                        None => {
+                            let _ = write!(out, " {:>12} {:>9}", "-", "-");
+                        }
+                    }
+                }
+                out.push('\n');
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{:<name_width$} FAILED: {e}", s.name);
+            }
+        }
+    }
+    out
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn render_csv(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
+    let mut out = String::from(
+        "name,status,availability,nines,downtime_hours_per_year,expected_running_vms,\
+         capacity_oriented_availability,tangible_states,edges,source,secondary,alpha,\
+         disaster_years,machines,is_baseline,expect_availability,error\n",
+    );
+    for (s, o) in scenarios.iter().zip(outcomes) {
+        let meta = |out: &mut String| {
+            let _ = write!(
+                out,
+                "{},{},{},{},{}",
+                s.secondary.as_deref().map(csv_escape).unwrap_or_default(),
+                s.alpha.map(|a| a.to_string()).unwrap_or_default(),
+                s.disaster_years.map(|y| y.to_string()).unwrap_or_default(),
+                s.machines.map(|m| m.to_string()).unwrap_or_default(),
+                s.is_baseline,
+            );
+        };
+        match &o.report {
+            Ok(r) => {
+                let _ = write!(
+                    out,
+                    "{},ok,{},{},{},{},{},{},{},{},",
+                    csv_escape(&s.name),
+                    r.availability,
+                    r.nines,
+                    r.downtime_hours_per_year,
+                    r.expected_running_vms,
+                    r.capacity_oriented_availability,
+                    r.tangible_states,
+                    r.edges,
+                    provenance_tag(o.provenance),
+                );
+                meta(&mut out);
+                let _ = write!(
+                    out,
+                    ",{},",
+                    s.expect_availability.map(|a| a.to_string()).unwrap_or_default()
+                );
+                out.push('\n');
+            }
+            Err(e) => {
+                let _ = write!(out, "{},error,,,,,,,,,", csv_escape(&s.name));
+                meta(&mut out);
+                let _ = writeln!(out, ",,{}", csv_escape(&e.to_string()));
+            }
+        }
+    }
+    out
+}
+
+fn render_json(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
+    let items: Vec<Value> = scenarios
+        .iter()
+        .zip(outcomes)
+        .map(|(s, o)| {
+            let mut t = BTreeMap::new();
+            t.insert("name".into(), Value::Str(s.name.clone()));
+            t.insert("key".into(), Value::Str(o.key.0.clone()));
+            t.insert("source".into(), Value::Str(provenance_tag(o.provenance).into()));
+            if let Some(sec) = &s.secondary {
+                t.insert("secondary".into(), Value::Str(sec.clone()));
+            }
+            if let Some(a) = s.alpha {
+                t.insert("alpha".into(), Value::Float(a));
+            }
+            if let Some(y) = s.disaster_years {
+                t.insert("disaster_years".into(), Value::Float(y));
+            }
+            if let Some(m) = s.machines {
+                t.insert("machines".into(), Value::Int(m as i64));
+            }
+            t.insert("is_baseline".into(), Value::Bool(s.is_baseline));
+            if let Some(a) = s.expect_availability {
+                t.insert("expect_availability".into(), Value::Float(a));
+            }
+            match &o.report {
+                Ok(r) => {
+                    t.insert("status".into(), Value::Str("ok".into()));
+                    t.insert("report".into(), crate::cache::report_to_value(r));
+                }
+                Err(e) => {
+                    t.insert("status".into(), Value::Str("error".into()));
+                    t.insert("error".into(), Value::Str(e.to_string()));
+                }
+            }
+            Value::Table(t)
+        })
+        .collect();
+    Value::Array(items).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::EvalCache;
+    use crate::executor::{run_batch, RunOptions};
+    use dtc_core::params::{ComponentParams, VmParams};
+    use dtc_core::system::{CloudSystemSpec, DataCenterSpec, PmSpec};
+
+    fn batch() -> (Vec<Scenario>, BatchResult) {
+        let spec = CloudSystemSpec {
+            ospm: ComponentParams::new(1000.0, 12.0),
+            vm: VmParams { mttf_hours: 2880.0, mttr_hours: 0.5, start_hours: 0.1 },
+            data_centers: vec![DataCenterSpec {
+                label: "1".into(),
+                pms: vec![PmSpec::hot(1, 1)],
+                disaster: None,
+                nas_net: None,
+                backup_inbound_mtt_hours: None,
+            }],
+            backup: None,
+            direct_mtt_hours: vec![vec![None]],
+            min_running_vms: 1,
+            migration_threshold: 1,
+        };
+        let mut bad = spec.clone();
+        bad.min_running_vms = 99;
+        let scenarios = vec![
+            Scenario {
+                name: "good, with comma".into(),
+                spec,
+                secondary: Some("Brasilia".into()),
+                alpha: Some(0.35),
+                disaster_years: Some(100.0),
+                machines: None,
+                is_baseline: true,
+                expect_availability: Some(0.99),
+            },
+            Scenario {
+                name: "bad".into(),
+                spec: bad,
+                secondary: None,
+                alpha: None,
+                disaster_years: None,
+                machines: Some(1),
+                is_baseline: false,
+                expect_availability: None,
+            },
+        ];
+        let cache = EvalCache::in_memory();
+        let result = run_batch(&scenarios, &cache, &RunOptions::default());
+        (scenarios, result)
+    }
+
+    #[test]
+    fn table_lists_rows_and_deltas() {
+        let (scenarios, result) = batch();
+        let text = render(&scenarios, &result, Format::Table);
+        assert!(text.contains("good, with comma"));
+        assert!(text.contains("FAILED"));
+        assert!(text.contains("paper A"), "expect column present");
+        assert!(text.contains("solved"));
+    }
+
+    #[test]
+    fn csv_has_header_and_escapes() {
+        let (scenarios, result) = batch();
+        let text = render(&scenarios, &result, Format::Csv);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("name,status,availability"));
+        assert!(lines[1].starts_with("\"good, with comma\",ok,"));
+        assert!(lines[2].contains(",error,"));
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let (scenarios, result) = batch();
+        let text = render(&scenarios, &result, Format::Json);
+        let v = Value::from_json(&text).unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("status").unwrap().as_str(), Some("ok"));
+        assert!(items[0].get("report").unwrap().get("availability").is_some());
+        assert_eq!(items[1].get("status").unwrap().as_str(), Some("error"));
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let (_, result) = batch();
+        let text = render_summary(&result);
+        assert!(text.contains("2 scenario(s)"));
+        assert!(text.contains("solved"));
+    }
+
+    #[test]
+    fn format_names() {
+        assert_eq!(Format::from_name("csv"), Some(Format::Csv));
+        assert_eq!(Format::from_name("json"), Some(Format::Json));
+        assert_eq!(Format::from_name("table"), Some(Format::Table));
+        assert_eq!(Format::from_name("xml"), None);
+    }
+}

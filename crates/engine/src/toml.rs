@@ -1,0 +1,515 @@
+//! A self-contained TOML-subset parser producing [`Value`] trees.
+//!
+//! The offline workspace cannot depend on the `toml` crate, so catalogs are
+//! parsed by this module instead. The supported subset covers everything
+//! the scenario schema uses (and the common cases beyond it):
+//!
+//! * `[table]` and `[[array-of-tables]]` headers, including dotted paths,
+//! * `key = value` pairs with bare or quoted keys,
+//! * basic (`"…"` with escapes) and literal (`'…'`) strings,
+//! * integers, floats (with `_` separators and exponents), booleans,
+//! * arrays (possibly spanning lines, with trailing commas) and inline
+//!   tables,
+//! * `#` comments and blank lines.
+//!
+//! Not supported (rejected with an error): dates/times, multi-line
+//! strings, and dotted keys on the left of `=`.
+
+use crate::error::{EngineError, Result};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Parses a TOML document into a [`Value::Table`].
+pub fn parse(input: &str) -> Result<Value> {
+    let mut p = Parser { s: input.as_bytes(), i: 0, line: 1 };
+    let mut root = BTreeMap::new();
+    // Path of the table currently receiving `key = value` lines.
+    let mut current: Vec<String> = Vec::new();
+
+    loop {
+        p.skip_trivia();
+        let Some(b) = p.peek() else { break };
+        if b == b'[' {
+            let (path, is_array) = p.header()?;
+            if is_array {
+                push_array_table(&mut root, &path, p.line)?;
+            } else {
+                create_table(&mut root, &path, p.line)?;
+            }
+            current = path;
+            p.expect_line_end()?;
+        } else {
+            let key = p.key()?;
+            p.skip_inline_ws();
+            if p.peek() == Some(b'.') {
+                return Err(p.err("dotted keys are not supported; use a [table] header"));
+            }
+            if p.peek() != Some(b'=') {
+                return Err(p.err(format!("expected '=' after key {key:?}")));
+            }
+            p.i += 1;
+            p.skip_inline_ws();
+            let value = p.value()?;
+            p.expect_line_end()?;
+            let table = table_at(&mut root, &current, p.line)?;
+            if table.insert(key.clone(), value).is_some() {
+                return Err(p.err(format!("duplicate key {key:?}")));
+            }
+        }
+    }
+    Ok(Value::Table(root))
+}
+
+/// Walks `path` from the root, descending into the last element of any
+/// array-of-tables along the way, returning the addressed map.
+fn table_at<'v>(
+    root: &'v mut BTreeMap<String, Value>,
+    path: &[String],
+    line: usize,
+) -> Result<&'v mut BTreeMap<String, Value>> {
+    let mut cur = root;
+    for seg in path {
+        let slot = cur.entry(seg.clone()).or_insert_with(Value::table);
+        let next = match slot {
+            Value::Table(t) => t,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => {
+                    return Err(EngineError::Toml {
+                        line,
+                        msg: format!("{seg:?} is not a table of tables"),
+                    })
+                }
+            },
+            _ => {
+                return Err(EngineError::Toml { line, msg: format!("{seg:?} is not a table") })
+            }
+        };
+        cur = next;
+    }
+    Ok(cur)
+}
+
+fn create_table(
+    root: &mut BTreeMap<String, Value>,
+    path: &[String],
+    line: usize,
+) -> Result<()> {
+    // `[a.b]` creates intermediate tables implicitly; redefining an existing
+    // *leaf* table is allowed only if it was created implicitly (we accept
+    // re-entry, which is harmless for the schema since duplicate keys are
+    // still rejected at assignment time).
+    table_at(root, path, line).map(|_| ())
+}
+
+fn push_array_table(
+    root: &mut BTreeMap<String, Value>,
+    path: &[String],
+    line: usize,
+) -> Result<()> {
+    let (parent, last) = match path.split_last() {
+        Some((last, parent)) => (parent, last),
+        None => {
+            return Err(EngineError::Toml { line, msg: "empty [[]] header".into() });
+        }
+    };
+    let table = table_at(root, parent, line)?;
+    let slot = table.entry(last.clone()).or_insert_with(|| Value::Array(Vec::new()));
+    match slot {
+        Value::Array(items) => {
+            items.push(Value::table());
+            Ok(())
+        }
+        _ => Err(EngineError::Toml {
+            line,
+            msg: format!("{last:?} already holds a non-array value"),
+        }),
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+    line: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> EngineError {
+        EngineError::Toml { line: self.line, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    /// Skips spaces and tabs (not newlines).
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.i += 1;
+        }
+    }
+
+    /// Skips whitespace, newlines and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') => {
+                    self.i += 1;
+                }
+                Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// After a value or header: only trivia may remain on the line.
+    fn expect_line_end(&mut self) -> Result<()> {
+        self.skip_inline_ws();
+        match self.peek() {
+            None | Some(b'\n') | Some(b'#') | Some(b'\r') => Ok(()),
+            Some(b) => Err(self.err(format!("unexpected {:?} after value", b as char))),
+        }
+    }
+
+    /// Parses `[a.b]` or `[[a.b]]`; returns the path and whether it was an
+    /// array-of-tables header.
+    fn header(&mut self) -> Result<(Vec<String>, bool)> {
+        self.bump(); // '['
+        let is_array = self.peek() == Some(b'[');
+        if is_array {
+            self.bump();
+        }
+        let mut path = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            path.push(self.key()?);
+            self.skip_inline_ws();
+            match self.peek() {
+                Some(b'.') => {
+                    self.bump();
+                }
+                Some(b']') => {
+                    self.bump();
+                    if is_array {
+                        if self.peek() != Some(b']') {
+                            return Err(self.err("expected ']]'"));
+                        }
+                        self.bump();
+                    }
+                    return Ok((path, is_array));
+                }
+                _ => return Err(self.err("expected '.' or ']' in table header")),
+            }
+        }
+    }
+
+    /// A bare (`A-Za-z0-9_-`) or quoted key.
+    fn key(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(b'"') => self.basic_string(),
+            Some(b'\'') => self.literal_string(),
+            _ => {
+                let start = self.i;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+                        self.i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.i == start {
+                    return Err(self.err("expected a key"));
+                }
+                Ok(std::str::from_utf8(&self.s[start..self.i])
+                    .expect("bare keys are ascii")
+                    .to_string())
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            None => Err(self.err("expected a value")),
+            Some(b'"') => Ok(Value::Str(self.basic_string()?)),
+            Some(b'\'') => Ok(Value::Str(self.literal_string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.inline_table(),
+            Some(b't') | Some(b'f') => self.boolean(),
+            _ => self.number(),
+        }
+    }
+
+    fn basic_string(&mut self) -> Result<String> {
+        self.bump(); // '"'
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\n') => return Err(self.err("newline in basic string")),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        if self.i + 4 > self.s.len() {
+                            return Err(self.err("truncated \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&self.s[self.i..self.i + 4])
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("bad \\u code point"))?,
+                        );
+                        self.i += 4;
+                    }
+                    _ => return Err(self.err("unsupported escape")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Re-decode the UTF-8 code point starting one byte back.
+                    self.i -= 1;
+                    let rest = std::str::from_utf8(&self.s[self.i..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn literal_string(&mut self) -> Result<String> {
+        self.bump(); // '\''
+        let start = self.i;
+        while let Some(b) = self.peek() {
+            if b == b'\'' {
+                let text = std::str::from_utf8(&self.s[start..self.i])
+                    .map_err(|_| self.err("invalid utf-8"))?
+                    .to_string();
+                self.bump();
+                return Ok(text);
+            }
+            if b == b'\n' {
+                return Err(self.err("newline in literal string"));
+            }
+            self.i += 1;
+        }
+        Err(self.err("unterminated literal string"))
+    }
+
+    fn boolean(&mut self) -> Result<Value> {
+        for (word, val) in [("true", true), ("false", false)] {
+            if self.s[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                return Ok(Value::Bool(val));
+            }
+        }
+        Err(self.err("expected true or false"))
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.i;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'+' | b'-' | b'_' => self.i += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        if self.i == start {
+            return Err(self.err("expected a value"));
+        }
+        let raw = std::str::from_utf8(&self.s[start..self.i]).expect("numbers are ascii");
+        let text: String = raw.chars().filter(|c| *c != '_').collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| self.err(format!("bad float {raw:?}: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| self.err(format!("bad integer {raw:?}: {e}")))
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.bump(); // '['
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b']') {
+                self.bump();
+                return Ok(Value::Array(items));
+            }
+            items.push(self.value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b']') => {
+                    self.bump();
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> Result<Value> {
+        self.bump(); // '{'
+        let mut map = BTreeMap::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b'}') {
+                self.bump();
+                return Ok(Value::Table(map));
+            }
+            let key = self.key()?;
+            self.skip_inline_ws();
+            if self.peek() != Some(b'=') {
+                return Err(self.err(format!("expected '=' after key {key:?} in inline table")));
+            }
+            self.bump();
+            self.skip_inline_ws();
+            let value = self.value()?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(self.err(format!("duplicate key {key:?} in inline table")));
+            }
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b'}') => {
+                    self.bump();
+                    return Ok(Value::Table(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in inline table")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_tables_and_arrays() {
+        let doc = r#"
+# a catalog
+title = "demo"   # trailing comment
+count = 3
+ratio = 0.35
+big = 1_000_000
+neg = -2.5e-3
+on = true
+
+[catalog]
+name = 'fig7'
+
+[[scenario]]
+alpha = [0.35, 0.40,
+         0.45,]   # multi-line array with trailing comma
+site = { name = "X", lat = -1.5, lon = 30.0 }
+
+[[scenario]]
+alpha = 0.4
+"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("title").unwrap().as_str(), Some("demo"));
+        assert_eq!(v.get("count").unwrap().as_i64(), Some(3));
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(0.35));
+        assert_eq!(v.get("big").unwrap().as_i64(), Some(1_000_000));
+        assert_eq!(v.get("neg").unwrap().as_f64(), Some(-2.5e-3));
+        assert_eq!(v.get("on").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("catalog").unwrap().get("name").unwrap().as_str(), Some("fig7"));
+        let scenarios = v.get("scenario").unwrap().as_array().unwrap();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].get("alpha").unwrap().as_array().unwrap().len(), 3);
+        let site = scenarios[0].get("site").unwrap();
+        assert_eq!(site.get("lat").unwrap().as_f64(), Some(-1.5));
+        assert_eq!(scenarios[1].get("alpha").unwrap().as_f64(), Some(0.4));
+    }
+
+    #[test]
+    fn nested_array_of_tables() {
+        let doc = r#"
+[[scenario]]
+name = "three-sites"
+[[scenario.dc]]
+city = "Rio de Janeiro"
+[[scenario.dc]]
+city = "Recife"
+[[scenario]]
+name = "other"
+"#;
+        let v = parse(doc).unwrap();
+        let scenarios = v.get("scenario").unwrap().as_array().unwrap();
+        assert_eq!(scenarios.len(), 2);
+        let dcs = scenarios[0].get("dc").unwrap().as_array().unwrap();
+        assert_eq!(dcs.len(), 2);
+        assert_eq!(dcs[1].get("city").unwrap().as_str(), Some("Recife"));
+        assert!(scenarios[1].get("dc").is_none());
+    }
+
+    #[test]
+    fn string_flavors() {
+        let doc = "a = \"esc\\t\\\"x\\\"\"\nb = 'lit\\no escape'\nc = \"ünïcödé\"\n";
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_str(), Some("esc\t\"x\""));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("lit\\no escape"));
+        assert_eq!(v.get("c").unwrap().as_str(), Some("ünïcödé"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let doc = "ok = 1\nbroken = @\n";
+        match parse(doc) {
+            Err(EngineError::Toml { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected toml error, got {other:?}"),
+        }
+        assert!(parse("a = 1\na = 2\n").is_err(), "duplicate keys rejected");
+        assert!(parse("a.b = 1\n").is_err(), "dotted keys rejected");
+        assert!(parse("x = 1 y = 2\n").is_err(), "two assignments per line rejected");
+    }
+
+    #[test]
+    fn quoted_keys_and_deep_headers() {
+        let doc = "[outer.\"inner key\"]\nx = 1\n";
+        let v = parse(doc).unwrap();
+        assert_eq!(
+            v.get("outer").unwrap().get("inner key").unwrap().get("x").unwrap().as_i64(),
+            Some(1)
+        );
+    }
+}

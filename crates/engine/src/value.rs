@@ -1,0 +1,464 @@
+//! A small dynamic value tree shared by the TOML and JSON front ends.
+//!
+//! The offline workspace cannot depend on `serde`, so catalogs and cache
+//! stores round-trip through this [`Value`] enum instead: the TOML parser
+//! ([`crate::toml`]) and the JSON reader/writer here both produce and
+//! consume it, and the schema layer ([`crate::catalog`]) converts it to
+//! typed structs.
+
+use crate::error::{EngineError, Result};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A dynamically-typed configuration value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// UTF-8 string.
+    Str(String),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Ordered list.
+    Array(Vec<Value>),
+    /// Key → value map (sorted, for deterministic serialization).
+    Table(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Empty table.
+    pub fn table() -> Value {
+        Value::Table(BTreeMap::new())
+    }
+
+    /// Borrows the table map, if this is a table.
+    pub fn as_table(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion: floats as-is, integers widened.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer value, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a table value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_table().and_then(|t| t.get(key))
+    }
+
+    /// Serializes to compact JSON.
+    ///
+    /// Floats are written with `{:?}` (shortest round-trip form, always
+    /// with a decimal point or exponent, so re-parsing preserves
+    /// float-ness). Non-finite floats do not occur in engine data and are
+    /// written as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => write_json_string(s, out),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Table(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document into a value tree.
+    pub fn from_json(input: &str) -> Result<Value> {
+        let bytes = input.as_bytes();
+        let mut p = JsonParser { s: bytes, i: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != bytes.len() {
+            return Err(EngineError::Json(format!(
+                "trailing data at byte {} of {}",
+                p.i,
+                bytes.len()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct JsonParser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn err(&self, msg: impl Into<String>) -> EngineError {
+        EngineError::Json(format!("{} at byte {}", msg.into(), self.i))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.s.get(self.i) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => Err(self.err("null is not used by engine documents")),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected {word}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.i;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.i += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| self.err(format!("bad float {text:?}: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| self.err(format!("bad integer {text:?}: {e}")))
+        }
+    }
+
+    /// Reads the 4 hex digits of a `\uXXXX` escape. On entry `self.i`
+    /// points at the `u`; on exit it points at the last hex digit (the
+    /// caller's shared `+= 1` then steps past it).
+    fn u_escape_hex(&mut self) -> Result<u32> {
+        if self.i + 5 > self.s.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.s[self.i + 1..self.i + 5])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.i += 4;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hi = self.u_escape_hex()?;
+                            let code = if (0xD800..=0xDBFF).contains(&hi) {
+                                // High surrogate: a low surrogate escape
+                                // must follow (JSON encodes non-BMP chars
+                                // as \uD8xx\uDCxx pairs).
+                                if self.s.get(self.i + 1) == Some(&b'\\')
+                                    && self.s.get(self.i + 2) == Some(&b'u')
+                                {
+                                    self.i += 2;
+                                    let lo = self.u_escape_hex()?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(
+                                            self.err("unpaired surrogate in \\u escape")
+                                        );
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate in \\u escape"));
+                                }
+                            } else if (0xDC00..=0xDFFF).contains(&hi) {
+                                return Err(self.err("unpaired low surrogate in \\u escape"));
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.s[self.i..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Table(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            if map.insert(key.clone(), val).is_some() {
+                return Err(self.err(format!("duplicate key {key:?}")));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Table(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(pairs: &[(&str, Value)]) -> Value {
+        Value::Table(pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let v = table(&[
+            ("name", Value::Str("fig7 \"sweep\"".into())),
+            ("alpha", Value::Array(vec![Value::Float(0.35), Value::Float(0.45)])),
+            ("years", Value::Int(100)),
+            ("on", Value::Bool(true)),
+            (
+                "nested",
+                table(&[("lat", Value::Float(-22.9068)), ("tiny", Value::Float(1e-13))]),
+            ),
+        ]);
+        let text = v.to_json();
+        let back = Value::from_json(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let v = Value::Float(100.0);
+        let back = Value::from_json(&v.to_json()).unwrap();
+        assert_eq!(back, Value::Float(100.0));
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(Value::from_json("{").is_err());
+        assert!(Value::from_json("[1,]").is_err());
+        assert!(Value::from_json("null").is_err());
+        assert!(Value::from_json("{\"a\":1} x").is_err());
+        assert!(Value::from_json("{\"a\":1,\"a\":2}").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::Str("tab\there\nline \u{1}".into());
+        let back = Value::from_json(&v.to_json()).unwrap();
+        assert_eq!(v, back);
+        let parsed = Value::from_json("\"\\u0041\\/\"").unwrap();
+        assert_eq!(parsed, Value::Str("A/".into()));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // 🌍 = U+1F30D = \uD83C\uDF0D.
+        let parsed = Value::from_json("\"site \\ud83c\\udf0d\"").unwrap();
+        assert_eq!(parsed, Value::Str("site \u{1F30D}".into()));
+        // Unpaired surrogates are malformed JSON.
+        assert!(Value::from_json("\"\\ud83c\"").is_err());
+        assert!(Value::from_json("\"\\ud83c x\"").is_err());
+        assert!(Value::from_json("\"\\udf0d\"").is_err());
+        assert!(Value::from_json("\"\\ud83c\\u0041\"").is_err());
+    }
+
+    #[test]
+    fn accessors_and_coercion() {
+        let v = table(&[("x", Value::Int(3))]);
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("x").unwrap().as_i64(), Some(3));
+        assert!(v.get("y").is_none());
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert!(Value::Int(1).as_str().is_none());
+    }
+}

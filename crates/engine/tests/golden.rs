@@ -1,0 +1,138 @@
+//! Golden tests: the bundled catalogs must expand to exactly the
+//! scenarios the hand-coded `dtc_core::scenarios` generators produce —
+//! same order, same names, bit-identical specs — so `dtc run` reproduces
+//! the paper numbers without re-deriving anything.
+
+use dtc_core::metrics::EvalOptions;
+use dtc_core::scenarios::{figure7_scenarios, table_vii_scenarios, CaseStudy};
+use dtc_engine::catalogs;
+use dtc_engine::prelude::*;
+
+#[test]
+fn table7_catalog_matches_core_generator() {
+    let catalog = catalogs::table7();
+    let scenarios = catalog.expand().unwrap();
+    let reference = table_vii_scenarios(&CaseStudy::paper());
+    assert_eq!(scenarios.len(), 8);
+    assert_eq!(scenarios.len(), reference.len());
+    for (got, want) in scenarios.iter().zip(&reference) {
+        assert_eq!(got.name, want.name);
+        assert_eq!(got.spec, want.spec, "spec mismatch for {:?}", want.name);
+    }
+    // Every row carries the paper's published availability.
+    assert!(scenarios.iter().all(|s| s.expect_availability.is_some()));
+}
+
+#[test]
+fn fig7_catalog_matches_core_generator() {
+    let catalog = catalogs::fig7();
+    let scenarios = catalog.expand().unwrap();
+    let reference = figure7_scenarios(&CaseStudy::paper());
+    assert_eq!(scenarios.len(), 45);
+    assert_eq!(scenarios.len(), reference.len());
+    for (got, want) in scenarios.iter().zip(&reference) {
+        assert_eq!(got.secondary.as_deref(), Some(want.city.name));
+        assert_eq!(got.alpha, Some(want.alpha));
+        assert_eq!(got.disaster_years, Some(want.disaster_years));
+        assert_eq!(got.is_baseline, want.is_baseline);
+        assert_eq!(
+            got.spec, want.spec,
+            "spec mismatch at {} α={} years={}",
+            want.city.name, want.alpha, want.disaster_years
+        );
+    }
+    assert_eq!(scenarios.iter().filter(|s| s.is_baseline).count(), 5);
+}
+
+#[test]
+fn identical_grid_points_share_cache_keys_with_core_specs() {
+    // The engine's cache key of a catalog scenario equals the key computed
+    // from the core-generated spec: catalogs and hand-written harnesses
+    // share cache entries.
+    let opts = EvalOptions::default();
+    let catalog_spec = &catalogs::fig7().expand().unwrap()[0].spec;
+    let core_spec = &figure7_scenarios(&CaseStudy::paper())[0].spec;
+    assert_eq!(spec_key(catalog_spec, &opts), spec_key(core_spec, &opts));
+}
+
+#[test]
+fn bundled_catalogs_round_trip_through_json() {
+    for catalog in [catalogs::table7(), catalogs::fig7()] {
+        let json = catalog.to_value().to_json();
+        let back = Catalog::from_json_str(&json).unwrap();
+        assert_eq!(catalog, back);
+        let a = catalog.expand().unwrap();
+        let b = back.expand().unwrap();
+        assert_eq!(a, b, "round-tripped catalog expands identically");
+    }
+}
+
+#[test]
+fn bundled_catalogs_validate() {
+    // Every bundled scenario compiles to a model (without solving it).
+    for catalog in [catalogs::table7(), catalogs::fig7()] {
+        for s in catalog.expand().unwrap() {
+            dtc_core::CloudModel::build(s.spec).unwrap();
+        }
+    }
+}
+
+const TINY_PAIR: &str = r#"
+# Two templates that expand to the *same* spec — the executor must fold
+# them and report a cache hit for the duplicate.
+[catalog]
+name = "tiny"
+
+[[scenario]]
+name = "a"
+kind = "custom"
+min_running_vms = 1
+[[scenario.dc]]
+site = "Rio de Janeiro"
+hot_pms = 1
+vms_per_pm = 1
+pm_capacity = 1
+disaster = false
+nas_net = false
+backup_link = false
+
+[[scenario]]
+name = "b"
+kind = "custom"
+min_running_vms = 1
+[[scenario.dc]]
+site = "Rio de Janeiro"
+hot_pms = 1
+vms_per_pm = 1
+pm_capacity = 1
+disaster = false
+nas_net = false
+backup_link = false
+"#;
+
+#[test]
+fn catalog_run_dedups_identical_scenarios_and_second_run_hits_cache() {
+    let catalog = Catalog::from_toml_str(TINY_PAIR).unwrap();
+    let scenarios = catalog.expand().unwrap();
+    assert_eq!(scenarios.len(), 2);
+    let cache = EvalCache::in_memory();
+    let opts = RunOptions::default();
+
+    let first = run_batch(&scenarios, &cache, &opts);
+    assert_eq!(first.evaluated, 1, "identical specs dedup before fan-out");
+    assert_eq!(first.deduplicated, 1);
+    assert!(first.total_hits() > 0);
+    let a = first.outcomes[0].report.as_ref().unwrap();
+    let b = first.outcomes[1].report.as_ref().unwrap();
+    assert_eq!(a, b, "deduplicated scenario gets the identical report");
+
+    let second = run_batch(&scenarios, &cache, &opts);
+    assert_eq!(second.evaluated, 0);
+    assert_eq!(second.cached, 1);
+    assert_eq!(second.deduplicated, 1);
+    assert_eq!(
+        second.outcomes[0].report.as_ref().unwrap(),
+        a,
+        "cached re-run reproduces identical output"
+    );
+}

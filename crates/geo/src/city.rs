@@ -68,16 +68,82 @@ impl City {
     /// Panics if latitude is outside `[-90, 90]` or longitude outside
     /// `[-180, 180]`.
     pub fn new(name: &'static str, lat_deg: f64, lon_deg: f64) -> Self {
-        assert!(
-            (-90.0..=90.0).contains(&lat_deg),
-            "latitude {lat_deg} outside [-90, 90]"
-        );
-        assert!(
-            (-180.0..=180.0).contains(&lon_deg),
-            "longitude {lon_deg} outside [-180, 180]"
-        );
+        assert!((-90.0..=90.0).contains(&lat_deg), "latitude {lat_deg} outside [-90, 90]");
+        assert!((-180.0..=180.0).contains(&lon_deg), "longitude {lon_deg} outside [-180, 180]");
         City { name, lat_deg, lon_deg }
     }
+}
+
+/// Every city with built-in coordinates: the seven case-study sites plus
+/// the extra sites for studies beyond the paper.
+pub const KNOWN_CITIES: [City; 13] = [
+    RIO_DE_JANEIRO,
+    BRASILIA,
+    RECIFE,
+    SAO_PAULO,
+    NEW_YORK,
+    CALCUTTA,
+    TOKYO,
+    LONDON,
+    FRANKFURT,
+    SINGAPORE,
+    SYDNEY,
+    SAN_FRANCISCO,
+    JOHANNESBURG,
+];
+
+/// Folds common Latin diacritics to their base letter, so "São Paulo" and
+/// "Brasília" resolve to the ASCII-named built-ins.
+fn fold_diacritic(c: char) -> char {
+    match c {
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' => 'a',
+        'è' | 'é' | 'ê' | 'ë' => 'e',
+        'ì' | 'í' | 'î' | 'ï' => 'i',
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' => 'o',
+        'ù' | 'ú' | 'û' | 'ü' => 'u',
+        'ç' => 'c',
+        'ñ' => 'n',
+        other => other,
+    }
+}
+
+/// Normalizes a city name for lookup: lowercase, alphanumeric only (drops
+/// spaces, hyphens and punctuation), common diacritics folded.
+fn normalize(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(|c| c.to_lowercase())
+        .map(fold_diacritic)
+        .collect()
+}
+
+/// Looks up a built-in city by name, case-, punctuation- and
+/// diacritic-insensitively.
+///
+/// Common alternate spellings are accepted: `"Tokyo"` for the paper's
+/// `"Tokio"`, `"Kolkata"` for `"Calcutta"`, and `"New York"` for
+/// `"NewYork"`.
+///
+/// ```
+/// use dtc_geo::{find_city, SAO_PAULO, TOKYO};
+/// assert_eq!(find_city("tokyo"), Some(TOKYO));
+/// assert_eq!(find_city("São Paulo"), Some(SAO_PAULO));
+/// assert_eq!(find_city("Rio de Janeiro"), Some(dtc_geo::RIO_DE_JANEIRO));
+/// assert_eq!(find_city("Atlantis"), None);
+/// ```
+pub fn find_city(name: &str) -> Option<City> {
+    let wanted = normalize(name);
+    if wanted.is_empty() {
+        return None;
+    }
+    // Alternate spellings map onto a canonical built-in name.
+    let canonical = match wanted.as_str() {
+        "tokyo" => "tokio".to_string(),
+        "kolkata" => "calcutta".to_string(),
+        "saopaolo" => "saopaulo".to_string(),
+        other => other.to_string(),
+    };
+    KNOWN_CITIES.iter().find(|c| normalize(c.name) == canonical).copied()
 }
 
 /// Mean Earth radius in kilometers (IUGG).
@@ -85,12 +151,19 @@ pub const EARTH_RADIUS_KM: f64 = 6371.0088;
 
 /// Great-circle distance between two cities in kilometers (haversine).
 pub fn haversine_km(a: &City, b: &City) -> f64 {
-    let (lat1, lon1) = (a.lat_deg.to_radians(), a.lon_deg.to_radians());
-    let (lat2, lon2) = (b.lat_deg.to_radians(), b.lon_deg.to_radians());
+    haversine_deg_km(a.lat_deg, a.lon_deg, b.lat_deg, b.lon_deg)
+}
+
+/// Great-circle distance between two raw WGS-84 coordinates in kilometers.
+///
+/// The coordinate-level entry point used for sites that are not built-in
+/// [`City`] constants (e.g. user-specified lat/lon in scenario catalogs).
+pub fn haversine_deg_km(lat1_deg: f64, lon1_deg: f64, lat2_deg: f64, lon2_deg: f64) -> f64 {
+    let (lat1, lon1) = (lat1_deg.to_radians(), lon1_deg.to_radians());
+    let (lat2, lon2) = (lat2_deg.to_radians(), lon2_deg.to_radians());
     let dlat = lat2 - lat1;
     let dlon = lon2 - lon1;
-    let h = (dlat / 2.0).sin().powi(2)
-        + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
     2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
 }
 
@@ -152,6 +225,21 @@ mod tests {
         assert!((ss - 6300.0).abs() / 6300.0 < 0.05, "{ss}");
         let sj = haversine_km(&SAN_FRANCISCO, &JOHANNESBURG);
         assert!(sj > 15_000.0 && sj < 18_000.0, "{sj}");
+    }
+
+    #[test]
+    fn find_city_is_forgiving() {
+        assert_eq!(find_city("rio de janeiro"), Some(RIO_DE_JANEIRO));
+        assert_eq!(find_city("RIO-DE-JANEIRO"), Some(RIO_DE_JANEIRO));
+        assert_eq!(find_city("São Paulo"), Some(SAO_PAULO));
+        assert_eq!(find_city("Brasília"), Some(BRASILIA));
+        assert_eq!(find_city("Tokyo"), Some(TOKYO));
+        assert_eq!(find_city("Kolkata"), Some(CALCUTTA));
+        assert_eq!(find_city("New York"), Some(NEW_YORK));
+        assert_eq!(find_city("london"), Some(LONDON));
+        assert_eq!(find_city("Atlantis"), None);
+        assert_eq!(find_city(""), None);
+        assert_eq!(find_city("---"), None);
     }
 
     #[test]

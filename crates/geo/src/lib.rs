@@ -23,7 +23,8 @@ pub mod city;
 pub mod wan;
 
 pub use city::{
-    haversine_km, City, BRASILIA, CALCUTTA, CASE_STUDY_CITIES, EARTH_RADIUS_KM, NEW_YORK,
-    RECIFE, RIO_DE_JANEIRO, SAO_PAULO, TOKYO,
+    find_city, haversine_deg_km, haversine_km, City, BRASILIA, CALCUTTA, CASE_STUDY_CITIES,
+    EARTH_RADIUS_KM, FRANKFURT, JOHANNESBURG, KNOWN_CITIES, LONDON, NEW_YORK, RECIFE,
+    RIO_DE_JANEIRO, SAN_FRANCISCO, SAO_PAULO, SINGAPORE, SYDNEY, TOKYO,
 };
 pub use wan::{WanModel, FIBER_SPEED_KM_S};

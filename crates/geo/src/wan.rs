@@ -91,13 +91,7 @@ impl WanModel {
     }
 
     /// MTT between two cities (hours).
-    pub fn mtt_between_hours(
-        &self,
-        a: &City,
-        b: &City,
-        alpha: f64,
-        gigabytes: f64,
-    ) -> f64 {
+    pub fn mtt_between_hours(&self, a: &City, b: &City, alpha: f64, gigabytes: f64) -> f64 {
         self.mtt_hours(haversine_km(a, b), alpha, gigabytes)
     }
 }
@@ -171,7 +165,8 @@ mod tests {
 
     #[test]
     fn loss_capped_at_one() {
-        let w = WanModel { loss_base: 0.9, loss_per_1000km: 0.5, ..WanModel::paper_calibrated() };
+        let w =
+            WanModel { loss_base: 0.9, loss_per_1000km: 0.5, ..WanModel::paper_calibrated() };
         assert_eq!(w.loss(1e6), 1.0);
     }
 }

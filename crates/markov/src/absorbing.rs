@@ -32,13 +32,11 @@ pub struct AbsorptionAnalysis {
 /// * [`MarkovError::Empty`] if the chain has no absorbing states at all.
 pub fn mean_time_to_absorption(ctmc: &Ctmc) -> Result<AbsorptionAnalysis> {
     let n = ctmc.num_states();
-    let absorbing: Vec<usize> =
-        (0..n).filter(|&i| ctmc.exit_rates()[i] == 0.0).collect();
+    let absorbing: Vec<usize> = (0..n).filter(|&i| ctmc.exit_rates()[i] == 0.0).collect();
     if absorbing.is_empty() {
         return Err(MarkovError::Empty);
     }
-    let transient: Vec<usize> =
-        (0..n).filter(|&i| ctmc.exit_rates()[i] != 0.0).collect();
+    let transient: Vec<usize> = (0..n).filter(|&i| ctmc.exit_rates()[i] != 0.0).collect();
     let index_of: std::collections::HashMap<usize, usize> =
         transient.iter().enumerate().map(|(k, &s)| (s, k)).collect();
     let m = transient.len();
@@ -145,17 +143,16 @@ pub fn mean_time_to_absorption_iterative(
 /// Probability of eventually being absorbed in each absorbing state, per
 /// starting transient state. Returns a row-major `transient × absorbing`
 /// matrix alongside the state index lists.
+#[allow(clippy::type_complexity)]
 pub fn absorption_probabilities(
     ctmc: &Ctmc,
 ) -> Result<(Vec<usize>, Vec<usize>, Vec<Vec<f64>>)> {
     let n = ctmc.num_states();
-    let absorbing: Vec<usize> =
-        (0..n).filter(|&i| ctmc.exit_rates()[i] == 0.0).collect();
+    let absorbing: Vec<usize> = (0..n).filter(|&i| ctmc.exit_rates()[i] == 0.0).collect();
     if absorbing.is_empty() {
         return Err(MarkovError::Empty);
     }
-    let transient: Vec<usize> =
-        (0..n).filter(|&i| ctmc.exit_rates()[i] != 0.0).collect();
+    let transient: Vec<usize> = (0..n).filter(|&i| ctmc.exit_rates()[i] != 0.0).collect();
     let index_of: std::collections::HashMap<usize, usize> =
         transient.iter().enumerate().map(|(k, &s)| (s, k)).collect();
     let m = transient.len();
@@ -338,9 +335,6 @@ mod tests {
         b.rate(1, 0, 1.0);
         b.rate(2, 3, 1.0);
         let c = b.build().unwrap();
-        assert!(matches!(
-            mean_time_to_absorption(&c),
-            Err(MarkovError::Singular { .. })
-        ));
+        assert!(matches!(mean_time_to_absorption(&c), Err(MarkovError::Singular { .. })));
     }
 }

@@ -64,10 +64,7 @@ impl CtmcBuilder {
     /// is not finite and positive.
     pub fn rate(&mut self, from: usize, to: usize, rate: f64) -> &mut Self {
         assert_ne!(from, to, "self-loops are not part of a CTMC generator");
-        assert!(
-            rate.is_finite() && rate > 0.0,
-            "rate must be finite and positive, got {rate}"
-        );
+        assert!(rate.is_finite() && rate > 0.0, "rate must be finite and positive, got {rate}");
         self.coo.push(from, to, rate);
         self
     }
@@ -116,7 +113,7 @@ impl Ctmc {
             return Err(MarkovError::NotSquare { nrows: n, ncols: q.ncols() });
         }
         let mut exit_rates = vec![0.0; n];
-        for i in 0..n {
+        for (i, exit_rate) in exit_rates.iter_mut().enumerate() {
             let (cols, vals) = q.row(i);
             let mut sum = 0.0;
             let mut mag = 0.0;
@@ -129,7 +126,7 @@ impl Ctmc {
                             detail: format!("positive diagonal {v}"),
                         });
                     }
-                    exit_rates[i] = -*v;
+                    *exit_rate = -*v;
                 } else if *v < 0.0 {
                     return Err(MarkovError::InvalidGenerator {
                         state: i,
@@ -340,9 +337,11 @@ mod tests {
     #[test]
     fn all_methods_agree() {
         let c = repairable(4000.0, 1.0);
-        let (exact, _) = c.steady_state_with(Method::Direct, &SolverOptions::default()).unwrap();
+        let (exact, _) =
+            c.steady_state_with(Method::Direct, &SolverOptions::default()).unwrap();
         for m in [Method::Power, Method::Jacobi, Method::GaussSeidel, Method::Sor] {
-            let opts = SolverOptions { relaxation: 1.05, tolerance: 1e-14, ..Default::default() };
+            let opts =
+                SolverOptions { relaxation: 1.05, tolerance: 1e-14, ..Default::default() };
             let (pi, _) = c.steady_state_with(m, &opts).unwrap();
             for (a, b) in pi.iter().zip(&exact) {
                 assert!((a - b).abs() < 1e-8, "{m:?}: {pi:?} vs {exact:?}");
@@ -363,11 +362,7 @@ mod tests {
         for t in [0.0, 0.1, 0.5, 1.0, 3.0, 10.0] {
             let pi = c.transient(&[1.0, 0.0], t).unwrap();
             let expect = a + (1.0 - a) * (-(lam + mu) * t).exp();
-            assert!(
-                (pi[0] - expect).abs() < 1e-9,
-                "t={t}: got {} expect {expect}",
-                pi[0]
-            );
+            assert!((pi[0] - expect).abs() < 1e-9, "t={t}: got {} expect {expect}", pi[0]);
         }
     }
 
@@ -406,18 +401,12 @@ mod tests {
         let mut coo = CooMatrix::new(2, 2);
         coo.push(0, 1, -1.0); // negative off-diagonal
         let q = CsrMatrix::from_coo(&coo);
-        assert!(matches!(
-            Ctmc::from_generator(q),
-            Err(MarkovError::InvalidGenerator { .. })
-        ));
+        assert!(matches!(Ctmc::from_generator(q), Err(MarkovError::InvalidGenerator { .. })));
 
         let mut coo = CooMatrix::new(2, 2);
         coo.push(0, 1, 1.0); // row does not sum to zero
         let q = CsrMatrix::from_coo(&coo);
-        assert!(matches!(
-            Ctmc::from_generator(q),
-            Err(MarkovError::InvalidGenerator { .. })
-        ));
+        assert!(matches!(Ctmc::from_generator(q), Err(MarkovError::InvalidGenerator { .. })));
     }
 
     #[test]
@@ -428,10 +417,7 @@ mod tests {
     #[test]
     fn negative_time_rejected() {
         let c = repairable(1.0, 1.0);
-        assert!(matches!(
-            c.transient(&[1.0, 0.0], -0.5),
-            Err(MarkovError::NegativeTime(_))
-        ));
+        assert!(matches!(c.transient(&[1.0, 0.0], -0.5), Err(MarkovError::NegativeTime(_))));
     }
 
     #[test]

@@ -107,10 +107,7 @@ mod tests {
         for t in [0.1, 1.0, 5.0, 50.0] {
             let got = cumulative_reward(&c, &[1.0, 0.0], t, &[1.0, 0.0]).unwrap();
             let expect = closed_form_uptime(lam, mu, t);
-            assert!(
-                (got - expect).abs() < 1e-8 * expect.max(1.0),
-                "t={t}: {got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 1e-8 * expect.max(1.0), "t={t}: {got} vs {expect}");
         }
     }
 

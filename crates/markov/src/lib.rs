@@ -45,8 +45,8 @@ pub use absorbing::{
     absorption_probabilities, mean_time_to_absorption, mean_time_to_absorption_iterative,
     AbsorptionAnalysis,
 };
-pub use cumulative::{cumulative_reward, interval_availability};
 pub use ctmc::{Ctmc, CtmcBuilder};
+pub use cumulative::{cumulative_reward, interval_availability};
 pub use dtmc::{Dtmc, DtmcBuilder};
 pub use error::{MarkovError, Result};
 pub use solve::{Method, SolveStats, SolverOptions};

@@ -166,7 +166,10 @@ pub fn power_stationary(
                         residual: last_delta,
                     });
                 }
-                return Ok((x, SolveStats { iterations: it, residual: last_delta, method: Method::Power }));
+                return Ok((
+                    x,
+                    SolveStats { iterations: it, residual: last_delta, method: Method::Power },
+                ));
             }
         }
         std::mem::swap(&mut x, &mut y);
@@ -227,12 +230,12 @@ pub fn stationary_iteration(
     // Pre-extract diagonal; a zero diagonal entry means an absorbing state,
     // which has no unique normalized stationary vector under this solver.
     let mut diag = vec![0.0; n];
-    for i in 0..n {
+    for (i, slot) in diag.iter_mut().enumerate() {
         let d = a.get(i, i);
         if d == 0.0 {
             return Err(MarkovError::ZeroDiagonal { state: i });
         }
-        diag[i] = d;
+        *slot = d;
     }
     let mut x = x0.to_vec();
     normalize(&mut x);
@@ -314,6 +317,7 @@ pub fn stationary_iteration(
 /// Fails with [`MarkovError::Singular`] if the pivot falls below machine
 /// tolerance — in practice this means `Q` was reducible (several closed
 /// communicating classes), so no unique stationary distribution exists.
+#[allow(clippy::needless_range_loop)] // elimination indexes two rows at once
 pub fn direct_stationary(q: &CsrMatrix) -> Result<(Vec<f64>, SolveStats)> {
     let n = q.nrows();
     if q.ncols() != n {
@@ -328,17 +332,14 @@ pub fn direct_stationary(q: &CsrMatrix) -> Result<(Vec<f64>, SolveStats)> {
         a[j][i] = v; // transpose
     }
     let mut b = vec![0.0f64; n];
-    for j in 0..n {
-        a[n - 1][j] = 1.0;
+    for cell in &mut a[n - 1] {
+        *cell = 1.0;
     }
     b[n - 1] = 1.0;
 
     // Gaussian elimination with partial pivoting.
-    let scale: f64 = a
-        .iter()
-        .flat_map(|r| r.iter().map(|v| v.abs()))
-        .fold(0.0, f64::max)
-        .max(1.0);
+    let scale: f64 =
+        a.iter().flat_map(|r| r.iter().map(|v| v.abs())).fold(0.0, f64::max).max(1.0);
     for col in 0..n {
         let (pivot_row, pivot_val) = (col..n)
             .map(|r| (r, a[r][col].abs()))
@@ -380,6 +381,7 @@ pub fn direct_stationary(q: &CsrMatrix) -> Result<(Vec<f64>, SolveStats)> {
 
 /// Solves the dense linear system `A x = b` by Gaussian elimination with
 /// partial pivoting. Consumed by absorbing-chain analysis.
+#[allow(clippy::needless_range_loop)] // elimination indexes two rows at once
 pub fn dense_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
     let n = a.len();
     if n == 0 {
@@ -393,11 +395,8 @@ pub fn dense_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
     if b.len() != n {
         return Err(MarkovError::DimensionMismatch { expected: n, got: b.len() });
     }
-    let scale: f64 = a
-        .iter()
-        .flat_map(|r| r.iter().map(|v| v.abs()))
-        .fold(0.0, f64::max)
-        .max(1.0);
+    let scale: f64 =
+        a.iter().flat_map(|r| r.iter().map(|v| v.abs())).fold(0.0, f64::max).max(1.0);
     for col in 0..n {
         let (pivot_row, pivot_val) = (col..n)
             .map(|r| (r, a[r][col].abs()))
@@ -499,8 +498,7 @@ mod tests {
         coo.push(0, 0, 1.0);
         coo.push(1, 1, 1.0);
         let p = CsrMatrix::from_coo(&coo);
-        let (pi, _) =
-            power_stationary(&p, &[1.0, 0.0], &SolverOptions::default()).unwrap();
+        let (pi, _) = power_stationary(&p, &[1.0, 0.0], &SolverOptions::default()).unwrap();
         assert!((pi[0] - 0.8).abs() < 1e-9, "pi={pi:?}");
         assert!((pi[1] - 0.2).abs() < 1e-9);
     }
@@ -538,8 +536,7 @@ mod tests {
         let q = two_state(1.0, 1.0);
         let qt = q.transpose();
         let opts = SolverOptions { relaxation: 2.5, ..Default::default() };
-        let err =
-            stationary_iteration(&qt, &[0.5, 0.5], Method::Sor, &opts).unwrap_err();
+        let err = stationary_iteration(&qt, &[0.5, 0.5], Method::Sor, &opts).unwrap_err();
         assert!(matches!(err, MarkovError::BadRelaxation(_)));
     }
 

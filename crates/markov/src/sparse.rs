@@ -210,13 +210,13 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "dimension mismatch");
         assert_eq!(y.len(), self.nrows, "dimension mismatch");
-        for i in 0..self.nrows {
+        for (i, out) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let mut acc = 0.0;
             for (c, v) in cols.iter().zip(vals) {
                 acc += v * x[*c as usize];
             }
-            y[i] = acc;
+            *out = acc;
         }
     }
 
@@ -234,8 +234,7 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.nrows, "dimension mismatch");
         assert_eq!(y.len(), self.ncols, "dimension mismatch");
         y.iter_mut().for_each(|v| *v = 0.0);
-        for i in 0..self.nrows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -288,10 +287,10 @@ impl CsrMatrix {
     /// Converts to a dense row-major matrix (tests / direct solver only).
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut dense = vec![vec![0.0; self.ncols]; self.nrows];
-        for i in 0..self.nrows {
+        for (i, dense_row) in dense.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             for (c, v) in cols.iter().zip(vals) {
-                dense[i][*c as usize] = *v;
+                dense_row[*c as usize] = *v;
             }
         }
         dense

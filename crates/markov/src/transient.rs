@@ -130,12 +130,8 @@ mod tests {
     fn mode_carries_most_mass_nearby() {
         let m = 50.0;
         let w = poisson_weights(m, 1e-12);
-        let argmax = w
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(k, _)| k)
-            .unwrap();
+        let argmax =
+            w.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(k, _)| k).unwrap();
         assert!((argmax as f64 - m).abs() <= 1.0);
     }
 

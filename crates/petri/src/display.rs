@@ -23,12 +23,7 @@ impl<'a> NetDisplay<'a> {
 impl fmt::Display for NetDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let net = self.net;
-        writeln!(
-            f,
-            "net: {} places, {} transitions",
-            net.num_places(),
-            net.num_transitions()
-        )?;
+        writeln!(f, "net: {} places, {} transitions", net.num_places(), net.num_transitions())?;
         writeln!(f, "places (initial marking):")?;
         let m0 = net.initial_marking();
         for p in net.places() {
@@ -37,31 +32,22 @@ impl fmt::Display for NetDisplay<'_> {
         writeln!(f, "transitions:")?;
         writeln!(
             f,
-            "  {:<16} {:<10} {:>12} {:<8} {:<6} {}",
-            "name", "type", "delay/weight", "markup", "conc.", "arcs / guard"
+            "  {:<16} {:<10} {:>12} {:<8} {:<6} arcs / guard",
+            "name", "type", "delay/weight", "markup", "conc."
         )?;
         for (_, tr) in net.transitions() {
             let (ty, value, markup, conc) = match tr.kind {
                 TransitionKind::Timed { rate, semantics } => {
                     ("exp", format!("{:.6}", 1.0 / rate), "constant", semantics.to_string())
                 }
-                TransitionKind::Immediate { weight, priority } => (
-                    "imm",
-                    format!("w={weight}"),
-                    "-",
-                    format!("pri={priority}"),
-                ),
+                TransitionKind::Immediate { weight, priority } => {
+                    ("imm", format!("w={weight}"), "-", format!("pri={priority}"))
+                }
             };
-            let ins: Vec<String> = tr
-                .inputs
-                .iter()
-                .map(|(p, n)| arc_str(net.place_name(*p), *n))
-                .collect();
-            let outs: Vec<String> = tr
-                .outputs
-                .iter()
-                .map(|(p, n)| arc_str(net.place_name(*p), *n))
-                .collect();
+            let ins: Vec<String> =
+                tr.inputs.iter().map(|(p, n)| arc_str(net.place_name(*p), *n)).collect();
+            let outs: Vec<String> =
+                tr.outputs.iter().map(|(p, n)| arc_str(net.place_name(*p), *n)).collect();
             let inh: Vec<String> = tr
                 .inhibitors
                 .iter()

@@ -20,11 +20,8 @@ pub fn to_dot(net: &PetriNet) -> String {
         } else {
             net.place_name(p).to_string()
         };
-        let _ = writeln!(
-            out,
-            "  \"P_{}\" [shape=circle, label=\"{label}\"];",
-            net.place_name(p)
-        );
+        let _ =
+            writeln!(out, "  \"P_{}\" [shape=circle, label=\"{label}\"];", net.place_name(p));
     }
     for (_, tr) in net.transitions() {
         match tr.kind {
@@ -48,21 +45,11 @@ pub fn to_dot(net: &PetriNet) -> String {
         }
         for (p, w) in &tr.inputs {
             let attr = if *w > 1 { format!(" [label=\"{w}\"]") } else { String::new() };
-            let _ = writeln!(
-                out,
-                "  \"P_{}\" -> \"T_{}\"{attr};",
-                net.place_name(*p),
-                tr.name
-            );
+            let _ = writeln!(out, "  \"P_{}\" -> \"T_{}\"{attr};", net.place_name(*p), tr.name);
         }
         for (p, w) in &tr.outputs {
             let attr = if *w > 1 { format!(" [label=\"{w}\"]") } else { String::new() };
-            let _ = writeln!(
-                out,
-                "  \"T_{}\" -> \"P_{}\"{attr};",
-                tr.name,
-                net.place_name(*p)
-            );
+            let _ = writeln!(out, "  \"T_{}\" -> \"P_{}\"{attr};", tr.name, net.place_name(*p));
         }
         for (p, w) in &tr.inhibitors {
             let _ = writeln!(

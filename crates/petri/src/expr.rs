@@ -432,9 +432,7 @@ mod tests {
 
     #[test]
     fn map_places_rewrites_references() {
-        let e = IntExpr::tokens_sum([pid(0), pid(1)])
-            .minus(IntExpr::tokens(pid(2)))
-            .ge(1);
+        let e = IntExpr::tokens_sum([pid(0), pid(1)]).minus(IntExpr::tokens(pid(2))).ge(1);
         let shifted = match &e {
             BoolExpr::Cmp(a, op, b) => BoolExpr::Cmp(
                 a.map_places(&|p: PlaceId| PlaceId::new(p.index() as u32 + 10)),

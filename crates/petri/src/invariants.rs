@@ -67,7 +67,10 @@ pub fn incidence_matrix(net: &PetriNet) -> Vec<Vec<i64>> {
 ///
 /// [`InvariantError::TooManyRows`] if the Farkas elimination exceeds
 /// `max_rows` intermediate rows.
-pub fn place_invariants(net: &PetriNet, max_rows: usize) -> Result<Vec<Invariant>, InvariantError> {
+pub fn place_invariants(
+    net: &PetriNet,
+    max_rows: usize,
+) -> Result<Vec<Invariant>, InvariantError> {
     let c = incidence_matrix(net);
     farkas(&c, max_rows)
 }
@@ -170,17 +173,11 @@ fn farkas(m: &[Vec<i64>], max_rows: usize) -> Result<Vec<Invariant>, InvariantEr
         .enumerate()
         .map(|(i, s)| {
             !supports.iter().enumerate().any(|(j, other)| {
-                j != i
-                    && other.len() < s.len()
-                    && other.iter().all(|x| s.contains(x))
+                j != i && other.len() < s.len() && other.iter().all(|x| s.contains(x))
             })
         })
         .collect();
-    Ok(invs
-        .into_iter()
-        .zip(keep)
-        .filter_map(|(v, k)| k.then_some(v))
-        .collect())
+    Ok(invs.into_iter().zip(keep).filter_map(|(v, k)| k.then_some(v)).collect())
 }
 
 fn gcd(a: u64, b: u64) -> u64 {

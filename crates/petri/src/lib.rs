@@ -46,16 +46,14 @@ pub mod reach;
 
 pub use display::NetDisplay;
 pub use dot::to_dot;
-pub use invariants::{
-    check_invariants, incidence_matrix, place_invariants, transition_invariants,
-    Invariant, InvariantError,
-};
 pub use error::{PetriError, Result};
 pub use expr::{BoolExpr, CmpOp, IntExpr};
+pub use invariants::{
+    check_invariants, incidence_matrix, place_invariants, transition_invariants, Invariant,
+    InvariantError,
+};
 pub use model::{
     Marking, PetriNet, PetriNetBuilder, PlaceId, ServerSemantics, Transition,
     TransitionBuilder, TransitionId, TransitionKind,
 };
-pub use reach::{
-    explore, ReachOptions, ReachStats, Solution, TangibleGraph, VanishingPolicy,
-};
+pub use reach::{explore, ReachOptions, ReachStats, Solution, TangibleGraph, VanishingPolicy};

@@ -166,10 +166,7 @@ impl PetriNet {
 
     /// Iterates over `(id, transition)` pairs.
     pub fn transitions(&self) -> impl Iterator<Item = (TransitionId, &Transition)> {
-        self.transitions
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (TransitionId::new(i as u32), t))
+        self.transitions.iter().enumerate().map(|(i, t)| (TransitionId::new(i as u32), t))
     }
 
     /// Iterates over place ids.
@@ -203,11 +200,7 @@ impl PetriNet {
             return 0;
         }
         let tr = &self.transitions[t.index()];
-        tr.inputs
-            .iter()
-            .map(|(p, m)| marking[p.index()] / *m)
-            .min()
-            .unwrap_or(1)
+        tr.inputs.iter().map(|(p, m)| marking[p.index()] / *m).min().unwrap_or(1)
     }
 
     /// The effective firing rate of a timed transition in `marking`,
@@ -251,7 +244,8 @@ impl PetriNet {
     /// Whether any immediate transition is enabled in `marking` (i.e. the
     /// marking is *vanishing*).
     pub fn is_vanishing(&self, marking: &[u32]) -> bool {
-        self.transitions().any(|(id, tr)| tr.kind.is_immediate() && self.is_enabled(id, marking))
+        self.transitions()
+            .any(|(id, tr)| tr.kind.is_immediate() && self.is_enabled(id, marking))
     }
 
     /// Enabled immediate transitions of the highest enabled priority class,
@@ -270,10 +264,7 @@ impl PetriNet {
             }
         }
         let Some(best) = best else { return Vec::new() };
-        out.into_iter()
-            .filter(|&(_, _, p)| p == best)
-            .map(|(id, w, _)| (id, w))
-            .collect()
+        out.into_iter().filter(|&(_, _, p)| p == best).map(|(id, w, _)| (id, w)).collect()
     }
 
     /// Enabled timed transitions with their effective rates.
@@ -470,9 +461,7 @@ impl PetriNetBuilder {
         }
         let mut name_to_transition = HashMap::new();
         for (i, t) in self.transitions.iter().enumerate() {
-            if name_to_transition
-                .insert(t.name.clone(), TransitionId::new(i as u32))
-                .is_some()
+            if name_to_transition.insert(t.name.clone(), TransitionId::new(i as u32)).is_some()
             {
                 return Err(PetriError::DuplicateName {
                     kind: "transition",
@@ -643,11 +632,7 @@ mod tests {
         let mut b = PetriNetBuilder::new();
         let p = b.place("P", 1);
         let w = b.place("W", 0);
-        let t = b
-            .immediate("T")
-            .input(p)
-            .guard(IntExpr::tokens(w).gt(0))
-            .done();
+        let t = b.immediate("T").input(p).guard(IntExpr::tokens(w).gt(0)).done();
         let net = b.build().unwrap();
         assert!(!net.is_enabled(t, &net.initial_marking()));
         let m: Marking = vec![1, 1].into_boxed_slice();
@@ -681,10 +666,7 @@ mod tests {
         let p = b.place("P", 1);
         b.timed("T", 1.0, ServerSemantics::Single).input(p).done();
         b.timed("T", 1.0, ServerSemantics::Single).input(p).done();
-        assert!(matches!(
-            b.build(),
-            Err(PetriError::DuplicateName { kind: "transition", .. })
-        ));
+        assert!(matches!(b.build(), Err(PetriError::DuplicateName { kind: "transition", .. })));
     }
 
     #[test]
@@ -717,22 +699,16 @@ mod tests {
         let off = cb.place("OFF", 0);
         let shared = cb.place("SHARED", 0);
         cb.timed("FAIL", 0.1, ServerSemantics::Single).input(on).output(off).done();
-        cb.immediate("FLUSH")
-            .input(off)
-            .output(shared)
-            .guard(IntExpr::tokens(on).eq(0))
-            .done();
+        cb.immediate("FLUSH").input(off).output(shared).guard(IntExpr::tokens(on).eq(0)).done();
         let component = cb.build().unwrap();
 
         // Union two instances on a shared pool place.
         let mut b = PetriNetBuilder::new();
         let pool = b.place("SHARED", 0);
-        let map1 = b.import(&component, |n| {
-            if n == "SHARED" { n.into() } else { format!("{n}_1") }
-        });
-        let map2 = b.import(&component, |n| {
-            if n == "SHARED" { n.into() } else { format!("{n}_2") }
-        });
+        let map1 =
+            b.import(&component, |n| if n == "SHARED" { n.into() } else { format!("{n}_1") });
+        let map2 =
+            b.import(&component, |n| if n == "SHARED" { n.into() } else { format!("{n}_2") });
         // Both instances fused onto the same pool place.
         assert_eq!(map1[shared.index()], pool);
         assert_eq!(map2[shared.index()], pool);
@@ -760,10 +736,7 @@ mod tests {
         let mut b = PetriNetBuilder::new();
         b.import(&component, |n| n.to_string());
         b.import(&component, |n| n.to_string()); // duplicate transition "T"
-        assert!(matches!(
-            b.build(),
-            Err(PetriError::DuplicateName { kind: "transition", .. })
-        ));
+        assert!(matches!(b.build(), Err(PetriError::DuplicateName { kind: "transition", .. })));
     }
 
     #[test]

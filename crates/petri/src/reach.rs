@@ -20,24 +20,19 @@
 use crate::error::{PetriError, Result};
 use crate::expr::{BoolExpr, IntExpr};
 use crate::model::{Marking, PetriNet, PlaceId, TransitionId};
-use dtc_markov::{Ctmc, CooMatrix, CsrMatrix, Method, SolveStats, SolverOptions};
+use dtc_markov::{CooMatrix, CsrMatrix, Ctmc, Method, SolveStats, SolverOptions};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// How immediate transitions are treated during exploration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum VanishingPolicy {
     /// Exact on-the-fly elimination of vanishing markings (default).
+    #[default]
     Eliminate,
     /// Keep vanishing markings as CTMC states, approximating each immediate
     /// transition as exponential with rate `weight × factor`. Converges to
     /// the exact answer as `factor → ∞`; used by the elimination ablation.
     ApproximateRate(f64),
-}
-
-impl Default for VanishingPolicy {
-    fn default() -> Self {
-        VanishingPolicy::Eliminate
-    }
 }
 
 /// Options for [`explore`].
@@ -124,9 +119,7 @@ impl TangibleGraph {
     /// chain is absorbed eventually — and usually indicates a modeling bug
     /// in an availability study.
     pub fn deadlock_states(&self) -> Vec<usize> {
-        (0..self.num_states())
-            .filter(|&i| self.ctmc.exit_rates()[i] == 0.0)
-            .collect()
+        (0..self.num_states()).filter(|&i| self.ctmc.exit_rates()[i] == 0.0).collect()
     }
 
     /// Whether the tangible chain is irreducible (every state reaches every
@@ -345,9 +338,9 @@ fn explore_eliminating(net: &PetriNet, opts: &ReachOptions) -> Result<TangibleGr
     let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
 
     let intern = |m: Marking,
-                      states: &mut Vec<Marking>,
-                      index: &mut HashMap<Marking, usize>,
-                      queue: &mut VecDeque<usize>|
+                  states: &mut Vec<Marking>,
+                  index: &mut HashMap<Marking, usize>,
+                  queue: &mut VecDeque<usize>|
      -> usize {
         if let Some(&i) = index.get(&m) {
             return i;
@@ -440,8 +433,7 @@ fn explore_approximate(
     }
 
     let n = states.len();
-    let stats =
-        ReachStats { tangible_states: n, vanishing_markings: 0, edges: triplets.len() };
+    let stats = ReachStats { tangible_states: n, vanishing_markings: 0, edges: triplets.len() };
     let ctmc = assemble_ctmc(n, &triplets)?;
     Ok(TangibleGraph { states, index, ctmc, initial_distribution, stats })
 }
@@ -504,8 +496,7 @@ mod tests {
         let sol = g.solve().unwrap();
         let a1 = 1.0 / 0.01 / (1.0 / 0.01 + 1.0);
         let a2 = 1.0 / 0.02 / (1.0 / 0.02 + 2.0);
-        let both =
-            sol.probability(&IntExpr::tokens(on1).gt(0).and(IntExpr::tokens(on2).gt(0)));
+        let both = sol.probability(&IntExpr::tokens(on1).gt(0).and(IntExpr::tokens(on2).gt(0)));
         assert!((both - a1 * a2).abs() < 1e-10, "got {both}, want {}", a1 * a2);
     }
 
@@ -585,10 +576,7 @@ mod tests {
         let sink = b.place("SINK", 0);
         b.timed("GO", 1.0, ServerSemantics::Single).input(src).output_n(mid, 3).done();
         b.immediate("MOVE").input(mid).output(sink).done();
-        b.timed("BACK", 1.0, ServerSemantics::Single)
-            .input_n(sink, 3)
-            .output(src)
-            .done();
+        b.timed("BACK", 1.0, ServerSemantics::Single).input_n(sink, 3).output(src).done();
         let net = b.build().unwrap();
         let g = explore(&net, &ReachOptions::default()).unwrap();
         // Tangible states: SRC=1 and SINK=3 only.
@@ -652,10 +640,7 @@ mod tests {
         let net = b.build().unwrap();
 
         let exact = explore(&net, &ReachOptions::default()).unwrap();
-        let exact_p = exact
-            .solve()
-            .unwrap()
-            .probability(&IntExpr::tokens(pa).gt(0));
+        let exact_p = exact.solve().unwrap().probability(&IntExpr::tokens(pa).gt(0));
 
         let approx = explore(
             &net,
@@ -667,10 +652,7 @@ mod tests {
         .unwrap();
         // Approximate graph keeps the vanishing marking as a state.
         assert_eq!(approx.num_states(), exact.num_states() + 1);
-        let approx_p = approx
-            .solve()
-            .unwrap()
-            .probability(&IntExpr::tokens(pa).gt(0));
+        let approx_p = approx.solve().unwrap().probability(&IntExpr::tokens(pa).gt(0));
         assert!((exact_p - approx_p).abs() < 1e-5, "{exact_p} vs {approx_p}");
     }
 

@@ -77,9 +77,7 @@ impl Component {
     /// `A / MTTF` for exponential components, `None` for fixed ones.
     pub fn failure_frequency(&self) -> Option<f64> {
         match self.model {
-            ComponentModel::Exponential { mttf, mttr } => {
-                Some((mttf / (mttf + mttr)) / mttf)
-            }
+            ComponentModel::Exponential { mttf, mttr } => Some((mttf / (mttf + mttr)) / mttf),
             ComponentModel::FixedAvailability(_) => None,
         }
     }
@@ -191,9 +189,7 @@ impl Block {
         match self {
             Block::Basic(c) => leaf(c),
             Block::Series(v) => v.iter().map(|b| b.eval(leaf)).product(),
-            Block::Parallel(v) => {
-                1.0 - v.iter().map(|b| 1.0 - b.eval(leaf)).product::<f64>()
-            }
+            Block::Parallel(v) => 1.0 - v.iter().map(|b| 1.0 - b.eval(leaf)).product::<f64>(),
             Block::KOfN { k, blocks } => {
                 // DP over "number of working sub-blocks": poly multiplication.
                 let mut dist = vec![1.0f64];
@@ -228,9 +224,7 @@ impl Block {
             Block::Series(v) | Block::Parallel(v) => {
                 v.iter().for_each(|b| b.for_each_component(f))
             }
-            Block::KOfN { blocks, .. } => {
-                blocks.iter().for_each(|b| b.for_each_component(f))
-            }
+            Block::KOfN { blocks, .. } => blocks.iter().for_each(|b| b.for_each_component(f)),
             Block::Bridge { a, b, c, d, e } => {
                 for blk in [a, b, c, d, e] {
                     blk.for_each_component(f);
@@ -388,10 +382,8 @@ mod tests {
             2,
             [Block::fixed("a", p1), Block::fixed("b", p2), Block::fixed("c", p3)],
         );
-        let expect = p1 * p2 * (1.0 - p3)
-            + p1 * (1.0 - p2) * p3
-            + (1.0 - p1) * p2 * p3
-            + p1 * p2 * p3;
+        let expect =
+            p1 * p2 * (1.0 - p3) + p1 * (1.0 - p2) * p3 + (1.0 - p1) * p2 * p3 + p1 * p2 * p3;
         assert!((b.availability() - expect).abs() < 1e-12);
     }
 
@@ -430,10 +422,7 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_structures() {
-        assert!(matches!(
-            Block::Series(vec![]).validate(),
-            Err(RbdError::EmptyComposition)
-        ));
+        assert!(matches!(Block::Series(vec![]).validate(), Err(RbdError::EmptyComposition)));
         assert!(matches!(
             Block::k_of_n(5, [Block::fixed("a", 0.5)]).validate(),
             Err(RbdError::BadVotingThreshold { k: 5, n: 1 })

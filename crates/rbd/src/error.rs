@@ -55,9 +55,7 @@ mod tests {
     fn displays_are_informative() {
         assert!(RbdError::EmptyComposition.to_string().contains("sub-blocks"));
         assert!(RbdError::BadVotingThreshold { k: 4, n: 2 }.to_string().contains('4'));
-        assert!(RbdError::FixedComponentInFold { name: "X".into() }
-            .to_string()
-            .contains("X"));
+        assert!(RbdError::FixedComponentInFold { name: "X".into() }.to_string().contains("X"));
         assert!(!RbdError::DegenerateFold.to_string().is_empty());
     }
 }

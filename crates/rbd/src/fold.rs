@@ -230,7 +230,8 @@ mod tests {
     #[test]
     fn non_repairable_two_of_three() {
         // 2-of-3 identical: MTTF = (1/3 + 1/2)/λ = 5/(6λ).
-        let b = Block::k_of_n(2, (0..3).map(|i| Block::exponential(format!("C{i}"), 10.0, 1.0)));
+        let b =
+            Block::k_of_n(2, (0..3).map(|i| Block::exponential(format!("C{i}"), 10.0, 1.0)));
         let mttf = mttf_non_repairable(&b).unwrap();
         assert!((mttf - 10.0 * 5.0 / 6.0).abs() < 1e-3, "{mttf}");
     }

@@ -101,10 +101,7 @@ mod tests {
         for lambda in [0.1, 1.0, 10.0] {
             let f = move |x: f64| (-lambda * x).exp();
             let v = integrate_decaying(&f, 1.0, 1e-10);
-            assert!(
-                (v - 1.0 / lambda).abs() < 1e-6 / lambda,
-                "lambda={lambda}: {v}"
-            );
+            assert!((v - 1.0 / lambda).abs() < 1e-6 / lambda, "lambda={lambda}: {v}");
         }
     }
 

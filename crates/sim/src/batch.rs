@@ -42,6 +42,8 @@ impl Default for BatchMeansConfig {
 }
 
 impl BatchMeansConfig {
+    // Negated comparisons are deliberate: NaN parameters must fail too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     fn validate(&self) -> Result<()> {
         if !(self.batch_time > 0.0)
             || self.warmup < 0.0
@@ -84,7 +86,8 @@ impl<'a> Simulator<'a> {
         cfg: &BatchMeansConfig,
     ) -> Result<Estimate> {
         cfg.validate()?;
-        let means = self.batch_series(cfg, |m| expr.value(&|p: PlaceId| m[p.index()]) as f64)?;
+        let means =
+            self.batch_series(cfg, |m| expr.value(&|p: PlaceId| m[p.index()]) as f64)?;
         Ok(estimate_from_samples(&means, cfg.confidence))
     }
 
@@ -172,9 +175,7 @@ mod tests {
         let rho: f64 = lambda / mu;
         let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
         let expect: f64 = (0..=k).map(|i| i as f64 * rho.powi(i as i32) / norm).sum();
-        let est = sim
-            .steady_expected_batch_means(&IntExpr::tokens(q), &cfg)
-            .unwrap();
+        let est = sim.steady_expected_batch_means(&IntExpr::tokens(q), &cfg).unwrap();
         assert!(est.covers(expect), "CI {:?} misses {expect}", est.interval());
     }
 
@@ -182,7 +183,13 @@ mod tests {
     fn batch_means_reproducible() {
         let net = simple(10.0, 1.0);
         let sim = Simulator::new(&net).unwrap();
-        let cfg = BatchMeansConfig { batches: 4, batch_time: 500.0, warmup: 50.0, seed: 9, confidence: 0.95 };
+        let cfg = BatchMeansConfig {
+            batches: 4,
+            batch_time: 500.0,
+            warmup: 50.0,
+            seed: 9,
+            confidence: 0.95,
+        };
         let expr = IntExpr::tokens(net.place("ON").unwrap()).gt(0);
         let a = sim.steady_probability_batch_means(&expr, &cfg).unwrap();
         let b = sim.steady_probability_batch_means(&expr, &cfg).unwrap();

@@ -84,9 +84,7 @@ impl Distribution {
             Distribution::Exponential { rate } => sample_exp(rng, rate),
             Distribution::Deterministic { value } => value,
             Distribution::Uniform { low, high } => rng.gen_range(low..=high),
-            Distribution::Erlang { k, rate } => {
-                (0..k).map(|_| sample_exp(rng, rate)).sum()
-            }
+            Distribution::Erlang { k, rate } => (0..k).map(|_| sample_exp(rng, rate)).sum(),
             Distribution::Weibull { shape, scale } => {
                 let u: f64 = sample_unit(rng);
                 scale * (-u.ln()).powf(1.0 / shape)
@@ -134,6 +132,7 @@ fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 }
 
 /// Lanczos approximation of the gamma function (for Weibull means).
+#[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
 fn gamma(x: f64) -> f64 {
     // Coefficients for g=7, n=9 (Numerical Recipes).
     const G: f64 = 7.0;

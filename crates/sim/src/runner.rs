@@ -72,6 +72,8 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    // Negated comparisons are deliberate: NaN parameters must fail too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     fn validate(&self) -> Result<()> {
         if !(self.horizon > 0.0)
             || self.warmup < 0.0
@@ -401,11 +403,7 @@ mod tests {
         };
         let est = sim.steady_probability(&up_expr(&net), &cfg).unwrap();
         let exact = 100.0 / 110.0;
-        assert!(
-            est.covers(exact),
-            "CI [{:?}] misses {exact}",
-            est.interval()
-        );
+        assert!(est.covers(exact), "CI [{:?}] misses {exact}", est.interval());
         assert!(est.half_width < 0.02);
     }
 
@@ -427,8 +425,7 @@ mod tests {
         };
         let rho: f64 = lambda / mu;
         let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
-        let expect_mean: f64 =
-            (0..=k).map(|i| i as f64 * rho.powi(i as i32) / norm).sum();
+        let expect_mean: f64 = (0..=k).map(|i| i as f64 * rho.powi(i as i32) / norm).sum();
         let qp = net.place("Q").unwrap();
         let est = sim.steady_expected(&IntExpr::tokens(qp), &cfg).unwrap();
         assert!(est.covers(expect_mean), "CI {:?} misses {expect_mean}", est.interval());
@@ -475,12 +472,8 @@ mod tests {
             seed: 5,
             confidence: 0.99,
         };
-        let est_a = sim
-            .steady_probability(&IntExpr::tokens(pa).gt(0), &cfg)
-            .unwrap();
-        let est_b = sim
-            .steady_probability(&IntExpr::tokens(pb).gt(0), &cfg)
-            .unwrap();
+        let est_a = sim.steady_probability(&IntExpr::tokens(pa).gt(0), &cfg).unwrap();
+        let est_b = sim.steady_probability(&IntExpr::tokens(pb).gt(0), &cfg).unwrap();
         let ratio = est_a.mean / (est_a.mean + est_b.mean);
         assert!((ratio - 0.25).abs() < 0.02, "ratio {ratio}");
     }
@@ -576,9 +569,7 @@ mod tests {
             seed: 1,
             confidence: 0.95,
         };
-        let est = sim
-            .steady_probability(&IntExpr::tokens(on).gt(0), &cfg)
-            .unwrap();
+        let est = sim.steady_probability(&IntExpr::tokens(on).gt(0), &cfg).unwrap();
         assert!(est.mean < 0.01, "{}", est.mean);
     }
 

@@ -48,12 +48,7 @@ pub fn estimate_from_samples(samples: &[f64], confidence: f64) -> Estimate {
     let mean = samples.iter().sum::<f64>() / n;
     let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
     let t = t_quantile(confidence, samples.len() - 1);
-    Estimate {
-        mean,
-        half_width: t * (var / n).sqrt(),
-        replications: samples.len(),
-        confidence,
-    }
+    Estimate { mean, half_width: t * (var / n).sqrt(), replications: samples.len(), confidence }
 }
 
 /// Two-sided Student-t quantile `t_{(1+confidence)/2, df}`.
@@ -63,14 +58,14 @@ pub fn estimate_from_samples(samples: &[f64], confidence: f64) -> Estimate {
 /// below 1% for the confidence levels used in practice).
 pub fn t_quantile(confidence: f64, df: usize) -> f64 {
     const T95: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201,
-        2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074,
-        2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
     ];
     const T99: [f64; 30] = [
-        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106,
-        3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819,
-        2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055,
+        3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797,
+        2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
     ];
     let df = df.max(1);
     if (confidence - 0.95).abs() < 1e-9 && df <= 30 {
@@ -86,6 +81,7 @@ pub fn t_quantile(confidence: f64, df: usize) -> f64 {
 
 /// Inverse standard-normal CDF (Acklam's rational approximation,
 /// |ε| < 1.15e-9).
+#[allow(clippy::excessive_precision)] // coefficients quoted verbatim
 pub fn normal_quantile(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
     const A: [f64; 6] = [

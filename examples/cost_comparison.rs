@@ -84,8 +84,7 @@ fn main() -> dtcloud::core::Result<()> {
     let (_, _, r_single, c_single) = &evaluated[0];
     let (_, _, r_dual, c_dual) = &evaluated[1];
     let extra_infra = c_dual.infrastructure - c_single.infrastructure;
-    match CostModel::break_even_rate(r_single.availability, r_dual.availability, extra_infra)
-    {
+    match CostModel::break_even_rate(r_single.availability, r_dual.availability, extra_infra) {
         Some(rate) => println!(
             "\nthe failover site pays for itself once an outage hour costs more \
              than ${rate:.0}\n(availability gain: {:.4} -> {:.4}, extra infrastructure \

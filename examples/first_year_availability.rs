@@ -44,7 +44,10 @@ fn main() -> dtcloud::core::Result<()> {
     let graph = model.state_space(&EvalOptions::default())?;
     let steady = model.evaluate_on(&graph, &EvalOptions::default())?;
 
-    println!("steady-state availability: {:.7} ({:.2} nines)\n", steady.availability, steady.nines);
+    println!(
+        "steady-state availability: {:.7} ({:.2} nines)\n",
+        steady.availability, steady.nines
+    );
 
     println!("point availability A(t):");
     let times = [1.0, 24.0, 168.0, 720.0, 4380.0, 8760.0, 43_800.0];

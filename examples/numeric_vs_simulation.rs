@@ -72,10 +72,7 @@ fn main() -> dtcloud::core::Result<()> {
     overrides.set("TBE_12", Distribution::Deterministic { value: bk2 });
     overrides.set("TBE_21", Distribution::Deterministic { value: bk1 });
     let det_est = model.simulate_availability(&cfg, &overrides)?;
-    println!(
-        "simulated (deterministic MTT): {:.7} ± {:.7}",
-        det_est.mean, det_est.half_width
-    );
+    println!("simulated (deterministic MTT): {:.7} ± {:.7}", det_est.mean, det_est.half_width);
 
     let shift = det_est.mean - exp_est.mean;
     println!(

@@ -16,7 +16,9 @@
 //! ```
 
 use dtcloud::core::prelude::*;
-use dtcloud::geo::{WanModel, BRASILIA, CALCUTTA, NEW_YORK, RECIFE, RIO_DE_JANEIRO, SAO_PAULO, TOKYO};
+use dtcloud::geo::{
+    WanModel, BRASILIA, CALCUTTA, NEW_YORK, RECIFE, RIO_DE_JANEIRO, SAO_PAULO, TOKYO,
+};
 
 fn main() -> dtcloud::core::Result<()> {
     let params = PaperParams::table_vi();

@@ -32,8 +32,7 @@ fn main() -> dtcloud::core::Result<()> {
     let mut specs = Vec::new();
     for &alpha in &alphas {
         for &years in &disaster_years {
-            let mtt =
-                wan.mtt_between_hours(&RIO_DE_JANEIRO, &RECIFE, alpha, params.vm_size_gb);
+            let mtt = wan.mtt_between_hours(&RIO_DE_JANEIRO, &RECIFE, alpha, params.vm_size_gb);
             let bk1 =
                 wan.mtt_between_hours(&SAO_PAULO, &RIO_DE_JANEIRO, alpha, params.vm_size_gb);
             let bk2 = wan.mtt_between_hours(&SAO_PAULO, &RECIFE, alpha, params.vm_size_gb);

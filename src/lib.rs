@@ -21,6 +21,7 @@
 //! | [`sim`] | discrete-event GSPN simulation with confidence intervals |
 //! | [`geo`] | case-study cities, distances, PingER-style throughput |
 //! | [`core`] | the paper's blocks, system compiler, metrics and case study |
+//! | [`engine`] | declarative scenario catalogs, content-addressed evaluation cache, `dtc` CLI |
 //!
 //! # Example
 //!
@@ -42,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use dtc_core as core;
+pub use dtc_engine as engine;
 pub use dtc_geo as geo;
 pub use dtc_markov as markov;
 pub use dtc_petri as petri;

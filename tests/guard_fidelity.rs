@@ -13,9 +13,8 @@ fn paper_model() -> CloudModel {
 
 fn guard_of(model: &CloudModel, transition: &str) -> String {
     let net = model.net();
-    let t = net
-        .transition(transition)
-        .unwrap_or_else(|| panic!("transition {transition} exists"));
+    let t =
+        net.transition(transition).unwrap_or_else(|| panic!("transition {transition} exists"));
     net.display_expr(&net.transition_def(t).guard).to_string()
 }
 
@@ -25,9 +24,7 @@ fn table_ii_vm_behavior_guards() {
     // Flush guards: failure of physical machine or infrastructure.
     for pm in 1..=4 {
         let dc = if pm <= 2 { 1 } else { 2 };
-        let expect = format!(
-            "((#OSPM_UP{pm}=0) OR (#NAS_NET_UP{dc}=0) OR (#DC_UP{dc}=0))"
-        );
+        let expect = format!("((#OSPM_UP{pm}=0) OR (#NAS_NET_UP{dc}=0) OR (#DC_UP{dc}=0))");
         for prefix in ["FPM_UP", "FPM_DW", "FPM_ST"] {
             assert_eq!(guard_of(&model, &format!("{prefix}{pm}")), expect);
         }
@@ -36,9 +33,7 @@ fn table_ii_vm_behavior_guards() {
         assert!(subs.starts_with(&format!(
             "((#OSPM_UP{pm}>0) AND (#NAS_NET_UP{dc}>0) AND (#DC_UP{dc}>0)"
         )));
-        assert!(subs.contains(&format!(
-            "((#VM_UP{pm} + #VM_DOWN{pm} + #VM_STG{pm})<2)"
-        )));
+        assert!(subs.contains(&format!("((#VM_UP{pm} + #VM_DOWN{pm} + #VM_STG{pm})<2)")));
     }
 }
 
@@ -75,9 +70,8 @@ fn table_iii_and_v_transition_attributes() {
     use dtcloud::petri::{ServerSemantics, TransitionKind};
     let model = paper_model();
     let net = model.net();
-    let kind = |name: &str| {
-        net.transition_def(net.transition(name).expect("transition")).kind.clone()
-    };
+    let kind =
+        |name: &str| net.transition_def(net.transition(name).expect("transition")).kind.clone();
     // VM_F/VM_R infinite server; VM_STRT single server (Table III).
     for pm in 1..=4 {
         match kind(&format!("VM_F{pm}")) {
@@ -114,10 +108,7 @@ fn table_iii_and_v_transition_attributes() {
             TransitionKind::Timed { rate: into_dc1, .. },
             TransitionKind::Timed { rate: into_dc2, .. },
         ) => {
-            assert!(
-                into_dc1 > into_dc2,
-                "restore into Rio (closer to backup) must be faster"
-            );
+            assert!(into_dc1 > into_dc2, "restore into Rio (closer to backup) must be faster");
         }
         other => panic!("backup transfers not timed: {other:?}"),
     }
@@ -126,13 +117,9 @@ fn table_iii_and_v_transition_attributes() {
 #[test]
 fn availability_metric_matches_section_iv_e() {
     let model = paper_model();
-    let shown = model
-        .net()
-        .display_expr(&model.availability_expr())
-        .to_string();
+    let shown = model.net().display_expr(&model.availability_expr()).to_string();
     assert_eq!(
-        shown,
-        "((#VM_UP1 + #VM_UP2 + #VM_UP3 + #VM_UP4)>=2)",
+        shown, "((#VM_UP1 + #VM_UP2 + #VM_UP3 + #VM_UP4)>=2)",
         "the paper's P{{#VM_UP1+#VM_UP2+#VM_UP3+#VM_UP4 >= k}} with k = 2"
     );
 }

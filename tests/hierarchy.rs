@@ -20,29 +20,22 @@ fn folded_ospm_spn_reproduces_rbd_availability() {
     let folded = fold(&rbd_block).unwrap();
 
     let mut b = PetriNetBuilder::new();
-    let comp = add_simple_component(
-        &mut b,
-        "OSPM",
-        ComponentParams::new(folded.mttf, folded.mttr),
-    );
+    let comp =
+        add_simple_component(&mut b, "OSPM", ComponentParams::new(folded.mttf, folded.mttr));
     let net = b.build().unwrap();
     let graph = explore(&net, &ReachOptions::default()).unwrap();
     let sol = graph.solve().unwrap();
     let spn_avail = sol.probability(&IntExpr::tokens(comp.up).gt(0));
 
-    assert!(
-        (spn_avail - rbd_avail).abs() < 1e-10,
-        "SPN {spn_avail} vs RBD {rbd_avail}"
-    );
+    assert!((spn_avail - rbd_avail).abs() < 1e-10, "SPN {spn_avail} vs RBD {rbd_avail}");
 }
 
 #[test]
 fn folded_nas_net_matches_product_of_components() {
     let params = PaperParams::table_vi();
     let nas_net = params.nas_net_folded().unwrap();
-    let expect = params.switch.availability()
-        * params.router.availability()
-        * params.nas.availability();
+    let expect =
+        params.switch.availability() * params.router.availability() * params.nas.availability();
     assert!((nas_net.availability() - expect).abs() < 1e-12);
 }
 
@@ -61,9 +54,7 @@ fn hierarchical_vs_flat_model_agree() {
     let net = b.build().unwrap();
     let graph = explore(&net, &ReachOptions::default()).unwrap();
     let sol = graph.solve().unwrap();
-    let flat = sol.probability(
-        &IntExpr::tokens(os.up).gt(0).and(IntExpr::tokens(pm.up).gt(0)),
-    );
+    let flat = sol.probability(&IntExpr::tokens(os.up).gt(0).and(IntExpr::tokens(pm.up).gt(0)));
 
     // Hierarchical: one folded component.
     let folded = params.ospm_folded().unwrap();

@@ -9,7 +9,11 @@
 use dtcloud::core::prelude::*;
 use dtcloud::geo::{BRASILIA, TOKYO};
 
-fn reduced_two_dc(city: &dtcloud::geo::City, alpha: f64, disaster_years: f64) -> CloudSystemSpec {
+fn reduced_two_dc(
+    city: &dtcloud::geo::City,
+    alpha: f64,
+    disaster_years: f64,
+) -> CloudSystemSpec {
     let cs = CaseStudy::paper();
     let mut spec = cs.two_dc_spec(city, alpha, disaster_years);
     // Shrink: one PM per DC, keep everything else identical.
@@ -29,8 +33,18 @@ fn table_vii_single_dc_rows_ordering_and_levels() {
     let four = CloudModel::build(cs.single_dc_spec(4)).unwrap().evaluate(&opts).unwrap();
 
     // Paper ordering: one < two < four machines.
-    assert!(one.availability < two.availability, "{} !< {}", one.availability, two.availability);
-    assert!(two.availability < four.availability, "{} !< {}", two.availability, four.availability);
+    assert!(
+        one.availability < two.availability,
+        "{} !< {}",
+        one.availability,
+        two.availability
+    );
+    assert!(
+        two.availability < four.availability,
+        "{} !< {}",
+        two.availability,
+        four.availability
+    );
 
     // Reconstruction check (DESIGN.md §5): the 2- and 4-machine rows are
     // dominated by the disaster term 100/101 ≈ 0.990099; paper reports

@@ -40,10 +40,7 @@ fn cloud_model_has_expected_place_invariants() {
     // weight 1 and evaluate to N = 2 on the initial marking.
     let m0 = net.initial_marking();
     let vm_up1 = net.place("VM_UP1").expect("place").index();
-    let vm_inv = invs
-        .iter()
-        .find(|inv| inv[vm_up1] > 0)
-        .expect("an invariant covers VM_UP1");
+    let vm_inv = invs.iter().find(|inv| inv[vm_up1] > 0).expect("an invariant covers VM_UP1");
     let weighted: u64 = vm_inv.iter().zip(m0.iter()).map(|(w, t)| w * *t as u64).sum();
     assert_eq!(weighted, 2, "two VMs in circulation");
     for name in ["FailedVMS1", "FailedVMS2", "TRP_12", "TBP_21", "VM_STG2", "VM_DOWN1"] {
