@@ -21,7 +21,7 @@ fn main() {
     let opts =
         RunOptions { threads: RunOptions::default().threads.min(4), ..Default::default() };
     eprintln!("evaluating {} configurations on {} threads…", scenarios.len(), opts.threads);
-    let cache = EvalCache::in_memory();
+    let cache = std::sync::Arc::new(EvalCache::in_memory());
     let result = run_batch(&scenarios, &cache, &opts);
     eprintln!("{}", render_summary(&result));
 

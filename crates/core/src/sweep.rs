@@ -26,7 +26,11 @@ pub struct SweepOutcome {
 }
 
 /// Builds and evaluates one spec, converting panics into errors.
-pub(crate) fn evaluate_guarded(
+///
+/// The single-spec entry point used by callers that manage their own
+/// fan-out (e.g. single-flight evaluation in `dtc-engine`), with the same
+/// panic isolation the batch harness applies per scenario.
+pub fn evaluate_guarded(
     spec: &CloudSystemSpec,
     opts: &EvalOptions,
 ) -> Result<AvailabilityReport, CloudError> {

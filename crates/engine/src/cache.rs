@@ -5,41 +5,135 @@
 //! on-disk JSON store so repeated `dtc` invocations skip re-exploring
 //! state spaces entirely. Lookups verify the stored canonical encoding, so
 //! a hash collision degrades to a miss, never to a wrong answer.
+//!
+//! Two properties make the cache safe to share across a long-running
+//! concurrent server ([`dtc-serve`]):
+//!
+//! * **Single-flight evaluation** ([`EvalCache::get_or_compute`]):
+//!   concurrent requests for the same key block on one in-progress solve
+//!   instead of racing duplicate ~10⁵-state CTMC solves. Exactly one
+//!   caller computes; the rest wait and share the result.
+//! * **Bounded residency** ([`EvalCache::with_max_entries`]): an optional
+//!   entry cap with oldest-insertion-first eviction, counted in
+//!   [`CacheStats::evictions`], so resident memory cannot grow without
+//!   limit.
+//!
+//! [`dtc-serve`]: https://docs.rs/dtc-serve
 
 use crate::error::{EngineError, Result};
 use crate::hash::SpecKey;
 use crate::value::Value;
 use dtc_core::metrics::AvailabilityReport;
 use dtc_core::params::{downtime_hours_per_year, nines};
+use dtc_core::CloudError;
 use dtc_markov::{Method, SolveStats};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Hit/miss counters and current size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered without running a solve (stored entries plus
+    /// followers that joined an in-flight solve).
     pub hits: usize,
     /// Lookups that required an evaluation.
     pub misses: usize,
     /// Entries currently stored.
     pub entries: usize,
+    /// Entries dropped by the max-entries cap since construction.
+    pub evictions: usize,
 }
 
 #[derive(Debug, Clone)]
 struct Entry {
     canonical: String,
     report: AvailabilityReport,
+    /// Monotone insertion stamp; the smallest is evicted first.
+    seq: u64,
+}
+
+/// How [`EvalCache::get_or_compute`] obtained its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fetch {
+    /// Served from a stored entry.
+    Hit,
+    /// Waited on another caller's in-progress solve and shared its result.
+    Joined,
+    /// This caller ran the solve.
+    Computed,
+}
+
+/// The result type flowing through single-flight evaluation.
+pub type EvalResult = std::result::Result<AvailabilityReport, CloudError>;
+
+/// One in-progress solve that concurrent callers can rendezvous on.
+#[derive(Debug)]
+struct Flight {
+    canonical: String,
+    state: Mutex<Option<EvalResult>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new(canonical: &str) -> Flight {
+        Flight {
+            canonical: canonical.to_string(),
+            state: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, result: EvalResult) {
+        let mut state = self.state.lock().expect("flight mutex poisoned");
+        if state.is_none() {
+            *state = Some(result);
+        }
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> EvalResult {
+        let mut state = self.state.lock().expect("flight mutex poisoned");
+        loop {
+            match &*state {
+                Some(result) => return result.clone(),
+                None => state = self.done.wait(state).expect("flight mutex poisoned"),
+            }
+        }
+    }
+}
+
+/// Resolves an abandoned flight if the leader's compute panics, so
+/// followers get a [`CloudError::Panicked`] instead of blocking forever.
+struct FlightGuard<'a> {
+    cache: &'a EvalCache,
+    key: &'a str,
+    flight: Arc<Flight>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.flight.resolve(Err(CloudError::Panicked(
+                "single-flight leader panicked before resolving".into(),
+            )));
+            self.cache.remove_flight(self.key);
+        }
+    }
 }
 
 /// A concurrent evaluation cache with an optional JSON backing file.
 #[derive(Debug)]
 pub struct EvalCache {
     map: Mutex<BTreeMap<String, Entry>>,
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+    seq: AtomicU64,
+    max_entries: Option<usize>,
     store: Option<PathBuf>,
 }
 
@@ -48,10 +142,29 @@ impl EvalCache {
     pub fn in_memory() -> EvalCache {
         EvalCache {
             map: Mutex::new(BTreeMap::new()),
+            flights: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            max_entries: None,
             store: None,
         }
+    }
+
+    /// Caps resident entries; inserting past the cap evicts the
+    /// oldest-inserted entry first. A cap of 0 means "no limit" (a cache
+    /// that can hold nothing is never useful).
+    ///
+    /// Entries already present — e.g. loaded by [`EvalCache::with_store`]
+    /// from an over-cap store file — are trimmed immediately, so the cache
+    /// is bounded from construction on, never only after the first insert.
+    pub fn with_max_entries(mut self, cap: usize) -> EvalCache {
+        self.max_entries = (cap > 0).then_some(cap);
+        let mut map = self.map.lock().expect("cache mutex poisoned");
+        self.enforce_cap_locked(&mut map);
+        drop(map);
+        self
     }
 
     /// A cache backed by a JSON file; existing entries are loaded, and
@@ -76,26 +189,166 @@ impl EvalCache {
         EvalCache { store: Some(path.into()), ..EvalCache::in_memory() }
     }
 
+    /// The forgiving open both the CLI and the server use: no path means
+    /// in-memory, a corrupt store warns on stderr and is replaced on the
+    /// next persist (instead of wedging every subsequent run), and an
+    /// optional max-entries cap is applied — trimming an over-cap store
+    /// right away.
+    pub fn open_lenient(path: Option<PathBuf>, cap: Option<usize>) -> EvalCache {
+        let cache = match path {
+            Some(path) => match EvalCache::with_store(path.clone()) {
+                Ok(cache) => cache,
+                Err(e) => {
+                    eprintln!("warning: ignoring unusable cache store: {e}");
+                    EvalCache::fresh_store(path)
+                }
+            },
+            None => EvalCache::in_memory(),
+        };
+        match cap {
+            Some(cap) => cache.with_max_entries(cap),
+            None => cache,
+        }
+    }
+
+    /// Collision-checked lookup without touching the hit/miss counters.
+    fn lookup(&self, key: &SpecKey, canonical: &str) -> Option<AvailabilityReport> {
+        let map = self.map.lock().expect("cache mutex poisoned");
+        match map.get(&key.0) {
+            Some(e) if e.canonical == canonical => Some(e.report),
+            _ => None,
+        }
+    }
+
     /// Looks up a report. The canonical encoding must match the stored one
     /// for a hit (collision safety).
     pub fn get(&self, key: &SpecKey, canonical: &str) -> Option<AvailabilityReport> {
-        let map = self.map.lock().expect("cache mutex poisoned");
-        match map.get(&key.0) {
-            Some(e) if e.canonical == canonical => {
+        match self.lookup(key, canonical) {
+            Some(report) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(e.report)
+                Some(report)
             }
-            _ => {
+            None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Stores a report under its key.
+    /// Inserts into a locked map, enforcing the entry cap by evicting the
+    /// oldest-inserted entries first.
+    fn insert_locked(
+        &self,
+        map: &mut BTreeMap<String, Entry>,
+        key: String,
+        canonical: &str,
+        report: AvailabilityReport,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, Entry { canonical: canonical.to_string(), report, seq });
+        self.enforce_cap_locked(map);
+    }
+
+    fn enforce_cap_locked(&self, map: &mut BTreeMap<String, Entry>) {
+        let Some(cap) = self.max_entries else { return };
+        while map.len() > cap {
+            let oldest = map
+                .iter()
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(k, _)| k.clone())
+                .expect("map is non-empty past the cap");
+            map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Stores a report under its key, evicting the oldest entry if a
+    /// max-entries cap is configured and exceeded.
     pub fn put(&self, key: &SpecKey, canonical: &str, report: AvailabilityReport) {
         let mut map = self.map.lock().expect("cache mutex poisoned");
-        map.insert(key.0.clone(), Entry { canonical: canonical.to_string(), report });
+        self.insert_locked(&mut map, key.0.clone(), canonical, report);
+    }
+
+    fn remove_flight(&self, key: &str) {
+        self.flights.lock().expect("flight map poisoned").remove(key);
+    }
+
+    /// Single-flight evaluation: returns the stored report if present,
+    /// otherwise ensures `compute` runs **exactly once** per key across all
+    /// concurrent callers — one leader solves while followers block and
+    /// share its result (errors included, though errors are never stored,
+    /// so a later call retries).
+    ///
+    /// The [`Fetch`] tag reports which path was taken. `Hit` and `Joined`
+    /// count as cache hits; only the leader's `Computed` counts a miss.
+    pub fn get_or_compute<F>(
+        &self,
+        key: &SpecKey,
+        canonical: &str,
+        compute: F,
+    ) -> (EvalResult, Fetch)
+    where
+        F: FnOnce() -> EvalResult,
+    {
+        if let Some(report) = self.lookup(key, canonical) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Ok(report), Fetch::Hit);
+        }
+        let (flight, leading) = {
+            let mut flights = self.flights.lock().expect("flight map poisoned");
+            match flights.get(&key.0) {
+                // A different canonical under the same key is a hash
+                // collision mid-flight: solve independently rather than
+                // sharing a result for a different spec.
+                Some(f) if f.canonical != canonical => {
+                    drop(flights);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let result = compute();
+                    if let Ok(report) = &result {
+                        self.put(key, canonical, *report);
+                    }
+                    return (result, Fetch::Computed);
+                }
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    // Re-check the store while holding the flights lock: a
+                    // leader that finished between our lookup miss and here
+                    // has already done put() (before remove_flight), so
+                    // flight-absent + entry-present is a reliable hit.
+                    // Without this, that window would mint a duplicate
+                    // leader and re-solve the key.
+                    if let Some(report) = self.lookup(key, canonical) {
+                        drop(flights);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return (Ok(report), Fetch::Hit);
+                    }
+                    let f = Arc::new(Flight::new(canonical));
+                    flights.insert(key.0.clone(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if leading {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let mut guard = FlightGuard {
+                cache: self,
+                key: &key.0,
+                flight: Arc::clone(&flight),
+                armed: true,
+            };
+            let result = compute();
+            if let Ok(report) = &result {
+                self.put(key, canonical, *report);
+            }
+            flight.resolve(result.clone());
+            self.remove_flight(&key.0);
+            guard.armed = false;
+            (result, Fetch::Computed)
+        } else {
+            let result = flight.wait();
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            (result, Fetch::Joined)
+        }
     }
 
     /// Number of stored entries.
@@ -108,12 +361,27 @@ impl EvalCache {
         self.len() == 0
     }
 
+    /// The stored keys, in key order.
+    pub fn keys(&self) -> Vec<String> {
+        self.map.lock().expect("cache mutex poisoned").keys().cloned().collect()
+    }
+
+    /// Drops every stored entry (counters are kept), returning how many
+    /// were removed. Persisting afterwards writes an empty store.
+    pub fn clear(&self) -> usize {
+        let mut map = self.map.lock().expect("cache mutex poisoned");
+        let n = map.len();
+        map.clear();
+        n
+    }
+
     /// Counters plus current size.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -209,8 +477,13 @@ impl EvalCache {
             if !overwrite && map.contains_key(key) {
                 continue;
             }
-            map.insert(key.to_string(), Entry { canonical: canonical.to_string(), report });
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            map.insert(
+                key.to_string(),
+                Entry { canonical: canonical.to_string(), report, seq },
+            );
         }
+        self.enforce_cap_locked(&mut map);
         Ok(())
     }
 }
@@ -411,6 +684,132 @@ mod tests {
         assert!(cache.load_json("{\"version\":2,\"entries\":[]}").is_err());
         assert!(cache.load_json("not json").is_err());
         assert!(cache.load_json("{\"version\":1,\"entries\":[{\"key\":\"k\"}]}").is_err());
+    }
+
+    #[test]
+    fn max_entries_evicts_oldest_first() {
+        let cache = EvalCache::in_memory().with_max_entries(2);
+        let (ka, kb, kc) = (key_of_encoding("a"), key_of_encoding("b"), key_of_encoding("c"));
+        cache.put(&ka, "a", report(0.91));
+        cache.put(&kb, "b", report(0.92));
+        cache.put(&kc, "c", report(0.93));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&ka, "a").is_none(), "oldest entry evicted");
+        assert!(cache.get(&kb, "b").is_some());
+        assert!(cache.get(&kc, "c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn with_max_entries_trims_preloaded_entries() {
+        // e.g. an over-cap disk store loaded before the cap is applied.
+        let cache = EvalCache::in_memory();
+        for i in 0..5 {
+            let canon = format!("pre{i}");
+            cache.put(&key_of_encoding(&canon), &canon, report(0.9));
+        }
+        let cache = cache.with_max_entries(2);
+        assert_eq!(cache.len(), 2, "bounded from construction on");
+        assert_eq!(cache.stats().evictions, 3);
+        assert!(cache.get(&key_of_encoding("pre4"), "pre4").is_some(), "newest survive");
+        assert!(cache.get(&key_of_encoding("pre0"), "pre0").is_none());
+    }
+
+    #[test]
+    fn open_lenient_covers_missing_corrupt_and_capped() {
+        assert!(EvalCache::open_lenient(None, None).store_path().is_none());
+
+        let dir = std::env::temp_dir().join(format!("dtc-cache-open-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        std::fs::write(&path, "garbage{").unwrap();
+        let cache = EvalCache::open_lenient(Some(path.clone()), Some(2));
+        assert!(cache.is_empty(), "corrupt store replaced, not fatal");
+        assert_eq!(cache.store_path(), Some(path.as_path()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_cap_means_unlimited() {
+        let cache = EvalCache::in_memory().with_max_entries(0);
+        for i in 0..10 {
+            let canon = format!("c{i}");
+            cache.put(&key_of_encoding(&canon), &canon, report(0.9));
+        }
+        assert_eq!(cache.len(), 10);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn get_or_compute_computes_once_then_hits() {
+        let cache = EvalCache::in_memory();
+        let key = key_of_encoding("gc");
+        let (r, how) = cache.get_or_compute(&key, "gc", || Ok(report(0.97)));
+        assert_eq!(how, Fetch::Computed);
+        assert_eq!(r.unwrap(), report(0.97));
+        let (r2, how2) = cache.get_or_compute(&key, "gc", || panic!("must not recompute"));
+        assert_eq!(how2, Fetch::Hit);
+        assert_eq!(r2.unwrap(), report(0.97));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn get_or_compute_errors_are_shared_but_not_cached() {
+        let cache = EvalCache::in_memory();
+        let key = key_of_encoding("err");
+        let (r, how) =
+            cache.get_or_compute(&key, "err", || Err(CloudError::BadSpec("nope".into())));
+        assert_eq!(how, Fetch::Computed);
+        assert!(r.is_err());
+        assert!(cache.is_empty(), "errors must not be memoized");
+        let (r2, how2) = cache.get_or_compute(&key, "err", || Ok(report(0.9)));
+        assert_eq!(how2, Fetch::Computed, "error is retried, not replayed");
+        assert!(r2.is_ok());
+    }
+
+    #[test]
+    fn leader_panic_does_not_wedge_followers() {
+        use std::sync::Barrier;
+        let cache = Arc::new(EvalCache::in_memory());
+        let barrier = Arc::new(Barrier::new(2));
+        let follower = {
+            let (cache, barrier) = (Arc::clone(&cache), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                barrier.wait(); // the leader holds the flight by now
+                cache.get_or_compute(&key_of_encoding("boom"), "boom", || Ok(report(0.5)))
+            })
+        };
+        let led = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(&key_of_encoding("boom"), "boom", || {
+                barrier.wait();
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                panic!("leader dies mid-solve")
+            })
+        }));
+        assert!(led.is_err(), "the leader's panic propagates to its caller");
+        // The essential property: the follower terminates. Depending on
+        // timing it either joined the doomed flight (shared Panicked error)
+        // or arrived after cleanup and solved on its own.
+        let (r, how) = follower.join().expect("follower thread finishes");
+        match how {
+            Fetch::Joined => {
+                assert!(matches!(r, Err(CloudError::Panicked(_))), "got {r:?}")
+            }
+            Fetch::Computed | Fetch::Hit => assert!(r.is_ok()),
+        }
+    }
+
+    #[test]
+    fn keys_and_clear() {
+        let cache = EvalCache::in_memory();
+        cache.put(&key_of_encoding("a"), "a", report(0.9));
+        cache.put(&key_of_encoding("b"), "b", report(0.8));
+        let keys = cache.keys();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&key_of_encoding("a").0));
+        assert_eq!(cache.clear(), 2);
+        assert!(cache.is_empty());
     }
 
     #[test]

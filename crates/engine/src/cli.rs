@@ -23,6 +23,7 @@ use crate::executor::{run_batch, BatchResult, Outcome, RunOptions};
 use crate::output::{render, render_summary, Format};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 dtc — disaster-tolerant cloud scenario evaluator
@@ -32,6 +33,8 @@ usage:
   dtc table7 [options]                     bundled DSN'13 Table VII catalog
   dtc fig7 [options]                       bundled DSN'13 Figure 7 catalog
   dtc validate <catalog>                   parse, expand and compile only
+  dtc cache stats|keys|clear --cache FILE  inspect or prune a cache store
+  dtc serve [serve options]                HTTP evaluation service (dtc-serve)
   dtc help                                 show this text
 
 options:
@@ -39,6 +42,14 @@ options:
   --threads N               worker threads (default: available cores)
   --solver NAME             power|jacobi|gauss-seidel|sor|direct
   --cache FILE              persistent JSON evaluation cache
+  --cache-cap N             cap resident cache entries (oldest evicted)
+
+serve options (see `dtc serve --help`):
+  --addr HOST:PORT          listen address (default 127.0.0.1:7878)
+  --threads N               HTTP worker threads
+  --queue N                 pending-connection queue capacity
+  --cache FILE              persistent JSON evaluation cache
+  --cache-cap N             cap resident cache entries
 ";
 
 #[derive(Debug)]
@@ -46,11 +57,16 @@ struct CliOptions {
     format: Format,
     run: RunOptions,
     cache_path: Option<PathBuf>,
+    cache_cap: Option<usize>,
 }
 
 fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>)> {
-    let mut opts =
-        CliOptions { format: Format::Table, run: RunOptions::default(), cache_path: None };
+    let mut opts = CliOptions {
+        format: Format::Table,
+        run: RunOptions::default(),
+        cache_path: None,
+        cache_cap: None,
+    };
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -81,6 +97,12 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>)> {
                 })?;
             }
             "--cache" => opts.cache_path = Some(PathBuf::from(take("--cache")?)),
+            "--cache-cap" => {
+                let v = take("--cache-cap")?;
+                opts.cache_cap = Some(v.parse().map_err(|_| {
+                    EngineError::Schema(format!("--cache-cap expects a number, got {v:?}"))
+                })?);
+            }
             other if other.starts_with("--") => {
                 return Err(EngineError::Schema(format!("unknown option {other}")));
             }
@@ -88,22 +110,6 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>)> {
         }
     }
     Ok((opts, positional))
-}
-
-fn open_cache(opts: &CliOptions) -> Result<EvalCache> {
-    match &opts.cache_path {
-        Some(path) => match EvalCache::with_store(path.clone()) {
-            Ok(cache) => Ok(cache),
-            // A corrupt store (truncated write, version skew) must not
-            // wedge every subsequent run: warn, start fresh, overwrite on
-            // persist.
-            Err(e) => {
-                eprintln!("dtc: warning: ignoring unusable cache store: {e}");
-                Ok(EvalCache::fresh_store(path.clone()))
-            }
-        },
-        None => Ok(EvalCache::in_memory()),
-    }
 }
 
 fn evaluate(catalog: &Catalog, opts: &CliOptions) -> Result<(Vec<Scenario>, BatchResult)> {
@@ -114,7 +120,7 @@ fn evaluate(catalog: &Catalog, opts: &CliOptions) -> Result<(Vec<Scenario>, Batc
         scenarios.len(),
         opts.run.threads.max(1)
     );
-    let cache = open_cache(opts)?;
+    let cache = Arc::new(EvalCache::open_lenient(opts.cache_path.clone(), opts.cache_cap));
     let result = run_batch(&scenarios, &cache, &opts.run);
     cache.persist()?;
     eprintln!("{}", render_summary(&result));
@@ -243,6 +249,50 @@ fn cmd_validate(catalog: Catalog) -> Result<()> {
     Ok(())
 }
 
+fn cmd_cache(positional: &[String], opts: &CliOptions) -> Result<()> {
+    let action = positional.first().map(String::as_str).ok_or_else(|| {
+        EngineError::Schema("cache needs an action: stats, keys or clear".into())
+    })?;
+    let path = opts
+        .cache_path
+        .as_ref()
+        .ok_or_else(|| EngineError::Schema("cache commands need --cache FILE".into()))?;
+    match action {
+        "stats" => {
+            let cache = EvalCache::with_store(path.clone())?;
+            let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            println!("store:   {}", path.display());
+            println!("entries: {}", cache.len());
+            println!("bytes:   {bytes}");
+            Ok(())
+        }
+        "keys" => {
+            let cache = EvalCache::with_store(path.clone())?;
+            for key in cache.keys() {
+                println!("{key}");
+            }
+            Ok(())
+        }
+        "clear" => {
+            // Count what is there (0 for a corrupt or missing store), then
+            // truncate to an empty store. Deliberately NOT `persist`, which
+            // would merge the file's entries right back.
+            let removed = EvalCache::with_store(path.clone()).map(|c| c.len()).unwrap_or(0);
+            std::fs::write(path, EvalCache::in_memory().to_json())
+                .map_err(|e| EngineError::Io(format!("{}: {e}", path.display())))?;
+            println!(
+                "cleared {removed} entr{} from {}",
+                if removed == 1 { "y" } else { "ies" },
+                path.display()
+            );
+            Ok(())
+        }
+        other => Err(EngineError::Schema(format!(
+            "unknown cache action {other:?} (expected stats, keys or clear)"
+        ))),
+    }
+}
+
 fn dispatch(args: &[String]) -> Result<()> {
     let Some(command) = args.first() else {
         println!("{USAGE}");
@@ -260,6 +310,12 @@ fn dispatch(args: &[String]) -> Result<()> {
         "table7" => cmd_run(crate::catalogs::table7(), &opts),
         "fig7" => cmd_fig7(crate::catalogs::fig7(), &opts),
         "validate" => cmd_validate(catalog_from_arg("validate")?),
+        "cache" => cmd_cache(&positional, &opts),
+        "serve" => Err(EngineError::Schema(
+            "the serve command lives in the dtc-serve crate's `dtc` binary \
+             (cargo run -p dtc-serve --bin dtc -- serve)"
+                .into(),
+        )),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -2,19 +2,23 @@
 //!
 //! The upgraded sweep executor: scenarios are keyed by structural hash
 //! first, identical specs are folded together (grid cells often share a
-//! baseline), cached results are reused, and only the remaining unique
-//! specs fan out over the parallel sweep harness
-//! ([`dtc_core::sweep::sweep_reports`] — which already isolates
-//! per-scenario panics).
+//! baseline), and the remaining unique specs fan out over a scoped worker
+//! pool where every solve goes through the cache's **single-flight** entry
+//! point ([`EvalCache::get_or_compute`]). The cache is shared by
+//! [`Arc`], so any number of concurrent batches — e.g. simultaneous
+//! `dtc-serve` requests — collapse identical solves into one, within and
+//! across batches. Per-scenario panics are isolated by
+//! [`dtc_core::sweep::evaluate_guarded`].
 
-use crate::cache::{CacheStats, EvalCache};
+use crate::cache::{CacheStats, EvalCache, Fetch};
 use crate::catalog::Scenario;
 use crate::hash::{canonical_encoding, SpecKey};
 use dtc_core::metrics::{AvailabilityReport, EvalOptions};
-use dtc_core::sweep::sweep_reports;
-use dtc_core::system::CloudSystemSpec;
+use dtc_core::sweep::evaluate_guarded;
 use dtc_core::CloudError;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How a scenario's report was obtained.
@@ -86,9 +90,18 @@ impl Default for RunOptions {
 
 /// Evaluates a batch of scenarios with dedup and caching.
 ///
+/// The cache is taken by [`Arc`] because every unique spec is resolved
+/// through [`EvalCache::get_or_compute`]: concurrent `run_batch` calls
+/// sharing one cache (the `dtc-serve` hot path) block on each other's
+/// in-progress solves instead of duplicating them.
+///
 /// Successful reports are inserted into `cache`; errors are never cached.
 /// Call [`EvalCache::persist`] afterwards to flush a disk-backed cache.
-pub fn run_batch(scenarios: &[Scenario], cache: &EvalCache, opts: &RunOptions) -> BatchResult {
+pub fn run_batch(
+    scenarios: &[Scenario],
+    cache: &Arc<EvalCache>,
+    opts: &RunOptions,
+) -> BatchResult {
     let keyed: Vec<(SpecKey, String)> = scenarios
         .iter()
         .map(|s| {
@@ -97,93 +110,100 @@ pub fn run_batch(scenarios: &[Scenario], cache: &EvalCache, opts: &RunOptions) -
         })
         .collect();
 
-    // Resolve each scenario: cache hit, duplicate of an earlier scenario,
-    // or representative of a new unique spec (scheduled for evaluation).
-    #[derive(Clone, Copy)]
-    enum Plan {
-        FromCache(AvailabilityReport),
-        Duplicate { representative: usize },
-        Evaluate { slot: usize },
-    }
-    let mut plans: Vec<Plan> = Vec::with_capacity(scenarios.len());
+    // Fold batch-internal duplicates: each scenario is either the
+    // representative of its key (and gets resolved below) or a duplicate
+    // pointing at an earlier representative.
     let mut first_of_key: HashMap<&str, usize> = HashMap::new();
-    let mut to_solve: Vec<CloudSystemSpec> = Vec::new();
-    let mut cached = 0usize;
+    let mut representative: Vec<usize> = Vec::with_capacity(scenarios.len());
+    let mut uniques: Vec<usize> = Vec::new();
     let mut deduplicated = 0usize;
-
-    for (i, s) in scenarios.iter().enumerate() {
-        let (key, canonical) = &keyed[i];
-        if let Some(&rep) = first_of_key.get(key.0.as_str()) {
-            deduplicated += 1;
-            plans.push(Plan::Duplicate { representative: rep });
-            continue;
-        }
-        first_of_key.insert(key.0.as_str(), i);
-        if let Some(report) = cache.get(key, canonical) {
-            cached += 1;
-            plans.push(Plan::FromCache(report));
-        } else {
-            let slot = to_solve.len();
-            to_solve.push(s.spec.clone());
-            plans.push(Plan::Evaluate { slot });
+    for (i, (key, _)) in keyed.iter().enumerate() {
+        match first_of_key.get(key.0.as_str()) {
+            Some(&rep) => {
+                deduplicated += 1;
+                representative.push(rep);
+            }
+            None => {
+                first_of_key.insert(key.0.as_str(), i);
+                uniques.push(i);
+                representative.push(i);
+            }
         }
     }
 
+    // Resolve every unique spec over a scoped worker pool; each solve goes
+    // through the cache's single-flight gate.
+    type Resolved = (Result<AvailabilityReport, CloudError>, Fetch);
+    let threads = opts.threads.max(1).min(uniques.len().max(1));
+    let resolved: Mutex<Vec<Option<Resolved>>> = Mutex::new(vec![None; uniques.len()]);
+    let next = AtomicUsize::new(0);
     let t0 = std::time::Instant::now();
-    let solved = sweep_reports(&to_solve, &opts.eval, opts.threads);
-    let solve_time = t0.elapsed();
-
-    // First pass: outcomes for cache hits and representatives.
-    let mut outcomes: Vec<Option<Outcome>> = vec![None; scenarios.len()];
-    for (i, plan) in plans.iter().enumerate() {
-        let (key, canonical) = &keyed[i];
-        match plan {
-            Plan::FromCache(report) => {
-                outcomes[i] = Some(Outcome {
-                    index: i,
-                    name: scenarios[i].name.clone(),
-                    key: key.clone(),
-                    provenance: Provenance::Cached,
-                    report: Ok(*report),
-                });
-            }
-            Plan::Evaluate { slot } => {
-                let report = solved[*slot].report.clone();
-                if let Ok(r) = &report {
-                    cache.put(key, canonical, *r);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let u = next.fetch_add(1, Ordering::Relaxed);
+                if u >= uniques.len() {
+                    break;
                 }
-                outcomes[i] = Some(Outcome {
-                    index: i,
-                    name: scenarios[i].name.clone(),
-                    key: key.clone(),
-                    provenance: Provenance::Evaluated,
-                    report,
+                let i = uniques[u];
+                let (key, canonical) = &keyed[i];
+                let outcome = cache.get_or_compute(key, canonical, || {
+                    evaluate_guarded(&scenarios[i].spec, &opts.eval)
                 });
-            }
-            Plan::Duplicate { .. } => {}
-        }
-    }
-    // Second pass: duplicates copy their representative's report.
-    for (i, plan) in plans.iter().enumerate() {
-        if let Plan::Duplicate { representative } = plan {
-            let report = outcomes[*representative]
-                .as_ref()
-                .expect("representatives are resolved in the first pass")
-                .report
-                .clone();
-            outcomes[i] = Some(Outcome {
-                index: i,
-                name: scenarios[i].name.clone(),
-                key: keyed[i].0.clone(),
-                provenance: Provenance::Deduplicated,
-                report,
+                let mut slots = resolved.lock().expect("resolved mutex poisoned");
+                slots[u] = Some(outcome);
             });
         }
+    });
+    let solve_time = t0.elapsed();
+    let resolved = resolved.into_inner().expect("resolved mutex poisoned");
+
+    // Assemble outcomes: representatives first, then duplicates copy them.
+    let mut evaluated = 0usize;
+    let mut cached = 0usize;
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; scenarios.len()];
+    for (u, &i) in uniques.iter().enumerate() {
+        let (report, fetch) =
+            resolved[u].clone().expect("every unique slot resolved by the pool");
+        let provenance = match fetch {
+            Fetch::Computed => {
+                evaluated += 1;
+                Provenance::Evaluated
+            }
+            Fetch::Hit | Fetch::Joined => {
+                cached += 1;
+                Provenance::Cached
+            }
+        };
+        outcomes[i] = Some(Outcome {
+            index: i,
+            name: scenarios[i].name.clone(),
+            key: keyed[i].0.clone(),
+            provenance,
+            report,
+        });
+    }
+    for (i, &rep) in representative.iter().enumerate() {
+        if rep == i {
+            continue;
+        }
+        let report = outcomes[rep]
+            .as_ref()
+            .expect("representatives are resolved before duplicates")
+            .report
+            .clone();
+        outcomes[i] = Some(Outcome {
+            index: i,
+            name: scenarios[i].name.clone(),
+            key: keyed[i].0.clone(),
+            provenance: Provenance::Deduplicated,
+            report,
+        });
     }
 
     BatchResult {
         outcomes: outcomes.into_iter().map(|o| o.expect("all indices planned")).collect(),
-        evaluated: to_solve.len(),
+        evaluated,
         deduplicated,
         cached,
         cache_stats: cache.stats(),
@@ -195,7 +215,7 @@ pub fn run_batch(scenarios: &[Scenario], cache: &EvalCache, opts: &RunOptions) -
 mod tests {
     use super::*;
     use dtc_core::params::{ComponentParams, VmParams};
-    use dtc_core::system::{DataCenterSpec, PmSpec};
+    use dtc_core::system::{CloudSystemSpec, DataCenterSpec, PmSpec};
 
     fn tiny(mttf: f64) -> CloudSystemSpec {
         CloudSystemSpec {
@@ -236,7 +256,7 @@ mod tests {
             scenario("a-again", tiny(1000.0)),
             scenario("a-thrice", tiny(1000.0)),
         ];
-        let cache = EvalCache::in_memory();
+        let cache = std::sync::Arc::new(EvalCache::in_memory());
         let result = run_batch(&batch, &cache, &RunOptions::default());
         assert_eq!(result.evaluated, 2, "only two unique specs solved");
         assert_eq!(result.deduplicated, 2);
@@ -256,7 +276,7 @@ mod tests {
     #[test]
     fn second_run_is_all_cache_hits() {
         let batch = vec![scenario("a", tiny(1000.0)), scenario("b", tiny(2000.0))];
-        let cache = EvalCache::in_memory();
+        let cache = std::sync::Arc::new(EvalCache::in_memory());
         let first = run_batch(&batch, &cache, &RunOptions::default());
         assert_eq!(first.evaluated, 2);
         assert_eq!(first.cached, 0);
@@ -277,7 +297,7 @@ mod tests {
     #[test]
     fn different_eval_options_do_not_share_cache_entries() {
         let batch = vec![scenario("a", tiny(1000.0))];
-        let cache = EvalCache::in_memory();
+        let cache = std::sync::Arc::new(EvalCache::in_memory());
         run_batch(&batch, &cache, &RunOptions::default());
         let mut opts = RunOptions::default();
         opts.eval.method = dtc_markov::Method::Power;
@@ -296,7 +316,7 @@ mod tests {
             scenario("bad", bad.clone()),
             scenario("bad-again", bad),
         ];
-        let cache = EvalCache::in_memory();
+        let cache = std::sync::Arc::new(EvalCache::in_memory());
         let result = run_batch(&batch, &cache, &RunOptions::default());
         assert!(result.outcomes[0].report.is_ok());
         assert!(result.outcomes[1].report.is_err());

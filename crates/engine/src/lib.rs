@@ -34,7 +34,7 @@
 //!     alpha = [0.35, 0.45]
 //! "#)?;
 //! let scenarios = catalog.expand()?;
-//! let cache = EvalCache::in_memory();
+//! let cache = std::sync::Arc::new(EvalCache::in_memory());
 //! let result = run_batch(&scenarios, &cache, &RunOptions::default());
 //! println!("{}", render(&scenarios, &result, Format::Table));
 //! # Ok::<(), dtc_engine::EngineError>(())
@@ -57,12 +57,12 @@ pub mod output;
 pub mod toml;
 pub mod value;
 
-pub use cache::{CacheStats, EvalCache};
+pub use cache::{CacheStats, EvalCache, EvalResult, Fetch};
 pub use catalog::{Catalog, Scenario, ScenarioTemplate};
 pub use error::{EngineError, Result};
 pub use executor::{run_batch, BatchResult, Outcome, Provenance, RunOptions};
 pub use hash::{canonical_encoding, spec_key, SpecKey};
-pub use output::{render, render_summary, Format};
+pub use output::{render, render_summary, results_to_value, Format};
 
 /// The paper's catalogs, bundled into the binary.
 pub mod catalogs {
@@ -86,11 +86,11 @@ pub mod catalogs {
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::cache::{CacheStats, EvalCache};
+    pub use crate::cache::{CacheStats, EvalCache, EvalResult, Fetch};
     pub use crate::catalog::{Catalog, Scenario};
     pub use crate::executor::{run_batch, BatchResult, Provenance, RunOptions};
     pub use crate::hash::{canonical_encoding, spec_key, SpecKey};
-    pub use crate::output::{render, render_summary, Format};
+    pub use crate::output::{render, render_summary, results_to_value, Format};
     pub use crate::{EngineError, Result};
 }
 

@@ -175,7 +175,10 @@ fn render_csv(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
     out
 }
 
-fn render_json(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
+/// The JSON result tree: one [`Value`] object per scenario, in input
+/// order. This is the payload shared by `--format json` and the
+/// `dtc-serve` `POST /v1/evaluate` response.
+pub fn results_to_value(scenarios: &[Scenario], outcomes: &[Outcome]) -> Value {
     let items: Vec<Value> = scenarios
         .iter()
         .zip(outcomes)
@@ -213,7 +216,11 @@ fn render_json(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
             Value::Table(t)
         })
         .collect();
-    Value::Array(items).to_json()
+    Value::Array(items)
+}
+
+fn render_json(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
+    results_to_value(scenarios, outcomes).to_json()
 }
 
 #[cfg(test)]
@@ -264,7 +271,7 @@ mod tests {
                 expect_availability: None,
             },
         ];
-        let cache = EvalCache::in_memory();
+        let cache = std::sync::Arc::new(EvalCache::in_memory());
         let result = run_batch(&scenarios, &cache, &RunOptions::default());
         (scenarios, result)
     }

@@ -33,6 +33,13 @@ impl Value {
         Value::Table(BTreeMap::new())
     }
 
+    /// A table built from key → value pairs; convenience for assembling
+    /// JSON documents (e.g. `dtc-serve` responses) without spelling out a
+    /// `BTreeMap` each time.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Value)>) -> Value {
+        Value::Table(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
     /// Borrows the table map, if this is a table.
     pub fn as_table(&self) -> Option<&BTreeMap<String, Value>> {
         match self {

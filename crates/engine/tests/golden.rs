@@ -115,7 +115,7 @@ fn catalog_run_dedups_identical_scenarios_and_second_run_hits_cache() {
     let catalog = Catalog::from_toml_str(TINY_PAIR).unwrap();
     let scenarios = catalog.expand().unwrap();
     assert_eq!(scenarios.len(), 2);
-    let cache = EvalCache::in_memory();
+    let cache = std::sync::Arc::new(EvalCache::in_memory());
     let opts = RunOptions::default();
 
     let first = run_batch(&scenarios, &cache, &opts);

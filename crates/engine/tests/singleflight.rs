@@ -1,0 +1,127 @@
+//! Stress test for evaluation-cache concurrency: many threads requesting
+//! overlapping [`SpecKey`]s must trigger exactly one solve per unique key
+//! (single-flight), with hit/miss/eviction counters that add up.
+
+use dtc_engine::hash::key_of_encoding;
+use dtc_engine::{EvalCache, Fetch};
+use dtc_markov::{Method, SolveStats};
+use dtc_petri::reach::ReachStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn report(a: f64) -> dtc_core::metrics::AvailabilityReport {
+    dtc_core::metrics::AvailabilityReport::new(
+        a,
+        3.5,
+        4,
+        ReachStats { tangible_states: 1000, vanishing_markings: 10, edges: 5000 },
+        SolveStats { iterations: 42, residual: 1e-12, method: Method::GaussSeidel },
+    )
+}
+
+const KEYS: usize = 4;
+const THREADS: usize = 16;
+
+#[test]
+fn overlapping_keys_solve_exactly_once_each() {
+    let cache = Arc::new(EvalCache::in_memory());
+    let solves: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..KEYS).map(|_| AtomicUsize::new(0)).collect());
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let (cache, solves, barrier) =
+                (Arc::clone(&cache), Arc::clone(&solves), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut fetches = Vec::with_capacity(KEYS);
+                // Each thread walks the keys in a different rotation so
+                // every key sees simultaneous first-comers.
+                for step in 0..KEYS {
+                    let k = (t + step) % KEYS;
+                    let canonical = format!("spec-{k}");
+                    let key = key_of_encoding(&canonical);
+                    let (result, fetch) = cache.get_or_compute(&key, &canonical, || {
+                        solves[k].fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window: followers must join, not
+                        // re-solve.
+                        std::thread::sleep(Duration::from_millis(20));
+                        Ok(report(0.9 + k as f64 / 100.0))
+                    });
+                    assert_eq!(
+                        result.expect("solve succeeds").availability,
+                        0.9 + k as f64 / 100.0,
+                        "every caller sees its key's report"
+                    );
+                    fetches.push(fetch);
+                }
+                fetches
+            })
+        })
+        .collect();
+
+    let mut computed = 0usize;
+    let mut joined = 0usize;
+    let mut hit = 0usize;
+    for h in handles {
+        for fetch in h.join().expect("worker thread panicked") {
+            match fetch {
+                Fetch::Computed => computed += 1,
+                Fetch::Joined => joined += 1,
+                Fetch::Hit => hit += 1,
+            }
+        }
+    }
+
+    for (k, s) in solves.iter().enumerate() {
+        assert_eq!(s.load(Ordering::SeqCst), 1, "key {k} solved more than once");
+    }
+    assert_eq!(computed, KEYS, "exactly one Computed per unique key");
+    assert_eq!(computed + joined + hit, THREADS * KEYS);
+    assert!(joined > 0, "with {THREADS} racing threads some must have joined a flight");
+
+    let stats = cache.stats();
+    assert_eq!(stats.misses, KEYS, "one miss per unique key");
+    assert_eq!(stats.hits, THREADS * KEYS - KEYS, "everything else is a hit");
+    assert_eq!(stats.entries, KEYS);
+    assert_eq!(stats.evictions, 0);
+}
+
+#[test]
+fn capped_cache_stays_bounded_under_concurrency() {
+    const CAP: usize = 8;
+    const TOTAL: usize = 64;
+    let cache = Arc::new(EvalCache::in_memory().with_max_entries(CAP));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let (cache, barrier) = (Arc::clone(&cache), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                barrier.wait();
+                for step in 0..TOTAL {
+                    let k = (t * 7 + step) % TOTAL;
+                    let canonical = format!("wide-{k}");
+                    let key = key_of_encoding(&canonical);
+                    let (result, _) =
+                        cache.get_or_compute(&key, &canonical, || Ok(report(0.95)));
+                    assert!(result.is_ok());
+                    assert!(cache.len() <= CAP, "cap violated mid-run");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+
+    let stats = cache.stats();
+    assert_eq!(stats.entries, CAP, "cache is full but bounded");
+    // Every insertion past the cap evicted exactly one entry, so the books
+    // must balance: inserts (= misses, errors never stored) - evictions =
+    // resident entries.
+    assert_eq!(stats.misses - stats.evictions, CAP, "counters are consistent");
+    assert!(stats.evictions > 0, "a {TOTAL}-key workload must evict at a cap of {CAP}");
+}

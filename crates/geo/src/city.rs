@@ -59,6 +59,29 @@ pub const SAN_FRANCISCO: City =
 /// Johannesburg, South Africa.
 pub const JOHANNESBURG: City =
     City { name: "Johannesburg", lat_deg: -26.2041, lon_deg: 28.0473 };
+/// Paris, France.
+pub const PARIS: City = City { name: "Paris", lat_deg: 48.8566, lon_deg: 2.3522 };
+/// Amsterdam, Netherlands.
+pub const AMSTERDAM: City = City { name: "Amsterdam", lat_deg: 52.3676, lon_deg: 4.9041 };
+/// Madrid, Spain.
+pub const MADRID: City = City { name: "Madrid", lat_deg: 40.4168, lon_deg: -3.7038 };
+/// Mumbai, India.
+pub const MUMBAI: City = City { name: "Mumbai", lat_deg: 19.0760, lon_deg: 72.8777 };
+/// Beijing, China.
+pub const BEIJING: City = City { name: "Beijing", lat_deg: 39.9042, lon_deg: 116.4074 };
+/// Seoul, South Korea.
+pub const SEOUL: City = City { name: "Seoul", lat_deg: 37.5665, lon_deg: 126.9780 };
+/// Dubai, United Arab Emirates.
+pub const DUBAI: City = City { name: "Dubai", lat_deg: 25.2048, lon_deg: 55.2708 };
+/// Toronto, Canada.
+pub const TORONTO: City = City { name: "Toronto", lat_deg: 43.6532, lon_deg: -79.3832 };
+/// Mexico City, Mexico.
+pub const MEXICO_CITY: City = City { name: "Mexico City", lat_deg: 19.4326, lon_deg: -99.1332 };
+/// Buenos Aires, Argentina.
+pub const BUENOS_AIRES: City =
+    City { name: "Buenos Aires", lat_deg: -34.6037, lon_deg: -58.3816 };
+/// Santiago, Chile.
+pub const SANTIAGO: City = City { name: "Santiago", lat_deg: -33.4489, lon_deg: -70.6693 };
 
 impl City {
     /// Creates a city with validated WGS-84 coordinates.
@@ -76,7 +99,7 @@ impl City {
 
 /// Every city with built-in coordinates: the seven case-study sites plus
 /// the extra sites for studies beyond the paper.
-pub const KNOWN_CITIES: [City; 13] = [
+pub const KNOWN_CITIES: [City; 24] = [
     RIO_DE_JANEIRO,
     BRASILIA,
     RECIFE,
@@ -90,6 +113,17 @@ pub const KNOWN_CITIES: [City; 13] = [
     SYDNEY,
     SAN_FRANCISCO,
     JOHANNESBURG,
+    PARIS,
+    AMSTERDAM,
+    MADRID,
+    MUMBAI,
+    BEIJING,
+    SEOUL,
+    DUBAI,
+    TORONTO,
+    MEXICO_CITY,
+    BUENOS_AIRES,
+    SANTIAGO,
 ];
 
 /// Folds common Latin diacritics to their base letter, so "São Paulo" and
@@ -225,6 +259,46 @@ mod tests {
         assert!((ss - 6300.0).abs() / 6300.0 < 0.05, "{ss}");
         let sj = haversine_km(&SAN_FRANCISCO, &JOHANNESBURG);
         assert!(sj > 15_000.0 && sj < 18_000.0, "{sj}");
+    }
+
+    #[test]
+    fn expansion_cities_match_reference_distances() {
+        // Reference great-circle distances (±3%) for the PR-2 expansion
+        // sites, so a typo'd coordinate cannot slip in silently.
+        let cases = [
+            (PARIS, LONDON, 344.0),
+            (PARIS, MADRID, 1054.0),
+            (AMSTERDAM, FRANKFURT, 365.0),
+            (SEOUL, TOKYO, 1160.0),
+            (BEIJING, SEOUL, 950.0),
+            (DUBAI, MUMBAI, 1930.0),
+            (TORONTO, NEW_YORK, 550.0),
+            (MEXICO_CITY, NEW_YORK, 3360.0),
+            (BUENOS_AIRES, SANTIAGO, 1140.0),
+            (BUENOS_AIRES, RIO_DE_JANEIRO, 1970.0),
+        ];
+        for (a, b, expect) in cases {
+            let d = haversine_km(&a, &b);
+            assert!(
+                (d - expect).abs() / expect < 0.03,
+                "{} - {}: {d:.0} km vs {expect:.0} km",
+                a.name,
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn known_cities_are_unique_and_valid() {
+        for c in &KNOWN_CITIES {
+            assert!((-90.0..=90.0).contains(&c.lat_deg), "{}", c.name);
+            assert!((-180.0..=180.0).contains(&c.lon_deg), "{}", c.name);
+            assert_eq!(find_city(c.name), Some(*c), "{} resolves to itself", c.name);
+        }
+        let mut names: Vec<_> = KNOWN_CITIES.iter().map(|c| normalize(c.name)).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), KNOWN_CITIES.len(), "normalized names collide");
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! The `dtc` command-line evaluator; see `dtc help`.
+//!
+//! Lives in `dtc-serve` (not `dtc-engine`) so the `serve` command can sit
+//! next to the batch commands: `serve` is handled here, everything else is
+//! delegated to [`dtc_engine::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("serve") => dtc_serve::cli::run_serve(&args[1..]),
+        _ => dtc_engine::cli::run_cli(&args),
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,6 @@
+//! Load-generation harness for `dtc-serve`; see `loadgen --help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dtc_serve::cli::run_loadgen(&args));
+}

@@ -1,0 +1,207 @@
+//! Argument parsing and entry points for `dtc serve` and `loadgen`.
+
+use crate::loadgen;
+use crate::{ServeConfig, Server};
+use std::path::PathBuf;
+
+const SERVE_USAGE: &str = "\
+dtc serve — HTTP availability-evaluation service
+
+usage: dtc serve [options]
+
+options:
+  --addr HOST:PORT    listen address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --threads N         HTTP worker threads (default: available cores)
+  --queue N           pending-connection queue capacity (default 128);
+                      the acceptor answers 503 beyond it
+  --eval-threads N    solver threads inside one request batch (default 1)
+  --cache FILE        persistent JSON evaluation cache
+  --cache-cap N       cap resident cache entries (oldest evicted first)
+
+routes:
+  GET  /healthz         liveness
+  GET  /v1/stats        cache + queue + server counters
+  POST /v1/evaluate     evaluate a JSON catalog document
+  GET  /v1/cache/keys   stored content-addressed keys
+";
+
+fn parse_usize(name: &str, value: &str) -> Result<usize, String> {
+    value.parse().map_err(|_| format!("{name} expects a number, got {value:?}"))
+}
+
+/// Parses `dtc serve` arguments into a [`ServeConfig`].
+pub fn parse_serve_args(args: &[String]) -> Result<Option<ServeConfig>, String> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = take("--addr")?,
+            "--threads" => config.threads = parse_usize("--threads", &take("--threads")?)?,
+            "--queue" => config.queue = parse_usize("--queue", &take("--queue")?)?,
+            "--eval-threads" => {
+                config.eval_threads = parse_usize("--eval-threads", &take("--eval-threads")?)?
+            }
+            "--cache" => config.cache_path = Some(PathBuf::from(take("--cache")?)),
+            "--cache-cap" => {
+                config.cache_cap = Some(parse_usize("--cache-cap", &take("--cache-cap")?)?)
+            }
+            "--help" | "-h" | "help" => return Ok(None),
+            other => return Err(format!("unknown serve option {other:?}")),
+        }
+    }
+    Ok(Some(config))
+}
+
+/// `dtc serve` entry point; blocks until the process is killed.
+pub fn run_serve(args: &[String]) -> i32 {
+    let config = match parse_serve_args(args) {
+        Ok(Some(config)) => config,
+        Ok(None) => {
+            println!("{SERVE_USAGE}");
+            return 0;
+        }
+        Err(msg) => {
+            eprintln!("dtc serve: {msg}");
+            return 2;
+        }
+    };
+    match Server::start(&config) {
+        Ok(server) => {
+            eprintln!(
+                "dtc-serve listening on http://{} ({} worker(s), queue {})",
+                server.addr(),
+                config.threads.max(1),
+                config.queue.max(1),
+            );
+            server.join();
+            0
+        }
+        Err(e) => {
+            eprintln!("dtc serve: {e}");
+            2
+        }
+    }
+}
+
+const LOADGEN_USAGE: &str = "\
+loadgen — throughput/latency harness for dtc-serve
+
+usage: loadgen --addr HOST:PORT [options]
+
+options:
+  --addr HOST:PORT    target server (required)
+  --clients N         concurrent client threads (default 8)
+  --requests N        requests per client (default 50)
+  --healthz           GET /healthz instead of POST /v1/evaluate
+  --catalog FILE      POST this JSON catalog instead of the built-in tiny one
+";
+
+/// Parses `loadgen` arguments.
+pub fn parse_loadgen_args(args: &[String]) -> Result<Option<loadgen::Options>, String> {
+    let mut opts = loadgen::Options::default();
+    let mut addr_given = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                opts.addr = take("--addr")?;
+                addr_given = true;
+            }
+            "--clients" => opts.clients = parse_usize("--clients", &take("--clients")?)?,
+            "--requests" => {
+                opts.requests_per_client = parse_usize("--requests", &take("--requests")?)?
+            }
+            "--healthz" => {
+                opts.method = "GET".into();
+                opts.path = "/healthz".into();
+                opts.body = None;
+            }
+            "--catalog" => {
+                let path = take("--catalog")?;
+                let text = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
+                opts.body = Some(text);
+            }
+            "--help" | "-h" | "help" => return Ok(None),
+            other => return Err(format!("unknown loadgen option {other:?}")),
+        }
+    }
+    if !addr_given {
+        return Err("--addr HOST:PORT is required (see loadgen --help)".into());
+    }
+    Ok(Some(opts))
+}
+
+/// `loadgen` binary entry point.
+pub fn run_loadgen(args: &[String]) -> i32 {
+    let opts = match parse_loadgen_args(args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            println!("{LOADGEN_USAGE}");
+            return 0;
+        }
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            return 2;
+        }
+    };
+    let summary = loadgen::run(&opts);
+    print!("{}", loadgen::render(&opts, &summary));
+    if summary.failed > 0 {
+        eprintln!("loadgen: {} request(s) failed", summary.failed);
+        return 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_args_parse() {
+        let config = parse_serve_args(&strs(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--threads",
+            "3",
+            "--queue",
+            "7",
+            "--eval-threads",
+            "2",
+            "--cache-cap",
+            "100",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(config.addr, "0.0.0.0:9000");
+        assert_eq!(config.threads, 3);
+        assert_eq!(config.queue, 7);
+        assert_eq!(config.eval_threads, 2);
+        assert_eq!(config.cache_cap, Some(100));
+
+        assert!(parse_serve_args(&strs(&["--queue"])).is_err());
+        assert!(parse_serve_args(&strs(&["--wat"])).is_err());
+        assert!(parse_serve_args(&strs(&["--help"])).unwrap().is_none());
+    }
+
+    #[test]
+    fn loadgen_args_require_addr() {
+        assert!(parse_loadgen_args(&strs(&["--clients", "4"])).is_err());
+        let opts = parse_loadgen_args(&strs(&["--addr", "127.0.0.1:1", "--healthz"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.method, "GET");
+        assert_eq!(opts.path, "/healthz");
+        assert!(opts.body.is_none());
+    }
+}

@@ -1,0 +1,476 @@
+//! # dtc-serve — a concurrent availability-evaluation service
+//!
+//! The online half of the scenario engine: where `dtc run` answers one
+//! catalog and exits, `dtc serve` keeps a worker pool, a bounded accept
+//! queue, and one shared [`EvalCache`] resident and answers availability
+//! queries continuously over HTTP/1.1 on `std::net` — no external
+//! dependencies.
+//!
+//! * `GET /healthz` — liveness probe.
+//! * `GET /v1/stats` — cache, queue and server counters.
+//! * `POST /v1/evaluate` — a catalog document in the engine's JSON schema;
+//!   expanded, deduped, solved, and rendered back as JSON.
+//! * `GET /v1/cache/keys` — the content-addressed keys currently stored.
+//!
+//! The hot path is the cache's **single-flight** gate
+//! ([`EvalCache::get_or_compute`] via [`dtc_engine::run_batch`]): any
+//! number of concurrent requests for the same spec block on one
+//! in-progress CTMC solve and share its report. Backpressure is explicit —
+//! when the pending-connection queue is full the acceptor answers
+//! `503 Service Unavailable` immediately instead of queueing unboundedly.
+//!
+//! The companion [`loadgen`] module (and `loadgen` binary) hammers a
+//! running server over real sockets and reports RPS and latency
+//! percentiles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod http;
+pub mod loadgen;
+
+use dtc_engine::value::Value;
+use dtc_engine::{results_to_value, run_batch, Catalog, EngineError, EvalCache, RunOptions};
+use http::{read_request, write_response, ReadError, Request, Response};
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server construction/runtime errors.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Cache store or catalog failure from the engine layer.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// HTTP worker threads.
+    pub threads: usize,
+    /// Pending-connection queue capacity; beyond it the acceptor answers
+    /// 503 immediately (backpressure instead of unbounded buffering).
+    pub queue: usize,
+    /// Worker threads used *inside* one `POST /v1/evaluate` batch.
+    /// Kept small by default: request-level parallelism comes from the
+    /// HTTP worker pool.
+    pub eval_threads: usize,
+    /// Optional persistent JSON cache store.
+    pub cache_path: Option<PathBuf>,
+    /// Optional cap on resident cache entries (oldest evicted first).
+    pub cache_cap: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads,
+            queue: 128,
+            eval_threads: 1,
+            cache_path: None,
+            cache_cap: None,
+        }
+    }
+}
+
+/// Bounded FIFO of accepted-but-unhandled connections.
+#[derive(Debug)]
+struct Backlog {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl Backlog {
+    fn new(capacity: usize) -> Backlog {
+        Backlog {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues unless full; the stream is handed back on rejection so the
+    /// caller can answer 503 on it.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().expect("backlog poisoned");
+        if q.len() >= self.capacity {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once shutdown is flagged and
+    /// the queue has drained.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.inner.lock().expect("backlog poisoned");
+        loop {
+            if let Some(stream) = q.pop_front() {
+                return Some(stream);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.ready.wait(q).expect("backlog poisoned");
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("backlog poisoned").len()
+    }
+}
+
+/// State shared between the acceptor, the workers, and [`Server`].
+struct Shared {
+    cache: Arc<EvalCache>,
+    backlog: Backlog,
+    eval_threads: usize,
+    workers: usize,
+    shutdown: AtomicBool,
+    started: Instant,
+    requests: AtomicUsize,
+    evaluations: AtomicUsize,
+    rejected: AtomicUsize,
+}
+
+/// A running evaluation service; dropping it does **not** stop the
+/// threads — call [`Server::shutdown`] (tests) or [`Server::join`]
+/// (the CLI, which serves until killed).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Opens (or creates) the cache described by `config` and starts the
+    /// service.
+    pub fn start(config: &ServeConfig) -> Result<Server, ServeError> {
+        let cache = EvalCache::open_lenient(config.cache_path.clone(), config.cache_cap);
+        Server::start_with(config, Arc::new(cache))
+    }
+
+    /// Starts the service around an existing shared cache.
+    pub fn start_with(
+        config: &ServeConfig,
+        cache: Arc<EvalCache>,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let worker_count = config.threads.max(1);
+        let shared = Arc::new(Shared {
+            cache,
+            backlog: Backlog::new(config.queue),
+            eval_threads: config.eval_threads.max(1),
+            workers: worker_count,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            requests: AtomicUsize::new(0),
+            evaluations: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+        });
+
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dtc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dtc-serve-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server { addr, shared, acceptor, workers })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared evaluation cache.
+    pub fn cache(&self) -> &Arc<EvalCache> {
+        &self.shared.cache
+    }
+
+    /// Blocks on the acceptor — serves until the process dies.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Stops accepting, drains the queue, joins every thread, and persists
+    /// a disk-backed cache.
+    pub fn shutdown(self) -> Result<(), ServeError> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept` with a throwaway
+        // connection; unblock idle workers via the condvar.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.backlog.ready.notify_all();
+        let _ = self.acceptor.join();
+        self.shared.backlog.ready.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.shared.cache.persist()?;
+        Ok(())
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A persistent accept failure (e.g. EMFILE under fd
+                // exhaustion) must not busy-spin the acceptor at 100% CPU;
+                // back off briefly so workers can close sockets.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Err(mut stream) = shared.backlog.try_push(stream) {
+            // Saturated: refuse immediately instead of buffering without
+            // bound. The client should retry with backoff.
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            let mut resp = Response::error(503, "evaluation queue is full, retry later");
+            resp.extra.push(("retry-after", "1".to_string()));
+            let _ = write_response(&mut stream, &resp, false);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.backlog.pop(&shared.shutdown) {
+        let _ = handle_connection(shared, stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    // An idle or trickling peer cannot pin a worker forever.
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()), // peer closed between requests
+            Err(ReadError::Io(_)) => return Ok(()), // timeout or reset
+            Err(ReadError::TooLarge(what)) => {
+                let resp = Response::error(413, &format!("{what} exceeds the server limit"));
+                return write_response(&mut writer, &resp, false);
+            }
+            Err(ReadError::Malformed(msg)) => {
+                let resp = Response::error(400, &msg);
+                return write_response(&mut writer, &resp, false);
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+        let response = route(shared, &request);
+        write_response(&mut writer, &response, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/v1/stats") => stats(shared),
+        ("GET", "/v1/cache/keys") => cache_keys(shared),
+        ("POST", "/v1/evaluate") => evaluate(shared, request),
+        (_, "/healthz" | "/v1/stats" | "/v1/cache/keys" | "/v1/evaluate") => {
+            Response::error(405, "method not allowed for this route")
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let doc = Value::object([
+        ("status", Value::Str("ok".into())),
+        ("workers", Value::Int(shared.workers as i64)),
+        ("queue_depth", Value::Int(shared.backlog.depth() as i64)),
+    ]);
+    Response::json(200, doc.to_json())
+}
+
+fn stats(shared: &Shared) -> Response {
+    let cache = shared.cache.stats();
+    let doc = Value::object([
+        (
+            "cache",
+            Value::object([
+                ("hits", Value::Int(cache.hits as i64)),
+                ("misses", Value::Int(cache.misses as i64)),
+                ("entries", Value::Int(cache.entries as i64)),
+                ("evictions", Value::Int(cache.evictions as i64)),
+            ]),
+        ),
+        (
+            "queue",
+            Value::object([
+                ("capacity", Value::Int(shared.backlog.capacity as i64)),
+                ("depth", Value::Int(shared.backlog.depth() as i64)),
+                ("rejected", Value::Int(shared.rejected.load(Ordering::Relaxed) as i64)),
+            ]),
+        ),
+        (
+            "server",
+            Value::object([
+                ("workers", Value::Int(shared.workers as i64)),
+                ("requests", Value::Int(shared.requests.load(Ordering::Relaxed) as i64)),
+                ("evaluations", Value::Int(shared.evaluations.load(Ordering::Relaxed) as i64)),
+                ("uptime_seconds", Value::Float(shared.started.elapsed().as_secs_f64())),
+            ]),
+        ),
+    ]);
+    Response::json(200, doc.to_json())
+}
+
+fn cache_keys(shared: &Shared) -> Response {
+    let keys = shared.cache.keys();
+    let doc = Value::object([
+        ("count", Value::Int(keys.len() as i64)),
+        ("keys", Value::Array(keys.into_iter().map(Value::Str).collect())),
+    ]);
+    Response::json(200, doc.to_json())
+}
+
+fn evaluate(shared: &Shared, request: &Request) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let catalog = match Catalog::from_json_str(text) {
+        Ok(catalog) => catalog,
+        Err(e) => return Response::error(400, &format!("catalog does not parse: {e}")),
+    };
+    let scenarios = match catalog.expand() {
+        Ok(scenarios) => scenarios,
+        Err(e) => return Response::error(400, &format!("catalog does not expand: {e}")),
+    };
+    let opts = RunOptions { threads: shared.eval_threads, ..RunOptions::default() };
+    let result = run_batch(&scenarios, &shared.cache, &opts);
+    shared.evaluations.fetch_add(1, Ordering::Relaxed);
+    if result.evaluated > 0 {
+        // Flush new solves to a disk-backed store right away: a served
+        // process is normally stopped by a kill, which would otherwise
+        // discard everything since startup. In-memory caches no-op here.
+        if let Err(e) = shared.cache.persist() {
+            eprintln!("dtc-serve: warning: cache persist failed: {e}");
+        }
+    }
+    let doc = Value::object([
+        ("catalog", Value::Str(catalog.name.clone())),
+        ("results", results_to_value(&scenarios, &result.outcomes)),
+        (
+            "summary",
+            Value::object([
+                ("scenarios", Value::Int(result.outcomes.len() as i64)),
+                ("evaluated", Value::Int(result.evaluated as i64)),
+                ("cached", Value::Int(result.cached as i64)),
+                ("deduplicated", Value::Int(result.deduplicated as i64)),
+                ("solve_ms", Value::Float(result.solve_time.as_secs_f64() * 1000.0)),
+            ]),
+        ),
+    ]);
+    Response::json(200, doc.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backlog_rejects_when_full_and_drains_fifo() {
+        // Loop a listener to mint real TcpStreams without a server.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mint = || {
+            let client = TcpStream::connect(addr).unwrap();
+            let (server_side, _) = listener.accept().unwrap();
+            (client, server_side)
+        };
+
+        let backlog = Backlog::new(2);
+        let shutdown = AtomicBool::new(false);
+        let (_c1, s1) = mint();
+        let (_c2, s2) = mint();
+        let (_c3, s3) = mint();
+        let p1 = s1.peer_addr().unwrap();
+        let p2 = s2.peer_addr().unwrap();
+        assert!(backlog.try_push(s1).is_ok());
+        assert!(backlog.try_push(s2).is_ok());
+        let bounced = backlog.try_push(s3);
+        assert!(bounced.is_err(), "third connection exceeds capacity 2");
+        assert_eq!(backlog.depth(), 2);
+
+        assert_eq!(backlog.pop(&shutdown).unwrap().peer_addr().unwrap(), p1, "FIFO");
+        assert_eq!(backlog.pop(&shutdown).unwrap().peer_addr().unwrap(), p2);
+        shutdown.store(true, Ordering::SeqCst);
+        assert!(backlog.pop(&shutdown).is_none(), "drained + shutdown ends workers");
+    }
+
+    #[test]
+    fn backlog_capacity_is_at_least_one() {
+        assert_eq!(Backlog::new(0).capacity, 1);
+    }
+}

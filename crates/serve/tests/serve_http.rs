@@ -1,0 +1,258 @@
+//! End-to-end integration over real TCP: an ephemeral-port server,
+//! concurrent identical `POST /v1/evaluate` requests whose stats prove
+//! single-flight solving, route/error behavior, keep-alive, the eviction
+//! cap, and a `loadgen` run reporting RPS and latency percentiles.
+
+use dtc_engine::value::Value;
+use dtc_serve::{loadgen, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        queue: 64,
+        eval_threads: 1,
+        cache_path: None,
+        cache_cap: None,
+    }
+}
+
+/// One connection-per-request HTTP exchange; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let payload = body.unwrap_or("");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(payload.as_bytes()).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn get_json(addr: SocketAddr, path: &str) -> Value {
+    let (status, body) = request(addr, "GET", path, None);
+    assert_eq!(status, 200, "GET {path}: {body}");
+    Value::from_json(&body).expect("valid JSON")
+}
+
+fn int_at(v: &Value, a: &str, b: &str) -> i64 {
+    v.get(a)
+        .and_then(|x| x.get(b))
+        .and_then(|x| x.as_i64())
+        .unwrap_or_else(|| panic!("{a}.{b} missing in {}", v.to_json()))
+}
+
+#[test]
+fn concurrent_identical_posts_are_single_flight_and_loadgen_reports() {
+    const CLIENTS: usize = 8;
+    let server = Server::start(&config()).expect("server starts");
+    let addr = server.addr();
+    let catalog = loadgen::tiny_catalog_json();
+
+    // Fire the same catalog from 8 threads at once over real sockets.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let (barrier, catalog) = (Arc::clone(&barrier), catalog.clone());
+            std::thread::spawn(move || {
+                barrier.wait();
+                request(addr, "POST", "/v1/evaluate", Some(&catalog))
+            })
+        })
+        .collect();
+    let responses: Vec<(u16, String)> =
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect();
+
+    // Every response is a 200 with the same correct report.
+    let mut reports = Vec::new();
+    for (status, body) in &responses {
+        assert_eq!(*status, 200, "{body}");
+        let doc = Value::from_json(body).expect("valid JSON");
+        let results = doc.get("results").and_then(|r| r.as_array()).expect("results array");
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("status").and_then(|s| s.as_str()), Some("ok"));
+        let report = results[0].get("report").expect("report present").clone();
+        let availability =
+            report.get("availability").and_then(|a| a.as_f64()).expect("availability");
+        assert!((0.0..=1.0).contains(&availability));
+        reports.push(report);
+    }
+    for r in &reports[1..] {
+        assert_eq!(
+            r.to_json(),
+            reports[0].to_json(),
+            "identical requests must yield identical reports"
+        );
+    }
+
+    // The duplicated spec was solved exactly once: one miss, the other
+    // seven calls were hits (stored entry or joined in-flight solve).
+    let stats = get_json(addr, "/v1/stats");
+    assert_eq!(int_at(&stats, "cache", "misses"), 1, "single-flight: one solve");
+    assert_eq!(int_at(&stats, "cache", "hits"), (CLIENTS - 1) as i64);
+    assert_eq!(int_at(&stats, "cache", "entries"), 1);
+    assert_eq!(int_at(&stats, "server", "evaluations"), CLIENTS as i64);
+
+    let keys = get_json(addr, "/v1/cache/keys");
+    assert_eq!(keys.get("count").and_then(|c| c.as_i64()), Some(1));
+
+    // loadgen against the same live server: everything is now a cache
+    // hit, so this measures the HTTP + cache path end to end.
+    let opts = loadgen::Options {
+        addr: addr.to_string(),
+        clients: 4,
+        requests_per_client: 25,
+        ..loadgen::Options::default()
+    };
+    let summary = loadgen::run(&opts);
+    println!("{}", loadgen::render(&opts, &summary));
+    assert_eq!(summary.total, 100);
+    assert_eq!(summary.ok, 100, "no rejections below queue capacity");
+    assert!(summary.rps > 0.0);
+    assert!(summary.p50_ms > 0.0);
+    assert!(summary.p95_ms >= summary.p50_ms);
+    assert!(summary.p99_ms >= summary.p95_ms);
+
+    // Still exactly one solve ever — the whole loadgen run hit the cache.
+    let stats = get_json(addr, "/v1/stats");
+    assert_eq!(int_at(&stats, "cache", "misses"), 1);
+    assert_eq!(int_at(&stats, "queue", "rejected"), 0);
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn routes_and_error_paths() {
+    let server = Server::start(&config()).expect("server starts");
+    let addr = server.addr();
+
+    let health = get_json(addr, "/healthz");
+    assert_eq!(health.get("status").and_then(|s| s.as_str()), Some("ok"));
+
+    let (status, body) = request(addr, "GET", "/nope", None);
+    assert_eq!(status, 404, "{body}");
+    let (status, _) = request(addr, "POST", "/healthz", Some("{}"));
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "GET", "/v1/evaluate", None);
+    assert_eq!(status, 405);
+
+    let (status, body) = request(addr, "POST", "/v1/evaluate", Some("this is not json"));
+    assert_eq!(status, 400);
+    assert!(body.contains("error"), "{body}");
+
+    // Parses but does not expand: unknown city.
+    let bad = r#"{"catalog":{"name":"x"},
+                  "scenario":[{"name":"s","kind":"two_dc","secondary":"Oz"}]}"#;
+    let (status, body) = request(addr, "POST", "/v1/evaluate", Some(bad));
+    assert_eq!(status, 400);
+    assert!(body.contains("Oz"), "{body}");
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let server = Server::start(&config()).expect("server starts");
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let read_one = |stream: &mut TcpStream| -> String {
+        // Header-then-body read keyed on content-length, since the
+        // connection stays open.
+        let mut raw = Vec::new();
+        let mut byte = [0u8; 1];
+        while !raw.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut byte).expect("header byte");
+            raw.push(byte[0]);
+        }
+        let head = String::from_utf8_lossy(&raw).to_lowercase();
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length:"))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("content-length header");
+        let mut body = vec![0u8; length];
+        stream.read_exact(&mut body).expect("body");
+        String::from_utf8(body).expect("UTF-8 body")
+    };
+
+    for _ in 0..3 {
+        stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: test\r\n\r\n").unwrap();
+        let body = read_one(&mut stream);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+    }
+    drop(stream);
+
+    let stats = get_json(addr, "/v1/stats");
+    assert!(int_at(&stats, "server", "requests") >= 3);
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn disk_backed_cache_persists_after_evaluation_without_shutdown() {
+    let dir = std::env::temp_dir().join(format!("dtc-serve-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("store.json");
+    let _ = std::fs::remove_file(&store);
+
+    let mut cfg = config();
+    cfg.cache_path = Some(store.clone());
+    let server = Server::start(&cfg).expect("server starts");
+    let (status, _) =
+        request(server.addr(), "POST", "/v1/evaluate", Some(&loadgen::tiny_catalog_json()));
+    assert_eq!(status, 200);
+
+    // The store must already hold the solve — a `kill`ed server (the
+    // normal way `dtc serve` stops) never reaches shutdown().
+    let text = std::fs::read_to_string(&store).expect("store written after evaluation");
+    let reloaded = dtc_engine::EvalCache::in_memory();
+    reloaded.load_json(&text).expect("store parses");
+    assert_eq!(reloaded.len(), 1, "solved entry persisted");
+
+    server.shutdown().expect("clean shutdown");
+    std::fs::remove_file(&store).unwrap();
+}
+
+#[test]
+fn cache_cap_evicts_across_requests() {
+    let mut cfg = config();
+    cfg.cache_cap = Some(1);
+    let server = Server::start(&cfg).expect("server starts");
+    let addr = server.addr();
+
+    let first = loadgen::tiny_catalog_json();
+    // Same tiny architecture, different VM dependability → different key.
+    let second = first.replace(
+        "\"params\": {\"min_running_vms\": 1}",
+        "\"params\": {\"min_running_vms\": 1, \"vm\": {\"mttf_hours\": 2000.0, \"mttr_hours\": 0.5}}",
+    );
+    assert_ne!(first, second);
+
+    let (status, _) = request(addr, "POST", "/v1/evaluate", Some(&first));
+    assert_eq!(status, 200);
+    let (status, _) = request(addr, "POST", "/v1/evaluate", Some(&second));
+    assert_eq!(status, 200);
+
+    let stats = get_json(addr, "/v1/stats");
+    assert_eq!(int_at(&stats, "cache", "entries"), 1, "cap of one holds");
+    assert_eq!(int_at(&stats, "cache", "evictions"), 1, "first entry was evicted");
+    assert_eq!(int_at(&stats, "cache", "misses"), 2);
+
+    server.shutdown().expect("clean shutdown");
+}

@@ -22,6 +22,7 @@
 //! | [`geo`] | case-study cities, distances, PingER-style throughput |
 //! | [`core`] | the paper's blocks, system compiler, metrics and case study |
 //! | [`engine`] | declarative scenario catalogs, content-addressed evaluation cache, `dtc` CLI |
+//! | [`serve`] | concurrent HTTP evaluation service with single-flight caching + loadgen |
 //!
 //! # Example
 //!
@@ -48,4 +49,5 @@ pub use dtc_geo as geo;
 pub use dtc_markov as markov;
 pub use dtc_petri as petri;
 pub use dtc_rbd as rbd;
+pub use dtc_serve as serve;
 pub use dtc_sim as sim;
