@@ -21,7 +21,7 @@ fn bench_pipeline(c: &mut Criterion) {
             &spec,
             |b, spec| {
                 b.iter(|| {
-                    let model = CloudModel::build(spec.clone()).expect("builds");
+                    let model = CloudModel::build(&spec).expect("builds");
                     model.evaluate(&EvalOptions::default()).expect("evaluates")
                 })
             },
@@ -29,7 +29,7 @@ fn bench_pipeline(c: &mut Criterion) {
     }
 
     // Separate the phases for the 4-PM architecture.
-    let model = CloudModel::build(cs.single_dc_spec(4)).expect("builds");
+    let model = CloudModel::build(&cs.single_dc_spec(4)).expect("builds");
     group.bench_function("explore_only_4pm", |b| {
         b.iter(|| model.state_space(&EvalOptions::default()).expect("explores"))
     });

@@ -38,7 +38,7 @@ fn main() {
         let mtt = spec.direct_mtt_hours[0][1].expect("link exists");
         let bk1 = spec.data_centers[0].backup_inbound_mtt_hours.expect("backup");
         let bk2 = spec.data_centers[1].backup_inbound_mtt_hours.expect("backup");
-        let model = CloudModel::build(spec).expect("builds");
+        let model = CloudModel::build(&spec).expect("builds");
 
         let exp = model
             .simulate_availability(&cfg, &TimingOverrides::new())

@@ -18,7 +18,7 @@ fn main() {
     let cs = CaseStudy::paper();
     // The 2-PM single-DC architecture has plenty of immediate activity
     // (flushes + adoptions) while staying small enough to solve repeatedly.
-    let model = CloudModel::build(cs.single_dc_spec(2)).expect("builds");
+    let model = CloudModel::build(&cs.single_dc_spec(2)).expect("builds");
 
     let exact_opts = EvalOptions::default();
     let t0 = Instant::now();

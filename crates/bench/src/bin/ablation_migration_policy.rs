@@ -40,7 +40,7 @@ fn main() {
         spec.direct_mtt_hours = vec![vec![None]];
         spec.data_centers[0].backup_inbound_mtt_hours = None;
         spec.backup = None;
-        let r = CloudModel::build(spec).unwrap().evaluate(&opts).unwrap();
+        let r = CloudModel::build(&spec).unwrap().evaluate(&opts).unwrap();
         rows.push(("single DC (no failover site)".into(), r));
     }
 
@@ -52,7 +52,7 @@ fn main() {
             dc.backup_inbound_mtt_hours = None;
         }
         spec.backup = None;
-        let r = CloudModel::build(spec).unwrap().evaluate(&opts).unwrap();
+        let r = CloudModel::build(&spec).unwrap().evaluate(&opts).unwrap();
         rows.push(("two DCs, no migration links".into(), r));
     }
 
@@ -63,14 +63,14 @@ fn main() {
             dc.backup_inbound_mtt_hours = None;
         }
         spec.backup = None;
-        let r = CloudModel::build(spec).unwrap().evaluate(&opts).unwrap();
+        let r = CloudModel::build(&spec).unwrap().evaluate(&opts).unwrap();
         rows.push(("direct migration, no backup server".into(), r));
     }
 
     // 4. The paper's full mechanism set (l = 1).
     {
         let spec = reduced(&cs);
-        let r = CloudModel::build(spec).unwrap().evaluate(&opts).unwrap();
+        let r = CloudModel::build(&spec).unwrap().evaluate(&opts).unwrap();
         rows.push(("direct migration + backup server (paper)".into(), r));
     }
 

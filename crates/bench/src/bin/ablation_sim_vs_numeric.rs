@@ -15,9 +15,9 @@ use std::time::Instant;
 fn main() {
     let cs = CaseStudy::paper();
     let models = [
-        ("single-PM", CloudModel::build(cs.single_dc_spec(1)).expect("builds")),
-        ("2-PM", CloudModel::build(cs.single_dc_spec(2)).expect("builds")),
-        ("4-PM", CloudModel::build(cs.single_dc_spec(4)).expect("builds")),
+        ("single-PM", CloudModel::build(&cs.single_dc_spec(1)).expect("builds")),
+        ("2-PM", CloudModel::build(&cs.single_dc_spec(2)).expect("builds")),
+        ("4-PM", CloudModel::build(&cs.single_dc_spec(4)).expect("builds")),
     ];
 
     for (label, model) in &models {

@@ -17,9 +17,9 @@ fn main() {
     let cs = CaseStudy::paper();
 
     // Small model: one-machine architecture (direct solve is exact there).
-    let small = CloudModel::build(cs.single_dc_spec(1)).expect("builds");
+    let small = CloudModel::build(&cs.single_dc_spec(1)).expect("builds");
     // Mid model: four machines in one data center.
-    let mid = CloudModel::build(cs.single_dc_spec(4)).expect("builds");
+    let mid = CloudModel::build(&cs.single_dc_spec(4)).expect("builds");
 
     for (label, model) in [("single-PM architecture", &small), ("4-PM architecture", &mid)] {
         let graph = model.state_space(&EvalOptions::default()).expect("explores");

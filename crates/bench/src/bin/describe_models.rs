@@ -58,7 +58,7 @@ fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let cs = CaseStudy::paper();
     let spec = cs.two_dc_spec(&BRASILIA, 0.35, 100.0);
-    let model = CloudModel::build(spec).expect("builds");
+    let model = CloudModel::build(&spec).expect("builds");
 
     println!("=== Fig. 4 / Tables IV–V — TRANSMISSION_COMPONENT guards ===\n");
     {

@@ -44,7 +44,7 @@ fn main() -> std::io::Result<()> {
     // subgraph around TRP_/TBP_ places).
     {
         let cs = CaseStudy::paper();
-        let model = CloudModel::build(cs.two_dc_spec(&BRASILIA, 0.35, 100.0)).expect("builds");
+        let model = CloudModel::build(&cs.two_dc_spec(&BRASILIA, 0.35, 100.0)).expect("builds");
         fs::write(out_dir.join("fig6_full_model.dot"), to_dot(model.net()))?;
     }
 

@@ -35,7 +35,7 @@ fn main() {
                     && s.alpha == Some(alpha)
                     && s.disaster_years == Some(years)
             })
-            .and_then(|i| result.outcomes[i].report.as_ref().ok().map(|r| r.nines))
+            .and_then(|i| result.outcomes[i].steady().map(|r| r.nines))
             .unwrap_or(f64::NAN)
     };
     // Derive the axes from the expanded catalog (first-appearance order) so

@@ -4,7 +4,7 @@ use std::time::Instant;
 fn main() {
     let cs = CaseStudy::paper();
     let spec = cs.two_dc_spec(&dtc_geo::BRASILIA, 0.35, 100.0);
-    let model = CloudModel::build(spec).unwrap();
+    let model = CloudModel::build(&spec).unwrap();
     let t0 = Instant::now();
     let graph = model.state_space(&EvalOptions::default()).unwrap();
     println!(

@@ -31,7 +31,7 @@ fn main() {
     let avail: Vec<f64> = result
         .outcomes
         .iter()
-        .map(|o| o.report.as_ref().map(|r| r.availability).unwrap_or(f64::NAN))
+        .map(|o| o.steady().map(|r| r.availability).unwrap_or(f64::NAN))
         .collect();
     let check = |label: &str, ok: bool| {
         println!("  [{}] {label}", if ok { "ok" } else { "VIOLATED" });

@@ -9,7 +9,7 @@
 
 use crate::metrics::AvailabilityReport;
 use crate::params::HOURS_PER_YEAR;
-use crate::system::CloudSystemSpec;
+use crate::system::{CloudSystemSpec, SystemSummary};
 
 /// Cost-rate assumptions, all in the same currency unit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,10 +60,21 @@ impl CostModel {
         spec: &CloudSystemSpec,
         report: &AvailabilityReport,
     ) -> CostBreakdown {
+        self.annual_cost_for(&SystemSummary::of(spec), report)
+    }
+
+    /// Like [`CostModel::annual_cost`], but from a compiled model's
+    /// [`SystemSummary`] — the path [`crate::CloudModel::evaluate_all`]
+    /// uses, since a built model no longer retains its full spec.
+    pub fn annual_cost_for(
+        &self,
+        summary: &SystemSummary,
+        report: &AvailabilityReport,
+    ) -> CostBreakdown {
         let downtime = report.downtime_hours_per_year * self.downtime_cost_per_hour;
-        let sites = spec.data_centers.len() as f64 * self.site_cost_per_year;
-        let pms = spec.total_pms() as f64 * self.pm_cost_per_year;
-        let backup = if spec.backup.is_some() { self.backup_cost_per_year } else { 0.0 };
+        let sites = summary.data_centers as f64 * self.site_cost_per_year;
+        let pms = summary.total_pms as f64 * self.pm_cost_per_year;
+        let backup = if summary.has_backup { self.backup_cost_per_year } else { 0.0 };
         CostBreakdown { downtime, infrastructure: sites + pms + backup }
     }
 

@@ -32,15 +32,23 @@
 //! // Two data centers 900 km apart, Table VI parameters.
 //! let cs = CaseStudy::paper();
 //! let spec = cs.two_dc_spec(&dtc_geo::BRASILIA, 0.35, 100.0);
-//! let model = CloudModel::build(spec)?;
+//! let model = CloudModel::build(&spec)?;
 //! let report = model.evaluate(&EvalOptions::default())?;
 //! assert!(report.availability > 0.99);
+//!
+//! // Or run several analyses against one state-space construction:
+//! let reports = model.evaluate_all(
+//!     &[AnalysisRequest::SteadyState, AnalysisRequest::Mttsf],
+//!     &EvalOptions::default(),
+//! )?;
+//! assert_eq!(reports.len(), 2);
 //! # Ok::<(), dtc_core::CloudError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod blocks;
 pub mod economics;
 pub mod error;
@@ -51,15 +59,20 @@ pub mod sensitivity;
 pub mod sweep;
 pub mod system;
 
+pub use analysis::{AnalysisReport, AnalysisRequest};
 pub use economics::{CostBreakdown, CostModel};
 pub use error::{CloudError, Result};
 pub use metrics::{AvailabilityReport, EvalOptions};
 pub use params::{ComponentParams, PaperParams, VmParams};
 pub use scenarios::CaseStudy;
-pub use system::{CloudModel, CloudSystemSpec, DataCenterSpec, PmSpec};
+pub use system::{CloudModel, CloudSystemSpec, DataCenterSpec, PmSpec, SystemSummary};
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::analysis::{
+        first_steady_state, interval_probability, transient_probability_curve, AnalysisReport,
+        AnalysisRequest,
+    };
     pub use crate::blocks::{
         add_backup_transfer, add_direct_transfer, add_simple_component,
         add_simple_component_named, add_vm_behavior, InfraRefs,
@@ -73,7 +86,11 @@ pub mod prelude {
         figure7_scenarios, table_vii_scenarios, CaseStudy, Fig7Point, Scenario,
     };
     pub use crate::sensitivity::{availability_sensitivity, Parameter, SensitivityRow};
-    pub use crate::sweep::{sweep_reports, SweepOutcome};
-    pub use crate::system::{CloudModel, CloudSystemSpec, DataCenterSpec, PmSpec};
+    pub use crate::sweep::{
+        evaluate_all_guarded, evaluate_guarded, sweep_reports, SweepOutcome,
+    };
+    pub use crate::system::{
+        CloudModel, CloudSystemSpec, DataCenterSpec, PmSpec, SystemSummary,
+    };
     pub use crate::{CloudError, Result};
 }

@@ -3,7 +3,7 @@
 //! All times are in **hours** unless a name says otherwise. The component
 //! MTTF/MTTR values are quoted verbatim from Table VI of the paper, which in
 //! turn sourced them from Kim et al. (PRDC'09), Cisco dependability sheets,
-//! and a MegaPath SLA ([19]–[22] in the paper).
+//! and a MegaPath SLA (\[19\]–\[22\] in the paper).
 
 /// A repairable component's exponential parameters, in hours.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -9,6 +9,7 @@
 //! trips a builder assertion) becomes a [`CloudError::Panicked`] for that
 //! scenario instead of poisoning the whole batch.
 
+use crate::analysis::{AnalysisReport, AnalysisRequest};
 use crate::error::CloudError;
 use crate::metrics::{AvailabilityReport, EvalOptions};
 use crate::system::{CloudModel, CloudSystemSpec};
@@ -34,10 +35,24 @@ pub fn evaluate_guarded(
     spec: &CloudSystemSpec,
     opts: &EvalOptions,
 ) -> Result<AvailabilityReport, CloudError> {
-    let attempt = catch_unwind(AssertUnwindSafe(|| {
-        CloudModel::build(spec.clone()).and_then(|model| model.evaluate(opts))
-    }));
-    match attempt {
+    guard(|| CloudModel::build(spec).and_then(|model| model.evaluate(opts)))
+}
+
+/// Builds one spec and runs a whole analysis set against a single
+/// state-space construction ([`CloudModel::evaluate_all`]), with the same
+/// panic isolation as [`evaluate_guarded`]. The multi-metric entry point
+/// the engine's single-flight executor calls.
+pub fn evaluate_all_guarded(
+    spec: &CloudSystemSpec,
+    requests: &[AnalysisRequest],
+    opts: &EvalOptions,
+) -> Result<Vec<AnalysisReport>, CloudError> {
+    guard(|| CloudModel::build(spec).and_then(|model| model.evaluate_all(requests, opts)))
+}
+
+/// Converts panics inside `f` into [`CloudError::Panicked`].
+fn guard<T>(f: impl FnOnce() -> Result<T, CloudError>) -> Result<T, CloudError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
         Ok(result) => result,
         Err(payload) => {
             let msg = payload

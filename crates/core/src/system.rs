@@ -8,6 +8,9 @@
 //! N = 4) is `CloudSystemSpec` with two symmetric data centers; the
 //! generator supports any number of DCs and PMs.
 
+use crate::analysis::{
+    interval_probability, transient_probability_curve, AnalysisReport, AnalysisRequest,
+};
 use crate::blocks::{
     add_backup_transfer, add_direct_transfer, add_simple_component_named, add_vm_behavior,
     InfraRefs, SimpleComponent, TransferPath, VmBehavior,
@@ -17,7 +20,7 @@ use crate::metrics::{AvailabilityReport, EvalOptions};
 use crate::params::{ComponentParams, VmParams};
 use dtc_petri::expr::{BoolExpr, IntExpr};
 use dtc_petri::model::{PetriNet, PetriNetBuilder, PlaceId};
-use dtc_petri::reach::{explore, TangibleGraph};
+use dtc_petri::reach::{explore, Solution, TangibleGraph};
 use dtc_sim::{Estimate, SimConfig, Simulator, TimingOverrides};
 
 /// One physical machine.
@@ -168,10 +171,43 @@ pub struct DataCenterModel {
     pub vms: Vec<VmBehavior>,
 }
 
+/// The small, copyable facts a compiled model keeps about its spec.
+///
+/// [`CloudModel`] used to retain a full clone of the [`CloudSystemSpec`];
+/// storing only this summary lets [`CloudModel::build`] borrow the spec, so
+/// the single-flight hot path ([`crate::sweep::evaluate_guarded`]) performs
+/// no per-evaluation clone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemSummary {
+    /// Total VMs in the system (`N`).
+    pub total_vms: u32,
+    /// Minimum running VMs for the service to be up (`k`).
+    pub min_running_vms: u32,
+    /// Number of data centers.
+    pub data_centers: usize,
+    /// Physical machines across all DCs.
+    pub total_pms: usize,
+    /// Whether a backup server is modeled.
+    pub has_backup: bool,
+}
+
+impl SystemSummary {
+    /// Summarizes a specification.
+    pub fn of(spec: &CloudSystemSpec) -> SystemSummary {
+        SystemSummary {
+            total_vms: spec.total_vms(),
+            min_running_vms: spec.min_running_vms,
+            data_centers: spec.data_centers.len(),
+            total_pms: spec.total_pms(),
+            has_backup: spec.backup.is_some(),
+        }
+    }
+}
+
 /// The compiled GSPN with handles and metric expressions.
 #[derive(Debug, Clone)]
 pub struct CloudModel {
-    spec: CloudSystemSpec,
+    summary: SystemSummary,
     net: PetriNet,
     dcs: Vec<DataCenterModel>,
     backup: Option<SimpleComponent>,
@@ -182,12 +218,16 @@ pub struct CloudModel {
 impl CloudModel {
     /// Compiles a specification into a GSPN.
     ///
+    /// Takes the spec by reference: the model keeps only a
+    /// [`SystemSummary`], so building never clones the (potentially large)
+    /// specification.
+    ///
     /// # Errors
     ///
     /// [`CloudError::BadSpec`] for structural problems;
     /// [`CloudError::Petri`] if net construction fails (e.g. duplicate
     /// labels).
-    pub fn build(spec: CloudSystemSpec) -> Result<Self> {
+    pub fn build(spec: &CloudSystemSpec) -> Result<Self> {
         spec.validate()?;
         let mut b = PetriNetBuilder::new();
         let mut dcs: Vec<DataCenterModel> = Vec::with_capacity(spec.data_centers.len());
@@ -351,7 +391,14 @@ impl CloudModel {
         }
 
         let net = b.build()?;
-        Ok(CloudModel { spec, net, dcs, backup, transfers, backup_transfers })
+        Ok(CloudModel {
+            summary: SystemSummary::of(spec),
+            net,
+            dcs,
+            backup,
+            transfers,
+            backup_transfers,
+        })
     }
 
     /// The compiled net.
@@ -359,9 +406,9 @@ impl CloudModel {
         &self.net
     }
 
-    /// The specification this model was compiled from.
-    pub fn spec(&self) -> &CloudSystemSpec {
-        &self.spec
+    /// Key facts about the specification this model was compiled from.
+    pub fn summary(&self) -> &SystemSummary {
+        &self.summary
     }
 
     /// Per-data-center handles.
@@ -392,7 +439,7 @@ impl CloudModel {
     /// The paper's availability predicate
     /// `P{#VM_UP1 + … + #VM_UPn >= k}`.
     pub fn availability_expr(&self) -> BoolExpr {
-        IntExpr::tokens_sum(self.vm_up_places()).ge(self.spec.min_running_vms as i64)
+        IntExpr::tokens_sum(self.vm_up_places()).ge(self.summary.min_running_vms as i64)
     }
 
     /// Total running VMs as an integer expression.
@@ -420,15 +467,118 @@ impl CloudModel {
         opts: &EvalOptions,
     ) -> Result<AvailabilityReport> {
         let sol = graph.solve_with(opts.method, &opts.solver)?;
-        let availability = sol.probability(&self.availability_expr());
-        let expected_running = sol.expected(&self.running_vms_expr());
-        Ok(AvailabilityReport::new(
-            availability,
-            expected_running,
-            self.spec.total_vms(),
+        Ok(self.steady_report(graph, &sol))
+    }
+
+    /// Assembles the steady-state report from an existing solution.
+    fn steady_report(&self, graph: &TangibleGraph, sol: &Solution<'_>) -> AvailabilityReport {
+        AvailabilityReport::new(
+            sol.probability(&self.availability_expr()),
+            sol.expected(&self.running_vms_expr()),
+            self.summary.total_vms,
             graph.stats(),
             *sol.stats(),
-        ))
+        )
+    }
+
+    /// Runs every requested analysis against **one** state-space
+    /// construction — the unified entry point behind catalogs, the cache,
+    /// the CLI and `POST /v2/evaluate`.
+    ///
+    /// Exploration (the expensive step: ~126k tangible states for the
+    /// paper's case study) happens exactly once, and analyses that need the
+    /// steady-state solution (`SteadyState`, `CapacityThresholds`, `Cost`)
+    /// share a single solve. Reports come back in request order.
+    pub fn evaluate_all(
+        &self,
+        requests: &[AnalysisRequest],
+        opts: &EvalOptions,
+    ) -> Result<Vec<AnalysisReport>> {
+        let graph = self.state_space(opts)?;
+        self.evaluate_all_on(&graph, requests, opts)
+    }
+
+    /// Like [`CloudModel::evaluate_all`] but reusing an existing state
+    /// space.
+    pub fn evaluate_all_on(
+        &self,
+        graph: &TangibleGraph,
+        requests: &[AnalysisRequest],
+        opts: &EvalOptions,
+    ) -> Result<Vec<AnalysisReport>> {
+        let needs_steady = requests.iter().any(|r| {
+            matches!(
+                r,
+                AnalysisRequest::SteadyState
+                    | AnalysisRequest::CapacityThresholds
+                    | AnalysisRequest::Cost { .. }
+            )
+        });
+        let steady_sol = if needs_steady {
+            Some(graph.solve_with(opts.method, &opts.solver)?)
+        } else {
+            None
+        };
+        let steady = steady_sol.as_ref().map(|sol| self.steady_report(graph, sol));
+
+        let mut out = Vec::with_capacity(requests.len());
+        for req in requests {
+            out.push(match req {
+                AnalysisRequest::SteadyState => {
+                    AnalysisReport::SteadyState(steady.expect("steady solve ran"))
+                }
+                AnalysisRequest::Transient { time_points } => AnalysisReport::Transient {
+                    time_points: time_points.clone(),
+                    availability: transient_probability_curve(
+                        graph,
+                        &self.availability_expr(),
+                        time_points,
+                    )?,
+                },
+                AnalysisRequest::Interval { horizon_hours } => AnalysisReport::Interval {
+                    horizon_hours: *horizon_hours,
+                    availability: interval_probability(
+                        graph,
+                        &self.availability_expr(),
+                        *horizon_hours,
+                    )?,
+                },
+                AnalysisRequest::Mttsf => {
+                    AnalysisReport::Mttsf { hours: self.mean_time_to_service_failure(graph)? }
+                }
+                AnalysisRequest::CapacityThresholds => AnalysisReport::CapacityThresholds {
+                    availability: self
+                        .threshold_curve(graph, steady_sol.as_ref().expect("steady solve ran")),
+                },
+                AnalysisRequest::Cost { model } => AnalysisReport::Cost {
+                    breakdown: model
+                        .annual_cost_for(&self.summary, &steady.expect("steady solve ran")),
+                },
+                AnalysisRequest::Simulation { batches, seed } => {
+                    // No silent clamping: the requested batch count is part
+                    // of the cache identity, so execution must honor it.
+                    if *batches < 2 {
+                        return Err(CloudError::BadSpec(
+                            "simulation needs at least 2 batches for a confidence interval"
+                                .into(),
+                        ));
+                    }
+                    let cfg = SimConfig {
+                        replications: *batches as usize,
+                        seed: *seed,
+                        ..SimConfig::default()
+                    };
+                    let est = self.simulate_availability(&cfg, &TimingOverrides::new())?;
+                    AnalysisReport::Simulation {
+                        mean: est.mean,
+                        half_width: est.half_width,
+                        replications: est.replications,
+                        confidence: est.confidence,
+                    }
+                }
+            });
+        }
+        Ok(out)
     }
 
     /// Estimates availability by discrete-event simulation (optionally with
@@ -472,7 +622,12 @@ impl CloudModel {
     /// whole curve costs nothing extra once the chain is solved.
     pub fn availability_by_threshold(&self, graph: &TangibleGraph) -> Result<Vec<f64>> {
         let sol = graph.solve()?;
-        let n = self.spec.total_vms() as usize;
+        Ok(self.threshold_curve(graph, &sol))
+    }
+
+    /// The threshold curve from an existing steady-state solution.
+    fn threshold_curve(&self, graph: &TangibleGraph, sol: &Solution<'_>) -> Vec<f64> {
+        let n = self.summary.total_vms as usize;
         let running = self.running_vms_expr();
         // Tally P{running = j} once, then suffix-sum.
         let mut mass = vec![0.0f64; n + 1];
@@ -486,7 +641,7 @@ impl CloudModel {
             acc += mass[k];
             out[k] = acc.min(1.0);
         }
-        Ok(out)
+        out
     }
 
     /// Point availability `A(t)` at each requested time, starting from the
@@ -500,13 +655,7 @@ impl CloudModel {
         graph: &TangibleGraph,
         times: &[f64],
     ) -> Result<Vec<f64>> {
-        let expr = self.availability_expr();
-        let mut out = Vec::with_capacity(times.len());
-        for &t in times {
-            let sol = graph.transient(t)?;
-            out.push(sol.probability(&expr));
-        }
-        Ok(out)
+        transient_probability_curve(graph, &self.availability_expr(), times)
     }
 
     /// Expected interval availability over `[0, horizon]` hours — the
@@ -517,19 +666,7 @@ impl CloudModel {
         graph: &TangibleGraph,
         horizon_hours: f64,
     ) -> Result<f64> {
-        let expr = self.availability_expr();
-        let up: Vec<bool> = graph
-            .states()
-            .iter()
-            .map(|m| expr.eval(&|p: dtc_petri::PlaceId| m[p.index()]))
-            .collect();
-        let n = graph.num_states();
-        let mut pi0 = vec![0.0; n];
-        for &(i, p) in graph.initial_distribution() {
-            pi0[i] = p;
-        }
-        Ok(dtc_markov::interval_availability(graph.ctmc(), &pi0, horizon_hours, |i| up[i])
-            .map_err(dtc_petri::PetriError::from)?)
+        interval_probability(graph, &self.availability_expr(), horizon_hours)
     }
 }
 
@@ -579,7 +716,7 @@ mod tests {
 
     #[test]
     fn tiny_model_builds_and_solves() {
-        let model = CloudModel::build(tiny_spec()).unwrap();
+        let model = CloudModel::build(&tiny_spec()).unwrap();
         let report = model.evaluate(&EvalOptions::default()).unwrap();
         // Bound: can't beat the PM's own availability; should stay close.
         let a_pm = 1000.0 / 1012.0;
@@ -592,7 +729,7 @@ mod tests {
 
     #[test]
     fn paper_names_present_in_two_dc_model() {
-        let model = CloudModel::build(two_dc_spec()).unwrap();
+        let model = CloudModel::build(&two_dc_spec()).unwrap();
         let net = model.net();
         for name in [
             "OSPM_UP1",
@@ -619,7 +756,7 @@ mod tests {
     fn two_dc_beats_one_dc_availability() {
         // The paper's core claim: a second (warm) DC lifts availability
         // under disasters.
-        let two = CloudModel::build(two_dc_spec()).unwrap();
+        let two = CloudModel::build(&two_dc_spec()).unwrap();
         let report_two = two.evaluate(&EvalOptions::default()).unwrap();
 
         let p = PaperParams::table_vi();
@@ -638,7 +775,7 @@ mod tests {
             min_running_vms: 2,
             migration_threshold: 1,
         };
-        let one = CloudModel::build(one_spec).unwrap();
+        let one = CloudModel::build(&one_spec).unwrap();
         let report_one = one.evaluate(&EvalOptions::default()).unwrap();
         assert!(
             report_two.availability > report_one.availability,
@@ -656,9 +793,9 @@ mod tests {
 
     #[test]
     fn vm_tokens_conserved_across_state_space() {
-        let model = CloudModel::build(two_dc_spec()).unwrap();
+        let model = CloudModel::build(&two_dc_spec()).unwrap();
         let graph = model.state_space(&EvalOptions::default()).unwrap();
-        let n = model.spec().total_vms();
+        let n = model.summary().total_vms;
         // Collect every place that can hold VM tokens.
         let mut token_places: Vec<PlaceId> = model.vm_up_places();
         for dc in model.data_centers() {
@@ -681,23 +818,23 @@ mod tests {
     fn bad_specs_rejected() {
         let mut s = tiny_spec();
         s.data_centers.clear();
-        assert!(matches!(CloudModel::build(s), Err(CloudError::BadSpec(_))));
+        assert!(matches!(CloudModel::build(&s), Err(CloudError::BadSpec(_))));
 
         let mut s = tiny_spec();
         s.min_running_vms = 10;
-        assert!(matches!(CloudModel::build(s), Err(CloudError::BadSpec(_))));
+        assert!(matches!(CloudModel::build(&s), Err(CloudError::BadSpec(_))));
 
         let mut s = tiny_spec();
         s.direct_mtt_hours = vec![vec![Some(1.0)]];
-        assert!(matches!(CloudModel::build(s), Err(CloudError::BadSpec(_))));
+        assert!(matches!(CloudModel::build(&s), Err(CloudError::BadSpec(_))));
 
         let mut s = tiny_spec();
         s.data_centers[0].backup_inbound_mtt_hours = Some(1.0);
-        assert!(matches!(CloudModel::build(s), Err(CloudError::BadSpec(_))));
+        assert!(matches!(CloudModel::build(&s), Err(CloudError::BadSpec(_))));
 
         let mut s = tiny_spec();
         s.migration_threshold = 0;
-        assert!(matches!(CloudModel::build(s), Err(CloudError::BadSpec(_))));
+        assert!(matches!(CloudModel::build(&s), Err(CloudError::BadSpec(_))));
     }
 
     #[test]
@@ -705,7 +842,7 @@ mod tests {
         // For an (approximately) alternating-renewal system,
         // A ≈ MTTF / (MTTF + MDT): check the MTTF lands in a band implied
         // by availability and plausible repair times.
-        let model = CloudModel::build(tiny_spec()).unwrap();
+        let model = CloudModel::build(&tiny_spec()).unwrap();
         let graph = model.state_space(&EvalOptions::default()).unwrap();
         let mttf = model.mean_time_to_service_failure(&graph).unwrap();
         // k = 2 of 2 VMs on one PM: the first VM or PM failure kills
@@ -723,9 +860,9 @@ mod tests {
         // The warm DC does not delay the *first* outage (the migration
         // itself is an outage when all VMs were in DC1) — it shortens the
         // repair. MTTF should be essentially the single-DC value.
-        let one = CloudModel::build(tiny_spec()).unwrap();
+        let one = CloudModel::build(&tiny_spec()).unwrap();
         let g1 = one.state_space(&EvalOptions::default()).unwrap();
-        let two = CloudModel::build(two_dc_spec()).unwrap();
+        let two = CloudModel::build(&two_dc_spec()).unwrap();
         let g2 = two.state_space(&EvalOptions::default()).unwrap();
         let mttf_one = one.mean_time_to_service_failure(&g1).unwrap();
         let mttf_two = two.mean_time_to_service_failure(&g2).unwrap();
@@ -739,7 +876,7 @@ mod tests {
 
     #[test]
     fn availability_by_threshold_is_monotone_and_consistent() {
-        let model = CloudModel::build(tiny_spec()).unwrap();
+        let model = CloudModel::build(&tiny_spec()).unwrap();
         let graph = model.state_space(&EvalOptions::default()).unwrap();
         let curve = model.availability_by_threshold(&graph).unwrap();
         // N = 2 VMs -> entries for k = 0, 1, 2.
@@ -755,7 +892,7 @@ mod tests {
 
     #[test]
     fn transient_availability_decays_to_steady_state() {
-        let model = CloudModel::build(tiny_spec()).unwrap();
+        let model = CloudModel::build(&tiny_spec()).unwrap();
         let graph = model.state_space(&EvalOptions::default()).unwrap();
         let steady = model.evaluate_on(&graph, &EvalOptions::default()).unwrap().availability;
         let times = [0.0, 10.0, 100.0, 1000.0, 100_000.0];
@@ -769,7 +906,7 @@ mod tests {
 
     #[test]
     fn interval_availability_brackets_point_values() {
-        let model = CloudModel::build(tiny_spec()).unwrap();
+        let model = CloudModel::build(&tiny_spec()).unwrap();
         let graph = model.state_space(&EvalOptions::default()).unwrap();
         let steady = model.evaluate_on(&graph, &EvalOptions::default()).unwrap().availability;
         let year = model.interval_availability(&graph, 8760.0).unwrap();
@@ -783,7 +920,7 @@ mod tests {
 
     #[test]
     fn simulation_cross_validates_numeric() {
-        let model = CloudModel::build(tiny_spec()).unwrap();
+        let model = CloudModel::build(&tiny_spec()).unwrap();
         let report = model.evaluate(&EvalOptions::default()).unwrap();
         let cfg = SimConfig {
             warmup: 2_000.0,
@@ -799,5 +936,78 @@ mod tests {
             est.interval(),
             report.availability
         );
+    }
+
+    #[test]
+    fn evaluate_all_steady_state_is_bit_identical_to_evaluate() {
+        // The golden contract of the unified API: routing a steady-state
+        // request through `evaluate_all` must reproduce `evaluate` exactly
+        // (same solver path, same rounding), not merely approximately.
+        let model = CloudModel::build(&tiny_spec()).unwrap();
+        let opts = EvalOptions::default();
+        let direct = model.evaluate(&opts).unwrap();
+        let unified = model.evaluate_all(&[AnalysisRequest::SteadyState], &opts).unwrap();
+        assert_eq!(unified.len(), 1);
+        assert_eq!(unified[0], AnalysisReport::SteadyState(direct));
+    }
+
+    #[test]
+    fn evaluate_all_union_matches_single_metric_calls() {
+        let model = CloudModel::build(&tiny_spec()).unwrap();
+        let opts = EvalOptions::default();
+        let graph = model.state_space(&opts).unwrap();
+        let requests = [
+            AnalysisRequest::SteadyState,
+            AnalysisRequest::Mttsf,
+            AnalysisRequest::CapacityThresholds,
+            AnalysisRequest::Interval { horizon_hours: 8760.0 },
+            AnalysisRequest::Transient { time_points: vec![0.0, 100.0] },
+            AnalysisRequest::Cost { model: crate::economics::CostModel::default() },
+        ];
+        let reports = model.evaluate_all_on(&graph, &requests, &opts).unwrap();
+        assert_eq!(reports.len(), requests.len());
+        for (req, rep) in requests.iter().zip(&reports) {
+            assert_eq!(req.kind(), rep.kind(), "reports come back in request order");
+        }
+        let steady = crate::analysis::first_steady_state(&reports).unwrap();
+        match &reports[1] {
+            AnalysisReport::Mttsf { hours } => {
+                let direct = model.mean_time_to_service_failure(&graph).unwrap();
+                assert!((hours - direct).abs() < 1e-12);
+            }
+            other => panic!("expected mttsf, got {other:?}"),
+        }
+        match &reports[2] {
+            AnalysisReport::CapacityThresholds { availability } => {
+                assert_eq!(availability.len(), model.summary().total_vms as usize + 1);
+                // Entry k (the spec's threshold) agrees with the steady report.
+                let k = model.summary().min_running_vms as usize;
+                assert!((availability[k] - steady.availability).abs() < 1e-10);
+            }
+            other => panic!("expected capacity curve, got {other:?}"),
+        }
+        match &reports[4] {
+            AnalysisReport::Transient { availability, .. } => {
+                assert!((availability[0] - 1.0).abs() < 1e-9, "starts fully up");
+            }
+            other => panic!("expected transient curve, got {other:?}"),
+        }
+        match &reports[5] {
+            AnalysisReport::Cost { breakdown } => {
+                assert!(breakdown.total() > 0.0);
+            }
+            other => panic!("expected cost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn summary_reflects_the_spec() {
+        let model = CloudModel::build(&two_dc_spec()).unwrap();
+        let s = model.summary();
+        assert_eq!(s.total_vms, 2);
+        assert_eq!(s.min_running_vms, 2);
+        assert_eq!(s.data_centers, 2);
+        assert_eq!(s.total_pms, 2);
+        assert!(s.has_backup);
     }
 }

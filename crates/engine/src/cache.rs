@@ -1,10 +1,17 @@
 //! The content-addressed evaluation cache.
 //!
-//! Maps [`SpecKey`]s (structural hashes of spec + evaluation options) to
-//! memoized [`AvailabilityReport`]s. Lives in memory, with an optional
-//! on-disk JSON store so repeated `dtc` invocations skip re-exploring
-//! state spaces entirely. Lookups verify the stored canonical encoding, so
-//! a hash collision degrades to a miss, never to a wrong answer.
+//! Maps [`SpecKey`]s (structural hashes of spec + evaluation options +
+//! analysis set) to memoized analysis-report sets
+//! ([`Vec<AnalysisReport>`]). Lives in memory, with an optional on-disk
+//! JSON store so repeated `dtc` invocations skip re-exploring state spaces
+//! entirely. Lookups verify the stored canonical encoding, so a hash
+//! collision degrades to a miss, never to a wrong answer.
+//!
+//! The store format is **version 2** (entries carry the full report
+//! union); version-1 stores — which held a single steady-state report per
+//! entry — are migrated on load: each old entry becomes a
+//! `[steady_state]`-set entry under its re-derived v2 key, so previously
+//! solved steady-state results stay warm.
 //!
 //! Two properties make the cache safe to share across a long-running
 //! concurrent server ([`dtc-serve`]):
@@ -21,8 +28,10 @@
 //! [`dtc-serve`]: https://docs.rs/dtc-serve
 
 use crate::error::{EngineError, Result};
-use crate::hash::SpecKey;
+use crate::hash::{encode_analyses, key_of_encoding, SpecKey};
 use crate::value::Value;
+use dtc_core::analysis::{AnalysisReport, AnalysisRequest};
+use dtc_core::economics::CostBreakdown;
 use dtc_core::metrics::AvailabilityReport;
 use dtc_core::params::{downtime_hours_per_year, nines};
 use dtc_core::CloudError;
@@ -49,7 +58,9 @@ pub struct CacheStats {
 #[derive(Debug, Clone)]
 struct Entry {
     canonical: String,
-    report: AvailabilityReport,
+    /// Shared with every hit: report unions can carry whole curves, so
+    /// cache hits hand out `Arc` clones instead of deep-copying.
+    reports: Arc<Vec<AnalysisReport>>,
     /// Monotone insertion stamp; the smallest is evicted first.
     seq: u64,
 }
@@ -65,8 +76,10 @@ pub enum Fetch {
     Computed,
 }
 
-/// The result type flowing through single-flight evaluation.
-pub type EvalResult = std::result::Result<AvailabilityReport, CloudError>;
+/// The result type flowing through single-flight evaluation: the full
+/// analysis-report union, in request order, behind an [`Arc`] so cache
+/// hits and joined flights share one allocation.
+pub type EvalResult = std::result::Result<Arc<Vec<AnalysisReport>>, CloudError>;
 
 /// One in-progress solve that concurrent callers can rendezvous on.
 #[derive(Debug)]
@@ -212,21 +225,21 @@ impl EvalCache {
     }
 
     /// Collision-checked lookup without touching the hit/miss counters.
-    fn lookup(&self, key: &SpecKey, canonical: &str) -> Option<AvailabilityReport> {
+    fn lookup(&self, key: &SpecKey, canonical: &str) -> Option<Arc<Vec<AnalysisReport>>> {
         let map = self.map.lock().expect("cache mutex poisoned");
         match map.get(&key.0) {
-            Some(e) if e.canonical == canonical => Some(e.report),
+            Some(e) if e.canonical == canonical => Some(Arc::clone(&e.reports)),
             _ => None,
         }
     }
 
-    /// Looks up a report. The canonical encoding must match the stored one
-    /// for a hit (collision safety).
-    pub fn get(&self, key: &SpecKey, canonical: &str) -> Option<AvailabilityReport> {
+    /// Looks up a report set. The canonical encoding must match the stored
+    /// one for a hit (collision safety).
+    pub fn get(&self, key: &SpecKey, canonical: &str) -> Option<Arc<Vec<AnalysisReport>>> {
         match self.lookup(key, canonical) {
-            Some(report) => {
+            Some(reports) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(report)
+                Some(reports)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -242,10 +255,10 @@ impl EvalCache {
         map: &mut BTreeMap<String, Entry>,
         key: String,
         canonical: &str,
-        report: AvailabilityReport,
+        reports: Arc<Vec<AnalysisReport>>,
     ) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        map.insert(key, Entry { canonical: canonical.to_string(), report, seq });
+        map.insert(key, Entry { canonical: canonical.to_string(), reports, seq });
         self.enforce_cap_locked(map);
     }
 
@@ -262,11 +275,17 @@ impl EvalCache {
         }
     }
 
-    /// Stores a report under its key, evicting the oldest entry if a
-    /// max-entries cap is configured and exceeded.
-    pub fn put(&self, key: &SpecKey, canonical: &str, report: AvailabilityReport) {
+    /// Stores a report set under its key, evicting the oldest entry if a
+    /// max-entries cap is configured and exceeded. Accepts a plain `Vec`
+    /// or an already-shared `Arc`.
+    pub fn put(
+        &self,
+        key: &SpecKey,
+        canonical: &str,
+        reports: impl Into<Arc<Vec<AnalysisReport>>>,
+    ) {
         let mut map = self.map.lock().expect("cache mutex poisoned");
-        self.insert_locked(&mut map, key.0.clone(), canonical, report);
+        self.insert_locked(&mut map, key.0.clone(), canonical, reports.into());
     }
 
     fn remove_flight(&self, key: &str) {
@@ -304,8 +323,8 @@ impl EvalCache {
                     drop(flights);
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     let result = compute();
-                    if let Ok(report) = &result {
-                        self.put(key, canonical, *report);
+                    if let Ok(reports) = &result {
+                        self.put(key, canonical, reports.clone());
                     }
                     return (result, Fetch::Computed);
                 }
@@ -337,8 +356,8 @@ impl EvalCache {
                 armed: true,
             };
             let result = compute();
-            if let Ok(report) = &result {
-                self.put(key, canonical, *report);
+            if let Ok(reports) = &result {
+                self.put(key, canonical, reports.clone());
             }
             flight.resolve(result.clone());
             self.remove_flight(&key.0);
@@ -414,7 +433,7 @@ impl EvalCache {
             .map_err(|e| EngineError::Io(format!("{}: {e}", path.display())))
     }
 
-    /// Serializes every entry to the store's JSON schema.
+    /// Serializes every entry to the store's JSON schema (version 2).
     pub fn to_json(&self) -> String {
         let map = self.map.lock().expect("cache mutex poisoned");
         let entries: Vec<Value> = map
@@ -423,12 +442,15 @@ impl EvalCache {
                 let mut t = BTreeMap::new();
                 t.insert("key".into(), Value::Str(key.clone()));
                 t.insert("canonical".into(), Value::Str(e.canonical.clone()));
-                t.insert("report".into(), report_to_value(&e.report));
+                t.insert(
+                    "reports".into(),
+                    Value::Array(e.reports.iter().map(analysis_report_to_value).collect()),
+                );
                 Value::Table(t)
             })
             .collect();
         let mut root = BTreeMap::new();
-        root.insert("version".into(), Value::Int(1));
+        root.insert("version".into(), Value::Int(2));
         root.insert("entries".into(), Value::Array(entries));
         Value::Table(root).to_json()
     }
@@ -448,40 +470,55 @@ impl EvalCache {
 
     fn merge_json(&self, text: &str, overwrite: bool) -> Result<()> {
         let root = Value::from_json(text)?;
-        match root.get("version").and_then(|v| v.as_i64()) {
-            Some(1) => {}
+        let version = match root.get("version").and_then(|v| v.as_i64()) {
+            Some(v @ (1 | 2)) => v,
             v => {
                 return Err(EngineError::Schema(format!(
                     "unsupported cache store version {v:?}"
                 )))
             }
-        }
+        };
         let entries = root
             .get("entries")
             .and_then(|v| v.as_array())
             .ok_or_else(|| EngineError::Schema("cache store has no entries array".into()))?;
         let mut map = self.map.lock().expect("cache mutex poisoned");
         for e in entries {
-            let key = e
-                .get("key")
-                .and_then(|v| v.as_str())
-                .ok_or_else(|| EngineError::Schema("cache entry missing key".into()))?;
             let canonical = e
                 .get("canonical")
                 .and_then(|v| v.as_str())
                 .ok_or_else(|| EngineError::Schema("cache entry missing canonical".into()))?;
-            let report =
-                report_from_value(e.get("report").ok_or_else(|| {
+            let (key, canonical, reports) = if version == 1 {
+                // Migration: a v1 entry held one steady-state report keyed
+                // by spec + options only. Re-key it as the v2
+                // `[steady_state]` analysis set so the old solve stays
+                // warm for steady-state-only requests.
+                let report = report_from_value(e.get("report").ok_or_else(|| {
                     EngineError::Schema("cache entry missing report".into())
                 })?)?;
-            if !overwrite && map.contains_key(key) {
+                let mut canonical = canonical.to_string();
+                encode_analyses(&mut canonical, &[AnalysisRequest::SteadyState]);
+                let key = key_of_encoding(&canonical).0;
+                (key, canonical, vec![AnalysisReport::SteadyState(report)])
+            } else {
+                let key = e
+                    .get("key")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| EngineError::Schema("cache entry missing key".into()))?;
+                let reports = e
+                    .get("reports")
+                    .and_then(|v| v.as_array())
+                    .ok_or_else(|| EngineError::Schema("cache entry missing reports".into()))?
+                    .iter()
+                    .map(analysis_report_from_value)
+                    .collect::<Result<Vec<_>>>()?;
+                (key.to_string(), canonical.to_string(), reports)
+            };
+            if !overwrite && map.contains_key(&key) {
                 continue;
             }
             let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-            map.insert(
-                key.to_string(),
-                Entry { canonical: canonical.to_string(), report, seq },
-            );
+            map.insert(key, Entry { canonical, reports: Arc::new(reports), seq });
         }
         self.enforce_cap_locked(&mut map);
         Ok(())
@@ -508,6 +545,110 @@ pub fn method_from_name(name: &str) -> Option<Method> {
         "direct" => Some(Method::Direct),
         _ => None,
     }
+}
+
+fn floats_to_value(xs: &[f64]) -> Value {
+    Value::Array(xs.iter().map(|&x| Value::Float(x)).collect())
+}
+
+fn floats_from_value(v: &Value, key: &str, ctx: &str) -> Result<Vec<f64>> {
+    let items = v
+        .get(key)
+        .and_then(|x| x.as_array())
+        .ok_or_else(|| EngineError::Schema(format!("{ctx}: missing float array {key}")))?;
+    items
+        .iter()
+        .map(|x| {
+            x.as_f64().ok_or_else(|| {
+                EngineError::Schema(format!("{ctx}: non-numeric entry in {key}"))
+            })
+        })
+        .collect()
+}
+
+/// Serializes one [`AnalysisReport`] variant for the v2 store and the JSON
+/// output/HTTP layers. Every object carries a `"kind"` discriminator.
+pub fn analysis_report_to_value(r: &AnalysisReport) -> Value {
+    let mut t = BTreeMap::new();
+    t.insert("kind".into(), Value::Str(r.kind().into()));
+    match r {
+        AnalysisReport::SteadyState(report) => match report_to_value(report) {
+            Value::Table(fields) => t.extend(fields),
+            _ => unreachable!("report_to_value returns a table"),
+        },
+        AnalysisReport::Transient { time_points, availability } => {
+            t.insert("time_points".into(), floats_to_value(time_points));
+            t.insert("availability".into(), floats_to_value(availability));
+        }
+        AnalysisReport::Interval { horizon_hours, availability } => {
+            t.insert("horizon_hours".into(), Value::Float(*horizon_hours));
+            t.insert("availability".into(), Value::Float(*availability));
+        }
+        AnalysisReport::Mttsf { hours } => {
+            t.insert("hours".into(), Value::Float(*hours));
+        }
+        AnalysisReport::CapacityThresholds { availability } => {
+            t.insert("availability".into(), floats_to_value(availability));
+        }
+        AnalysisReport::Cost { breakdown } => {
+            t.insert("downtime".into(), Value::Float(breakdown.downtime));
+            t.insert("infrastructure".into(), Value::Float(breakdown.infrastructure));
+            t.insert("total".into(), Value::Float(breakdown.total()));
+        }
+        AnalysisReport::Simulation { mean, half_width, replications, confidence } => {
+            t.insert("mean".into(), Value::Float(*mean));
+            t.insert("half_width".into(), Value::Float(*half_width));
+            t.insert("replications".into(), Value::Int(*replications as i64));
+            t.insert("confidence".into(), Value::Float(*confidence));
+        }
+    }
+    Value::Table(t)
+}
+
+/// Inverse of [`analysis_report_to_value`].
+pub fn analysis_report_from_value(v: &Value) -> Result<AnalysisReport> {
+    let ctx = "cache analysis report";
+    let f = |key: &str| -> Result<f64> {
+        v.get(key)
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| EngineError::Schema(format!("{ctx}: missing {key}")))
+    };
+    let kind = v
+        .get("kind")
+        .and_then(|x| x.as_str())
+        .ok_or_else(|| EngineError::Schema(format!("{ctx}: missing kind")))?;
+    Ok(match kind {
+        "steady_state" => AnalysisReport::SteadyState(report_from_value(v)?),
+        "transient" => AnalysisReport::Transient {
+            time_points: floats_from_value(v, "time_points", ctx)?,
+            availability: floats_from_value(v, "availability", ctx)?,
+        },
+        "interval" => AnalysisReport::Interval {
+            horizon_hours: f("horizon_hours")?,
+            availability: f("availability")?,
+        },
+        "mttsf" => AnalysisReport::Mttsf { hours: f("hours")? },
+        "capacity_thresholds" => AnalysisReport::CapacityThresholds {
+            availability: floats_from_value(v, "availability", ctx)?,
+        },
+        "cost" => AnalysisReport::Cost {
+            breakdown: CostBreakdown {
+                downtime: f("downtime")?,
+                infrastructure: f("infrastructure")?,
+            },
+        },
+        "simulation" => AnalysisReport::Simulation {
+            mean: f("mean")?,
+            half_width: f("half_width")?,
+            replications: v
+                .get("replications")
+                .and_then(|x| x.as_i64())
+                .and_then(|x| usize::try_from(x).ok())
+                .ok_or_else(|| EngineError::Schema(format!("{ctx}: missing replications")))?,
+            confidence: f("confidence")?,
+        },
+        other => return Err(EngineError::Schema(format!("{ctx}: unknown kind {other:?}"))),
+    })
 }
 
 /// Serializes a report for the store. `nines` and downtime are derived
@@ -587,14 +728,19 @@ mod tests {
         )
     }
 
+    /// A one-element steady-state report set (the common cache payload).
+    fn set(a: f64) -> Arc<Vec<AnalysisReport>> {
+        Arc::new(vec![AnalysisReport::SteadyState(report(a))])
+    }
+
     #[test]
     fn get_put_and_stats() {
         let cache = EvalCache::in_memory();
         let key = key_of_encoding("canon-a");
         assert!(cache.get(&key, "canon-a").is_none());
-        cache.put(&key, "canon-a", report(0.999));
+        cache.put(&key, "canon-a", set(0.999));
         let hit = cache.get(&key, "canon-a").unwrap();
-        assert_eq!(hit, report(0.999));
+        assert_eq!(hit, set(0.999));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
     }
@@ -603,7 +749,7 @@ mod tests {
     fn collision_means_miss_not_wrong_answer() {
         let cache = EvalCache::in_memory();
         let key = key_of_encoding("canon-a");
-        cache.put(&key, "canon-a", report(0.999));
+        cache.put(&key, "canon-a", set(0.999));
         // Same key, different canonical form: must refuse.
         assert!(cache.get(&key, "canon-b").is_none());
     }
@@ -619,6 +765,74 @@ mod tests {
     }
 
     #[test]
+    fn analysis_report_union_round_trips_exactly() {
+        let reports = vec![
+            AnalysisReport::SteadyState(report(0.9997317)),
+            AnalysisReport::Transient {
+                time_points: vec![0.0, 24.0, 8760.0],
+                availability: vec![1.0, 0.99991, 0.9973],
+            },
+            AnalysisReport::Interval { horizon_hours: 8760.0, availability: 0.99934 },
+            AnalysisReport::Mttsf { hours: 1234.5678 },
+            AnalysisReport::CapacityThresholds { availability: vec![1.0, 0.999, 0.99, 0.9] },
+            AnalysisReport::Cost {
+                breakdown: CostBreakdown { downtime: 23_500.0, infrastructure: 446_000.0 },
+            },
+            AnalysisReport::Simulation {
+                mean: 0.9991,
+                half_width: 0.0003,
+                replications: 8,
+                confidence: 0.95,
+            },
+        ];
+        for r in &reports {
+            let v = analysis_report_to_value(r);
+            let back =
+                analysis_report_from_value(&Value::from_json(&v.to_json()).unwrap()).unwrap();
+            assert_eq!(*r, back, "variant {}", r.kind());
+        }
+        assert!(analysis_report_from_value(&Value::object([(
+            "kind",
+            Value::Str("wat".into())
+        )]))
+        .is_err());
+    }
+
+    #[test]
+    fn v1_store_migrates_to_steady_state_sets() {
+        // A version-1 store entry: single steady-state report, keyed by
+        // spec + options only.
+        let v1_canonical = "v1;spec-bytes;opts:stuff";
+        let mut entry = BTreeMap::new();
+        entry.insert("key".into(), Value::Str(key_of_encoding(v1_canonical).0));
+        entry.insert("canonical".into(), Value::Str(v1_canonical.into()));
+        entry.insert("report".into(), report_to_value(&report(0.998)));
+        let mut root = BTreeMap::new();
+        root.insert("version".into(), Value::Int(1));
+        root.insert("entries".into(), Value::Array(vec![Value::Table(entry)]));
+        let text = Value::Table(root).to_json();
+
+        let cache = EvalCache::in_memory();
+        cache.load_json(&text).unwrap();
+        assert_eq!(cache.len(), 1);
+
+        // The migrated entry answers a v2 lookup for the [steady_state]
+        // analysis set of the same spec + options.
+        let mut v2_canonical = v1_canonical.to_string();
+        encode_analyses(&mut v2_canonical, &[AnalysisRequest::SteadyState]);
+        let key = key_of_encoding(&v2_canonical);
+        let hit = cache.get(&key, &v2_canonical).expect("migrated entry is warm");
+        assert_eq!(*hit, vec![AnalysisReport::SteadyState(report(0.998))]);
+
+        // Persisting re-writes it as version 2; a reload round-trips.
+        let rewritten = cache.to_json();
+        assert!(rewritten.contains("\"version\":2"));
+        let reloaded = EvalCache::in_memory();
+        reloaded.load_json(&rewritten).unwrap();
+        assert_eq!(reloaded.get(&key, &v2_canonical).unwrap(), hit);
+    }
+
+    #[test]
     fn disk_round_trip() {
         let dir = std::env::temp_dir().join(format!("dtc-cache-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -627,12 +841,12 @@ mod tests {
 
         let cache = EvalCache::with_store(&path).unwrap();
         let key = key_of_encoding("canon-x");
-        cache.put(&key, "canon-x", report(0.995));
+        cache.put(&key, "canon-x", set(0.995));
         cache.persist().unwrap();
 
         let reloaded = EvalCache::with_store(&path).unwrap();
         assert_eq!(reloaded.len(), 1);
-        assert_eq!(reloaded.get(&key, "canon-x").unwrap(), report(0.995));
+        assert_eq!(reloaded.get(&key, "canon-x").unwrap(), set(0.995));
 
         std::fs::remove_file(&path).unwrap();
     }
@@ -647,8 +861,8 @@ mod tests {
         // Two processes load the same (empty) store…
         let a = EvalCache::with_store(&path).unwrap();
         let b = EvalCache::with_store(&path).unwrap();
-        a.put(&key_of_encoding("spec-a"), "spec-a", report(0.99));
-        b.put(&key_of_encoding("spec-b"), "spec-b", report(0.98));
+        a.put(&key_of_encoding("spec-a"), "spec-a", set(0.99));
+        b.put(&key_of_encoding("spec-b"), "spec-b", set(0.98));
         // …and persist one after the other: the second must keep the
         // first's entry instead of overwriting the file with its own view.
         a.persist().unwrap();
@@ -671,7 +885,7 @@ mod tests {
         assert!(EvalCache::with_store(&path).is_err(), "strict open rejects corruption");
         let cache = EvalCache::fresh_store(&path);
         assert!(cache.is_empty());
-        cache.put(&key_of_encoding("x"), "x", report(0.9));
+        cache.put(&key_of_encoding("x"), "x", set(0.9));
         cache.persist().unwrap();
         let reopened = EvalCache::with_store(&path).unwrap();
         assert_eq!(reopened.len(), 1, "corrupt store was replaced");
@@ -681,18 +895,24 @@ mod tests {
     #[test]
     fn bad_store_rejected() {
         let cache = EvalCache::in_memory();
-        assert!(cache.load_json("{\"version\":2,\"entries\":[]}").is_err());
+        assert!(cache.load_json("{\"version\":3,\"entries\":[]}").is_err());
         assert!(cache.load_json("not json").is_err());
         assert!(cache.load_json("{\"version\":1,\"entries\":[{\"key\":\"k\"}]}").is_err());
+        assert!(
+            cache
+                .load_json("{\"version\":2,\"entries\":[{\"key\":\"k\",\"canonical\":\"c\"}]}")
+                .is_err(),
+            "v2 entries need a reports array"
+        );
     }
 
     #[test]
     fn max_entries_evicts_oldest_first() {
         let cache = EvalCache::in_memory().with_max_entries(2);
         let (ka, kb, kc) = (key_of_encoding("a"), key_of_encoding("b"), key_of_encoding("c"));
-        cache.put(&ka, "a", report(0.91));
-        cache.put(&kb, "b", report(0.92));
-        cache.put(&kc, "c", report(0.93));
+        cache.put(&ka, "a", set(0.91));
+        cache.put(&kb, "b", set(0.92));
+        cache.put(&kc, "c", set(0.93));
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&ka, "a").is_none(), "oldest entry evicted");
         assert!(cache.get(&kb, "b").is_some());
@@ -706,7 +926,7 @@ mod tests {
         let cache = EvalCache::in_memory();
         for i in 0..5 {
             let canon = format!("pre{i}");
-            cache.put(&key_of_encoding(&canon), &canon, report(0.9));
+            cache.put(&key_of_encoding(&canon), &canon, set(0.9));
         }
         let cache = cache.with_max_entries(2);
         assert_eq!(cache.len(), 2, "bounded from construction on");
@@ -734,7 +954,7 @@ mod tests {
         let cache = EvalCache::in_memory().with_max_entries(0);
         for i in 0..10 {
             let canon = format!("c{i}");
-            cache.put(&key_of_encoding(&canon), &canon, report(0.9));
+            cache.put(&key_of_encoding(&canon), &canon, set(0.9));
         }
         assert_eq!(cache.len(), 10);
         assert_eq!(cache.stats().evictions, 0);
@@ -744,12 +964,12 @@ mod tests {
     fn get_or_compute_computes_once_then_hits() {
         let cache = EvalCache::in_memory();
         let key = key_of_encoding("gc");
-        let (r, how) = cache.get_or_compute(&key, "gc", || Ok(report(0.97)));
+        let (r, how) = cache.get_or_compute(&key, "gc", || Ok(set(0.97)));
         assert_eq!(how, Fetch::Computed);
-        assert_eq!(r.unwrap(), report(0.97));
+        assert_eq!(r.unwrap(), set(0.97));
         let (r2, how2) = cache.get_or_compute(&key, "gc", || panic!("must not recompute"));
         assert_eq!(how2, Fetch::Hit);
-        assert_eq!(r2.unwrap(), report(0.97));
+        assert_eq!(r2.unwrap(), set(0.97));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
     }
@@ -763,7 +983,7 @@ mod tests {
         assert_eq!(how, Fetch::Computed);
         assert!(r.is_err());
         assert!(cache.is_empty(), "errors must not be memoized");
-        let (r2, how2) = cache.get_or_compute(&key, "err", || Ok(report(0.9)));
+        let (r2, how2) = cache.get_or_compute(&key, "err", || Ok(set(0.9)));
         assert_eq!(how2, Fetch::Computed, "error is retried, not replayed");
         assert!(r2.is_ok());
     }
@@ -777,7 +997,7 @@ mod tests {
             let (cache, barrier) = (Arc::clone(&cache), Arc::clone(&barrier));
             std::thread::spawn(move || {
                 barrier.wait(); // the leader holds the flight by now
-                cache.get_or_compute(&key_of_encoding("boom"), "boom", || Ok(report(0.5)))
+                cache.get_or_compute(&key_of_encoding("boom"), "boom", || Ok(set(0.5)))
             })
         };
         let led = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -803,8 +1023,8 @@ mod tests {
     #[test]
     fn keys_and_clear() {
         let cache = EvalCache::in_memory();
-        cache.put(&key_of_encoding("a"), "a", report(0.9));
-        cache.put(&key_of_encoding("b"), "b", report(0.8));
+        cache.put(&key_of_encoding("a"), "a", set(0.9));
+        cache.put(&key_of_encoding("b"), "b", set(0.8));
         let keys = cache.keys();
         assert_eq!(keys.len(), 2);
         assert!(keys.contains(&key_of_encoding("a").0));

@@ -32,6 +32,8 @@
 
 use crate::error::{EngineError, Result};
 use crate::value::Value;
+use dtc_core::analysis::AnalysisRequest;
+use dtc_core::economics::CostModel;
 use dtc_core::params::PaperParams;
 use dtc_core::system::{CloudSystemSpec, DataCenterSpec, PmSpec};
 use dtc_geo::{find_city, haversine_deg_km, City, WanModel};
@@ -234,6 +236,9 @@ pub struct Catalog {
     pub wan: WanModel,
     /// The scenario templates.
     pub templates: Vec<ScenarioTemplate>,
+    /// Analyses to run per scenario (the `[analyses]` section; defaults to
+    /// steady state only).
+    pub analyses: Vec<AnalysisRequest>,
 }
 
 /// One concrete, evaluable scenario produced by catalog expansion.
@@ -440,6 +445,7 @@ impl Catalog {
             params,
             wan: WanModel::paper_calibrated(),
             templates,
+            analyses: parse_analyses_section(root.get("analyses"))?,
         })
     }
 
@@ -459,6 +465,7 @@ impl Catalog {
         let mut root = BTreeMap::new();
         root.insert("catalog".into(), Value::Table(meta));
         root.insert("params".into(), params_to_value(&self.params));
+        root.insert("analyses".into(), analyses_to_value(&self.analyses));
         root.insert(
             "scenario".into(),
             Value::Array(self.templates.iter().map(template_to_value).collect()),
@@ -548,6 +555,166 @@ fn params_to_value(p: &PaperParams) -> Value {
     t.insert("dc_recovery_hours".into(), Value::Float(p.dc_recovery_hours));
     t.insert("vm_size_gb".into(), Value::Float(p.vm_size_gb));
     t.insert("min_running_vms".into(), Value::Int(p.min_running_vms as i64));
+    Value::Table(t)
+}
+
+/// Parses the `[analyses]` section (or a bare `analyses` array). Absent
+/// means steady state only — the pre-v2 behavior.
+fn parse_analyses_section(v: Option<&Value>) -> Result<Vec<AnalysisRequest>> {
+    match v {
+        None => Ok(vec![AnalysisRequest::SteadyState]),
+        Some(array @ Value::Array(_)) => parse_analyses(array),
+        Some(table @ Value::Table(_)) => match table.get("requests") {
+            Some(requests) => parse_analyses(requests),
+            None => Err(schema_err("[analyses] needs a requests array".into())),
+        },
+        Some(_) => Err(schema_err(
+            "\"analyses\" must be a table with a requests array, or an array".into(),
+        )),
+    }
+}
+
+/// Parses an analysis-set array whose entries are kind strings
+/// (`"steady_state"`, `"mttsf"`, …) or parameterized tables
+/// (`{ kind = "interval", horizon_hours = 8760.0 }`). Shared by catalog
+/// files, the `--analyses` CLI flag defaults, and `POST /v2/evaluate`.
+pub fn parse_analyses(v: &Value) -> Result<Vec<AnalysisRequest>> {
+    let items = v.as_array().ok_or_else(|| schema_err("analyses must be an array".into()))?;
+    if items.is_empty() {
+        return Err(schema_err("analyses array is empty".into()));
+    }
+    items.iter().map(analysis_request_from_value).collect()
+}
+
+/// Parses one analysis request (string kind or `{ kind, … }` table).
+pub fn analysis_request_from_value(v: &Value) -> Result<AnalysisRequest> {
+    let ctx = "analyses";
+    let by_kind = |kind: &str| {
+        AnalysisRequest::from_kind(kind).ok_or_else(|| {
+            schema_err(format!(
+                "{ctx}: unknown analysis kind {kind:?} (expected steady_state, transient, \
+                 interval, mttsf, capacity_thresholds, cost or simulation)"
+            ))
+        })
+    };
+    match v {
+        Value::Str(kind) => by_kind(kind),
+        Value::Table(_) => {
+            let kind = req_str(v, "kind", ctx)?;
+            Ok(match by_kind(&kind)? {
+                AnalysisRequest::Transient { time_points: default } => {
+                    let time_points = match v.get("time_points") {
+                        None => default,
+                        Some(Value::Array(items)) => {
+                            let mut out = Vec::with_capacity(items.len());
+                            for item in items {
+                                let t = item.as_f64().ok_or_else(|| {
+                                    schema_err(format!(
+                                        "{ctx}: time_points entries must be numeric"
+                                    ))
+                                })?;
+                                if !(t.is_finite() && t >= 0.0) {
+                                    return Err(schema_err(format!(
+                                        "{ctx}: time point {t} must be finite and >= 0"
+                                    )));
+                                }
+                                out.push(t);
+                            }
+                            out
+                        }
+                        Some(_) => {
+                            return Err(schema_err(format!(
+                                "{ctx}: time_points must be an array"
+                            )))
+                        }
+                    };
+                    AnalysisRequest::Transient { time_points }
+                }
+                AnalysisRequest::Interval { horizon_hours: default } => {
+                    let horizon_hours = opt_f64(v, "horizon_hours", ctx)?.unwrap_or(default);
+                    if !(horizon_hours.is_finite() && horizon_hours > 0.0) {
+                        return Err(schema_err(format!(
+                            "{ctx}: horizon_hours {horizon_hours} must be positive"
+                        )));
+                    }
+                    AnalysisRequest::Interval { horizon_hours }
+                }
+                AnalysisRequest::Cost { model: default } => {
+                    let model = CostModel {
+                        downtime_cost_per_hour: opt_f64(v, "downtime_cost_per_hour", ctx)?
+                            .unwrap_or(default.downtime_cost_per_hour),
+                        site_cost_per_year: opt_f64(v, "site_cost_per_year", ctx)?
+                            .unwrap_or(default.site_cost_per_year),
+                        pm_cost_per_year: opt_f64(v, "pm_cost_per_year", ctx)?
+                            .unwrap_or(default.pm_cost_per_year),
+                        backup_cost_per_year: opt_f64(v, "backup_cost_per_year", ctx)?
+                            .unwrap_or(default.backup_cost_per_year),
+                    };
+                    AnalysisRequest::Cost { model }
+                }
+                AnalysisRequest::Simulation { batches: db, seed: ds } => {
+                    let batches = opt_u32(v, "batches", ctx)?.unwrap_or(db);
+                    if batches < 2 {
+                        return Err(schema_err(format!(
+                            "{ctx}: batches must be >= 2 (confidence intervals need \
+                             replications)"
+                        )));
+                    }
+                    let seed = match v.get("seed") {
+                        None => ds,
+                        Some(x) => x.as_i64().map(|s| s as u64).ok_or_else(|| {
+                            schema_err(format!("{ctx}: seed must be an integer"))
+                        })?,
+                    };
+                    AnalysisRequest::Simulation { batches, seed }
+                }
+                simple => simple,
+            })
+        }
+        _ => Err(schema_err(format!(
+            "{ctx}: each entry must be a kind string or a {{ kind, … }} table"
+        ))),
+    }
+}
+
+/// Serializes an analysis set back to the `[analyses]` schema.
+pub fn analyses_to_value(analyses: &[AnalysisRequest]) -> Value {
+    let requests: Vec<Value> = analyses.iter().map(analysis_request_to_value).collect();
+    let mut t = BTreeMap::new();
+    t.insert("requests".into(), Value::Array(requests));
+    Value::Table(t)
+}
+
+fn analysis_request_to_value(a: &AnalysisRequest) -> Value {
+    let mut t = BTreeMap::new();
+    t.insert("kind".into(), Value::Str(a.kind().into()));
+    match a {
+        AnalysisRequest::SteadyState
+        | AnalysisRequest::Mttsf
+        | AnalysisRequest::CapacityThresholds => return Value::Str(a.kind().into()),
+        AnalysisRequest::Transient { time_points } => {
+            t.insert(
+                "time_points".into(),
+                Value::Array(time_points.iter().map(|&x| Value::Float(x)).collect()),
+            );
+        }
+        AnalysisRequest::Interval { horizon_hours } => {
+            t.insert("horizon_hours".into(), Value::Float(*horizon_hours));
+        }
+        AnalysisRequest::Cost { model } => {
+            t.insert(
+                "downtime_cost_per_hour".into(),
+                Value::Float(model.downtime_cost_per_hour),
+            );
+            t.insert("site_cost_per_year".into(), Value::Float(model.site_cost_per_year));
+            t.insert("pm_cost_per_year".into(), Value::Float(model.pm_cost_per_year));
+            t.insert("backup_cost_per_year".into(), Value::Float(model.backup_cost_per_year));
+        }
+        AnalysisRequest::Simulation { batches, seed } => {
+            t.insert("batches".into(), Value::Int(*batches as i64));
+            t.insert("seed".into(), Value::Int(*seed as i64));
+        }
+    }
     Value::Table(t)
 }
 
@@ -1022,7 +1189,84 @@ backup_link = false
             }
         }
         // The model actually compiles.
-        dtc_core::CloudModel::build(spec.clone()).unwrap();
+        dtc_core::CloudModel::build(spec).unwrap();
+    }
+
+    #[test]
+    fn analyses_section_parses_strings_and_tables() {
+        let doc = r#"
+[catalog]
+name = "a"
+
+[analyses]
+requests = [
+    "steady_state",
+    "mttsf",
+    { kind = "interval", horizon_hours = 720.0 },
+    { kind = "transient", time_points = [1.0, 10.0] },
+    { kind = "cost", downtime_cost_per_hour = 500.0 },
+    { kind = "simulation", batches = 6, seed = 7 },
+    "capacity_thresholds",
+]
+
+[[scenario]]
+name = "s"
+kind = "two_dc"
+"#;
+        let cat = Catalog::from_toml_str(doc).unwrap();
+        assert_eq!(cat.analyses.len(), 7);
+        assert_eq!(cat.analyses[0], AnalysisRequest::SteadyState);
+        assert_eq!(cat.analyses[2], AnalysisRequest::Interval { horizon_hours: 720.0 });
+        assert_eq!(
+            cat.analyses[3],
+            AnalysisRequest::Transient { time_points: vec![1.0, 10.0] }
+        );
+        match &cat.analyses[4] {
+            AnalysisRequest::Cost { model } => {
+                assert_eq!(model.downtime_cost_per_hour, 500.0);
+                // Unspecified rates keep their defaults.
+                assert_eq!(model.site_cost_per_year, CostModel::default().site_cost_per_year);
+            }
+            other => panic!("expected cost, got {other:?}"),
+        }
+        assert_eq!(cat.analyses[5], AnalysisRequest::Simulation { batches: 6, seed: 7 });
+
+        // No [analyses] section → steady state only (pre-v2 behavior).
+        let plain = Catalog::from_toml_str(MINI).unwrap();
+        assert_eq!(plain.analyses, vec![AnalysisRequest::SteadyState]);
+
+        // Bad kinds and shapes are informative errors.
+        let bad = "[catalog]\nname='x'\n[analyses]\nrequests=['wat']\n\
+                   [[scenario]]\nname='s'\nkind='two_dc'\n";
+        assert!(matches!(
+            Catalog::from_toml_str(bad),
+            Err(EngineError::Schema(msg)) if msg.contains("wat")
+        ));
+        let empty = "[catalog]\nname='x'\n[analyses]\nrequests=[]\n\
+                     [[scenario]]\nname='s'\nkind='two_dc'\n";
+        assert!(matches!(
+            Catalog::from_toml_str(empty),
+            Err(EngineError::Schema(msg)) if msg.contains("empty")
+        ));
+    }
+
+    #[test]
+    fn analyses_round_trip_through_value() {
+        let doc = r#"
+[catalog]
+name = "a"
+
+[analyses]
+requests = ["mttsf", { kind = "interval", horizon_hours = 100.0 }]
+
+[[scenario]]
+name = "s"
+kind = "two_dc"
+"#;
+        let cat = Catalog::from_toml_str(doc).unwrap();
+        let back = Catalog::from_json_str(&cat.to_value().to_json()).unwrap();
+        assert_eq!(cat.analyses, back.analyses);
+        assert_eq!(cat, back);
     }
 
     #[test]

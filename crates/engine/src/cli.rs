@@ -21,6 +21,7 @@ use crate::catalog::{Catalog, Scenario};
 use crate::error::{EngineError, Result};
 use crate::executor::{run_batch, BatchResult, Outcome, RunOptions};
 use crate::output::{render, render_summary, Format};
+use dtc_core::analysis::AnalysisRequest;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -41,6 +42,10 @@ options:
   --format table|csv|json   output format (default table)
   --threads N               worker threads (default: available cores)
   --solver NAME             power|jacobi|gauss-seidel|sor|direct
+  --analyses LIST           comma-separated analyses to run per scenario
+                            (steady_state, transient, interval, mttsf,
+                            capacity_thresholds, cost, simulation); default:
+                            the catalog's [analyses] section, else steady_state
   --cache FILE              persistent JSON evaluation cache
   --cache-cap N             cap resident cache entries (oldest evicted)
 
@@ -56,14 +61,40 @@ serve options (see `dtc serve --help`):
 struct CliOptions {
     format: Format,
     run: RunOptions,
+    /// `--analyses` override; `None` defers to the catalog's `[analyses]`.
+    analyses: Option<Vec<AnalysisRequest>>,
     cache_path: Option<PathBuf>,
     cache_cap: Option<usize>,
+}
+
+/// Parses a comma-separated `--analyses` list of analysis kinds (each with
+/// its default parameters; use a catalog `[analyses]` section to tune
+/// them).
+fn parse_analyses_flag(list: &str) -> Result<Vec<AnalysisRequest>> {
+    let requests: Vec<AnalysisRequest> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|k| !k.is_empty())
+        .map(|k| {
+            AnalysisRequest::from_kind(k).ok_or_else(|| {
+                EngineError::Schema(format!(
+                    "unknown analysis kind {k:?} (expected steady_state, transient, interval, \
+                     mttsf, capacity_thresholds, cost or simulation)"
+                ))
+            })
+        })
+        .collect::<Result<_>>()?;
+    if requests.is_empty() {
+        return Err(EngineError::Schema("--analyses needs at least one kind".into()));
+    }
+    Ok(requests)
 }
 
 fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>)> {
     let mut opts = CliOptions {
         format: Format::Table,
         run: RunOptions::default(),
+        analyses: None,
         cache_path: None,
         cache_cap: None,
     };
@@ -96,6 +127,7 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>)> {
                     ))
                 })?;
             }
+            "--analyses" => opts.analyses = Some(parse_analyses_flag(&take("--analyses")?)?),
             "--cache" => opts.cache_path = Some(PathBuf::from(take("--cache")?)),
             "--cache-cap" => {
                 let v = take("--cache-cap")?;
@@ -114,14 +146,18 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>)> {
 
 fn evaluate(catalog: &Catalog, opts: &CliOptions) -> Result<(Vec<Scenario>, BatchResult)> {
     let scenarios = catalog.expand()?;
+    let mut run = opts.run.clone();
+    // --analyses beats the catalog's [analyses] section.
+    run.analyses = opts.analyses.clone().unwrap_or_else(|| catalog.analyses.clone());
     eprintln!(
-        "catalog {:?}: {} scenario(s) on {} thread(s)…",
+        "catalog {:?}: {} scenario(s) × {} analysis(es) on {} thread(s)…",
         catalog.name,
         scenarios.len(),
-        opts.run.threads.max(1)
+        run.analyses.len(),
+        run.threads.max(1)
     );
     let cache = Arc::new(EvalCache::open_lenient(opts.cache_path.clone(), opts.cache_cap));
-    let result = run_batch(&scenarios, &cache, &opts.run);
+    let result = run_batch(&scenarios, &cache, &run);
     cache.persist()?;
     eprintln!("{}", render_summary(&result));
     Ok((scenarios, result))
@@ -138,7 +174,7 @@ pub fn render_fig7_grid(scenarios: &[Scenario], outcomes: &[Outcome]) -> String 
                     && s.alpha == Some(alpha)
                     && s.disaster_years == Some(years)
             })
-            .and_then(|i| outcomes[i].report.as_ref().ok().map(|r| r.nines))
+            .and_then(|i| outcomes[i].steady().map(|r| r.nines))
             .unwrap_or(f64::NAN)
     };
     // Distinct secondaries / alphas / years, in first-appearance order.
@@ -179,11 +215,8 @@ pub fn render_fig7_grid(scenarios: &[Scenario], outcomes: &[Outcome]) -> String 
         let base = scenarios
             .iter()
             .position(|s| s.secondary.as_deref() == Some(pair.as_str()) && s.is_baseline);
-        let (base_nines, base_avail) = match base {
-            Some(i) => match &outcomes[i].report {
-                Ok(r) => (r.nines, r.availability),
-                Err(_) => (f64::NAN, f64::NAN),
-            },
+        let (base_nines, base_avail) = match base.and_then(|i| outcomes[i].steady()) {
+            Some(r) => (r.nines, r.availability),
             None => (f64::NAN, f64::NAN),
         };
         for (row, &alpha) in alphas.iter().enumerate() {
@@ -225,7 +258,7 @@ fn cmd_validate(catalog: Catalog) -> Result<()> {
     let scenarios = catalog.expand()?;
     let mut compiled = 0usize;
     for s in &scenarios {
-        dtc_core::CloudModel::build(s.spec.clone()).map_err(|e| {
+        dtc_core::CloudModel::build(&s.spec).map_err(|e| {
             EngineError::Schema(format!("scenario {:?} does not compile: {e}", s.name))
         })?;
         compiled += 1;

@@ -12,9 +12,10 @@
 
 use crate::cache::{CacheStats, EvalCache, Fetch};
 use crate::catalog::Scenario;
-use crate::hash::{canonical_encoding, SpecKey};
+use crate::hash::{canonical_encoding_with, SpecKey};
+use dtc_core::analysis::{AnalysisReport, AnalysisRequest};
 use dtc_core::metrics::{AvailabilityReport, EvalOptions};
-use dtc_core::sweep::evaluate_guarded;
+use dtc_core::sweep::evaluate_all_guarded;
 use dtc_core::CloudError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,8 +44,22 @@ pub struct Outcome {
     pub key: SpecKey,
     /// Where the result came from.
     pub provenance: Provenance,
-    /// The evaluation result.
-    pub report: Result<AvailabilityReport, CloudError>,
+    /// The evaluation result: the full analysis-report union, in the
+    /// batch's request order (shared with the cache via [`Arc`]).
+    pub reports: Result<Arc<Vec<AnalysisReport>>, CloudError>,
+}
+
+impl Outcome {
+    /// The steady-state report, if one was requested and the scenario
+    /// succeeded — the value the availability table/CSV columns render.
+    pub fn steady(&self) -> Option<&AvailabilityReport> {
+        self.reports.as_ref().ok().and_then(|r| dtc_core::analysis::first_steady_state(r))
+    }
+
+    /// The report union as a slice (empty on error).
+    pub fn analyses(&self) -> &[AnalysisReport] {
+        self.reports.as_deref().map(Vec::as_slice).unwrap_or(&[])
+    }
 }
 
 /// A whole batch's outcomes plus cache statistics.
@@ -79,12 +94,19 @@ pub struct RunOptions {
     pub threads: usize,
     /// Numeric evaluation options (also part of every cache key).
     pub eval: EvalOptions,
+    /// Analyses to run per scenario (also part of every cache key). The
+    /// default is steady state only — the pre-v2 behavior.
+    pub analyses: Vec<AnalysisRequest>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        RunOptions { threads, eval: EvalOptions::default() }
+        RunOptions {
+            threads,
+            eval: EvalOptions::default(),
+            analyses: vec![AnalysisRequest::SteadyState],
+        }
     }
 }
 
@@ -105,7 +127,7 @@ pub fn run_batch(
     let keyed: Vec<(SpecKey, String)> = scenarios
         .iter()
         .map(|s| {
-            let canonical = canonical_encoding(&s.spec, &opts.eval);
+            let canonical = canonical_encoding_with(&s.spec, &opts.eval, &opts.analyses);
             (crate::hash::key_of_encoding(&canonical), canonical)
         })
         .collect();
@@ -133,7 +155,7 @@ pub fn run_batch(
 
     // Resolve every unique spec over a scoped worker pool; each solve goes
     // through the cache's single-flight gate.
-    type Resolved = (Result<AvailabilityReport, CloudError>, Fetch);
+    type Resolved = (Result<Arc<Vec<AnalysisReport>>, CloudError>, Fetch);
     let threads = opts.threads.max(1).min(uniques.len().max(1));
     let resolved: Mutex<Vec<Option<Resolved>>> = Mutex::new(vec![None; uniques.len()]);
     let next = AtomicUsize::new(0);
@@ -148,7 +170,8 @@ pub fn run_batch(
                 let i = uniques[u];
                 let (key, canonical) = &keyed[i];
                 let outcome = cache.get_or_compute(key, canonical, || {
-                    evaluate_guarded(&scenarios[i].spec, &opts.eval)
+                    evaluate_all_guarded(&scenarios[i].spec, &opts.analyses, &opts.eval)
+                        .map(Arc::new)
                 });
                 let mut slots = resolved.lock().expect("resolved mutex poisoned");
                 slots[u] = Some(outcome);
@@ -163,7 +186,7 @@ pub fn run_batch(
     let mut cached = 0usize;
     let mut outcomes: Vec<Option<Outcome>> = vec![None; scenarios.len()];
     for (u, &i) in uniques.iter().enumerate() {
-        let (report, fetch) =
+        let (reports, fetch) =
             resolved[u].clone().expect("every unique slot resolved by the pool");
         let provenance = match fetch {
             Fetch::Computed => {
@@ -180,24 +203,24 @@ pub fn run_batch(
             name: scenarios[i].name.clone(),
             key: keyed[i].0.clone(),
             provenance,
-            report,
+            reports,
         });
     }
     for (i, &rep) in representative.iter().enumerate() {
         if rep == i {
             continue;
         }
-        let report = outcomes[rep]
+        let reports = outcomes[rep]
             .as_ref()
             .expect("representatives are resolved before duplicates")
-            .report
+            .reports
             .clone();
         outcomes[i] = Some(Outcome {
             index: i,
             name: scenarios[i].name.clone(),
             key: keyed[i].0.clone(),
             provenance: Provenance::Deduplicated,
-            report,
+            reports,
         });
     }
 
@@ -261,15 +284,15 @@ mod tests {
         assert_eq!(result.evaluated, 2, "only two unique specs solved");
         assert_eq!(result.deduplicated, 2);
         assert!(result.total_hits() >= 2, "shared specs count as hits");
-        let a = result.outcomes[0].report.as_ref().unwrap();
-        let a2 = result.outcomes[2].report.as_ref().unwrap();
-        let a3 = result.outcomes[3].report.as_ref().unwrap();
+        let a = result.outcomes[0].reports.as_ref().unwrap();
+        let a2 = result.outcomes[2].reports.as_ref().unwrap();
+        let a3 = result.outcomes[3].reports.as_ref().unwrap();
         assert_eq!(a, a2, "deduplicated output must be bit-identical");
         assert_eq!(a, a3);
         assert_eq!(result.outcomes[2].provenance, Provenance::Deduplicated);
         assert_ne!(
-            result.outcomes[0].report.as_ref().unwrap().availability,
-            result.outcomes[1].report.as_ref().unwrap().availability
+            result.outcomes[0].steady().unwrap().availability,
+            result.outcomes[1].steady().unwrap().availability
         );
     }
 
@@ -286,8 +309,8 @@ mod tests {
         assert_eq!(second.cached, 2);
         for (x, y) in first.outcomes.iter().zip(&second.outcomes) {
             assert_eq!(
-                x.report.as_ref().unwrap(),
-                y.report.as_ref().unwrap(),
+                x.reports.as_ref().unwrap(),
+                y.reports.as_ref().unwrap(),
                 "cached output identical"
             );
             assert_eq!(y.provenance, Provenance::Cached);
@@ -308,6 +331,37 @@ mod tests {
     }
 
     #[test]
+    fn multi_analysis_batches_fan_out_the_report_union() {
+        let batch = vec![scenario("a", tiny(1000.0))];
+        let cache = std::sync::Arc::new(EvalCache::in_memory());
+        let opts = RunOptions {
+            analyses: vec![
+                AnalysisRequest::SteadyState,
+                AnalysisRequest::Mttsf,
+                AnalysisRequest::CapacityThresholds,
+            ],
+            ..RunOptions::default()
+        };
+        let result = run_batch(&batch, &cache, &opts);
+        let reports = result.outcomes[0].reports.as_ref().unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].kind(), "steady_state");
+        assert_eq!(reports[1].kind(), "mttsf");
+        assert_eq!(reports[2].kind(), "capacity_thresholds");
+        assert!(result.outcomes[0].steady().is_some());
+
+        // A different analysis set is a different cache identity…
+        let single = run_batch(&batch, &cache, &RunOptions::default());
+        assert_eq!(single.evaluated, 1, "steady-only set does not share the 3-set entry");
+        assert_eq!(cache.len(), 2);
+        // …while re-running the same set is a pure hit.
+        let again = run_batch(&batch, &cache, &opts);
+        assert_eq!(again.evaluated, 0);
+        assert_eq!(again.cached, 1);
+        assert_eq!(again.outcomes[0].reports.as_ref().unwrap(), reports);
+    }
+
+    #[test]
     fn failures_propagate_and_are_not_cached() {
         let mut bad = tiny(1000.0);
         bad.min_running_vms = 99;
@@ -318,10 +372,10 @@ mod tests {
         ];
         let cache = std::sync::Arc::new(EvalCache::in_memory());
         let result = run_batch(&batch, &cache, &RunOptions::default());
-        assert!(result.outcomes[0].report.is_ok());
-        assert!(result.outcomes[1].report.is_err());
+        assert!(result.outcomes[0].reports.is_ok());
+        assert!(result.outcomes[1].reports.is_err());
         assert!(
-            result.outcomes[2].report.is_err(),
+            result.outcomes[2].reports.is_err(),
             "duplicates of a failing spec fail identically"
         );
         assert_eq!(cache.len(), 1, "only the success is memoized");
@@ -329,6 +383,6 @@ mod tests {
         // Re-running re-attempts the failure (it was never cached) …
         let again = run_batch(&batch, &cache, &RunOptions::default());
         assert_eq!(again.evaluated, 1);
-        assert!(again.outcomes[1].report.is_err());
+        assert!(again.outcomes[1].reports.is_err());
     }
 }

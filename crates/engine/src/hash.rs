@@ -12,6 +12,7 @@
 //! (vanishingly unlikely) hash collision degrades to a cache miss rather
 //! than a wrong answer.
 
+use dtc_core::analysis::AnalysisRequest;
 use dtc_core::metrics::EvalOptions;
 use dtc_core::system::CloudSystemSpec;
 use std::fmt::Write as _;
@@ -108,6 +109,60 @@ pub fn canonical_encoding(spec: &CloudSystemSpec, opts: &EvalOptions) -> String 
     s
 }
 
+/// Appends the deterministic encoding of an analysis set to a canonical
+/// spec encoding. Kept as a separate function so the v1 → v2 cache-store
+/// migration can re-key old steady-state-only entries with exactly the
+/// suffix [`canonical_encoding_with`] would have produced.
+pub fn encode_analyses(s: &mut String, analyses: &[AnalysisRequest]) {
+    let f = |s: &mut String, x: f64| {
+        let _ = write!(s, "{:016x},", x.to_bits());
+    };
+    s.push_str(";an:[");
+    for a in analyses {
+        match a {
+            AnalysisRequest::SteadyState => s.push_str("steady_state,"),
+            AnalysisRequest::Transient { time_points } => {
+                s.push_str("transient(");
+                for t in time_points {
+                    f(s, *t);
+                }
+                s.push_str("),");
+            }
+            AnalysisRequest::Interval { horizon_hours } => {
+                s.push_str("interval(");
+                f(s, *horizon_hours);
+                s.push_str("),");
+            }
+            AnalysisRequest::Mttsf => s.push_str("mttsf,"),
+            AnalysisRequest::CapacityThresholds => s.push_str("capacity_thresholds,"),
+            AnalysisRequest::Cost { model } => {
+                s.push_str("cost(");
+                f(s, model.downtime_cost_per_hour);
+                f(s, model.site_cost_per_year);
+                f(s, model.pm_cost_per_year);
+                f(s, model.backup_cost_per_year);
+                s.push_str("),");
+            }
+            AnalysisRequest::Simulation { batches, seed } => {
+                let _ = write!(s, "sim({batches},{seed}),");
+            }
+        }
+    }
+    s.push(']');
+}
+
+/// Canonical encoding of a full evaluation identity: spec + options +
+/// analysis set. This is what keys v2 cache entries.
+pub fn canonical_encoding_with(
+    spec: &CloudSystemSpec,
+    opts: &EvalOptions,
+    analyses: &[AnalysisRequest],
+) -> String {
+    let mut s = canonical_encoding(spec, opts);
+    encode_analyses(&mut s, analyses);
+    s
+}
+
 /// Hashes a spec + evaluation options into a cache key.
 pub fn spec_key(spec: &CloudSystemSpec, opts: &EvalOptions) -> SpecKey {
     key_of_encoding(&canonical_encoding(spec, opts))
@@ -174,6 +229,35 @@ mod tests {
         assert_ne!(base, spec_key(&spec(), &opts));
         let opts = EvalOptions { method: dtc_markov::Method::Power, ..EvalOptions::default() };
         assert_ne!(base, spec_key(&spec(), &opts));
+    }
+
+    #[test]
+    fn analysis_set_is_part_of_the_identity() {
+        let opts = EvalOptions::default();
+        let one = canonical_encoding_with(&spec(), &opts, &[AnalysisRequest::SteadyState]);
+        let two = canonical_encoding_with(
+            &spec(),
+            &opts,
+            &[AnalysisRequest::SteadyState, AnalysisRequest::Mttsf],
+        );
+        assert_ne!(key_of_encoding(&one), key_of_encoding(&two));
+        // Parameterized analyses see their parameters, bit for bit.
+        let ia = canonical_encoding_with(
+            &spec(),
+            &opts,
+            &[AnalysisRequest::Interval { horizon_hours: 8760.0 }],
+        );
+        let ib = canonical_encoding_with(
+            &spec(),
+            &opts,
+            &[AnalysisRequest::Interval { horizon_hours: 8760.0 + 1e-9 }],
+        );
+        assert_ne!(key_of_encoding(&ia), key_of_encoding(&ib));
+        // The migration suffix contract: appending encode_analyses for
+        // [SteadyState] to a v1 encoding gives the v2 encoding.
+        let mut migrated = canonical_encoding(&spec(), &opts);
+        encode_analyses(&mut migrated, &[AnalysisRequest::SteadyState]);
+        assert_eq!(migrated, one);
     }
 
     #[test]

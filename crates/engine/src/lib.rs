@@ -57,11 +57,14 @@ pub mod output;
 pub mod toml;
 pub mod value;
 
-pub use cache::{CacheStats, EvalCache, EvalResult, Fetch};
-pub use catalog::{Catalog, Scenario, ScenarioTemplate};
+pub use cache::{
+    analysis_report_from_value, analysis_report_to_value, CacheStats, EvalCache, EvalResult,
+    Fetch,
+};
+pub use catalog::{analyses_to_value, parse_analyses, Catalog, Scenario, ScenarioTemplate};
 pub use error::{EngineError, Result};
 pub use executor::{run_batch, BatchResult, Outcome, Provenance, RunOptions};
-pub use hash::{canonical_encoding, spec_key, SpecKey};
+pub use hash::{canonical_encoding, canonical_encoding_with, spec_key, SpecKey};
 pub use output::{render, render_summary, results_to_value, Format};
 
 /// The paper's catalogs, bundled into the binary.
@@ -87,11 +90,12 @@ pub mod catalogs {
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::cache::{CacheStats, EvalCache, EvalResult, Fetch};
-    pub use crate::catalog::{Catalog, Scenario};
+    pub use crate::catalog::{parse_analyses, Catalog, Scenario};
     pub use crate::executor::{run_batch, BatchResult, Provenance, RunOptions};
-    pub use crate::hash::{canonical_encoding, spec_key, SpecKey};
+    pub use crate::hash::{canonical_encoding, canonical_encoding_with, spec_key, SpecKey};
     pub use crate::output::{render, render_summary, results_to_value, Format};
     pub use crate::{EngineError, Result};
+    pub use dtc_core::analysis::{AnalysisReport, AnalysisRequest};
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use crate::catalog::Scenario;
 use crate::executor::{BatchResult, Outcome, Provenance};
 use crate::value::Value;
+use dtc_core::analysis::AnalysisReport;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -63,37 +64,126 @@ pub fn render_summary(result: &BatchResult) -> String {
     )
 }
 
+/// Scalar metric columns extracted from an outcome's analysis set (the
+/// curves — transient, capacity — are CSV/JSON-only payloads).
+#[derive(Default)]
+struct MetricCells {
+    mttsf_hours: Option<f64>,
+    interval: Option<f64>,
+    cost_total: Option<f64>,
+    sim_mean: Option<f64>,
+}
+
+impl MetricCells {
+    fn of(o: &Outcome) -> MetricCells {
+        let mut cells = MetricCells::default();
+        if let Ok(reports) = &o.reports {
+            for r in reports.iter() {
+                match r {
+                    AnalysisReport::Mttsf { hours } => cells.mttsf_hours = Some(*hours),
+                    AnalysisReport::Interval { availability, .. } => {
+                        cells.interval = Some(*availability)
+                    }
+                    AnalysisReport::Cost { breakdown } => {
+                        cells.cost_total = Some(breakdown.total())
+                    }
+                    AnalysisReport::Simulation { mean, .. } => cells.sim_mean = Some(*mean),
+                    _ => {}
+                }
+            }
+        }
+        cells
+    }
+}
+
+fn write_opt(out: &mut String, value: Option<f64>, width: usize, precision: usize) {
+    match value {
+        Some(v) => {
+            let _ = write!(out, " {v:>width$.precision$}");
+        }
+        None => {
+            let _ = write!(out, " {:>width$}", "-");
+        }
+    }
+}
+
 fn render_table(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
     let name_width = scenarios.iter().map(|s| s.name.len()).max().unwrap_or(8).clamp(8, 60);
     let any_expect = scenarios.iter().any(|s| s.expect_availability.is_some());
+    let cells: Vec<MetricCells> = outcomes.iter().map(MetricCells::of).collect();
+    let any_mttsf = cells.iter().any(|c| c.mttsf_hours.is_some());
+    let any_interval = cells.iter().any(|c| c.interval.is_some());
+    let any_cost = cells.iter().any(|c| c.cost_total.is_some());
+    let any_sim = cells.iter().any(|c| c.sim_mean.is_some());
     let mut out = String::new();
     let _ = write!(
         out,
         "{:<name_width$} {:>12} {:>7} {:>10} {:>9} {:>7}",
         "scenario", "A", "nines", "down h/y", "states", "source"
     );
+    if any_mttsf {
+        let _ = write!(out, " {:>11}", "mttsf h");
+    }
+    if any_interval {
+        let _ = write!(out, " {:>12}", "A[0,T]");
+    }
+    if any_cost {
+        let _ = write!(out, " {:>12}", "cost/yr");
+    }
+    if any_sim {
+        let _ = write!(out, " {:>12}", "sim A");
+    }
     if any_expect {
         let _ = write!(out, " {:>12} {:>9}", "paper A", "ΔA");
     }
     out.push('\n');
     let total_width = out.trim_end().chars().count();
     let _ = writeln!(out, "{}", "-".repeat(total_width));
-    for (s, o) in scenarios.iter().zip(outcomes) {
-        match &o.report {
-            Ok(r) => {
-                let _ = write!(
-                    out,
-                    "{:<name_width$} {:>12.7} {:>7.2} {:>10.2} {:>9} {:>7}",
-                    s.name,
-                    r.availability,
-                    r.nines,
-                    r.downtime_hours_per_year,
-                    r.tangible_states,
-                    provenance_tag(o.provenance),
-                );
+    for ((s, o), cell) in scenarios.iter().zip(outcomes).zip(&cells) {
+        match (&o.reports, o.steady()) {
+            (Ok(_), steady) => {
+                match steady {
+                    Some(r) => {
+                        let _ = write!(
+                            out,
+                            "{:<name_width$} {:>12.7} {:>7.2} {:>10.2} {:>9} {:>7}",
+                            s.name,
+                            r.availability,
+                            r.nines,
+                            r.downtime_hours_per_year,
+                            r.tangible_states,
+                            provenance_tag(o.provenance),
+                        );
+                    }
+                    None => {
+                        // The analysis set did not include steady state.
+                        let _ = write!(
+                            out,
+                            "{:<name_width$} {:>12} {:>7} {:>10} {:>9} {:>7}",
+                            s.name,
+                            "-",
+                            "-",
+                            "-",
+                            "-",
+                            provenance_tag(o.provenance),
+                        );
+                    }
+                }
+                if any_mttsf {
+                    write_opt(&mut out, cell.mttsf_hours, 11, 2);
+                }
+                if any_interval {
+                    write_opt(&mut out, cell.interval, 12, 7);
+                }
+                if any_cost {
+                    write_opt(&mut out, cell.cost_total, 12, 0);
+                }
+                if any_sim {
+                    write_opt(&mut out, cell.sim_mean, 12, 7);
+                }
                 if any_expect {
-                    match s.expect_availability {
-                        Some(paper) => {
+                    match (s.expect_availability, steady) {
+                        (Some(paper), Some(r)) => {
                             let _ = write!(
                                 out,
                                 " {:>12.7} {:>8.3}%",
@@ -101,14 +191,14 @@ fn render_table(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
                                 (r.availability - paper) / paper * 100.0
                             );
                         }
-                        None => {
+                        _ => {
                             let _ = write!(out, " {:>12} {:>9}", "-", "-");
                         }
                     }
                 }
                 out.push('\n');
             }
-            Err(e) => {
+            (Err(e), _) => {
                 let _ = writeln!(out, "{:<name_width$} FAILED: {e}", s.name);
             }
         }
@@ -124,11 +214,17 @@ fn csv_escape(field: &str) -> String {
     }
 }
 
+fn joined_curve(xs: &[f64]) -> String {
+    xs.iter().map(f64::to_string).collect::<Vec<_>>().join(";")
+}
+
 fn render_csv(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
     let mut out = String::from(
         "name,status,availability,nines,downtime_hours_per_year,expected_running_vms,\
          capacity_oriented_availability,tangible_states,edges,source,secondary,alpha,\
-         disaster_years,machines,is_baseline,expect_availability,error\n",
+         disaster_years,machines,is_baseline,expect_availability,mttsf_hours,\
+         interval_availability,cost_total,sim_mean,sim_half_width,transient,\
+         capacity_thresholds,error\n",
     );
     for (s, o) in scenarios.iter().zip(outcomes) {
         let meta = |out: &mut String| {
@@ -142,33 +238,80 @@ fn render_csv(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
                 s.is_baseline,
             );
         };
-        match &o.report {
-            Ok(r) => {
-                let _ = write!(
-                    out,
-                    "{},ok,{},{},{},{},{},{},{},{},",
-                    csv_escape(&s.name),
-                    r.availability,
-                    r.nines,
-                    r.downtime_hours_per_year,
-                    r.expected_running_vms,
-                    r.capacity_oriented_availability,
-                    r.tangible_states,
-                    r.edges,
-                    provenance_tag(o.provenance),
-                );
+        // The per-analysis metric cells (blank when not requested).
+        let extras = |out: &mut String, reports: &[AnalysisReport]| {
+            let mut mttsf = String::new();
+            let mut interval = String::new();
+            let mut cost = String::new();
+            let mut sim = (String::new(), String::new());
+            let mut transient = String::new();
+            let mut capacity = String::new();
+            for r in reports {
+                match r {
+                    AnalysisReport::Mttsf { hours } => mttsf = hours.to_string(),
+                    AnalysisReport::Interval { availability, .. } => {
+                        interval = availability.to_string()
+                    }
+                    AnalysisReport::Cost { breakdown } => cost = breakdown.total().to_string(),
+                    AnalysisReport::Simulation { mean, half_width, .. } => {
+                        sim = (mean.to_string(), half_width.to_string())
+                    }
+                    AnalysisReport::Transient { availability, .. } => {
+                        transient = joined_curve(availability)
+                    }
+                    AnalysisReport::CapacityThresholds { availability } => {
+                        capacity = joined_curve(availability)
+                    }
+                    AnalysisReport::SteadyState(_) => {}
+                }
+            }
+            let _ = write!(
+                out,
+                ",{mttsf},{interval},{cost},{},{},{transient},{capacity}",
+                sim.0, sim.1
+            );
+        };
+        match &o.reports {
+            Ok(reports) => {
+                match o.steady() {
+                    Some(r) => {
+                        let _ = write!(
+                            out,
+                            "{},ok,{},{},{},{},{},{},{},{},",
+                            csv_escape(&s.name),
+                            r.availability,
+                            r.nines,
+                            r.downtime_hours_per_year,
+                            r.expected_running_vms,
+                            r.capacity_oriented_availability,
+                            r.tangible_states,
+                            r.edges,
+                            provenance_tag(o.provenance),
+                        );
+                    }
+                    None => {
+                        let _ = write!(
+                            out,
+                            "{},ok,,,,,,,,{},",
+                            csv_escape(&s.name),
+                            provenance_tag(o.provenance),
+                        );
+                    }
+                }
                 meta(&mut out);
                 let _ = write!(
                     out,
-                    ",{},",
+                    ",{}",
                     s.expect_availability.map(|a| a.to_string()).unwrap_or_default()
                 );
+                extras(&mut out, reports);
+                out.push(',');
                 out.push('\n');
             }
             Err(e) => {
                 let _ = write!(out, "{},error,,,,,,,,,", csv_escape(&s.name));
                 meta(&mut out);
-                let _ = writeln!(out, ",,{}", csv_escape(&e.to_string()));
+                let _ = writeln!(out, ",,,,,,,,,{}", csv_escape(&e.to_string()));
             }
         }
     }
@@ -203,10 +346,23 @@ pub fn results_to_value(scenarios: &[Scenario], outcomes: &[Outcome]) -> Value {
             if let Some(a) = s.expect_availability {
                 t.insert("expect_availability".into(), Value::Float(a));
             }
-            match &o.report {
-                Ok(r) => {
+            match &o.reports {
+                Ok(reports) => {
                     t.insert("status".into(), Value::Str("ok".into()));
-                    t.insert("report".into(), crate::cache::report_to_value(r));
+                    // Steady state keeps its dedicated field (the v1
+                    // payload shape); the full union rides alongside.
+                    if let Some(r) = o.steady() {
+                        t.insert("report".into(), crate::cache::report_to_value(r));
+                    }
+                    t.insert(
+                        "analyses".into(),
+                        Value::Array(
+                            reports
+                                .iter()
+                                .map(crate::cache::analysis_report_to_value)
+                                .collect(),
+                        ),
+                    );
                 }
                 Err(e) => {
                     t.insert("status".into(), Value::Str("error".into()));

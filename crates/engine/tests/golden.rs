@@ -72,7 +72,7 @@ fn bundled_catalogs_validate() {
     // Every bundled scenario compiles to a model (without solving it).
     for catalog in [catalogs::table7(), catalogs::fig7()] {
         for s in catalog.expand().unwrap() {
-            dtc_core::CloudModel::build(s.spec).unwrap();
+            dtc_core::CloudModel::build(&s.spec).unwrap();
         }
     }
 }
@@ -122,8 +122,8 @@ fn catalog_run_dedups_identical_scenarios_and_second_run_hits_cache() {
     assert_eq!(first.evaluated, 1, "identical specs dedup before fan-out");
     assert_eq!(first.deduplicated, 1);
     assert!(first.total_hits() > 0);
-    let a = first.outcomes[0].report.as_ref().unwrap();
-    let b = first.outcomes[1].report.as_ref().unwrap();
+    let a = first.outcomes[0].reports.as_ref().unwrap();
+    let b = first.outcomes[1].reports.as_ref().unwrap();
     assert_eq!(a, b, "deduplicated scenario gets the identical report");
 
     let second = run_batch(&scenarios, &cache, &opts);
@@ -131,7 +131,7 @@ fn catalog_run_dedups_identical_scenarios_and_second_run_hits_cache() {
     assert_eq!(second.cached, 1);
     assert_eq!(second.deduplicated, 1);
     assert_eq!(
-        second.outcomes[0].report.as_ref().unwrap(),
+        second.outcomes[0].reports.as_ref().unwrap(),
         a,
         "cached re-run reproduces identical output"
     );

@@ -2,6 +2,7 @@
 //! overlapping [`SpecKey`]s must trigger exactly one solve per unique key
 //! (single-flight), with hit/miss/eviction counters that add up.
 
+use dtc_core::analysis::AnalysisReport;
 use dtc_engine::hash::key_of_encoding;
 use dtc_engine::{EvalCache, Fetch};
 use dtc_markov::{Method, SolveStats};
@@ -10,14 +11,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
-fn report(a: f64) -> dtc_core::metrics::AvailabilityReport {
-    dtc_core::metrics::AvailabilityReport::new(
-        a,
-        3.5,
-        4,
-        ReachStats { tangible_states: 1000, vanishing_markings: 10, edges: 5000 },
-        SolveStats { iterations: 42, residual: 1e-12, method: Method::GaussSeidel },
-    )
+fn report(a: f64) -> std::sync::Arc<Vec<AnalysisReport>> {
+    std::sync::Arc::new(vec![AnalysisReport::SteadyState(
+        dtc_core::metrics::AvailabilityReport::new(
+            a,
+            3.5,
+            4,
+            ReachStats { tangible_states: 1000, vanishing_markings: 10, edges: 5000 },
+            SolveStats { iterations: 42, residual: 1e-12, method: Method::GaussSeidel },
+        ),
+    )])
 }
 
 const KEYS: usize = 4;
@@ -50,8 +53,10 @@ fn overlapping_keys_solve_exactly_once_each() {
                         std::thread::sleep(Duration::from_millis(20));
                         Ok(report(0.9 + k as f64 / 100.0))
                     });
+                    let reports = result.expect("solve succeeds");
+                    let steady = dtc_core::analysis::first_steady_state(&reports).unwrap();
                     assert_eq!(
-                        result.expect("solve succeeds").availability,
+                        steady.availability,
                         0.9 + k as f64 / 100.0,
                         "every caller sees its key's report"
                     );

@@ -1,7 +1,7 @@
 //! Wide-area network model: distance → RTT → achievable throughput → mean
 //! transfer time (MTT).
 //!
-//! The paper estimates MTT with the SLAC/PingER relation ([18] in the paper),
+//! The paper estimates MTT with the SLAC/PingER relation (\[18\] in the paper),
 //! which associates a network-quality constant α ∈ (0, 1] with the achievable
 //! fraction of the loss-bounded TCP throughput
 //!

@@ -15,7 +15,7 @@
 //!
 //! Both are computed with the classical Farkas elimination; the number of
 //! minimal invariants can grow exponentially, so the computation is bounded
-//! and returns [`PetriError::StateSpaceExceeded`]-style failure via
+//! and returns [`crate::PetriError::StateSpaceExceeded`]-style failure via
 //! [`InvariantError`] when the bound is hit.
 
 use crate::model::PetriNet;

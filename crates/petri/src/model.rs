@@ -399,7 +399,7 @@ impl PetriNetBuilder {
 
     /// Imports another net into this builder — the *net union* composition
     /// rule the paper adopts from de Albuquerque et al. (its reference
-    /// [17]): every place/transition of `other` is added after renaming
+    /// \[17\]): every place/transition of `other` is added after renaming
     /// through `rename`, and **places whose renamed name already exists in
     /// this builder are fused** with the existing place (the existing
     /// initial marking wins). Guards are remapped to the new place ids.

@@ -184,7 +184,7 @@ impl Block {
 
     /// Evaluates the structure with a per-leaf probability function — the
     /// common core of availability and reliability. Exposed for sensitivity
-    /// computations in [`crate::fold`].
+    /// computations in [`crate::fold()`].
     pub fn eval(&self, leaf: &impl Fn(&Component) -> f64) -> f64 {
         match self {
             Block::Basic(c) => leaf(c),

@@ -2,7 +2,7 @@
 //!
 //! Given a system diagram, importance measures rank components by how much
 //! they matter to system availability — the input to "which component
-//! should we upgrade?" decisions (compare the paper's related work [13],
+//! should we upgrade?" decisions (compare the paper's related work \[13\],
 //! which found that replacing machines with more reliable ones barely moved
 //! Eucalyptus availability):
 //!

@@ -21,7 +21,10 @@ options:
 routes:
   GET  /healthz         liveness
   GET  /v1/stats        cache + queue + server counters
-  POST /v1/evaluate     evaluate a JSON catalog document
+  POST /v1/evaluate     evaluate a JSON catalog document (steady state)
+  POST /v2/evaluate     {catalog, analyses}: run any analysis set (steady_state,
+                        transient, interval, mttsf, capacity_thresholds, cost,
+                        simulation) from one state-space construction
   GET  /v1/cache/keys   stored content-addressed keys
 ";
 
@@ -97,12 +100,15 @@ options:
   --requests N        requests per client (default 50)
   --healthz           GET /healthz instead of POST /v1/evaluate
   --catalog FILE      POST this JSON catalog instead of the built-in tiny one
+  --mix N             rotate through N distinct built-in scenario bodies so the
+                      run exercises the cache-miss/solve path, not just hits
 ";
 
 /// Parses `loadgen` arguments.
 pub fn parse_loadgen_args(args: &[String]) -> Result<Option<loadgen::Options>, String> {
     let mut opts = loadgen::Options::default();
     let mut addr_given = false;
+    let mut catalog_given = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -126,6 +132,13 @@ pub fn parse_loadgen_args(args: &[String]) -> Result<Option<loadgen::Options>, S
                 let path = take("--catalog")?;
                 let text = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
                 opts.body = Some(text);
+                catalog_given = true;
+            }
+            "--mix" => {
+                opts.mix = parse_usize("--mix", &take("--mix")?)?;
+                if opts.mix == 0 {
+                    return Err("--mix needs at least 1 body".into());
+                }
             }
             "--help" | "-h" | "help" => return Ok(None),
             other => return Err(format!("unknown loadgen option {other:?}")),
@@ -133,6 +146,14 @@ pub fn parse_loadgen_args(args: &[String]) -> Result<Option<loadgen::Options>, S
     }
     if !addr_given {
         return Err("--addr HOST:PORT is required (see loadgen --help)".into());
+    }
+    if opts.mix > 1 && catalog_given {
+        return Err("--mix uses the built-in body rotation and would ignore --catalog; \
+                    drop one of them"
+            .into());
+    }
+    if opts.mix > 1 && opts.body.is_none() {
+        return Err("--mix only applies to POST /v1/evaluate; drop --healthz".into());
     }
     Ok(Some(opts))
 }
@@ -203,5 +224,15 @@ mod tests {
         assert_eq!(opts.method, "GET");
         assert_eq!(opts.path, "/healthz");
         assert!(opts.body.is_none());
+        assert_eq!(opts.mix, 1);
+    }
+
+    #[test]
+    fn loadgen_mix_parses_and_rejects_zero() {
+        let opts = parse_loadgen_args(&strs(&["--addr", "127.0.0.1:1", "--mix", "4"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.mix, 4);
+        assert!(parse_loadgen_args(&strs(&["--addr", "127.0.0.1:1", "--mix", "0"])).is_err());
     }
 }

@@ -9,7 +9,12 @@
 //! * `GET /healthz` — liveness probe.
 //! * `GET /v1/stats` — cache, queue and server counters.
 //! * `POST /v1/evaluate` — a catalog document in the engine's JSON schema;
-//!   expanded, deduped, solved, and rendered back as JSON.
+//!   expanded, deduped, solved for steady state, and rendered back as JSON
+//!   (a thin steady-state wrapper over the v2 pipeline).
+//! * `POST /v2/evaluate` — `{"catalog": …, "analyses": [...]}`: runs any
+//!   analysis set (steady_state, transient, interval, mttsf,
+//!   capacity_thresholds, cost, simulation) per scenario against **one**
+//!   state-space construction and returns the full report union.
 //! * `GET /v1/cache/keys` — the content-addressed keys currently stored.
 //!
 //! The hot path is the cache's **single-flight** gate
@@ -30,8 +35,11 @@ pub mod cli;
 pub mod http;
 pub mod loadgen;
 
+use dtc_core::analysis::AnalysisRequest;
 use dtc_engine::value::Value;
-use dtc_engine::{results_to_value, run_batch, Catalog, EngineError, EvalCache, RunOptions};
+use dtc_engine::{
+    parse_analyses, results_to_value, run_batch, Catalog, EngineError, EvalCache, RunOptions,
+};
 use http::{read_request, write_response, ReadError, Request, Response};
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
@@ -336,7 +344,8 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("GET", "/v1/stats") => stats(shared),
         ("GET", "/v1/cache/keys") => cache_keys(shared),
         ("POST", "/v1/evaluate") => evaluate(shared, request),
-        (_, "/healthz" | "/v1/stats" | "/v1/cache/keys" | "/v1/evaluate") => {
+        ("POST", "/v2/evaluate") => evaluate_v2(shared, request),
+        (_, "/healthz" | "/v1/stats" | "/v1/cache/keys" | "/v1/evaluate" | "/v2/evaluate") => {
             Response::error(405, "method not allowed for this route")
         }
         _ => Response::error(404, "no such route"),
@@ -394,20 +403,72 @@ fn cache_keys(shared: &Shared) -> Response {
     Response::json(200, doc.to_json())
 }
 
+/// `POST /v1/evaluate`: the original steady-state route, now a thin
+/// wrapper over the v2 pipeline with a fixed `[steady_state]` analysis
+/// set. Existing v1 response fields are unchanged; the shared pipeline
+/// additionally includes the `analyses` list and per-result report union
+/// (additive for v1 clients).
 fn evaluate(shared: &Shared, request: &Request) -> Response {
+    let catalog = match parse_catalog_body(&request.body) {
+        Ok(catalog) => catalog,
+        Err(resp) => return *resp,
+    };
+    run_analyses(shared, &catalog, vec![AnalysisRequest::SteadyState])
+}
+
+/// `POST /v2/evaluate`: `{"catalog": <catalog document>, "analyses":
+/// [...]}`. The analysis set falls back to the catalog's own `[analyses]`
+/// section (which itself defaults to steady state).
+fn evaluate_v2(shared: &Shared, request: &Request) -> Response {
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return Response::error(400, "body is not UTF-8"),
     };
-    let catalog = match Catalog::from_json_str(text) {
+    let root = match Value::from_json(text) {
+        Ok(root) => root,
+        Err(e) => return Response::error(400, &format!("body does not parse: {e}")),
+    };
+    let Some(catalog_doc) = root.get("catalog") else {
+        return Response::error(
+            400,
+            "v2 body needs a \"catalog\" field (the catalog document)",
+        );
+    };
+    let catalog = match Catalog::from_value(catalog_doc) {
         Ok(catalog) => catalog,
         Err(e) => return Response::error(400, &format!("catalog does not parse: {e}")),
     };
+    let analyses = match root.get("analyses") {
+        None => catalog.analyses.clone(),
+        Some(v) => match parse_analyses(v) {
+            Ok(analyses) => analyses,
+            Err(e) => return Response::error(400, &format!("bad analyses: {e}")),
+        },
+    };
+    run_analyses(shared, &catalog, analyses)
+}
+
+fn parse_catalog_body(body: &[u8]) -> Result<Catalog, Box<Response>> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Box::new(Response::error(400, "body is not UTF-8")))?;
+    Catalog::from_json_str(text)
+        .map_err(|e| Box::new(Response::error(400, &format!("catalog does not parse: {e}"))))
+}
+
+/// The shared evaluation pipeline behind both routes: expand, fan out
+/// through the single-flight cache with the given analysis set, persist,
+/// render.
+fn run_analyses(
+    shared: &Shared,
+    catalog: &Catalog,
+    analyses: Vec<AnalysisRequest>,
+) -> Response {
     let scenarios = match catalog.expand() {
         Ok(scenarios) => scenarios,
         Err(e) => return Response::error(400, &format!("catalog does not expand: {e}")),
     };
-    let opts = RunOptions { threads: shared.eval_threads, ..RunOptions::default() };
+    let kinds: Vec<Value> = analyses.iter().map(|a| Value::Str(a.kind().into())).collect();
+    let opts = RunOptions { threads: shared.eval_threads, analyses, ..RunOptions::default() };
     let result = run_batch(&scenarios, &shared.cache, &opts);
     shared.evaluations.fetch_add(1, Ordering::Relaxed);
     if result.evaluated > 0 {
@@ -420,6 +481,7 @@ fn evaluate(shared: &Shared, request: &Request) -> Response {
     }
     let doc = Value::object([
         ("catalog", Value::Str(catalog.name.clone())),
+        ("analyses", Value::Array(kinds)),
         ("results", results_to_value(&scenarios, &result.outcomes)),
         (
             "summary",

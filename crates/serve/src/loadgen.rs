@@ -7,6 +7,7 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// What to fire at the server.
@@ -24,6 +25,11 @@ pub struct Options {
     pub path: String,
     /// Request body (POST only).
     pub body: Option<Vec<u8>>,
+    /// Number of distinct built-in scenario bodies to rotate through
+    /// (`--mix`). 1 (the default) hammers one spec — after the first solve
+    /// that measures the pure cache-hit path; N > 1 spreads requests over
+    /// N different specs so the cache-miss/solve path stays exercised.
+    pub mix: usize,
 }
 
 impl Default for Options {
@@ -35,6 +41,7 @@ impl Default for Options {
             method: "POST".into(),
             path: "/v1/evaluate".into(),
             body: Some(tiny_catalog_json().into_bytes()),
+            mix: 1,
         }
     }
 }
@@ -82,8 +89,30 @@ pub fn tiny_catalog_json() -> String {
     .to_string()
 }
 
-fn one_request(opts: &Options) -> std::io::Result<(bool, Duration)> {
-    let body = opts.body.as_deref().unwrap_or(b"");
+/// The `i`-th body of a `--mix` run: the tiny catalog with a distinct VM
+/// MTTF, so each body is a distinct spec (and cache key) that forces a real
+/// solve on first sight. The offset keeps body 0 distinct from
+/// [`tiny_catalog_json`]'s Table-VI defaults as well.
+pub fn mix_catalog_json(i: usize) -> String {
+    let mttf = 2904.0 + 24.0 * i as f64;
+    format!(
+        r#"{{
+  "catalog": {{"name": "loadgen-mix-{i}", "description": "one minimal DC, distinct VM MTTF"}},
+  "params": {{"min_running_vms": 1, "vm": {{"mttf_hours": {mttf}, "mttr_hours": 0.5}}}},
+  "scenario": [{{
+    "name": "tiny",
+    "kind": "custom",
+    "dc": [{{
+      "site": {{"name": "Origin", "lat": 0.0, "lon": 0.0}},
+      "hot_pms": 1, "vms_per_pm": 1, "pm_capacity": 1,
+      "disaster": false, "nas_net": false, "backup_link": false
+    }}]
+  }}]
+}}"#
+    )
+}
+
+fn one_request(opts: &Options, body: &[u8]) -> std::io::Result<(bool, Duration)> {
     let head = format!(
         "{} {} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\ncontent-type: application/json\r\nconnection: close\r\n\r\n",
         opts.method, opts.path, opts.addr, body.len(),
@@ -101,7 +130,16 @@ fn one_request(opts: &Options) -> std::io::Result<(bool, Duration)> {
 }
 
 /// Runs the workload and aggregates latencies across every client.
+///
+/// With `mix > 1`, requests rotate round-robin (across all clients)
+/// through [`mix_catalog_json`] bodies instead of re-sending one spec.
 pub fn run(opts: &Options) -> Summary {
+    let bodies: Vec<Vec<u8>> = if opts.mix > 1 {
+        (0..opts.mix).map(|i| mix_catalog_json(i).into_bytes()).collect()
+    } else {
+        vec![opts.body.clone().unwrap_or_default()]
+    };
+    let next = AtomicUsize::new(0);
     let t0 = Instant::now();
     let samples: Vec<(bool, Option<Duration>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.clients.max(1))
@@ -109,7 +147,8 @@ pub fn run(opts: &Options) -> Summary {
                 scope.spawn(|| {
                     let mut local = Vec::with_capacity(opts.requests_per_client);
                     for _ in 0..opts.requests_per_client {
-                        match one_request(opts) {
+                        let body = &bodies[next.fetch_add(1, Ordering::Relaxed) % bodies.len()];
+                        match one_request(opts, body) {
                             Ok((ok, latency)) => local.push((ok, Some(latency))),
                             Err(_) => local.push((false, None)),
                         }
@@ -152,8 +191,10 @@ pub fn run(opts: &Options) -> Summary {
 
 /// Human-readable report block.
 pub fn render(opts: &Options, s: &Summary) -> String {
+    let mix =
+        if opts.mix > 1 { format!(" (mix of {} bodies)", opts.mix) } else { String::new() };
     format!(
-        "loadgen: {} {} @ {} — {} client(s) × {} request(s)\n\
+        "loadgen: {} {} @ {}{mix} — {} client(s) × {} request(s)\n\
          requests: {} total, {} ok, {} failed\n\
          elapsed:  {:.3} s\n\
          rps:      {:.1}\n\
@@ -186,6 +227,24 @@ mod tests {
     }
 
     #[test]
+    fn mix_bodies_are_distinct_specs() {
+        use dtc_engine::{canonical_encoding_with, prelude::AnalysisRequest};
+        let opts = dtc_core::metrics::EvalOptions::default();
+        let analyses = [AnalysisRequest::SteadyState];
+        let mut keys = std::collections::HashSet::new();
+        for i in 0..5 {
+            let catalog = dtc_engine::Catalog::from_json_str(&mix_catalog_json(i)).unwrap();
+            let scenarios = catalog.expand().unwrap();
+            assert_eq!(scenarios.len(), 1);
+            let canonical = canonical_encoding_with(&scenarios[0].spec, &opts, &analyses);
+            assert!(
+                keys.insert(dtc_engine::hash::key_of_encoding(&canonical)),
+                "mix body {i} collides with an earlier one"
+            );
+        }
+    }
+
+    #[test]
     fn percentiles_come_from_sorted_latencies() {
         // Hit an unreachable port: every request fails fast, so the
         // summary shape is exercised without a server.
@@ -196,6 +255,7 @@ mod tests {
             method: "GET".into(),
             path: "/healthz".into(),
             body: None,
+            mix: 1,
         };
         let s = run(&opts);
         assert_eq!(s.total, 6);

@@ -137,6 +137,126 @@ fn concurrent_identical_posts_are_single_flight_and_loadgen_reports() {
 }
 
 #[test]
+fn v2_runs_multi_analysis_set_from_one_state_space_construction() {
+    let server = Server::start(&config()).expect("server starts");
+    let addr = server.addr();
+
+    let body = format!(
+        "{{\"catalog\":{},\"analyses\":[\"steady_state\",\"mttsf\",\"capacity_thresholds\"]}}",
+        loadgen::tiny_catalog_json()
+    );
+    let (status, text) = request(addr, "POST", "/v2/evaluate", Some(&body));
+    assert_eq!(status, 200, "{text}");
+    let doc = Value::from_json(&text).expect("valid JSON");
+
+    // The response names the analysis set it ran.
+    let kinds: Vec<&str> = doc
+        .get("analyses")
+        .and_then(|a| a.as_array())
+        .expect("analyses array")
+        .iter()
+        .filter_map(|k| k.as_str())
+        .collect();
+    assert_eq!(kinds, ["steady_state", "mttsf", "capacity_thresholds"]);
+
+    // One scenario, all three reports, each physically sensible.
+    let results = doc.get("results").and_then(|r| r.as_array()).expect("results array");
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].get("status").and_then(|s| s.as_str()), Some("ok"));
+    let analyses = results[0].get("analyses").and_then(|a| a.as_array()).expect("report union");
+    assert_eq!(analyses.len(), 3);
+    let availability =
+        analyses[0].get("availability").and_then(|a| a.as_f64()).expect("steady availability");
+    assert!((0.0..=1.0).contains(&availability));
+    let mttsf = analyses[1].get("hours").and_then(|h| h.as_f64()).expect("mttsf hours");
+    assert!(mttsf > 0.0, "mttsf {mttsf}");
+    let curve: Vec<f64> = analyses[2]
+        .get("availability")
+        .and_then(|c| c.as_array())
+        .expect("capacity curve")
+        .iter()
+        .filter_map(|x| x.as_f64())
+        .collect();
+    assert_eq!(curve.len(), 2, "1 VM -> thresholds k = 0, 1");
+    assert!((curve[0] - 1.0).abs() < 1e-12, "k=0 always satisfied");
+    assert!((curve[1] - availability).abs() < 1e-10, "k=1 equals steady availability");
+    // The v1-compatible steady field rides along.
+    assert_eq!(
+        results[0].get("report").and_then(|r| r.get("availability")).and_then(|a| a.as_f64()),
+        Some(availability)
+    );
+
+    // All three metrics came from ONE state-space construction: a single
+    // cache miss (one solve), zero hits so far.
+    let stats = get_json(addr, "/v1/stats");
+    assert_eq!(int_at(&stats, "cache", "misses"), 1, "one solve for the whole set");
+    assert_eq!(int_at(&stats, "cache", "entries"), 1);
+
+    // Re-POSTing the same set is a pure cache hit…
+    let (status, text2) = request(addr, "POST", "/v2/evaluate", Some(&body));
+    assert_eq!(status, 200);
+    let doc2 = Value::from_json(&text2).unwrap();
+    let union_of = |d: &Value| {
+        d.get("results").unwrap().as_array().unwrap()[0].get("analyses").unwrap().to_json()
+    };
+    assert_eq!(union_of(&doc2), union_of(&doc), "cached union is bit-identical");
+    assert_eq!(
+        doc2.get("results").unwrap().as_array().unwrap()[0]
+            .get("source")
+            .and_then(|s| s.as_str()),
+        Some("cache")
+    );
+    let stats = get_json(addr, "/v1/stats");
+    assert_eq!(int_at(&stats, "cache", "misses"), 1);
+    assert_eq!(int_at(&stats, "cache", "hits"), 1);
+
+    // …while the analyses fallback (omitted field → catalog's [analyses]
+    // section → steady state) is a *different* cache identity.
+    let v1_style = format!("{{\"catalog\":{}}}", loadgen::tiny_catalog_json());
+    let (status, _) = request(addr, "POST", "/v2/evaluate", Some(&v1_style));
+    assert_eq!(status, 200);
+    let stats = get_json(addr, "/v1/stats");
+    assert_eq!(int_at(&stats, "cache", "misses"), 2, "steady-only set solves separately");
+
+    // Bad requests are 400s.
+    let (status, text) = request(addr, "POST", "/v2/evaluate", Some("{\"analyses\":[]}"));
+    assert_eq!(status, 400);
+    assert!(text.contains("catalog"), "{text}");
+    let bad_kind =
+        format!("{{\"catalog\":{},\"analyses\":[\"wat\"]}}", loadgen::tiny_catalog_json());
+    let (status, text) = request(addr, "POST", "/v2/evaluate", Some(&bad_kind));
+    assert_eq!(status, 400);
+    assert!(text.contains("wat"), "{text}");
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn loadgen_mix_exercises_distinct_specs() {
+    let server = Server::start(&config()).expect("server starts");
+    let addr = server.addr();
+
+    const MIX: usize = 3;
+    let opts = loadgen::Options {
+        addr: addr.to_string(),
+        clients: 3,
+        requests_per_client: 4,
+        mix: MIX,
+        ..loadgen::Options::default()
+    };
+    let summary = loadgen::run(&opts);
+    assert_eq!(summary.total, 12);
+    assert_eq!(summary.ok, 12, "all mixed requests succeed");
+
+    // Exactly MIX distinct specs were solved; everything else hit.
+    let stats = get_json(addr, "/v1/stats");
+    assert_eq!(int_at(&stats, "cache", "misses"), MIX as i64);
+    assert_eq!(int_at(&stats, "cache", "entries"), MIX as i64);
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn routes_and_error_paths() {
     let server = Server::start(&config()).expect("server starts");
     let addr = server.addr();

@@ -67,7 +67,7 @@ fn main() -> dtcloud::core::Result<()> {
 
     let mut evaluated = Vec::new();
     for (name, spec) in [("single site (Rio)", single), ("dual site (Rio+Brasília)", dual)] {
-        let model = CloudModel::build(spec.clone())?;
+        let model = CloudModel::build(&spec)?;
         let report = model.evaluate(&opts)?;
         let cost = costs.annual_cost(&spec, &report);
         println!(

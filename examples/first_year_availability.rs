@@ -40,7 +40,7 @@ fn main() -> dtcloud::core::Result<()> {
         min_running_vms: 1,
         migration_threshold: 1,
     };
-    let model = CloudModel::build(spec)?;
+    let model = CloudModel::build(&spec)?;
     let graph = model.state_space(&EvalOptions::default())?;
     let steady = model.evaluate_on(&graph, &EvalOptions::default())?;
 

@@ -43,7 +43,7 @@ fn main() -> dtcloud::core::Result<()> {
         min_running_vms: 1,
         migration_threshold: 1,
     };
-    let model = CloudModel::build(spec)?;
+    let model = CloudModel::build(&spec)?;
 
     // Numeric reference.
     let report = model.evaluate(&EvalOptions::default())?;

@@ -72,9 +72,9 @@ fn main() -> dtcloud::core::Result<()> {
     };
 
     let opts = EvalOptions::default();
-    let two = CloudModel::build(two_site)?;
+    let two = CloudModel::build(&two_site)?;
     let report2 = two.evaluate(&opts)?;
-    let three = CloudModel::build(three_site)?;
+    let three = CloudModel::build(&three_site)?;
     let report3 = three.evaluate(&opts)?;
 
     println!("=== two sites (Rio + Brasília) ===");

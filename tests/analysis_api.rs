@@ -1,0 +1,99 @@
+//! The unified analysis API's core promise, measured end to end: a
+//! multi-analysis `evaluate_all` call builds the tangible state space
+//! **once**, so it must beat running the same analyses as separate
+//! single-metric calls (each of which rebuilds model + state space, the way
+//! every pre-v2 caller did).
+
+use dtcloud::core::prelude::*;
+use dtcloud::geo::BRASILIA;
+use std::time::Instant;
+
+/// The reduced two-DC case study (one PM per DC): a non-trivial state
+/// space that still solves in well under a second per run.
+fn spec() -> CloudSystemSpec {
+    let cs = CaseStudy::paper();
+    let mut spec = cs.two_dc_spec(&BRASILIA, 0.35, 100.0);
+    for dc in &mut spec.data_centers {
+        dc.pms.truncate(1);
+    }
+    spec.min_running_vms = 1;
+    spec
+}
+
+const SET: [AnalysisRequest; 3] =
+    [AnalysisRequest::SteadyState, AnalysisRequest::Mttsf, AnalysisRequest::CapacityThresholds];
+
+#[test]
+fn multi_analysis_run_beats_three_single_metric_runs() {
+    let spec = spec();
+    let opts = EvalOptions::default();
+
+    // Warm up caches/allocator so the comparison below is steady-state.
+    CloudModel::build(&spec).unwrap().evaluate_all(&SET, &opts).unwrap();
+
+    // One build + one state-space construction for all three analyses.
+    let t0 = Instant::now();
+    let multi = CloudModel::build(&spec).unwrap().evaluate_all(&SET, &opts).unwrap();
+    let multi_time = t0.elapsed();
+
+    // The pre-v2 shape: each metric re-builds the model and re-explores
+    // the state space.
+    let t0 = Instant::now();
+    let mut singles = Vec::new();
+    for request in SET {
+        let run = CloudModel::build(&spec)
+            .unwrap()
+            .evaluate_all(std::slice::from_ref(&request), &opts)
+            .unwrap();
+        singles.extend(run);
+    }
+    let singles_time = t0.elapsed();
+
+    // Same numbers either way…
+    assert_eq!(multi, singles, "shared state space must not change any metric");
+    assert_eq!(multi.len(), 3);
+    assert!(first_steady_state(&multi).is_some());
+
+    // …but the shared construction is measurably faster. The true ratio is
+    // ~3x (one exploration instead of three); 0.9 leaves a wide margin for
+    // scheduler noise.
+    assert!(
+        multi_time.as_secs_f64() < 0.9 * singles_time.as_secs_f64(),
+        "multi-analysis run ({multi_time:?}) should be well under three single runs \
+         ({singles_time:?})"
+    );
+}
+
+#[test]
+fn evaluate_all_matches_legacy_single_metric_surface() {
+    // Cross-check the union against the original per-metric methods on a
+    // shared graph (the expert path): same state space, same numbers.
+    let spec = spec();
+    let opts = EvalOptions::default();
+    let model = CloudModel::build(&spec).unwrap();
+    let graph = model.state_space(&opts).unwrap();
+    let reports = model.evaluate_all_on(&graph, &SET, &opts).unwrap();
+
+    let steady = first_steady_state(&reports).unwrap();
+    assert_eq!(*steady, model.evaluate_on(&graph, &opts).unwrap());
+
+    match &reports[1] {
+        AnalysisReport::Mttsf { hours } => {
+            assert_eq!(*hours, model.mean_time_to_service_failure(&graph).unwrap());
+        }
+        other => panic!("expected mttsf, got {other:?}"),
+    }
+    match &reports[2] {
+        AnalysisReport::CapacityThresholds { availability } => {
+            let direct = model.availability_by_threshold(&graph).unwrap();
+            assert_eq!(availability.len(), direct.len());
+            for (a, b) in availability.iter().zip(&direct) {
+                // `availability_by_threshold` solves with default options,
+                // the union with the request's options — same method here,
+                // so the curves agree to solver tolerance.
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+        other => panic!("expected capacity curve, got {other:?}"),
+    }
+}

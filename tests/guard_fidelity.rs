@@ -8,7 +8,7 @@ use dtcloud::geo::BRASILIA;
 
 fn paper_model() -> CloudModel {
     let cs = CaseStudy::paper();
-    CloudModel::build(cs.two_dc_spec(&BRASILIA, 0.35, 100.0)).expect("builds")
+    CloudModel::build(&cs.two_dc_spec(&BRASILIA, 0.35, 100.0)).expect("builds")
 }
 
 fn guard_of(model: &CloudModel, transition: &str) -> String {

@@ -28,9 +28,9 @@ fn reduced_two_dc(
 fn table_vii_single_dc_rows_ordering_and_levels() {
     let cs = CaseStudy::paper();
     let opts = EvalOptions::default();
-    let one = CloudModel::build(cs.single_dc_spec(1)).unwrap().evaluate(&opts).unwrap();
-    let two = CloudModel::build(cs.single_dc_spec(2)).unwrap().evaluate(&opts).unwrap();
-    let four = CloudModel::build(cs.single_dc_spec(4)).unwrap().evaluate(&opts).unwrap();
+    let one = CloudModel::build(&cs.single_dc_spec(1)).unwrap().evaluate(&opts).unwrap();
+    let two = CloudModel::build(&cs.single_dc_spec(2)).unwrap().evaluate(&opts).unwrap();
+    let four = CloudModel::build(&cs.single_dc_spec(4)).unwrap().evaluate(&opts).unwrap();
 
     // Paper ordering: one < two < four machines.
     assert!(
@@ -56,11 +56,11 @@ fn table_vii_single_dc_rows_ordering_and_levels() {
 #[test]
 fn closer_secondary_site_gives_higher_availability() {
     let opts = EvalOptions::default();
-    let near = CloudModel::build(reduced_two_dc(&BRASILIA, 0.35, 100.0))
+    let near = CloudModel::build(&reduced_two_dc(&BRASILIA, 0.35, 100.0))
         .unwrap()
         .evaluate(&opts)
         .unwrap();
-    let far = CloudModel::build(reduced_two_dc(&TOKYO, 0.35, 100.0))
+    let far = CloudModel::build(&reduced_two_dc(&TOKYO, 0.35, 100.0))
         .unwrap()
         .evaluate(&opts)
         .unwrap();
@@ -75,11 +75,11 @@ fn closer_secondary_site_gives_higher_availability() {
 #[test]
 fn better_network_quality_improves_availability() {
     let opts = EvalOptions::default();
-    let slow = CloudModel::build(reduced_two_dc(&TOKYO, 0.35, 100.0))
+    let slow = CloudModel::build(&reduced_two_dc(&TOKYO, 0.35, 100.0))
         .unwrap()
         .evaluate(&opts)
         .unwrap();
-    let fast = CloudModel::build(reduced_two_dc(&TOKYO, 0.45, 100.0))
+    let fast = CloudModel::build(&reduced_two_dc(&TOKYO, 0.45, 100.0))
         .unwrap()
         .evaluate(&opts)
         .unwrap();
@@ -94,11 +94,11 @@ fn better_network_quality_improves_availability() {
 #[test]
 fn rarer_disasters_improve_availability() {
     let opts = EvalOptions::default();
-    let frequent = CloudModel::build(reduced_two_dc(&BRASILIA, 0.35, 100.0))
+    let frequent = CloudModel::build(&reduced_two_dc(&BRASILIA, 0.35, 100.0))
         .unwrap()
         .evaluate(&opts)
         .unwrap();
-    let rare = CloudModel::build(reduced_two_dc(&BRASILIA, 0.35, 300.0))
+    let rare = CloudModel::build(&reduced_two_dc(&BRASILIA, 0.35, 300.0))
         .unwrap()
         .evaluate(&opts)
         .unwrap();
@@ -116,22 +116,22 @@ fn distance_effect_dominates_at_low_alpha_network_at_long_distance() {
     // significantly affect availability; for larger distances availability
     // is mostly impacted by network speed."
     let opts = EvalOptions::default();
-    let tokyo_alpha = CloudModel::build(reduced_two_dc(&TOKYO, 0.45, 100.0))
+    let tokyo_alpha = CloudModel::build(&reduced_two_dc(&TOKYO, 0.45, 100.0))
         .unwrap()
         .evaluate(&opts)
         .unwrap()
         .nines
-        - CloudModel::build(reduced_two_dc(&TOKYO, 0.35, 100.0))
+        - CloudModel::build(&reduced_two_dc(&TOKYO, 0.35, 100.0))
             .unwrap()
             .evaluate(&opts)
             .unwrap()
             .nines;
-    let tokyo_disaster = CloudModel::build(reduced_two_dc(&TOKYO, 0.35, 300.0))
+    let tokyo_disaster = CloudModel::build(&reduced_two_dc(&TOKYO, 0.35, 300.0))
         .unwrap()
         .evaluate(&opts)
         .unwrap()
         .nines
-        - CloudModel::build(reduced_two_dc(&TOKYO, 0.35, 100.0))
+        - CloudModel::build(&reduced_two_dc(&TOKYO, 0.35, 100.0))
             .unwrap()
             .evaluate(&opts)
             .unwrap()
@@ -151,7 +151,7 @@ fn full_fig6_model_beats_single_dc_and_matches_paper_band() {
     // every single-DC architecture.
     let cs = CaseStudy::paper();
     let opts = EvalOptions::default();
-    let report = CloudModel::build(cs.two_dc_spec(&BRASILIA, 0.35, 100.0))
+    let report = CloudModel::build(&cs.two_dc_spec(&BRASILIA, 0.35, 100.0))
         .unwrap()
         .evaluate(&opts)
         .unwrap();
@@ -160,7 +160,7 @@ fn full_fig6_model_beats_single_dc_and_matches_paper_band() {
         "Rio–Brasília baseline at {:.2} nines, expected ~3.5",
         report.nines
     );
-    let four = CloudModel::build(cs.single_dc_spec(4)).unwrap().evaluate(&opts).unwrap();
+    let four = CloudModel::build(&cs.single_dc_spec(4)).unwrap().evaluate(&opts).unwrap();
     assert!(report.availability > four.availability);
     // Paper's Fig. 6 instance: N = 4 VMs, k = 2, 126k-state band.
     assert!(report.tangible_states > 50_000, "{}", report.tangible_states);

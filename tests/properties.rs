@@ -118,7 +118,7 @@ fn steady_state_is_distribution_and_tokens_conserved() {
     for case in 0..CASES {
         let spec = g.spec();
         let n = spec.total_vms();
-        let model = CloudModel::build(spec).unwrap();
+        let model = CloudModel::build(&spec).unwrap();
         let graph = model.state_space(&EvalOptions::default()).unwrap();
 
         // All VM-capable places.
@@ -154,7 +154,7 @@ fn no_vm_tokens_on_dead_infrastructure() {
     let mut g = Gen(0xB0B);
     for case in 0..CASES {
         let spec = g.spec();
-        let model = CloudModel::build(spec).unwrap();
+        let model = CloudModel::build(&spec).unwrap();
         let graph = model.state_space(&EvalOptions::default()).unwrap();
         for m in graph.states() {
             for dc in model.data_centers() {
@@ -197,7 +197,7 @@ fn availability_monotone_in_pm_mttf() {
             min_running_vms: 1,
             migration_threshold: 1,
         };
-        CloudModel::build(spec).unwrap().evaluate(&EvalOptions::default()).unwrap()
+        CloudModel::build(&spec).unwrap().evaluate(&EvalOptions::default()).unwrap()
     };
     for _ in 0..CASES {
         let mttf = g.f64_in(500.0, 5_000.0);

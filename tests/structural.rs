@@ -23,7 +23,7 @@ fn small_two_dc() -> CloudModel {
         min_running_vms: 1,
         migration_threshold: 1,
     };
-    CloudModel::build(spec).expect("builds")
+    CloudModel::build(&spec).expect("builds")
 }
 
 #[test]
