@@ -14,10 +14,59 @@
 //! an `[analyses]` section, the evaluation cache keys entries by spec +
 //! options + analysis set, and the HTTP service exposes the full union at
 //! `POST /v2/evaluate`.
+//!
+//! # Examples
+//!
+//! Run three analyses — including a parameter-sensitivity sweep — against
+//! one state-space construction. The sensitivity baseline reuses the
+//! analysis set's shared steady-state solve; only the perturbed models are
+//! rebuilt:
+//!
+//! ```
+//! use dtc_core::prelude::*;
+//!
+//! let spec = CloudSystemSpec {
+//!     ospm: ComponentParams::new(1000.0, 12.0),
+//!     vm: VmParams { mttf_hours: 2880.0, mttr_hours: 0.5, start_hours: 0.1 },
+//!     data_centers: vec![DataCenterSpec {
+//!         label: "1".into(),
+//!         pms: vec![PmSpec::hot(1, 1)],
+//!         disaster: None,
+//!         nas_net: None,
+//!         backup_inbound_mtt_hours: None,
+//!     }],
+//!     backup: None,
+//!     direct_mtt_hours: vec![vec![None]],
+//!     min_running_vms: 1,
+//!     migration_threshold: 1,
+//! };
+//! let model = CloudModel::build(&spec)?;
+//! let reports = model.evaluate_all(
+//!     &spec,
+//!     &[
+//!         AnalysisRequest::SteadyState,
+//!         AnalysisRequest::Mttsf,
+//!         // Only the VM knobs, ±5% around the base point.
+//!         AnalysisRequest::Sensitivity {
+//!             parameters: vec!["vm_mttf".into(), "vm_mttr".into()],
+//!             rel_step: 0.05,
+//!         },
+//!     ],
+//!     &EvalOptions::default(),
+//! )?;
+//! assert_eq!(reports.len(), 3);
+//! let AnalysisReport::Sensitivity { rows, .. } = &reports[2] else {
+//!     panic!("reports come back in request order");
+//! };
+//! assert_eq!(rows.len(), 2, "filtered to the two VM dependability knobs");
+//! assert!(rows[0].elasticity.abs() >= rows[1].elasticity.abs(), "ranked");
+//! # Ok::<(), CloudError>(())
+//! ```
 
 use crate::economics::{CostBreakdown, CostModel};
 use crate::error::Result;
 use crate::metrics::AvailabilityReport;
+use crate::sensitivity::{SensitivityRow, DEFAULT_REL_STEP};
 use dtc_petri::expr::BoolExpr;
 use dtc_petri::reach::TangibleGraph;
 use dtc_petri::PlaceId;
@@ -53,6 +102,17 @@ pub enum AnalysisRequest {
         /// Base RNG seed.
         seed: u64,
     },
+    /// Parameter-sensitivity ranking: availability elasticities
+    /// `∂ ln A / ∂ ln θ` by central differences, strongest knob first.
+    Sensitivity {
+        /// Parameter filter: exact keys (`"nas_mttf_1"`) or family names
+        /// (`"vm_mttf"`); empty selects every applicable parameter.
+        /// Entries that match nothing on a given architecture are skipped
+        /// (see [`crate::sensitivity::filtered_parameters`]).
+        parameters: Vec<String>,
+        /// Relative perturbation step in `(0, 1)` (0.05 = ±5%).
+        rel_step: f64,
+    },
 }
 
 impl AnalysisRequest {
@@ -66,6 +126,7 @@ impl AnalysisRequest {
             AnalysisRequest::CapacityThresholds => "capacity_thresholds",
             AnalysisRequest::Cost { .. } => "cost",
             AnalysisRequest::Simulation { .. } => "simulation",
+            AnalysisRequest::Sensitivity { .. } => "sensitivity",
         }
     }
 
@@ -84,6 +145,11 @@ impl AnalysisRequest {
         AnalysisRequest::Simulation { batches: 4, seed: 0xD7C1_0AD5 }
     }
 
+    /// Default sensitivity sweep: every applicable parameter, ±5%.
+    pub fn default_sensitivity() -> AnalysisRequest {
+        AnalysisRequest::Sensitivity { parameters: Vec::new(), rel_step: DEFAULT_REL_STEP }
+    }
+
     /// A request with default parameters for `kind`, or `None` if the kind
     /// is unknown.
     pub fn from_kind(kind: &str) -> Option<AnalysisRequest> {
@@ -95,6 +161,7 @@ impl AnalysisRequest {
             "capacity_thresholds" | "capacity" => Some(AnalysisRequest::CapacityThresholds),
             "cost" => Some(AnalysisRequest::Cost { model: CostModel::default() }),
             "simulation" | "sim" => Some(AnalysisRequest::default_simulation()),
+            "sensitivity" => Some(AnalysisRequest::default_sensitivity()),
             _ => None,
         }
     }
@@ -145,6 +212,14 @@ pub enum AnalysisReport {
         /// Confidence level of the interval.
         confidence: f64,
     },
+    /// Ranked availability elasticities, strongest knob first.
+    Sensitivity {
+        /// The relative perturbation step used.
+        rel_step: f64,
+        /// One row per evaluated parameter, sorted by `|elasticity|`
+        /// descending.
+        rows: Vec<SensitivityRow>,
+    },
 }
 
 impl AnalysisReport {
@@ -158,6 +233,7 @@ impl AnalysisReport {
             AnalysisReport::CapacityThresholds { .. } => "capacity_thresholds",
             AnalysisReport::Cost { .. } => "cost",
             AnalysisReport::Simulation { .. } => "simulation",
+            AnalysisReport::Sensitivity { .. } => "sensitivity",
         }
     }
 
@@ -270,10 +346,16 @@ mod tests {
             "capacity_thresholds",
             "cost",
             "simulation",
+            "sensitivity",
         ] {
             let req = AnalysisRequest::from_kind(kind).unwrap();
             assert_eq!(req.kind(), kind);
         }
+        assert_eq!(
+            AnalysisRequest::from_kind("sensitivity").unwrap(),
+            AnalysisRequest::Sensitivity { parameters: vec![], rel_step: 0.05 },
+            "default sensitivity sweeps everything at ±5%"
+        );
         assert_eq!(AnalysisRequest::from_kind("steady").unwrap(), AnalysisRequest::SteadyState);
         assert_eq!(
             AnalysisRequest::from_kind("capacity").unwrap(),

@@ -38,6 +38,7 @@
 //!
 //! // Or run several analyses against one state-space construction:
 //! let reports = model.evaluate_all(
+//!     &spec,
 //!     &[AnalysisRequest::SteadyState, AnalysisRequest::Mttsf],
 //!     &EvalOptions::default(),
 //! )?;
@@ -85,7 +86,10 @@ pub mod prelude {
     pub use crate::scenarios::{
         figure7_scenarios, table_vii_scenarios, CaseStudy, Fig7Point, Scenario,
     };
-    pub use crate::sensitivity::{availability_sensitivity, Parameter, SensitivityRow};
+    pub use crate::sensitivity::{
+        availability_sensitivity, filtered_parameters, sensitivity_with_baseline, Parameter,
+        SensitivityRow,
+    };
     pub use crate::sweep::{
         evaluate_all_guarded, evaluate_guarded, sweep_reports, SweepOutcome,
     };

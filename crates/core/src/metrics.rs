@@ -14,6 +14,23 @@ pub struct EvalOptions {
     pub solver: SolverOptions,
     /// Reachability exploration options.
     pub reach: ReachOptions,
+    /// Worker threads for analyses that fan out over rebuilt models
+    /// (today: the sensitivity sweep's perturbed points). `0` means one
+    /// per available core. Purely a scheduling knob — it cannot change any
+    /// number, so it is *not* part of the evaluation cache identity.
+    pub sweep_threads: usize,
+}
+
+impl EvalOptions {
+    /// Resolves [`EvalOptions::sweep_threads`]: `0` becomes the number of
+    /// available cores.
+    pub fn resolved_sweep_threads(&self) -> usize {
+        if self.sweep_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            self.sweep_threads
+        }
+    }
 }
 
 /// The paper's dependability metrics for one system configuration.

@@ -47,7 +47,7 @@ pub fn evaluate_all_guarded(
     requests: &[AnalysisRequest],
     opts: &EvalOptions,
 ) -> Result<Vec<AnalysisReport>, CloudError> {
-    guard(|| CloudModel::build(spec).and_then(|model| model.evaluate_all(requests, opts)))
+    guard(|| CloudModel::build(spec).and_then(|model| model.evaluate_all(spec, requests, opts)))
 }
 
 /// Converts panics inside `f` into [`CloudError::Panicked`].

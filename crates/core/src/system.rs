@@ -487,31 +487,52 @@ impl CloudModel {
     ///
     /// Exploration (the expensive step: ~126k tangible states for the
     /// paper's case study) happens exactly once, and analyses that need the
-    /// steady-state solution (`SteadyState`, `CapacityThresholds`, `Cost`)
-    /// share a single solve. Reports come back in request order.
+    /// steady-state solution (`SteadyState`, `CapacityThresholds`, `Cost`,
+    /// `Sensitivity`) share a single solve. Reports come back in request
+    /// order.
+    ///
+    /// `spec` must be the specification this model was compiled from. It
+    /// is consulted by analyses that rebuild perturbed variants of the
+    /// system — today only `Sensitivity`, whose baseline point reuses the
+    /// set's shared steady solve instead of re-building the base model.
+    /// The model keeps only a [`SystemSummary`], so the mismatch guard is
+    /// a structural sanity check (VM/PM/DC counts, backup presence), not a
+    /// full comparison: passing a same-shaped spec with different *rates*
+    /// is not detected and yields rows whose baseline belongs to the built
+    /// model — don't do that.
     pub fn evaluate_all(
         &self,
+        spec: &CloudSystemSpec,
         requests: &[AnalysisRequest],
         opts: &EvalOptions,
     ) -> Result<Vec<AnalysisReport>> {
         let graph = self.state_space(opts)?;
-        self.evaluate_all_on(&graph, requests, opts)
+        self.evaluate_all_on(spec, &graph, requests, opts)
     }
 
     /// Like [`CloudModel::evaluate_all`] but reusing an existing state
     /// space.
     pub fn evaluate_all_on(
         &self,
+        spec: &CloudSystemSpec,
         graph: &TangibleGraph,
         requests: &[AnalysisRequest],
         opts: &EvalOptions,
     ) -> Result<Vec<AnalysisReport>> {
+        if SystemSummary::of(spec) != self.summary {
+            return Err(CloudError::BadSpec(
+                "evaluate_all was given a structurally different spec than the model was \
+                 built from"
+                    .into(),
+            ));
+        }
         let needs_steady = requests.iter().any(|r| {
             matches!(
                 r,
                 AnalysisRequest::SteadyState
                     | AnalysisRequest::CapacityThresholds
                     | AnalysisRequest::Cost { .. }
+                    | AnalysisRequest::Sensitivity { .. }
             )
         });
         let steady_sol = if needs_steady {
@@ -575,6 +596,23 @@ impl CloudModel {
                         replications: est.replications,
                         confidence: est.confidence,
                     }
+                }
+                AnalysisRequest::Sensitivity { parameters, rel_step } => {
+                    // The baseline availability comes from the set's shared
+                    // steady solve — only the perturbed models (two per
+                    // parameter) are built and solved here.
+                    let base =
+                        steady.as_ref().expect("steady solve ran for sensitivity").availability;
+                    let params = crate::sensitivity::filtered_parameters(spec, parameters);
+                    let rows = crate::sensitivity::sensitivity_with_baseline(
+                        spec,
+                        &params,
+                        base,
+                        opts,
+                        *rel_step,
+                        opts.resolved_sweep_threads(),
+                    )?;
+                    AnalysisReport::Sensitivity { rel_step: *rel_step, rows }
                 }
             });
         }
@@ -943,17 +981,20 @@ mod tests {
         // The golden contract of the unified API: routing a steady-state
         // request through `evaluate_all` must reproduce `evaluate` exactly
         // (same solver path, same rounding), not merely approximately.
-        let model = CloudModel::build(&tiny_spec()).unwrap();
+        let spec = tiny_spec();
+        let model = CloudModel::build(&spec).unwrap();
         let opts = EvalOptions::default();
         let direct = model.evaluate(&opts).unwrap();
-        let unified = model.evaluate_all(&[AnalysisRequest::SteadyState], &opts).unwrap();
+        let unified =
+            model.evaluate_all(&spec, &[AnalysisRequest::SteadyState], &opts).unwrap();
         assert_eq!(unified.len(), 1);
         assert_eq!(unified[0], AnalysisReport::SteadyState(direct));
     }
 
     #[test]
     fn evaluate_all_union_matches_single_metric_calls() {
-        let model = CloudModel::build(&tiny_spec()).unwrap();
+        let spec = tiny_spec();
+        let model = CloudModel::build(&spec).unwrap();
         let opts = EvalOptions::default();
         let graph = model.state_space(&opts).unwrap();
         let requests = [
@@ -964,7 +1005,7 @@ mod tests {
             AnalysisRequest::Transient { time_points: vec![0.0, 100.0] },
             AnalysisRequest::Cost { model: crate::economics::CostModel::default() },
         ];
-        let reports = model.evaluate_all_on(&graph, &requests, &opts).unwrap();
+        let reports = model.evaluate_all_on(&spec, &graph, &requests, &opts).unwrap();
         assert_eq!(reports.len(), requests.len());
         for (req, rep) in requests.iter().zip(&reports) {
             assert_eq!(req.kind(), rep.kind(), "reports come back in request order");
@@ -998,6 +1039,79 @@ mod tests {
             }
             other => panic!("expected cost, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn evaluate_all_sensitivity_matches_standalone_sweep() {
+        // The unified pipeline's sensitivity rows must be bit-identical to
+        // the standalone sweep: same baseline (the shared steady solve
+        // produces the exact availability `availability_sensitivity`
+        // computes itself), same perturbed evaluations, same ranking.
+        let spec = tiny_spec();
+        let model = CloudModel::build(&spec).unwrap();
+        let opts = EvalOptions::default();
+        let reports = model
+            .evaluate_all(
+                &spec,
+                &[AnalysisRequest::SteadyState, AnalysisRequest::default_sensitivity()],
+                &opts,
+            )
+            .unwrap();
+        let standalone =
+            crate::sensitivity::availability_sensitivity(&spec, &opts, 0.05, 2).unwrap();
+        match &reports[1] {
+            AnalysisReport::Sensitivity { rel_step, rows } => {
+                assert_eq!(*rel_step, 0.05);
+                assert_eq!(*rows, standalone);
+            }
+            other => panic!("expected sensitivity, got {other:?}"),
+        }
+
+        // A filter narrows the rows without changing their values.
+        let reports = model
+            .evaluate_all(
+                &spec,
+                &[AnalysisRequest::Sensitivity {
+                    parameters: vec!["ospm_mttr".into()],
+                    rel_step: 0.05,
+                }],
+                &opts,
+            )
+            .unwrap();
+        match &reports[0] {
+            AnalysisReport::Sensitivity { rows, .. } => {
+                assert_eq!(rows.len(), 1);
+                let standalone_row = standalone
+                    .iter()
+                    .find(|r| r.parameter == crate::sensitivity::Parameter::OspmMttr)
+                    .unwrap();
+                assert_eq!(&rows[0], standalone_row);
+            }
+            other => panic!("expected sensitivity, got {other:?}"),
+        }
+
+        // A bad step surfaces as an error, not a panic.
+        let bad = model.evaluate_all(
+            &spec,
+            &[AnalysisRequest::Sensitivity { parameters: vec![], rel_step: 2.0 }],
+            &opts,
+        );
+        assert!(matches!(bad, Err(CloudError::BadSpec(_))));
+    }
+
+    #[test]
+    fn evaluate_all_rejects_a_mismatched_spec() {
+        let spec = tiny_spec();
+        let model = CloudModel::build(&spec).unwrap();
+        let other = two_dc_spec();
+        assert!(matches!(
+            model.evaluate_all(
+                &other,
+                &[AnalysisRequest::SteadyState],
+                &EvalOptions::default()
+            ),
+            Err(CloudError::BadSpec(_))
+        ));
     }
 
     #[test]

@@ -34,6 +34,7 @@ use dtc_core::analysis::{AnalysisReport, AnalysisRequest};
 use dtc_core::economics::CostBreakdown;
 use dtc_core::metrics::AvailabilityReport;
 use dtc_core::params::{downtime_hours_per_year, nines};
+use dtc_core::sensitivity::{Parameter, SensitivityRow};
 use dtc_core::CloudError;
 use dtc_markov::{Method, SolveStats};
 use std::collections::{BTreeMap, HashMap};
@@ -601,6 +602,28 @@ pub fn analysis_report_to_value(r: &AnalysisReport) -> Value {
             t.insert("replications".into(), Value::Int(*replications as i64));
             t.insert("confidence".into(), Value::Float(*confidence));
         }
+        AnalysisReport::Sensitivity { rel_step, rows } => {
+            t.insert("rel_step".into(), Value::Float(*rel_step));
+            let rows: Vec<Value> = rows
+                .iter()
+                .map(|r| {
+                    let mut row = BTreeMap::new();
+                    // The stable key is authoritative (and parsed back);
+                    // the label is a human-readable convenience for JSON
+                    // consumers.
+                    row.insert("parameter".into(), Value::Str(r.parameter.key()));
+                    row.insert("label".into(), Value::Str(r.parameter.to_string()));
+                    row.insert("base_value".into(), Value::Float(r.base_value));
+                    row.insert("elasticity".into(), Value::Float(r.elasticity));
+                    row.insert(
+                        "unavailability_shift".into(),
+                        Value::Float(r.unavailability_shift),
+                    );
+                    Value::Table(row)
+                })
+                .collect();
+            t.insert("rows".into(), Value::Array(rows));
+        }
     }
     Value::Table(t)
 }
@@ -647,6 +670,35 @@ pub fn analysis_report_from_value(v: &Value) -> Result<AnalysisReport> {
                 .ok_or_else(|| EngineError::Schema(format!("{ctx}: missing replications")))?,
             confidence: f("confidence")?,
         },
+        "sensitivity" => {
+            let rows = v
+                .get("rows")
+                .and_then(|x| x.as_array())
+                .ok_or_else(|| EngineError::Schema(format!("{ctx}: missing rows array")))?
+                .iter()
+                .map(|row| {
+                    let rf = |key: &str| -> Result<f64> {
+                        row.get(key).and_then(|x| x.as_f64()).ok_or_else(|| {
+                            EngineError::Schema(format!("{ctx}: row missing {key}"))
+                        })
+                    };
+                    let key =
+                        row.get("parameter").and_then(|x| x.as_str()).ok_or_else(|| {
+                            EngineError::Schema(format!("{ctx}: row missing parameter"))
+                        })?;
+                    let parameter = Parameter::from_key(key).ok_or_else(|| {
+                        EngineError::Schema(format!("{ctx}: unknown parameter key {key:?}"))
+                    })?;
+                    Ok(SensitivityRow {
+                        parameter,
+                        base_value: rf("base_value")?,
+                        elasticity: rf("elasticity")?,
+                        unavailability_shift: rf("unavailability_shift")?,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            AnalysisReport::Sensitivity { rel_step: f("rel_step")?, rows }
+        }
         other => return Err(EngineError::Schema(format!("{ctx}: unknown kind {other:?}"))),
     })
 }
@@ -783,6 +835,23 @@ mod tests {
                 half_width: 0.0003,
                 replications: 8,
                 confidence: 0.95,
+            },
+            AnalysisReport::Sensitivity {
+                rel_step: 0.05,
+                rows: vec![
+                    SensitivityRow {
+                        parameter: Parameter::OspmMttr,
+                        base_value: 12.0,
+                        elasticity: -0.0123456789,
+                        unavailability_shift: 1.2e-4,
+                    },
+                    SensitivityRow {
+                        parameter: Parameter::DirectMtt(0, 1),
+                        base_value: 3.25,
+                        elasticity: 0.0004,
+                        unavailability_shift: -4.0e-7,
+                    },
+                ],
             },
         ];
         for r in &reports {

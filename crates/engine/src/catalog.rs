@@ -593,15 +593,47 @@ pub fn analysis_request_from_value(v: &Value) -> Result<AnalysisRequest> {
         AnalysisRequest::from_kind(kind).ok_or_else(|| {
             schema_err(format!(
                 "{ctx}: unknown analysis kind {kind:?} (expected steady_state, transient, \
-                 interval, mttsf, capacity_thresholds, cost or simulation)"
+                 interval, mttsf, capacity_thresholds, cost, simulation or sensitivity)"
             ))
         })
     };
     match v {
         Value::Str(kind) => by_kind(kind),
-        Value::Table(_) => {
+        Value::Table(fields) => {
             let kind = req_str(v, "kind", ctx)?;
-            Ok(match by_kind(&kind)? {
+            let base = by_kind(&kind)?;
+            // Unknown option names fail loudly for every parameterized
+            // kind: a misspelled "time_point"/"step"/"batch" would
+            // otherwise silently fall back to the default analysis.
+            let allowed: &[&str] = match base {
+                AnalysisRequest::Transient { .. } => &["kind", "time_points"],
+                AnalysisRequest::Interval { .. } => &["kind", "horizon_hours"],
+                AnalysisRequest::Cost { .. } => &[
+                    "kind",
+                    "downtime_cost_per_hour",
+                    "site_cost_per_year",
+                    "pm_cost_per_year",
+                    "backup_cost_per_year",
+                ],
+                AnalysisRequest::Simulation { .. } => &["kind", "batches", "seed"],
+                AnalysisRequest::Sensitivity { .. } => &["kind", "parameters", "rel_step"],
+                AnalysisRequest::SteadyState
+                | AnalysisRequest::Mttsf
+                | AnalysisRequest::CapacityThresholds => &["kind"],
+            };
+            for field in fields.keys() {
+                if !allowed.contains(&field.as_str()) {
+                    let expected = if allowed.len() == 1 {
+                        format!("{kind} takes no options")
+                    } else {
+                        format!("expected one of {}", allowed[1..].join(", "))
+                    };
+                    return Err(schema_err(format!(
+                        "{ctx}: unknown {kind} option {field:?} ({expected})"
+                    )));
+                }
+            }
+            Ok(match base {
                 AnalysisRequest::Transient { time_points: default } => {
                     let time_points = match v.get("time_points") {
                         None => default,
@@ -668,6 +700,46 @@ pub fn analysis_request_from_value(v: &Value) -> Result<AnalysisRequest> {
                     };
                     AnalysisRequest::Simulation { batches, seed }
                 }
+                AnalysisRequest::Sensitivity { rel_step: default_step, .. } => {
+                    let mut parameters = match v.get("parameters") {
+                        None => Vec::new(),
+                        Some(Value::Array(items)) => {
+                            let mut out = Vec::with_capacity(items.len());
+                            for item in items {
+                                let entry = item.as_str().ok_or_else(|| {
+                                    schema_err(format!(
+                                        "{ctx}: sensitivity parameters must be strings"
+                                    ))
+                                })?;
+                                if !dtc_core::sensitivity::is_valid_filter_entry(entry) {
+                                    return Err(schema_err(format!(
+                                        "{ctx}: unknown sensitivity parameter {entry:?} \
+                                         (expected a family like \"vm_mttf\" or an indexed \
+                                         key like \"nas_mttf_1\")"
+                                    )));
+                                }
+                                out.push(entry.to_string());
+                            }
+                            out
+                        }
+                        Some(_) => {
+                            return Err(schema_err(format!(
+                                "{ctx}: sensitivity parameters must be an array of keys"
+                            )))
+                        }
+                    };
+                    // Normalize: filter order/duplication never changes the
+                    // result, so it must not change the cache identity.
+                    parameters.sort();
+                    parameters.dedup();
+                    let rel_step = opt_f64(v, "rel_step", ctx)?.unwrap_or(default_step);
+                    if !(rel_step > 0.0 && rel_step < 1.0) {
+                        return Err(schema_err(format!(
+                            "{ctx}: rel_step {rel_step} must be in (0, 1)"
+                        )));
+                    }
+                    AnalysisRequest::Sensitivity { parameters, rel_step }
+                }
                 simple => simple,
             })
         }
@@ -713,6 +785,13 @@ fn analysis_request_to_value(a: &AnalysisRequest) -> Value {
         AnalysisRequest::Simulation { batches, seed } => {
             t.insert("batches".into(), Value::Int(*batches as i64));
             t.insert("seed".into(), Value::Int(*seed as i64));
+        }
+        AnalysisRequest::Sensitivity { parameters, rel_step } => {
+            t.insert(
+                "parameters".into(),
+                Value::Array(parameters.iter().map(|p| Value::Str(p.clone())).collect()),
+            );
+            t.insert("rel_step".into(), Value::Float(*rel_step));
         }
     }
     Value::Table(t)
@@ -1248,6 +1327,92 @@ kind = "two_dc"
             Catalog::from_toml_str(empty),
             Err(EngineError::Schema(msg)) if msg.contains("empty")
         ));
+    }
+
+    #[test]
+    fn sensitivity_analyses_parse_normalize_and_validate() {
+        let doc = r#"
+[catalog]
+name = "a"
+
+[analyses]
+requests = [
+    "sensitivity",
+    { kind = "sensitivity", parameters = ["vm_mttr", "vm_mttf", "vm_mttr", "nas_mttf_2"], rel_step = 0.1 },
+]
+
+[[scenario]]
+name = "s"
+kind = "two_dc"
+"#;
+        let cat = Catalog::from_toml_str(doc).unwrap();
+        assert_eq!(
+            cat.analyses[0],
+            AnalysisRequest::Sensitivity { parameters: vec![], rel_step: 0.05 },
+            "bare kind string means every parameter at the default step"
+        );
+        assert_eq!(
+            cat.analyses[1],
+            AnalysisRequest::Sensitivity {
+                // Sorted and deduplicated: filter order never changes the
+                // rows, so it must not mint distinct cache identities.
+                parameters: vec!["nas_mttf_2".into(), "vm_mttf".into(), "vm_mttr".into()],
+                rel_step: 0.1,
+            }
+        );
+        // Round-trips through the Value tree.
+        let back = Catalog::from_json_str(&cat.to_value().to_json()).unwrap();
+        assert_eq!(cat.analyses, back.analyses);
+
+        // Typos and bad steps fail loudly at parse time.
+        let typo = "[catalog]\nname='x'\n[analyses]\nrequests=[{kind='sensitivity',\
+                    parameters=['vm_mtff']}]\n[[scenario]]\nname='s'\nkind='two_dc'\n";
+        assert!(matches!(
+            Catalog::from_toml_str(typo),
+            Err(EngineError::Schema(msg)) if msg.contains("vm_mtff")
+        ));
+        let bad_step = "[catalog]\nname='x'\n[analyses]\nrequests=[{kind='sensitivity',\
+                        rel_step=1.5}]\n[[scenario]]\nname='s'\nkind='two_dc'\n";
+        assert!(matches!(
+            Catalog::from_toml_str(bad_step),
+            Err(EngineError::Schema(msg)) if msg.contains("rel_step")
+        ));
+        // Misspelled option names fail instead of silently defaulting to
+        // the full every-parameter sweep.
+        let bad_option = "[catalog]\nname='x'\n[analyses]\nrequests=[{kind='sensitivity',\
+                          parameter=['vm_mttr']}]\n[[scenario]]\nname='s'\nkind='two_dc'\n";
+        assert!(matches!(
+            Catalog::from_toml_str(bad_option),
+            Err(EngineError::Schema(msg)) if msg.contains("parameter")
+        ));
+    }
+
+    #[test]
+    fn unknown_analysis_options_fail_loudly_for_every_kind() {
+        let parse = |requests: &str| {
+            Catalog::from_toml_str(&format!(
+                "[catalog]\nname='x'\n[analyses]\nrequests=[{requests}]\n\
+                 [[scenario]]\nname='s'\nkind='two_dc'\n"
+            ))
+        };
+        for (bad, typo) in [
+            ("{kind='transient', time_point=[24.0]}", "time_point"),
+            ("{kind='interval', horizon_hour=8760.0}", "horizon_hour"),
+            ("{kind='cost', downtime_cost=1.0}", "downtime_cost"),
+            ("{kind='simulation', batch=8}", "batch"),
+            ("{kind='mttsf', window=1.0}", "window"),
+        ] {
+            assert!(
+                matches!(
+                    parse(bad),
+                    Err(EngineError::Schema(msg)) if msg.contains(typo)
+                ),
+                "{bad} must be rejected"
+            );
+        }
+        // Correctly-spelled options still parse.
+        assert!(parse("{kind='transient', time_points=[24.0]}").is_ok());
+        assert!(parse("{kind='simulation', batches=8, seed=1}").is_ok());
     }
 
     #[test]

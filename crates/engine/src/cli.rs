@@ -44,8 +44,9 @@ options:
   --solver NAME             power|jacobi|gauss-seidel|sor|direct
   --analyses LIST           comma-separated analyses to run per scenario
                             (steady_state, transient, interval, mttsf,
-                            capacity_thresholds, cost, simulation); default:
-                            the catalog's [analyses] section, else steady_state
+                            capacity_thresholds, cost, simulation, sensitivity);
+                            default: the catalog's [analyses] section, else
+                            steady_state
   --cache FILE              persistent JSON evaluation cache
   --cache-cap N             cap resident cache entries (oldest evicted)
 
@@ -79,7 +80,7 @@ fn parse_analyses_flag(list: &str) -> Result<Vec<AnalysisRequest>> {
             AnalysisRequest::from_kind(k).ok_or_else(|| {
                 EngineError::Schema(format!(
                     "unknown analysis kind {k:?} (expected steady_state, transient, interval, \
-                     mttsf, capacity_thresholds, cost or simulation)"
+                     mttsf, capacity_thresholds, cost, simulation or sensitivity)"
                 ))
             })
         })
@@ -149,6 +150,8 @@ fn evaluate(catalog: &Catalog, opts: &CliOptions) -> Result<(Vec<Scenario>, Batc
     let mut run = opts.run.clone();
     // --analyses beats the catalog's [analyses] section.
     run.analyses = opts.analyses.clone().unwrap_or_else(|| catalog.analyses.clone());
+    // --threads is the whole solver budget: run_batch divides it between
+    // batch workers and per-scenario sweep fan-out (sensitivity).
     eprintln!(
         "catalog {:?}: {} scenario(s) × {} analysis(es) on {} thread(s)…",
         catalog.name,

@@ -157,6 +157,15 @@ pub fn run_batch(
     // through the cache's single-flight gate.
     type Resolved = (Result<Arc<Vec<AnalysisReport>>, CloudError>, Fetch);
     let threads = opts.threads.max(1).min(uniques.len().max(1));
+    // Analyses that fan out internally (the sensitivity sweep) share the
+    // batch's thread budget instead of multiplying it: with W batch
+    // workers an unset sweep_threads becomes ⌈budget / W⌉-ish, so a batch
+    // never runs more than ~`opts.threads` solver threads at once. An
+    // explicit sweep_threads is the caller's business and passes through.
+    let mut eval = opts.eval.clone();
+    if eval.sweep_threads == 0 {
+        eval.sweep_threads = (opts.threads.max(1) / threads).max(1);
+    }
     let resolved: Mutex<Vec<Option<Resolved>>> = Mutex::new(vec![None; uniques.len()]);
     let next = AtomicUsize::new(0);
     let t0 = std::time::Instant::now();
@@ -170,7 +179,7 @@ pub fn run_batch(
                 let i = uniques[u];
                 let (key, canonical) = &keyed[i];
                 let outcome = cache.get_or_compute(key, canonical, || {
-                    evaluate_all_guarded(&scenarios[i].spec, &opts.analyses, &opts.eval)
+                    evaluate_all_guarded(&scenarios[i].spec, &opts.analyses, &eval)
                         .map(Arc::new)
                 });
                 let mut slots = resolved.lock().expect("resolved mutex poisoned");

@@ -103,8 +103,12 @@ pub fn canonical_encoding(spec: &CloudSystemSpec, opts: &EvalOptions) -> String 
         s.push(']');
     }
     let _ = write!(s, "];k:{};l:{};", spec.min_running_vms, spec.migration_threshold);
-    // Evaluation options: the derived Debug form is deterministic and
-    // covers every field, including ones added later.
+    // Evaluation options: the derived Debug forms of the three
+    // number-affecting option groups, each deterministic and covering every
+    // field of its group. Inclusion at the EvalOptions level is MANUAL: a
+    // new EvalOptions field that can change results must be added here, or
+    // stale cache hits will return wrong numbers for it. `sweep_threads`
+    // is deliberately excluded — it is a pure scheduling knob.
     let _ = write!(s, "opts:{:?};{:?};{:?}", opts.method, opts.solver, opts.reach);
     s
 }
@@ -145,6 +149,17 @@ pub fn encode_analyses(s: &mut String, analyses: &[AnalysisRequest]) {
             }
             AnalysisRequest::Simulation { batches, seed } => {
                 let _ = write!(s, "sim({batches},{seed}),");
+            }
+            AnalysisRequest::Sensitivity { parameters, rel_step } => {
+                s.push_str("sensitivity(");
+                f(s, *rel_step);
+                s.push('[');
+                for p in parameters {
+                    // Length-prefixed, like catalog labels: filter entries
+                    // cannot collide by concatenation.
+                    let _ = write!(s, "{}:{},", p.len(), p);
+                }
+                s.push_str("]),");
             }
         }
     }
@@ -258,6 +273,34 @@ mod tests {
         let mut migrated = canonical_encoding(&spec(), &opts);
         encode_analyses(&mut migrated, &[AnalysisRequest::SteadyState]);
         assert_eq!(migrated, one);
+    }
+
+    #[test]
+    fn sensitivity_requests_key_on_step_and_filter() {
+        let opts = EvalOptions::default();
+        let enc = |parameters: &[&str], rel_step: f64| {
+            canonical_encoding_with(
+                &spec(),
+                &opts,
+                &[AnalysisRequest::Sensitivity {
+                    parameters: parameters.iter().map(|s| s.to_string()).collect(),
+                    rel_step,
+                }],
+            )
+        };
+        let all = enc(&[], 0.05);
+        assert_ne!(key_of_encoding(&all), key_of_encoding(&enc(&[], 0.05 + 1e-12)));
+        assert_ne!(key_of_encoding(&all), key_of_encoding(&enc(&["vm_mttf"], 0.05)));
+        assert_ne!(
+            key_of_encoding(&enc(&["vm_mttf", "vm_mttr"], 0.05)),
+            key_of_encoding(&enc(&["vm_mttr", "vm_mttf"], 0.05)),
+            "filter order is part of the identity (layers normalize before keying)"
+        );
+        // Length prefixes keep concatenated entries distinct.
+        assert_ne!(
+            key_of_encoding(&enc(&["vm_mttf", "vm_mttr"], 0.05)),
+            key_of_encoding(&enc(&["vm_mttfvm_mttr"], 0.05))
+        );
     }
 
     #[test]

@@ -72,6 +72,10 @@ struct MetricCells {
     interval: Option<f64>,
     cost_total: Option<f64>,
     sim_mean: Option<f64>,
+    /// The top-ranked sensitivity parameter (strongest `|elasticity|`),
+    /// rendered as its human-readable label; `"(none)"` when the filter
+    /// matched no parameter of this architecture.
+    top_knob: Option<String>,
 }
 
 impl MetricCells {
@@ -88,6 +92,12 @@ impl MetricCells {
                         cells.cost_total = Some(breakdown.total())
                     }
                     AnalysisReport::Simulation { mean, .. } => cells.sim_mean = Some(*mean),
+                    AnalysisReport::Sensitivity { rows, .. } => {
+                        cells.top_knob = Some(match rows.first() {
+                            Some(row) => row.parameter.to_string(),
+                            None => "(none)".to_string(),
+                        })
+                    }
                     _ => {}
                 }
             }
@@ -115,6 +125,7 @@ fn render_table(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
     let any_interval = cells.iter().any(|c| c.interval.is_some());
     let any_cost = cells.iter().any(|c| c.cost_total.is_some());
     let any_sim = cells.iter().any(|c| c.sim_mean.is_some());
+    let any_sens = cells.iter().any(|c| c.top_knob.is_some());
     let mut out = String::new();
     let _ = write!(
         out,
@@ -132,6 +143,9 @@ fn render_table(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
     }
     if any_sim {
         let _ = write!(out, " {:>12}", "sim A");
+    }
+    if any_sens {
+        let _ = write!(out, " {:>26}", "top knob");
     }
     if any_expect {
         let _ = write!(out, " {:>12} {:>9}", "paper A", "ΔA");
@@ -181,6 +195,9 @@ fn render_table(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
                 if any_sim {
                     write_opt(&mut out, cell.sim_mean, 12, 7);
                 }
+                if any_sens {
+                    let _ = write!(out, " {:>26}", cell.top_knob.as_deref().unwrap_or("-"));
+                }
                 if any_expect {
                     match (s.expect_availability, steady) {
                         (Some(paper), Some(r)) => {
@@ -224,7 +241,7 @@ fn render_csv(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
          capacity_oriented_availability,tangible_states,edges,source,secondary,alpha,\
          disaster_years,machines,is_baseline,expect_availability,mttsf_hours,\
          interval_availability,cost_total,sim_mean,sim_half_width,transient,\
-         capacity_thresholds,error\n",
+         capacity_thresholds,sensitivity,error\n",
     );
     for (s, o) in scenarios.iter().zip(outcomes) {
         let meta = |out: &mut String| {
@@ -246,6 +263,7 @@ fn render_csv(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
             let mut sim = (String::new(), String::new());
             let mut transient = String::new();
             let mut capacity = String::new();
+            let mut sensitivity = String::new();
             for r in reports {
                 match r {
                     AnalysisReport::Mttsf { hours } => mttsf = hours.to_string(),
@@ -262,12 +280,21 @@ fn render_csv(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
                     AnalysisReport::CapacityThresholds { availability } => {
                         capacity = joined_curve(availability)
                     }
+                    AnalysisReport::Sensitivity { rows, .. } => {
+                        // Ranked `key:elasticity` pairs, strongest first —
+                        // the same `;`-joined convention as the curves.
+                        sensitivity = rows
+                            .iter()
+                            .map(|r| format!("{}:{}", r.parameter.key(), r.elasticity))
+                            .collect::<Vec<_>>()
+                            .join(";")
+                    }
                     AnalysisReport::SteadyState(_) => {}
                 }
             }
             let _ = write!(
                 out,
-                ",{mttsf},{interval},{cost},{},{},{transient},{capacity}",
+                ",{mttsf},{interval},{cost},{},{},{transient},{capacity},{sensitivity}",
                 sim.0, sim.1
             );
         };
@@ -311,7 +338,7 @@ fn render_csv(scenarios: &[Scenario], outcomes: &[Outcome]) -> String {
             Err(e) => {
                 let _ = write!(out, "{},error,,,,,,,,,", csv_escape(&s.name));
                 meta(&mut out);
-                let _ = writeln!(out, ",,,,,,,,,{}", csv_escape(&e.to_string()));
+                let _ = writeln!(out, ",,,,,,,,,,{}", csv_escape(&e.to_string()));
             }
         }
     }
@@ -463,6 +490,48 @@ mod tests {
         assert_eq!(items[0].get("status").unwrap().as_str(), Some("ok"));
         assert!(items[0].get("report").unwrap().get("availability").is_some());
         assert_eq!(items[1].get("status").unwrap().as_str(), Some("error"));
+    }
+
+    #[test]
+    fn sensitivity_rides_the_table_csv_and_json_outputs() {
+        let (mut scenarios, _) = batch();
+        scenarios.truncate(1); // the good scenario only
+                               // Plain name: the naive column split below needs no CSV unquoting.
+        scenarios[0].name = "good".into();
+        let cache = std::sync::Arc::new(EvalCache::in_memory());
+        let opts = RunOptions {
+            analyses: vec![
+                dtc_core::analysis::AnalysisRequest::SteadyState,
+                dtc_core::analysis::AnalysisRequest::Sensitivity {
+                    parameters: vec!["ospm_mttr".into(), "vm_mttr".into()],
+                    rel_step: 0.05,
+                },
+            ],
+            ..RunOptions::default()
+        };
+        let result = run_batch(&scenarios, &cache, &opts);
+
+        let table = render(&scenarios, &result, Format::Table);
+        assert!(table.contains("top knob"), "{table}");
+        assert!(table.contains("MTTR"), "top-ranked parameter label shown: {table}");
+
+        let csv = render(&scenarios, &result, Format::Csv);
+        let lines: Vec<&str> = csv.lines().collect();
+        let headers: Vec<&str> = lines[0].split(',').collect();
+        let sens_col = headers.iter().position(|h| *h == "sensitivity").unwrap();
+        let cell = lines[1].split(',').nth(sens_col).unwrap();
+        assert!(cell.contains("ospm_mttr:") && cell.contains("vm_mttr:"), "{cell}");
+        assert_eq!(cell.split(';').count(), 2, "one ranked entry per row: {cell}");
+
+        let json = render(&scenarios, &result, Format::Json);
+        let v = Value::from_json(&json).unwrap();
+        let analyses = v.as_array().unwrap()[0].get("analyses").unwrap().clone();
+        let sens = analyses.as_array().unwrap()[1].clone();
+        assert_eq!(sens.get("kind").and_then(|k| k.as_str()), Some("sensitivity"));
+        let rows = sens.get("rows").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].get("elasticity").and_then(|e| e.as_f64()).is_some());
+        assert!(rows[0].get("label").and_then(|l| l.as_str()).is_some());
     }
 
     #[test]

@@ -68,6 +68,66 @@ fn bundled_catalogs_round_trip_through_json() {
 }
 
 #[test]
+fn table7_one_machine_sensitivity_ranking_is_pinned() {
+    // Golden ranking for the paper's smallest Table VII architecture (one
+    // machine, one DC): the unified pipeline's sensitivity rows must (a)
+    // be bit-identical to the standalone core sweep and (b) rank the PM
+    // series and the disaster above every VM-timing knob — the paper's
+    // "infrastructure dominates" reading of its sensitivity discussion.
+    let catalog = catalogs::table7();
+    let scenario = catalog
+        .expand()
+        .unwrap()
+        .into_iter()
+        .find(|s| s.machines == Some(1))
+        .expect("table7 has the one-machine row");
+
+    let cache = std::sync::Arc::new(EvalCache::in_memory());
+    let opts = RunOptions {
+        analyses: vec![
+            AnalysisRequest::SteadyState,
+            AnalysisRequest::Sensitivity { parameters: vec![], rel_step: 0.05 },
+        ],
+        ..RunOptions::default()
+    };
+    let result = run_batch(std::slice::from_ref(&scenario), &cache, &opts);
+    let reports = result.outcomes[0].reports.as_ref().unwrap();
+    let AnalysisReport::Sensitivity { rel_step, rows } = &reports[1] else {
+        panic!("expected sensitivity report, got {:?}", reports[1].kind());
+    };
+    assert_eq!(*rel_step, 0.05);
+
+    // Bit-identical to the standalone sweep (same baseline, same jobs).
+    let standalone = dtc_core::sensitivity::availability_sensitivity(
+        &scenario.spec,
+        &EvalOptions::default(),
+        0.05,
+        4,
+    )
+    .unwrap();
+    assert_eq!(*rows, standalone);
+
+    // The architecture models PM+VM series, one NAS and one disaster:
+    // 9 knobs in total.
+    let keys: Vec<String> = rows.iter().map(|r| r.parameter.key()).collect();
+    assert_eq!(rows.len(), 9, "{keys:?}");
+    // Pinned ranking structure: the OSPM series is the strongest lever,
+    // the disaster pair outranks every VM knob, and NAS repair (4 h on a
+    // 400k-hour MTTF component) is in the weak tail.
+    let rank = |key: &str| keys.iter().position(|k| k == key).unwrap_or(usize::MAX);
+    assert!(rank("ospm_mttf") <= 1 && rank("ospm_mttr") <= 2, "{keys:?}");
+    assert!(rank("disaster_mttf_1") < rank("vm_mttf"), "{keys:?}");
+    assert!(rank("disaster_mttr_1") < rank("vm_start"), "{keys:?}");
+    assert!(rank("nas_mttr_1") > rank("ospm_mttf"), "{keys:?}");
+    // Signs: MTTF knobs help, repair knobs hurt.
+    let row = |key: &str| rows.iter().find(|r| r.parameter.key() == key).unwrap();
+    assert!(row("ospm_mttf").elasticity > 0.0);
+    assert!(row("disaster_mttf_1").elasticity > 0.0);
+    assert!(row("ospm_mttr").elasticity < 0.0);
+    assert!(row("vm_mttr").elasticity < 0.0);
+}
+
+#[test]
 fn bundled_catalogs_validate() {
     // Every bundled scenario compiles to a model (without solving it).
     for catalog in [catalogs::table7(), catalogs::fig7()] {

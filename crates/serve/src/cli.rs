@@ -24,8 +24,13 @@ routes:
   POST /v1/evaluate     evaluate a JSON catalog document (steady state)
   POST /v2/evaluate     {catalog, analyses}: run any analysis set (steady_state,
                         transient, interval, mttsf, capacity_thresholds, cost,
-                        simulation) from one state-space construction
+                        simulation, sensitivity) from one state-space
+                        construction
+  GET  /v2/model/dot    ?scenario=NAME[&catalog=table7|fig7] — the compiled
+                        GSPN of a bundled-catalog scenario as Graphviz DOT
   GET  /v1/cache/keys   stored content-addressed keys
+
+the full request/response cookbook is in docs/HTTP_API.md
 ";
 
 fn parse_usize(name: &str, value: &str) -> Result<usize, String> {

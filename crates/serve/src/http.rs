@@ -39,6 +39,17 @@ impl Request {
         self.target.split('?').next().unwrap_or(&self.target)
     }
 
+    /// The value of query parameter `name`, percent-decoded (`+` also
+    /// decodes to a space). The first occurrence wins; a key without `=`
+    /// yields an empty string.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        let query = self.target.split_once('?')?.1;
+        query.split('&').find_map(|pair| {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(key) == name).then(|| percent_decode(value))
+        })
+    }
+
     /// Whether the connection should stay open after the response
     /// (HTTP/1.1 defaults to keep-alive unless `Connection: close`).
     pub fn keep_alive(&self) -> bool {
@@ -47,6 +58,48 @@ impl Request {
             None => self.version == "HTTP/1.1",
         }
     }
+}
+
+/// Percent-decodes a query component (`%41` → `A`, `+` → space). Invalid
+/// or truncated escapes are passed through literally rather than erroring:
+/// query strings here only select resources, so the worst case is a lookup
+/// miss.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                // Both escape characters must be hex digits — from_str_radix
+                // alone would also accept sign-prefixed forms like "+5".
+                match bytes.get(i + 1..i + 3).and_then(|h| {
+                    if !h.iter().all(u8::is_ascii_hexdigit) {
+                        return None;
+                    }
+                    u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()
+                }) {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// Why a request could not be read.
@@ -179,6 +232,12 @@ impl Response {
         }
     }
 
+    /// A plain-body response with an explicit content type (e.g. the
+    /// Graphviz DOT export).
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Response {
+        Response { status, content_type, body: body.into_bytes(), extra: Vec::new() }
+    }
+
     /// A JSON error envelope `{"error": …}`.
     pub fn error(status: u16, message: &str) -> Response {
         let mut escaped = String::with_capacity(message.len() + 2);
@@ -262,6 +321,39 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn query_params_decode_percent_escapes_and_plus() {
+        let req = parse(
+            b"GET /v2/model/dot?catalog=table7&scenario=Baseline%20architecture:%20Rio\
++-+Tokio&flag HTTP/1.1\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.path(), "/v2/model/dot");
+        assert_eq!(req.query_param("catalog").as_deref(), Some("table7"));
+        assert_eq!(
+            req.query_param("scenario").as_deref(),
+            Some("Baseline architecture: Rio - Tokio")
+        );
+        assert_eq!(req.query_param("flag").as_deref(), Some(""), "bare key is empty");
+        assert_eq!(req.query_param("missing"), None);
+
+        let plain = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(plain.query_param("x"), None, "no query string at all");
+
+        // Grid-expanded names round-trip: brackets, commas and equals.
+        assert_eq!(
+            percent_decode("fig7%5Bsecondary%3DBrasilia%2Calpha%3D0.35%5D"),
+            "fig7[secondary=Brasilia,alpha=0.35]"
+        );
+        // Malformed escapes fall through literally instead of erroring.
+        assert_eq!(percent_decode("100%zz%4"), "100%zz%4");
+        // Sign-prefixed pseudo-hex must not decode ("%+5" is not an
+        // escape; the '+' still means space).
+        assert_eq!(percent_decode("a%+5b"), "a% 5b");
+        assert_eq!(percent_decode("%-1"), "%-1");
     }
 
     #[test]

@@ -13,9 +13,15 @@
 //!   (a thin steady-state wrapper over the v2 pipeline).
 //! * `POST /v2/evaluate` — `{"catalog": …, "analyses": [...]}`: runs any
 //!   analysis set (steady_state, transient, interval, mttsf,
-//!   capacity_thresholds, cost, simulation) per scenario against **one**
-//!   state-space construction and returns the full report union.
+//!   capacity_thresholds, cost, simulation, sensitivity) per scenario
+//!   against **one** state-space construction and returns the full report
+//!   union.
+//! * `GET /v2/model/dot?scenario=…[&catalog=table7|fig7]` — the compiled
+//!   GSPN of a bundled-catalog scenario as Graphviz DOT, so clients can
+//!   *see* the model their numbers come from.
 //! * `GET /v1/cache/keys` — the content-addressed keys currently stored.
+//!
+//! The full request/response cookbook lives in `docs/HTTP_API.md`.
 //!
 //! The hot path is the cache's **single-flight** gate
 //! ([`EvalCache::get_or_compute`] via [`dtc_engine::run_batch`]): any
@@ -38,7 +44,8 @@ pub mod loadgen;
 use dtc_core::analysis::AnalysisRequest;
 use dtc_engine::value::Value;
 use dtc_engine::{
-    parse_analyses, results_to_value, run_batch, Catalog, EngineError, EvalCache, RunOptions,
+    catalogs, parse_analyses, results_to_value, run_batch, Catalog, EngineError, EvalCache,
+    RunOptions,
 };
 use http::{read_request, write_response, ReadError, Request, Response};
 use std::collections::VecDeque;
@@ -345,11 +352,90 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("GET", "/v1/cache/keys") => cache_keys(shared),
         ("POST", "/v1/evaluate") => evaluate(shared, request),
         ("POST", "/v2/evaluate") => evaluate_v2(shared, request),
-        (_, "/healthz" | "/v1/stats" | "/v1/cache/keys" | "/v1/evaluate" | "/v2/evaluate") => {
-            Response::error(405, "method not allowed for this route")
-        }
+        ("GET", "/v2/model/dot") => model_dot(request),
+        (
+            _,
+            "/healthz" | "/v1/stats" | "/v1/cache/keys" | "/v1/evaluate" | "/v2/evaluate"
+            | "/v2/model/dot",
+        ) => Response::error(405, "method not allowed for this route"),
         _ => Response::error(404, "no such route"),
     }
+}
+
+/// `GET /v2/model/dot?scenario=…[&catalog=table7|fig7]`: renders the
+/// compiled GSPN of one bundled-catalog scenario as Graphviz DOT
+/// (`text/vnd.graphviz`; pipe through `dot -Tsvg`). Scenario names are the
+/// expanded names `dtc run` prints — percent-encode spaces and brackets.
+/// Without `catalog`, both bundled catalogs are searched.
+/// The bundled catalogs' expanded scenario lists, computed once per
+/// process — `/v2/model/dot` serves from these instead of re-running grid
+/// expansion per request. Bundled catalogs are golden-tested to expand;
+/// should one ever fail here, it is served as an empty list (every lookup
+/// in it 404s) rather than panicking a worker.
+fn bundled_expansions() -> &'static [(String, Vec<dtc_engine::Scenario>)] {
+    static EXPANSIONS: std::sync::OnceLock<Vec<(String, Vec<dtc_engine::Scenario>)>> =
+        std::sync::OnceLock::new();
+    EXPANSIONS.get_or_init(|| {
+        [catalogs::table7(), catalogs::fig7()]
+            .into_iter()
+            .map(|catalog| {
+                let scenarios = catalog.expand().unwrap_or_else(|e| {
+                    eprintln!(
+                        "dtc-serve: bundled catalog {} does not expand: {e}",
+                        catalog.name
+                    );
+                    Vec::new()
+                });
+                (catalog.name, scenarios)
+            })
+            .collect()
+    })
+}
+
+fn model_dot(request: &Request) -> Response {
+    let Some(scenario) = request.query_param("scenario") else {
+        return Response::error(
+            400,
+            "model/dot needs ?scenario=NAME (an expanded scenario name, percent-encoded)",
+        );
+    };
+    let wanted = request.query_param("catalog");
+    let wanted = wanted.as_deref();
+    if let Some(name) = wanted {
+        if !bundled_expansions().iter().any(|(n, _)| n == name) {
+            return Response::error(
+                400,
+                &format!("unknown catalog {name:?} (expected table7 or fig7)"),
+            );
+        }
+    }
+    let searched =
+        || bundled_expansions().iter().filter(move |(n, _)| wanted.is_none_or(|w| w == n));
+    if let Some(s) =
+        searched().flat_map(|(_, scenarios)| scenarios).find(|s| s.name == scenario)
+    {
+        return match dtc_core::CloudModel::build(&s.spec) {
+            Ok(model) => Response::text(
+                200,
+                "text/vnd.graphviz; charset=utf-8",
+                dtc_petri::to_dot(model.net()),
+            ),
+            Err(e) => Response::error(500, &format!("scenario does not compile: {e}")),
+        };
+    }
+    let names: Vec<String> = searched()
+        .flat_map(|(_, scenarios)| scenarios)
+        .take(3)
+        .map(|s| format!("{:?}", s.name))
+        .collect();
+    Response::error(
+        404,
+        &format!(
+            "no scenario named {scenario:?} in {}; names look like {}, …",
+            searched().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join("/"),
+            names.join(", ")
+        ),
+    )
 }
 
 fn healthz(shared: &Shared) -> Response {
@@ -468,6 +554,10 @@ fn run_analyses(
         Err(e) => return Response::error(400, &format!("catalog does not expand: {e}")),
     };
     let kinds: Vec<Value> = analyses.iter().map(|a| Value::Str(a.kind().into())).collect();
+    // `--eval-threads` is the whole per-request solver budget: run_batch
+    // divides it between batch workers and the perturbed-model fan-out
+    // inside a sensitivity analysis, so one request cannot oversubscribe
+    // the pool (neither threads× workers nor one sweep worker per core).
     let opts = RunOptions { threads: shared.eval_threads, analyses, ..RunOptions::default() };
     let result = run_batch(&scenarios, &shared.cache, &opts);
     shared.evaluations.fetch_add(1, Ordering::Relaxed);

@@ -232,6 +232,126 @@ fn v2_runs_multi_analysis_set_from_one_state_space_construction() {
 }
 
 #[test]
+fn v2_sensitivity_rides_one_cache_miss_and_matches_the_cli_pipeline() {
+    let server = Server::start(&config()).expect("server starts");
+    let addr = server.addr();
+
+    let body = format!(
+        "{{\"catalog\":{},\"analyses\":[\"steady_state\",\"sensitivity\"]}}",
+        loadgen::tiny_catalog_json()
+    );
+    let (status, text) = request(addr, "POST", "/v2/evaluate", Some(&body));
+    assert_eq!(status, 200, "{text}");
+    let doc = Value::from_json(&text).expect("valid JSON");
+    let result = doc.get("results").unwrap().as_array().unwrap()[0].clone();
+    assert_eq!(result.get("status").and_then(|s| s.as_str()), Some("ok"));
+    let analyses = result.get("analyses").and_then(|a| a.as_array()).expect("report union");
+    assert_eq!(analyses.len(), 2);
+    assert_eq!(analyses[1].get("kind").and_then(|k| k.as_str()), Some("sensitivity"));
+    assert_eq!(analyses[1].get("rel_step").and_then(|r| r.as_f64()), Some(0.05));
+
+    // The tiny one-PM/one-VM architecture has exactly the five core knobs,
+    // ranked by |elasticity| descending.
+    let rows = analyses[1].get("rows").and_then(|r| r.as_array()).expect("rows");
+    assert_eq!(rows.len(), 5, "{text}");
+    let elasticities: Vec<f64> =
+        rows.iter().map(|r| r.get("elasticity").and_then(|e| e.as_f64()).unwrap()).collect();
+    for pair in elasticities.windows(2) {
+        assert!(pair[0].abs() >= pair[1].abs(), "ranked strongest-first: {elasticities:?}");
+    }
+    let keys: Vec<&str> =
+        rows.iter().map(|r| r.get("parameter").and_then(|p| p.as_str()).unwrap()).collect();
+    assert!(keys.contains(&"ospm_mttf") && keys.contains(&"vm_start"), "{keys:?}");
+
+    // Steady state + the whole sensitivity sweep cost ONE cache miss: the
+    // baseline reuses the set's shared steady solve; only perturbed
+    // variants were built, and none of that shows up as extra misses.
+    let stats = get_json(addr, "/v1/stats");
+    assert_eq!(int_at(&stats, "cache", "misses"), 1, "one miss for steady + sensitivity");
+    assert_eq!(int_at(&stats, "cache", "entries"), 1);
+
+    // Parity with the CLI: `dtc run --analyses sensitivity` drives the
+    // same run_batch pipeline — its report union must be bit-identical to
+    // what came over HTTP.
+    let catalog =
+        dtc_engine::Catalog::from_json_str(&loadgen::tiny_catalog_json()).expect("parses");
+    let scenarios = catalog.expand().unwrap();
+    let opts = dtc_engine::RunOptions {
+        analyses: vec![
+            dtc_engine::prelude::AnalysisRequest::SteadyState,
+            dtc_engine::prelude::AnalysisRequest::Sensitivity {
+                parameters: vec![],
+                rel_step: 0.05,
+            },
+        ],
+        ..dtc_engine::RunOptions::default()
+    };
+    let cache = Arc::new(dtc_engine::EvalCache::in_memory());
+    let local = dtc_engine::run_batch(&scenarios, &cache, &opts);
+    let local_union: Vec<Value> =
+        local.outcomes[0].analyses().iter().map(dtc_engine::analysis_report_to_value).collect();
+    assert_eq!(
+        Value::Array(local_union).to_json(),
+        result.get("analyses").unwrap().to_json(),
+        "HTTP and CLI pipelines return identical ranked rows"
+    );
+
+    // Re-POSTing is a pure hit with a bit-identical union.
+    let (status, text2) = request(addr, "POST", "/v2/evaluate", Some(&body));
+    assert_eq!(status, 200);
+    let doc2 = Value::from_json(&text2).unwrap();
+    assert_eq!(
+        doc2.get("results").unwrap().as_array().unwrap()[0].get("analyses").unwrap().to_json(),
+        result.get("analyses").unwrap().to_json()
+    );
+    let stats = get_json(addr, "/v1/stats");
+    assert_eq!(int_at(&stats, "cache", "misses"), 1);
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn model_dot_route_renders_bundled_scenarios() {
+    let server = Server::start(&config()).expect("server starts");
+    let addr = server.addr();
+
+    // A table7 scenario by its human name, percent-encoded.
+    let (status, dot) = request(
+        addr,
+        "GET",
+        "/v2/model/dot?catalog=table7&scenario=Cloud%20system%20with%20one%20machine",
+        None,
+    );
+    assert_eq!(status, 200, "{dot}");
+    assert!(dot.starts_with("digraph petri {"), "{}", &dot[..dot.len().min(80)]);
+    assert!(dot.contains("OSPM_UP1"), "single-DC model places present");
+    assert!(!dot.contains("TRP_12"), "no migration subnet in a one-DC model");
+
+    // A grid-expanded fig7 point: brackets/equals/commas in the name.
+    let name = "fig7%5Bsecondary%3DBrasilia%2Calpha%3D0.35%2Cdisaster_years%3D100%5D";
+    let (status, dot) = request(addr, "GET", &format!("/v2/model/dot?scenario={name}"), None);
+    assert_eq!(status, 200, "{dot}");
+    assert!(dot.contains("TRP_12"), "two-DC model has the transmission subnet");
+    assert!(dot.contains("BKP_UP"), "backup server present");
+
+    // Error shapes: missing param, unknown catalog, unknown scenario,
+    // wrong method.
+    let (status, body) = request(addr, "GET", "/v2/model/dot", None);
+    assert_eq!(status, 400);
+    assert!(body.contains("scenario"), "{body}");
+    let (status, body) = request(addr, "GET", "/v2/model/dot?scenario=x&catalog=wat", None);
+    assert_eq!(status, 400);
+    assert!(body.contains("wat"), "{body}");
+    let (status, body) = request(addr, "GET", "/v2/model/dot?scenario=nope", None);
+    assert_eq!(status, 404);
+    assert!(body.contains("nope"), "{body}");
+    let (status, _) = request(addr, "POST", "/v2/model/dot?scenario=x", Some("{}"));
+    assert_eq!(status, 405);
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn loadgen_mix_exercises_distinct_specs() {
     let server = Server::start(&config()).expect("server starts");
     let addr = server.addr();

@@ -29,11 +29,11 @@ fn multi_analysis_run_beats_three_single_metric_runs() {
     let opts = EvalOptions::default();
 
     // Warm up caches/allocator so the comparison below is steady-state.
-    CloudModel::build(&spec).unwrap().evaluate_all(&SET, &opts).unwrap();
+    CloudModel::build(&spec).unwrap().evaluate_all(&spec, &SET, &opts).unwrap();
 
     // One build + one state-space construction for all three analyses.
     let t0 = Instant::now();
-    let multi = CloudModel::build(&spec).unwrap().evaluate_all(&SET, &opts).unwrap();
+    let multi = CloudModel::build(&spec).unwrap().evaluate_all(&spec, &SET, &opts).unwrap();
     let multi_time = t0.elapsed();
 
     // The pre-v2 shape: each metric re-builds the model and re-explores
@@ -43,7 +43,7 @@ fn multi_analysis_run_beats_three_single_metric_runs() {
     for request in SET {
         let run = CloudModel::build(&spec)
             .unwrap()
-            .evaluate_all(std::slice::from_ref(&request), &opts)
+            .evaluate_all(&spec, std::slice::from_ref(&request), &opts)
             .unwrap();
         singles.extend(run);
     }
@@ -65,6 +65,55 @@ fn multi_analysis_run_beats_three_single_metric_runs() {
 }
 
 #[test]
+fn sensitivity_through_the_unified_pipeline_shares_the_steady_baseline() {
+    // Requesting [SteadyState, Sensitivity] must return rows bit-identical
+    // to seeding the sweep with the steady report's own availability —
+    // proving the shared solve IS the sensitivity baseline — and rank them
+    // strongest-first. A family filter keeps this to a handful of
+    // perturbed solves (the full sweep is exercised on smaller specs in
+    // dtc-core's unit tests).
+    let spec = spec();
+    let opts = EvalOptions::default();
+    let filter = vec!["ospm_mttr".to_string(), "direct_mtt".to_string()];
+    let model = CloudModel::build(&spec).unwrap();
+    let reports = model
+        .evaluate_all(
+            &spec,
+            &[
+                AnalysisRequest::SteadyState,
+                AnalysisRequest::Sensitivity { parameters: filter.clone(), rel_step: 0.05 },
+            ],
+            &opts,
+        )
+        .unwrap();
+    assert_eq!(reports.len(), 2);
+    let steady = first_steady_state(&reports).unwrap();
+    let reference = sensitivity_with_baseline(
+        &spec,
+        &filtered_parameters(&spec, &filter),
+        steady.availability,
+        &opts,
+        0.05,
+        4,
+    )
+    .unwrap();
+    match &reports[1] {
+        AnalysisReport::Sensitivity { rel_step, rows } => {
+            assert_eq!(*rel_step, 0.05);
+            assert_eq!(*rows, reference, "shared steady solve is the sensitivity baseline");
+            // ospm_mttr + both directions of the direct link.
+            assert_eq!(rows.len(), 3);
+            for pair in rows.windows(2) {
+                assert!(pair[0].elasticity.abs() >= pair[1].elasticity.abs());
+            }
+            assert!(rows.iter().any(|r| r.parameter.key() == "direct_mtt_1_2"));
+            assert!(rows.iter().any(|r| r.parameter.key() == "direct_mtt_2_1"));
+        }
+        other => panic!("expected sensitivity, got {other:?}"),
+    }
+}
+
+#[test]
 fn evaluate_all_matches_legacy_single_metric_surface() {
     // Cross-check the union against the original per-metric methods on a
     // shared graph (the expert path): same state space, same numbers.
@@ -72,7 +121,7 @@ fn evaluate_all_matches_legacy_single_metric_surface() {
     let opts = EvalOptions::default();
     let model = CloudModel::build(&spec).unwrap();
     let graph = model.state_space(&opts).unwrap();
-    let reports = model.evaluate_all_on(&graph, &SET, &opts).unwrap();
+    let reports = model.evaluate_all_on(&spec, &graph, &SET, &opts).unwrap();
 
     let steady = first_steady_state(&reports).unwrap();
     assert_eq!(*steady, model.evaluate_on(&graph, &opts).unwrap());
