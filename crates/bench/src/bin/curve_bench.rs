@@ -1,0 +1,105 @@
+//! Per-point vs single-pass transient curves on the bundled Fig. 7 case
+//! study, recorded as `BENCH_curve.json` at the repo root.
+//!
+//! The per-point path re-runs uniformization from scratch for every time
+//! point (`Ctmc::transient` once per `t`); the single-pass path builds the
+//! uniformized matrix once and marches the power sequence once for the
+//! whole grid (`Ctmc::transient_reward_curve`). On a uniform m-point grid
+//! over `(0, T]` the per-point path marches `Σ Λ·tᵢ ≈ Λ·T·(m+1)/2` steps
+//! against the single pass's `Λ·T`, so the expected speedup grows linearly
+//! with the number of points.
+//!
+//! Usage: `cargo run --release -p dtc-bench --bin curve_bench [max_hours]`
+//! (default 24; the full ~126k-state model costs a few minutes per-point
+//! at 64 points — that cost is the point of the comparison).
+
+use dtc_core::prelude::*;
+use dtc_engine::value::Value;
+use std::time::Instant;
+
+fn main() {
+    let max_hours: f64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("max_hours must be a number"))
+        .unwrap_or(24.0);
+
+    let scenario = dtc_engine::catalogs::fig7()
+        .expand()
+        .expect("bundled fig7 catalog expands")
+        .into_iter()
+        .next()
+        .expect("fig7 has scenarios");
+    println!("scenario: {}", scenario.name);
+    let model = CloudModel::build(&scenario.spec).expect("scenario compiles");
+    let t0 = Instant::now();
+    let graph = model.state_space(&EvalOptions::default()).expect("state space");
+    println!(
+        "state space: {} states, {} edges in {:.1?}",
+        graph.num_states(),
+        graph.stats().edges,
+        t0.elapsed()
+    );
+    let ctmc = graph.ctmc();
+    let pi0 = graph.initial_pi0();
+    let expr = model.availability_expr();
+    let reward: Vec<f64> = graph
+        .states()
+        .iter()
+        .map(|m| if expr.eval(&|p: dtc_petri::PlaceId| m[p.index()]) { 1.0 } else { 0.0 })
+        .collect();
+
+    let mut runs = Vec::new();
+    println!(
+        "{:>7} {:>15} {:>15} {:>9} {:>12}",
+        "points", "per-point (s)", "one-pass (s)", "speedup", "max |Δ|"
+    );
+    for &points in &[4usize, 16, 64] {
+        let times: Vec<f64> =
+            (1..=points).map(|i| max_hours * i as f64 / points as f64).collect();
+
+        let t0 = Instant::now();
+        let mut per_point = Vec::with_capacity(points);
+        for &t in &times {
+            let pi = ctmc.transient(&pi0, t).expect("per-point transient");
+            per_point.push(dtc_markov::dot(&pi, &reward));
+        }
+        let per_point_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let single_pass =
+            ctmc.transient_reward_curve(&pi0, &times, &reward).expect("single-pass curve");
+        let single_pass_s = t0.elapsed().as_secs_f64();
+
+        let max_abs_diff = per_point
+            .iter()
+            .zip(&single_pass)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_abs_diff < 1e-12, "paths disagree by {max_abs_diff:e}");
+        let speedup = per_point_s / single_pass_s;
+        println!(
+            "{points:>7} {per_point_s:>15.3} {single_pass_s:>15.3} {speedup:>8.2}x {max_abs_diff:>12.2e}"
+        );
+        runs.push(Value::object([
+            ("points", Value::Int(points as i64)),
+            ("per_point_seconds", Value::Float(per_point_s)),
+            ("single_pass_seconds", Value::Float(single_pass_s)),
+            ("speedup", Value::Float(speedup)),
+            ("max_abs_diff", Value::Float(max_abs_diff)),
+        ]));
+    }
+
+    let doc = Value::object([
+        ("bench", Value::Str("curve: per-point vs single-pass uniformization".into())),
+        ("command", Value::Str("cargo run --release -p dtc-bench --bin curve_bench".into())),
+        ("scenario", Value::Str(scenario.name.clone())),
+        ("states", Value::Int(graph.num_states() as i64)),
+        ("transitions", Value::Int(ctmc.generator().nnz() as i64)),
+        ("uniformization_rate_per_hour", Value::Float(ctmc.uniformization_rate())),
+        ("grid", Value::Str(format!("uniform over (0, {max_hours}] hours"))),
+        ("runs", Value::Array(runs)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_curve.json");
+    std::fs::write(path, doc.to_json() + "\n").expect("write BENCH_curve.json");
+    println!("wrote {path}");
+}

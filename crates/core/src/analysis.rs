@@ -251,39 +251,70 @@ pub fn first_steady_state(reports: &[AnalysisReport]) -> Option<&AvailabilityRep
     reports.iter().find_map(AnalysisReport::steady_state)
 }
 
+/// The transient and interval results of one shared uniformization pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AvailabilityCurves {
+    /// `P{pred}` at each requested time point, in caller order.
+    pub point: Vec<f64>,
+    /// Expected interval availability over `[0, h]` for each requested
+    /// horizon, in caller order.
+    pub interval: Vec<f64>,
+}
+
+/// Evaluates every transient time point **and** every interval horizon in
+/// one uniformization pass over the graph's CTMC (one matrix build, one
+/// power march — see [`dtc_markov::curve`]).
+///
+/// Time points may be unsorted, duplicated, or zero; results come back in
+/// caller order, bit-identical to the per-point solvers. Horizons must be
+/// positive.
+pub fn availability_curves(
+    graph: &TangibleGraph,
+    pred: &BoolExpr,
+    times: &[f64],
+    horizons: &[f64],
+) -> Result<AvailabilityCurves> {
+    if let Some(&bad) = horizons.iter().find(|&&h| h <= 0.0) {
+        return Err(
+            dtc_petri::PetriError::from(dtc_markov::MarkovError::NegativeTime(bad)).into()
+        );
+    }
+    let up: Vec<f64> = graph
+        .states()
+        .iter()
+        .map(|m| if pred.eval(&|p: PlaceId| m[p.index()]) { 1.0 } else { 0.0 })
+        .collect();
+    let pi0 = graph.initial_pi0();
+    let pass = dtc_markov::uniformized_pass(graph.ctmc(), &pi0, times, horizons, &up)
+        .map_err(dtc_petri::PetriError::from)?;
+    Ok(AvailabilityCurves {
+        point: pass.distributions.iter().map(|pi| dtc_markov::dot(pi, &up)).collect(),
+        interval: pass.cumulative.iter().zip(horizons).map(|(a, &h)| a / h).collect(),
+    })
+}
+
 /// `P{pred}` at each requested time, starting from the graph's initial
 /// distribution — the transient engine shared by
-/// [`crate::CloudModel::transient_availability`].
+/// [`crate::CloudModel::transient_availability`]. The whole curve costs a
+/// single uniformization pass regardless of how many times are requested.
 pub fn transient_probability_curve(
     graph: &TangibleGraph,
     pred: &BoolExpr,
     times: &[f64],
 ) -> Result<Vec<f64>> {
-    let mut out = Vec::with_capacity(times.len());
-    for &t in times {
-        let sol = graph.transient(t)?;
-        out.push(sol.probability(pred));
-    }
-    Ok(out)
+    Ok(availability_curves(graph, pred, times, &[])?.point)
 }
 
 /// Expected fraction of `[0, horizon]` spent in states satisfying `pred` —
 /// the interval engine shared by
-/// [`crate::CloudModel::interval_availability`].
+/// [`crate::CloudModel::interval_availability`]. For several horizons at
+/// once, [`availability_curves`] shares one pass across all of them.
 pub fn interval_probability(
     graph: &TangibleGraph,
     pred: &BoolExpr,
     horizon_hours: f64,
 ) -> Result<f64> {
-    let up: Vec<bool> =
-        graph.states().iter().map(|m| pred.eval(&|p: PlaceId| m[p.index()])).collect();
-    let n = graph.num_states();
-    let mut pi0 = vec![0.0; n];
-    for &(i, p) in graph.initial_distribution() {
-        pi0[i] = p;
-    }
-    Ok(dtc_markov::interval_availability(graph.ctmc(), &pi0, horizon_hours, |i| up[i])
-        .map_err(dtc_petri::PetriError::from)?)
+    Ok(availability_curves(graph, pred, &[], &[horizon_hours])?.interval[0])
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@
 //! generator supports any number of DCs and PMs.
 
 use crate::analysis::{
-    interval_probability, transient_probability_curve, AnalysisReport, AnalysisRequest,
+    availability_curves, interval_probability, transient_probability_curve, AnalysisReport,
+    AnalysisRequest, AvailabilityCurves,
 };
 use crate::blocks::{
     add_backup_transfer, add_direct_transfer, add_simple_component_named, add_vm_behavior,
@@ -542,28 +543,46 @@ impl CloudModel {
         };
         let steady = steady_sol.as_ref().map(|sol| self.steady_report(graph, sol));
 
+        // One shared uniformization pass serves every `Transient` time
+        // point and every `Interval` horizon in the set (one matrix build,
+        // one power march), instead of one march per time point.
+        let mut all_times: Vec<f64> = Vec::new();
+        let mut all_horizons: Vec<f64> = Vec::new();
+        for req in requests {
+            match req {
+                AnalysisRequest::Transient { time_points } => {
+                    all_times.extend_from_slice(time_points)
+                }
+                AnalysisRequest::Interval { horizon_hours } => {
+                    all_horizons.push(*horizon_hours)
+                }
+                _ => {}
+            }
+        }
+        let curves = if all_times.is_empty() && all_horizons.is_empty() {
+            AvailabilityCurves::default()
+        } else {
+            availability_curves(graph, &self.availability_expr(), &all_times, &all_horizons)?
+        };
+        let (mut next_time, mut next_horizon) = (0usize, 0usize);
+
         let mut out = Vec::with_capacity(requests.len());
         for req in requests {
             out.push(match req {
                 AnalysisRequest::SteadyState => {
                     AnalysisReport::SteadyState(steady.expect("steady solve ran"))
                 }
-                AnalysisRequest::Transient { time_points } => AnalysisReport::Transient {
-                    time_points: time_points.clone(),
-                    availability: transient_probability_curve(
-                        graph,
-                        &self.availability_expr(),
-                        time_points,
-                    )?,
-                },
-                AnalysisRequest::Interval { horizon_hours } => AnalysisReport::Interval {
-                    horizon_hours: *horizon_hours,
-                    availability: interval_probability(
-                        graph,
-                        &self.availability_expr(),
-                        *horizon_hours,
-                    )?,
-                },
+                AnalysisRequest::Transient { time_points } => {
+                    let availability =
+                        curves.point[next_time..next_time + time_points.len()].to_vec();
+                    next_time += time_points.len();
+                    AnalysisReport::Transient { time_points: time_points.clone(), availability }
+                }
+                AnalysisRequest::Interval { horizon_hours } => {
+                    let availability = curves.interval[next_horizon];
+                    next_horizon += 1;
+                    AnalysisReport::Interval { horizon_hours: *horizon_hours, availability }
+                }
                 AnalysisRequest::Mttsf => {
                     AnalysisReport::Mttsf { hours: self.mean_time_to_service_failure(graph)? }
                 }

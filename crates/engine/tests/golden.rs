@@ -127,6 +127,108 @@ fn table7_one_machine_sensitivity_ranking_is_pinned() {
     assert!(row("vm_mttr").elasticity < 0.0);
 }
 
+/// Transient + interval outputs of the **per-point** engine, captured (17
+/// significant digits) immediately before the single-pass curve engine
+/// replaced it: `graph.transient(t)` / `dtc_markov::interval_availability`
+/// once per time point. The unified pipeline must keep reproducing them.
+#[allow(clippy::excessive_precision)] // 17 digits as captured, even where f64 rounds them
+mod pre_curve_snapshot {
+    /// `A(t)` for the Table VII one-machine row at t = 24/168/720/8760 h.
+    pub const TABLE7_ONE_MACHINE_TRANSIENT: [f64; 4] = [
+        9.88285173986659604e-1,
+        9.87092303824100847e-1,
+        9.86501117011864492e-1,
+        9.81064918438497302e-1,
+    ];
+    /// First-year interval availability for the same row.
+    pub const TABLE7_ONE_MACHINE_INTERVAL_8760: f64 = 9.83671600717721528e-1;
+    /// `A(24 h)` for fig7\[secondary=Brasilia,alpha=0.35,disaster_years=100\]
+    /// (the full ~126k-state case-study model).
+    pub const FIG7_BRASILIA_TRANSIENT_24: f64 = 9.99803675435518069e-1;
+    /// First-day interval availability for the same scenario.
+    pub const FIG7_BRASILIA_INTERVAL_24: f64 = 9.99885994230639619e-1;
+    /// Allowed drift from the captured per-point values.
+    pub const TOL: f64 = 1e-12;
+}
+
+fn curve_reports(scenario: &Scenario, analyses: Vec<AnalysisRequest>) -> Vec<AnalysisReport> {
+    let cache = std::sync::Arc::new(EvalCache::in_memory());
+    let opts = RunOptions { analyses, ..RunOptions::default() };
+    let result = run_batch(std::slice::from_ref(scenario), &cache, &opts);
+    result.outcomes[0].reports.as_ref().expect("scenario evaluates").to_vec()
+}
+
+#[test]
+fn table7_transient_and_interval_pinned_to_pre_curve_engine() {
+    use pre_curve_snapshot as snap;
+    let scenario = catalogs::table7()
+        .expand()
+        .unwrap()
+        .into_iter()
+        .find(|s| s.machines == Some(1))
+        .expect("table7 has the one-machine row");
+    let times = vec![24.0, 168.0, 720.0, 8760.0];
+    let reports = curve_reports(
+        &scenario,
+        vec![
+            AnalysisRequest::Transient { time_points: times.clone() },
+            AnalysisRequest::Interval { horizon_hours: 8760.0 },
+        ],
+    );
+    let AnalysisReport::Transient { time_points, availability } = &reports[0] else {
+        panic!("transient report expected, got {:?}", reports[0].kind());
+    };
+    assert_eq!(*time_points, times);
+    for ((&t, &got), &want) in
+        times.iter().zip(availability).zip(&snap::TABLE7_ONE_MACHINE_TRANSIENT)
+    {
+        assert!(
+            (got - want).abs() < snap::TOL,
+            "A({t}) drifted from the per-point engine: {got:.17e} vs {want:.17e}"
+        );
+    }
+    let AnalysisReport::Interval { horizon_hours, availability } = &reports[1] else {
+        panic!("interval report expected, got {:?}", reports[1].kind());
+    };
+    assert_eq!(*horizon_hours, 8760.0);
+    assert!(
+        (availability - snap::TABLE7_ONE_MACHINE_INTERVAL_8760).abs() < snap::TOL,
+        "IA(8760) drifted: {availability:.17e}"
+    );
+}
+
+#[test]
+fn fig7_transient_and_interval_pinned_to_pre_curve_engine() {
+    // The full case-study model (~126k tangible states): one march serves
+    // both the transient point and the SLA window. Kept to t = 24 h so the
+    // test stays CI-sized.
+    use pre_curve_snapshot as snap;
+    let scenario = catalogs::fig7().expand().unwrap().into_iter().next().unwrap();
+    assert_eq!(scenario.secondary.as_deref(), Some("Brasilia"));
+    let reports = curve_reports(
+        &scenario,
+        vec![
+            AnalysisRequest::Transient { time_points: vec![24.0] },
+            AnalysisRequest::Interval { horizon_hours: 24.0 },
+        ],
+    );
+    let AnalysisReport::Transient { availability, .. } = &reports[0] else {
+        panic!("transient report expected");
+    };
+    assert!(
+        (availability[0] - snap::FIG7_BRASILIA_TRANSIENT_24).abs() < snap::TOL,
+        "A(24) drifted: {:.17e}",
+        availability[0]
+    );
+    let AnalysisReport::Interval { availability, .. } = &reports[1] else {
+        panic!("interval report expected");
+    };
+    assert!(
+        (availability - snap::FIG7_BRASILIA_INTERVAL_24).abs() < snap::TOL,
+        "IA(24) drifted: {availability:.17e}"
+    );
+}
+
 #[test]
 fn bundled_catalogs_validate() {
     // Every bundled scenario compiles to a model (without solving it).

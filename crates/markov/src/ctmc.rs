@@ -24,11 +24,10 @@
 
 use crate::error::{MarkovError, Result};
 use crate::solve::{
-    self, direct_stationary, power_stationary, stationary_iteration, Method, SolveStats,
+    direct_stationary, dot, power_stationary, stationary_iteration, Method, SolveStats,
     SolverOptions,
 };
 use crate::sparse::{CooMatrix, CsrMatrix};
-use crate::transient::poisson_weights;
 
 /// Incremental builder for a CTMC generator matrix.
 ///
@@ -175,6 +174,7 @@ impl Ctmc {
 
     /// The uniformized probability matrix `P = I + Q/Λ`.
     pub fn uniformized(&self, lambda: f64) -> CsrMatrix {
+        crate::instrument::count_uniformized_build();
         let n = self.num_states();
         let mut coo = CooMatrix::with_capacity(n, n, self.q.nnz() + n);
         for (i, j, v) in self.q.iter() {
@@ -230,44 +230,36 @@ impl Ctmc {
     /// `pi0`, by uniformization:
     /// `π(t) = Σ_k Poisson(Λt; k) · π0 Pᵏ` with adaptive truncation.
     ///
+    /// A one-point [`crate::curve::uniformized_pass`] — so there is exactly
+    /// one march implementation, and per-point results are bit-identical to
+    /// curve results by construction.
+    ///
     /// # Errors
     ///
-    /// Fails on negative `t` or mismatched `pi0` length.
+    /// Fails on negative or non-finite `t` or mismatched `pi0` length.
     pub fn transient(&self, pi0: &[f64], t: f64) -> Result<Vec<f64>> {
-        let n = self.num_states();
-        if pi0.len() != n {
-            return Err(MarkovError::DimensionMismatch { expected: n, got: pi0.len() });
-        }
-        if t < 0.0 {
-            return Err(MarkovError::NegativeTime(t));
-        }
-        if t == 0.0 {
-            return Ok(pi0.to_vec());
-        }
-        let lambda = self.uniformization_rate();
-        let p = self.uniformized(lambda);
-        let weights = poisson_weights(lambda * t, 1e-14);
-        let mut acc = vec![0.0; n];
-        let mut cur = pi0.to_vec();
-        let mut next = vec![0.0; n];
-        for (k, w) in weights.iter().enumerate() {
-            if k > 0 {
-                p.vec_mul_into(&cur, &mut next);
-                std::mem::swap(&mut cur, &mut next);
-            }
-            if *w > 0.0 {
-                for (a, c) in acc.iter_mut().zip(&cur) {
-                    *a += w * c;
-                }
-            }
-        }
-        // Guard against accumulated rounding.
-        solve::normalize(&mut acc);
-        Ok(acc)
+        let mut out =
+            crate::curve::uniformized_pass(self, pi0, std::slice::from_ref(&t), &[], &[])?;
+        Ok(out.distributions.pop().expect("one requested time point"))
     }
 
-    /// Point availability curve: evaluates `Σ_{i∈up} π(t)_i` at each time in
-    /// `times`, starting from `pi0`.
+    /// Transient distributions at every time in `times` from **one**
+    /// uniformization pass: the matrix `P = I + Q/Λ` is built once and the
+    /// power sequence `π0·Pᵏ` marched once, with each time point's
+    /// Poisson-weighted sum accumulated along the way
+    /// (see [`crate::curve::uniformized_pass`]).
+    ///
+    /// Times may be unsorted, duplicated, or zero; results come back in
+    /// caller order, bit-identical to per-point [`Ctmc::transient`] calls.
+    pub fn transient_curve(&self, pi0: &[f64], times: &[f64]) -> Result<Vec<Vec<f64>>> {
+        Ok(crate::curve::uniformized_pass(self, pi0, times, &[], &[])?.distributions)
+    }
+
+    /// Reward curve `(π(t)·r)` at each time in `times`, starting from
+    /// `pi0` — e.g. point availability with an up-state indicator reward.
+    ///
+    /// Evaluated through [`Ctmc::transient_curve`], so the whole curve
+    /// costs one uniformization pass instead of one per point.
     pub fn transient_reward_curve(
         &self,
         pi0: &[f64],
@@ -278,12 +270,7 @@ impl Ctmc {
         if reward.len() != n {
             return Err(MarkovError::DimensionMismatch { expected: n, got: reward.len() });
         }
-        let mut out = Vec::with_capacity(times.len());
-        for &t in times {
-            let pi = self.transient(pi0, t)?;
-            out.push(dot(&pi, reward));
-        }
-        Ok(out)
+        Ok(self.transient_curve(pi0, times)?.iter().map(|pi| dot(pi, reward)).collect())
     }
 
     /// Expected steady-state reward `Σ πᵢ rᵢ` for a reward vector `r`.
@@ -301,10 +288,6 @@ impl Ctmc {
         let pi = self.steady_state()?;
         Ok(pi.iter().enumerate().filter(|(i, _)| pred(*i)).map(|(_, p)| p).sum())
     }
-}
-
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 #[cfg(test)]

@@ -14,55 +14,25 @@
 
 use crate::ctmc::Ctmc;
 use crate::error::{MarkovError, Result};
-use crate::transient::poisson_weights;
 
-/// Expected accumulated reward `E[∫₀ᵗ r(X_u) du]` starting from `pi0`.
+/// Expected accumulated reward `E[∫₀ᵗ r(X_u) du]` starting from `pi0`,
+/// with `c_k = (1/Λ)(1 − CDF_k)` accumulated as the Poisson CDF walks `k`
+/// upward.
 ///
 /// `reward[i]` is the reward rate in state `i`; with an indicator reward
 /// this is the expected total up time in `[0, t]`.
+///
+/// A one-horizon [`crate::curve::uniformized_pass`] — so there is exactly
+/// one march implementation, and per-horizon results are bit-identical to
+/// multi-horizon curve results by construction.
 ///
 /// # Errors
 ///
 /// Dimension mismatches and negative horizons, as
 /// [`crate::ctmc::Ctmc::transient`].
 pub fn cumulative_reward(ctmc: &Ctmc, pi0: &[f64], t: f64, reward: &[f64]) -> Result<f64> {
-    let n = ctmc.num_states();
-    if pi0.len() != n {
-        return Err(MarkovError::DimensionMismatch { expected: n, got: pi0.len() });
-    }
-    if reward.len() != n {
-        return Err(MarkovError::DimensionMismatch { expected: n, got: reward.len() });
-    }
-    if t < 0.0 {
-        return Err(MarkovError::NegativeTime(t));
-    }
-    if t == 0.0 {
-        return Ok(0.0);
-    }
-    let lambda = ctmc.uniformization_rate();
-    let p = ctmc.uniformized(lambda);
-    let weights = poisson_weights(lambda * t, 1e-13);
-    // c_k = (1/Λ)(1 − CDF_k). Accumulate the CDF as we walk k upward; the
-    // truncated tail beyond the last weight contributes c_k ≈ 0 ... except
-    // that 1 − CDF_k for k beyond the mass is ~0 by construction of the
-    // truncation (weights sum to 1).
-    let mut acc = 0.0;
-    let mut cdf = 0.0;
-    let mut cur = pi0.to_vec();
-    let mut next = vec![0.0; n];
-    let dot = |v: &[f64]| -> f64 { v.iter().zip(reward).map(|(a, b)| a * b).sum() };
-    for (k, w) in weights.iter().enumerate() {
-        if k > 0 {
-            p.vec_mul_into(&cur, &mut next);
-            std::mem::swap(&mut cur, &mut next);
-        }
-        cdf += w;
-        let ck = (1.0 - cdf).max(0.0) / lambda;
-        if ck > 0.0 {
-            acc += ck * dot(&cur);
-        }
-    }
-    Ok(acc)
+    let out = crate::curve::uniformized_pass(ctmc, pi0, &[], std::slice::from_ref(&t), reward)?;
+    Ok(out.cumulative[0])
 }
 
 /// Expected interval availability over `[0, t]`: the fraction of the window

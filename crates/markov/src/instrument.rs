@@ -1,0 +1,53 @@
+//! Process-wide counters for the expensive uniformization steps.
+//!
+//! Curve workloads are supposed to cost **one** uniformized-matrix build and
+//! **one** power march regardless of how many time points they evaluate;
+//! these relaxed atomics let integration tests assert that contract end to
+//! end (build a model, run a 16-point transient + interval set, check both
+//! counters advanced by exactly one) without threading a stats object
+//! through every layer.
+//!
+//! Counters are cumulative for the process. Tests that assert on deltas
+//! should run in their own integration-test binary so concurrent tests in
+//! the same process cannot interleave extra solves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static UNIFORMIZED_BUILDS: AtomicU64 = AtomicU64::new(0);
+static TRANSIENT_MARCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Total `P = I + Q/Λ` constructions since process start.
+pub fn uniformized_builds() -> u64 {
+    UNIFORMIZED_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Total transient power marches (`π0·Pᵏ` sweeps) since process start.
+/// One per [`crate::Ctmc::transient`] / [`crate::cumulative_reward`] call,
+/// and exactly one per [`crate::curve::uniformized_pass`] no matter how many
+/// time points the pass serves.
+pub fn transient_marches() -> u64 {
+    TRANSIENT_MARCHES.load(Ordering::Relaxed)
+}
+
+pub(crate) fn count_uniformized_build() {
+    UNIFORMIZED_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_transient_march() {
+    TRANSIENT_MARCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone() {
+        let b0 = uniformized_builds();
+        let m0 = transient_marches();
+        count_uniformized_build();
+        count_transient_march();
+        assert!(uniformized_builds() > b0);
+        assert!(transient_marches() > m0);
+    }
+}

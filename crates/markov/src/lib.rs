@@ -8,6 +8,8 @@
 //! * continuous-time Markov chains with steady-state solvers
 //!   (power / Jacobi / Gauss–Seidel / SOR / dense direct) and transient
 //!   solutions by uniformization ([`ctmc`], [`solve`], [`transient`]),
+//!   including whole transient/interval curves from a single shared power
+//!   march ([`curve`], instrumented via [`instrument`]),
 //! * discrete-time chains ([`dtmc`]),
 //! * absorbing-chain analysis — mean time to absorption and absorption
 //!   probabilities — for reliability/MTTF questions ([`absorbing`]).
@@ -35,8 +37,10 @@
 pub mod absorbing;
 pub mod ctmc;
 pub mod cumulative;
+pub mod curve;
 pub mod dtmc;
 pub mod error;
+pub mod instrument;
 pub mod solve;
 pub mod sparse;
 pub mod transient;
@@ -47,7 +51,11 @@ pub use absorbing::{
 };
 pub use ctmc::{Ctmc, CtmcBuilder};
 pub use cumulative::{cumulative_reward, interval_availability};
+pub use curve::{
+    cumulative_reward_curve, interval_availability_curve, uniformized_pass, PassOutput,
+    PassStats,
+};
 pub use dtmc::{Dtmc, DtmcBuilder};
 pub use error::{MarkovError, Result};
-pub use solve::{Method, SolveStats, SolverOptions};
+pub use solve::{dot, Method, SolveStats, SolverOptions};
 pub use sparse::{CooMatrix, CsrMatrix};

@@ -97,6 +97,12 @@ pub struct SolveStats {
     pub method: Method,
 }
 
+/// Dot product `Σ aᵢ·bᵢ` — the shared primitive behind reward evaluation
+/// (`π·r`) across the workspace.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
 /// Normalizes `x` to sum to one (in place). Returns the pre-normalization sum.
 pub(crate) fn normalize(x: &mut [f64]) -> f64 {
     let sum: f64 = x.iter().sum();

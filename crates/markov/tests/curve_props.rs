@@ -1,0 +1,180 @@
+//! Property tests for the single-pass uniformization curve engine.
+//!
+//! For randomized small CTMCs (seeded SplitMix64 — the external `proptest`
+//! crate is unavailable offline, so cases are deterministic across runs):
+//!
+//! * the single-pass curve matches per-point `transient` within 1e-10 at
+//!   every time point (the implementation shares the march, so in practice
+//!   they are bit-identical — the tolerance is the pinned contract),
+//! * the curve converges to `steady_state()` at large `t`,
+//! * every returned distribution is non-negative and sums to one,
+//! * the multi-horizon interval curve matches per-horizon
+//!   `interval_availability` and stays inside `[0, 1]`.
+
+use dtc_markov::curve::uniformized_pass;
+use dtc_markov::{interval_availability, interval_availability_curve, Ctmc, CtmcBuilder};
+
+/// Deterministic pseudo-random stream (SplitMix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+
+    /// A random irreducible CTMC: a directed cycle through all states (so
+    /// every state reaches every other) plus random extra transitions.
+    fn ctmc(&mut self) -> Ctmc {
+        let n = self.usize_in(2, 6);
+        let mut b = CtmcBuilder::new(n);
+        for i in 0..n {
+            b.rate(i, (i + 1) % n, self.f64_in(0.05, 5.0));
+        }
+        for _ in 0..self.usize_in(0, 2 * n) {
+            let from = self.usize_in(0, n - 1);
+            let to = self.usize_in(0, n - 1);
+            if from != to {
+                b.rate(from, to, self.f64_in(0.01, 10.0));
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// A random initial distribution (a point mass half the time).
+    fn pi0(&mut self, n: usize) -> Vec<f64> {
+        if self.next_u64() & 1 == 0 {
+            let mut pi0 = vec![0.0; n];
+            pi0[self.usize_in(0, n - 1)] = 1.0;
+            pi0
+        } else {
+            let raw: Vec<f64> = (0..n).map(|_| self.f64_in(0.0, 1.0)).collect();
+            let sum: f64 = raw.iter().sum();
+            raw.iter().map(|x| x / sum).collect()
+        }
+    }
+
+    /// An unsorted time grid with duplicates and an explicit zero.
+    fn times(&mut self) -> Vec<f64> {
+        let mut times: Vec<f64> =
+            (0..self.usize_in(3, 9)).map(|_| self.f64_in(0.0, 50.0)).collect();
+        times.push(0.0);
+        let dup = times[self.usize_in(0, times.len() - 1)];
+        times.push(dup);
+        times
+    }
+}
+
+const CASES: usize = 24;
+
+#[test]
+fn single_pass_matches_per_point_transient() {
+    let mut g = Gen(0x51_6E_6C_45);
+    for case in 0..CASES {
+        let c = g.ctmc();
+        let pi0 = g.pi0(c.num_states());
+        let times = g.times();
+        let curve = c.transient_curve(&pi0, &times).unwrap();
+        assert_eq!(curve.len(), times.len());
+        for (&t, pi) in times.iter().zip(&curve) {
+            let reference = c.transient(&pi0, t).unwrap();
+            for (a, b) in pi.iter().zip(&reference) {
+                assert!(
+                    (a - b).abs() < 1e-10,
+                    "case {case}, t = {t}: curve {a} vs per-point {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn curve_distributions_are_normalized_and_non_negative() {
+    let mut g = Gen(0xD157_0F00);
+    for case in 0..CASES {
+        let c = g.ctmc();
+        let pi0 = g.pi0(c.num_states());
+        let times = g.times();
+        for (t, pi) in times.iter().zip(c.transient_curve(&pi0, &times).unwrap()) {
+            let sum: f64 = pi.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "case {case}, t = {t}: sums to {sum}");
+            assert!(
+                pi.iter().all(|p| *p >= -1e-12),
+                "case {case}, t = {t}: negative mass in {pi:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn curve_converges_to_steady_state_at_large_t() {
+    let mut g = Gen(0x57EAD);
+    for case in 0..CASES {
+        let c = g.ctmc();
+        let pi0 = g.pi0(c.num_states());
+        let steady = c.steady_state().unwrap();
+        // Mixing time scales with 1/min-rate; 1e4 hours dwarfs it for the
+        // generated rate range (≥ 0.05/h around the cycle).
+        let curve = c.transient_curve(&pi0, &[1e4, 5e4]).unwrap();
+        for pi in &curve {
+            for (a, b) in pi.iter().zip(&steady) {
+                assert!((a - b).abs() < 1e-7, "case {case}: {pi:?} vs steady {steady:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn interval_curve_matches_per_horizon_and_stays_in_unit_range() {
+    let mut g = Gen(0x1A7E);
+    for case in 0..CASES {
+        let c = g.ctmc();
+        let n = c.num_states();
+        let pi0 = g.pi0(n);
+        let up = |i: usize| i < n.div_ceil(2);
+        let horizons: Vec<f64> = (0..4).map(|_| g.f64_in(0.1, 100.0)).collect();
+        let curve = interval_availability_curve(&c, &pi0, &horizons, up).unwrap();
+        for (&h, &got) in horizons.iter().zip(&curve) {
+            let reference = interval_availability(&c, &pi0, h, up).unwrap();
+            assert!(
+                (got - reference).abs() < 1e-10,
+                "case {case}, h = {h}: {got} vs {reference}"
+            );
+            assert!((-1e-12..=1.0 + 1e-12).contains(&got), "case {case}: IA = {got}");
+        }
+    }
+}
+
+#[test]
+fn combined_pass_is_consistent_with_its_parts() {
+    let mut g = Gen(0xC0B1);
+    for case in 0..CASES {
+        let c = g.ctmc();
+        let n = c.num_states();
+        let pi0 = g.pi0(n);
+        let reward: Vec<f64> =
+            (0..n).map(|i| if i < n.div_ceil(2) { 1.0 } else { 0.0 }).collect();
+        let times = g.times();
+        let horizons: Vec<f64> = (0..3).map(|_| g.f64_in(0.1, 60.0)).collect();
+        let combined = uniformized_pass(&c, &pi0, &times, &horizons, &reward).unwrap();
+        assert_eq!(combined.stats.matrix_builds, 1, "case {case}");
+        assert_eq!(combined.stats.marches, 1, "case {case}");
+        let transient_only = c.transient_curve(&pi0, &times).unwrap();
+        assert_eq!(combined.distributions, transient_only, "case {case}");
+        let cumulative_only =
+            dtc_markov::cumulative_reward_curve(&c, &pi0, &horizons, &reward).unwrap();
+        assert_eq!(combined.cumulative, cumulative_only, "case {case}");
+    }
+}

@@ -173,19 +173,40 @@ impl TangibleGraph {
         Ok(Solution { graph: self, pi, stats })
     }
 
-    /// Transient distribution over tangible states at time `t`.
-    pub fn transient(&self, t: f64) -> Result<Solution<'_>> {
-        let n = self.num_states();
-        let mut pi0 = vec![0.0; n];
+    /// The initial distribution as a dense vector over tangible states.
+    pub fn initial_pi0(&self) -> Vec<f64> {
+        let mut pi0 = vec![0.0; self.num_states()];
         for &(i, p) in &self.initial_distribution {
             pi0[i] = p;
         }
-        let pi = self.ctmc.transient(&pi0, t)?;
+        pi0
+    }
+
+    /// Transient distribution over tangible states at time `t`.
+    pub fn transient(&self, t: f64) -> Result<Solution<'_>> {
+        let pi = self.ctmc.transient(&self.initial_pi0(), t)?;
         Ok(Solution {
             graph: self,
             pi,
             stats: SolveStats { iterations: 0, residual: 0.0, method: Method::Power },
         })
+    }
+
+    /// Transient distributions at every time in `times` from **one**
+    /// uniformization pass (one matrix build, one power march — see
+    /// [`dtc_markov::curve`]). Times may be unsorted, duplicated, or zero;
+    /// solutions come back in caller order, each bit-identical to the
+    /// corresponding [`TangibleGraph::transient`] call.
+    pub fn transient_curve(&self, times: &[f64]) -> Result<Vec<Solution<'_>>> {
+        let curves = self.ctmc.transient_curve(&self.initial_pi0(), times)?;
+        Ok(curves
+            .into_iter()
+            .map(|pi| Solution {
+                graph: self,
+                pi,
+                stats: SolveStats { iterations: 0, residual: 0.0, method: Method::Power },
+            })
+            .collect())
     }
 }
 
@@ -667,6 +688,31 @@ mod tests {
         let t_inf = g.transient(1e5).unwrap().probability(&expr);
         let ss = g.solve().unwrap().probability(&expr);
         assert!((t_inf - ss).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transient_curve_matches_per_point_in_caller_order() {
+        let net = simple(100.0, 1.0);
+        let g = explore(&net, &ReachOptions::default()).unwrap();
+        let on = net.place("ON").unwrap();
+        let expr = IntExpr::tokens(on).gt(0);
+        // Unsorted, with a duplicate and a zero — the pinned contract.
+        let times = [500.0, 0.0, 10.0, 500.0];
+        let curve = g.transient_curve(&times).unwrap();
+        assert_eq!(curve.len(), times.len());
+        for (&t, sol) in times.iter().zip(&curve) {
+            let reference = g.transient(t).unwrap();
+            assert_eq!(
+                sol.probabilities(),
+                reference.probabilities(),
+                "t = {t}: curve must match the per-point solver exactly"
+            );
+        }
+        assert!(
+            (curve[1].probability(&expr) - 1.0).abs() < 1e-12,
+            "t = 0 is the initial state"
+        );
+        assert_eq!(curve[0].probabilities(), curve[3].probabilities(), "duplicates agree");
     }
 
     #[test]

@@ -311,6 +311,83 @@ fn v2_sensitivity_rides_one_cache_miss_and_matches_the_cli_pipeline() {
 }
 
 #[test]
+fn v2_transient_curve_pinned_and_time_points_keep_request_order() {
+    // Per-point engine outputs for the tiny loadgen catalog, captured (17
+    // significant digits) immediately before the single-pass curve engine
+    // replaced the per-point path. The HTTP surface must keep reproducing
+    // them.
+    #![allow(clippy::excessive_precision)] // 17 digits as captured
+    const A24: f64 = 9.88616333757290966e-1;
+    const A168: f64 = 9.87592518683237275e-1;
+    const A720: f64 = 9.87592518326670277e-1;
+    const A8760: f64 = 9.87592518326670388e-1;
+    const IA8760: f64 = 9.87606023114894427e-1;
+    const TOL: f64 = 1e-12;
+
+    let server = Server::start(&config()).expect("server starts");
+    let addr = server.addr();
+
+    // Unsorted `time_points` with a duplicate and a zero: the availability
+    // array must follow the REQUEST order (the engine sorts internally,
+    // but the response order is the caller's — see docs/HTTP_API.md).
+    let body = format!(
+        "{{\"catalog\":{},\"analyses\":[\
+         {{\"kind\":\"transient\",\"time_points\":[8760.0,24.0,0.0,24.0,720.0,168.0]}},\
+         {{\"kind\":\"interval\",\"horizon_hours\":8760.0}}]}}",
+        loadgen::tiny_catalog_json()
+    );
+    let (status, text) = request(addr, "POST", "/v2/evaluate", Some(&body));
+    assert_eq!(status, 200, "{text}");
+    let doc = Value::from_json(&text).expect("valid JSON");
+    let result = doc.get("results").unwrap().as_array().unwrap()[0].clone();
+    assert_eq!(result.get("status").and_then(|s| s.as_str()), Some("ok"), "{text}");
+    let analyses = result.get("analyses").and_then(|a| a.as_array()).expect("report union");
+    assert_eq!(analyses.len(), 2);
+
+    let floats = |v: &Value, key: &str| -> Vec<f64> {
+        v.get(key)
+            .and_then(|x| x.as_array())
+            .unwrap_or_else(|| panic!("{key} missing in {}", v.to_json()))
+            .iter()
+            .filter_map(|x| x.as_f64())
+            .collect()
+    };
+    assert_eq!(analyses[0].get("kind").and_then(|k| k.as_str()), Some("transient"));
+    let echoed = floats(&analyses[0], "time_points");
+    assert_eq!(echoed, vec![8760.0, 24.0, 0.0, 24.0, 720.0, 168.0], "request order echoed");
+    let got = floats(&analyses[0], "availability");
+    let want = [A8760, A24, 1.0, A24, A720, A168];
+    assert_eq!(got.len(), want.len());
+    for ((g, w), t) in got.iter().zip(&want).zip(&echoed) {
+        assert!((g - w).abs() < TOL, "A({t}) drifted: {g:.17e} vs {w:.17e}");
+    }
+    assert_eq!(got[1], got[3], "duplicate time points yield identical values");
+    assert_eq!(analyses[1].get("kind").and_then(|k| k.as_str()), Some("interval"));
+    let ia = analyses[1].get("availability").and_then(|a| a.as_f64()).expect("interval value");
+    assert!((ia - IA8760).abs() < TOL, "IA(8760) drifted: {ia:.17e}");
+
+    // The whole 6-point curve + SLA window cost ONE cache miss (one
+    // state-space construction, one uniformization pass behind it).
+    let stats = get_json(addr, "/v1/stats");
+    assert_eq!(int_at(&stats, "cache", "misses"), 1, "one miss for the whole curve set");
+
+    // Re-POSTing the identical set is a pure hit with a bit-identical
+    // union (the curve round-trips through the store).
+    let (status, text2) = request(addr, "POST", "/v2/evaluate", Some(&body));
+    assert_eq!(status, 200);
+    let doc2 = Value::from_json(&text2).unwrap();
+    let union_of = |d: &Value| {
+        d.get("results").unwrap().as_array().unwrap()[0].get("analyses").unwrap().to_json()
+    };
+    assert_eq!(union_of(&doc2), union_of(&doc));
+    let stats = get_json(addr, "/v1/stats");
+    assert_eq!(int_at(&stats, "cache", "misses"), 1);
+    assert_eq!(int_at(&stats, "cache", "hits"), 1);
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn model_dot_route_renders_bundled_scenarios() {
     let server = Server::start(&config()).expect("server starts");
     let addr = server.addr();
