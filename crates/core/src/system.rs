@@ -449,9 +449,10 @@ impl CloudModel {
     }
 
     /// Explores the tangible state space (the expensive step; reuse the
-    /// returned graph to evaluate several metrics).
+    /// returned graph to evaluate several metrics). Records an `explore`
+    /// stage span in the [`dtc_obs::global`] registry.
     pub fn state_space(&self, opts: &EvalOptions) -> Result<TangibleGraph> {
-        Ok(explore(&self.net, &opts.reach)?)
+        dtc_obs::span!("explore", Ok(explore(&self.net, &opts.reach)?))
     }
 
     /// Builds the state space, solves for steady state, and summarizes the
@@ -583,9 +584,9 @@ impl CloudModel {
                     next_horizon += 1;
                     AnalysisReport::Interval { horizon_hours: *horizon_hours, availability }
                 }
-                AnalysisRequest::Mttsf => {
-                    AnalysisReport::Mttsf { hours: self.mean_time_to_service_failure(graph)? }
-                }
+                AnalysisRequest::Mttsf => AnalysisReport::Mttsf {
+                    hours: dtc_obs::span!("mttsf", self.mean_time_to_service_failure(graph)?),
+                },
                 AnalysisRequest::CapacityThresholds => AnalysisReport::CapacityThresholds {
                     availability: self
                         .threshold_curve(graph, steady_sol.as_ref().expect("steady solve ran")),
@@ -608,7 +609,10 @@ impl CloudModel {
                         seed: *seed,
                         ..SimConfig::default()
                     };
-                    let est = self.simulate_availability(&cfg, &TimingOverrides::new())?;
+                    let est = dtc_obs::span!(
+                        "simulation",
+                        self.simulate_availability(&cfg, &TimingOverrides::new())?
+                    );
                     AnalysisReport::Simulation {
                         mean: est.mean,
                         half_width: est.half_width,
@@ -623,6 +627,7 @@ impl CloudModel {
                     let base =
                         steady.as_ref().expect("steady solve ran for sensitivity").availability;
                     let params = crate::sensitivity::filtered_parameters(spec, parameters);
+                    let _span = dtc_obs::stage_span("sensitivity");
                     let rows = crate::sensitivity::sensitivity_with_baseline(
                         spec,
                         &params,

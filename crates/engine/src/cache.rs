@@ -54,6 +54,9 @@ pub struct CacheStats {
     pub entries: usize,
     /// Entries dropped by the max-entries cap since construction.
     pub evictions: usize,
+    /// Followers that joined another caller's in-flight solve (a subset of
+    /// `hits`): the single-flight savings counter.
+    pub joins: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -146,6 +149,7 @@ pub struct EvalCache {
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
+    joins: AtomicUsize,
     seq: AtomicU64,
     max_entries: Option<usize>,
     store: Option<PathBuf>,
@@ -160,6 +164,7 @@ impl EvalCache {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            joins: AtomicUsize::new(0),
             seq: AtomicU64::new(0),
             max_entries: None,
             store: None,
@@ -367,6 +372,7 @@ impl EvalCache {
         } else {
             let result = flight.wait();
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.joins.fetch_add(1, Ordering::Relaxed);
             (result, Fetch::Joined)
         }
     }
@@ -402,6 +408,7 @@ impl EvalCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
             evictions: self.evictions.load(Ordering::Relaxed),
+            joins: self.joins.load(Ordering::Relaxed),
         }
     }
 

@@ -297,9 +297,14 @@ fn cmd_cache(positional: &[String], opts: &CliOptions) -> Result<()> {
         "stats" => {
             let cache = EvalCache::with_store(path.clone())?;
             let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-            println!("store:   {}", path.display());
-            println!("entries: {}", cache.len());
-            println!("bytes:   {bytes}");
+            let stats = cache.stats();
+            println!("store:     {}", path.display());
+            println!("entries:   {}", cache.len());
+            println!("bytes:     {bytes}");
+            println!("hits:      {}", stats.hits);
+            println!("misses:    {}", stats.misses);
+            println!("joins:     {}", stats.joins);
+            println!("evictions: {}", stats.evictions);
             Ok(())
         }
         "keys" => {

@@ -197,13 +197,17 @@ impl Ctmc {
     }
 
     /// Steady-state distribution with an explicit method and options.
+    ///
+    /// Records a `stationary_solve` stage span and the iteration count into
+    /// the [`dtc_obs::global`] registry (see [`crate::instrument`]).
     pub fn steady_state_with(
         &self,
         method: Method,
         opts: &SolverOptions,
     ) -> Result<(Vec<f64>, SolveStats)> {
+        let _span = dtc_obs::stage_span("stationary_solve");
         let n = self.num_states();
-        match method {
+        let result = match method {
             Method::Direct => direct_stationary(&self.q),
             Method::Power => {
                 let lambda = self.uniformization_rate();
@@ -223,7 +227,11 @@ impl Ctmc {
                     Err(e) => Err(e),
                 }
             }
+        };
+        if let Ok((_, stats)) = &result {
+            crate::instrument::count_stationary_iterations(stats.iterations as u64);
         }
+        result
     }
 
     /// Transient state distribution at time `t` from initial distribution

@@ -144,11 +144,12 @@ pub fn uniformized_pass(
 
     let mut stats = PassStats::default();
     if kmax > 0 {
-        let p = ctmc.uniformized(lambda);
+        let p = dtc_obs::span!("uniformized_build", ctmc.uniformized(lambda));
         stats.matrix_builds = 1;
         stats.marches = 1;
         stats.truncation_k = kmax;
         instrument::count_transient_march();
+        let _march_span = dtc_obs::stage_span("march");
 
         let mut cur = pi0.to_vec();
         let mut next = vec![0.0; n];

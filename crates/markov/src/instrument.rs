@@ -2,23 +2,63 @@
 //!
 //! Curve workloads are supposed to cost **one** uniformized-matrix build and
 //! **one** power march regardless of how many time points they evaluate;
-//! these relaxed atomics let integration tests assert that contract end to
-//! end (build a model, run a 16-point transient + interval set, check both
+//! these counters let integration tests assert that contract end to end
+//! (build a model, run a 16-point transient + interval set, check both
 //! counters advanced by exactly one) without threading a stats object
 //! through every layer.
+//!
+//! The counters live in the [`dtc_obs::global`] registry, so a `/metrics`
+//! scrape sees them alongside the stage-duration histograms:
+//!
+//! * `dtc_solver_uniformized_builds_total`
+//! * `dtc_solver_transient_marches_total`
+//! * `dtc_solver_stationary_iterations_total`
 //!
 //! Counters are cumulative for the process. Tests that assert on deltas
 //! should run in their own integration-test binary so concurrent tests in
 //! the same process cannot interleave extra solves.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dtc_obs::Counter;
+use std::sync::{Arc, OnceLock};
 
-static UNIFORMIZED_BUILDS: AtomicU64 = AtomicU64::new(0);
-static TRANSIENT_MARCHES: AtomicU64 = AtomicU64::new(0);
+fn solver_counter<'a>(
+    cell: &'a OnceLock<Arc<Counter>>,
+    name: &'static str,
+    help: &'static str,
+) -> &'a Counter {
+    cell.get_or_init(|| dtc_obs::global().counter(name, help, &[]))
+}
+
+fn builds() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    solver_counter(
+        &C,
+        "dtc_solver_uniformized_builds_total",
+        "Uniformized-matrix (P = I + Q/lambda) constructions since process start.",
+    )
+}
+
+fn marches() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    solver_counter(
+        &C,
+        "dtc_solver_transient_marches_total",
+        "Transient power marches (pi0*P^k sweeps) since process start.",
+    )
+}
+
+fn iterations() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    solver_counter(
+        &C,
+        "dtc_solver_stationary_iterations_total",
+        "Inner iterations spent in stationary solves since process start.",
+    )
+}
 
 /// Total `P = I + Q/Λ` constructions since process start.
 pub fn uniformized_builds() -> u64 {
-    UNIFORMIZED_BUILDS.load(Ordering::Relaxed)
+    builds().value()
 }
 
 /// Total transient power marches (`π0·Pᵏ` sweeps) since process start.
@@ -26,15 +66,25 @@ pub fn uniformized_builds() -> u64 {
 /// and exactly one per [`crate::curve::uniformized_pass`] no matter how many
 /// time points the pass serves.
 pub fn transient_marches() -> u64 {
-    TRANSIENT_MARCHES.load(Ordering::Relaxed)
+    marches().value()
+}
+
+/// Total inner iterations spent in stationary solves (power/Jacobi sweeps,
+/// Gauss-Seidel passes) since process start.
+pub fn stationary_iterations() -> u64 {
+    iterations().value()
 }
 
 pub(crate) fn count_uniformized_build() {
-    UNIFORMIZED_BUILDS.fetch_add(1, Ordering::Relaxed);
+    builds().inc();
 }
 
 pub(crate) fn count_transient_march() {
-    TRANSIENT_MARCHES.fetch_add(1, Ordering::Relaxed);
+    marches().inc();
+}
+
+pub(crate) fn count_stationary_iterations(n: u64) {
+    iterations().add(n);
 }
 
 #[cfg(test)]
@@ -45,9 +95,19 @@ mod tests {
     fn counters_are_monotone() {
         let b0 = uniformized_builds();
         let m0 = transient_marches();
+        let i0 = super::stationary_iterations();
         count_uniformized_build();
         count_transient_march();
+        count_stationary_iterations(3);
         assert!(uniformized_builds() > b0);
         assert!(transient_marches() > m0);
+        assert!(super::stationary_iterations() >= i0 + 3);
+    }
+
+    #[test]
+    fn counters_appear_in_the_global_scrape() {
+        count_uniformized_build();
+        let text = dtc_obs::global().render();
+        assert!(text.contains("dtc_solver_uniformized_builds_total"), "scrape: {text}");
     }
 }

@@ -1,0 +1,135 @@
+//! Prometheus text exposition helpers (format version 0.0.4).
+//!
+//! [`crate::Registry::render`] is built on these, and components that keep
+//! their own counters outside a registry (e.g. a cache's stats snapshot)
+//! can use them to append correctly escaped sections to a scrape.
+
+use std::fmt::Write;
+
+/// The `Content-Type` value for the text exposition format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Escapes a `# HELP` text: backslashes and newlines.
+pub fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslashes, double quotes, newlines.
+pub fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders a label set as `{k1="v1",k2="v2"}`, or nothing when empty.
+pub fn label_set(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Appends the `# HELP` / `# TYPE` header for one metric family.
+pub fn write_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Appends one sample line `name{labels} value`.
+pub fn write_sample(out: &mut String, name: &str, labels: &[(String, String)], value: f64) {
+    let _ = writeln!(out, "{name}{} {}", label_set(labels), format_value(value));
+}
+
+/// Appends a full histogram series: cumulative `_bucket` lines (including
+/// `+Inf`), `_sum`, and `_count`. `cumulative` must be the `le`-cumulative
+/// counts with the `+Inf` total as its last entry (one longer than
+/// `bounds`), as produced by [`crate::Histogram::cumulative_counts`].
+pub fn write_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    bounds: &[f64],
+    cumulative: &[u64],
+    sum: f64,
+    count: u64,
+) {
+    debug_assert_eq!(cumulative.len(), bounds.len() + 1);
+    let mut with_le = |le: &str, v: u64| {
+        let mut labels: Vec<(String, String)> = labels.to_vec();
+        labels.push(("le".into(), le.into()));
+        let _ = writeln!(out, "{name}_bucket{} {v}", label_set(&labels));
+    };
+    for (bound, &cum) in bounds.iter().zip(cumulative) {
+        with_le(&format_value(*bound), cum);
+    }
+    with_le("+Inf", *cumulative.last().unwrap_or(&count));
+    let _ = writeln!(out, "{name}_sum{} {}", label_set(labels), format_value(sum));
+    let _ = writeln!(out, "{name}_count{} {count}", label_set(labels));
+}
+
+/// Formats a sample value: integral floats print without a fraction, the
+/// rest with `f64`'s shortest round-trip representation.
+pub fn format_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_values_are_escaped() {
+        let labels = vec![("route".to_string(), "/v2\\evaluate \"x\"\nline".to_string())];
+        assert_eq!(
+            label_set(&labels),
+            "{route=\"/v2\\\\evaluate \\\"x\\\"\\nline\"}",
+            "backslash, quote and newline all escape"
+        );
+        assert_eq!(label_set(&[]), "", "empty label set renders as nothing");
+    }
+
+    #[test]
+    fn help_text_escapes_newlines_and_backslashes() {
+        let mut out = String::new();
+        write_header(&mut out, "m", "line\nbreak \\ slash", "counter");
+        assert_eq!(out, "# HELP m line\\nbreak \\\\ slash\n# TYPE m counter\n");
+    }
+
+    #[test]
+    fn sample_lines_format_values_plainly() {
+        let mut out = String::new();
+        write_sample(&mut out, "x_total", &[], 3.0);
+        write_sample(&mut out, "x_total", &[("a".into(), "b".into())], 0.25);
+        assert_eq!(out, "x_total 3\nx_total{a=\"b\"} 0.25\n");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NEG_INFINITY), "-Inf");
+    }
+
+    #[test]
+    fn histogram_series_is_cumulative_with_inf_and_sum_count() {
+        let mut out = String::new();
+        write_histogram(
+            &mut out,
+            "lat_seconds",
+            &[("route".into(), "/x".into())],
+            &[0.1, 1.0],
+            &[2, 5, 7],
+            3.25,
+            7,
+        );
+        let expected = "\
+lat_seconds_bucket{route=\"/x\",le=\"0.1\"} 2
+lat_seconds_bucket{route=\"/x\",le=\"1\"} 5
+lat_seconds_bucket{route=\"/x\",le=\"+Inf\"} 7
+lat_seconds_sum{route=\"/x\"} 3.25
+lat_seconds_count{route=\"/x\"} 7
+";
+        assert_eq!(out, expected);
+    }
+}

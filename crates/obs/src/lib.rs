@@ -1,0 +1,113 @@
+//! # dtc-obs — dependency-free observability primitives
+//!
+//! The workspace's metrics and tracing layer: relaxed-atomic [`Counter`]s,
+//! [`Gauge`]s and fixed-bucket [`Histogram`]s, collected in a [`Registry`]
+//! that renders the Prometheus text exposition format, plus a lightweight
+//! span API ([`Span`], [`span!`]) that records stage wall-time into a named
+//! histogram on drop.
+//!
+//! Everything is `std`-only and lock-free on the hot path: recording a
+//! sample is a handful of relaxed atomic operations on pre-registered
+//! instruments; the registry mutex is only taken at registration and at
+//! scrape time.
+//!
+//! Two registries exist in practice:
+//!
+//! * [`global()`] — one process-wide registry. The solver layers
+//!   (`dtc-markov`, `dtc-core`) record stage spans and work counters here
+//!   without threading a handle through every call; `GET /metrics` in
+//!   `dtc-serve` includes it in its scrape.
+//! * per-component [`Registry`] values — `dtc-serve` keeps its HTTP
+//!   counters in a server-local registry so tests and multiple servers in
+//!   one process do not interfere.
+//!
+//! ```
+//! use dtc_obs::{Registry, latency_buckets};
+//!
+//! let registry = Registry::new();
+//! let hits = registry.counter("cache_hits_total", "Cache hits.", &[]);
+//! hits.inc();
+//! let lat = registry.histogram(
+//!     "request_seconds",
+//!     "Request latency.",
+//!     &[("route", "/healthz")],
+//!     latency_buckets(),
+//! );
+//! lat.observe(0.0042);
+//! let text = registry.render();
+//! assert!(text.contains("cache_hits_total 1"));
+//! assert!(text.contains("request_seconds_count{route=\"/healthz\"} 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use metrics::{latency_buckets, stage_buckets, Counter, Gauge, Histogram};
+pub use registry::{Kind, Registry};
+pub use span::Span;
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-wide registry used by the solver pipeline's stage spans and
+/// work counters. Scrape it alongside any component-local registries.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Name of the global stage-duration histogram family written by
+/// [`stage_span`] / [`span!`].
+pub const STAGE_HISTOGRAM: &str = "dtc_stage_seconds";
+
+/// Starts a span that records its wall time, on drop, into the global
+/// `dtc_stage_seconds{stage="…"}` histogram. Stage names must be
+/// low-cardinality (pipeline stage identifiers, not per-request data).
+pub fn stage_span(stage: &str) -> Span {
+    let hist = global().histogram(
+        STAGE_HISTOGRAM,
+        "Wall time of one solver-pipeline stage, labeled by stage.",
+        &[("stage", stage)],
+        stage_buckets(),
+    );
+    Span::new(hist)
+}
+
+/// Times an expression as a named stage:
+/// `span!("explore", { explore(&net)? })` records the block's wall time
+/// into the global `dtc_stage_seconds{stage="explore"}` histogram — even if
+/// the block early-returns with `?`, since the guard records on drop.
+#[macro_export]
+macro_rules! span {
+    ($stage:expr, $body:expr) => {{
+        let _span = $crate::stage_span($stage);
+        $body
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_stage_span_records_into_one_family() {
+        let before = global()
+            .render()
+            .matches("dtc_stage_seconds_count{stage=\"obs-test-stage\"}")
+            .count();
+        assert_eq!(before, 0, "unique test stage starts absent");
+        let answer = span!("obs-test-stage", 6 * 7);
+        assert_eq!(answer, 42, "span! yields the body's value");
+        {
+            let _s = stage_span("obs-test-stage");
+        }
+        let text = global().render();
+        assert!(
+            text.contains("dtc_stage_seconds_count{stage=\"obs-test-stage\"} 2"),
+            "both spans recorded: {text}"
+        );
+    }
+}

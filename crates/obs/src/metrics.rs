@@ -1,0 +1,260 @@
+//! The three instrument types: counter, gauge, fixed-bucket histogram.
+//!
+//! All recording is relaxed-atomic — instruments are shared as `Arc`s and
+//! safe to hammer from any number of threads; the counts are monotone and
+//! exact, only cross-instrument snapshots are unsynchronized (fine for
+//! monitoring).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depth, busy workers).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the value outright.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram in the Prometheus style: one count per upper
+/// bound plus an overflow bucket, a running sum, and a total count.
+///
+/// Bounds are upper-inclusive (`v <= bound` lands in that bucket), matching
+/// the exposition format's cumulative `le` semantics.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One slot per bound, plus the `+Inf` overflow slot at the end.
+    counts: Vec<AtomicU64>,
+    /// IEEE-754 bits of the running sum (CAS-updated; no locks).
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds. Non-finite bounds are
+    /// dropped and the rest sorted and deduplicated, so any input yields a
+    /// valid bucket layout; the implicit `+Inf` bucket always exists.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds compare"));
+        bounds.dedup();
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds, counts, sum_bits: AtomicU64::new(0), count: AtomicU64::new(0) }
+    }
+
+    /// Records one observation. NaN observations are ignored (they have no
+    /// bucket and would poison the sum).
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let slot = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The configured upper bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (not cumulative); the last slot is the `+Inf`
+    /// overflow bucket, so the vector is one longer than [`bounds`].
+    ///
+    /// [`bounds`]: Histogram::bounds
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Cumulative counts in exposition (`le`) form: entry `i` counts every
+    /// observation `<= bounds[i]`, and the final entry (`+Inf`) equals
+    /// [`count`].
+    ///
+    /// [`count`]: Histogram::count
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut total = 0u64;
+        self.bucket_counts()
+            .into_iter()
+            .map(|c| {
+                total += c;
+                total
+            })
+            .collect()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Request-latency bucket bounds in seconds: 500 µs to 60 s, roughly
+/// logarithmic — p50/p95/p99 for an HTTP service are derivable from these.
+pub fn latency_buckets() -> &'static [f64] {
+    &[
+        0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+        30.0, 60.0,
+    ]
+}
+
+/// Solver-stage bucket bounds in seconds: 10 µs (tiny models) to 600 s
+/// (the 126k-state case study under per-point workloads).
+pub fn stage_buckets() -> &'static [f64] {
+    &[
+        1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+        300.0, 600.0,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.value(), 1);
+        g.set(-7);
+        assert_eq!(g.value(), -7);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_upper_inclusive() {
+        let h = Histogram::new(&[1.0, 2.5, 10.0]);
+        // Exactly on a bound lands in that bound's bucket (le semantics).
+        h.observe(1.0);
+        h.observe(0.1);
+        h.observe(2.5);
+        h.observe(2.6);
+        h.observe(1e9); // overflow
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.cumulative_counts(), vec![2, 3, 4, 5]);
+        assert_eq!(h.count(), 5);
+        let expected_sum = 1.0 + 0.1 + 2.5 + 2.6 + 1e9;
+        assert!((h.sum() - expected_sum).abs() < 1e-9, "{} vs {expected_sum}", h.sum());
+    }
+
+    #[test]
+    fn cumulative_counts_are_monotone_and_end_at_count() {
+        let h = Histogram::new(&[0.01, 0.1, 1.0, 10.0]);
+        for i in 0..1000 {
+            h.observe(i as f64 * 0.011);
+        }
+        let cum = h.cumulative_counts();
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "cumulative is monotone: {cum:?}");
+        assert_eq!(*cum.last().unwrap(), h.count(), "+Inf bucket equals _count");
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn bounds_are_sanitized() {
+        let h = Histogram::new(&[5.0, f64::NAN, 1.0, 5.0, f64::INFINITY]);
+        assert_eq!(h.bounds(), &[1.0, 5.0], "sorted, deduped, non-finite dropped");
+        assert_eq!(h.bucket_counts().len(), 3, "+Inf overflow slot always present");
+        let empty = Histogram::new(&[]);
+        empty.observe(3.0);
+        assert_eq!(empty.bucket_counts(), vec![1], "bound-less histogram still counts");
+    }
+
+    #[test]
+    fn nan_observations_are_ignored() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_observations_are_exact() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new(&[0.5]));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.observe(0.25);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        assert_eq!(h.bucket_counts(), vec![8000, 0]);
+        assert!((h.sum() - 2000.0).abs() < 1e-9, "CAS-summed exactly: {}", h.sum());
+    }
+}

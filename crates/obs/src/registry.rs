@@ -1,0 +1,253 @@
+//! The metric registry: named, labeled instrument families with
+//! get-or-create registration and a Prometheus text renderer.
+
+use crate::expo;
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::sync::{Arc, Mutex};
+
+/// The instrument type of one metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotone counter; conventionally named `*_total`.
+    Counter,
+    /// A value that can go up and down.
+    Gauge,
+    /// Fixed-bucket distribution; renders `_bucket`/`_sum`/`_count`.
+    Histogram,
+}
+
+impl Kind {
+    fn exposition_name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Series {
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+/// A collection of metric families. Registration is get-or-create: asking
+/// for the same name + label set twice returns the same instrument, so call
+/// sites can register lazily without coordinating.
+///
+/// The mutex guards only the registry structure — recording into an
+/// instrument obtained from it is lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry. `const`, so registries can live in statics.
+    pub const fn new() -> Registry {
+        Registry { families: Mutex::new(Vec::new()) }
+    }
+
+    /// Gets or registers a counter. Panics if `name` is already registered
+    /// as a different kind — metric names are static, so that is a bug at
+    /// the call site, not a runtime condition.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let i = self.get_or_register(name, help, Kind::Counter, labels, || {
+            Instrument::Counter(Arc::new(Counter::new()))
+        });
+        match i {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked by get_or_register"),
+        }
+    }
+
+    /// Gets or registers a gauge.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let i = self.get_or_register(name, help, Kind::Gauge, labels, || {
+            Instrument::Gauge(Arc::new(Gauge::new()))
+        });
+        match i {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked by get_or_register"),
+        }
+    }
+
+    /// Gets or registers a histogram. `bounds` is consulted only when the
+    /// series does not exist yet; the first registration wins, so every
+    /// series of a family shares one bucket layout as long as call sites
+    /// pass the same bounds (they should).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        let i = self.get_or_register(name, help, Kind::Histogram, labels, || {
+            Instrument::Histogram(Arc::new(Histogram::new(bounds)))
+        });
+        match i {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("kind checked by get_or_register"),
+        }
+    }
+
+    fn get_or_register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert_eq!(
+                    f.kind, kind,
+                    "metric {name:?} registered as {:?} and {kind:?}",
+                    f.kind
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(s) = family.series.iter().find(|s| s.labels == labels) {
+            return s.instrument.clone();
+        }
+        let instrument = make();
+        family.series.push(Series { labels, instrument: instrument.clone() });
+        family.series.last().expect("just pushed").instrument.clone()
+    }
+
+    /// Renders every family in the Prometheus text exposition format.
+    /// Families come out sorted by name and series by label set, so scrapes
+    /// are deterministic.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Appends the rendered families to an existing scrape buffer.
+    pub fn render_into(&self, out: &mut String) {
+        let families = self.families.lock().expect("registry poisoned");
+        let mut order: Vec<usize> = (0..families.len()).collect();
+        order.sort_by(|&a, &b| families[a].name.cmp(&families[b].name));
+        for idx in order {
+            let f = &families[idx];
+            expo::write_header(out, &f.name, &f.help, f.kind.exposition_name());
+            let mut series: Vec<&Series> = f.series.iter().collect();
+            series.sort_by(|a, b| a.labels.cmp(&b.labels));
+            for s in series {
+                match &s.instrument {
+                    Instrument::Counter(c) => {
+                        expo::write_sample(out, &f.name, &s.labels, c.value() as f64)
+                    }
+                    Instrument::Gauge(g) => {
+                        expo::write_sample(out, &f.name, &s.labels, g.value() as f64)
+                    }
+                    Instrument::Histogram(h) => expo::write_histogram(
+                        out,
+                        &f.name,
+                        &s.labels,
+                        h.bounds(),
+                        &h.cumulative_counts(),
+                        h.sum(),
+                        h.count(),
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("hits_total", "Hits.", &[("route", "/x")]);
+        let b = r.counter("hits_total", "Hits.", &[("route", "/x")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.value(), 2, "both handles point at one counter");
+        let other = r.counter("hits_total", "Hits.", &[("route", "/y")]);
+        assert_eq!(other.value(), 0, "different labels, different series");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_is_a_bug() {
+        let r = Registry::new();
+        r.counter("m", "as counter", &[]);
+        r.gauge("m", "as gauge", &[]);
+    }
+
+    #[test]
+    fn render_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.gauge("b_gauge", "B.", &[]).set(3);
+        r.counter("a_total", "A.", &[("z", "1")]).add(5);
+        r.counter("a_total", "A.", &[("a", "1")]).add(7);
+        let h = r.histogram("c_seconds", "C.", &[], &[0.5, 1.5]);
+        h.observe(0.25);
+        h.observe(1.0);
+        h.observe(9.0);
+        let text = r.render();
+        let expected = "\
+# HELP a_total A.
+# TYPE a_total counter
+a_total{a=\"1\"} 7
+a_total{z=\"1\"} 5
+# HELP b_gauge B.
+# TYPE b_gauge gauge
+b_gauge 3
+# HELP c_seconds C.
+# TYPE c_seconds histogram
+c_seconds_bucket{le=\"0.5\"} 1
+c_seconds_bucket{le=\"1.5\"} 2
+c_seconds_bucket{le=\"+Inf\"} 3
+c_seconds_sum 10.25
+c_seconds_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn histogram_first_registration_wins_on_bounds() {
+        let r = Registry::new();
+        let h1 = r.histogram("h", "H.", &[], &[1.0, 2.0]);
+        let h2 = r.histogram("h", "H.", &[], &[99.0]);
+        assert_eq!(h1.bounds(), h2.bounds(), "same series, one layout");
+        assert_eq!(h2.bounds(), &[1.0, 2.0]);
+    }
+}

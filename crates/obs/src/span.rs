@@ -1,0 +1,65 @@
+//! The span guard: wall-time measurement that records into a histogram on
+//! drop, so early returns and `?` are measured correctly for free.
+
+use crate::metrics::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Measures from construction to drop and records the elapsed seconds into
+/// its histogram. Obtain one via [`crate::stage_span`] (global registry) or
+/// [`Span::new`] with any histogram handle.
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span recording into `hist`.
+    pub fn new(hist: Arc<Histogram>) -> Span {
+        Span { hist, start: Instant::now() }
+    }
+
+    /// Seconds since the span started (the span keeps running).
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.observe(self.start.elapsed().as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_exactly_once_on_drop() {
+        let hist = Arc::new(Histogram::new(&[1.0]));
+        {
+            let span = Span::new(Arc::clone(&hist));
+            assert!(span.elapsed_seconds() >= 0.0);
+            assert_eq!(hist.count(), 0, "nothing recorded while the span runs");
+        }
+        assert_eq!(hist.count(), 1);
+        assert!(hist.sum() >= 0.0);
+    }
+
+    #[test]
+    fn early_return_paths_still_record() {
+        let hist = Arc::new(Histogram::new(&[1.0]));
+        let attempt = |fail: bool| -> Result<u32, &'static str> {
+            let _span = Span::new(Arc::clone(&hist));
+            if fail {
+                return Err("bail");
+            }
+            Ok(1)
+        };
+        let _ = attempt(true);
+        let _ = attempt(false);
+        assert_eq!(hist.count(), 2, "both the error and success path recorded");
+    }
+}

@@ -1,0 +1,240 @@
+//! The end-to-end serve benchmark behind the `serve_bench` binary.
+//!
+//! Boots an in-process [`Server`] on an ephemeral port, drives it with the
+//! [`crate::loadgen`] harness for a wall-clock budget under `--mix` (so the
+//! cache-miss/solve path stays exercised, not just hits), and summarizes
+//! the run as a JSON document — RPS, latency percentiles, shed rate and
+//! cache hit ratio — written to `BENCH_serve.json` at the repo root and
+//! tracked across PRs like `BENCH_curve.json`.
+//!
+//! [`validate_bench_doc`] is the schema contract: the binary validates what
+//! it writes, and the CI smoke test validates a fresh seconds-scale run
+//! without pinning any numbers.
+
+use crate::loadgen;
+use crate::{ServeConfig, ServeError, Server};
+use dtc_engine::value::Value;
+
+/// Knobs for one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Wall-clock load duration per client, seconds.
+    pub duration: f64,
+    /// Concurrent loadgen client threads.
+    pub clients: usize,
+    /// Distinct scenario bodies rotated through ([`loadgen::Options::mix`]).
+    pub mix: usize,
+    /// Server HTTP worker threads.
+    pub threads: usize,
+    /// Server accept-queue capacity.
+    pub queue: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            duration: 10.0,
+            clients: 8,
+            mix: 4,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            queue: 128,
+        }
+    }
+}
+
+/// Runs the benchmark: in-process server, timed `--mix` load, summary doc.
+///
+/// # Errors
+///
+/// Fails if the server cannot start or if not a single request succeeded
+/// (a summary whose percentiles are NaN would serialize as `null` and is
+/// useless as a tracked benchmark).
+pub fn run(config: &BenchConfig) -> Result<Value, ServeError> {
+    let serve_config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: config.threads,
+        queue: config.queue,
+        eval_threads: 1,
+        cache_path: None,
+        cache_cap: None,
+    };
+    let server = Server::start(&serve_config)?;
+    let opts = loadgen::Options {
+        addr: server.addr().to_string(),
+        clients: config.clients,
+        mix: config.mix.max(1),
+        duration: Some(config.duration),
+        ..loadgen::Options::default()
+    };
+    let summary = loadgen::run(&opts);
+    let cache = server.cache().stats();
+    let sheds = server.sheds();
+    let requests_served = server.requests_served();
+    server.shutdown()?;
+    if summary.ok == 0 {
+        return Err(ServeError::Io(std::io::Error::other(format!(
+            "no request succeeded in {} attempt(s); nothing to benchmark",
+            summary.total
+        ))));
+    }
+
+    let lookups = cache.hits + cache.misses;
+    let doc = Value::object([
+        ("bench", Value::Str("serve: timed loadgen against an in-process server".into())),
+        ("command", Value::Str("cargo run --release -p dtc-serve --bin serve_bench".into())),
+        ("duration_seconds", Value::Float(config.duration)),
+        ("clients", Value::Int(config.clients as i64)),
+        ("mix", Value::Int(config.mix as i64)),
+        ("server_threads", Value::Int(config.threads as i64)),
+        ("queue_capacity", Value::Int(config.queue as i64)),
+        (
+            "requests",
+            Value::object([
+                ("total", Value::Int(summary.total as i64)),
+                ("ok", Value::Int(summary.ok as i64)),
+                ("failed", Value::Int(summary.failed as i64)),
+                ("served", Value::Int(requests_served as i64)),
+            ]),
+        ),
+        ("rps", Value::Float(summary.rps)),
+        ("p50_ms", Value::Float(summary.p50_ms)),
+        ("p95_ms", Value::Float(summary.p95_ms)),
+        ("p99_ms", Value::Float(summary.p99_ms)),
+        ("shed_rate", Value::Float(sheds as f64 / summary.total.max(1) as f64)),
+        (
+            "cache",
+            Value::object([
+                ("hits", Value::Int(cache.hits as i64)),
+                ("misses", Value::Int(cache.misses as i64)),
+                ("joins", Value::Int(cache.joins as i64)),
+                ("evictions", Value::Int(cache.evictions as i64)),
+                ("entries", Value::Int(cache.entries as i64)),
+            ]),
+        ),
+        (
+            "cache_hit_ratio",
+            Value::Float(if lookups > 0 { cache.hits as f64 / lookups as f64 } else { 0.0 }),
+        ),
+    ]);
+    Ok(doc)
+}
+
+/// Validates the shape of a `BENCH_serve.json` document — required fields,
+/// types, and internal consistency (counts add up, ratios in `[0, 1]`,
+/// percentiles finite and ordered) — without pinning any numbers, so it
+/// holds on any machine.
+pub fn validate_bench_doc(doc: &Value) -> Result<(), String> {
+    let str_field = |key: &str| -> Result<&str, String> {
+        doc.get(key).and_then(Value::as_str).ok_or(format!("missing string field {key:?}"))
+    };
+    let num = |key: &str| -> Result<f64, String> {
+        let v = doc
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or(format!("missing numeric field {key:?}"))?;
+        if !v.is_finite() {
+            return Err(format!("field {key:?} is not finite"));
+        }
+        Ok(v)
+    };
+    str_field("bench")?;
+    str_field("command")?;
+    if num("duration_seconds")? <= 0.0 {
+        return Err("duration_seconds must be positive".into());
+    }
+    num("clients")?;
+    num("mix")?;
+
+    let requests = doc.get("requests").ok_or("missing \"requests\" object")?;
+    let req_num = |key: &str| -> Result<i64, String> {
+        requests.get(key).and_then(Value::as_i64).ok_or(format!("missing requests.{key}"))
+    };
+    let (total, ok, failed) = (req_num("total")?, req_num("ok")?, req_num("failed")?);
+    if total != ok + failed {
+        return Err(format!("requests.total {total} != ok {ok} + failed {failed}"));
+    }
+    if total <= 0 {
+        return Err("requests.total must be positive".into());
+    }
+
+    if num("rps")? < 0.0 {
+        return Err("rps must be non-negative".into());
+    }
+    let (p50, p95, p99) = (num("p50_ms")?, num("p95_ms")?, num("p99_ms")?);
+    if !(0.0 <= p50 && p50 <= p95 && p95 <= p99) {
+        return Err(format!("percentiles must be ordered: p50 {p50}, p95 {p95}, p99 {p99}"));
+    }
+    for ratio in ["shed_rate", "cache_hit_ratio"] {
+        let v = num(ratio)?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{ratio} {v} outside [0, 1]"));
+        }
+    }
+
+    let cache = doc.get("cache").ok_or("missing \"cache\" object")?;
+    for key in ["hits", "misses", "joins", "evictions", "entries"] {
+        let v = cache.get(key).and_then(Value::as_i64).ok_or(format!("missing cache.{key}"))?;
+        if v < 0 {
+            return Err(format!("cache.{key} {v} is negative"));
+        }
+    }
+    Ok(())
+}
+
+/// Where the tracked benchmark document lives: `BENCH_serve.json` at the
+/// repo root, next to `BENCH_curve.json`.
+pub const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_doc() -> Value {
+        Value::from_json(
+            r#"{
+              "bench": "serve", "command": "cargo run",
+              "duration_seconds": 1.0, "clients": 2, "mix": 2,
+              "requests": {"total": 10, "ok": 9, "failed": 1, "served": 9},
+              "rps": 10.0, "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0,
+              "shed_rate": 0.1, "cache_hit_ratio": 0.5,
+              "cache": {"hits": 5, "misses": 5, "joins": 1, "evictions": 0, "entries": 2}
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_doc_passes() {
+        validate_bench_doc(&minimal_doc()).unwrap();
+    }
+
+    #[test]
+    fn inconsistent_docs_fail() {
+        let mut doc = minimal_doc();
+        if let Value::Table(t) = &mut doc {
+            t.remove("rps");
+        }
+        assert!(validate_bench_doc(&doc).unwrap_err().contains("rps"));
+
+        let mut doc = minimal_doc();
+        if let Value::Table(t) = &mut doc {
+            t.insert("shed_rate".into(), Value::Float(1.5));
+        }
+        assert!(validate_bench_doc(&doc).unwrap_err().contains("shed_rate"));
+
+        let mut doc = minimal_doc();
+        if let Value::Table(t) = &mut doc {
+            t.insert("p95_ms".into(), Value::Float(99.0));
+        }
+        assert!(validate_bench_doc(&doc).unwrap_err().contains("ordered"));
+
+        let mut doc = minimal_doc();
+        if let Value::Table(t) = &mut doc {
+            let requests = t.get_mut("requests").unwrap();
+            if let Value::Table(r) = requests {
+                r.insert("failed".into(), Value::Int(7));
+            }
+        }
+        assert!(validate_bench_doc(&doc).unwrap_err().contains("total"));
+    }
+}

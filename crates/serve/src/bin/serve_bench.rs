@@ -1,0 +1,53 @@
+//! End-to-end serve benchmark: boots an in-process `dtc-serve`, drives it
+//! with the loadgen harness under `--mix` for a wall-clock budget, and
+//! writes the tracked `BENCH_serve.json` at the repo root.
+//!
+//! Usage: `cargo run --release -p dtc-serve --bin serve_bench
+//! [duration_seconds] [clients] [mix]` (defaults: 10 s, 8 clients, mix 4).
+
+use dtc_serve::bench::{self, BenchConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut config = BenchConfig::default();
+    if let Some(a) = args.next() {
+        config.duration = a.parse().expect("duration_seconds must be a number");
+        assert!(
+            config.duration.is_finite() && config.duration > 0.0,
+            "duration_seconds must be positive"
+        );
+    }
+    if let Some(a) = args.next() {
+        config.clients = a.parse().expect("clients must be a number");
+    }
+    if let Some(a) = args.next() {
+        config.mix = a.parse().expect("mix must be a number");
+    }
+
+    println!(
+        "serve_bench: {} s, {} client(s), mix {}, {} server thread(s)",
+        config.duration, config.clients, config.mix, config.threads
+    );
+    let doc = match bench::run(&config) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("serve_bench: {e}");
+            std::process::exit(1);
+        }
+    };
+    bench::validate_bench_doc(&doc).expect("benchmark doc validates its own schema");
+
+    let get = |k: &str| doc.get(k).and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+    println!(
+        "rps {:.1}, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, shed rate {:.3}, \
+         cache hit ratio {:.3}",
+        get("rps"),
+        get("p50_ms"),
+        get("p95_ms"),
+        get("p99_ms"),
+        get("shed_rate"),
+        get("cache_hit_ratio"),
+    );
+    std::fs::write(bench::BENCH_PATH, doc.to_json() + "\n").expect("write BENCH_serve.json");
+    println!("wrote {}", bench::BENCH_PATH);
+}

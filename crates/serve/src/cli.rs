@@ -20,6 +20,8 @@ options:
 
 routes:
   GET  /healthz         liveness
+  GET  /metrics         Prometheus text exposition (HTTP, cache and solver-stage
+                        metrics)
   GET  /v1/stats        cache + queue + server counters
   POST /v1/evaluate     evaluate a JSON catalog document (steady state)
   POST /v2/evaluate     {catalog, analyses}: run any analysis set (steady_state,
@@ -103,6 +105,8 @@ options:
   --addr HOST:PORT    target server (required)
   --clients N         concurrent client threads (default 8)
   --requests N        requests per client (default 50)
+  --duration SECONDS  run each client for a wall-clock budget instead of a
+                      request count (overrides --requests)
   --healthz           GET /healthz instead of POST /v1/evaluate
   --catalog FILE      POST this JSON catalog instead of the built-in tiny one
   --mix N             rotate through N distinct built-in scenario bodies so the
@@ -127,6 +131,16 @@ pub fn parse_loadgen_args(args: &[String]) -> Result<Option<loadgen::Options>, S
             "--clients" => opts.clients = parse_usize("--clients", &take("--clients")?)?,
             "--requests" => {
                 opts.requests_per_client = parse_usize("--requests", &take("--requests")?)?
+            }
+            "--duration" => {
+                let value = take("--duration")?;
+                let secs: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--duration expects seconds, got {value:?}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--duration needs a positive duration, got {value}"));
+                }
+                opts.duration = Some(secs);
             }
             "--healthz" => {
                 opts.method = "GET".into();
@@ -239,5 +253,20 @@ mod tests {
             .unwrap();
         assert_eq!(opts.mix, 4);
         assert!(parse_loadgen_args(&strs(&["--addr", "127.0.0.1:1", "--mix", "0"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_duration_parses_and_rejects_nonpositive() {
+        let opts = parse_loadgen_args(&strs(&["--addr", "127.0.0.1:1", "--duration", "2.5"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.duration, Some(2.5));
+        for bad in ["0", "-1", "inf", "zebra"] {
+            assert!(
+                parse_loadgen_args(&strs(&["--addr", "127.0.0.1:1", "--duration", bad]))
+                    .is_err(),
+                "--duration {bad} must be rejected"
+            );
+        }
     }
 }

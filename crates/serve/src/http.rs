@@ -102,13 +102,42 @@ pub fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// Which size limit a rejected request exceeded. Each kind maps to its own
+/// HTTP status: an oversized header section is `431 Request Header Fields
+/// Too Large`, an oversized declared body is `413 Payload Too Large`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TooLargeKind {
+    /// The request line plus headers exceeded [`MAX_HEADER_BYTES`].
+    Header,
+    /// The declared `Content-Length` exceeded [`MAX_BODY_BYTES`].
+    Body,
+}
+
+impl TooLargeKind {
+    /// The HTTP status this rejection must answer with.
+    pub fn status(self) -> u16 {
+        match self {
+            TooLargeKind::Header => 431,
+            TooLargeKind::Body => 413,
+        }
+    }
+
+    fn what(self) -> &'static str {
+        match self {
+            TooLargeKind::Header => "header section",
+            TooLargeKind::Body => "body",
+        }
+    }
+}
+
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum ReadError {
     /// The underlying socket failed (including read timeouts).
     Io(io::Error),
-    /// The request exceeded a size limit — answer 413.
-    TooLarge(&'static str),
+    /// The request exceeded a size limit — answer
+    /// [`TooLargeKind::status`] (431 or 413).
+    TooLarge(TooLargeKind),
     /// The bytes were not valid HTTP — answer 400.
     Malformed(String),
 }
@@ -117,7 +146,7 @@ impl std::fmt::Display for ReadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReadError::Io(e) => write!(f, "io: {e}"),
-            ReadError::TooLarge(what) => write!(f, "{what} too large"),
+            ReadError::TooLarge(kind) => write!(f, "{} too large", kind.what()),
             ReadError::Malformed(msg) => write!(f, "malformed request: {msg}"),
         }
     }
@@ -146,7 +175,7 @@ fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<String, ReadErr
             None => available.len(),
         };
         if take > *budget {
-            return Err(ReadError::TooLarge("header section"));
+            return Err(ReadError::TooLarge(TooLargeKind::Header));
         }
         *budget -= take;
         let done = available[take - 1] == b'\n';
@@ -199,7 +228,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ReadError> 
             .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))?,
     };
     if length > MAX_BODY_BYTES {
-        return Err(ReadError::TooLarge("body"));
+        return Err(ReadError::TooLarge(TooLargeKind::Body));
     }
     let mut body = vec![0u8; length];
     if length > 0 {
@@ -263,6 +292,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -386,10 +416,12 @@ mod tests {
     fn oversized_header_and_body_are_rejected() {
         let mut big = Vec::from(&b"GET / HTTP/1.1\r\n"[..]);
         big.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + 10));
-        assert!(matches!(parse(&big), Err(ReadError::TooLarge(_))));
+        assert!(matches!(parse(&big), Err(ReadError::TooLarge(TooLargeKind::Header))));
+        assert_eq!(TooLargeKind::Header.status(), 431);
 
         let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
-        assert!(matches!(parse(huge.as_bytes()), Err(ReadError::TooLarge(_))));
+        assert!(matches!(parse(huge.as_bytes()), Err(ReadError::TooLarge(TooLargeKind::Body))));
+        assert_eq!(TooLargeKind::Body.status(), 413);
     }
 
     #[test]

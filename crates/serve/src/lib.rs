@@ -7,6 +7,10 @@
 //! dependencies.
 //!
 //! * `GET /healthz` — liveness probe.
+//! * `GET /metrics` — Prometheus text exposition: per-route request
+//!   counters and latency histograms, queue/worker gauges, shed and
+//!   read-error counters, the evaluation cache's hit/miss/join/eviction
+//!   counters, and the process-global solver-stage spans.
 //! * `GET /v1/stats` — cache, queue and server counters.
 //! * `POST /v1/evaluate` — a catalog document in the engine's JSON schema;
 //!   expanded, deduped, solved for steady state, and rendered back as JSON
@@ -37,9 +41,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod cli;
 pub mod http;
 pub mod loadgen;
+pub mod metrics;
 
 use dtc_core::analysis::AnalysisRequest;
 use dtc_engine::value::Value;
@@ -47,7 +53,8 @@ use dtc_engine::{
     catalogs, parse_analyses, results_to_value, run_batch, Catalog, EngineError, EvalCache,
     RunOptions,
 };
-use http::{read_request, write_response, ReadError, Request, Response};
+use http::{read_request, write_response, ReadError, Request, Response, TooLargeKind};
+use metrics::ServeMetrics;
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -184,6 +191,7 @@ struct Shared {
     requests: AtomicUsize,
     evaluations: AtomicUsize,
     rejected: AtomicUsize,
+    metrics: ServeMetrics,
 }
 
 /// A running evaluation service; dropping it does **not** stop the
@@ -222,6 +230,7 @@ impl Server {
             requests: AtomicUsize::new(0),
             evaluations: AtomicUsize::new(0),
             rejected: AtomicUsize::new(0),
+            metrics: ServeMetrics::new(worker_count, config.queue.max(1)),
         });
 
         let workers = (0..worker_count)
@@ -253,6 +262,16 @@ impl Server {
     /// The shared evaluation cache.
     pub fn cache(&self) -> &Arc<EvalCache> {
         &self.shared.cache
+    }
+
+    /// Requests parsed and routed so far.
+    pub fn requests_served(&self) -> usize {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections answered 503 because the accept queue was full.
+    pub fn sheds(&self) -> usize {
+        self.shared.rejected.load(Ordering::Relaxed)
     }
 
     /// Blocks on the acceptor — serves until the process dies.
@@ -303,6 +322,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             // Saturated: refuse immediately instead of buffering without
             // bound. The client should retry with backoff.
             shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.sheds.inc();
             let mut resp = Response::error(503, "evaluation queue is full, retry later");
             resp.extra.push(("retry-after", "1".to_string()));
             let _ = write_response(&mut stream, &resp, false);
@@ -312,7 +332,9 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 
 fn worker_loop(shared: &Shared) {
     while let Some(stream) = shared.backlog.pop(&shared.shutdown) {
+        shared.metrics.busy_workers.inc();
         let _ = handle_connection(shared, stream);
+        shared.metrics.busy_workers.dec();
     }
 }
 
@@ -321,24 +343,46 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    let mut served_on_connection = 0usize;
     loop {
         let request = match read_request(&mut reader) {
             Ok(Some(request)) => request,
             Ok(None) => return Ok(()), // peer closed between requests
             Err(ReadError::Io(_)) => return Ok(()), // timeout or reset
-            Err(ReadError::TooLarge(what)) => {
-                let resp = Response::error(413, &format!("{what} exceeds the server limit"));
+            Err(ReadError::TooLarge(kind)) => {
+                // 431 for an oversized header section, 413 for a declared
+                // body beyond the limit.
+                let (label, what) = match kind {
+                    TooLargeKind::Header => ("header_too_large", "header section"),
+                    TooLargeKind::Body => ("body_too_large", "body"),
+                };
+                shared.metrics.observe_read_error(label);
+                let resp =
+                    Response::error(kind.status(), &format!("{what} exceeds the server limit"));
                 return write_response(&mut writer, &resp, false);
             }
             Err(ReadError::Malformed(msg)) => {
+                shared.metrics.observe_read_error("malformed");
                 let resp = Response::error(400, &msg);
                 return write_response(&mut writer, &resp, false);
             }
         };
         shared.requests.fetch_add(1, Ordering::Relaxed);
+        if served_on_connection > 0 {
+            shared.metrics.keepalive_reuse.inc();
+        }
         let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
-        let response = route(shared, &request);
+        let started = Instant::now();
+        let mut response = route(shared, &request);
+        let micros = started.elapsed().as_micros();
+        response.extra.push(("x-dtc-duration-us", micros.to_string()));
+        shared.metrics.observe_request(
+            request.path(),
+            response.status,
+            started.elapsed().as_secs_f64(),
+        );
         write_response(&mut writer, &response, keep_alive)?;
+        served_on_connection += 1;
         if !keep_alive {
             return Ok(());
         }
@@ -348,6 +392,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
 fn route(shared: &Shared, request: &Request) -> Response {
     match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => metrics_scrape(shared),
         ("GET", "/v1/stats") => stats(shared),
         ("GET", "/v1/cache/keys") => cache_keys(shared),
         ("POST", "/v1/evaluate") => evaluate(shared, request),
@@ -355,11 +400,23 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("GET", "/v2/model/dot") => model_dot(request),
         (
             _,
-            "/healthz" | "/v1/stats" | "/v1/cache/keys" | "/v1/evaluate" | "/v2/evaluate"
-            | "/v2/model/dot",
+            "/healthz" | "/metrics" | "/v1/stats" | "/v1/cache/keys" | "/v1/evaluate"
+            | "/v2/evaluate" | "/v2/model/dot",
         ) => Response::error(405, "method not allowed for this route"),
         _ => Response::error(404, "no such route"),
     }
+}
+
+/// `GET /metrics`: the Prometheus text scrape — this server's HTTP
+/// instruments, the evaluation cache's counters, and the process-global
+/// solver-stage registry.
+fn metrics_scrape(shared: &Shared) -> Response {
+    shared.metrics.queue_depth.set(shared.backlog.depth() as i64);
+    Response::text(
+        200,
+        dtc_obs::expo::CONTENT_TYPE,
+        shared.metrics.render_scrape(&shared.cache.stats()),
+    )
 }
 
 /// `GET /v2/model/dot?scenario=…[&catalog=table7|fig7]`: renders the
@@ -455,6 +512,7 @@ fn stats(shared: &Shared) -> Response {
             Value::object([
                 ("hits", Value::Int(cache.hits as i64)),
                 ("misses", Value::Int(cache.misses as i64)),
+                ("joins", Value::Int(cache.joins as i64)),
                 ("entries", Value::Int(cache.entries as i64)),
                 ("evictions", Value::Int(cache.evictions as i64)),
             ]),
@@ -499,7 +557,7 @@ fn evaluate(shared: &Shared, request: &Request) -> Response {
         Ok(catalog) => catalog,
         Err(resp) => return *resp,
     };
-    run_analyses(shared, &catalog, vec![AnalysisRequest::SteadyState])
+    run_analyses(shared, &catalog, vec![AnalysisRequest::SteadyState], false)
 }
 
 /// `POST /v2/evaluate`: `{"catalog": <catalog document>, "analyses":
@@ -531,7 +589,7 @@ fn evaluate_v2(shared: &Shared, request: &Request) -> Response {
             Err(e) => return Response::error(400, &format!("bad analyses: {e}")),
         },
     };
-    run_analyses(shared, &catalog, analyses)
+    run_analyses(shared, &catalog, analyses, true)
 }
 
 fn parse_catalog_body(body: &[u8]) -> Result<Catalog, Box<Response>> {
@@ -543,24 +601,31 @@ fn parse_catalog_body(body: &[u8]) -> Result<Catalog, Box<Response>> {
 
 /// The shared evaluation pipeline behind both routes: expand, fan out
 /// through the single-flight cache with the given analysis set, persist,
-/// render.
+/// render. With `include_timings` (the v2 route) the response additionally
+/// carries a `"timings"` object with per-stage wall times in microseconds.
 fn run_analyses(
     shared: &Shared,
     catalog: &Catalog,
     analyses: Vec<AnalysisRequest>,
+    include_timings: bool,
 ) -> Response {
+    let pipeline_started = Instant::now();
     let scenarios = match catalog.expand() {
         Ok(scenarios) => scenarios,
         Err(e) => return Response::error(400, &format!("catalog does not expand: {e}")),
     };
+    let expand_us = pipeline_started.elapsed().as_micros();
     let kinds: Vec<Value> = analyses.iter().map(|a| Value::Str(a.kind().into())).collect();
     // `--eval-threads` is the whole per-request solver budget: run_batch
     // divides it between batch workers and the perturbed-model fan-out
     // inside a sensitivity analysis, so one request cannot oversubscribe
     // the pool (neither threads× workers nor one sweep worker per core).
     let opts = RunOptions { threads: shared.eval_threads, analyses, ..RunOptions::default() };
+    let evaluate_started = Instant::now();
     let result = run_batch(&scenarios, &shared.cache, &opts);
+    let evaluate_us = evaluate_started.elapsed().as_micros();
     shared.evaluations.fetch_add(1, Ordering::Relaxed);
+    let persist_started = Instant::now();
     if result.evaluated > 0 {
         // Flush new solves to a disk-backed store right away: a served
         // process is normally stopped by a kill, which would otherwise
@@ -569,7 +634,8 @@ fn run_analyses(
             eprintln!("dtc-serve: warning: cache persist failed: {e}");
         }
     }
-    let doc = Value::object([
+    let persist_us = persist_started.elapsed().as_micros();
+    let mut fields = vec![
         ("catalog", Value::Str(catalog.name.clone())),
         ("analyses", Value::Array(kinds)),
         ("results", results_to_value(&scenarios, &result.outcomes)),
@@ -583,8 +649,19 @@ fn run_analyses(
                 ("solve_ms", Value::Float(result.solve_time.as_secs_f64() * 1000.0)),
             ]),
         ),
-    ]);
-    Response::json(200, doc.to_json())
+    ];
+    if include_timings {
+        fields.push((
+            "timings",
+            Value::object([
+                ("expand_us", Value::Int(expand_us as i64)),
+                ("evaluate_us", Value::Int(evaluate_us as i64)),
+                ("persist_us", Value::Int(persist_us as i64)),
+                ("total_us", Value::Int(pipeline_started.elapsed().as_micros() as i64)),
+            ]),
+        ));
+    }
+    Response::json(200, Value::object(fields).to_json())
 }
 
 #[cfg(test)]

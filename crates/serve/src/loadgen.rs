@@ -30,6 +30,10 @@ pub struct Options {
     /// that measures the pure cache-hit path; N > 1 spreads requests over
     /// N different specs so the cache-miss/solve path stays exercised.
     pub mix: usize,
+    /// Run for this many seconds instead of a fixed request count
+    /// (`--duration`). When set, every client issues requests until the
+    /// deadline passes and `requests_per_client` is ignored.
+    pub duration: Option<f64>,
 }
 
 impl Default for Options {
@@ -42,6 +46,7 @@ impl Default for Options {
             path: "/v1/evaluate".into(),
             body: Some(tiny_catalog_json().into_bytes()),
             mix: 1,
+            duration: None,
         }
     }
 }
@@ -133,6 +138,9 @@ fn one_request(opts: &Options, body: &[u8]) -> std::io::Result<(bool, Duration)>
 ///
 /// With `mix > 1`, requests rotate round-robin (across all clients)
 /// through [`mix_catalog_json`] bodies instead of re-sending one spec.
+/// With `duration` set, clients fire until the deadline instead of
+/// counting requests (each client finishes its in-flight request, so runs
+/// overshoot the deadline by at most one request's latency).
 pub fn run(opts: &Options) -> Summary {
     let bodies: Vec<Vec<u8>> = if opts.mix > 1 {
         (0..opts.mix).map(|i| mix_catalog_json(i).into_bytes()).collect()
@@ -141,12 +149,27 @@ pub fn run(opts: &Options) -> Summary {
     };
     let next = AtomicUsize::new(0);
     let t0 = Instant::now();
+    let deadline = opts.duration.map(|secs| t0 + Duration::from_secs_f64(secs.max(0.0)));
     let samples: Vec<(bool, Option<Duration>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.clients.max(1))
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = Vec::with_capacity(opts.requests_per_client);
-                    for _ in 0..opts.requests_per_client {
+                    let mut issued = 0usize;
+                    loop {
+                        match deadline {
+                            Some(deadline) => {
+                                if Instant::now() >= deadline {
+                                    break;
+                                }
+                            }
+                            None => {
+                                if issued >= opts.requests_per_client {
+                                    break;
+                                }
+                            }
+                        }
+                        issued += 1;
                         let body = &bodies[next.fetch_add(1, Ordering::Relaxed) % bodies.len()];
                         match one_request(opts, body) {
                             Ok((ok, latency)) => local.push((ok, Some(latency))),
@@ -193,8 +216,12 @@ pub fn run(opts: &Options) -> Summary {
 pub fn render(opts: &Options, s: &Summary) -> String {
     let mix =
         if opts.mix > 1 { format!(" (mix of {} bodies)", opts.mix) } else { String::new() };
+    let workload = match opts.duration {
+        Some(secs) => format!("{secs:.1} s each"),
+        None => format!("{} request(s)", opts.requests_per_client),
+    };
     format!(
-        "loadgen: {} {} @ {}{mix} — {} client(s) × {} request(s)\n\
+        "loadgen: {} {} @ {}{mix} — {} client(s) × {workload}\n\
          requests: {} total, {} ok, {} failed\n\
          elapsed:  {:.3} s\n\
          rps:      {:.1}\n\
@@ -203,7 +230,6 @@ pub fn render(opts: &Options, s: &Summary) -> String {
         opts.path,
         opts.addr,
         opts.clients,
-        opts.requests_per_client,
         s.total,
         s.ok,
         s.failed,
@@ -256,11 +282,30 @@ mod tests {
             path: "/healthz".into(),
             body: None,
             mix: 1,
+            duration: None,
         };
         let s = run(&opts);
         assert_eq!(s.total, 6);
         assert_eq!(s.ok, 0);
         assert_eq!(s.failed, 6);
         assert!(s.p50_ms.is_nan(), "no successful latency samples");
+    }
+
+    #[test]
+    fn duration_mode_overrides_the_request_count() {
+        // An already-expired deadline: clients stop before their first
+        // request, proving the deadline (not requests_per_client) governs.
+        let opts = Options {
+            addr: "127.0.0.1:1".into(),
+            clients: 3,
+            requests_per_client: 100,
+            method: "GET".into(),
+            path: "/healthz".into(),
+            body: None,
+            mix: 1,
+            duration: Some(0.0),
+        };
+        let s = run(&opts);
+        assert_eq!(s.total, 0, "expired deadline issues no requests");
     }
 }

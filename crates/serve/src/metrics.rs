@@ -1,0 +1,208 @@
+//! Server-local HTTP metrics and the `GET /metrics` scrape assembly.
+//!
+//! Every [`crate::Server`] owns one [`ServeMetrics`] — a private
+//! [`dtc_obs::Registry`] plus pre-registered instruments for the hot
+//! counters — so two servers in one process (common in tests) never mix
+//! their numbers. The scrape concatenates three sections:
+//!
+//! 1. this registry (request counts, latency histograms, queue/worker
+//!    gauges, sheds, read errors, keep-alive reuse),
+//! 2. a cache section rendered from an [`dtc_engine::CacheStats`] snapshot
+//!    (the cache keeps plain atomics; it does not depend on `dtc-obs`),
+//! 3. the [`dtc_obs::global`] registry with the solver-stage spans and
+//!    work counters recorded by `dtc-markov` / `dtc-core`.
+
+use dtc_engine::CacheStats;
+use dtc_obs::{expo, latency_buckets, Counter, Gauge, Registry};
+use std::sync::Arc;
+
+/// The routes the server exposes, used as the `route` label. Unknown paths
+/// collapse into `"other"` so scrape cardinality stays bounded no matter
+/// what clients probe.
+const ROUTES: &[&str] = &[
+    "/healthz",
+    "/metrics",
+    "/v1/stats",
+    "/v1/cache/keys",
+    "/v1/evaluate",
+    "/v2/evaluate",
+    "/v2/model/dot",
+];
+
+/// Maps a request path to its bounded `route` label.
+pub fn route_label(path: &str) -> &'static str {
+    ROUTES.iter().find(|&&r| r == path).copied().unwrap_or("other")
+}
+
+/// One server's metric instruments.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    registry: Registry,
+    /// Connections refused with 503 because the accept queue was full.
+    pub sheds: Arc<Counter>,
+    /// Requests served on an already-used keep-alive connection.
+    pub keepalive_reuse: Arc<Counter>,
+    /// Current accept-queue depth (set at scrape time).
+    pub queue_depth: Arc<Gauge>,
+    /// Workers currently occupied by a connection.
+    pub busy_workers: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    /// Fresh instruments for one server. `workers` and `queue_capacity`
+    /// are recorded as constant gauges so utilization can be computed from
+    /// the scrape alone.
+    pub fn new(workers: usize, queue_capacity: usize) -> ServeMetrics {
+        let registry = Registry::new();
+        let sheds = registry.counter(
+            "dtc_http_sheds_total",
+            "Connections answered 503 immediately because the accept queue was full.",
+            &[],
+        );
+        let keepalive_reuse = registry.counter(
+            "dtc_http_keepalive_reuse_total",
+            "Requests served on a connection that had already served one.",
+            &[],
+        );
+        let queue_depth = registry.gauge(
+            "dtc_http_queue_depth",
+            "Accepted connections waiting for a worker.",
+            &[],
+        );
+        let busy_workers = registry.gauge(
+            "dtc_http_busy_workers",
+            "Workers currently occupied by a connection.",
+            &[],
+        );
+        registry
+            .gauge("dtc_http_workers", "Size of the HTTP worker pool.", &[])
+            .set(workers as i64);
+        registry
+            .gauge("dtc_http_queue_capacity", "Accept-queue capacity.", &[])
+            .set(queue_capacity as i64);
+        ServeMetrics { registry, sheds, keepalive_reuse, queue_depth, busy_workers }
+    }
+
+    /// Records one completed request: bumps
+    /// `dtc_http_requests_total{route,status}` and observes
+    /// `dtc_http_request_seconds{route}`.
+    pub fn observe_request(&self, path: &str, status: u16, seconds: f64) {
+        let route = route_label(path);
+        let status = status_label(status);
+        self.registry
+            .counter(
+                "dtc_http_requests_total",
+                "Requests answered, by route and status.",
+                &[("route", route), ("status", status)],
+            )
+            .inc();
+        self.registry
+            .histogram(
+                "dtc_http_request_seconds",
+                "Wall time from parsed request to serialized response, by route.",
+                &[("route", route)],
+                latency_buckets(),
+            )
+            .observe(seconds);
+    }
+
+    /// Counts a request that could not be read at all:
+    /// `dtc_http_read_errors_total{kind}` with `kind` one of
+    /// `header_too_large` (431), `body_too_large` (413), `malformed` (400).
+    pub fn observe_read_error(&self, kind: &'static str) {
+        self.registry
+            .counter(
+                "dtc_http_read_errors_total",
+                "Requests rejected before routing, by reason.",
+                &[("kind", kind)],
+            )
+            .inc();
+    }
+
+    /// Assembles the full `/metrics` body: this server's registry, the
+    /// cache snapshot, then the process-global solver registry.
+    pub fn render_scrape(&self, cache: &CacheStats) -> String {
+        let mut out = self.registry.render();
+        render_cache_section(&mut out, cache);
+        dtc_obs::global().render_into(&mut out);
+        out
+    }
+}
+
+/// Appends the cache's counters as exposition families. The cache keeps
+/// its own atomics (it predates and does not depend on `dtc-obs`), so its
+/// section is rendered from a [`CacheStats`] snapshot.
+fn render_cache_section(out: &mut String, stats: &CacheStats) {
+    let counters: &[(&str, &str, usize)] = &[
+        ("dtc_cache_hits_total", "Lookups answered without running a solve.", stats.hits),
+        ("dtc_cache_misses_total", "Lookups that required an evaluation.", stats.misses),
+        (
+            "dtc_cache_single_flight_joins_total",
+            "Followers that shared another caller's in-flight solve.",
+            stats.joins,
+        ),
+        (
+            "dtc_cache_evictions_total",
+            "Entries dropped by the max-entries cap.",
+            stats.evictions,
+        ),
+    ];
+    for (name, help, value) in counters {
+        expo::write_header(out, name, help, "counter");
+        expo::write_sample(out, name, &[], *value as f64);
+    }
+    expo::write_header(out, "dtc_cache_entries", "Entries currently stored.", "gauge");
+    expo::write_sample(out, "dtc_cache_entries", &[], stats.entries as f64);
+}
+
+/// Status codes the server can emit, as `'static` label values.
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        413 => "413",
+        429 => "429",
+        431 => "431",
+        500 => "500",
+        503 => "503",
+        _ => "other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_paths_collapse_into_other() {
+        assert_eq!(route_label("/v2/evaluate"), "/v2/evaluate");
+        assert_eq!(route_label("/Admin/../../etc/passwd"), "other");
+    }
+
+    #[test]
+    fn scrape_contains_all_three_sections() {
+        let m = ServeMetrics::new(4, 128);
+        m.observe_request("/healthz", 200, 0.001);
+        m.sheds.inc();
+        let stats = CacheStats { hits: 3, misses: 2, entries: 1, evictions: 0, joins: 1 };
+        let text = m.render_scrape(&stats);
+        assert!(text.contains("dtc_http_requests_total{route=\"/healthz\",status=\"200\"} 1"));
+        assert!(text.contains("dtc_http_request_seconds_count{route=\"/healthz\"} 1"));
+        assert!(text.contains("dtc_http_sheds_total 1"));
+        assert!(text.contains("dtc_http_workers 4"));
+        assert!(text.contains("dtc_cache_hits_total 3"));
+        assert!(text.contains("dtc_cache_single_flight_joins_total 1"));
+        assert!(text.contains("dtc_cache_entries 1"));
+    }
+
+    #[test]
+    fn two_servers_do_not_share_counters() {
+        let a = ServeMetrics::new(1, 1);
+        let b = ServeMetrics::new(1, 1);
+        a.sheds.inc();
+        assert_eq!(a.sheds.value(), 1);
+        assert_eq!(b.sheds.value(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Seconds-scale smoke test for the serve benchmark: a real timed run
+//! against an in-process server must produce a document that satisfies the
+//! `BENCH_serve.json` schema. No numbers are pinned — machines differ; the
+//! schema (field presence, finiteness, ordering, ratio ranges) must not.
+
+use dtc_serve::bench::{run, validate_bench_doc, BenchConfig};
+
+#[test]
+fn a_short_bench_run_validates_its_own_schema() {
+    let config = BenchConfig { duration: 1.0, clients: 2, mix: 2, threads: 2, queue: 32 };
+    let doc = run(&config).expect("bench run succeeds");
+    validate_bench_doc(&doc).unwrap_or_else(|e| panic!("schema violation: {e}\n{doc:?}"));
+
+    // The knobs we set must round-trip into the doc.
+    let int = |k: &str| doc.get(k).and_then(|v| v.as_i64()).expect("knob field");
+    assert_eq!(int("clients"), 2);
+    assert_eq!(int("mix"), 2);
+    assert_eq!(int("server_threads"), 2);
+    assert_eq!(int("queue_capacity"), 32);
+
+    // A 1-second run with 2 clients against a warm in-process server does
+    // real work: at least one request per client completed.
+    let total = doc
+        .get("requests")
+        .and_then(|r| r.get("total"))
+        .and_then(|v| v.as_i64())
+        .expect("requests.total");
+    assert!(total >= 2, "only {total} request(s) completed in a 1 s run");
+}

@@ -15,6 +15,7 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
+//! | [`obs`] | dependency-free metrics/tracing: counters, histograms, spans, Prometheus exposition |
 //! | [`markov`] | sparse CTMC/DTMC solvers (steady-state, transient, absorbing) |
 //! | [`petri`] | GSPN modeling, reachability, vanishing-marking elimination |
 //! | [`rbd`] | reliability block diagrams and MTTF/MTTR folding |
@@ -47,6 +48,7 @@ pub use dtc_core as core;
 pub use dtc_engine as engine;
 pub use dtc_geo as geo;
 pub use dtc_markov as markov;
+pub use dtc_obs as obs;
 pub use dtc_petri as petri;
 pub use dtc_rbd as rbd;
 pub use dtc_serve as serve;
