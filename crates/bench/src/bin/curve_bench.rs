@@ -9,19 +9,35 @@
 //! against the single pass's `Λ·T`, so the expected speedup grows linearly
 //! with the number of points.
 //!
-//! Usage: `cargo run --release -p dtc-bench --bin curve_bench [max_hours]`
+//! Usage: `cargo run --release -p dtc-bench --bin curve_bench [max_hours] [--trace]`
 //! (default 24; the full ~126k-state model costs a few minutes per-point
-//! at 64 points — that cost is the point of the comparison).
+//! at 64 points — that cost is the point of the comparison). `--trace`
+//! collects the run's span tree (state-space exploration, matrix builds,
+//! marches) and prints it to stderr when the benchmark finishes.
 
 use dtc_core::prelude::*;
 use dtc_engine::value::Value;
 use std::time::Instant;
 
 fn main() {
-    let max_hours: f64 = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().expect("max_hours must be a number"))
-        .unwrap_or(24.0);
+    let mut trace = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--trace" {
+                trace = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let max_hours: f64 =
+        args.first().map(|a| a.parse().expect("max_hours must be a number")).unwrap_or(24.0);
+    let trace_ctx =
+        trace.then(|| dtc_obs::trace::TraceContext::new(dtc_obs::trace::TraceId::generate()));
+    let _trace_guard = trace_ctx.as_ref().map(dtc_obs::trace::install);
+    let _root_span = trace_ctx.as_ref().map(|_| dtc_obs::trace::trace_span("curve_bench"));
 
     let scenario = dtc_engine::catalogs::fig7()
         .expand()
@@ -102,4 +118,9 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_curve.json");
     std::fs::write(path, doc.to_json() + "\n").expect("write BENCH_curve.json");
     println!("wrote {path}");
+
+    drop(_root_span);
+    if let Some(ctx) = &trace_ctx {
+        eprint!("{}", dtc_obs::trace::render_text(&ctx.snapshot()));
+    }
 }

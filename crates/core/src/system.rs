@@ -450,9 +450,15 @@ impl CloudModel {
 
     /// Explores the tangible state space (the expensive step; reuse the
     /// returned graph to evaluate several metrics). Records an `explore`
-    /// stage span in the [`dtc_obs::global`] registry.
+    /// stage span in the [`dtc_obs::global`] registry, annotated with the
+    /// state/edge counts when a request trace is active.
     pub fn state_space(&self, opts: &EvalOptions) -> Result<TangibleGraph> {
-        dtc_obs::span!("explore", Ok(explore(&self.net, &opts.reach)?))
+        let _span = dtc_obs::stage_span("explore");
+        let graph = explore(&self.net, &opts.reach)?;
+        let stats = graph.stats();
+        dtc_obs::trace::attr_int("states", stats.tangible_states as i64);
+        dtc_obs::trace::attr_int("edges", stats.edges as i64);
+        Ok(graph)
     }
 
     /// Builds the state space, solves for steady state, and summarizes the

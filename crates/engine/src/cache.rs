@@ -218,7 +218,14 @@ impl EvalCache {
             Some(path) => match EvalCache::with_store(path.clone()) {
                 Ok(cache) => cache,
                 Err(e) => {
-                    eprintln!("warning: ignoring unusable cache store: {e}");
+                    dtc_obs::log::warn(
+                        "dtc-engine",
+                        "ignoring unusable cache store",
+                        &[
+                            ("path", path.display().to_string().into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
                     EvalCache::fresh_store(path)
                 }
             },
@@ -430,10 +437,13 @@ impl EvalCache {
     /// answer.
     pub fn persist(&self) -> Result<()> {
         let Some(path) = &self.store else { return Ok(()) };
+        let _persist_span = dtc_obs::trace::trace_span("cache_persist");
         if let Ok(text) = std::fs::read_to_string(path) {
             let _ = self.load_json_keeping_existing(&text);
         }
         let json = self.to_json();
+        dtc_obs::trace::attr_int("entries", self.len() as i64);
+        dtc_obs::trace::attr_int("bytes", json.len() as i64);
         let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, json)
             .map_err(|e| EngineError::Io(format!("{}: {e}", tmp.display())))?;

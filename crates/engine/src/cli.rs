@@ -49,6 +49,10 @@ options:
                             steady_state
   --cache FILE              persistent JSON evaluation cache
   --cache-cap N             cap resident cache entries (oldest evicted)
+  --trace                   collect a request-scoped span tree for the run
+                            and print it to stderr (explore, solver stages,
+                            cache events — the same tree `dtc serve` returns
+                            for `?trace=1`)
 
 serve options (see `dtc serve --help`):
   --addr HOST:PORT          listen address (default 127.0.0.1:7878)
@@ -66,6 +70,8 @@ struct CliOptions {
     analyses: Option<Vec<AnalysisRequest>>,
     cache_path: Option<PathBuf>,
     cache_cap: Option<usize>,
+    /// `--trace`: collect a span tree for the run and print it to stderr.
+    trace: bool,
 }
 
 /// Parses a comma-separated `--analyses` list of analysis kinds (each with
@@ -98,6 +104,7 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>)> {
         analyses: None,
         cache_path: None,
         cache_cap: None,
+        trace: false,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -136,6 +143,7 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<String>)> {
                     EngineError::Schema(format!("--cache-cap expects a number, got {v:?}"))
                 })?);
             }
+            "--trace" => opts.trace = true,
             other if other.starts_with("--") => {
                 return Err(EngineError::Schema(format!("unknown option {other}")));
             }
@@ -160,8 +168,24 @@ fn evaluate(catalog: &Catalog, opts: &CliOptions) -> Result<(Vec<Scenario>, Batc
         run.threads.max(1)
     );
     let cache = Arc::new(EvalCache::open_lenient(opts.cache_path.clone(), opts.cache_cap));
-    let result = run_batch(&scenarios, &cache, &run);
-    cache.persist()?;
+    let trace_ctx = opts
+        .trace
+        .then(|| dtc_obs::trace::TraceContext::new(dtc_obs::trace::TraceId::generate()));
+    let result = {
+        let _guard = trace_ctx.as_ref().map(dtc_obs::trace::install);
+        let _root = trace_ctx.as_ref().map(|_| {
+            let span = dtc_obs::trace::trace_span("run");
+            dtc_obs::trace::attr_str("catalog", &catalog.name);
+            dtc_obs::trace::attr_int("scenarios", scenarios.len() as i64);
+            span
+        });
+        let result = run_batch(&scenarios, &cache, &run);
+        cache.persist()?;
+        result
+    };
+    if let Some(ctx) = &trace_ctx {
+        eprint!("{}", dtc_obs::trace::render_text(&ctx.snapshot()));
+    }
     eprintln!("{}", render_summary(&result));
     Ok((scenarios, result))
 }

@@ -168,22 +168,45 @@ pub fn run_batch(
     }
     let resolved: Mutex<Vec<Option<Resolved>>> = Mutex::new(vec![None; uniques.len()]);
     let next = AtomicUsize::new(0);
+    // When the calling thread has a request trace installed, carry it into
+    // the scoped workers so their solver spans land in the same tree.
+    let tracing = dtc_obs::trace::current();
     let t0 = std::time::Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let u = next.fetch_add(1, Ordering::Relaxed);
-                if u >= uniques.len() {
-                    break;
+            scope.spawn(|| {
+                let _trace_guard = tracing.as_ref().map(|t| t.install());
+                loop {
+                    let u = next.fetch_add(1, Ordering::Relaxed);
+                    if u >= uniques.len() {
+                        break;
+                    }
+                    let i = uniques[u];
+                    let (key, canonical) = &keyed[i];
+                    let _scenario_span = dtc_obs::trace::trace_span("scenario");
+                    dtc_obs::trace::attr_str("name", &scenarios[i].name);
+                    let outcome = cache.get_or_compute(key, canonical, || {
+                        evaluate_all_guarded(&scenarios[i].spec, &opts.analyses, &eval)
+                            .map(Arc::new)
+                    });
+                    dtc_obs::trace::event(
+                        "cache_lookup",
+                        &[
+                            (
+                                "outcome",
+                                match outcome.1 {
+                                    Fetch::Hit => "hit",
+                                    Fetch::Computed => "miss",
+                                    Fetch::Joined => "join",
+                                }
+                                .into(),
+                            ),
+                            ("key", key.0.as_str().into()),
+                        ],
+                    );
+                    let mut slots = resolved.lock().expect("resolved mutex poisoned");
+                    slots[u] = Some(outcome);
                 }
-                let i = uniques[u];
-                let (key, canonical) = &keyed[i];
-                let outcome = cache.get_or_compute(key, canonical, || {
-                    evaluate_all_guarded(&scenarios[i].spec, &opts.analyses, &eval)
-                        .map(Arc::new)
-                });
-                let mut slots = resolved.lock().expect("resolved mutex poisoned");
-                slots[u] = Some(outcome);
             });
         }
     });

@@ -230,6 +230,10 @@ impl Ctmc {
         };
         if let Ok((_, stats)) = &result {
             crate::instrument::count_stationary_iterations(stats.iterations as u64);
+            dtc_obs::trace::attr_int("states", n as i64);
+            dtc_obs::trace::attr_int("iterations", stats.iterations as i64);
+            dtc_obs::trace::attr_float("residual", stats.residual);
+            dtc_obs::trace::attr_str("method", &stats.method.to_string());
         }
         result
     }

@@ -144,12 +144,24 @@ pub fn uniformized_pass(
 
     let mut stats = PassStats::default();
     if kmax > 0 {
-        let p = dtc_obs::span!("uniformized_build", ctmc.uniformized(lambda));
+        // One trace node frames the whole pass so the build and the march
+        // land as its children in a request's span tree (inert offline).
+        let _pass_span = dtc_obs::trace::trace_span("uniformized_pass");
+        let p = {
+            let _build_span = dtc_obs::stage_span("uniformized_build");
+            let p = ctmc.uniformized(lambda);
+            dtc_obs::trace::attr_int("states", n as i64);
+            dtc_obs::trace::attr_int("transitions", p.nnz() as i64);
+            p
+        };
         stats.matrix_builds = 1;
         stats.marches = 1;
         stats.truncation_k = kmax;
         instrument::count_transient_march();
         let _march_span = dtc_obs::stage_span("march");
+        dtc_obs::trace::attr_int("truncation_k", kmax as i64);
+        dtc_obs::trace::attr_int("time_points", times.len() as i64);
+        dtc_obs::trace::attr_int("horizons", cum_horizons.len() as i64);
 
         let mut cur = pi0.to_vec();
         let mut next = vec![0.0; n];

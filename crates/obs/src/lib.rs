@@ -43,9 +43,11 @@
 #![warn(missing_docs)]
 
 pub mod expo;
+pub mod log;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{latency_buckets, stage_buckets, Counter, Gauge, Histogram};
 pub use registry::{Kind, Registry};
@@ -66,6 +68,10 @@ pub const STAGE_HISTOGRAM: &str = "dtc_stage_seconds";
 /// Starts a span that records its wall time, on drop, into the global
 /// `dtc_stage_seconds{stage="…"}` histogram. Stage names must be
 /// low-cardinality (pipeline stage identifiers, not per-request data).
+///
+/// When a [`trace::TraceContext`] is installed on the current thread the
+/// same guard also opens a node in that request's span tree; without one
+/// the only extra work is a single thread-local check.
 pub fn stage_span(stage: &str) -> Span {
     let hist = global().histogram(
         STAGE_HISTOGRAM,
@@ -73,7 +79,7 @@ pub fn stage_span(stage: &str) -> Span {
         &[("stage", stage)],
         stage_buckets(),
     );
-    Span::new(hist)
+    Span::for_stage(hist, stage)
 }
 
 /// Times an expression as a named stage:

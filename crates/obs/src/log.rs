@@ -1,0 +1,228 @@
+//! Leveled structured logging: one JSON object per line on stderr.
+//!
+//! The level is read once from the `DTC_LOG` environment variable
+//! (`error`, `warn`, `info`, or `debug`; default `info`) and every line is
+//! stamped with the current thread's active trace ID (see
+//! [`crate::trace`]) when one is installed, so server logs correlate with
+//! `/v2/debug/trace` lookups by ID.
+//!
+//! ```
+//! dtc_obs::log::set_level_for_tests(dtc_obs::log::Level::Debug);
+//! dtc_obs::log::info("my-component", "started", &[("port", 8080.into())]);
+//! ```
+
+use crate::trace::{self, AttrValue};
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-losing conditions.
+    Error,
+    /// Degraded but continuing (failed persist, corrupt store ignored).
+    Warn,
+    /// Lifecycle events (listening, shutdown).
+    Info,
+    /// Per-request detail.
+    Debug,
+}
+
+impl Level {
+    /// The lowercase name used in `DTC_LOG` and the `"level"` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a `DTC_LOG` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: OnceLock<Level> = OnceLock::new();
+
+/// The active threshold: `DTC_LOG` parsed once, defaulting to `info`
+/// (unknown values also fall back to `info`).
+pub fn level() -> Level {
+    *LEVEL.get_or_init(|| {
+        std::env::var("DTC_LOG").ok().and_then(|v| Level::parse(&v)).unwrap_or(Level::Info)
+    })
+}
+
+/// Pins the threshold before the environment is consulted — for tests
+/// that must not depend on the harness's environment. No-op once the
+/// level has been resolved.
+pub fn set_level_for_tests(new: Level) {
+    let _ = LEVEL.set(new);
+}
+
+/// Whether a line at `at` would be emitted.
+pub fn enabled(at: Level) -> bool {
+    at <= level()
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_value(out: &mut String, value: &AttrValue) {
+    match value {
+        AttrValue::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        AttrValue::Float(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        AttrValue::Float(_) => out.push_str("null"),
+        AttrValue::Str(v) => {
+            let _ = write!(out, "\"{}\"", json_escape(v));
+        }
+        AttrValue::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+    }
+}
+
+/// Formats one line without emitting it (also what the tests parse):
+/// `{"ts_ms":…,"level":…,"target":…,"msg":…[,"trace_id":…][,fields…]}`.
+pub fn format_line(
+    at: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, AttrValue)],
+    trace_id: Option<String>,
+) -> String {
+    let ts_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"",
+        at.as_str(),
+        json_escape(target),
+        json_escape(msg)
+    );
+    if let Some(id) = trace_id {
+        let _ = write!(out, ",\"trace_id\":\"{}\"", json_escape(&id));
+    }
+    for (key, value) in fields {
+        let _ = write!(out, ",\"{}\":", json_escape(key));
+        write_value(&mut out, value);
+    }
+    out.push('}');
+    out
+}
+
+/// Emits one structured line at `at` if the threshold allows, stamped with
+/// the active trace ID when one is installed on this thread.
+pub fn log(at: Level, target: &str, msg: &str, fields: &[(&str, AttrValue)]) {
+    if !enabled(at) {
+        return;
+    }
+    let trace_id = trace::current_id().map(|id| id.to_string());
+    eprintln!("{}", format_line(at, target, msg, fields, trace_id));
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, msg: &str, fields: &[(&str, AttrValue)]) {
+    log(Level::Error, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[(&str, AttrValue)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, msg: &str, fields: &[(&str, AttrValue)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, msg: &str, fields: &[(&str, AttrValue)]) {
+    log(Level::Debug, target, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse(" warn "), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn lines_are_json_shaped_and_escaped() {
+        let line = format_line(
+            Level::Warn,
+            "dtc-serve",
+            "cache \"persist\" failed\n",
+            &[
+                ("count", AttrValue::Int(3)),
+                ("ratio", AttrValue::Float(0.5)),
+                ("nan", AttrValue::Float(f64::NAN)),
+                ("route", AttrValue::Str("/v2".into())),
+                ("ok", AttrValue::Bool(false)),
+            ],
+            Some("deadbeef".into()),
+        );
+        assert!(line.starts_with("{\"ts_ms\":"));
+        assert!(line.ends_with('}'));
+        assert!(line.contains("\"level\":\"warn\""));
+        assert!(line.contains("\"msg\":\"cache \\\"persist\\\" failed\\n\""));
+        assert!(line.contains("\"trace_id\":\"deadbeef\""));
+        assert!(line.contains("\"count\":3"));
+        assert!(line.contains("\"ratio\":0.5"));
+        assert!(line.contains("\"nan\":null"), "non-finite floats serialize as null");
+        assert!(line.contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn control_characters_escape_to_unicode() {
+        assert_eq!(json_escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(json_escape("q\"\\\t"), "q\\\"\\\\\\t");
+    }
+
+    #[test]
+    fn active_trace_stamps_lines() {
+        use crate::trace::{install, TraceContext, TraceId};
+        let ctx = TraceContext::new(TraceId(0xabcd));
+        let _guard = install(&ctx);
+        let id = crate::trace::current_id().unwrap().to_string();
+        assert!(id.ends_with("abcd"));
+    }
+}

@@ -1,7 +1,10 @@
 //! The span guard: wall-time measurement that records into a histogram on
-//! drop, so early returns and `?` are measured correctly for free.
+//! drop, so early returns and `?` are measured correctly for free. When a
+//! request trace is active on the current thread (see [`crate::trace`])
+//! the same guard also opens/closes a node in that trace's span tree.
 
 use crate::metrics::Histogram;
+use crate::trace::{self, TraceContext};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -11,13 +14,20 @@ use std::time::Instant;
 #[derive(Debug)]
 pub struct Span {
     hist: Arc<Histogram>,
+    node: Option<(Arc<TraceContext>, usize)>,
     start: Instant,
 }
 
 impl Span {
-    /// Starts a span recording into `hist`.
+    /// Starts a span recording into `hist` (histogram only; no trace node).
     pub fn new(hist: Arc<Histogram>) -> Span {
-        Span { hist, start: Instant::now() }
+        Span { hist, node: None, start: Instant::now() }
+    }
+
+    /// Starts a named stage span: records into `hist` on drop and, when a
+    /// trace is installed on this thread, also into its span tree.
+    pub(crate) fn for_stage(hist: Arc<Histogram>, stage: &str) -> Span {
+        Span { hist, node: trace::begin_current(stage), start: Instant::now() }
     }
 
     /// Seconds since the span started (the span keeps running).
@@ -29,6 +39,9 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         self.hist.observe(self.start.elapsed().as_secs_f64());
+        if let Some((ctx, index)) = self.node.take() {
+            trace::end_current(&ctx, index);
+        }
     }
 }
 
@@ -61,5 +74,23 @@ mod tests {
         let _ = attempt(true);
         let _ = attempt(false);
         assert_eq!(hist.count(), 2, "both the error and success path recorded");
+    }
+
+    #[test]
+    fn stage_spans_feed_an_installed_trace() {
+        use crate::trace::{install, TraceContext, TraceId};
+        let ctx = TraceContext::new(TraceId(0x5ea));
+        {
+            let _guard = install(&ctx);
+            let _outer = crate::stage_span("trace-feed-outer");
+            let _inner = crate::stage_span("trace-feed-inner");
+        }
+        let snap = ctx.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[0].name, "trace-feed-outer");
+        assert_eq!(snap.spans[1].parent, Some(0), "stage spans nest in the tree");
+        // And the histogram side still recorded as before.
+        let text = crate::global().render();
+        assert!(text.contains("dtc_stage_seconds_count{stage=\"trace-feed-outer\"} 1"));
     }
 }

@@ -1,0 +1,574 @@
+//! Request-scoped tracing: a trace ID plus a thread-aware span-tree
+//! collector that the [`crate::stage_span`] / [`crate::span!`] guards feed
+//! whenever a trace is installed on the current thread.
+//!
+//! The design keeps the untraced path free: every instrumented site does a
+//! single thread-local `Option` check and returns immediately when no
+//! [`TraceContext`] is installed, so offline solves (and the `one_march`
+//! work-count contract) are unaffected.
+//!
+//! Lifecycle:
+//!
+//! 1. A request (or a `--trace` CLI run) creates a context with
+//!    [`TraceContext::new`] and installs it on its thread with [`install`].
+//! 2. Every [`crate::stage_span`]/[`crate::span!`] guard opened while the context
+//!    is installed appends a node under the thread's innermost open span;
+//!    [`attr_int`]/[`attr_float`]/[`attr_str`]/[`attr_bool`] annotate that
+//!    innermost node and [`event`] records an instantaneous child.
+//! 3. Worker pools capture [`current`] before spawning and re-[`install`]
+//!    it inside each worker, so spans from scoped threads attach under the
+//!    span that was open at capture time — one tree across threads.
+//! 4. Dropping the install guard restores the previously installed context
+//!    (if any); [`TraceContext::snapshot`] turns the shared node arena into
+//!    an immutable [`TraceSnapshot`] for storage or rendering.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A 128-bit trace identifier, rendered as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u128);
+
+impl TraceId {
+    /// Generates a fresh process-unique identifier by mixing the wall
+    /// clock, a process-wide counter, and a SplitMix64 finalizer — unique
+    /// enough for correlating logs and debug lookups without an RNG
+    /// dependency.
+    pub fn generate() -> TraceId {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mix = |mut z: u64| -> u64 {
+            z = z.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let hi = mix(nanos ^ seq.rotate_left(17));
+        let lo = mix(seq ^ nanos.rotate_left(31) ^ std::process::id() as u64);
+        TraceId(((hi as u128) << 64) | lo as u128)
+    }
+
+    /// Parses the textual form produced by `Display`: 1–32 hex digits.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// A typed span attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Integer attribute (counts, truncation depths, iteration counts).
+    Int(i64),
+    /// Floating-point attribute (residuals, rates).
+    Float(f64),
+    /// String attribute (method names, routes, outcomes).
+    Str(String),
+    /// Boolean attribute.
+    Bool(bool),
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.into())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// One node of the span tree while the trace is being collected.
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    parent: Option<usize>,
+    start_ns: u64,
+    duration_ns: Option<u64>,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+/// The shared collector behind one trace: an ID, a monotonic time base,
+/// and an arena of span nodes appended to by every participating thread.
+#[derive(Debug)]
+pub struct TraceContext {
+    id: TraceId,
+    started: Instant,
+    nodes: Mutex<Vec<Node>>,
+}
+
+impl TraceContext {
+    /// Creates an empty collector for `id`.
+    pub fn new(id: TraceId) -> Arc<TraceContext> {
+        Arc::new(TraceContext { id, started: Instant::now(), nodes: Mutex::new(Vec::new()) })
+    }
+
+    /// The trace identifier.
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    fn begin(&self, name: &str, parent: Option<usize>) -> usize {
+        let start_ns = self.started.elapsed().as_nanos() as u64;
+        let mut nodes = self.nodes.lock().expect("trace arena poisoned");
+        nodes.push(Node {
+            name: name.to_string(),
+            parent,
+            start_ns,
+            duration_ns: None,
+            attrs: Vec::new(),
+        });
+        nodes.len() - 1
+    }
+
+    fn end(&self, index: usize) {
+        let now_ns = self.started.elapsed().as_nanos() as u64;
+        let mut nodes = self.nodes.lock().expect("trace arena poisoned");
+        if let Some(node) = nodes.get_mut(index) {
+            node.duration_ns = Some(now_ns.saturating_sub(node.start_ns));
+        }
+    }
+
+    fn annotate(&self, index: usize, key: &str, value: AttrValue) {
+        let mut nodes = self.nodes.lock().expect("trace arena poisoned");
+        if let Some(node) = nodes.get_mut(index) {
+            node.attrs.push((key.to_string(), value));
+        }
+    }
+
+    /// An immutable copy of the tree so far. Spans still open are marked
+    /// `finished: false` with their duration measured up to the snapshot.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let now_ns = self.started.elapsed().as_nanos() as u64;
+        let nodes = self.nodes.lock().expect("trace arena poisoned");
+        TraceSnapshot {
+            id: self.id.to_string(),
+            spans: nodes
+                .iter()
+                .map(|n| SpanRecord {
+                    name: n.name.clone(),
+                    parent: n.parent,
+                    start_ns: n.start_ns,
+                    duration_ns: n
+                        .duration_ns
+                        .unwrap_or_else(|| now_ns.saturating_sub(n.start_ns)),
+                    finished: n.duration_ns.is_some(),
+                    attrs: n.attrs.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One finished (or snapshotted) span of a [`TraceSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Stage name (`explore`, `uniformized_build`, `march`, …).
+    pub name: String,
+    /// Index of the parent span in [`TraceSnapshot::spans`]; `None` for
+    /// the tree root(s).
+    pub parent: Option<usize>,
+    /// Start offset from the trace's creation, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-time of the span, nanoseconds (elapsed-so-far when
+    /// `finished` is false).
+    pub duration_ns: u64,
+    /// Whether the span had closed when the snapshot was taken.
+    pub finished: bool,
+    /// Typed attributes attached while the span was innermost.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// An immutable span tree: the arena of [`SpanRecord`]s in creation order
+/// (parents always precede children).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSnapshot {
+    /// The trace ID, as its 32-hex-digit display form.
+    pub id: String,
+    /// All spans, indexed by [`SpanRecord::parent`].
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceSnapshot {
+    /// Indices of the direct children of `parent` (`None` = roots), in
+    /// creation order.
+    pub fn children_of(&self, parent: Option<usize>) -> Vec<usize> {
+        (0..self.spans.len()).filter(|&i| self.spans[i].parent == parent).collect()
+    }
+
+    /// Total wall time: the latest span end observed, nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.start_ns + s.duration_ns).max().unwrap_or(0)
+    }
+}
+
+/// Renders a snapshot as an indented text tree for terminals:
+/// one line per span with duration and attributes.
+pub fn render_text(snapshot: &TraceSnapshot) -> String {
+    fn fmt_attr(value: &AttrValue) -> String {
+        match value {
+            AttrValue::Int(v) => v.to_string(),
+            AttrValue::Float(v) => format!("{v:.3e}"),
+            AttrValue::Str(v) => v.clone(),
+            AttrValue::Bool(v) => v.to_string(),
+        }
+    }
+    fn line(out: &mut String, snapshot: &TraceSnapshot, index: usize, depth: usize) {
+        let span = &snapshot.spans[index];
+        let ms = span.duration_ns as f64 / 1e6;
+        let attrs: Vec<String> =
+            span.attrs.iter().map(|(k, v)| format!("{k}={}", fmt_attr(v))).collect();
+        let open = if span.finished { "" } else { " (open)" };
+        out.push_str(&format!(
+            "{}{} {:.3} ms{}{}{}\n",
+            "  ".repeat(depth),
+            span.name,
+            ms,
+            open,
+            if attrs.is_empty() { "" } else { "  " },
+            attrs.join(" ")
+        ));
+        for child in snapshot.children_of(Some(index)) {
+            line(out, snapshot, child, depth + 1);
+        }
+    }
+    let mut out = format!(
+        "trace {} — {} span(s), {:.3} ms\n",
+        snapshot.id,
+        snapshot.spans.len(),
+        snapshot.duration_ns() as f64 / 1e6
+    );
+    for root in snapshot.children_of(None) {
+        line(&mut out, snapshot, root, 1);
+    }
+    out
+}
+
+struct ThreadState {
+    ctx: Arc<TraceContext>,
+    /// Indices of the open spans on *this* thread, innermost last.
+    stack: Vec<usize>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ThreadState>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed trace (if any) when dropped. Not
+/// `Send`: it must drop on the thread that created it.
+#[must_use = "dropping the guard immediately uninstalls the trace"]
+pub struct InstallGuard {
+    prev: Option<ThreadState>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|active| {
+            *active.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+impl fmt::Debug for InstallGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("InstallGuard")
+    }
+}
+
+/// Installs `ctx` as the current thread's active trace; spans opened on
+/// this thread become roots of the tree until nested ones stack up.
+pub fn install(ctx: &Arc<TraceContext>) -> InstallGuard {
+    install_under(ctx, None)
+}
+
+fn install_under(ctx: &Arc<TraceContext>, parent: Option<usize>) -> InstallGuard {
+    ACTIVE.with(|active| {
+        let prev = active.borrow_mut().take();
+        *active.borrow_mut() =
+            Some(ThreadState { ctx: Arc::clone(ctx), stack: parent.into_iter().collect() });
+        InstallGuard { prev, _not_send: PhantomData }
+    })
+}
+
+/// A portable handle to "the trace and span that are active right here":
+/// capture it with [`current`] before spawning workers, then [`install`]
+/// it inside each worker so their spans nest under the capture point.
+#[derive(Debug, Clone)]
+pub struct CurrentTrace {
+    ctx: Arc<TraceContext>,
+    parent: Option<usize>,
+}
+
+impl CurrentTrace {
+    /// Installs this capture on the current (worker) thread.
+    pub fn install(&self) -> InstallGuard {
+        install_under(&self.ctx, self.parent)
+    }
+
+    /// The captured trace's identifier.
+    pub fn id(&self) -> TraceId {
+        self.ctx.id()
+    }
+}
+
+/// The active trace and innermost open span of the current thread, or
+/// `None` when no trace is installed — the one cheap check every
+/// instrumented site performs.
+pub fn current() -> Option<CurrentTrace> {
+    ACTIVE.with(|active| {
+        active.borrow().as_ref().map(|state| CurrentTrace {
+            ctx: Arc::clone(&state.ctx),
+            parent: state.stack.last().copied(),
+        })
+    })
+}
+
+/// The active trace's ID, if one is installed (used by the logger to
+/// stamp lines).
+pub fn current_id() -> Option<TraceId> {
+    ACTIVE.with(|active| active.borrow().as_ref().map(|state| state.ctx.id()))
+}
+
+/// A snapshot of the active trace's tree so far, if one is installed
+/// (used by `?trace=1` to inline the tree mid-request).
+pub fn snapshot_current() -> Option<TraceSnapshot> {
+    ACTIVE.with(|active| active.borrow().as_ref().map(|state| state.ctx.snapshot()))
+}
+
+/// Opens a span on the active trace (no-op returning `None` without one)
+/// and pushes it on this thread's open-span stack. Paired with
+/// [`end_current`]; [`crate::Span`] calls both.
+pub(crate) fn begin_current(name: &str) -> Option<(Arc<TraceContext>, usize)> {
+    ACTIVE.with(|active| {
+        let mut active = active.borrow_mut();
+        let state = active.as_mut()?;
+        let index = state.ctx.begin(name, state.stack.last().copied());
+        state.stack.push(index);
+        Some((Arc::clone(&state.ctx), index))
+    })
+}
+
+/// Closes span `index`: records its duration and pops it from this
+/// thread's stack. If the guard migrated threads (or its trace was
+/// replaced), the duration is still recorded straight into the arena.
+pub(crate) fn end_current(ctx: &Arc<TraceContext>, index: usize) {
+    let popped = ACTIVE.with(|active| {
+        let mut active = active.borrow_mut();
+        match active.as_mut() {
+            Some(state)
+                if Arc::ptr_eq(&state.ctx, ctx) && state.stack.last() == Some(&index) =>
+            {
+                state.stack.pop();
+                true
+            }
+            _ => false,
+        }
+    });
+    let _ = popped;
+    ctx.end(index);
+}
+
+/// A trace-only span guard: feeds the active trace tree without recording
+/// into any histogram (for request-level framing spans that already have
+/// their own HTTP metrics). Free when no trace is installed.
+#[derive(Debug)]
+#[must_use = "dropping the guard ends the span immediately"]
+pub struct TraceSpan {
+    node: Option<(Arc<TraceContext>, usize)>,
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let Some((ctx, index)) = self.node.take() {
+            end_current(&ctx, index);
+        }
+    }
+}
+
+/// Opens a [`TraceSpan`] named `name` on the active trace (inert without
+/// one).
+pub fn trace_span(name: &str) -> TraceSpan {
+    TraceSpan { node: begin_current(name) }
+}
+
+/// Attaches an attribute to the innermost open span of the active trace;
+/// no-op when no trace is installed or no span is open.
+pub fn attr(key: &str, value: AttrValue) {
+    ACTIVE.with(|active| {
+        let active = active.borrow();
+        if let Some(state) = active.as_ref() {
+            if let Some(&top) = state.stack.last() {
+                state.ctx.annotate(top, key, value);
+            }
+        }
+    });
+}
+
+/// Integer attribute on the innermost open span.
+pub fn attr_int(key: &str, value: i64) {
+    attr(key, AttrValue::Int(value));
+}
+
+/// Float attribute on the innermost open span.
+pub fn attr_float(key: &str, value: f64) {
+    attr(key, AttrValue::Float(value));
+}
+
+/// String attribute on the innermost open span.
+pub fn attr_str(key: &str, value: &str) {
+    attr(key, AttrValue::Str(value.to_string()));
+}
+
+/// Boolean attribute on the innermost open span.
+pub fn attr_bool(key: &str, value: bool) {
+    attr(key, AttrValue::Bool(value));
+}
+
+/// Records an instantaneous event (a zero-length child span with
+/// attributes) under the innermost open span; no-op without a trace.
+pub fn event(name: &str, attrs: &[(&str, AttrValue)]) {
+    ACTIVE.with(|active| {
+        let active = active.borrow();
+        if let Some(state) = active.as_ref() {
+            let index = state.ctx.begin(name, state.stack.last().copied());
+            for (key, value) in attrs {
+                state.ctx.annotate(index, key, value.clone());
+            }
+            state.ctx.end(index);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_roundtrip_and_differ() {
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        assert_ne!(a, b, "sequential IDs differ");
+        assert_eq!(TraceId::parse(&a.to_string()), Some(a));
+        assert_eq!(TraceId::parse("ff"), Some(TraceId(255)));
+        assert_eq!(TraceId::parse(""), None);
+        assert_eq!(TraceId::parse("zz"), None);
+        assert_eq!(TraceId::parse(&"f".repeat(33)), None);
+    }
+
+    #[test]
+    fn spans_nest_and_attrs_attach_to_the_innermost() {
+        let ctx = TraceContext::new(TraceId(7));
+        let _guard = install(&ctx);
+        {
+            let _outer = trace_span("outer");
+            attr_str("route", "/x");
+            {
+                let _inner = trace_span("inner");
+                attr_int("k", 42);
+            }
+            event("ping", &[("n", AttrValue::Int(1))]);
+        }
+        let snap = ctx.snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        let outer = &snap.spans[0];
+        let inner = &snap.spans[1];
+        let ping = &snap.spans[2];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.attrs, vec![("route".to_string(), AttrValue::Str("/x".into()))]);
+        assert_eq!(inner.parent, Some(0));
+        assert_eq!(inner.attrs, vec![("k".to_string(), AttrValue::Int(42))]);
+        assert_eq!(ping.parent, Some(0), "events attach under the open span");
+        assert!(outer.finished && inner.finished && ping.finished);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.duration_ns <= outer.start_ns + outer.duration_ns);
+    }
+
+    #[test]
+    fn no_trace_means_no_collection() {
+        assert!(current().is_none());
+        let _s = trace_span("ignored");
+        attr_int("ignored", 1);
+        event("ignored", &[]);
+        assert!(snapshot_current().is_none());
+    }
+
+    #[test]
+    fn captured_current_attaches_worker_spans_under_the_capture_point() {
+        let ctx = TraceContext::new(TraceId(9));
+        let _guard = install(&ctx);
+        let _root = trace_span("root");
+        let capture = current().expect("trace active");
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let _g = capture.install();
+                let _child = trace_span("worker");
+                attr_bool("threaded", true);
+            });
+        });
+        let snap = ctx.snapshot();
+        let worker = snap.spans.iter().find(|s| s.name == "worker").expect("worker span");
+        let root = snap.spans.iter().position(|s| s.name == "root").unwrap();
+        assert_eq!(worker.parent, Some(root));
+    }
+
+    #[test]
+    fn install_guard_restores_the_previous_trace() {
+        let outer = TraceContext::new(TraceId(1));
+        let inner = TraceContext::new(TraceId(2));
+        let _g1 = install(&outer);
+        assert_eq!(current_id(), Some(TraceId(1)));
+        {
+            let _g2 = install(&inner);
+            assert_eq!(current_id(), Some(TraceId(2)));
+        }
+        assert_eq!(current_id(), Some(TraceId(1)), "previous trace restored");
+    }
+
+    #[test]
+    fn snapshot_marks_open_spans_unfinished() {
+        let ctx = TraceContext::new(TraceId(3));
+        let _guard = install(&ctx);
+        let _open = trace_span("still-running");
+        let snap = ctx.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert!(!snap.spans[0].finished);
+        let text = render_text(&snap);
+        assert!(text.contains("still-running"));
+        assert!(text.contains("(open)"));
+    }
+}

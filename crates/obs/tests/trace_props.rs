@@ -1,0 +1,169 @@
+//! Seeded property tests for span-tree well-formedness: random nesting
+//! shapes (driven by a SplitMix64 stream) must always produce trees whose
+//! child intervals nest inside their parents with non-negative durations,
+//! and concurrent traces on different threads must never interleave into
+//! each other's trees.
+
+use dtc_obs::trace::{self, TraceContext, TraceId, TraceSnapshot};
+
+/// Deterministic pseudo-random stream; same seed, same tree shape.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// Opens a random span tree on the installed trace: at each level, a few
+/// children, each recursing with shrinking probability. Returns the number
+/// of spans opened.
+fn random_tree(rng: &mut SplitMix64, tag: &str, depth: usize) -> usize {
+    let children = rng.below(4) as usize;
+    let mut opened = 0;
+    for c in 0..children {
+        let _span = trace::trace_span(&format!("{tag}-d{depth}c{c}"));
+        trace::attr_int("depth", depth as i64);
+        opened += 1;
+        if depth < 4 && rng.below(100) < 60 {
+            opened += random_tree(rng, tag, depth + 1);
+        }
+        if rng.below(100) < 30 {
+            trace::event(&format!("{tag}-event"), &[("at", (depth as i64).into())]);
+            opened += 1;
+        }
+    }
+    opened
+}
+
+/// The well-formedness invariants every snapshot must satisfy.
+fn assert_well_formed(snap: &TraceSnapshot) {
+    for (i, span) in snap.spans.iter().enumerate() {
+        assert!(span.finished, "span {i} ({}) left open", span.name);
+        // duration_ns is unsigned, so non-negativity reduces to the end
+        // offset not preceding the start offset.
+        let end = span.start_ns.checked_add(span.duration_ns).expect("no overflow");
+        if let Some(p) = span.parent {
+            assert!(p < i, "parents precede children in the arena");
+            let parent = &snap.spans[p];
+            assert!(
+                span.start_ns >= parent.start_ns,
+                "span {i} ({}) starts at {} before its parent {} at {}",
+                span.name,
+                span.start_ns,
+                parent.name,
+                parent.start_ns
+            );
+            let parent_end = parent.start_ns + parent.duration_ns;
+            assert!(
+                end <= parent_end,
+                "span {i} ({}) ends at {end} after its parent {} at {parent_end}",
+                span.name,
+                parent.name
+            );
+        }
+    }
+}
+
+#[test]
+fn random_trees_are_well_formed_for_many_seeds() {
+    for seed in 0..64u64 {
+        let ctx = TraceContext::new(TraceId(seed as u128));
+        let opened = {
+            let _guard = trace::install(&ctx);
+            let _root = trace::trace_span("root");
+            1 + random_tree(&mut SplitMix64(seed), "s", 0)
+        };
+        let snap = ctx.snapshot();
+        assert_eq!(snap.spans.len(), opened, "seed {seed}: every open is collected");
+        assert_well_formed(&snap);
+        assert_eq!(snap.id, TraceId(seed as u128).to_string());
+    }
+}
+
+#[test]
+fn concurrent_traces_never_interleave() {
+    // Each thread runs its own trace with thread-tagged span names while
+    // all of them race; afterwards every tree must contain only its own
+    // tags and still be well formed.
+    let threads = 8;
+    let contexts: Vec<_> =
+        (0..threads).map(|t| TraceContext::new(TraceId(0x1000 + t as u128))).collect();
+    std::thread::scope(|scope| {
+        for (t, ctx) in contexts.iter().enumerate() {
+            scope.spawn(move || {
+                let _guard = trace::install(ctx);
+                let _root = trace::trace_span(&format!("t{t}-root"));
+                let mut rng = SplitMix64(0xc0ffee + t as u64);
+                random_tree(&mut rng, &format!("t{t}"), 0);
+            });
+        }
+    });
+    for (t, ctx) in contexts.iter().enumerate() {
+        let snap = ctx.snapshot();
+        assert_well_formed(&snap);
+        assert!(!snap.spans.is_empty());
+        let tag = format!("t{t}");
+        for span in &snap.spans {
+            assert!(
+                span.name.starts_with(&tag),
+                "trace {t} contains foreign span {:?}",
+                span.name
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_fanout_lands_in_one_tree_without_cross_talk() {
+    // One trace fans out over scoped workers (the run_batch shape) while a
+    // second, unrelated trace runs concurrently on another thread.
+    let traced = TraceContext::new(TraceId(1));
+    let bystander = TraceContext::new(TraceId(2));
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let _guard = trace::install(&bystander);
+            for i in 0..50 {
+                let _s = trace::trace_span(&format!("bystander-{i}"));
+            }
+        });
+        scope.spawn(|| {
+            let _guard = trace::install(&traced);
+            let _root = trace::trace_span("batch");
+            let capture = trace::current().expect("trace active");
+            std::thread::scope(|inner| {
+                for w in 0..4 {
+                    let capture = capture.clone();
+                    inner.spawn(move || {
+                        let _g = capture.install();
+                        let _s = trace::trace_span(&format!("worker-{w}"));
+                        trace::attr_int("worker", w);
+                    });
+                }
+            });
+        });
+    });
+    let snap = traced.snapshot();
+    assert_well_formed(&snap);
+    let batch = snap.spans.iter().position(|s| s.name == "batch").expect("root span");
+    let workers: Vec<_> = snap.spans.iter().filter(|s| s.name.starts_with("worker-")).collect();
+    assert_eq!(workers.len(), 4);
+    for w in workers {
+        assert_eq!(w.parent, Some(batch), "worker spans nest under the capture point");
+    }
+    assert!(
+        snap.spans.iter().all(|s| !s.name.starts_with("bystander")),
+        "no cross-trace leakage"
+    );
+    let other = bystander.snapshot();
+    assert_eq!(other.spans.len(), 50);
+    assert!(other.spans.iter().all(|s| s.name.starts_with("bystander")));
+}

@@ -93,6 +93,15 @@ pub fn run(config: &BenchConfig) -> Result<Value, ServeError> {
                 ("total", Value::Int(summary.total as i64)),
                 ("ok", Value::Int(summary.ok as i64)),
                 ("failed", Value::Int(summary.failed as i64)),
+                (
+                    "failures_by_status",
+                    Value::object(
+                        summary
+                            .failures_by_status
+                            .iter()
+                            .map(|(k, n)| (k.clone(), Value::Int(*n as i64))),
+                    ),
+                ),
                 ("served", Value::Int(requests_served as i64)),
             ]),
         ),
@@ -156,6 +165,19 @@ pub fn validate_bench_doc(doc: &Value) -> Result<(), String> {
     if total <= 0 {
         return Err("requests.total must be positive".into());
     }
+    let by_status = requests
+        .get("failures_by_status")
+        .and_then(Value::as_table)
+        .ok_or("missing requests.failures_by_status object")?;
+    let breakdown: i64 = by_status.values().filter_map(Value::as_i64).sum();
+    if by_status.values().any(|v| v.as_i64().is_none_or(|n| n < 0)) {
+        return Err("failures_by_status values must be non-negative integers".into());
+    }
+    if breakdown != failed {
+        return Err(format!(
+            "failures_by_status sums to {breakdown} but requests.failed is {failed}"
+        ));
+    }
 
     if num("rps")? < 0.0 {
         return Err("rps must be non-negative".into());
@@ -194,7 +216,8 @@ mod tests {
             r#"{
               "bench": "serve", "command": "cargo run",
               "duration_seconds": 1.0, "clients": 2, "mix": 2,
-              "requests": {"total": 10, "ok": 9, "failed": 1, "served": 9},
+              "requests": {"total": 10, "ok": 9, "failed": 1,
+                           "failures_by_status": {"503": 1}, "served": 9},
               "rps": 10.0, "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0,
               "shed_rate": 0.1, "cache_hit_ratio": 0.5,
               "cache": {"hits": 5, "misses": 5, "joins": 1, "evictions": 0, "entries": 2}
@@ -236,5 +259,15 @@ mod tests {
             }
         }
         assert!(validate_bench_doc(&doc).unwrap_err().contains("total"));
+
+        // The per-status breakdown must account for every failure.
+        let mut doc = minimal_doc();
+        if let Value::Table(t) = &mut doc {
+            let requests = t.get_mut("requests").unwrap();
+            if let Value::Table(r) = requests {
+                r.insert("failures_by_status".into(), Value::object([("503", Value::Int(9))]));
+            }
+        }
+        assert!(validate_bench_doc(&doc).unwrap_err().contains("failures_by_status"));
     }
 }

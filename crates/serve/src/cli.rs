@@ -31,6 +31,14 @@ routes:
   GET  /v2/model/dot    ?scenario=NAME[&catalog=table7|fig7] — the compiled
                         GSPN of a bundled-catalog scenario as Graphviz DOT
   GET  /v1/cache/keys   stored content-addressed keys
+  GET  /v2/debug/trace  ?id=TRACE_ID — one request's span tree (the ID every
+                        response echoes as X-Dtc-Trace-Id); POST /v2/evaluate
+                        with ?trace=1 inlines the tree in the response
+  GET  /v2/debug/traces recent traces, newest first (bounded ring)
+  GET  /v2/debug/slow   slowest retained traces (survive ring rotation)
+
+diagnostics are JSON lines on stderr; set DTC_LOG=error|warn|info|debug
+(default info; debug logs every request with its trace id)
 
 the full request/response cookbook is in docs/HTTP_API.md
 ";
@@ -80,11 +88,14 @@ pub fn run_serve(args: &[String]) -> i32 {
     };
     match Server::start(&config) {
         Ok(server) => {
-            eprintln!(
-                "dtc-serve listening on http://{} ({} worker(s), queue {})",
-                server.addr(),
-                config.threads.max(1),
-                config.queue.max(1),
+            dtc_obs::log::info(
+                "dtc-serve",
+                "listening",
+                &[
+                    ("addr", server.addr().to_string().into()),
+                    ("workers", (config.threads.max(1) as i64).into()),
+                    ("queue", (config.queue.max(1) as i64).into()),
+                ],
             );
             server.join();
             0

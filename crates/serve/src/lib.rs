@@ -24,6 +24,17 @@
 //!   GSPN of a bundled-catalog scenario as Graphviz DOT, so clients can
 //!   *see* the model their numbers come from.
 //! * `GET /v1/cache/keys` — the content-addressed keys currently stored.
+//! * `GET /v2/debug/trace?id=…` / `GET /v2/debug/traces` /
+//!   `GET /v2/debug/slow` — the request-scoped span trees: one trace by
+//!   ID, the recent-trace ring, and the slowest-N reservoir (see
+//!   [`trace_store`]).
+//!
+//! Every request runs under a [`dtc_obs::trace::TraceContext`]: the trace
+//! ID is taken from an inbound `X-Dtc-Trace-Id` header when present
+//! (else generated), echoed back on every response — errors included —
+//! and `?trace=1` on `POST /v2/evaluate` inlines the span tree into the
+//! response body. Diagnostics go through [`dtc_obs::log`] as JSON lines
+//! on stderr (`DTC_LOG=error|warn|info|debug`).
 //!
 //! The full request/response cookbook lives in `docs/HTTP_API.md`.
 //!
@@ -46,6 +57,7 @@ pub mod cli;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+pub mod trace_store;
 
 use dtc_core::analysis::AnalysisRequest;
 use dtc_engine::value::Value;
@@ -53,6 +65,7 @@ use dtc_engine::{
     catalogs, parse_analyses, results_to_value, run_batch, Catalog, EngineError, EvalCache,
     RunOptions,
 };
+use dtc_obs::trace::{self, TraceContext, TraceId};
 use http::{read_request, write_response, ReadError, Request, Response, TooLargeKind};
 use metrics::ServeMetrics;
 use std::collections::VecDeque;
@@ -63,6 +76,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use trace_store::{StoredTrace, TraceStore};
 
 /// Server construction/runtime errors.
 #[derive(Debug)]
@@ -192,6 +206,7 @@ struct Shared {
     evaluations: AtomicUsize,
     rejected: AtomicUsize,
     metrics: ServeMetrics,
+    traces: TraceStore,
 }
 
 /// A running evaluation service; dropping it does **not** stop the
@@ -231,6 +246,7 @@ impl Server {
             evaluations: AtomicUsize::new(0),
             rejected: AtomicUsize::new(0),
             metrics: ServeMetrics::new(worker_count, config.queue.max(1)),
+            traces: TraceStore::new(trace_store::DEFAULT_RING, trace_store::DEFAULT_SLOW),
         });
 
         let workers = (0..worker_count)
@@ -321,10 +337,12 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if let Err(mut stream) = shared.backlog.try_push(stream) {
             // Saturated: refuse immediately instead of buffering without
             // bound. The client should retry with backoff.
+            let shed_started = Instant::now();
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             shared.metrics.sheds.inc();
             let mut resp = Response::error(503, "evaluation queue is full, retry later");
             resp.extra.push(("retry-after", "1".to_string()));
+            stamp_response(&mut resp, TraceId::generate(), shed_started);
             let _ = write_response(&mut stream, &resp, false);
         }
     }
@@ -338,6 +356,15 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Stamps the observability response headers every answer carries —
+/// errors, sheds and unroutable requests included: `x-dtc-trace-id` (so
+/// the client can quote the ID in a bug report even when nothing was
+/// recorded) and `x-dtc-duration-us`.
+fn stamp_response(resp: &mut Response, id: TraceId, started: Instant) {
+    resp.extra.push(("x-dtc-duration-us", started.elapsed().as_micros().to_string()));
+    resp.extra.push(("x-dtc-trace-id", id.to_string()));
+}
+
 fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
     // An idle or trickling peer cannot pin a worker forever.
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
@@ -345,6 +372,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut served_on_connection = 0usize;
     loop {
+        let read_started = Instant::now();
         let request = match read_request(&mut reader) {
             Ok(Some(request)) => request,
             Ok(None) => return Ok(()), // peer closed between requests
@@ -357,13 +385,15 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
                     TooLargeKind::Body => ("body_too_large", "body"),
                 };
                 shared.metrics.observe_read_error(label);
-                let resp =
+                let mut resp =
                     Response::error(kind.status(), &format!("{what} exceeds the server limit"));
+                stamp_response(&mut resp, TraceId::generate(), read_started);
                 return write_response(&mut writer, &resp, false);
             }
             Err(ReadError::Malformed(msg)) => {
                 shared.metrics.observe_read_error("malformed");
-                let resp = Response::error(400, &msg);
+                let mut resp = Response::error(400, &msg);
+                stamp_response(&mut resp, TraceId::generate(), read_started);
                 return write_response(&mut writer, &resp, false);
             }
         };
@@ -373,13 +403,49 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
         }
         let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
         let started = Instant::now();
-        let mut response = route(shared, &request);
+        // Every request runs under its own trace: the inbound
+        // `X-Dtc-Trace-Id` wins (so callers can correlate across systems),
+        // else one is minted. The context is installed only for the
+        // duration of routing — the guard must drop before the snapshot.
+        let trace_id = request
+            .header("x-dtc-trace-id")
+            .and_then(TraceId::parse)
+            .unwrap_or_else(TraceId::generate);
+        let ctx = TraceContext::new(trace_id);
+        let mut response = {
+            let _guard = trace::install(&ctx);
+            let _root = trace::trace_span("request");
+            trace::attr_str("method", &request.method);
+            trace::attr_str("route", metrics::route_label(request.path()));
+            let response = route(shared, &request);
+            trace::attr_int("status", response.status as i64);
+            response
+        };
         let micros = started.elapsed().as_micros();
-        response.extra.push(("x-dtc-duration-us", micros.to_string()));
+        stamp_response(&mut response, ctx.id(), started);
         shared.metrics.observe_request(
             request.path(),
             response.status,
             started.elapsed().as_secs_f64(),
+        );
+        shared.traces.record(StoredTrace {
+            id: ctx.id().to_string(),
+            method: request.method.clone(),
+            route: metrics::route_label(request.path()).to_string(),
+            status: response.status,
+            duration_us: micros as u64,
+            snapshot: ctx.snapshot(),
+        });
+        dtc_obs::log::debug(
+            "dtc-serve",
+            "request",
+            &[
+                ("method", request.method.as_str().into()),
+                ("path", request.path().into()),
+                ("status", (response.status as i64).into()),
+                ("duration_us", (micros as i64).into()),
+                ("trace_id", ctx.id().to_string().into()),
+            ],
         );
         write_response(&mut writer, &response, keep_alive)?;
         served_on_connection += 1;
@@ -398,13 +464,69 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("POST", "/v1/evaluate") => evaluate(shared, request),
         ("POST", "/v2/evaluate") => evaluate_v2(shared, request),
         ("GET", "/v2/model/dot") => model_dot(request),
+        ("GET", "/v2/debug/trace") => debug_trace(shared, request),
+        ("GET", "/v2/debug/traces") => debug_traces(shared),
+        ("GET", "/v2/debug/slow") => debug_slow(shared),
         (
             _,
             "/healthz" | "/metrics" | "/v1/stats" | "/v1/cache/keys" | "/v1/evaluate"
-            | "/v2/evaluate" | "/v2/model/dot",
+            | "/v2/evaluate" | "/v2/model/dot" | "/v2/debug/trace" | "/v2/debug/traces"
+            | "/v2/debug/slow",
         ) => Response::error(405, "method not allowed for this route"),
         _ => Response::error(404, "no such route"),
     }
+}
+
+/// `GET /v2/debug/trace?id=…`: one retained trace — listing metadata plus
+/// the full nested span tree — by the ID echoed in `X-Dtc-Trace-Id`.
+fn debug_trace(shared: &Shared, request: &Request) -> Response {
+    let Some(id) = request.query_param("id") else {
+        return Response::error(
+            400,
+            "debug/trace needs ?id=TRACE_ID (the X-Dtc-Trace-Id of a recent request)",
+        );
+    };
+    match shared.traces.get(&id) {
+        Some(t) => Response::json(200, trace_store::trace_to_value(&t).to_json()),
+        None => {
+            let (ring, slow) = shared.traces.capacities();
+            Response::error(
+                404,
+                &format!(
+                    "no retained trace with id {id:?} (the server keeps the {ring} most \
+                     recent traces plus the {slow} slowest)"
+                ),
+            )
+        }
+    }
+}
+
+/// `GET /v2/debug/traces`: the recent-trace ring, newest first — listing
+/// metadata only; fetch a tree via `/v2/debug/trace?id=…`.
+fn debug_traces(shared: &Shared) -> Response {
+    let traces = shared.traces.recent();
+    let doc = Value::object([
+        ("count", Value::Int(traces.len() as i64)),
+        (
+            "traces",
+            Value::Array(traces.iter().map(|t| trace_store::summary_to_value(t)).collect()),
+        ),
+    ]);
+    Response::json(200, doc.to_json())
+}
+
+/// `GET /v2/debug/slow`: the slowest retained traces, slowest first —
+/// these survive ring rotation, so the worst requests stay inspectable.
+fn debug_slow(shared: &Shared) -> Response {
+    let traces = shared.traces.slowest();
+    let doc = Value::object([
+        ("count", Value::Int(traces.len() as i64)),
+        (
+            "traces",
+            Value::Array(traces.iter().map(|t| trace_store::summary_to_value(t)).collect()),
+        ),
+    ]);
+    Response::json(200, doc.to_json())
 }
 
 /// `GET /metrics`: the Prometheus text scrape — this server's HTTP
@@ -437,9 +559,13 @@ fn bundled_expansions() -> &'static [(String, Vec<dtc_engine::Scenario>)] {
             .into_iter()
             .map(|catalog| {
                 let scenarios = catalog.expand().unwrap_or_else(|e| {
-                    eprintln!(
-                        "dtc-serve: bundled catalog {} does not expand: {e}",
-                        catalog.name
+                    dtc_obs::log::warn(
+                        "dtc-serve",
+                        "bundled catalog does not expand",
+                        &[
+                            ("catalog", catalog.name.as_str().into()),
+                            ("error", e.to_string().into()),
+                        ],
                     );
                     Vec::new()
                 });
@@ -557,13 +683,15 @@ fn evaluate(shared: &Shared, request: &Request) -> Response {
         Ok(catalog) => catalog,
         Err(resp) => return *resp,
     };
-    run_analyses(shared, &catalog, vec![AnalysisRequest::SteadyState], false)
+    run_analyses(shared, &catalog, vec![AnalysisRequest::SteadyState], false, false)
 }
 
 /// `POST /v2/evaluate`: `{"catalog": <catalog document>, "analyses":
 /// [...]}`. The analysis set falls back to the catalog's own `[analyses]`
-/// section (which itself defaults to steady state).
+/// section (which itself defaults to steady state). `?trace=1` inlines
+/// the request's span tree into the response.
 fn evaluate_v2(shared: &Shared, request: &Request) -> Response {
+    let inline_trace = request.query_param("trace").is_some_and(|v| v == "1" || v == "true");
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return Response::error(400, "body is not UTF-8"),
@@ -589,7 +717,7 @@ fn evaluate_v2(shared: &Shared, request: &Request) -> Response {
             Err(e) => return Response::error(400, &format!("bad analyses: {e}")),
         },
     };
-    run_analyses(shared, &catalog, analyses, true)
+    run_analyses(shared, &catalog, analyses, true, inline_trace)
 }
 
 fn parse_catalog_body(body: &[u8]) -> Result<Catalog, Box<Response>> {
@@ -602,17 +730,25 @@ fn parse_catalog_body(body: &[u8]) -> Result<Catalog, Box<Response>> {
 /// The shared evaluation pipeline behind both routes: expand, fan out
 /// through the single-flight cache with the given analysis set, persist,
 /// render. With `include_timings` (the v2 route) the response additionally
-/// carries a `"timings"` object with per-stage wall times in microseconds.
+/// carries a `"timings"` object with per-stage wall times in microseconds;
+/// with `inline_trace` (`?trace=1`) it carries the request's span tree so
+/// far (the `request` root is still open when the snapshot is taken).
 fn run_analyses(
     shared: &Shared,
     catalog: &Catalog,
     analyses: Vec<AnalysisRequest>,
     include_timings: bool,
+    inline_trace: bool,
 ) -> Response {
     let pipeline_started = Instant::now();
-    let scenarios = match catalog.expand() {
-        Ok(scenarios) => scenarios,
-        Err(e) => return Response::error(400, &format!("catalog does not expand: {e}")),
+    let scenarios = {
+        let _span = trace::trace_span("expand");
+        let scenarios = match catalog.expand() {
+            Ok(scenarios) => scenarios,
+            Err(e) => return Response::error(400, &format!("catalog does not expand: {e}")),
+        };
+        trace::attr_int("scenarios", scenarios.len() as i64);
+        scenarios
     };
     let expand_us = pipeline_started.elapsed().as_micros();
     let kinds: Vec<Value> = analyses.iter().map(|a| Value::Str(a.kind().into())).collect();
@@ -622,7 +758,13 @@ fn run_analyses(
     // the pool (neither threads× workers nor one sweep worker per core).
     let opts = RunOptions { threads: shared.eval_threads, analyses, ..RunOptions::default() };
     let evaluate_started = Instant::now();
-    let result = run_batch(&scenarios, &shared.cache, &opts);
+    let result = {
+        let _span = trace::trace_span("evaluate");
+        let result = run_batch(&scenarios, &shared.cache, &opts);
+        trace::attr_int("evaluated", result.evaluated as i64);
+        trace::attr_int("cached", result.cached as i64);
+        result
+    };
     let evaluate_us = evaluate_started.elapsed().as_micros();
     shared.evaluations.fetch_add(1, Ordering::Relaxed);
     let persist_started = Instant::now();
@@ -630,8 +772,13 @@ fn run_analyses(
         // Flush new solves to a disk-backed store right away: a served
         // process is normally stopped by a kill, which would otherwise
         // discard everything since startup. In-memory caches no-op here.
+        let _span = trace::trace_span("persist");
         if let Err(e) = shared.cache.persist() {
-            eprintln!("dtc-serve: warning: cache persist failed: {e}");
+            dtc_obs::log::warn(
+                "dtc-serve",
+                "cache persist failed",
+                &[("error", e.to_string().into())],
+            );
         }
     }
     let persist_us = persist_started.elapsed().as_micros();
@@ -660,6 +807,15 @@ fn run_analyses(
                 ("total_us", Value::Int(pipeline_started.elapsed().as_micros() as i64)),
             ]),
         ));
+    }
+    if inline_trace {
+        // The tree as collected so far: everything below the `request`
+        // root is finished; the root itself is snapshotted mid-flight
+        // (its `open` flag says so) since the response is still being
+        // rendered inside it.
+        if let Some(snapshot) = trace::snapshot_current() {
+            fields.push(("trace", trace_store::snapshot_to_value(&snapshot)));
+        }
     }
     Response::json(200, Value::object(fields).to_json())
 }

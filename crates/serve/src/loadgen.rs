@@ -5,6 +5,7 @@
 //! exercised every time) and the run is summarized as requests/second plus
 //! p50/p95/p99 latency — the repo's end-to-end throughput benchmark.
 
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -60,6 +61,10 @@ pub struct Summary {
     pub ok: usize,
     /// Everything else: non-2xx statuses and socket failures.
     pub failed: usize,
+    /// Failures by kind: a status code (`"503"`, `"400"`, …) for non-2xx
+    /// responses, `"io_error"` for connections that produced no parsable
+    /// status line at all. Values sum to `failed`.
+    pub failures_by_status: BTreeMap<String, usize>,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
     /// Completed requests per second.
@@ -117,7 +122,13 @@ pub fn mix_catalog_json(i: usize) -> String {
     )
 }
 
-fn one_request(opts: &Options, body: &[u8]) -> std::io::Result<(bool, Duration)> {
+/// The status code of a raw HTTP/1.1 response, if the status line parses.
+fn parse_status(response: &[u8]) -> Option<u16> {
+    let rest = response.strip_prefix(b"HTTP/1.1 ")?;
+    std::str::from_utf8(rest.get(..3)?).ok()?.parse().ok()
+}
+
+fn one_request(opts: &Options, body: &[u8]) -> std::io::Result<(Option<u16>, Duration)> {
     let head = format!(
         "{} {} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\ncontent-type: application/json\r\nconnection: close\r\n\r\n",
         opts.method, opts.path, opts.addr, body.len(),
@@ -129,9 +140,7 @@ fn one_request(opts: &Options, body: &[u8]) -> std::io::Result<(bool, Duration)>
     stream.write_all(body)?;
     let mut response = Vec::new();
     stream.read_to_end(&mut response)?;
-    let elapsed = t0.elapsed();
-    let ok = response.starts_with(b"HTTP/1.1 2");
-    Ok((ok, elapsed))
+    Ok((parse_status(&response), t0.elapsed()))
 }
 
 /// Runs the workload and aggregates latencies across every client.
@@ -150,7 +159,7 @@ pub fn run(opts: &Options) -> Summary {
     let next = AtomicUsize::new(0);
     let t0 = Instant::now();
     let deadline = opts.duration.map(|secs| t0 + Duration::from_secs_f64(secs.max(0.0)));
-    let samples: Vec<(bool, Option<Duration>)> = std::thread::scope(|scope| {
+    let samples: Vec<(Option<u16>, Option<Duration>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.clients.max(1))
             .map(|_| {
                 scope.spawn(|| {
@@ -172,8 +181,8 @@ pub fn run(opts: &Options) -> Summary {
                         issued += 1;
                         let body = &bodies[next.fetch_add(1, Ordering::Relaxed) % bodies.len()];
                         match one_request(opts, body) {
-                            Ok((ok, latency)) => local.push((ok, Some(latency))),
-                            Err(_) => local.push((false, None)),
+                            Ok((status, latency)) => local.push((status, Some(latency))),
+                            Err(_) => local.push((None, None)),
                         }
                     }
                     local
@@ -185,7 +194,16 @@ pub fn run(opts: &Options) -> Summary {
     let elapsed = t0.elapsed();
 
     let total = samples.len();
-    let ok = samples.iter().filter(|(ok, _)| *ok).count();
+    let is_ok = |status: &Option<u16>| status.is_some_and(|s| (200..300).contains(&s));
+    let ok = samples.iter().filter(|(status, _)| is_ok(status)).count();
+    let mut failures_by_status: BTreeMap<String, usize> = BTreeMap::new();
+    for (status, _) in samples.iter().filter(|(status, _)| !is_ok(status)) {
+        let key = match status {
+            Some(code) => code.to_string(),
+            None => "io_error".to_string(),
+        };
+        *failures_by_status.entry(key).or_insert(0) += 1;
+    }
     let mut latencies: Vec<Duration> = samples.iter().filter_map(|(_, l)| *l).collect();
     latencies.sort_unstable();
     let percentile = |q: f64| -> f64 {
@@ -199,6 +217,7 @@ pub fn run(opts: &Options) -> Summary {
         total,
         ok,
         failed: total - ok,
+        failures_by_status,
         elapsed,
         rps: if elapsed.as_secs_f64() > 0.0 {
             total as f64 / elapsed.as_secs_f64()
@@ -220,9 +239,17 @@ pub fn render(opts: &Options, s: &Summary) -> String {
         Some(secs) => format!("{secs:.1} s each"),
         None => format!("{} request(s)", opts.requests_per_client),
     };
+    let failures = if s.failed > 0 {
+        let parts: Vec<String> =
+            s.failures_by_status.iter().map(|(k, n)| format!("{k}×{n}")).collect();
+        format!("failures: {}\n", parts.join(", "))
+    } else {
+        String::new()
+    };
     format!(
         "loadgen: {} {} @ {}{mix} — {} client(s) × {workload}\n\
          requests: {} total, {} ok, {} failed\n\
+         {failures}\
          elapsed:  {:.3} s\n\
          rps:      {:.1}\n\
          latency:  p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, max {:.2} ms\n",
@@ -288,7 +315,23 @@ mod tests {
         assert_eq!(s.total, 6);
         assert_eq!(s.ok, 0);
         assert_eq!(s.failed, 6);
+        assert_eq!(
+            s.failures_by_status.get("io_error"),
+            Some(&6),
+            "socket failures land in the io_error bucket"
+        );
+        assert_eq!(s.failures_by_status.values().sum::<usize>(), s.failed);
         assert!(s.p50_ms.is_nan(), "no successful latency samples");
+        assert!(render(&opts, &s).contains("failures: io_error×6"));
+    }
+
+    #[test]
+    fn status_lines_parse_and_non_2xx_counts_as_failure() {
+        assert_eq!(parse_status(b"HTTP/1.1 200 OK\r\n"), Some(200));
+        assert_eq!(parse_status(b"HTTP/1.1 503 Service Unavailable\r\n"), Some(503));
+        assert_eq!(parse_status(b"HTTP/1.1 zzz"), None);
+        assert_eq!(parse_status(b"garbage"), None);
+        assert_eq!(parse_status(b""), None);
     }
 
     #[test]

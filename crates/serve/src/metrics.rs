@@ -27,6 +27,9 @@ const ROUTES: &[&str] = &[
     "/v1/evaluate",
     "/v2/evaluate",
     "/v2/model/dot",
+    "/v2/debug/trace",
+    "/v2/debug/traces",
+    "/v2/debug/slow",
 ];
 
 /// Maps a request path to its bounded `route` label.
@@ -120,13 +123,35 @@ impl ServeMetrics {
     }
 
     /// Assembles the full `/metrics` body: this server's registry, the
-    /// cache snapshot, then the process-global solver registry.
+    /// cache snapshot, and the process-global solver registry, merged into
+    /// **one deterministic family order** (sorted by family name) so two
+    /// scrapes — or two servers — can be diffed line by line.
     pub fn render_scrape(&self, cache: &CacheStats) -> String {
         let mut out = self.registry.render();
         render_cache_section(&mut out, cache);
         dtc_obs::global().render_into(&mut out);
-        out
+        sort_families(&out)
     }
+}
+
+/// Re-orders an exposition text's `# HELP`-led family blocks by family
+/// name. Each section above renders its own families in registration
+/// order, which can differ across processes (first-scraped route, first
+/// solver stage run); sorting makes the concatenation byte-stable.
+fn sort_families(text: &str) -> String {
+    let mut families: Vec<(&str, String)> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            families.push((name, String::new()));
+        }
+        if let Some((_, block)) = families.last_mut() {
+            block.push_str(line);
+            block.push('\n');
+        }
+    }
+    families.sort_by(|a, b| a.0.cmp(b.0));
+    families.into_iter().map(|(_, block)| block).collect()
 }
 
 /// Appends the cache's counters as exposition families. The cache keeps
@@ -195,6 +220,37 @@ mod tests {
         assert!(text.contains("dtc_cache_hits_total 3"));
         assert!(text.contains("dtc_cache_single_flight_joins_total 1"));
         assert!(text.contains("dtc_cache_entries 1"));
+    }
+
+    #[test]
+    fn scrape_families_come_out_in_one_sorted_order() {
+        let m = ServeMetrics::new(2, 8);
+        // Register http families in an order that section-wise
+        // concatenation would NOT interleave with the cache families.
+        m.observe_request("/v2/evaluate", 200, 0.1);
+        m.observe_read_error("malformed");
+        let stats = CacheStats { hits: 1, misses: 1, entries: 1, evictions: 0, joins: 0 };
+        let text = m.render_scrape(&stats);
+
+        let families: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# HELP "))
+            .filter_map(|rest| rest.split_whitespace().next())
+            .collect();
+        assert!(!families.is_empty());
+        let mut sorted = families.clone();
+        sorted.sort_unstable();
+        assert_eq!(families, sorted, "family blocks must be sorted by name");
+
+        // The cache section (dtc_cache_*) sorts *before* the http
+        // section's families — i.e. the three sections really are merged,
+        // not just concatenated.
+        let cache_pos = families.iter().position(|f| f.starts_with("dtc_cache_")).unwrap();
+        let http_pos = families.iter().position(|f| f.starts_with("dtc_http_")).unwrap();
+        assert!(cache_pos < http_pos, "sections interleave alphabetically");
+
+        // Byte-stable across scrapes when nothing changed.
+        assert_eq!(text, m.render_scrape(&stats), "scrape is deterministic");
     }
 
     #[test]

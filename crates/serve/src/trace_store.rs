@@ -1,0 +1,279 @@
+//! Bounded in-memory retention of finished request traces.
+//!
+//! Every request the server answers produces one [`StoredTrace`] (the
+//! span tree from `dtc-obs` plus routing metadata). The store keeps two
+//! bounded views over them:
+//!
+//! * a **ring** of the most recent traces (`GET /v2/debug/traces`), so
+//!   "what just happened" is always answerable, and
+//! * a **slowest-N reservoir** (`GET /v2/debug/slow`), so the worst
+//!   requests survive even after thousands of fast ones have rotated
+//!   through the ring.
+//!
+//! `GET /v2/debug/trace?id=…` searches both, newest first. Memory is
+//! bounded by `ring + slow` snapshots regardless of traffic; a trace that
+//! falls out of both views is gone (this is a debugging aid, not an audit
+//! log).
+
+use dtc_engine::value::Value;
+use dtc_obs::trace::{AttrValue, TraceSnapshot};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// How many recent traces `/v2/debug/traces` retains by default.
+pub const DEFAULT_RING: usize = 128;
+/// How many slowest traces `/v2/debug/slow` retains by default.
+pub const DEFAULT_SLOW: usize = 16;
+
+/// One finished request's trace plus the routing metadata needed to list
+/// it without walking the span tree.
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    /// The trace ID as echoed in `X-Dtc-Trace-Id` (32 lowercase hex digits).
+    pub id: String,
+    /// Request method (`GET`, `POST`, …).
+    pub method: String,
+    /// Bounded route label (see [`crate::metrics::route_label`]).
+    pub route: String,
+    /// Response status code.
+    pub status: u16,
+    /// Wall time from parsed request to serialized response.
+    pub duration_us: u64,
+    /// The full span tree captured when the request finished.
+    pub snapshot: TraceSnapshot,
+}
+
+/// The two bounded views, behind one lock (recording is a few pushes per
+/// request — far off the hot path's lock-free counters).
+#[derive(Debug)]
+struct Inner {
+    ring: VecDeque<Arc<StoredTrace>>,
+    /// Sorted by `duration_us` descending; ties keep insertion order.
+    slow: Vec<Arc<StoredTrace>>,
+}
+
+/// Bounded retention of finished traces: a recency ring plus a slowest-N
+/// reservoir. See the module docs for the exposed routes.
+#[derive(Debug)]
+pub struct TraceStore {
+    inner: Mutex<Inner>,
+    ring_cap: usize,
+    slow_cap: usize,
+}
+
+impl TraceStore {
+    /// A store keeping the `ring_cap` most recent and `slow_cap` slowest
+    /// traces (each capacity is at least 1).
+    pub fn new(ring_cap: usize, slow_cap: usize) -> TraceStore {
+        TraceStore {
+            inner: Mutex::new(Inner {
+                ring: VecDeque::with_capacity(ring_cap.max(1)),
+                slow: Vec::with_capacity(slow_cap.max(1) + 1),
+            }),
+            ring_cap: ring_cap.max(1),
+            slow_cap: slow_cap.max(1),
+        }
+    }
+
+    /// Records one finished trace into both views, evicting the oldest
+    /// ring entry and the fastest reservoir entry as needed.
+    pub fn record(&self, trace: StoredTrace) {
+        let trace = Arc::new(trace);
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        if inner.ring.len() >= self.ring_cap {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(Arc::clone(&trace));
+        // Insert after the last entry at least as slow, keeping the vec
+        // sorted descending with stable ties.
+        let at = inner.slow.partition_point(|t| t.duration_us >= trace.duration_us);
+        inner.slow.insert(at, trace);
+        inner.slow.truncate(self.slow_cap);
+    }
+
+    /// Looks a trace up by ID, searching the ring newest-first and then
+    /// the slow reservoir.
+    pub fn get(&self, id: &str) -> Option<Arc<StoredTrace>> {
+        let inner = self.inner.lock().expect("trace store poisoned");
+        inner.ring.iter().rev().chain(inner.slow.iter()).find(|t| t.id == id).map(Arc::clone)
+    }
+
+    /// The retained recent traces, newest first.
+    pub fn recent(&self) -> Vec<Arc<StoredTrace>> {
+        let inner = self.inner.lock().expect("trace store poisoned");
+        inner.ring.iter().rev().map(Arc::clone).collect()
+    }
+
+    /// The retained slowest traces, slowest first.
+    pub fn slowest(&self) -> Vec<Arc<StoredTrace>> {
+        let inner = self.inner.lock().expect("trace store poisoned");
+        inner.slow.iter().map(Arc::clone).collect()
+    }
+
+    /// Retention capacities `(ring, slow)`, for error messages.
+    pub fn capacities(&self) -> (usize, usize) {
+        (self.ring_cap, self.slow_cap)
+    }
+}
+
+/// One attribute value as JSON.
+fn attr_to_value(attr: &AttrValue) -> Value {
+    match attr {
+        AttrValue::Int(v) => Value::Int(*v),
+        AttrValue::Float(v) => Value::Float(*v),
+        AttrValue::Str(v) => Value::Str(v.clone()),
+        AttrValue::Bool(v) => Value::Bool(*v),
+    }
+}
+
+fn span_to_value(snapshot: &TraceSnapshot, index: usize) -> Value {
+    let span = &snapshot.spans[index];
+    let mut fields = vec![
+        ("name", Value::Str(span.name.clone())),
+        ("start_us", Value::Int((span.start_ns / 1_000) as i64)),
+        ("duration_us", Value::Int((span.duration_ns / 1_000) as i64)),
+    ];
+    if !span.finished {
+        // Only present (and true) for spans still open when the snapshot
+        // was taken — e.g. the request root inside a `?trace=1` response.
+        fields.push(("open", Value::Bool(true)));
+    }
+    if !span.attrs.is_empty() {
+        fields.push((
+            "attrs",
+            Value::object(span.attrs.iter().map(|(k, v)| (k.clone(), attr_to_value(v)))),
+        ));
+    }
+    let children: Vec<Value> = snapshot
+        .children_of(Some(index))
+        .into_iter()
+        .map(|child| span_to_value(snapshot, child))
+        .collect();
+    if !children.is_empty() {
+        fields.push(("children", Value::Array(children)));
+    }
+    Value::object(fields)
+}
+
+/// A span-tree snapshot as nested JSON: each node is `{"name", "start_us",
+/// "duration_us", ["open"], ["attrs"], ["children"]}` with `start_us`
+/// relative to the trace's start.
+pub fn snapshot_to_value(snapshot: &TraceSnapshot) -> Value {
+    let roots: Vec<Value> =
+        snapshot.children_of(None).into_iter().map(|i| span_to_value(snapshot, i)).collect();
+    Value::object([
+        ("trace_id", Value::Str(snapshot.id.clone())),
+        ("span_count", Value::Int(snapshot.spans.len() as i64)),
+        ("duration_us", Value::Int((snapshot.duration_ns() / 1_000) as i64)),
+        ("spans", Value::Array(roots)),
+    ])
+}
+
+/// A stored trace as the full `GET /v2/debug/trace` document: the listing
+/// metadata plus the nested span tree.
+pub fn trace_to_value(trace: &StoredTrace) -> Value {
+    Value::object([
+        ("trace_id", Value::Str(trace.id.clone())),
+        ("method", Value::Str(trace.method.clone())),
+        ("route", Value::Str(trace.route.clone())),
+        ("status", Value::Int(trace.status as i64)),
+        ("duration_us", Value::Int(trace.duration_us as i64)),
+        ("trace", snapshot_to_value(&trace.snapshot)),
+    ])
+}
+
+/// A stored trace as one row of the `GET /v2/debug/traces` /
+/// `GET /v2/debug/slow` listings: metadata only, no tree.
+pub fn summary_to_value(trace: &StoredTrace) -> Value {
+    Value::object([
+        ("trace_id", Value::Str(trace.id.clone())),
+        ("method", Value::Str(trace.method.clone())),
+        ("route", Value::Str(trace.route.clone())),
+        ("status", Value::Int(trace.status as i64)),
+        ("duration_us", Value::Int(trace.duration_us as i64)),
+        ("span_count", Value::Int(trace.snapshot.spans.len() as i64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtc_obs::trace::{self, TraceContext, TraceId};
+
+    fn stored(id: &str, duration_us: u64) -> StoredTrace {
+        let ctx = TraceContext::new(TraceId(duration_us as u128));
+        {
+            let _guard = trace::install(&ctx);
+            let _root = trace::trace_span("request");
+            trace::attr_int("status", 200);
+            let _child = trace::trace_span("explore");
+        }
+        StoredTrace {
+            id: id.to_string(),
+            method: "GET".into(),
+            route: "/healthz".into(),
+            status: 200,
+            duration_us,
+            snapshot: ctx.snapshot(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_reservoir_keeps_slowest() {
+        let store = TraceStore::new(3, 2);
+        for i in 0..10u64 {
+            // Trace 0 is the slowest ever seen; 1..=9 get faster then slower.
+            let duration = if i == 0 { 1_000_000 } else { 100 + i };
+            store.record(stored(&format!("t{i}"), duration));
+        }
+        let recent: Vec<String> = store.recent().iter().map(|t| t.id.clone()).collect();
+        assert_eq!(recent, ["t9", "t8", "t7"], "ring keeps the newest, newest first");
+        let slow: Vec<String> = store.slowest().iter().map(|t| t.id.clone()).collect();
+        assert_eq!(slow, ["t0", "t9"], "reservoir keeps the slowest, slowest first");
+
+        // t0 left the ring long ago but is still reachable via the
+        // reservoir; t4 is gone from both.
+        assert!(store.get("t0").is_some(), "slow trace survives ring eviction");
+        assert!(store.get("t9").is_some());
+        assert!(store.get("t4").is_none(), "fast old trace is fully evicted");
+    }
+
+    #[test]
+    fn capacities_have_a_floor_of_one() {
+        let store = TraceStore::new(0, 0);
+        assert_eq!(store.capacities(), (1, 1));
+        store.record(stored("a", 5));
+        store.record(stored("b", 1));
+        assert!(store.get("a").is_some(), "a is still the slowest");
+        assert_eq!(store.recent().len(), 1);
+    }
+
+    #[test]
+    fn json_tree_nests_children_and_attrs() {
+        let t = stored("abc", 42);
+        let doc = trace_to_value(&t);
+        assert_eq!(doc.get("trace_id").and_then(Value::as_str), Some("abc"));
+        assert_eq!(doc.get("status").and_then(Value::as_i64), Some(200));
+        let tree = doc.get("trace").expect("tree present");
+        let spans = match tree.get("spans") {
+            Some(Value::Array(spans)) => spans,
+            other => panic!("spans should be an array, got {other:?}"),
+        };
+        assert_eq!(spans.len(), 1, "one root");
+        let root = &spans[0];
+        assert_eq!(root.get("name").and_then(Value::as_str), Some("request"));
+        assert_eq!(
+            root.get("attrs").and_then(|a| a.get("status")).and_then(Value::as_i64),
+            Some(200)
+        );
+        let children = match root.get("children") {
+            Some(Value::Array(children)) => children,
+            other => panic!("children should be an array, got {other:?}"),
+        };
+        assert_eq!(children[0].get("name").and_then(Value::as_str), Some("explore"));
+        assert!(children[0].get("open").is_none(), "finished spans carry no open flag");
+        // The document round-trips through the JSON layer.
+        let json = doc.to_json();
+        assert!(Value::from_json(&json).is_ok(), "debug document is valid JSON");
+    }
+}

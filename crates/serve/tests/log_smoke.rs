@@ -1,0 +1,120 @@
+//! `DTC_LOG=debug` smoke over a real `dtc serve` subprocess: every stderr
+//! line must be one valid JSON object with `ts_ms`/`level`/`target`/`msg`
+//! fields, the startup line announces the bound address, and per-request
+//! debug lines carry the request's trace ID — including one supplied by
+//! the client.
+
+use dtc_engine::value::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Kills the server on every exit path, panicking or not.
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn one_request(addr: &str, extra_headers: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let head = format!(
+        "GET /healthz HTTP/1.1\r\nhost: test\r\n{extra_headers}connection: close\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes()).expect("write");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    String::from_utf8_lossy(&raw).to_string()
+}
+
+#[test]
+fn debug_log_lines_are_json_and_carry_trace_ids() {
+    let child = Command::new(env!("CARGO_BIN_EXE_dtc"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "1"])
+        .env("DTC_LOG", "debug")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dtc serve");
+    let mut child = KillOnDrop(child);
+    let stderr = child.0.stderr.take().expect("stderr piped");
+
+    // Ship stderr lines over a channel so the test can time out instead of
+    // blocking forever if the server never says anything.
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let next_line = || -> String {
+        rx.recv_timeout(Duration::from_secs(60)).expect("a log line within 60s")
+    };
+
+    // Every line the server emits must be one self-contained JSON object
+    // with the standard envelope.
+    let parse = |line: &str| -> Value {
+        let doc = Value::from_json(line)
+            .unwrap_or_else(|e| panic!("stderr line is not JSON ({e}): {line:?}"));
+        for key in ["ts_ms", "level", "target", "msg"] {
+            assert!(doc.get(key).is_some(), "log line lacks {key:?}: {line:?}");
+        }
+        assert_eq!(doc.get("target").and_then(Value::as_str), Some("dtc-serve"));
+        doc
+    };
+
+    // The startup line announces the bound (ephemeral) address at info.
+    let addr = loop {
+        let line = next_line();
+        let doc = parse(&line);
+        if doc.get("msg").and_then(Value::as_str) == Some("listening") {
+            assert_eq!(doc.get("level").and_then(Value::as_str), Some("info"));
+            break doc
+                .get("addr")
+                .and_then(Value::as_str)
+                .expect("listening line carries addr")
+                .to_string();
+        }
+    };
+
+    // A plain request logs a debug line with a generated trace id…
+    let response = one_request(&addr, "");
+    assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
+    let logged_id = loop {
+        let doc = parse(&next_line());
+        if doc.get("msg").and_then(Value::as_str) == Some("request") {
+            assert_eq!(doc.get("level").and_then(Value::as_str), Some("debug"));
+            assert_eq!(doc.get("path").and_then(Value::as_str), Some("/healthz"));
+            assert_eq!(doc.get("status").and_then(Value::as_i64), Some(200));
+            break doc
+                .get("trace_id")
+                .and_then(Value::as_str)
+                .expect("request line carries trace_id")
+                .to_string();
+        }
+    };
+    assert_eq!(logged_id.len(), 32);
+    assert!(logged_id.bytes().all(|b| b.is_ascii_hexdigit()));
+
+    // …and a client-supplied X-Dtc-Trace-Id shows up verbatim in the log.
+    let custom = "0123456789abcdef0123456789abcdef";
+    let response = one_request(&addr, &format!("x-dtc-trace-id: {custom}\r\n"));
+    assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
+    loop {
+        let doc = parse(&next_line());
+        if doc.get("msg").and_then(Value::as_str) == Some("request")
+            && doc.get("trace_id").and_then(Value::as_str) == Some(custom)
+        {
+            break;
+        }
+    }
+}

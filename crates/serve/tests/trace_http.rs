@@ -1,0 +1,281 @@
+//! Request-scoped tracing over real TCP: `?trace=1` inlines a span tree
+//! whose solver nodes carry numerics attributes, the same tree is
+//! retrievable by its `X-Dtc-Trace-Id` via the debug routes, inbound
+//! trace IDs are honored, and **every** error shape — 400/404/405/413/431
+//! and the acceptor's 503 shed — carries the trace-ID and duration
+//! headers.
+
+use dtc_engine::value::Value;
+use dtc_serve::{loadgen, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One connection-per-request exchange with optional extra headers;
+/// returns the whole response text.
+fn raw_request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &str,
+    body: Option<&str>,
+) -> String {
+    let payload = body.unwrap_or("");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\n{extra_headers}content-length: {}\r\nconnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(payload.as_bytes()).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    String::from_utf8(raw).expect("UTF-8 response")
+}
+
+fn raw_request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> String {
+    raw_request_with(addr, method, path, "", body)
+}
+
+fn status_of(text: &str) -> u16 {
+    text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status line")
+}
+
+fn body_of(text: &str) -> String {
+    text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default()
+}
+
+fn header_of(text: &str, name: &str) -> Option<String> {
+    let prefix = format!("{name}: ");
+    text.split_once("\r\n\r\n")?
+        .0
+        .lines()
+        .find_map(|l| l.to_lowercase().strip_prefix(&prefix).map(str::to_string))
+}
+
+/// Depth-first search for a span node by name anywhere under `node`.
+fn find_span<'a>(node: &'a Value, name: &str) -> Option<&'a Value> {
+    if node.get("name").and_then(Value::as_str) == Some(name) {
+        return Some(node);
+    }
+    node.get("children")?.as_array()?.iter().find_map(|child| find_span(child, name))
+}
+
+fn attr_i64(span: &Value, key: &str) -> Option<i64> {
+    span.get("attrs")?.get(key)?.as_i64()
+}
+
+/// The standard traced workload: the tiny catalog with a steady-state and
+/// a transient analysis, so one request exercises the stationary solver
+/// (iterations/residual) *and* the uniformization path (truncation depth).
+fn traced_body() -> String {
+    format!(
+        "{{\"catalog\":{},\"analyses\":[\"steady_state\",{{\"kind\":\"transient\",\"time_points\":[1.0,24.0]}}]}}",
+        loadgen::tiny_catalog_json()
+    )
+}
+
+#[test]
+fn trace_tree_reaches_the_solver_and_is_retrievable_by_id() {
+    let server = Server::start(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        queue: 16,
+        eval_threads: 1,
+        cache_path: None,
+        cache_cap: None,
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    let text = raw_request(addr, "POST", "/v2/evaluate?trace=1", Some(&traced_body()));
+    assert_eq!(status_of(&text), 200, "{text}");
+    let trace_id = header_of(&text, "x-dtc-trace-id").expect("trace-id header on 200");
+    assert_eq!(trace_id.len(), 32, "trace id is 32 hex digits: {trace_id:?}");
+    assert!(trace_id.bytes().all(|b| b.is_ascii_hexdigit()));
+
+    // The inlined tree: request (still open at snapshot time) → evaluate
+    // → scenario → the solver stages with their numerics attributes.
+    let doc = Value::from_json(&body_of(&text)).expect("valid JSON");
+    let tree = doc.get("trace").expect("?trace=1 inlines a trace object");
+    assert_eq!(tree.get("trace_id").and_then(Value::as_str), Some(trace_id.as_str()));
+    let roots = tree.get("spans").and_then(Value::as_array).expect("spans array");
+    assert_eq!(roots.len(), 1, "one request root");
+    let root = &roots[0];
+    assert_eq!(root.get("name").and_then(Value::as_str), Some("request"));
+    assert_eq!(
+        root.get("open").and_then(Value::as_bool),
+        Some(true),
+        "the request root is snapshotted mid-flight"
+    );
+
+    let evaluate = find_span(root, "evaluate").expect("evaluate stage under the root");
+    let scenario = find_span(evaluate, "scenario").expect("scenario span under evaluate");
+    let explore = find_span(scenario, "explore").expect("explore nested under scenario");
+    assert!(attr_i64(explore, "states").is_some_and(|n| n > 0), "explore carries state count");
+
+    let solve = find_span(scenario, "stationary_solve").expect("stationary_solve span");
+    assert!(attr_i64(solve, "iterations").is_some_and(|n| n > 0), "iteration count attr");
+    assert!(
+        solve
+            .get("attrs")
+            .and_then(|a| a.get("residual"))
+            .and_then(Value::as_f64)
+            .is_some_and(|r| r.is_finite() && r >= 0.0),
+        "final residual attr"
+    );
+
+    let pass = find_span(scenario, "uniformized_pass").expect("uniformized_pass span");
+    let build = find_span(pass, "uniformized_build").expect("uniformized_build under pass");
+    assert!(attr_i64(build, "transitions").is_some_and(|n| n > 0));
+    let march = find_span(pass, "march").expect("march under uniformized_pass");
+    assert!(attr_i64(march, "truncation_k").is_some_and(|k| k > 0), "truncation depth attr");
+
+    // The cache lookup landed in the tree as a zero-length event.
+    assert!(find_span(scenario, "cache_lookup").is_some(), "cache outcome event");
+
+    // The same tree, fetched later by ID from the retention store — now
+    // with the request root finished and status/duration metadata.
+    let fetched = raw_request(addr, "GET", &format!("/v2/debug/trace?id={trace_id}"), None);
+    assert_eq!(status_of(&fetched), 200, "{fetched}");
+    let stored = Value::from_json(&body_of(&fetched)).expect("valid JSON");
+    assert_eq!(stored.get("trace_id").and_then(Value::as_str), Some(trace_id.as_str()));
+    assert_eq!(stored.get("status").and_then(Value::as_i64), Some(200));
+    assert!(stored.get("duration_us").and_then(Value::as_i64).is_some_and(|d| d > 0));
+    let stored_root =
+        &stored.get("trace").unwrap().get("spans").unwrap().as_array().unwrap()[0];
+    assert!(stored_root.get("open").is_none(), "stored request root is finished");
+    assert!(find_span(stored_root, "march").is_some(), "solver spans persisted");
+    assert!(find_span(stored_root, "stationary_solve").is_some());
+
+    // The listings know about it too.
+    let listing = raw_request(addr, "GET", "/v2/debug/traces", None);
+    assert_eq!(status_of(&listing), 200);
+    let listing = Value::from_json(&body_of(&listing)).unwrap();
+    let ids: Vec<&str> = listing
+        .get("traces")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(|t| t.get("trace_id").and_then(Value::as_str))
+        .collect();
+    assert!(ids.contains(&trace_id.as_str()), "ring lists the trace");
+    let slow = raw_request(addr, "GET", "/v2/debug/slow", None);
+    assert_eq!(status_of(&slow), 200);
+    let slow = Value::from_json(&body_of(&slow)).unwrap();
+    assert!(slow.get("count").and_then(Value::as_i64).is_some_and(|n| n >= 1));
+
+    // An inbound X-Dtc-Trace-Id is honored and echoed verbatim.
+    let custom = "00c0ffee00c0ffee00c0ffee00c0ffee";
+    let text = raw_request_with(
+        addr,
+        "GET",
+        "/healthz",
+        &format!("x-dtc-trace-id: {custom}\r\n"),
+        None,
+    );
+    assert_eq!(status_of(&text), 200);
+    assert_eq!(header_of(&text, "x-dtc-trace-id").as_deref(), Some(custom));
+    let fetched = raw_request(addr, "GET", &format!("/v2/debug/trace?id={custom}"), None);
+    assert_eq!(status_of(&fetched), 200, "inbound ID is the retention key");
+
+    // Unknown ID → 404; missing ?id= → 400.
+    let missing = raw_request(addr, "GET", "/v2/debug/trace?id=feedface", None);
+    assert_eq!(status_of(&missing), 404);
+    let bad = raw_request(addr, "GET", "/v2/debug/trace", None);
+    assert_eq!(status_of(&bad), 400);
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn every_error_shape_carries_trace_and_duration_headers() {
+    let server = Server::start(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        queue: 1,
+        eval_threads: 1,
+        cache_path: None,
+        cache_cap: None,
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    let assert_stamped = |text: &str, expected: u16, what: &str| {
+        assert_eq!(status_of(text), expected, "{what}: {text}");
+        let id = header_of(text, "x-dtc-trace-id")
+            .unwrap_or_else(|| panic!("{what}: no x-dtc-trace-id header in {text}"));
+        assert!(
+            !id.is_empty() && id.bytes().all(|b| b.is_ascii_hexdigit()),
+            "{what}: trace id {id:?} is not hex"
+        );
+        let us = header_of(text, "x-dtc-duration-us")
+            .unwrap_or_else(|| panic!("{what}: no x-dtc-duration-us header in {text}"));
+        assert!(us.trim().parse::<u64>().is_ok(), "{what}: duration {us:?} not integer");
+    };
+
+    // Routed errors: bad body (400), unknown route (404), wrong method (405).
+    let text = raw_request(addr, "POST", "/v2/evaluate", Some("{not json"));
+    assert_stamped(&text, 400, "malformed body");
+    let text = raw_request(addr, "GET", "/no/such/route", None);
+    assert_stamped(&text, 404, "unknown route");
+    let text = raw_request(addr, "DELETE", "/healthz", None);
+    assert_stamped(&text, 405, "wrong method");
+
+    // Read-layer rejections: oversized declared body (413), oversized
+    // header section (431), unparsable request line (400).
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        stream
+            .write_all(b"POST /v1/evaluate HTTP/1.1\r\ncontent-length: 4194305\r\n\r\n")
+            .unwrap();
+        let mut raw = Vec::new();
+        let _ = stream.read_to_end(&mut raw);
+        assert_stamped(&String::from_utf8_lossy(&raw), 413, "oversized body");
+    }
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        stream.write_all(b"GET / HTTP/1.1\r\n").unwrap();
+        let _ = stream.write_all(&vec![b'a'; 20 * 1024]); // may hit EPIPE
+        let mut raw = Vec::new();
+        let _ = stream.read_to_end(&mut raw);
+        assert_stamped(&String::from_utf8_lossy(&raw), 431, "oversized header");
+    }
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        let mut raw = Vec::new();
+        let _ = stream.read_to_end(&mut raw);
+        assert_stamped(&String::from_utf8_lossy(&raw), 400, "bad request line");
+    }
+
+    // The acceptor's 503 shed: pin the single worker with an idle
+    // connection, fill the queue with another, then connect until shed.
+    {
+        let _pin_worker = TcpStream::connect(addr).unwrap();
+        let _fill_queue = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let mut shed = None;
+        for _ in 0..20 {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut raw = Vec::new();
+            if stream.read_to_end(&mut raw).is_ok() {
+                let text = String::from_utf8_lossy(&raw).to_string();
+                if text.starts_with("HTTP/1.1 503 ") {
+                    shed = Some(text);
+                    break;
+                }
+            }
+        }
+        let text = shed.expect("never observed a 503 with worker pinned and queue full");
+        assert_stamped(&text, 503, "queue shed");
+    }
+    std::thread::sleep(Duration::from_millis(200));
+
+    server.shutdown().expect("clean shutdown");
+}
