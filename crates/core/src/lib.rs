@@ -57,6 +57,7 @@ pub mod metrics;
 pub mod params;
 pub mod scenarios;
 pub mod sensitivity;
+pub mod slo;
 pub mod sweep;
 pub mod system;
 
@@ -66,6 +67,7 @@ pub use error::{CloudError, Result};
 pub use metrics::{AvailabilityReport, EvalOptions};
 pub use params::{ComponentParams, PaperParams, VmParams};
 pub use scenarios::CaseStudy;
+pub use slo::{SloTarget, DESIGN_SEARCH_KIND};
 pub use system::{CloudModel, CloudSystemSpec, DataCenterSpec, PmSpec, SystemSummary};
 
 /// Convenient glob-import surface.
@@ -90,6 +92,7 @@ pub mod prelude {
         availability_sensitivity, filtered_parameters, sensitivity_with_baseline, Parameter,
         SensitivityRow,
     };
+    pub use crate::slo::{SloTarget, DESIGN_SEARCH_KIND};
     pub use crate::sweep::{
         evaluate_all_guarded, evaluate_guarded, sweep_reports, SweepOutcome,
     };

@@ -1,0 +1,105 @@
+//! Service-level objectives for SLO-driven design search.
+//!
+//! The paper evaluates fixed architectures and reads off availability and
+//! cost; design search inverts the question — "what is the cheapest
+//! architecture that meets four nines?". An [`SloTarget`] names the
+//! constraint side of that inversion: a steady-state availability floor
+//! and an optional annual cost ceiling a candidate must satisfy to be
+//! *feasible*. The search subsystem (`dtc-search`) enumerates candidates,
+//! evaluates them through the shared cache, and filters with
+//! [`SloTarget::is_met`].
+
+use crate::error::{CloudError, Result};
+use crate::params::nines;
+
+/// The request kind under which design searches travel through catalogs
+/// and HTTP bodies (`[search]` sections, `POST /v2/search`). Searches are
+/// batch-level — they orchestrate many per-scenario analyses — so this is
+/// deliberately *not* an [`crate::AnalysisRequest`] variant: per-spec
+/// cache identity stays untouched by the search layer above it.
+pub const DESIGN_SEARCH_KIND: &str = "design_search";
+
+/// A service-level objective: the feasibility constraints of a design
+/// search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTarget {
+    /// Minimum steady-state availability a candidate must reach
+    /// (e.g. `0.9999` for "four nines"). Must lie in `(0, 1)`.
+    pub availability_floor: f64,
+    /// Optional annual cost ceiling in dollars per year; `None` means
+    /// cost is unconstrained (the frontier still ranks by cost).
+    pub cost_ceiling: Option<f64>,
+}
+
+impl SloTarget {
+    /// A validated target.
+    ///
+    /// # Errors
+    ///
+    /// Rejects floors outside `(0, 1)` and non-positive or non-finite
+    /// ceilings with [`CloudError::BadSpec`].
+    pub fn new(availability_floor: f64, cost_ceiling: Option<f64>) -> Result<SloTarget> {
+        if !(availability_floor > 0.0 && availability_floor < 1.0) {
+            return Err(CloudError::BadSpec(format!(
+                "SLO availability floor must lie in (0, 1), got {availability_floor}"
+            )));
+        }
+        if let Some(ceiling) = cost_ceiling {
+            if !ceiling.is_finite() || ceiling <= 0.0 {
+                return Err(CloudError::BadSpec(format!(
+                    "SLO cost ceiling must be positive and finite, got {ceiling}"
+                )));
+            }
+        }
+        Ok(SloTarget { availability_floor, cost_ceiling })
+    }
+
+    /// Whether a candidate with this steady-state availability and annual
+    /// cost satisfies the objective. Boundary values pass: the floor and
+    /// ceiling are inclusive.
+    pub fn is_met(&self, availability: f64, annual_cost: f64) -> bool {
+        availability >= self.availability_floor
+            && self.cost_ceiling.is_none_or(|ceiling| annual_cost <= ceiling)
+    }
+
+    /// The floor expressed as a number of nines (`0.9999` → `4.0`),
+    /// for display.
+    pub fn floor_nines(&self) -> f64 {
+        nines(self.availability_floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_bounds() {
+        assert!(SloTarget::new(0.9999, None).is_ok());
+        assert!(SloTarget::new(0.5, Some(1e6)).is_ok());
+        for bad in [0.0, 1.0, -0.1, 1.5, f64::NAN] {
+            assert!(SloTarget::new(bad, None).is_err(), "floor {bad} must be rejected");
+        }
+        for bad in [0.0, -5.0, f64::INFINITY, f64::NAN] {
+            assert!(SloTarget::new(0.99, Some(bad)).is_err(), "ceiling {bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn feasibility_is_inclusive() {
+        let slo = SloTarget::new(0.9999, Some(500_000.0)).unwrap();
+        assert!(slo.is_met(0.9999, 500_000.0));
+        assert!(slo.is_met(0.99995, 100.0));
+        assert!(!slo.is_met(0.99989, 100.0));
+        assert!(!slo.is_met(0.99999, 500_000.1));
+
+        let unbounded = SloTarget::new(0.99, None).unwrap();
+        assert!(unbounded.is_met(0.995, f64::MAX));
+    }
+
+    #[test]
+    fn floor_nines_matches_metric() {
+        let slo = SloTarget::new(0.9999, None).unwrap();
+        assert!((slo.floor_nines() - 4.0).abs() < 1e-9);
+    }
+}

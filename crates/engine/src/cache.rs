@@ -57,6 +57,13 @@ pub struct CacheStats {
     /// Followers that joined another caller's in-flight solve (a subset of
     /// `hits`): the single-flight savings counter.
     pub joins: usize,
+    /// Scenarios submitted through batch runs (`run_batch` candidates,
+    /// including design-search sweeps) since construction.
+    pub batch_candidates: usize,
+    /// Distinct spec keys among those batch candidates: the in-batch dedup
+    /// effectiveness denominator. A frontier re-run adds candidates without
+    /// adding distinct specs, so the gap is the dedup + cache savings.
+    pub batch_distinct: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -150,6 +157,8 @@ pub struct EvalCache {
     misses: AtomicUsize,
     evictions: AtomicUsize,
     joins: AtomicUsize,
+    batch_candidates: AtomicUsize,
+    batch_distinct: AtomicUsize,
     seq: AtomicU64,
     max_entries: Option<usize>,
     store: Option<PathBuf>,
@@ -165,6 +174,8 @@ impl EvalCache {
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
             joins: AtomicUsize::new(0),
+            batch_candidates: AtomicUsize::new(0),
+            batch_distinct: AtomicUsize::new(0),
             seq: AtomicU64::new(0),
             max_entries: None,
             store: None,
@@ -408,6 +419,15 @@ impl EvalCache {
         n
     }
 
+    /// Records one batch submission: `candidates` scenarios of which
+    /// `distinct` had unique spec keys. [`crate::executor::run_batch`]
+    /// calls this so `dtc cache stats` and `/v1/stats` can report
+    /// search-batch dedup effectiveness.
+    pub fn note_batch(&self, candidates: usize, distinct: usize) {
+        self.batch_candidates.fetch_add(candidates, Ordering::Relaxed);
+        self.batch_distinct.fetch_add(distinct, Ordering::Relaxed);
+    }
+
     /// Counters plus current size.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -416,6 +436,8 @@ impl EvalCache {
             entries: self.len(),
             evictions: self.evictions.load(Ordering::Relaxed),
             joins: self.joins.load(Ordering::Relaxed),
+            batch_candidates: self.batch_candidates.load(Ordering::Relaxed),
+            batch_distinct: self.batch_distinct.load(Ordering::Relaxed),
         }
     }
 

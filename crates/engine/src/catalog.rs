@@ -29,12 +29,23 @@
 //! * `custom` — explicit `[[scenario.dc]]` entries with per-DC pools,
 //!   disaster/network switches and arbitrary sites, meshed by the WAN
 //!   model.
+//!
+//! For `two_dc`, the `machines` axis sets the PM pool size on *both*
+//! sides (`m` hot PMs in the primary, `m` warm PMs in the secondary;
+//! default 2, the paper's Fig. 6 sizing), so pool capacity can be swept
+//! alongside the secondary city, α and the disaster rate.
+//!
+//! A catalog may also carry a `[search]` section ([`SearchConfig`]): the
+//! SLO target and knobs for an SLO-driven design search over the expanded
+//! grid (`dtc search`, `POST /v2/search`). The scenario grid then *is*
+//! the candidate space — nothing else about the schema changes.
 
 use crate::error::{EngineError, Result};
 use crate::value::Value;
 use dtc_core::analysis::AnalysisRequest;
 use dtc_core::economics::CostModel;
 use dtc_core::params::PaperParams;
+use dtc_core::slo::SloTarget;
 use dtc_core::system::{CloudSystemSpec, DataCenterSpec, PmSpec};
 use dtc_geo::{find_city, haversine_deg_km, City, WanModel};
 use std::collections::BTreeMap;
@@ -239,6 +250,36 @@ pub struct Catalog {
     /// Analyses to run per scenario (the `[analyses]` section; defaults to
     /// steady state only).
     pub analyses: Vec<AnalysisRequest>,
+    /// Design-search configuration (the `[search]` section), if any.
+    pub search: Option<SearchConfig>,
+}
+
+/// The `[search]` section: feasibility constraints and knobs for an
+/// SLO-driven design search over the catalog's expanded scenario grid.
+///
+/// ```toml
+/// [search]
+/// availability_floor = 0.9999
+/// cost_ceiling = 1200000.0          # optional, $/year
+/// break_even = true                 # bisect frontier-neighbor crossings
+/// max_break_even_pairs = 4
+///
+/// [search.cost]                     # optional cost-model overrides
+/// downtime_cost_per_hour = 10000.0
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// The feasibility constraints (availability floor, cost ceiling).
+    pub slo: SloTarget,
+    /// Cost model used to price every candidate.
+    pub cost: CostModel,
+    /// Whether to bisect break-even disaster rates between frontier
+    /// neighbors (default true).
+    pub break_even: bool,
+    /// Cap on how many adjacent frontier pairs get a break-even bisection
+    /// (cheapest pairs first; default 4). `0` disables, like
+    /// `break_even = false`.
+    pub max_break_even_pairs: usize,
 }
 
 /// One concrete, evaluable scenario produced by catalog expansion.
@@ -446,6 +487,7 @@ impl Catalog {
             wan: WanModel::paper_calibrated(),
             templates,
             analyses: parse_analyses_section(root.get("analyses"))?,
+            search: root.get("search").map(parse_search_section).transpose()?,
         })
     }
 
@@ -466,6 +508,9 @@ impl Catalog {
         root.insert("catalog".into(), Value::Table(meta));
         root.insert("params".into(), params_to_value(&self.params));
         root.insert("analyses".into(), analyses_to_value(&self.analyses));
+        if let Some(search) = &self.search {
+            root.insert("search".into(), search_to_value(search));
+        }
         root.insert(
             "scenario".into(),
             Value::Array(self.templates.iter().map(template_to_value).collect()),
@@ -590,6 +635,12 @@ pub fn parse_analyses(v: &Value) -> Result<Vec<AnalysisRequest>> {
 pub fn analysis_request_from_value(v: &Value) -> Result<AnalysisRequest> {
     let ctx = "analyses";
     let by_kind = |kind: &str| {
+        if kind == dtc_core::slo::DESIGN_SEARCH_KIND {
+            return Err(schema_err(format!(
+                "{ctx}: design_search is a batch-level request, not a per-scenario \
+                 analysis; declare a [search] section (or POST /v2/search) instead"
+            )));
+        }
         AnalysisRequest::from_kind(kind).ok_or_else(|| {
             schema_err(format!(
                 "{ctx}: unknown analysis kind {kind:?} (expected steady_state, transient, \
@@ -749,6 +800,103 @@ pub fn analysis_request_from_value(v: &Value) -> Result<AnalysisRequest> {
     }
 }
 
+/// Parses a `[search]` section into a [`SearchConfig`]. Shared by catalog
+/// files and the `POST /v2/search` request body (where a top-level
+/// `"search"` object can override the catalog's own section).
+pub fn parse_search_section(v: &Value) -> Result<SearchConfig> {
+    let ctx = "[search]";
+    let fields = v
+        .as_table()
+        .ok_or_else(|| schema_err(format!("{ctx}: expected a table of search options")))?;
+    let allowed = [
+        "kind",
+        "availability_floor",
+        "cost_ceiling",
+        "break_even",
+        "max_break_even_pairs",
+        "cost",
+    ];
+    for field in fields.keys() {
+        if !allowed.contains(&field.as_str()) {
+            return Err(schema_err(format!(
+                "{ctx}: unknown option {field:?} (expected one of {})",
+                allowed[1..].join(", ")
+            )));
+        }
+    }
+    if let Some(kind) = v.get("kind").and_then(|x| x.as_str()) {
+        if kind != dtc_core::slo::DESIGN_SEARCH_KIND {
+            return Err(schema_err(format!(
+                "{ctx}: kind must be {:?}, got {kind:?}",
+                dtc_core::slo::DESIGN_SEARCH_KIND
+            )));
+        }
+    }
+    let floor = req_f64(v, "availability_floor", ctx)?;
+    let slo = SloTarget::new(floor, opt_f64(v, "cost_ceiling", ctx)?)
+        .map_err(|e| schema_err(format!("{ctx}: {e}")))?;
+    let cost = match v.get("cost") {
+        None => CostModel::default(),
+        Some(c) => {
+            let cctx = "[search.cost]";
+            let cost_fields = c.as_table().ok_or_else(|| {
+                schema_err(format!("{cctx}: expected a table of cost overrides"))
+            })?;
+            let cost_allowed = [
+                "downtime_cost_per_hour",
+                "site_cost_per_year",
+                "pm_cost_per_year",
+                "backup_cost_per_year",
+            ];
+            for field in cost_fields.keys() {
+                if !cost_allowed.contains(&field.as_str()) {
+                    return Err(schema_err(format!(
+                        "{cctx}: unknown option {field:?} (expected one of {})",
+                        cost_allowed.join(", ")
+                    )));
+                }
+            }
+            let d = CostModel::default();
+            CostModel {
+                downtime_cost_per_hour: opt_f64(c, "downtime_cost_per_hour", cctx)?
+                    .unwrap_or(d.downtime_cost_per_hour),
+                site_cost_per_year: opt_f64(c, "site_cost_per_year", cctx)?
+                    .unwrap_or(d.site_cost_per_year),
+                pm_cost_per_year: opt_f64(c, "pm_cost_per_year", cctx)?
+                    .unwrap_or(d.pm_cost_per_year),
+                backup_cost_per_year: opt_f64(c, "backup_cost_per_year", cctx)?
+                    .unwrap_or(d.backup_cost_per_year),
+            }
+        }
+    };
+    let max_break_even_pairs = opt_u32(v, "max_break_even_pairs", ctx)?.unwrap_or(4) as usize;
+    Ok(SearchConfig {
+        slo,
+        cost,
+        break_even: opt_bool(v, "break_even", ctx, true)? && max_break_even_pairs > 0,
+        max_break_even_pairs,
+    })
+}
+
+/// Serializes a [`SearchConfig`] back to the `[search]` schema.
+pub fn search_to_value(s: &SearchConfig) -> Value {
+    let mut t = BTreeMap::new();
+    t.insert("kind".into(), Value::Str(dtc_core::slo::DESIGN_SEARCH_KIND.into()));
+    t.insert("availability_floor".into(), Value::Float(s.slo.availability_floor));
+    if let Some(ceiling) = s.slo.cost_ceiling {
+        t.insert("cost_ceiling".into(), Value::Float(ceiling));
+    }
+    t.insert("break_even".into(), Value::Bool(s.break_even));
+    t.insert("max_break_even_pairs".into(), Value::Int(s.max_break_even_pairs as i64));
+    let mut cost = BTreeMap::new();
+    cost.insert("downtime_cost_per_hour".into(), Value::Float(s.cost.downtime_cost_per_hour));
+    cost.insert("site_cost_per_year".into(), Value::Float(s.cost.site_cost_per_year));
+    cost.insert("pm_cost_per_year".into(), Value::Float(s.cost.pm_cost_per_year));
+    cost.insert("backup_cost_per_year".into(), Value::Float(s.cost.backup_cost_per_year));
+    t.insert("cost".into(), Value::Table(cost));
+    Value::Table(t)
+}
+
 /// Serializes an analysis set back to the `[analyses]` schema.
 pub fn analyses_to_value(analyses: &[AnalysisRequest]) -> Value {
     let requests: Vec<Value> = analyses.iter().map(analysis_request_to_value).collect();
@@ -841,11 +989,18 @@ fn parse_template(v: &Value, index: usize) -> Result<ScenarioTemplate> {
         Some(x) => Some(SiteRef::from_value(x, &ctx)?),
     };
 
+    // `machines` defaults to the paper's sizing per kind: 1 PM for
+    // single_dc (Table VII row 1), 2-per-pool for two_dc (Fig. 6).
+    let default_machines = match kind {
+        Kind::TwoDc => 2,
+        _ => 1,
+    };
+
     Ok(ScenarioTemplate {
         name,
         name_template,
         kind,
-        machines: int_axis(v, "machines", &ctx, 1)?,
+        machines: int_axis(v, "machines", &ctx, default_machines)?,
         secondary: site_axis(v, "secondary", &ctx, "Brasilia")?,
         alpha: f64_axis(v, "alpha", &ctx, 0.35)?,
         disaster_years: f64_axis(v, "disaster_years", &ctx, 100.0)?,
@@ -990,13 +1145,17 @@ fn instantiate(
             build_single_dc(&cat.params, machines, years)
         }
         Kind::TwoDc => {
+            let machines =
+                usize::try_from(machines).ok().filter(|m| *m > 0).ok_or_else(|| {
+                    schema_err(format!("{}: machines must be >= 1, got {machines}", t.name))
+                })?;
             let primary = t.primary.resolve()?;
             let backup = t
                 .backup_site
                 .as_ref()
                 .expect("two_dc templates always have a backup site")
                 .resolve()?;
-            build_two_dc(cat, &primary, &secondary_site, &backup, alpha, years)
+            build_two_dc(cat, &primary, &secondary_site, &backup, alpha, years, machines)
         }
         Kind::Custom(dcs) => {
             let backup = t.backup_site.as_ref().map(SiteRef::resolve).transpose()?;
@@ -1011,7 +1170,10 @@ fn instantiate(
     }
 
     let uses_secondary = matches!(t.kind, Kind::TwoDc);
-    let uses_machines = matches!(t.kind, Kind::SingleDc);
+    // two_dc reports its pool size only when the axis is swept, so
+    // pre-existing fixed-size catalogs keep their exact output payloads.
+    let uses_machines = matches!(t.kind, Kind::SingleDc)
+        || (matches!(t.kind, Kind::TwoDc) && t.machines.is_sweep());
     let name = scenario_name(t, &secondary_site, alpha, years, machines);
     let is_baseline = cat.baseline_alpha.is_some_and(|a| a == alpha)
         && cat.baseline_disaster_years.is_some_and(|y| y == years);
@@ -1104,6 +1266,7 @@ fn build_two_dc(
     backup_site: &Site,
     alpha: f64,
     disaster_years: f64,
+    machines: usize,
 ) -> CloudSystemSpec {
     let p = &cat.params;
     let mtt = mtt_hours(cat, primary, secondary, alpha);
@@ -1112,9 +1275,9 @@ fn build_two_dc(
     let mk_dc = |label: &str, hot: bool, backup_mtt: f64| DataCenterSpec {
         label: label.into(),
         pms: if hot {
-            vec![PmSpec::hot(2, 2), PmSpec::hot(2, 2)]
+            vec![PmSpec::hot(2, 2); machines]
         } else {
-            vec![PmSpec::warm(2), PmSpec::warm(2)]
+            vec![PmSpec::warm(2); machines]
         },
         disaster: Some(p.disaster(disaster_years)),
         nas_net: Some(p.nas_net_folded().expect("Table VI folds")),

@@ -35,6 +35,7 @@ usage:
   dtc fig7 [options]                       bundled DSN'13 Figure 7 catalog
   dtc validate <catalog>                   parse, expand and compile only
   dtc cache stats|keys|clear --cache FILE  inspect or prune a cache store
+  dtc search <catalog>|search7 [options]   SLO-driven design search (dtc-search)
   dtc serve [serve options]                HTTP evaluation service (dtc-serve)
   dtc help                                 show this text
 
@@ -329,6 +330,11 @@ fn cmd_cache(positional: &[String], opts: &CliOptions) -> Result<()> {
             println!("misses:    {}", stats.misses);
             println!("joins:     {}", stats.joins);
             println!("evictions: {}", stats.evictions);
+            // Batch counters are runtime-only (not persisted), so on a
+            // freshly opened store they describe this process: the
+            // candidates-vs-distinct-specs split of any batches run here.
+            println!("batch candidates: {}", stats.batch_candidates);
+            println!("batch distinct:   {}", stats.batch_distinct);
             Ok(())
         }
         "keys" => {
@@ -379,6 +385,11 @@ fn dispatch(args: &[String]) -> Result<()> {
         "serve" => Err(EngineError::Schema(
             "the serve command lives in the dtc-serve crate's `dtc` binary \
              (cargo run -p dtc-serve --bin dtc -- serve)"
+                .into(),
+        )),
+        "search" => Err(EngineError::Schema(
+            "the search command lives in the dtc-search crate, surfaced by the dtc-serve \
+             crate's `dtc` binary (cargo run -p dtc-serve --bin dtc -- search)"
                 .into(),
         )),
         "help" | "--help" | "-h" => {

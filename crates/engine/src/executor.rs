@@ -152,6 +152,7 @@ pub fn run_batch(
             }
         }
     }
+    cache.note_batch(scenarios.len(), uniques.len());
 
     // Resolve every unique spec over a scoped worker pool; each solve goes
     // through the cache's single-flight gate.

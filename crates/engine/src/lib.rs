@@ -61,7 +61,10 @@ pub use cache::{
     analysis_report_from_value, analysis_report_to_value, CacheStats, EvalCache, EvalResult,
     Fetch,
 };
-pub use catalog::{analyses_to_value, parse_analyses, Catalog, Scenario, ScenarioTemplate};
+pub use catalog::{
+    analyses_to_value, parse_analyses, parse_search_section, search_to_value, Catalog,
+    Scenario, ScenarioTemplate, SearchConfig,
+};
 pub use error::{EngineError, Result};
 pub use executor::{run_batch, BatchResult, Outcome, Provenance, RunOptions};
 pub use hash::{canonical_encoding, canonical_encoding_with, spec_key, SpecKey};
@@ -90,7 +93,7 @@ pub mod catalogs {
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::cache::{CacheStats, EvalCache, EvalResult, Fetch};
-    pub use crate::catalog::{parse_analyses, Catalog, Scenario};
+    pub use crate::catalog::{parse_analyses, Catalog, Scenario, SearchConfig};
     pub use crate::executor::{run_batch, BatchResult, Provenance, RunOptions};
     pub use crate::hash::{canonical_encoding, canonical_encoding_with, spec_key, SpecKey};
     pub use crate::output::{render, render_summary, results_to_value, Format};

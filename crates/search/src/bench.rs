@@ -1,0 +1,348 @@
+//! The tracked design-search benchmark behind the `search_bench` binary.
+//!
+//! Runs one cold and one warm search over a Figure 7-derived candidate
+//! grid (the paper's two-DC architecture family: secondary city × α ×
+//! disaster rate × pool size, plus a single-site baseline swept over
+//! the disaster axis so the cost/availability frontier keeps both
+//! tiers and the break-even bisection has a pair to probe) against a
+//! single shared in-memory cache,
+//! and summarizes both passes as a JSON document written to
+//! `BENCH_search.json` at the repo root — candidate counts, solve times,
+//! and the cache-stat deltas that prove the warm pass re-evaluated
+//! nothing.
+//!
+//! [`validate_search_bench_doc`] is the schema contract: the binary
+//! validates what it writes, and the CI smoke test validates a fresh
+//! seconds-scale run (a shrunken grid) without pinning any timings.
+
+use crate::{run_search, SearchOptions};
+use dtc_engine::value::Value;
+use dtc_engine::{Catalog, EngineError, EvalCache, Result};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Knobs for one benchmark run: the candidate grid and the SLO floor.
+#[derive(Debug, Clone)]
+pub struct SearchBenchConfig {
+    /// Secondary cities to sweep.
+    pub secondaries: Vec<String>,
+    /// Network-quality α values to sweep.
+    pub alphas: Vec<f64>,
+    /// Mean times between disasters (years) to sweep.
+    pub disaster_years: Vec<f64>,
+    /// PM pool sizes to sweep (per side of the two-DC architecture).
+    pub machines: Vec<i64>,
+    /// Availability floor for the SLO.
+    pub availability_floor: f64,
+    /// Downtime price ($/hour) — nonzero so infrastructure and downtime
+    /// genuinely compete and the frontier keeps several members.
+    pub downtime_cost_per_hour: f64,
+    /// Worker threads (`0` = one per core).
+    pub threads: usize,
+}
+
+impl Default for SearchBenchConfig {
+    fn default() -> Self {
+        SearchBenchConfig {
+            secondaries: ["Brasilia", "Recife", "NewYork", "Calcutta", "Tokio"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            alphas: vec![0.25, 0.35, 0.45, 0.55, 0.65],
+            disaster_years: vec![25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0],
+            machines: vec![1],
+            availability_floor: 0.99,
+            downtime_cost_per_hour: 1000.0,
+            threads: 0,
+        }
+    }
+}
+
+impl SearchBenchConfig {
+    /// Number of candidates the grid expands to: the two-DC product grid
+    /// plus one single-site baseline per disaster mean.
+    pub fn candidates(&self) -> usize {
+        self.secondaries.len()
+            * self.alphas.len()
+            * self.disaster_years.len()
+            * self.machines.len()
+            + self.disaster_years.len()
+    }
+
+    /// Synthesizes the benchmark catalog (TOML) for this grid.
+    pub fn catalog(&self) -> Result<Catalog> {
+        let join_f64 =
+            |xs: &[f64]| xs.iter().map(|x| format!("{x:?}")).collect::<Vec<_>>().join(", ");
+        let mut toml = String::from(
+            "[catalog]\n\
+             name = \"search_bench\"\n\
+             description = \"Figure 7-derived design-search benchmark grid\"\n\n\
+             [search]\n",
+        );
+        let _ = writeln!(toml, "availability_floor = {:?}", self.availability_floor);
+        let _ = writeln!(toml, "max_break_even_pairs = 2");
+        let _ = writeln!(toml, "\n[search.cost]");
+        let _ = writeln!(toml, "downtime_cost_per_hour = {:?}", self.downtime_cost_per_hour);
+        let _ = writeln!(toml, "\n[[scenario]]");
+        let _ = writeln!(toml, "name = \"fig7\"");
+        let _ = writeln!(toml, "kind = \"two_dc\"");
+        let _ = writeln!(
+            toml,
+            "secondary = [{}]",
+            self.secondaries.iter().map(|s| format!("{s:?}")).collect::<Vec<_>>().join(", ")
+        );
+        let _ = writeln!(toml, "alpha = [{}]", join_f64(&self.alphas));
+        let _ = writeln!(toml, "disaster_years = [{}]", join_f64(&self.disaster_years));
+        let _ = writeln!(
+            toml,
+            "machines = [{}]",
+            self.machines.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        // The single-site baseline: cheaper and less available than any
+        // two-DC point, so the frontier keeps both tiers and break-even
+        // has a genuine crossing to bisect.
+        let _ = writeln!(toml, "\n[[scenario]]");
+        let _ = writeln!(toml, "name = \"solo\"");
+        let _ = writeln!(toml, "kind = \"custom\"");
+        let _ = writeln!(toml, "min_running_vms = 1");
+        let _ = writeln!(toml, "disaster_years = [{}]", join_f64(&self.disaster_years));
+        let _ = writeln!(toml, "\n[[scenario.dc]]");
+        let _ = writeln!(toml, "site = \"Rio de Janeiro\"");
+        let _ = writeln!(toml, "hot_pms = 1");
+        let _ = writeln!(toml, "vms_per_pm = 2");
+        let _ = writeln!(toml, "pm_capacity = 2");
+        let _ = writeln!(toml, "backup_link = false");
+        Catalog::from_toml_str(&toml)
+    }
+}
+
+/// Runs the benchmark: cold search, then a warm re-run against the same
+/// cache, and the summary document.
+///
+/// # Errors
+///
+/// Fails on an invalid grid (catalog expansion) or if any candidate fails
+/// to evaluate — a partially-failed grid would make timings incomparable
+/// across runs.
+pub fn run(config: &SearchBenchConfig) -> Result<Value> {
+    let catalog = config.catalog()?;
+    let search = catalog.search.clone().expect("bench catalog declares [search]");
+    let cache = Arc::new(EvalCache::in_memory());
+    let opts = SearchOptions { threads: config.threads, ..SearchOptions::default() };
+
+    let cold = run_search(&catalog, &search, &cache, &opts)?;
+    if !cold.failed.is_empty() {
+        return Err(EngineError::Schema(format!(
+            "{} candidate(s) failed to evaluate; benchmark grid must be fully solvable \
+             (first: {})",
+            cold.failed.len(),
+            cold.failed[0].error
+        )));
+    }
+    let after_cold = cache.stats();
+    let warm = run_search(&catalog, &search, &cache, &opts)?;
+    let after_warm = cache.stats();
+
+    let pass = |r: &crate::SearchReport| {
+        Value::object([
+            ("solve_ms", Value::Int(r.stats.solve_ms as i64)),
+            ("evaluated", Value::Int(r.stats.evaluated as i64)),
+            ("cached", Value::Int(r.stats.cached as i64)),
+            ("deduplicated", Value::Int(r.stats.deduplicated as i64)),
+            ("probe_evaluations", Value::Int(r.stats.probe_evaluations as i64)),
+        ])
+    };
+    let mut doc = match Value::object([
+        ("bench", Value::Str("search: cold and warm design search over a fig7 grid".into())),
+        ("command", Value::Str("cargo run --release -p dtc-search --bin search_bench".into())),
+        ("candidates", Value::Int(cold.candidates.len() as i64)),
+        ("distinct_specs", Value::Int(cold.distinct_specs as i64)),
+        ("availability_floor", Value::Float(search.slo.availability_floor)),
+        ("feasible", Value::Int(cold.feasible_count() as i64)),
+        ("frontier_size", Value::Int(cold.frontier.len() as i64)),
+        ("break_even_pairs", Value::Int(cold.break_even.len() as i64)),
+        ("cold", pass(&cold)),
+        ("warm", pass(&warm)),
+        (
+            "cache",
+            Value::object([
+                ("entries", Value::Int(after_warm.entries as i64)),
+                ("hits", Value::Int(after_warm.hits as i64)),
+                ("misses", Value::Int(after_warm.misses as i64)),
+                ("warm_hits_delta", Value::Int((after_warm.hits - after_cold.hits) as i64)),
+                (
+                    "warm_misses_delta",
+                    Value::Int((after_warm.misses - after_cold.misses) as i64),
+                ),
+            ]),
+        ),
+    ]) {
+        Value::Table(t) => t,
+        _ => unreachable!("Value::object returns a table"),
+    };
+    // No null in the value tree: an infeasible grid omits the key.
+    if let Some(name) = &cold.recommendation {
+        doc.insert("recommendation".into(), Value::Str(name.clone()));
+    }
+    Ok(Value::Table(doc))
+}
+
+/// Validates the shape of a `BENCH_search.json` document — required
+/// fields, types, and internal consistency (counts add up, the warm pass
+/// evaluated nothing new) — without pinning any timings, so it holds on
+/// any machine.
+pub fn validate_search_bench_doc(doc: &Value) -> std::result::Result<(), String> {
+    let int = |key: &str| -> std::result::Result<i64, String> {
+        doc.get(key).and_then(Value::as_i64).ok_or(format!("missing integer field {key:?}"))
+    };
+    for key in ["bench", "command"] {
+        doc.get(key).and_then(Value::as_str).ok_or(format!("missing string field {key:?}"))?;
+    }
+    let floor = doc
+        .get("availability_floor")
+        .and_then(Value::as_f64)
+        .ok_or("missing availability_floor")?;
+    if !(floor > 0.0 && floor < 1.0) {
+        return Err(format!("availability_floor {floor} outside (0, 1)"));
+    }
+    let candidates = int("candidates")?;
+    let distinct = int("distinct_specs")?;
+    if candidates <= 0 {
+        return Err("candidates must be positive".into());
+    }
+    if !(0 < distinct && distinct <= candidates) {
+        return Err(format!("distinct_specs {distinct} outside 1..={candidates}"));
+    }
+    let feasible = int("feasible")?;
+    if !(0..=candidates).contains(&feasible) {
+        return Err(format!("feasible {feasible} outside 0..={candidates}"));
+    }
+    let frontier = int("frontier_size")?;
+    if !(1..=candidates).contains(&frontier) {
+        return Err(format!("frontier_size {frontier} outside 1..={candidates}"));
+    }
+    if !matches!(doc.get("recommendation"), Some(Value::Str(_)) | None) {
+        return Err("recommendation must be a string (or absent)".into());
+    }
+    int("break_even_pairs")?;
+
+    let pass = |name: &str| -> std::result::Result<(i64, i64, i64), String> {
+        let p = doc.get(name).ok_or(format!("missing {name:?} object"))?;
+        let field = |key: &str| -> std::result::Result<i64, String> {
+            let v =
+                p.get(key).and_then(Value::as_i64).ok_or(format!("missing {name}.{key}"))?;
+            if v < 0 {
+                return Err(format!("{name}.{key} {v} is negative"));
+            }
+            Ok(v)
+        };
+        field("solve_ms")?;
+        field("probe_evaluations")?;
+        Ok((field("evaluated")?, field("cached")?, field("deduplicated")?))
+    };
+    let (cold_eval, cold_cached, cold_dedup) = pass("cold")?;
+    if cold_eval + cold_cached + cold_dedup != candidates {
+        return Err(format!(
+            "cold pass accounts for {} of {candidates} candidates",
+            cold_eval + cold_cached + cold_dedup
+        ));
+    }
+    let (warm_eval, warm_cached, warm_dedup) = pass("warm")?;
+    if warm_eval != 0 {
+        return Err(format!("warm pass evaluated {warm_eval} candidate(s); caching is broken"));
+    }
+    if warm_cached + warm_dedup != candidates {
+        return Err(format!(
+            "warm pass accounts for {} of {candidates} candidates",
+            warm_cached + warm_dedup
+        ));
+    }
+
+    let cache = doc.get("cache").ok_or("missing \"cache\" object")?;
+    for key in ["entries", "hits", "misses", "warm_hits_delta", "warm_misses_delta"] {
+        let v = cache.get(key).and_then(Value::as_i64).ok_or(format!("missing cache.{key}"))?;
+        if v < 0 {
+            return Err(format!("cache.{key} {v} is negative"));
+        }
+    }
+    if cache.get("warm_misses_delta").and_then(Value::as_i64) != Some(0) {
+        return Err("warm pass must not miss the cache".into());
+    }
+    Ok(())
+}
+
+/// Where the tracked benchmark document lives: `BENCH_search.json` at the
+/// repo root, next to `BENCH_serve.json`.
+pub const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_search.json");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_doc() -> Value {
+        Value::from_json(
+            r#"{
+              "bench": "search", "command": "cargo run",
+              "candidates": 8, "distinct_specs": 6, "availability_floor": 0.9999,
+              "feasible": 3, "frontier_size": 2, "recommendation": "a",
+              "break_even_pairs": 1,
+              "cold": {"solve_ms": 100, "evaluated": 6, "cached": 0, "deduplicated": 2,
+                       "probe_evaluations": 10},
+              "warm": {"solve_ms": 1, "evaluated": 0, "cached": 6, "deduplicated": 2,
+                       "probe_evaluations": 10},
+              "cache": {"entries": 10, "hits": 20, "misses": 10,
+                        "warm_hits_delta": 10, "warm_misses_delta": 0}
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_doc_passes() {
+        validate_search_bench_doc(&minimal_doc()).unwrap();
+    }
+
+    #[test]
+    fn inconsistent_docs_fail() {
+        let mut doc = minimal_doc();
+        if let Value::Table(t) = &mut doc {
+            t.remove("frontier_size");
+        }
+        assert!(validate_search_bench_doc(&doc).unwrap_err().contains("frontier_size"));
+
+        // A warm pass that re-evaluated anything means caching is broken.
+        let mut doc = minimal_doc();
+        if let Value::Table(t) = &mut doc {
+            if let Some(Value::Table(warm)) = t.get_mut("warm") {
+                warm.insert("evaluated".into(), Value::Int(3));
+                warm.insert("cached".into(), Value::Int(3));
+            }
+        }
+        assert!(validate_search_bench_doc(&doc).unwrap_err().contains("caching is broken"));
+
+        let mut doc = minimal_doc();
+        if let Value::Table(t) = &mut doc {
+            if let Some(Value::Table(cold)) = t.get_mut("cold") {
+                cold.insert("evaluated".into(), Value::Int(1));
+            }
+        }
+        assert!(validate_search_bench_doc(&doc).unwrap_err().contains("accounts for"));
+
+        let mut doc = minimal_doc();
+        if let Value::Table(t) = &mut doc {
+            if let Some(Value::Table(cache)) = t.get_mut("cache") {
+                cache.insert("warm_misses_delta".into(), Value::Int(2));
+            }
+        }
+        assert!(validate_search_bench_doc(&doc).unwrap_err().contains("must not miss"));
+    }
+
+    #[test]
+    fn default_grid_is_several_hundred_candidates() {
+        let config = SearchBenchConfig::default();
+        assert!(config.candidates() >= 200, "got {}", config.candidates());
+        let catalog = config.catalog().unwrap();
+        assert_eq!(catalog.expand().unwrap().len(), config.candidates());
+        assert!(catalog.search.is_some());
+    }
+}

@@ -1,0 +1,71 @@
+//! `search_bench` — the tracked design-search benchmark.
+//!
+//! ```text
+//! cargo run --release -p dtc-search --bin search_bench [-- options]
+//!
+//! options:
+//!   --out FILE       write the JSON document here (default BENCH_search.json
+//!                    at the repo root; `-` for stdout only)
+//!   --smoke          shrunken seconds-scale grid (CI; does not overwrite the
+//!                    tracked document unless --out says so)
+//!   --threads N      worker threads (default: available cores)
+//! ```
+
+use dtc_search::bench::{run, validate_search_bench_doc, SearchBenchConfig, BENCH_PATH};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = SearchBenchConfig::default();
+    let mut out: Option<String> = None;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => die("--out needs a value"),
+            },
+            "--smoke" => smoke = true,
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.threads = n,
+                None => die("--threads needs a number"),
+            },
+            other => die(&format!("unknown option {other:?}")),
+        }
+    }
+    if smoke {
+        // Seconds-scale grid for CI: same architecture family, fewer points.
+        config.secondaries = vec!["Brasilia".into(), "Tokio".into()];
+        config.alphas = vec![0.35, 0.45];
+        config.disaster_years = vec![50.0, 100.0, 200.0];
+    }
+
+    eprintln!(
+        "search_bench: {} candidate(s){}…",
+        config.candidates(),
+        if smoke { " (smoke grid)" } else { "" }
+    );
+    let started = std::time::Instant::now();
+    let doc = match run(&config) {
+        Ok(doc) => doc,
+        Err(e) => die(&format!("benchmark failed: {e}")),
+    };
+    if let Err(e) = validate_search_bench_doc(&doc) {
+        die(&format!("benchmark produced an invalid document: {e}"));
+    }
+    let json = doc.to_json();
+    let path = out.as_deref().unwrap_or(if smoke { "-" } else { BENCH_PATH });
+    if path == "-" {
+        println!("{json}");
+    } else if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+        die(&format!("cannot write {path}: {e}"));
+    } else {
+        println!("{json}");
+        eprintln!("search_bench: wrote {path} in {:.1}s", started.elapsed().as_secs_f64());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("search_bench: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,112 @@
+//! Cost/availability Pareto-frontier extraction.
+//!
+//! A candidate architecture is described by the point
+//! `(annual cost, steady-state availability)`; lower cost and higher
+//! availability are both better. The frontier is the set of
+//! *non-dominated* points — no other candidate is at least as good on
+//! both axes and strictly better on one. The frontier is what a design
+//! search hands back: every point off it is a strictly worse buy than
+//! some point on it.
+//!
+//! The extraction is a single sort + sweep (`O(n log n)`), and the
+//! returned order is deterministic: ascending cost, descending
+//! availability. The property harness in `tests/frontier_props.rs` pins
+//! non-domination, completeness and insertion-order independence over
+//! seeded random candidate sets.
+
+/// Whether point `p` dominates point `q`, where a point is
+/// `(cost, availability)`: `p` is no worse on both axes and strictly
+/// better on at least one. Equal points do not dominate each other, so
+/// exact duplicates can share the frontier.
+pub fn dominates(p: (f64, f64), q: (f64, f64)) -> bool {
+    p.0 <= q.0 && p.1 >= q.1 && (p.0 < q.0 || p.1 > q.1)
+}
+
+/// Indices of the non-dominated points among `points`
+/// (`(cost, availability)` pairs), ordered by ascending cost, then
+/// descending availability, then index.
+///
+/// Points with a non-finite coordinate are never on the frontier (a NaN
+/// cost cannot be meaningfully ranked). Exact duplicates of a frontier
+/// point are all kept: neither dominates the other, and dropping one
+/// would make the result depend on insertion order.
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len())
+        .filter(|&i| points[i].0.is_finite() && points[i].1.is_finite())
+        .collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .total_cmp(&points[b].0)
+            .then(points[b].1.total_cmp(&points[a].1))
+            .then(a.cmp(&b))
+    });
+
+    // Sweep in cost order: a point joins the frontier iff it strictly
+    // improves availability over everything cheaper — or exactly ties the
+    // frontier point that last did (a duplicate). Anything else is
+    // dominated by that last frontier point.
+    let mut frontier = Vec::new();
+    let mut best: Option<(f64, f64)> = None;
+    for i in order {
+        let (cost, avail) = points[i];
+        match best {
+            None => {
+                frontier.push(i);
+                best = Some((cost, avail));
+            }
+            Some((best_cost, best_avail)) => {
+                if avail > best_avail {
+                    frontier.push(i);
+                    best = Some((cost, avail));
+                } else if avail == best_avail && cost == best_cost {
+                    frontier.push(i);
+                }
+            }
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        assert_eq!(pareto_frontier(&[(10.0, 0.9)]), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        // (cost, availability): index 1 is cheaper AND more available
+        // than 0; index 2 is the expensive high-availability corner.
+        let pts = [(10.0, 0.90), (5.0, 0.95), (20.0, 0.99)];
+        assert_eq!(pareto_frontier(&pts), vec![1, 2]);
+        assert!(dominates(pts[1], pts[0]));
+        assert!(!dominates(pts[1], pts[2]));
+    }
+
+    #[test]
+    fn equal_cost_keeps_only_higher_availability() {
+        let pts = [(5.0, 0.90), (5.0, 0.95)];
+        assert_eq!(pareto_frontier(&pts), vec![1]);
+    }
+
+    #[test]
+    fn exact_duplicates_both_survive() {
+        let pts = [(5.0, 0.95), (5.0, 0.95), (1.0, 0.5)];
+        assert_eq!(pareto_frontier(&pts), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn non_finite_points_are_excluded() {
+        let pts = [(f64::NAN, 0.99), (5.0, f64::INFINITY), (5.0, 0.9)];
+        assert_eq!(pareto_frontier(&pts), vec![2]);
+    }
+
+    #[test]
+    fn equal_points_do_not_dominate_each_other() {
+        assert!(!dominates((5.0, 0.9), (5.0, 0.9)));
+    }
+}

@@ -1,0 +1,268 @@
+//! Rendering a [`SearchReport`]: canonical JSON, ranked table, CSV.
+//!
+//! [`report_to_value`] is the canonical document: it contains **only
+//! deterministic fields** (no solve times, no cache provenance), so the
+//! `dtc search --format json` body and the `POST /v2/search` response
+//! are bit-identical for the same catalog and config. Run statistics go
+//! to stderr ([`render_run_summary`]) and `/v1/stats` instead.
+
+use crate::{BreakEven, Candidate, SearchReport};
+use dtc_engine::output::Format;
+use dtc_engine::search_to_value;
+use dtc_engine::value::Value;
+use std::fmt::Write as _;
+
+/// The canonical, deterministic JSON document for a search report.
+pub fn report_to_value(report: &SearchReport) -> Value {
+    let candidates: Vec<Value> = report.candidates.iter().map(candidate_to_value).collect();
+    let failed: Vec<Value> = report
+        .failed
+        .iter()
+        .map(|f| {
+            Value::object([
+                ("name", Value::Str(f.name.clone())),
+                ("error", Value::Str(f.error.clone())),
+            ])
+        })
+        .collect();
+    let frontier: Vec<Value> = report.frontier.iter().map(|n| Value::Str(n.clone())).collect();
+    let break_even: Vec<Value> = report.break_even.iter().map(break_even_to_value).collect();
+
+    // The value tree has no null: an infeasible search simply omits the
+    // "recommendation" key.
+    let mut root = match Value::object([
+        ("kind", Value::Str(dtc_core::slo::DESIGN_SEARCH_KIND.into())),
+        ("catalog", Value::Str(report.catalog.clone())),
+        ("search", search_to_value(&report.config)),
+        ("candidates", Value::Array(candidates)),
+        ("failed", Value::Array(failed)),
+        ("frontier", Value::Array(frontier)),
+        ("break_even", Value::Array(break_even)),
+        (
+            "summary",
+            Value::object([
+                ("candidates", Value::Int(report.candidates.len() as i64)),
+                ("failed", Value::Int(report.failed.len() as i64)),
+                ("distinct_specs", Value::Int(report.distinct_specs as i64)),
+                ("feasible", Value::Int(report.feasible_count() as i64)),
+                ("frontier_size", Value::Int(report.frontier.len() as i64)),
+            ]),
+        ),
+    ]) {
+        Value::Table(t) => t,
+        _ => unreachable!("Value::object returns a table"),
+    };
+    if let Some(c) = report.recommended() {
+        root.insert(
+            "recommendation".into(),
+            Value::object([
+                ("name", Value::Str(c.name.clone())),
+                ("availability", Value::Float(c.availability)),
+                ("total_cost", Value::Float(c.cost.total())),
+            ]),
+        );
+    }
+    Value::Table(root)
+}
+
+fn candidate_to_value(c: &Candidate) -> Value {
+    let mut t = std::collections::BTreeMap::new();
+    t.insert("name".into(), Value::Str(c.name.clone()));
+    t.insert("key".into(), Value::Str(c.key.clone()));
+    if let Some(secondary) = &c.secondary {
+        t.insert("secondary".into(), Value::Str(secondary.clone()));
+    }
+    if let Some(alpha) = c.alpha {
+        t.insert("alpha".into(), Value::Float(alpha));
+    }
+    if let Some(years) = c.disaster_years {
+        t.insert("disaster_years".into(), Value::Float(years));
+    }
+    if let Some(machines) = c.machines {
+        t.insert("machines".into(), Value::Int(machines as i64));
+    }
+    t.insert("availability".into(), Value::Float(c.availability));
+    t.insert("nines".into(), Value::Float(c.nines));
+    t.insert("downtime_hours_per_year".into(), Value::Float(c.downtime_hours_per_year));
+    t.insert(
+        "cost".into(),
+        Value::object([
+            ("downtime", Value::Float(c.cost.downtime)),
+            ("infrastructure", Value::Float(c.cost.infrastructure)),
+            ("total", Value::Float(c.cost.total())),
+        ]),
+    );
+    t.insert("feasible".into(), Value::Bool(c.feasible));
+    t.insert("on_frontier".into(), Value::Bool(c.on_frontier));
+    Value::Table(t)
+}
+
+fn break_even_to_value(b: &BreakEven) -> Value {
+    let mut t = std::collections::BTreeMap::new();
+    t.insert("cheaper".into(), Value::Str(b.cheaper.clone()));
+    t.insert("richer".into(), Value::Str(b.richer.clone()));
+    t.insert("crossed".into(), Value::Bool(b.disaster_years.is_some()));
+    if let Some(y) = b.disaster_years {
+        t.insert("disaster_years".into(), Value::Float(y));
+        t.insert("disaster_rate_per_year".into(), Value::Float(1.0 / y));
+    }
+    Value::Table(t)
+}
+
+/// Renders the report in the requested CLI format. JSON output is the
+/// canonical document ([`report_to_value`]), byte-identical to the
+/// `POST /v2/search` response body.
+pub fn render(report: &SearchReport, format: Format) -> String {
+    match format {
+        Format::Table => render_table(report),
+        Format::Csv => render_csv(report),
+        Format::Json => report_to_value(report).to_json(),
+    }
+}
+
+fn render_table(report: &SearchReport) -> String {
+    let mut out = String::new();
+    let slo = &report.config.slo;
+    let _ = writeln!(
+        out,
+        "design search over {:?}: availability floor {} ({:.2} nines){}",
+        report.catalog,
+        slo.availability_floor,
+        slo.floor_nines(),
+        match slo.cost_ceiling {
+            Some(c) => format!(", cost ceiling ${c:.0}/y"),
+            None => ", no cost ceiling".into(),
+        },
+    );
+    let name_width = report.candidates.iter().map(|c| c.name.len()).max().unwrap_or(4).max(4);
+    let _ = writeln!(
+        out,
+        "{:<name_width$}  {:>12} {:>7} {:>13} {:>13} {:>13}  {:>8} {:>8}",
+        "name",
+        "availability",
+        "nines",
+        "downtime $/y",
+        "infra $/y",
+        "total $/y",
+        "feasible",
+        "frontier",
+    );
+    let _ = writeln!(out, "{}", "-".repeat(name_width + 2 + 12 + 8 + 14 * 3 + 9 + 9));
+    for c in &report.candidates {
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>12.7} {:>7.3} {:>13.0} {:>13.0} {:>13.0}  {:>8} {:>8}",
+            c.name,
+            c.availability,
+            c.nines,
+            c.cost.downtime,
+            c.cost.infrastructure,
+            c.cost.total(),
+            if c.feasible { "yes" } else { "-" },
+            if c.on_frontier { "*" } else { "" },
+        );
+    }
+    for f in &report.failed {
+        let _ = writeln!(out, "{:<name_width$}  FAILED: {}", f.name, f.error);
+    }
+    let _ = writeln!(
+        out,
+        "\nfeasible: {}/{}; frontier: {}",
+        report.feasible_count(),
+        report.candidates.len(),
+        if report.frontier.is_empty() {
+            "(empty)".to_string()
+        } else {
+            report.frontier.join(" -> ")
+        },
+    );
+    match report.recommended() {
+        Some(c) => {
+            let _ = writeln!(
+                out,
+                "recommendation: {} (availability {:.7}, total ${:.0}/y)",
+                c.name,
+                c.availability,
+                c.cost.total(),
+            );
+        }
+        None => {
+            let _ = writeln!(out, "recommendation: none — no candidate meets the SLO");
+        }
+    }
+    for b in &report.break_even {
+        match b.disaster_years {
+            Some(y) => {
+                let _ = writeln!(
+                    out,
+                    "break-even {} vs {}: availabilities cross at one disaster every \
+                     {y:.1} years ({:.4}/year)",
+                    b.cheaper,
+                    b.richer,
+                    1.0 / y,
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "break-even {} vs {}: no crossing in 1..10000 years",
+                    b.cheaper, b.richer,
+                );
+            }
+        }
+    }
+    out
+}
+
+fn render_csv(report: &SearchReport) -> String {
+    let mut out = String::from(
+        "name,secondary,alpha,disaster_years,machines,availability,nines,\
+         downtime_hours_per_year,downtime_cost,infrastructure_cost,total_cost,feasible,\
+         on_frontier\n",
+    );
+    for c in &report.candidates {
+        let opt_f = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            csv_escape(&c.name),
+            csv_escape(c.secondary.as_deref().unwrap_or("")),
+            opt_f(c.alpha),
+            opt_f(c.disaster_years),
+            c.machines.map(|m| m.to_string()).unwrap_or_default(),
+            c.availability,
+            c.nines,
+            c.downtime_hours_per_year,
+            c.cost.downtime,
+            c.cost.infrastructure,
+            c.cost.total(),
+            c.feasible,
+            c.on_frontier,
+        );
+    }
+    out
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// One-line run summary (for stderr): candidates, dedup/cache savings,
+/// break-even probes, solve time.
+pub fn render_run_summary(report: &SearchReport) -> String {
+    format!(
+        "{} candidate(s), {} distinct spec(s): {} solved, {} from cache, {} deduplicated; \
+         {} break-even probe(s); solve time {}ms",
+        report.candidates.len() + report.failed.len(),
+        report.distinct_specs,
+        report.stats.evaluated,
+        report.stats.cached,
+        report.stats.deduplicated,
+        report.stats.probe_evaluations,
+        report.stats.solve_ms,
+    )
+}

@@ -1,0 +1,135 @@
+//! Property harness for the cost/availability Pareto frontier.
+//!
+//! Seeded (fully deterministic) random point sets, checked for the three
+//! properties that define a frontier:
+//!
+//! 1. **Non-domination** — no frontier member is dominated by any point;
+//! 2. **Completeness** — every excluded point is dominated by some
+//!    frontier member;
+//! 3. **Order independence** — permuting the input selects the same set
+//!    of *points* (indices differ, values do not).
+
+use dtc_search::frontier::{dominates, pareto_frontier};
+
+/// xorshift64*: tiny, seeded, good enough to scatter points. No external
+/// RNG crates and no wall-clock seeding — every run sees the same sets.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [0, 1).
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn usize(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// A cost/availability cloud with deliberate structure: clustered costs
+/// (ties happen), availabilities pushed toward 1, and a few exact
+/// duplicate points (the frontier keeps duplicates of its members).
+fn point_cloud(rng: &mut Rng, n: usize) -> Vec<(f64, f64)> {
+    let mut points: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            let cost = (rng.usize(40) as f64) * 12_500.0 + rng.f64() * 100.0;
+            let avail = 1.0 - 10f64.powf(-(1.0 + 4.0 * rng.f64()));
+            (cost, avail)
+        })
+        .collect();
+    for _ in 0..n / 10 {
+        let copy = points[rng.usize(points.len())];
+        points.push(copy);
+    }
+    points
+}
+
+fn sorted_points(points: &[(f64, f64)], indices: &[usize]) -> Vec<(f64, f64)> {
+    let mut selected: Vec<(f64, f64)> = indices.iter().map(|&i| points[i]).collect();
+    selected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    selected
+}
+
+#[test]
+fn frontier_members_are_never_dominated() {
+    let mut rng = Rng(0x5EED_0001);
+    for round in 0..50 {
+        let points = point_cloud(&mut rng, 60);
+        let frontier = pareto_frontier(&points);
+        assert!(!frontier.is_empty(), "round {round}: non-empty input has a frontier");
+        for &i in &frontier {
+            for (j, &q) in points.iter().enumerate() {
+                assert!(
+                    !dominates(q, points[i]),
+                    "round {round}: frontier point {i} {:?} is dominated by {j} {q:?}",
+                    points[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_excluded_point_is_dominated_by_a_frontier_member() {
+    let mut rng = Rng(0x5EED_0002);
+    for round in 0..50 {
+        let points = point_cloud(&mut rng, 60);
+        let frontier = pareto_frontier(&points);
+        let on: std::collections::HashSet<usize> = frontier.iter().copied().collect();
+        for (j, &q) in points.iter().enumerate() {
+            if on.contains(&j) {
+                continue;
+            }
+            // A point can be excluded while an identical twin is kept
+            // (both coordinates equal): that twin does not *dominate* it,
+            // so accept either a dominating member or an equal member.
+            let covered = frontier.iter().any(|&i| dominates(points[i], q) || points[i] == q);
+            assert!(
+                covered,
+                "round {round}: excluded point {j} {q:?} is neither dominated nor \
+                 duplicated by the frontier"
+            );
+        }
+    }
+}
+
+#[test]
+fn frontier_is_insertion_order_independent() {
+    let mut rng = Rng(0x5EED_0003);
+    for round in 0..50 {
+        let points = point_cloud(&mut rng, 60);
+        let baseline = sorted_points(&points, &pareto_frontier(&points));
+
+        // Fisher–Yates with the same deterministic generator.
+        let mut shuffled = points.clone();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.usize(i + 1));
+        }
+        let permuted = sorted_points(&shuffled, &pareto_frontier(&shuffled));
+        assert_eq!(
+            baseline, permuted,
+            "round {round}: permuting the candidate order changed the frontier"
+        );
+    }
+}
+
+#[test]
+fn non_finite_points_are_ignored_not_propagated() {
+    let mut rng = Rng(0x5EED_0004);
+    let mut points = point_cloud(&mut rng, 30);
+    let clean = sorted_points(&points, &pareto_frontier(&points));
+    points.push((f64::NAN, 0.999));
+    points.push((1.0, f64::INFINITY));
+    points.push((f64::NEG_INFINITY, 0.5));
+    let with_junk = sorted_points(&points, &pareto_frontier(&points));
+    assert_eq!(clean, with_junk, "non-finite candidates must not join the frontier");
+}

@@ -1,0 +1,27 @@
+//! Seconds-scale benchmark smoke: the shrunken `--smoke` grid must run
+//! end to end and produce a document that satisfies the
+//! `BENCH_search.json` schema contract — the same validator the binary
+//! applies to what it writes, so the tracked document can never rot
+//! without CI noticing.
+
+use dtc_search::bench::{run, validate_search_bench_doc, SearchBenchConfig};
+
+#[test]
+fn smoke_grid_satisfies_the_bench_schema() {
+    // The binary's --smoke grid, verbatim.
+    let config = SearchBenchConfig {
+        secondaries: vec!["Brasilia".into(), "Tokio".into()],
+        alphas: vec![0.35, 0.45],
+        disaster_years: vec![50.0, 100.0, 200.0],
+        ..SearchBenchConfig::default()
+    };
+    assert_eq!(config.candidates(), 15, "smoke grid stays seconds-scale");
+
+    let doc = run(&config).expect("smoke benchmark runs");
+    validate_search_bench_doc(&doc)
+        .unwrap_or_else(|e| panic!("invalid document: {e}\n{}", doc.to_json()));
+
+    // Beyond the schema: the smoke grid's cardinality survives into the
+    // document, so a silently-shrunken run can't pass.
+    assert_eq!(doc.get("candidates").and_then(|v| v.as_i64()), Some(15));
+}

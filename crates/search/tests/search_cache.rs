@@ -1,0 +1,158 @@
+//! End-to-end search semantics on a deliberately tiny candidate space:
+//! cache reuse (the "immediate re-run is answered from cache" claim,
+//! asserted via cache-stats deltas rather than wall clock), bit-identical
+//! canonical JSON across runs, batch-dedup counters, and a real
+//! break-even crossing between the two frontier architectures.
+
+use dtc_engine::output::Format;
+use dtc_engine::{Catalog, EvalCache};
+use dtc_search::report::{render, report_to_value};
+use dtc_search::{run_search, SearchOptions};
+use std::sync::Arc;
+
+/// Two architectures whose availability curves genuinely cross inside
+/// the probed disaster range: a one-site hot+warm pair ("spare", cheap,
+/// melts when the site is lost often) versus a two-site warm-standby
+/// ("dr", richer, barely notices the disaster rate). Infrastructure-
+/// weighted downtime pricing keeps both on the cost/availability
+/// frontier so the bisection has a pair to work on.
+const CROSSING_TOML: &str = r#"
+[catalog]
+name = "crossing"
+
+[search]
+availability_floor = 0.99
+break_even = true
+max_break_even_pairs = 4
+
+[search.cost]
+downtime_cost_per_hour = 1000.0
+
+[[scenario]]
+name = "spare"
+kind = "custom"
+min_running_vms = 1
+disaster_years = [100.0]
+
+[[scenario.dc]]
+site = "Rio de Janeiro"
+hot_pms = 1
+warm_pms = 1
+vms_per_pm = 1
+pm_capacity = 1
+backup_link = false
+
+[[scenario]]
+name = "dr"
+kind = "custom"
+min_running_vms = 1
+alpha = [0.85]
+disaster_years = [100.0]
+backup_site = "Sao Paulo"
+
+[[scenario.dc]]
+site = "Rio de Janeiro"
+hot_pms = 1
+vms_per_pm = 1
+pm_capacity = 1
+nas_net = false
+
+[[scenario.dc]]
+site = "Brasilia"
+warm_pms = 1
+vms_per_pm = 1
+pm_capacity = 1
+nas_net = false
+"#;
+
+#[test]
+fn rerun_is_pure_cache_hits_with_bit_identical_json_and_a_real_crossing() {
+    let catalog = Catalog::from_toml_str(CROSSING_TOML).expect("test catalog parses");
+    let config = catalog.search.clone().expect("test catalog has [search]");
+    let cache = Arc::new(EvalCache::in_memory());
+    let opts = SearchOptions::default();
+
+    // Cold run: every distinct spec is a solve, nothing comes from cache.
+    let cold = run_search(&catalog, &config, &cache, &opts).expect("cold search runs");
+    assert_eq!(cold.candidates.len(), 2);
+    assert!(cold.failed.is_empty(), "{:?}", cold.failed);
+    assert_eq!(cold.distinct_specs, 2);
+    assert_eq!(cold.stats.evaluated, 2, "cold run solves both specs");
+    assert_eq!(cold.stats.cached, 0);
+    let after_cold = cache.stats();
+    assert_eq!(after_cold.misses, 2 + cold.stats.probe_evaluations);
+
+    // Both architectures are on the frontier (cost-ordered), the
+    // recommendation is the cheapest feasible candidate, and the two
+    // availability curves cross at a plausible disaster mean — one
+    // disaster every few hundred years, strictly inside (1, 10000).
+    assert_eq!(cold.frontier.len(), 2, "frontier: {:?}", cold.frontier);
+    assert!(cold.frontier[0].starts_with("spare"), "cheap tier first: {:?}", cold.frontier);
+    assert!(cold.frontier[1].starts_with("dr"), "{:?}", cold.frontier);
+    let cheapest_feasible = cold.candidates.iter().find(|c| c.feasible).map(|c| c.name.clone());
+    assert_eq!(cold.recommendation, cheapest_feasible);
+    assert_eq!(cold.break_even.len(), 1);
+    let crossing = cold.break_even[0]
+        .disaster_years
+        .expect("spare and dr availabilities cross inside the probed range");
+    assert!(
+        (100.0..2000.0).contains(&crossing),
+        "crossing at one disaster per {crossing} years is implausible"
+    );
+    assert!(cold.stats.probe_evaluations >= 6, "bisection probed: {:?}", cold.stats);
+
+    // Warm run on the same cache: zero new solves — candidates AND every
+    // bisection probe are answered from the store. This is the
+    // "immediate re-run is served from cache" acceptance, pinned by
+    // cache-stats deltas instead of wall-clock.
+    let warm = run_search(&catalog, &config, &cache, &opts).expect("warm search runs");
+    assert_eq!(warm.stats.evaluated, 0, "warm run must not solve anything");
+    assert_eq!(warm.stats.cached, 2);
+    let after_warm = cache.stats();
+    assert_eq!(after_warm.misses, after_cold.misses, "no new misses on the warm run");
+    assert!(
+        after_warm.hits >= after_cold.hits + 2 + warm.stats.probe_evaluations,
+        "warm hits {} vs cold {}: candidates + probes must all hit",
+        after_warm.hits,
+        after_cold.hits
+    );
+
+    // The canonical document is deterministic: cold and warm runs render
+    // byte-identical JSON (run statistics are deliberately outside it).
+    assert_eq!(
+        report_to_value(&cold).to_json(),
+        report_to_value(&warm).to_json(),
+        "canonical JSON must not depend on cache provenance"
+    );
+    assert_eq!(render(&cold, Format::Json), report_to_value(&cold).to_json());
+
+    // Batch-dedup effectiveness counters (surfaced by `dtc cache stats`
+    // and /v1/stats): two runs of 2 candidates plus 2-spec probe batches.
+    let expected_probe_candidates = cold.stats.probe_evaluations + warm.stats.probe_evaluations;
+    assert_eq!(after_warm.batch_candidates, 4 + expected_probe_candidates);
+    assert_eq!(
+        after_warm.batch_distinct, after_warm.batch_candidates,
+        "no in-batch dupes here"
+    );
+}
+
+#[test]
+fn csv_and_table_render_every_candidate() {
+    let catalog = Catalog::from_toml_str(CROSSING_TOML).expect("test catalog parses");
+    let mut config = catalog.search.clone().expect("[search] present");
+    config.break_even = false;
+    let cache = Arc::new(EvalCache::in_memory());
+    let report =
+        run_search(&catalog, &config, &cache, &SearchOptions::default()).expect("search runs");
+
+    let csv = render(&report, Format::Csv);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + report.candidates.len(), "header + one row per candidate");
+    assert!(lines[0].starts_with("name,secondary,alpha,"));
+
+    let table = render(&report, Format::Table);
+    for c in &report.candidates {
+        assert!(table.contains(&c.name), "table misses {}", c.name);
+    }
+    assert!(table.contains("recommendation:"), "{table}");
+}

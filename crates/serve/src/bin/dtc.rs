@@ -1,13 +1,15 @@
 //! The `dtc` command-line evaluator; see `dtc help`.
 //!
-//! Lives in `dtc-serve` (not `dtc-engine`) so the `serve` command can sit
-//! next to the batch commands: `serve` is handled here, everything else is
-//! delegated to [`dtc_engine::cli`].
+//! Lives in `dtc-serve` (not `dtc-engine`) so the `serve` and `search`
+//! commands can sit next to the batch commands: `serve` is handled here,
+//! `search` is delegated to [`dtc_search::cli`], everything else to
+//! [`dtc_engine::cli`].
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("serve") => dtc_serve::cli::run_serve(&args[1..]),
+        Some("search") => dtc_search::cli::run_search_cli(&args[1..]),
         _ => dtc_engine::cli::run_cli(&args),
     };
     std::process::exit(code);

@@ -24,10 +24,15 @@ routes:
                         metrics)
   GET  /v1/stats        cache + queue + server counters
   POST /v1/evaluate     evaluate a JSON catalog document (steady state)
-  POST /v2/evaluate     {catalog, analyses}: run any analysis set (steady_state,
-                        transient, interval, mttsf, capacity_thresholds, cost,
-                        simulation, sensitivity) from one state-space
-                        construction
+  POST /v2/evaluate     {catalog, analyses} or a bare catalog document: run any
+                        analysis set (steady_state, transient, interval, mttsf,
+                        capacity_thresholds, cost, simulation, sensitivity)
+                        from one state-space construction
+  POST /v2/search       {catalog, search?} or a bare catalog document with a
+                        [search] section: SLO-driven design search (feasible
+                        set, Pareto frontier, cheapest-feasible pick,
+                        break-even disaster rates); JSON is bit-identical to
+                        `dtc search --format json`
   GET  /v2/model/dot    ?scenario=NAME[&catalog=table7|fig7] — the compiled
                         GSPN of a bundled-catalog scenario as Graphviz DOT
   GET  /v1/cache/keys   stored content-addressed keys

@@ -15,11 +15,17 @@
 //! * `POST /v1/evaluate` — a catalog document in the engine's JSON schema;
 //!   expanded, deduped, solved for steady state, and rendered back as JSON
 //!   (a thin steady-state wrapper over the v2 pipeline).
-//! * `POST /v2/evaluate` — `{"catalog": …, "analyses": [...]}`: runs any
-//!   analysis set (steady_state, transient, interval, mttsf,
-//!   capacity_thresholds, cost, simulation, sensitivity) per scenario
-//!   against **one** state-space construction and returns the full report
-//!   union.
+//! * `POST /v2/evaluate` — `{"catalog": …, "analyses": [...]}` (or a bare
+//!   catalog document): runs any analysis set (steady_state, transient,
+//!   interval, mttsf, capacity_thresholds, cost, simulation, sensitivity)
+//!   per scenario against **one** state-space construction and returns
+//!   the full report union.
+//! * `POST /v2/search` — `{"catalog": …, "search": {…}?}` (or a bare
+//!   catalog document with its own `[search]` section): SLO-driven design
+//!   search over the catalog's expanded grid via [`dtc_search`] —
+//!   feasible set, cost/availability Pareto frontier, cheapest-feasible
+//!   recommendation, break-even disaster rates. The response body is the
+//!   canonical search JSON, bit-identical to `dtc search --format json`.
 //! * `GET /v2/model/dot?scenario=…[&catalog=table7|fig7]` — the compiled
 //!   GSPN of a bundled-catalog scenario as Graphviz DOT, so clients can
 //!   *see* the model their numbers come from.
@@ -62,10 +68,11 @@ pub mod trace_store;
 use dtc_core::analysis::AnalysisRequest;
 use dtc_engine::value::Value;
 use dtc_engine::{
-    catalogs, parse_analyses, results_to_value, run_batch, Catalog, EngineError, EvalCache,
-    RunOptions,
+    catalogs, parse_analyses, parse_search_section, results_to_value, run_batch, Catalog,
+    EngineError, EvalCache, RunOptions, SearchConfig,
 };
 use dtc_obs::trace::{self, TraceContext, TraceId};
+use dtc_search::SearchOptions;
 use http::{read_request, write_response, ReadError, Request, Response, TooLargeKind};
 use metrics::ServeMetrics;
 use std::collections::VecDeque;
@@ -463,6 +470,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("GET", "/v1/cache/keys") => cache_keys(shared),
         ("POST", "/v1/evaluate") => evaluate(shared, request),
         ("POST", "/v2/evaluate") => evaluate_v2(shared, request),
+        ("POST", "/v2/search") => search_v2(shared, request),
         ("GET", "/v2/model/dot") => model_dot(request),
         ("GET", "/v2/debug/trace") => debug_trace(shared, request),
         ("GET", "/v2/debug/traces") => debug_traces(shared),
@@ -470,8 +478,8 @@ fn route(shared: &Shared, request: &Request) -> Response {
         (
             _,
             "/healthz" | "/metrics" | "/v1/stats" | "/v1/cache/keys" | "/v1/evaluate"
-            | "/v2/evaluate" | "/v2/model/dot" | "/v2/debug/trace" | "/v2/debug/traces"
-            | "/v2/debug/slow",
+            | "/v2/evaluate" | "/v2/search" | "/v2/model/dot" | "/v2/debug/trace"
+            | "/v2/debug/traces" | "/v2/debug/slow",
         ) => Response::error(405, "method not allowed for this route"),
         _ => Response::error(404, "no such route"),
     }
@@ -641,6 +649,11 @@ fn stats(shared: &Shared) -> Response {
                 ("joins", Value::Int(cache.joins as i64)),
                 ("entries", Value::Int(cache.entries as i64)),
                 ("evictions", Value::Int(cache.evictions as i64)),
+                // Batch-dedup effectiveness: how many candidates the
+                // evaluate/search batches submitted vs. how many distinct
+                // specs were left after in-batch dedup.
+                ("batch_candidates", Value::Int(cache.batch_candidates as i64)),
+                ("batch_distinct", Value::Int(cache.batch_distinct as i64)),
             ]),
         ),
         (
@@ -673,58 +686,122 @@ fn cache_keys(shared: &Shared) -> Response {
     Response::json(200, doc.to_json())
 }
 
+/// A parsed `POST /v1/evaluate` / `POST /v2/evaluate` / `POST /v2/search`
+/// request body. Every evaluation route accepts the same two shapes
+/// through [`parse_catalog_request`], so a custom catalog document can be
+/// POSTed anywhere with one set of error messages:
+///
+/// * a **bare catalog document** — exactly what `dtc run` reads from
+///   disk, serialized to JSON; or
+/// * the **envelope** `{"catalog": <catalog document>, "analyses": …?,
+///   "search": …?}` — the document plus request-level overrides.
+struct CatalogRequest {
+    catalog: Catalog,
+    /// The envelope's `analyses` override, when present.
+    analyses: Option<Vec<AnalysisRequest>>,
+    /// The envelope's `search` override, when present.
+    search: Option<SearchConfig>,
+}
+
+/// The one request-body catalog parser behind all three POST routes.
+///
+/// A body is the envelope when its `"catalog"` value is itself a catalog
+/// *document* (it has a `catalog` metadata table or a `scenario` template
+/// list); in a bare document the top-level `"catalog"` key is just the
+/// name/description metadata, so the two shapes cannot be confused.
+fn parse_catalog_request(body: &[u8]) -> Result<CatalogRequest, Box<Response>> {
+    let bad = |msg: String| Box::new(Response::error(400, &msg));
+    let text = std::str::from_utf8(body).map_err(|_| bad("body is not UTF-8".into()))?;
+    let root = Value::from_json(text).map_err(|e| bad(format!("body does not parse: {e}")))?;
+    let envelope = root
+        .get("catalog")
+        .is_some_and(|inner| inner.get("catalog").is_some() || inner.get("scenario").is_some());
+    let doc = if envelope { root.get("catalog").expect("envelope has catalog") } else { &root };
+    let catalog =
+        Catalog::from_value(doc).map_err(|e| bad(format!("catalog does not parse: {e}")))?;
+    let mut parsed = CatalogRequest { catalog, analyses: None, search: None };
+    if envelope {
+        if let Some(v) = root.get("analyses") {
+            parsed.analyses =
+                Some(parse_analyses(v).map_err(|e| bad(format!("bad analyses: {e}")))?);
+        }
+        if let Some(v) = root.get("search") {
+            parsed.search =
+                Some(parse_search_section(v).map_err(|e| bad(format!("bad search: {e}")))?);
+        }
+    }
+    Ok(parsed)
+}
+
 /// `POST /v1/evaluate`: the original steady-state route, now a thin
 /// wrapper over the v2 pipeline with a fixed `[steady_state]` analysis
 /// set. Existing v1 response fields are unchanged; the shared pipeline
 /// additionally includes the `analyses` list and per-result report union
 /// (additive for v1 clients).
 fn evaluate(shared: &Shared, request: &Request) -> Response {
-    let catalog = match parse_catalog_body(&request.body) {
-        Ok(catalog) => catalog,
+    let parsed = match parse_catalog_request(&request.body) {
+        Ok(parsed) => parsed,
         Err(resp) => return *resp,
     };
-    run_analyses(shared, &catalog, vec![AnalysisRequest::SteadyState], false, false)
+    run_analyses(shared, &parsed.catalog, vec![AnalysisRequest::SteadyState], false, false)
 }
 
 /// `POST /v2/evaluate`: `{"catalog": <catalog document>, "analyses":
-/// [...]}`. The analysis set falls back to the catalog's own `[analyses]`
-/// section (which itself defaults to steady state). `?trace=1` inlines
-/// the request's span tree into the response.
+/// [...]}` or a bare catalog document. The analysis set falls back to the
+/// catalog's own `[analyses]` section (which itself defaults to steady
+/// state). `?trace=1` inlines the request's span tree into the response.
 fn evaluate_v2(shared: &Shared, request: &Request) -> Response {
     let inline_trace = request.query_param("trace").is_some_and(|v| v == "1" || v == "true");
-    let text = match std::str::from_utf8(&request.body) {
-        Ok(text) => text,
-        Err(_) => return Response::error(400, "body is not UTF-8"),
+    let parsed = match parse_catalog_request(&request.body) {
+        Ok(parsed) => parsed,
+        Err(resp) => return *resp,
     };
-    let root = match Value::from_json(text) {
-        Ok(root) => root,
-        Err(e) => return Response::error(400, &format!("body does not parse: {e}")),
-    };
-    let Some(catalog_doc) = root.get("catalog") else {
-        return Response::error(
-            400,
-            "v2 body needs a \"catalog\" field (the catalog document)",
-        );
-    };
-    let catalog = match Catalog::from_value(catalog_doc) {
-        Ok(catalog) => catalog,
-        Err(e) => return Response::error(400, &format!("catalog does not parse: {e}")),
-    };
-    let analyses = match root.get("analyses") {
-        None => catalog.analyses.clone(),
-        Some(v) => match parse_analyses(v) {
-            Ok(analyses) => analyses,
-            Err(e) => return Response::error(400, &format!("bad analyses: {e}")),
-        },
-    };
-    run_analyses(shared, &catalog, analyses, true, inline_trace)
+    let analyses = parsed.analyses.clone().unwrap_or_else(|| parsed.catalog.analyses.clone());
+    run_analyses(shared, &parsed.catalog, analyses, true, inline_trace)
 }
 
-fn parse_catalog_body(body: &[u8]) -> Result<Catalog, Box<Response>> {
-    let text = std::str::from_utf8(body)
-        .map_err(|_| Box::new(Response::error(400, "body is not UTF-8")))?;
-    Catalog::from_json_str(text)
-        .map_err(|e| Box::new(Response::error(400, &format!("catalog does not parse: {e}"))))
+/// `POST /v2/search`: SLO-driven design search over the POSTed catalog's
+/// expanded grid. The search configuration comes from the envelope's
+/// `"search"` object when present, else the catalog's own `[search]`
+/// section; a body carrying neither is a 400. Candidates are evaluated
+/// through the same shared single-flight cache as the evaluate routes (so
+/// a repeated search is answered from cache), and the response body is
+/// the canonical search JSON — bit-identical to
+/// `dtc search --format json` on the same catalog.
+fn search_v2(shared: &Shared, request: &Request) -> Response {
+    let parsed = match parse_catalog_request(&request.body) {
+        Ok(parsed) => parsed,
+        Err(resp) => return *resp,
+    };
+    let config = match parsed.search.or_else(|| parsed.catalog.search.clone()) {
+        Some(config) => config,
+        None => {
+            return Response::error(
+                400,
+                "search needs a configuration: give the catalog a [search] section or \
+                 POST {\"catalog\": …, \"search\": {\"availability_floor\": …}}",
+            )
+        }
+    };
+    let opts = SearchOptions { threads: shared.eval_threads, ..SearchOptions::default() };
+    let report = match dtc_search::run_search(&parsed.catalog, &config, &shared.cache, &opts) {
+        Ok(report) => report,
+        Err(e) => return Response::error(400, &format!("search failed: {e}")),
+    };
+    shared.evaluations.fetch_add(1, Ordering::Relaxed);
+    if report.stats.evaluated > 0 || report.stats.probe_evaluations > 0 {
+        // Same rationale as the evaluate pipeline: flush fresh solves
+        // before a kill can discard them. In-memory caches no-op.
+        let _span = trace::trace_span("persist");
+        if let Err(e) = shared.cache.persist() {
+            dtc_obs::log::warn(
+                "dtc-serve",
+                "cache persist failed",
+                &[("error", e.to_string().into())],
+            );
+        }
+    }
+    Response::json(200, dtc_search::report::report_to_value(&report).to_json())
 }
 
 /// The shared evaluation pipeline behind both routes: expand, fan out

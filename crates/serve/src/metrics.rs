@@ -26,6 +26,7 @@ const ROUTES: &[&str] = &[
     "/v1/cache/keys",
     "/v1/evaluate",
     "/v2/evaluate",
+    "/v2/search",
     "/v2/model/dot",
     "/v2/debug/trace",
     "/v2/debug/traces",
@@ -171,6 +172,16 @@ fn render_cache_section(out: &mut String, stats: &CacheStats) {
             "Entries dropped by the max-entries cap.",
             stats.evictions,
         ),
+        (
+            "dtc_cache_batch_candidates_total",
+            "Scenarios submitted through batch runs (search sweeps included).",
+            stats.batch_candidates,
+        ),
+        (
+            "dtc_cache_batch_distinct_total",
+            "Distinct spec keys among batch candidates (dedup denominator).",
+            stats.batch_distinct,
+        ),
     ];
     for (name, help, value) in counters {
         expo::write_header(out, name, help, "counter");
@@ -211,7 +222,15 @@ mod tests {
         let m = ServeMetrics::new(4, 128);
         m.observe_request("/healthz", 200, 0.001);
         m.sheds.inc();
-        let stats = CacheStats { hits: 3, misses: 2, entries: 1, evictions: 0, joins: 1 };
+        let stats = CacheStats {
+            hits: 3,
+            misses: 2,
+            entries: 1,
+            evictions: 0,
+            joins: 1,
+            batch_candidates: 8,
+            batch_distinct: 5,
+        };
         let text = m.render_scrape(&stats);
         assert!(text.contains("dtc_http_requests_total{route=\"/healthz\",status=\"200\"} 1"));
         assert!(text.contains("dtc_http_request_seconds_count{route=\"/healthz\"} 1"));
@@ -219,6 +238,8 @@ mod tests {
         assert!(text.contains("dtc_http_workers 4"));
         assert!(text.contains("dtc_cache_hits_total 3"));
         assert!(text.contains("dtc_cache_single_flight_joins_total 1"));
+        assert!(text.contains("dtc_cache_batch_candidates_total 8"));
+        assert!(text.contains("dtc_cache_batch_distinct_total 5"));
         assert!(text.contains("dtc_cache_entries 1"));
     }
 
@@ -229,7 +250,15 @@ mod tests {
         // concatenation would NOT interleave with the cache families.
         m.observe_request("/v2/evaluate", 200, 0.1);
         m.observe_read_error("malformed");
-        let stats = CacheStats { hits: 1, misses: 1, entries: 1, evictions: 0, joins: 0 };
+        let stats = CacheStats {
+            hits: 1,
+            misses: 1,
+            entries: 1,
+            evictions: 0,
+            joins: 0,
+            batch_candidates: 0,
+            batch_distinct: 0,
+        };
         let text = m.render_scrape(&stats);
 
         let families: Vec<&str> = text

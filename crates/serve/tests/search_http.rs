@@ -1,0 +1,235 @@
+//! `POST /v2/search` end to end, including the golden pin: the bundled
+//! search7 space's cheapest-four-nines pick, bit-identical between the
+//! real `dtc search` binary and the HTTP route.
+//!
+//! The CLI run solves the whole space cold into a temp cache store; the
+//! server then opens the same store, so the HTTP pass is answered
+//! entirely from cache — which is itself an acceptance claim, asserted
+//! through `/v1/stats` deltas rather than wall clock.
+
+use dtc_engine::value::Value;
+use dtc_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::Command;
+use std::time::Duration;
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        queue: 64,
+        eval_threads: 1,
+        cache_path: None,
+        cache_cap: None,
+    }
+}
+
+/// One connection-per-request HTTP exchange; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let payload = body.unwrap_or("");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(payload.as_bytes()).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn int_at(v: &Value, a: &str, b: &str) -> i64 {
+    v.get(a)
+        .and_then(|x| x.get(b))
+        .and_then(|x| x.as_i64())
+        .unwrap_or_else(|| panic!("{a}.{b} missing in {}", v.to_json()))
+}
+
+/// The golden pin. search7's `[search]` section asks for the cheapest
+/// four-nines design; only the active-active tier crosses 0.9999, and
+/// only at its best WAN quality and rarest disasters — so the pick is a
+/// fixed, named candidate. The CLI's `--format json` stdout and the
+/// `POST /v2/search` response body must agree byte for byte.
+#[test]
+fn search7_cheapest_four_nines_pick_is_pinned_across_cli_and_http() {
+    const PICK: &str = "aa-Brasilia[alpha=0.9,disaster_years=3200]";
+
+    let dir = std::env::temp_dir().join(format!("dtc-search-http-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("search7-cache.json");
+    let _ = std::fs::remove_file(&store);
+
+    // 1. The real binary, cold: solves the whole 213-candidate space and
+    //    persists every solve (break-even probes included) to the store.
+    let output = Command::new(env!("CARGO_BIN_EXE_dtc"))
+        .args(["search", "search7", "--format", "json", "--cache"])
+        .arg(&store)
+        .output()
+        .expect("dtc binary runs");
+    assert!(
+        output.status.success(),
+        "dtc search failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let cli_bytes = String::from_utf8(output.stdout).expect("UTF-8 stdout");
+    let cli_doc = Value::from_json(&cli_bytes).expect("CLI emits valid JSON");
+    assert_eq!(cli_doc.get("kind").and_then(|k| k.as_str()), Some("design_search"));
+    assert_eq!(int_at(&cli_doc, "summary", "candidates"), 213, "the full bundled space ran");
+    assert_eq!(
+        cli_doc.get("recommendation").and_then(|r| r.get("name")).and_then(|n| n.as_str()),
+        Some(PICK),
+        "cheapest four-nines pick drifted: {}",
+        cli_doc.get("recommendation").map(|r| r.to_json()).unwrap_or_default()
+    );
+    let rec_avail = cli_doc
+        .get("recommendation")
+        .and_then(|r| r.get("availability"))
+        .and_then(|a| a.as_f64())
+        .expect("recommendation availability");
+    assert!(rec_avail >= 0.9999, "the pick must actually meet the floor: {rec_avail}");
+
+    // 2. The HTTP route over the same store: POST the bundled catalog as
+    //    a bare document (it carries its own [search] section).
+    let mut cfg = config();
+    cfg.cache_path = Some(store.clone());
+    let server = Server::start(&cfg).expect("server starts");
+    let addr = server.addr();
+    let body = dtc_search::catalogs::search7().to_value().to_json();
+    let (status, http_bytes) = request(addr, "POST", "/v2/search", Some(&body));
+    assert_eq!(status, 200, "{http_bytes}");
+    assert_eq!(http_bytes, cli_bytes, "CLI and HTTP must return byte-identical JSON");
+
+    // 3. Cache-stats deltas prove the HTTP pass was answered entirely
+    //    from the CLI run's store: zero misses, every candidate and every
+    //    break-even probe a hit, and the batch-dedup counters exposed.
+    let stats_body = request(addr, "GET", "/v1/stats", None).1;
+    let stats = Value::from_json(&stats_body).expect("stats JSON");
+    assert_eq!(
+        int_at(&stats, "cache", "misses"),
+        0,
+        "warm search must not solve: {stats_body}"
+    );
+    assert!(int_at(&stats, "cache", "hits") >= 213, "{stats_body}");
+    assert!(int_at(&stats, "cache", "batch_candidates") >= 213, "{stats_body}");
+    assert!(
+        int_at(&stats, "cache", "batch_distinct")
+            <= int_at(&stats, "cache", "batch_candidates"),
+        "{stats_body}"
+    );
+
+    // 4. Idempotence over HTTP: an immediate re-POST is byte-identical
+    //    and still adds no misses.
+    let (status, again) = request(addr, "POST", "/v2/search", Some(&body));
+    assert_eq!(status, 200);
+    assert_eq!(again, http_bytes, "re-POST must be byte-identical");
+    let stats = Value::from_json(&request(addr, "GET", "/v1/stats", None).1).unwrap();
+    assert_eq!(int_at(&stats, "cache", "misses"), 0);
+
+    server.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_file(&store);
+}
+
+/// Route/error shapes for `/v2/search`, and the shared-parser behavior on
+/// `/v2/evaluate`: a bare catalog document and the `{"catalog": …}`
+/// envelope are both accepted, with one set of error messages.
+#[test]
+fn search_route_errors_and_shared_catalog_parser() {
+    let server = Server::start(&config()).expect("server starts");
+    let addr = server.addr();
+
+    // A fast two-candidate space with an envelope-level [search] override.
+    let catalog = r#"{
+        "catalog": {"name": "mini"},
+        "scenario": [
+            {"name": "solo", "kind": "custom", "min_running_vms": 1,
+             "disaster_years": [100.0],
+             "dc": [{"site": "Rio de Janeiro", "hot_pms": 1, "vms_per_pm": 1,
+                     "pm_capacity": 1, "backup_link": false}]},
+            {"name": "spare", "kind": "custom", "min_running_vms": 1,
+             "disaster_years": [100.0],
+             "dc": [{"site": "Rio de Janeiro", "hot_pms": 1, "warm_pms": 1,
+                     "vms_per_pm": 1, "pm_capacity": 1, "backup_link": false}]}
+        ]
+    }"#;
+
+    // No [search] section and no envelope override → 400 naming the fix.
+    let (status, body) = request(addr, "POST", "/v2/search", Some(catalog));
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("[search]"), "{body}");
+
+    // Envelope: same document plus a search config.
+    let envelope = format!(
+        "{{\"catalog\":{catalog},\"search\":{{\"availability_floor\":0.95,\"break_even\":false}}}}"
+    );
+    let (status, body) = request(addr, "POST", "/v2/search", Some(&envelope));
+    assert_eq!(status, 200, "{body}");
+    let doc = Value::from_json(&body).expect("search JSON");
+    assert_eq!(int_at(&doc, "summary", "candidates"), 2);
+    assert_eq!(
+        doc.get("search").and_then(|s| s.get("availability_floor")).and_then(|f| f.as_f64()),
+        Some(0.95)
+    );
+    let frontier = doc.get("frontier").and_then(|f| f.as_array()).expect("frontier");
+    assert!(!frontier.is_empty());
+    assert_eq!(doc.get("break_even").and_then(|b| b.as_array()).map(|b| b.len()), Some(0));
+
+    // Malformed search override → 400 through the shared parser.
+    let bad =
+        format!("{{\"catalog\":{catalog},\"search\":{{\"availability_floor\":\"high\"}}}}");
+    let (status, body) = request(addr, "POST", "/v2/search", Some(&bad));
+    assert_eq!(status, 400);
+    assert!(body.contains("availability_floor"), "{body}");
+
+    // Wrong method and non-JSON bodies share the server's error shapes.
+    let (status, _) = request(addr, "GET", "/v2/search", None);
+    assert_eq!(status, 405);
+    let (status, body) = request(addr, "POST", "/v2/search", Some("not json"));
+    assert_eq!(status, 400);
+    assert!(body.contains("body does not parse"), "{body}");
+
+    // Satellite: /v2/evaluate accepts the same bare catalog document…
+    let (status, bare_eval) = request(addr, "POST", "/v2/evaluate", Some(catalog));
+    assert_eq!(status, 200, "{bare_eval}");
+    let bare_doc = Value::from_json(&bare_eval).expect("evaluate JSON");
+    let results = bare_doc.get("results").and_then(|r| r.as_array()).expect("results");
+    assert_eq!(results.len(), 2);
+
+    // …and the envelope form of the identical document returns the same
+    // report unions (timings and cache provenance differ; numbers must
+    // not — the second POST is a cache hit on the first's solves).
+    let wrapped = format!("{{\"catalog\":{catalog}}}");
+    let (status, env_eval) = request(addr, "POST", "/v2/evaluate", Some(&wrapped));
+    assert_eq!(status, 200, "{env_eval}");
+    let env_doc = Value::from_json(&env_eval).unwrap();
+    let unions = |doc: &Value| -> Vec<String> {
+        doc.get("results")
+            .and_then(|r| r.as_array())
+            .expect("results")
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}:{}",
+                    r.get("scenario").and_then(|s| s.as_str()).unwrap_or(""),
+                    r.get("analyses").map(|a| a.to_json()).unwrap_or_default()
+                )
+            })
+            .collect()
+    };
+    assert_eq!(
+        unions(&env_doc),
+        unions(&bare_doc),
+        "bare and enveloped documents are the same request"
+    );
+
+    server.shutdown().expect("clean shutdown");
+}

@@ -1,58 +1,83 @@
 //! Economics: is the second data center worth the money?
 //!
 //! The paper motivates disaster tolerance through SLA penalties. This
-//! example prices three architectures — one site, one site + backup-only,
-//! two sites — under a configurable cost model, and reports the break-even
-//! outage cost at which the failover site pays for itself.
+//! example prices the single-site and two-site architectures under a
+//! configurable cost model — now phrased as an SLO-driven **design
+//! search** (`dtcloud::search`): the two architectures form a tiny
+//! candidate space, the search ranks them by annual cost, extracts the
+//! cost/availability frontier and the cheapest design meeting the SLO,
+//! and bisects the **break-even disaster rate** at which their
+//! availability curves cross. The classic break-even *outage cost* (at
+//! which the failover site pays for itself) is still reported.
 //!
 //! ```sh
 //! cargo run --release --example cost_comparison
 //! ```
 
-use dtcloud::core::prelude::*;
-use dtcloud::geo::{WanModel, BRASILIA, RIO_DE_JANEIRO, SAO_PAULO};
+use dtcloud::core::economics::CostModel;
+use dtcloud::engine::{Catalog, EvalCache};
+use dtcloud::search::{run_search, SearchOptions};
+use std::sync::Arc;
 
-fn main() -> dtcloud::core::Result<()> {
-    let params = PaperParams::table_vi();
-    let wan = WanModel::paper_calibrated();
-    let alpha = 0.35;
-    let gb = params.vm_size_gb;
-    let mtt = wan.mtt_between_hours(&RIO_DE_JANEIRO, &BRASILIA, alpha, gb);
-    let bk1 = wan.mtt_between_hours(&SAO_PAULO, &RIO_DE_JANEIRO, alpha, gb);
-    let bk2 = wan.mtt_between_hours(&SAO_PAULO, &BRASILIA, alpha, gb);
+/// The two architectures of the original comparison, declared as a
+/// search space instead of hand-built specs: a hot two-VM PM in Rio,
+/// with or without a warm twin in Brasília (plus the backup server in
+/// São Paulo). Downtime is priced at $1000/hour so infrastructure and
+/// downtime genuinely compete — the point of the comparison.
+const SPACE: &str = r#"
+[catalog]
+name = "cost comparison"
+description = "single site vs dual site, priced"
 
-    let dc = |label: &str, hot: bool, bk: Option<f64>| DataCenterSpec {
-        label: label.into(),
-        pms: vec![if hot { PmSpec::hot(2, 2) } else { PmSpec::warm(2) }],
-        disaster: Some(params.disaster(100.0)),
-        nas_net: Some(params.nas_net_folded().expect("folds")),
-        backup_inbound_mtt_hours: bk,
-    };
+[search]
+availability_floor = 0.995
+break_even = true
+max_break_even_pairs = 4
 
-    // Architecture A: single site.
-    let single = CloudSystemSpec {
-        ospm: params.ospm_folded()?,
-        vm: params.vm_params(),
-        data_centers: vec![dc("1", true, None)],
-        backup: None,
-        direct_mtt_hours: vec![vec![None]],
-        min_running_vms: 1,
-        migration_threshold: 1,
-    };
-    // Architecture B: two sites + backup server (the paper's design).
-    let dual = CloudSystemSpec {
-        ospm: params.ospm_folded()?,
-        vm: params.vm_params(),
-        data_centers: vec![dc("1", true, Some(bk1)), dc("2", false, Some(bk2))],
-        backup: Some(params.backup),
-        direct_mtt_hours: vec![vec![None, Some(mtt)], vec![Some(mtt), None]],
-        min_running_vms: 1,
-        migration_threshold: 1,
-    };
+[search.cost]
+downtime_cost_per_hour = 1000.0
 
-    let opts = EvalOptions::default();
-    let costs = CostModel::default();
+[[scenario]]
+name = "single site (Rio)"
+kind = "custom"
+min_running_vms = 1
+disaster_years = 100.0
 
+[[scenario.dc]]
+site = "Rio de Janeiro"
+hot_pms = 1
+vms_per_pm = 2
+pm_capacity = 2
+backup_link = false
+
+[[scenario]]
+name = "dual site (Rio+Brasilia)"
+kind = "custom"
+min_running_vms = 1
+alpha = 0.35
+disaster_years = 100.0
+backup_site = "Sao Paulo"
+
+[[scenario.dc]]
+site = "Rio de Janeiro"
+hot_pms = 1
+vms_per_pm = 2
+pm_capacity = 2
+
+[[scenario.dc]]
+site = "Brasilia"
+warm_pms = 1
+vms_per_pm = 2
+pm_capacity = 2
+"#;
+
+fn main() -> dtcloud::engine::Result<()> {
+    let catalog = Catalog::from_toml_str(SPACE)?;
+    let config = catalog.search.clone().expect("the space declares [search]");
+    let cache = Arc::new(EvalCache::in_memory());
+    let report = run_search(&catalog, &config, &cache, &SearchOptions::default())?;
+
+    let costs = &config.cost;
     println!(
         "cost model: outage ${}/h, site ${}/y, PM ${}/y, backup ${}/y\n",
         costs.downtime_cost_per_hour,
@@ -64,34 +89,74 @@ fn main() -> dtcloud::core::Result<()> {
         "{:<28} {:>12} {:>13} {:>13} {:>13}",
         "architecture", "availability", "downtime $/y", "infra $/y", "total $/y"
     );
-
-    let mut evaluated = Vec::new();
-    for (name, spec) in [("single site (Rio)", single), ("dual site (Rio+Brasília)", dual)] {
-        let model = CloudModel::build(&spec)?;
-        let report = model.evaluate(&opts)?;
-        let cost = costs.annual_cost(&spec, &report);
+    for c in &report.candidates {
         println!(
             "{:<28} {:>12.6} {:>13.0} {:>13.0} {:>13.0}",
-            name,
-            report.availability,
-            cost.downtime,
-            cost.infrastructure,
-            cost.total()
+            c.name,
+            c.availability,
+            c.cost.downtime,
+            c.cost.infrastructure,
+            c.cost.total()
         );
-        evaluated.push((name, spec, report, cost));
     }
 
-    let (_, _, r_single, c_single) = &evaluated[0];
-    let (_, _, r_dual, c_dual) = &evaluated[1];
-    let extra_infra = c_dual.infrastructure - c_single.infrastructure;
-    match CostModel::break_even_rate(r_single.availability, r_dual.availability, extra_infra) {
+    // The classic question: at what outage price does the failover site
+    // pay for itself? (Independent of the price configured above.)
+    let single = report
+        .candidates
+        .iter()
+        .find(|c| c.name.starts_with("single"))
+        .expect("single-site candidate evaluated");
+    let dual = report
+        .candidates
+        .iter()
+        .find(|c| c.name.starts_with("dual"))
+        .expect("dual-site candidate evaluated");
+    let extra_infra = dual.cost.infrastructure - single.cost.infrastructure;
+    match CostModel::break_even_rate(single.availability, dual.availability, extra_infra) {
         Some(rate) => println!(
             "\nthe failover site pays for itself once an outage hour costs more \
              than ${rate:.0}\n(availability gain: {:.4} -> {:.4}, extra infrastructure \
              ${extra_infra:.0}/year)",
-            r_single.availability, r_dual.availability
+            single.availability, dual.availability
         ),
         None => println!("\nthe failover site never pays for itself at these parameters"),
+    }
+
+    // What the search layer adds: the frontier, the SLO verdict, and the
+    // break-even *disaster rate* between the frontier neighbors.
+    println!(
+        "\nfrontier (cheapest first): {}",
+        if report.frontier.is_empty() {
+            "(empty)".into()
+        } else {
+            report.frontier.join(" -> ")
+        }
+    );
+    match report.recommended() {
+        Some(c) => println!(
+            "cheapest design meeting the {:.3} floor: {} at ${:.0}/year",
+            config.slo.availability_floor,
+            c.name,
+            c.cost.total()
+        ),
+        None => println!(
+            "no candidate meets the {:.3} availability floor",
+            config.slo.availability_floor
+        ),
+    }
+    for b in &report.break_even {
+        match b.disaster_years {
+            Some(y) => println!(
+                "break-even disaster rate {} vs {}: one disaster every {y:.0} years — \
+                 more frequent than that and the richer design wins on availability",
+                b.cheaper, b.richer
+            ),
+            None => println!(
+                "break-even {} vs {}: no crossing between 1 and 10000-year disaster means",
+                b.cheaper, b.richer
+            ),
+        }
     }
     Ok(())
 }

@@ -23,6 +23,7 @@
 //! | [`geo`] | case-study cities, distances, PingER-style throughput |
 //! | [`core`] | the paper's blocks, system compiler, metrics and case study |
 //! | [`engine`] | declarative scenario catalogs, content-addressed evaluation cache, `dtc` CLI |
+//! | [`search`] | SLO-driven design search: feasible set, cost/availability Pareto frontier, break-even disaster rates |
 //! | [`serve`] | concurrent HTTP evaluation service with single-flight caching + loadgen |
 //!
 //! # Example
@@ -51,5 +52,6 @@ pub use dtc_markov as markov;
 pub use dtc_obs as obs;
 pub use dtc_petri as petri;
 pub use dtc_rbd as rbd;
+pub use dtc_search as search;
 pub use dtc_serve as serve;
 pub use dtc_sim as sim;
