@@ -1,5 +1,7 @@
 //! Per-point vs single-pass transient curves on the bundled Fig. 7 case
-//! study, recorded as `BENCH_curve.json` at the repo root.
+//! study, plus a thread axis over the parallel march kernels and the
+//! O(states)-memory reward-projection mode, recorded as
+//! `BENCH_curve.json` at the repo root.
 //!
 //! The per-point path re-runs uniformization from scratch for every time
 //! point (`Ctmc::transient` once per `t`); the single-pass path builds the
@@ -9,43 +11,89 @@
 //! against the single pass's `Λ·T`, so the expected speedup grows linearly
 //! with the number of points.
 //!
-//! Usage: `cargo run --release -p dtc-bench --bin curve_bench [max_hours] [--trace]`
-//! (default 24; the full ~126k-state model costs a few minutes per-point
-//! at 64 points — that cost is the point of the comparison). `--trace`
-//! collects the run's span tree (state-space exploration, matrix builds,
-//! marches) and prints it to stderr when the benchmark finishes.
+//! The thread axis re-runs the single pass at 1/2/4/8 worker threads.
+//! The kernels are deterministic by construction (`dtc_markov::par`:
+//! fixed row blocks, disjoint writes, block-ordered reductions), so the
+//! bench asserts `max_abs_diff == 0.0` — bitwise, not a tolerance —
+//! against the 1-thread run, and records the speedup honestly along with
+//! the machine's core count.
+//!
+//! The projection section runs a 1000-point year-horizon curve in
+//! reward-projection mode (`Ctmc::transient_reward_curve_projected`):
+//! the march accumulates `r·π₀Pᵏ` scalars instead of materializing a
+//! distribution vector per point, so the point accumulators cost
+//! O(points) memory instead of O(points × states).
+//!
+//! Usage: `cargo run --release -p dtc-bench --bin curve_bench
+//! [max_hours] [--trace] [--smoke] [--threads]`
+//!
+//! Default max_hours is 24; the full ~126k-state model costs a few
+//! minutes per-point at 64 points — that cost is the point of the
+//! comparison. `--smoke` swaps in the Table VII one-machine model and
+//! small grids (seconds-scale, for CI) and does NOT write
+//! `BENCH_curve.json`. `--threads` forces the thread axis (always on in
+//! full mode). `--trace` collects the run's span tree and prints it to
+//! stderr when the benchmark finishes.
 
 use dtc_core::prelude::*;
 use dtc_engine::value::Value;
 use std::time::Instant;
 
+/// Max |a - b| over two equal-length curves.
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max)
+}
+
 fn main() {
     let mut trace = false;
+    let mut smoke = false;
+    let mut threads_axis = false;
     let args: Vec<String> = std::env::args()
         .skip(1)
-        .filter(|a| {
-            if a == "--trace" {
+        .filter(|a| match a.as_str() {
+            "--trace" => {
                 trace = true;
                 false
-            } else {
-                true
             }
+            "--smoke" => {
+                smoke = true;
+                false
+            }
+            "--threads" => {
+                threads_axis = true;
+                false
+            }
+            _ => true,
         })
         .collect();
     let max_hours: f64 =
         args.first().map(|a| a.parse().expect("max_hours must be a number")).unwrap_or(24.0);
+    // The tracked JSON carries the thread axis; --smoke opts in explicitly.
+    threads_axis |= !smoke;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let trace_ctx =
         trace.then(|| dtc_obs::trace::TraceContext::new(dtc_obs::trace::TraceId::generate()));
     let _trace_guard = trace_ctx.as_ref().map(dtc_obs::trace::install);
     let _root_span = trace_ctx.as_ref().map(|_| dtc_obs::trace::trace_span("curve_bench"));
 
-    let scenario = dtc_engine::catalogs::fig7()
-        .expand()
-        .expect("bundled fig7 catalog expands")
-        .into_iter()
-        .next()
-        .expect("fig7 has scenarios");
-    println!("scenario: {}", scenario.name);
+    // Full mode benches the ~126k-state fig7 case study; --smoke swaps in
+    // the Table VII one-machine row so the whole binary stays CI-sized.
+    let scenario = if smoke {
+        dtc_engine::catalogs::table7()
+            .expand()
+            .expect("bundled table7 catalog expands")
+            .into_iter()
+            .find(|s| s.machines == Some(1))
+            .expect("table7 has the one-machine row")
+    } else {
+        dtc_engine::catalogs::fig7()
+            .expand()
+            .expect("bundled fig7 catalog expands")
+            .into_iter()
+            .next()
+            .expect("fig7 has scenarios")
+    };
+    println!("scenario: {} ({} cores)", scenario.name, cores);
     let model = CloudModel::build(&scenario.spec).expect("scenario compiles");
     let t0 = Instant::now();
     let graph = model.state_space(&EvalOptions::default()).expect("state space");
@@ -64,12 +112,14 @@ fn main() {
         .map(|m| if expr.eval(&|p: dtc_petri::PlaceId| m[p.index()]) { 1.0 } else { 0.0 })
         .collect();
 
+    // ── Per-point vs single-pass ────────────────────────────────────────
+    let point_counts: &[usize] = if smoke { &[4, 16] } else { &[4, 16, 64] };
     let mut runs = Vec::new();
     println!(
         "{:>7} {:>15} {:>15} {:>9} {:>12}",
         "points", "per-point (s)", "one-pass (s)", "speedup", "max |Δ|"
     );
-    for &points in &[4usize, 16, 64] {
+    for &points in point_counts {
         let times: Vec<f64> =
             (1..=points).map(|i| max_hours * i as f64 / points as f64).collect();
 
@@ -86,38 +136,165 @@ fn main() {
             ctmc.transient_reward_curve(&pi0, &times, &reward).expect("single-pass curve");
         let single_pass_s = t0.elapsed().as_secs_f64();
 
-        let max_abs_diff = per_point
-            .iter()
-            .zip(&single_pass)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
-        assert!(max_abs_diff < 1e-12, "paths disagree by {max_abs_diff:e}");
+        let diff = max_abs_diff(&per_point, &single_pass);
+        assert!(diff < 1e-12, "paths disagree by {diff:e}");
         let speedup = per_point_s / single_pass_s;
         println!(
-            "{points:>7} {per_point_s:>15.3} {single_pass_s:>15.3} {speedup:>8.2}x {max_abs_diff:>12.2e}"
+            "{points:>7} {per_point_s:>15.3} {single_pass_s:>15.3} {speedup:>8.2}x {diff:>12.2e}"
         );
         runs.push(Value::object([
             ("points", Value::Int(points as i64)),
             ("per_point_seconds", Value::Float(per_point_s)),
             ("single_pass_seconds", Value::Float(single_pass_s)),
             ("speedup", Value::Float(speedup)),
-            ("max_abs_diff", Value::Float(max_abs_diff)),
+            ("max_abs_diff", Value::Float(diff)),
         ]));
     }
 
-    let doc = Value::object([
-        ("bench", Value::Str("curve: per-point vs single-pass uniformization".into())),
-        ("command", Value::Str("cargo run --release -p dtc-bench --bin curve_bench".into())),
-        ("scenario", Value::Str(scenario.name.clone())),
-        ("states", Value::Int(graph.num_states() as i64)),
-        ("transitions", Value::Int(ctmc.generator().nnz() as i64)),
-        ("uniformization_rate_per_hour", Value::Float(ctmc.uniformization_rate())),
-        ("grid", Value::Str(format!("uniform over (0, {max_hours}] hours"))),
-        ("runs", Value::Array(runs)),
-    ]);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_curve.json");
-    std::fs::write(path, doc.to_json() + "\n").expect("write BENCH_curve.json");
-    println!("wrote {path}");
+    // ── Thread axis: single pass at 1/2/4/8 workers, bitwise-pinned ─────
+    let mut thread_runs = Vec::new();
+    let axis_points = *point_counts.last().unwrap();
+    if threads_axis {
+        let times: Vec<f64> =
+            (1..=axis_points).map(|i| max_hours * i as f64 / axis_points as f64).collect();
+        let counts: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+        println!("thread axis ({axis_points} points, {cores} cores):");
+        println!("{:>8} {:>15} {:>12} {:>12}", "threads", "one-pass (s)", "speedup", "max |Δ|");
+        let mut baseline: Option<(f64, Vec<Vec<f64>>)> = None;
+        for &threads in counts {
+            let opts = dtc_markov::PassOptions { threads, ..Default::default() };
+            let t0 = Instant::now();
+            let out = dtc_markov::uniformized_pass_with(ctmc, &pi0, &times, &[], &[], &opts)
+                .expect("single-pass curve");
+            let seconds = t0.elapsed().as_secs_f64();
+            let (speedup, diff) = match &baseline {
+                None => {
+                    baseline = Some((seconds, out.distributions));
+                    (1.0, 0.0)
+                }
+                Some((serial_s, serial_dists)) => {
+                    // The determinism contract is bitwise, so the measured
+                    // difference must be exactly zero — not merely small.
+                    let diff = serial_dists
+                        .iter()
+                        .zip(&out.distributions)
+                        .map(|(a, b)| max_abs_diff(a, b))
+                        .fold(0.0f64, f64::max);
+                    assert_eq!(
+                        diff, 0.0,
+                        "{threads}-thread march diverged from serial by {diff:e}"
+                    );
+                    (serial_s / seconds, diff)
+                }
+            };
+            println!("{threads:>8} {seconds:>15.3} {speedup:>11.2}x {diff:>12.2e}");
+            thread_runs.push(Value::object([
+                ("threads", Value::Int(threads as i64)),
+                ("single_pass_seconds", Value::Float(seconds)),
+                ("speedup_vs_1_thread", Value::Float(speedup)),
+                ("max_abs_diff", Value::Float(diff)),
+            ]));
+        }
+    }
+
+    // ── Reward projection: O(states) memory for dense year curves ───────
+    // Check the mode against full-vector dots on a small grid of the main
+    // scenario, then run a dense year-horizon curve on the Table VII
+    // one-machine model — kept small because the point of projection is
+    // the *accumulator* footprint (points × states × 8 bytes of
+    // distribution vectors in full-vector mode), not raw march speed; on
+    // the fig7 model the year march alone is Λ·8760 ≈ 450k steps.
+    let check_points = 16usize;
+    let check_times: Vec<f64> =
+        (1..=check_points).map(|i| max_hours * i as f64 / check_points as f64).collect();
+    let full = ctmc
+        .transient_reward_curve(&pi0, &check_times, &reward)
+        .expect("full-vector reference");
+    let projected = ctmc
+        .transient_reward_curve_projected(&pi0, &check_times, &reward, 0)
+        .expect("projected curve");
+    let check_diff = max_abs_diff(&full, &projected);
+    assert!(check_diff < 1e-12, "projection drifted from full-vector by {check_diff:e}");
+
+    let year_scenario = dtc_engine::catalogs::table7()
+        .expand()
+        .expect("bundled table7 catalog expands")
+        .into_iter()
+        .find(|s| s.machines == Some(1))
+        .expect("table7 has the one-machine row");
+    let year_model = CloudModel::build(&year_scenario.spec).expect("scenario compiles");
+    let year_graph = year_model.state_space(&EvalOptions::default()).expect("state space");
+    let year_expr = year_model.availability_expr();
+    let year_reward: Vec<f64> = year_graph
+        .states()
+        .iter()
+        .map(|m| if year_expr.eval(&|p: dtc_petri::PlaceId| m[p.index()]) { 1.0 } else { 0.0 })
+        .collect();
+    let year_pi0 = year_graph.initial_pi0();
+    let year_points = if smoke { 200usize } else { 1000 };
+    let year_hours = 8760.0;
+    let year_times: Vec<f64> =
+        (1..=year_points).map(|i| year_hours * i as f64 / year_points as f64).collect();
+    let t0 = Instant::now();
+    let year_curve = year_graph
+        .ctmc()
+        .transient_reward_curve_projected(&year_pi0, &year_times, &year_reward, 0)
+        .expect("year-horizon projected curve");
+    let projection_s = t0.elapsed().as_secs_f64();
+    assert_eq!(year_curve.len(), year_points);
+    assert!(year_curve.iter().all(|a| (0.0..=1.0 + 1e-9).contains(a)));
+    let projection_bytes = year_points * 8;
+    let full_vector_bytes = year_points * year_graph.num_states() * 8;
+    println!(
+        "projection: {year_points}-point year curve on {} ({} states) in {projection_s:.3} s \
+         ({projection_bytes} B accumulators vs {full_vector_bytes} B full-vector; \
+         check max |Δ| {check_diff:.2e})",
+        year_scenario.name,
+        year_graph.num_states()
+    );
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_curve.json");
+    } else {
+        let doc = Value::object([
+            ("bench", Value::Str("curve: per-point vs single-pass uniformization".into())),
+            (
+                "command",
+                Value::Str("cargo run --release -p dtc-bench --bin curve_bench".into()),
+            ),
+            ("scenario", Value::Str(scenario.name.clone())),
+            ("states", Value::Int(graph.num_states() as i64)),
+            ("transitions", Value::Int(ctmc.generator().nnz() as i64)),
+            ("uniformization_rate_per_hour", Value::Float(ctmc.uniformization_rate())),
+            ("grid", Value::Str(format!("uniform over (0, {max_hours}] hours"))),
+            ("cores", Value::Int(cores as i64)),
+            ("runs", Value::Array(runs)),
+            (
+                "threads_axis",
+                Value::object([
+                    ("points", Value::Int(axis_points as i64)),
+                    ("runs", Value::Array(thread_runs)),
+                ]),
+            ),
+            (
+                "projection",
+                Value::object([
+                    ("check_points", Value::Int(check_points as i64)),
+                    ("check_max_abs_diff", Value::Float(check_diff)),
+                    ("scenario", Value::Str(year_scenario.name.clone())),
+                    ("states", Value::Int(year_graph.num_states() as i64)),
+                    ("year_points", Value::Int(year_points as i64)),
+                    ("year_hours", Value::Float(year_hours)),
+                    ("seconds", Value::Float(projection_s)),
+                    ("accumulator_bytes", Value::Int(projection_bytes as i64)),
+                    ("full_vector_bytes", Value::Int(full_vector_bytes as i64)),
+                ]),
+            ),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_curve.json");
+        std::fs::write(path, doc.to_json() + "\n").expect("write BENCH_curve.json");
+        println!("wrote {path}");
+    }
 
     drop(_root_span);
     if let Some(ctx) = &trace_ctx {

@@ -274,6 +274,22 @@ pub fn availability_curves(
     times: &[f64],
     horizons: &[f64],
 ) -> Result<AvailabilityCurves> {
+    availability_curves_with(graph, pred, times, horizons, 0)
+}
+
+/// [`availability_curves`] with an explicit worker-thread count for the
+/// march kernels (`0` = one per core, `1` = serial). A pure scheduling
+/// knob: results are bit-identical at every value (`dtc_markov::par`), so
+/// callers key caches without it. This is where
+/// `SolverOptions::threads` enters the evaluation pipeline (see
+/// [`crate::CloudModel::evaluate_all_on`]).
+pub fn availability_curves_with(
+    graph: &TangibleGraph,
+    pred: &BoolExpr,
+    times: &[f64],
+    horizons: &[f64],
+    threads: usize,
+) -> Result<AvailabilityCurves> {
     if let Some(&bad) = horizons.iter().find(|&&h| h <= 0.0) {
         return Err(
             dtc_petri::PetriError::from(dtc_markov::MarkovError::NegativeTime(bad)).into()
@@ -285,8 +301,10 @@ pub fn availability_curves(
         .map(|m| if pred.eval(&|p: PlaceId| m[p.index()]) { 1.0 } else { 0.0 })
         .collect();
     let pi0 = graph.initial_pi0();
-    let pass = dtc_markov::uniformized_pass(graph.ctmc(), &pi0, times, horizons, &up)
-        .map_err(dtc_petri::PetriError::from)?;
+    let opts = dtc_markov::PassOptions { threads, ..Default::default() };
+    let pass =
+        dtc_markov::uniformized_pass_with(graph.ctmc(), &pi0, times, horizons, &up, &opts)
+            .map_err(dtc_petri::PetriError::from)?;
     Ok(AvailabilityCurves {
         point: pass.distributions.iter().map(|pi| dtc_markov::dot(pi, &up)).collect(),
         interval: pass.cumulative.iter().zip(horizons).map(|(a, &h)| a / h).collect(),

@@ -73,8 +73,9 @@ pub use system::{CloudModel, CloudSystemSpec, DataCenterSpec, PmSpec, SystemSumm
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::analysis::{
-        availability_curves, first_steady_state, interval_probability,
-        transient_probability_curve, AnalysisReport, AnalysisRequest, AvailabilityCurves,
+        availability_curves, availability_curves_with, first_steady_state,
+        interval_probability, transient_probability_curve, AnalysisReport, AnalysisRequest,
+        AvailabilityCurves,
     };
     pub use crate::blocks::{
         add_backup_transfer, add_direct_transfer, add_simple_component,

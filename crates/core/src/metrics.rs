@@ -10,7 +10,10 @@ use std::fmt;
 pub struct EvalOptions {
     /// Steady-state solution method.
     pub method: Method,
-    /// Solver iteration/tolerance options.
+    /// Solver iteration/tolerance options. `solver.threads` also sets the
+    /// worker count for the parallel march/power kernels; like
+    /// `sweep_threads` it is a pure scheduling knob (bit-identical results
+    /// at every value) and is excluded from cache identity.
     pub solver: SolverOptions,
     /// Reachability exploration options.
     pub reach: ReachOptions,

@@ -9,8 +9,8 @@
 //! generator supports any number of DCs and PMs.
 
 use crate::analysis::{
-    availability_curves, interval_probability, transient_probability_curve, AnalysisReport,
-    AnalysisRequest, AvailabilityCurves,
+    availability_curves_with, interval_probability, transient_probability_curve,
+    AnalysisReport, AnalysisRequest, AvailabilityCurves,
 };
 use crate::blocks::{
     add_backup_transfer, add_direct_transfer, add_simple_component_named, add_vm_behavior,
@@ -569,7 +569,15 @@ impl CloudModel {
         let curves = if all_times.is_empty() && all_horizons.is_empty() {
             AvailabilityCurves::default()
         } else {
-            availability_curves(graph, &self.availability_expr(), &all_times, &all_horizons)?
+            // The march fans out over `opts.solver.threads` deterministic
+            // workers — a scheduling knob only, never part of cache keys.
+            availability_curves_with(
+                graph,
+                &self.availability_expr(),
+                &all_times,
+                &all_horizons,
+                opts.solver.threads,
+            )?
         };
         let (mut next_time, mut next_horizon) = (0usize, 0usize);
 

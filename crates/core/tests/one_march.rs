@@ -33,7 +33,10 @@ fn tiny_spec() -> CloudSystemSpec {
 fn sixteen_point_transient_plus_two_intervals_cost_one_build_and_one_march() {
     let spec = tiny_spec();
     let model = CloudModel::build(&spec).unwrap();
-    let opts = EvalOptions::default();
+    // Pin the baseline run to the serial path (threads = 1); the re-run at
+    // the end asserts 4 threads change nothing.
+    let mut opts = EvalOptions::default();
+    opts.solver.threads = 1;
     let graph = model.state_space(&opts).unwrap();
 
     // 16 points, unsorted with a duplicate and a zero — the full contract.
@@ -93,4 +96,26 @@ fn sixteen_point_transient_plus_two_intervals_cost_one_build_and_one_march() {
     assert!((availability[13] - 1.0).abs() < 1e-12, "A(0) = 1 from the fully-up marking");
     let dup = (times.iter().position(|&t| t == 673.5).unwrap(), 15);
     assert_eq!(availability[dup.0], availability[dup.1], "duplicate times agree");
+
+    // Parallelism must not change the work count: the same analysis set at
+    // 4 worker threads is still exactly one build and one march (threads
+    // split row blocks *inside* the march; they never add passes), and the
+    // reports are byte-identical to the serial run — the deterministic-
+    // kernel contract (dtc_markov::par) observed through the full
+    // model → state space → analysis pipeline. This stays in the same test
+    // fn so the process-wide counter deltas remain exact.
+    let mut opts4 = EvalOptions::default();
+    opts4.solver.threads = 4;
+    let builds0 = instrument::uniformized_builds();
+    let marches0 = instrument::transient_marches();
+    let reports4 = model.evaluate_all_on(&spec, &graph, &requests, &opts4).unwrap();
+    let builds = instrument::uniformized_builds() - builds0;
+    let marches = instrument::transient_marches() - marches0;
+    assert_eq!(builds, 1, "4 threads must not change the build count");
+    assert_eq!(marches, 1, "4 threads must still share one power march");
+    assert_eq!(
+        format!("{reports:?}"),
+        format!("{reports4:?}"),
+        "reports at 4 threads must be byte-identical to the serial run"
+    );
 }

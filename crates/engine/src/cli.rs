@@ -160,7 +160,8 @@ fn evaluate(catalog: &Catalog, opts: &CliOptions) -> Result<(Vec<Scenario>, Batc
     // --analyses beats the catalog's [analyses] section.
     run.analyses = opts.analyses.clone().unwrap_or_else(|| catalog.analyses.clone());
     // --threads is the whole solver budget: run_batch divides it between
-    // batch workers and per-scenario sweep fan-out (sensitivity).
+    // batch workers, per-scenario sweep fan-out (sensitivity), and the
+    // parallel march/power kernels inside each solve (dtc_markov::par).
     eprintln!(
         "catalog {:?}: {} scenario(s) × {} analysis(es) on {} thread(s)…",
         catalog.name,

@@ -103,13 +103,29 @@ pub fn canonical_encoding(spec: &CloudSystemSpec, opts: &EvalOptions) -> String 
         s.push(']');
     }
     let _ = write!(s, "];k:{};l:{};", spec.min_running_vms, spec.migration_threshold);
-    // Evaluation options: the derived Debug forms of the three
-    // number-affecting option groups, each deterministic and covering every
-    // field of its group. Inclusion at the EvalOptions level is MANUAL: a
+    // Evaluation options: the number-affecting option groups, each encoded
+    // deterministically. Inclusion at the EvalOptions level is MANUAL: a
     // new EvalOptions field that can change results must be added here, or
     // stale cache hits will return wrong numbers for it. `sweep_threads`
-    // is deliberately excluded — it is a pure scheduling knob.
-    let _ = write!(s, "opts:{:?};{:?};{:?}", opts.method, opts.solver, opts.reach);
+    // and `solver.threads` are deliberately excluded — both are pure
+    // scheduling knobs (the parallel kernels are bit-identical at every
+    // thread count; see `dtc_markov::par`), so keying on them would only
+    // split the cache. SolverOptions is therefore spelled out field by
+    // field, byte-compatible with the derived Debug layout the original
+    // encoding used so existing on-disk cache entries keep hitting.
+    let so = &opts.solver;
+    let _ = write!(
+        s,
+        "opts:{:?};SolverOptions {{ max_iterations: {:?}, tolerance: {:?}, \
+         relaxation: {:?}, check_every: {:?}, accept_loose: {:?} }};{:?}",
+        opts.method,
+        so.max_iterations,
+        so.tolerance,
+        so.relaxation,
+        so.check_every,
+        so.accept_loose,
+        opts.reach
+    );
     s
 }
 
@@ -244,6 +260,21 @@ mod tests {
         assert_ne!(base, spec_key(&spec(), &opts));
         let opts = EvalOptions { method: dtc_markov::Method::Power, ..EvalOptions::default() };
         assert_ne!(base, spec_key(&spec(), &opts));
+    }
+
+    #[test]
+    fn thread_counts_are_not_part_of_the_identity() {
+        // Parallel kernels are bit-identical at every thread count, so a
+        // thread count in the key would only split the cache: the same
+        // request served by `--eval-threads 1` and `--eval-threads 8`
+        // must land on one entry.
+        let base = spec_key(&spec(), &EvalOptions::default());
+        let mut opts = EvalOptions::default();
+        opts.solver.threads = 8;
+        opts.sweep_threads = 4;
+        assert_eq!(base, spec_key(&spec(), &opts));
+        let enc = canonical_encoding(&spec(), &opts);
+        assert!(!enc.contains("threads"), "no thread field may leak into the encoding: {enc}");
     }
 
     #[test]

@@ -152,8 +152,21 @@ mod pre_curve_snapshot {
 }
 
 fn curve_reports(scenario: &Scenario, analyses: Vec<AnalysisRequest>) -> Vec<AnalysisReport> {
+    curve_reports_at(scenario, analyses, 0)
+}
+
+/// Like [`curve_reports`] but pinning `solver.threads`. Each call gets its
+/// own fresh cache — necessary for the thread-axis golden below, because
+/// thread counts are excluded from the cache key and a shared cache would
+/// turn the second run into a trivial hit instead of a recomputation.
+fn curve_reports_at(
+    scenario: &Scenario,
+    analyses: Vec<AnalysisRequest>,
+    solver_threads: usize,
+) -> Vec<AnalysisReport> {
     let cache = std::sync::Arc::new(EvalCache::in_memory());
-    let opts = RunOptions { analyses, ..RunOptions::default() };
+    let mut opts = RunOptions { analyses, ..RunOptions::default() };
+    opts.eval.solver.threads = solver_threads;
     let result = run_batch(std::slice::from_ref(scenario), &cache, &opts);
     result.outcomes[0].reports.as_ref().expect("scenario evaluates").to_vec()
 }
@@ -205,13 +218,11 @@ fn fig7_transient_and_interval_pinned_to_pre_curve_engine() {
     use pre_curve_snapshot as snap;
     let scenario = catalogs::fig7().expand().unwrap().into_iter().next().unwrap();
     assert_eq!(scenario.secondary.as_deref(), Some("Brasilia"));
-    let reports = curve_reports(
-        &scenario,
-        vec![
-            AnalysisRequest::Transient { time_points: vec![24.0] },
-            AnalysisRequest::Interval { horizon_hours: 24.0 },
-        ],
-    );
+    let analyses = vec![
+        AnalysisRequest::Transient { time_points: vec![24.0] },
+        AnalysisRequest::Interval { horizon_hours: 24.0 },
+    ];
+    let reports = curve_reports_at(&scenario, analyses.clone(), 1);
     let AnalysisReport::Transient { availability, .. } = &reports[0] else {
         panic!("transient report expected");
     };
@@ -226,6 +237,19 @@ fn fig7_transient_and_interval_pinned_to_pre_curve_engine() {
     assert!(
         (availability - snap::FIG7_BRASILIA_INTERVAL_24).abs() < snap::TOL,
         "IA(24) drifted: {availability:.17e}"
+    );
+
+    // Thread-axis golden: the same scenario recomputed at 4 worker threads
+    // (fresh cache — thread counts are not part of the key, so a shared
+    // cache would short-circuit) must produce **byte-identical** reports,
+    // observed through the full catalog → engine → solver pipeline on the
+    // ~126k-state model. This is the deterministic-kernel contract
+    // (`dtc_markov::par`), not a tolerance check.
+    let reports4 = curve_reports_at(&scenario, analyses, 4);
+    assert_eq!(
+        format!("{reports:?}"),
+        format!("{reports4:?}"),
+        "fig7 Brasilia reports at 4 threads must be byte-identical to 1 thread"
     );
 }
 

@@ -234,6 +234,11 @@ impl Ctmc {
             dtc_obs::trace::attr_int("iterations", stats.iterations as i64);
             dtc_obs::trace::attr_float("residual", stats.residual);
             dtc_obs::trace::attr_str("method", &stats.method.to_string());
+            // Only the power method runs the parallel kernels; the sweep
+            // methods are inherently sequential.
+            if matches!(method, Method::Power) {
+                dtc_obs::trace::attr_int("threads", opts.resolved_threads() as i64);
+            }
         }
         result
     }
@@ -283,6 +288,27 @@ impl Ctmc {
             return Err(MarkovError::DimensionMismatch { expected: n, got: reward.len() });
         }
         Ok(self.transient_curve(pi0, times)?.iter().map(|pi| dot(pi, reward)).collect())
+    }
+
+    /// Reward curve `(π(t)·r)` by **projection**: the march accumulates the
+    /// scalars `r·π0Pᵏ` directly instead of materializing a distribution
+    /// per time point, so memory stays O(states) no matter how many times
+    /// are requested — the mode for thousand-point year-horizon curves.
+    ///
+    /// Agrees with [`Ctmc::transient_reward_curve`] to ≤ 1e-12 (projection
+    /// skips the final defensive renormalization of each distribution,
+    /// whose correction is bounded by the Poisson truncation mass), and is
+    /// bit-identical across thread counts (`threads`: 0 = one per core).
+    pub fn transient_reward_curve_projected(
+        &self,
+        pi0: &[f64],
+        times: &[f64],
+        reward: &[f64],
+        threads: usize,
+    ) -> Result<Vec<f64>> {
+        let opts = crate::curve::PassOptions { threads, point_reward: Some(reward) };
+        Ok(crate::curve::uniformized_pass_with(self, pi0, times, &[], &[], &opts)?
+            .point_rewards)
     }
 
     /// Expected steady-state reward `Σ πᵢ rᵢ` for a reward vector `r`.

@@ -17,10 +17,23 @@
 //! exact truncation and accumulation order of its per-point counterpart, so
 //! results are bit-identical to the one-point-at-a-time path, just computed
 //! in a single pass.
+//!
+//! [`uniformized_pass_with`] adds two orthogonal capabilities on the same
+//! march:
+//!
+//! * **Parallelism** ([`PassOptions::threads`]): each step fans its SpMV
+//!   row blocks, per-time-point axpy blocks, and dot-product partials out
+//!   over scoped threads via the deterministic kernels in [`crate::par`] —
+//!   the thread count can change the wall clock but never a result bit.
+//! * **Reward projection** ([`PassOptions::point_reward`]): accumulate the
+//!   scalars `r·π0Pᵏ` instead of materializing a distribution per unique
+//!   time point, so a thousand-point year-horizon curve needs O(states)
+//!   memory instead of O(states × points).
 
 use crate::ctmc::Ctmc;
 use crate::error::{MarkovError, Result};
 use crate::instrument;
+use crate::par;
 use crate::solve;
 use crate::transient::poisson_weights;
 
@@ -31,15 +44,40 @@ const POINT_EPSILON: f64 = 1e-14;
 /// [`crate::cumulative_reward`].
 const CUMULATIVE_EPSILON: f64 = 1e-13;
 
+/// Scheduling and output-shape knobs for [`uniformized_pass_with`].
+///
+/// The default value reproduces [`uniformized_pass`] exactly: automatic
+/// thread count, full distribution vectors per time point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassOptions<'a> {
+    /// Worker threads for the march kernels: `0` means one per available
+    /// core, `1` forces the serial path. Results are bit-identical at
+    /// every value (see [`crate::par`] for the contract).
+    pub threads: usize,
+    /// Reward-projection mode: when set, the pass accumulates the scalars
+    /// `r·π(t)` into [`PassOutput::point_rewards`] instead of
+    /// materializing a distribution per unique time point, keeping memory
+    /// at O(states) regardless of how many points are requested.
+    /// [`PassOutput::distributions`] comes back empty. The projected
+    /// values agree with `dot(distribution, r)` of the full-vector mode to
+    /// ≤ 1e-12 (projection skips the final defensive renormalization,
+    /// whose correction is bounded by the truncation mass).
+    pub point_reward: Option<&'a [f64]>,
+}
+
 /// What one shared march produced, in the caller's request order.
 #[derive(Debug, Clone)]
 pub struct PassOutput {
     /// `π(t)` for each entry of `point_times` (caller order, duplicates
-    /// allowed; `t == 0` returns `pi0` verbatim).
+    /// allowed; `t == 0` returns `pi0` verbatim). Empty in
+    /// reward-projection mode.
     pub distributions: Vec<Vec<f64>>,
     /// `E[∫₀ʰ r(X_u) du]` for each entry of `horizons` (caller order;
     /// `h == 0` yields `0.0`).
     pub cumulative: Vec<f64>,
+    /// `r·π(t)` for each entry of `point_times` when
+    /// [`PassOptions::point_reward`] was set; empty otherwise.
+    pub point_rewards: Vec<f64>,
     /// What the pass actually cost.
     pub stats: PassStats,
 }
@@ -79,6 +117,40 @@ pub fn uniformized_pass(
     horizons: &[f64],
     cumulative_reward: &[f64],
 ) -> Result<PassOutput> {
+    uniformized_pass_with(
+        ctmc,
+        pi0,
+        point_times,
+        horizons,
+        cumulative_reward,
+        &PassOptions::default(),
+    )
+}
+
+/// [`uniformized_pass`] with explicit [`PassOptions`]: a thread count for
+/// the deterministic parallel kernels and/or reward-projection output.
+///
+/// Each march step is software-pipelined into one fan-out: every job of
+/// step `k` reads the shared vector `π0·Pᵏ` — the per-time-point
+/// accumulations (axpy blocks or projection dot partials), the cumulative
+/// dot partials, and the SpMV row blocks producing `π0·Pᵏ⁺¹` for the next
+/// step all run in a single thread scope, then the calling thread combines
+/// the dot partials in fixed block order. See [`crate::par`] for why none
+/// of this can change a result bit.
+///
+/// # Errors
+///
+/// As [`uniformized_pass`], plus [`MarkovError::DimensionMismatch`] when
+/// [`PassOptions::point_reward`] is set with the wrong length while point
+/// times are requested.
+pub fn uniformized_pass_with(
+    ctmc: &Ctmc,
+    pi0: &[f64],
+    point_times: &[f64],
+    horizons: &[f64],
+    cumulative_reward: &[f64],
+    options: &PassOptions<'_>,
+) -> Result<PassOutput> {
     let n = ctmc.num_states();
     if pi0.len() != n {
         return Err(MarkovError::DimensionMismatch { expected: n, got: pi0.len() });
@@ -94,6 +166,13 @@ pub fn uniformized_pass(
             got: cumulative_reward.len(),
         });
     }
+    let project = options.point_reward;
+    if let Some(r) = project {
+        if !point_times.is_empty() && r.len() != n {
+            return Err(MarkovError::DimensionMismatch { expected: n, got: r.len() });
+        }
+    }
+    let threads = par::resolve_threads(options.threads);
 
     let lambda = ctmc.uniformization_rate();
 
@@ -135,10 +214,15 @@ pub fn uniformized_pass(
     let cum_kmax = horizon_weights.iter().map(weights_len).max().unwrap_or(0);
     let kmax = point_weights.iter().map(weights_len).max().unwrap_or(0).max(cum_kmax);
 
-    // Accumulators: a distribution per live unique time, a scalar (and a
-    // running Poisson CDF) per unique horizon.
-    let mut point_acc: Vec<Option<Vec<f64>>> =
-        point_weights.iter().map(|w| w.as_ref().map(|_| vec![0.0; n])).collect();
+    // Accumulators: a distribution (full-vector mode) or a scalar
+    // (projection mode) per live unique time, a scalar (and a running
+    // Poisson CDF) per unique horizon.
+    let mut point_acc: Vec<Option<Vec<f64>>> = if project.is_some() {
+        Vec::new()
+    } else {
+        point_weights.iter().map(|w| w.as_ref().map(|_| vec![0.0; n])).collect()
+    };
+    let mut proj_acc = vec![0.0f64; if project.is_some() { times.len() } else { 0 }];
     let mut cum_acc = vec![0.0f64; cum_horizons.len()];
     let mut cum_cdf = vec![0.0f64; cum_horizons.len()];
 
@@ -147,12 +231,19 @@ pub fn uniformized_pass(
         // One trace node frames the whole pass so the build and the march
         // land as its children in a request's span tree (inert offline).
         let _pass_span = dtc_obs::trace::trace_span("uniformized_pass");
-        let p = {
+        let pt = {
             let _build_span = dtc_obs::stage_span("uniformized_build");
             let p = ctmc.uniformized(lambda);
             dtc_obs::trace::attr_int("states", n as i64);
             dtc_obs::trace::attr_int("transitions", p.nnz() as i64);
-            p
+            // The march evaluates `next = cur·P` as `next = Pᵀ·cur` through
+            // the row-block kernel. The transpose keeps ascending
+            // source-row order within each transposed row, so every output
+            // element accumulates its terms in exactly the order the
+            // serial scatter (`vec_mul_into`) used — the switch is
+            // bit-exact, and it is what makes disjoint row blocks
+            // possible.
+            p.transpose()
         };
         stats.matrix_builds = 1;
         stats.marches = 1;
@@ -162,27 +253,69 @@ pub fn uniformized_pass(
         dtc_obs::trace::attr_int("truncation_k", kmax as i64);
         dtc_obs::trace::attr_int("time_points", times.len() as i64);
         dtc_obs::trace::attr_int("horizons", cum_horizons.len() as i64);
+        dtc_obs::trace::attr_int("threads", threads as i64);
 
+        let nb = par::num_blocks(n);
         let mut cur = pi0.to_vec();
         let mut next = vec![0.0; n];
+        let mut cum_partials = vec![0.0f64; nb];
+        let mut proj_partials = vec![0.0f64; nb];
+        let live_at = |w: &Option<Vec<f64>>, k: usize| {
+            w.as_ref().is_some_and(|w| k < w.len() && w[k] > 0.0)
+        };
         for k in 0..kmax {
-            if k > 0 {
-                p.vec_mul_into(&cur, &mut next);
-                std::mem::swap(&mut cur, &mut next);
+            // Software-pipelined step: every job reads `cur` = π0·Pᵏ. The
+            // accumulations for step k and the SpMV producing π0·Pᵏ⁺¹ for
+            // step k+1 fan out in one scope; nothing below writes a slot
+            // any other job touches.
+            let need_cum = k < cum_kmax;
+            let need_proj = project.is_some() && point_weights.iter().any(|w| live_at(w, k));
+            let mut jobs: Vec<par::Job<'_>> = Vec::new();
+            if k + 1 < kmax {
+                for (start_row, out) in par::split_blocks(&mut next) {
+                    jobs.push(par::Job::MulVec { a: &pt, x: &cur, start_row, out });
+                }
             }
-            for (w, acc) in point_weights.iter().zip(&mut point_acc) {
-                let (Some(w), Some(acc)) = (w, acc) else { continue };
-                // Stop exactly where the per-point march would have
-                // truncated, preserving bit-identical accumulation.
-                if k < w.len() && w[k] > 0.0 {
-                    let wk = w[k];
-                    for (a, c) in acc.iter_mut().zip(&cur) {
-                        *a += wk * c;
+            if need_cum {
+                for (r, out) in par::block_ranges(n).into_iter().zip(cum_partials.iter_mut()) {
+                    jobs.push(par::Job::DotPartial {
+                        a: &cur[r.clone()],
+                        b: &cumulative_reward[r],
+                        out,
+                    });
+                }
+            }
+            if let Some(reward) = project {
+                if need_proj {
+                    for (r, out) in
+                        par::block_ranges(n).into_iter().zip(proj_partials.iter_mut())
+                    {
+                        jobs.push(par::Job::DotPartial {
+                            a: &cur[r.clone()],
+                            b: &reward[r],
+                            out,
+                        });
+                    }
+                }
+            } else {
+                for (w, acc) in point_weights.iter().zip(&mut point_acc) {
+                    let (Some(w), Some(acc)) = (w, acc) else { continue };
+                    // Stop exactly where the per-point march would have
+                    // truncated, preserving bit-identical accumulation.
+                    if k < w.len() && w[k] > 0.0 {
+                        let wk = w[k];
+                        for (start, out) in par::split_blocks(acc) {
+                            let src = &cur[start..start + out.len()];
+                            jobs.push(par::Job::Axpy { wk, src, out });
+                        }
                     }
                 }
             }
-            if k < cum_kmax {
-                let r = solve::dot(&cur, cumulative_reward);
+            par::run_jobs(jobs, threads);
+            // Combine the dot partials in fixed block order on this thread;
+            // the scalar updates below don't depend on the thread count.
+            if need_cum {
+                let r = cum_partials.iter().sum::<f64>();
                 for ((w, acc), cdf) in
                     horizon_weights.iter().zip(&mut cum_acc).zip(&mut cum_cdf)
                 {
@@ -196,7 +329,32 @@ pub fn uniformized_pass(
                     }
                 }
             }
+            if need_proj {
+                let s = proj_partials.iter().sum::<f64>();
+                for (w, pa) in point_weights.iter().zip(proj_acc.iter_mut()) {
+                    if live_at(w, k) {
+                        let wk = w.as_ref().expect("live weight")[k];
+                        *pa += wk * s;
+                    }
+                }
+            }
+            if k + 1 < kmax {
+                std::mem::swap(&mut cur, &mut next);
+            }
         }
+    }
+
+    let cumulative: Vec<f64> = horizon_slot.iter().map(|&s| cum_acc[s]).collect();
+    if let Some(reward) = project {
+        // t == 0: project the initial distribution directly (the march
+        // never touches those slots).
+        for (w, pa) in point_weights.iter().zip(proj_acc.iter_mut()) {
+            if w.is_none() {
+                *pa = par::blocked_dot(pi0, reward, threads);
+            }
+        }
+        let point_rewards = time_slot.iter().map(|&s| proj_acc[s]).collect();
+        return Ok(PassOutput { distributions: Vec::new(), cumulative, point_rewards, stats });
     }
 
     let mut unique_distributions: Vec<Option<Vec<f64>>> = point_acc
@@ -231,8 +389,7 @@ pub fn uniformized_pass(
             }
         })
         .collect();
-    let cumulative = horizon_slot.iter().map(|&s| cum_acc[s]).collect();
-    Ok(PassOutput { distributions, cumulative, stats })
+    Ok(PassOutput { distributions, cumulative, point_rewards: Vec::new(), stats })
 }
 
 /// Cumulative rewards `E[∫₀ʰ r(X_u) du]` for many horizons from one pass —
@@ -365,6 +522,39 @@ mod tests {
         // lives in a single-test integration binary (dtc-core).
         assert!(instrument::uniformized_builds() > builds0);
         assert!(instrument::transient_marches() > marches0);
+    }
+
+    #[test]
+    fn projection_mode_matches_full_vector_dots() {
+        let c = repairable(0.3, 1.1);
+        let pi0 = [0.7, 0.3];
+        let reward = [1.0, 0.25];
+        let times = [5.0, 0.0, 1.0, 5.0];
+        let o = PassOptions { threads: 1, point_reward: Some(&reward) };
+        let proj = uniformized_pass_with(&c, &pi0, &times, &[], &[], &o).unwrap();
+        assert!(proj.distributions.is_empty(), "projection materializes no vectors");
+        assert_eq!(proj.point_rewards.len(), times.len());
+        let full = uniformized_pass(&c, &pi0, &times, &[], &[]).unwrap();
+        assert!(full.point_rewards.is_empty());
+        for (i, (p, d)) in proj.point_rewards.iter().zip(&full.distributions).enumerate() {
+            let want = solve::dot(d, &reward);
+            assert!((p - want).abs() <= 1e-12, "i = {i}: {p} vs {want}");
+        }
+        // Duplicates share a slot; t == 0 projects pi0 directly.
+        assert_eq!(proj.point_rewards[0], proj.point_rewards[3]);
+        assert_eq!(proj.point_rewards[1], solve::dot(&pi0, &reward));
+        // Same work count as the full-vector pass: one build, one march.
+        assert_eq!(proj.stats, full.stats);
+    }
+
+    #[test]
+    fn projection_rejects_wrong_reward_length() {
+        let c = repairable(1.0, 1.0);
+        let o = PassOptions { threads: 1, point_reward: Some(&[1.0]) };
+        assert!(matches!(
+            uniformized_pass_with(&c, &[1.0, 0.0], &[1.0], &[], &[], &o),
+            Err(MarkovError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   solutions by uniformization ([`ctmc`], [`solve`], [`transient`]),
 //!   including whole transient/interval curves from a single shared power
 //!   march ([`curve`], instrumented via [`instrument`]),
+//! * deterministic parallel kernels behind the march and the power method
+//!   ([`par`]): fixed row blocks over scoped threads, bit-identical
+//!   results at every thread count,
 //! * discrete-time chains ([`dtmc`]),
 //! * absorbing-chain analysis — mean time to absorption and absorption
 //!   probabilities — for reliability/MTTF questions ([`absorbing`]).
@@ -41,6 +44,7 @@ pub mod curve;
 pub mod dtmc;
 pub mod error;
 pub mod instrument;
+pub mod par;
 pub mod solve;
 pub mod sparse;
 pub mod transient;
@@ -52,8 +56,8 @@ pub use absorbing::{
 pub use ctmc::{Ctmc, CtmcBuilder};
 pub use cumulative::{cumulative_reward, interval_availability};
 pub use curve::{
-    cumulative_reward_curve, interval_availability_curve, uniformized_pass, PassOutput,
-    PassStats,
+    cumulative_reward_curve, interval_availability_curve, uniformized_pass,
+    uniformized_pass_with, PassOptions, PassOutput, PassStats,
 };
 pub use dtmc::{Dtmc, DtmcBuilder};
 pub use error::{MarkovError, Result};

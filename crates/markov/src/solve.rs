@@ -18,6 +18,7 @@
 //!   states.
 
 use crate::error::{MarkovError, Result};
+use crate::par;
 use crate::sparse::CsrMatrix;
 
 /// Convergence/iteration knobs shared by the iterative solvers.
@@ -42,6 +43,21 @@ pub struct SolverOptions {
     /// error can exceed the last delta, so results accepted this way carry
     /// their achieved residual in [`SolveStats`] for the caller to judge.
     pub accept_loose: f64,
+    /// Worker threads for the parallel kernels (the uniformized march and
+    /// the power method): `0` (the default) means one per available core,
+    /// `1` forces the serial path. A pure scheduling knob — results are
+    /// bit-identical at every value (see [`crate::par`]) and it is
+    /// excluded from evaluation-cache identity. Sweep-based methods
+    /// (Jacobi/Gauss–Seidel/SOR) are inherently sequential and ignore it.
+    pub threads: usize,
+}
+
+impl SolverOptions {
+    /// The effective worker count: `threads`, with `0` resolved to one per
+    /// available core.
+    pub fn resolved_threads(&self) -> usize {
+        par::resolve_threads(self.threads)
+    }
 }
 
 impl Default for SolverOptions {
@@ -52,6 +68,7 @@ impl Default for SolverOptions {
             relaxation: 1.0,
             check_every: 8,
             accept_loose: 1e-7,
+            threads: 0,
         }
     }
 }
@@ -104,14 +121,52 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Normalizes `x` to sum to one (in place). Returns the pre-normalization sum.
+///
+/// The sum is accumulated in fixed block order ([`par::blocked_sum`]), so
+/// the whole-slice call decomposes exactly into [`par::blocked_sum`] once
+/// plus [`scale_slice`] on any partition of `x` into disjoint sub-slices —
+/// the property the parallel march relies on.
 pub(crate) fn normalize(x: &mut [f64]) -> f64 {
-    let sum: f64 = x.iter().sum();
+    let sum = par::blocked_sum(x);
+    scale_slice(x, sum);
+    sum
+}
+
+/// Divides every entry of a (sub-)slice by a precomputed total; a no-op
+/// when `sum == 0`. Calling this on disjoint sub-slices covering a vector
+/// is bit-identical to one whole-slice call — division is element-wise, so
+/// slicing cannot reorder any arithmetic.
+pub(crate) fn scale_slice(x: &mut [f64], sum: f64) {
     if sum != 0.0 {
         for v in x.iter_mut() {
             *v /= sum;
         }
     }
-    sum
+}
+
+/// Largest entry of a (sub-)slice, starting the fold at `0.0`. `max` is
+/// associative and commutative over the non-NaN values seen here, so the
+/// max over sub-slice maxima equals the whole-slice result regardless of
+/// how the vector is partitioned.
+pub(crate) fn max_entry(x: &[f64]) -> f64 {
+    x.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Clamps negative entries of a (sub-)slice to zero, reporting `false` if
+/// any entry fell below `-threshold` (i.e. was too negative to be
+/// convergence noise). Element-wise, so per-sub-slice flags combined with
+/// `&&` equal the whole-slice call.
+pub(crate) fn clamp_negatives_slice(x: &mut [f64], threshold: f64) -> bool {
+    let mut ok = true;
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            if *v < -threshold {
+                ok = false;
+            }
+            *v = 0.0;
+        }
+    }
+    ok
 }
 
 /// Cleans a converged stationary vector: clamps noise-level negative
@@ -119,17 +174,13 @@ pub(crate) fn normalize(x: &mut [f64]) -> f64 {
 /// true value is ~0 can come out at `-ε`) to zero and renormalizes.
 /// Entries more negative than `floor` indicate the solve actually failed
 /// and are reported via the returned flag.
+///
+/// Composed from the sub-slice primitives ([`max_entry`],
+/// [`clamp_negatives_slice`], [`normalize`]) so that a blocked/parallel
+/// caller applying them per sub-slice gets bit-identical results.
 pub(crate) fn sanitize_distribution(x: &mut [f64], floor: f64) -> bool {
-    let scale = x.iter().cloned().fold(0.0, f64::max).max(1e-300);
-    let mut ok = true;
-    for v in x.iter_mut() {
-        if *v < 0.0 {
-            if *v < -floor * scale {
-                ok = false;
-            }
-            *v = 0.0;
-        }
-    }
+    let scale = max_entry(x).max(1e-300);
+    let ok = clamp_negatives_slice(x, floor * scale);
     normalize(x);
     ok
 }
@@ -141,6 +192,13 @@ fn max_abs_delta(a: &[f64], b: &[f64]) -> f64 {
 /// Power iteration for `π = π P` on a stochastic matrix `P` (rows sum to 1).
 ///
 /// `pi0` seeds the iteration; it is normalized internally.
+///
+/// The multiply `y = x·P` runs as `y = Pᵀ·x` through the row-block
+/// kernel ([`par::mul_vec_into`]) over [`SolverOptions::threads`] workers:
+/// `P` is transposed once up front, and because the transpose preserves
+/// ascending source-row order within each transposed row, every output
+/// element accumulates its terms in the same order the serial scatter
+/// used — results are bit-identical at every thread count.
 pub fn power_stationary(
     p: &CsrMatrix,
     pi0: &[f64],
@@ -153,12 +211,13 @@ pub fn power_stationary(
     if pi0.len() != n {
         return Err(MarkovError::DimensionMismatch { expected: n, got: pi0.len() });
     }
+    let pt = p.transpose();
     let mut x = pi0.to_vec();
     normalize(&mut x);
     let mut y = vec![0.0; n];
     let mut last_delta = f64::INFINITY;
     for it in 1..=opts.max_iterations {
-        p.vec_mul_into(&x, &mut y);
+        par::mul_vec_into(&pt, &x, &mut y, opts.threads);
         normalize(&mut y);
         if it % opts.check_every == 0 || it == opts.max_iterations {
             last_delta = max_abs_delta(&x, &y);
@@ -553,6 +612,138 @@ mod tests {
         let x = dense_solve(a, b).unwrap();
         assert!((x[0] - 0.8).abs() < 1e-12);
         assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    /// Pseudo-random positive-and-noisy vector for the sub-slice tests.
+    fn noisy_vector(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state =
+                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                // Mostly positive mass with occasional tiny negatives, like a
+                // converged iterate.
+                if u < 0.1 {
+                    -1e-13 * u
+                } else {
+                    u
+                }
+            })
+            .collect()
+    }
+
+    /// Partition boundaries that exercise the block-boundary edge cases:
+    /// an empty leading sub-slice, cuts misaligned with the fixed blocks,
+    /// and a short final piece.
+    fn awkward_cuts(n: usize) -> Vec<usize> {
+        let mut cuts = vec![0, 0]; // empty first sub-slice
+        for c in [1, n / 3, n / 2, n.saturating_sub(1), n] {
+            if *cuts.last().unwrap() <= c && c <= n {
+                cuts.push(c);
+            }
+        }
+        if *cuts.last().unwrap() != n {
+            cuts.push(n);
+        }
+        cuts
+    }
+
+    #[test]
+    fn normalize_composes_over_disjoint_sub_slices() {
+        // Covers: empty sub-slice, last short block, and n smaller than any
+        // realistic thread count (n = 1, 2, 3).
+        for n in [1usize, 2, 3, 5, 63, 64, 65, 127, 130, 300] {
+            let base = noisy_vector(n, 0x5eed ^ n as u64);
+            let mut whole = base.clone();
+            let whole_sum = normalize(&mut whole);
+
+            let mut pieces = base.clone();
+            let total = crate::par::blocked_sum(&pieces);
+            assert_eq!(total.to_bits(), whole_sum.to_bits(), "n={n}");
+            let mut rest = pieces.as_mut_slice();
+            let cuts = awkward_cuts(n);
+            let mut consumed = 0;
+            for w in cuts.windows(2) {
+                let (head, tail) = rest.split_at_mut(w[1] - consumed);
+                scale_slice(head, total);
+                rest = tail;
+                consumed = w[1];
+            }
+            assert_eq!(pieces, whole, "sub-slice normalize must not change results, n={n}");
+        }
+    }
+
+    #[test]
+    fn sanitize_composes_over_disjoint_sub_slices() {
+        for n in [1usize, 2, 5, 64, 65, 130] {
+            let base = noisy_vector(n, 0xface ^ n as u64);
+            let mut whole = base.clone();
+            let ok_whole = sanitize_distribution(&mut whole, 1e-6);
+
+            // Re-derive the same result through the sub-slice primitives.
+            let mut pieces = base.clone();
+            let cuts = awkward_cuts(n);
+            let scale = {
+                let mut m = 0.0f64;
+                for w in cuts.windows(2) {
+                    m = m.max(max_entry(&pieces[w[0]..w[1]]));
+                }
+                m.max(1e-300)
+            };
+            let mut ok = true;
+            for w in cuts.windows(2) {
+                ok &= clamp_negatives_slice(&mut pieces[w[0]..w[1]], 1e-6 * scale);
+            }
+            let total = crate::par::blocked_sum(&pieces);
+            for w in cuts.windows(2) {
+                scale_slice(&mut pieces[w[0]..w[1]], total);
+            }
+            assert_eq!(ok, ok_whole, "n={n}");
+            assert_eq!(pieces, whole, "sub-slice sanitize must not change results, n={n}");
+        }
+    }
+
+    #[test]
+    fn sanitize_flags_genuinely_negative_entries() {
+        let mut x = vec![0.5, -0.25, 0.75];
+        assert!(!sanitize_distribution(&mut x, 1e-6));
+        assert_eq!(x[1], 0.0);
+        let mut tiny = vec![0.5, -1e-15, 0.5];
+        assert!(sanitize_distribution(&mut tiny, 1e-6));
+    }
+
+    #[test]
+    fn empty_slices_are_harmless() {
+        assert_eq!(normalize(&mut []), 0.0);
+        scale_slice(&mut [], 2.0);
+        assert!(clamp_negatives_slice(&mut [], 1e-6));
+        assert_eq!(max_entry(&[]), 0.0);
+        assert!(sanitize_distribution(&mut [], 1e-6));
+    }
+
+    #[test]
+    fn power_is_bit_identical_across_thread_counts() {
+        let q = two_state(1.0, 4.0);
+        let mut p = q.clone();
+        p.scale(1.0 / 5.0);
+        let mut coo = CooMatrix::new(2, 2);
+        for (i, j, v) in p.iter() {
+            coo.push(i, j, v);
+        }
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        let p = CsrMatrix::from_coo(&coo);
+        let serial = {
+            let opts = SolverOptions { threads: 1, ..Default::default() };
+            power_stationary(&p, &[1.0, 0.0], &opts).unwrap()
+        };
+        for threads in [2usize, 4, 8] {
+            let opts = SolverOptions { threads, ..Default::default() };
+            let (pi, stats) = power_stationary(&p, &[1.0, 0.0], &opts).unwrap();
+            assert_eq!(pi, serial.0, "threads={threads}");
+            assert_eq!(stats.iterations, serial.1.iterations);
+        }
     }
 
     #[test]

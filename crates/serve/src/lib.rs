@@ -127,9 +127,12 @@ pub struct ServeConfig {
     /// Pending-connection queue capacity; beyond it the acceptor answers
     /// 503 immediately (backpressure instead of unbounded buffering).
     pub queue: usize,
-    /// Worker threads used *inside* one `POST /v1/evaluate` batch.
-    /// Kept small by default: request-level parallelism comes from the
-    /// HTTP worker pool.
+    /// Worker threads used *inside* one `POST /v1/evaluate` batch. On a
+    /// single-scenario batch the whole budget flows into the solver's
+    /// parallel march/power kernels (`dtc_markov::par`). Kept small by
+    /// default: request-level parallelism comes from the HTTP worker
+    /// pool. Purely a scheduling knob — responses are bit-identical at
+    /// every value and the count is excluded from cache identity.
     pub eval_threads: usize,
     /// Optional persistent JSON cache store.
     pub cache_path: Option<PathBuf>,

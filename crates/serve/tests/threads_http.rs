@@ -1,0 +1,107 @@
+//! HTTP-level determinism of the parallel solver kernels: the same
+//! `POST /v2/evaluate` transient request against servers running with
+//! different `--eval-threads` must return byte-identical `results`
+//! bodies, and both servers must store the evaluation under the **same
+//! single cache key** — thread count is a pure scheduling knob that is
+//! excluded from cache identity.
+
+use dtc_engine::value::Value;
+use dtc_serve::{loadgen, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn config(eval_threads: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        queue: 64,
+        eval_threads,
+        cache_path: None,
+        cache_cap: None,
+    }
+}
+
+/// One connection-per-request HTTP exchange; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let payload = body.unwrap_or("");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(payload.as_bytes()).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn eval_thread_count_changes_neither_results_nor_cache_identity() {
+    // Two independent servers (separate in-memory caches): one solving
+    // serially, one fanning the march kernels out over 4 threads.
+    let serial = Server::start(&config(1)).expect("serial server starts");
+    let parallel = Server::start(&config(4)).expect("parallel server starts");
+
+    // A transient curve + SLA window: the request shape that actually
+    // drives the parallel uniformization march.
+    let body = format!(
+        "{{\"catalog\":{},\"analyses\":[\
+         {{\"kind\":\"transient\",\"time_points\":[24.0,168.0,720.0,8760.0]}},\
+         {{\"kind\":\"interval\",\"horizon_hours\":8760.0}}]}}",
+        loadgen::tiny_catalog_json()
+    );
+    let (status_s, text_s) = request(serial.addr(), "POST", "/v2/evaluate", Some(&body));
+    let (status_p, text_p) = request(parallel.addr(), "POST", "/v2/evaluate", Some(&body));
+    assert_eq!(status_s, 200, "{text_s}");
+    assert_eq!(status_p, 200, "{text_p}");
+
+    // Compare the `results` subtree — every number the caller can act on.
+    // (The top-level `timings` object is wall-clock and legitimately
+    // differs between runs, so the full bodies are not comparable.)
+    let results = |text: &str| {
+        Value::from_json(text)
+            .expect("valid JSON")
+            .get("results")
+            .expect("results present")
+            .to_json()
+    };
+    assert_eq!(
+        results(&text_s),
+        results(&text_p),
+        "1-thread and 4-thread servers must return byte-identical results"
+    );
+
+    // Both servers computed (no cross-talk: separate caches, one miss
+    // each) and filed the evaluation under the SAME single key: the
+    // cache identity must not include the thread count, or a restarted
+    // server with a different --eval-threads would cold-miss its own
+    // persisted store.
+    let keys = |addr: SocketAddr| -> Vec<String> {
+        let (status, body) = request(addr, "GET", "/v1/cache/keys", None);
+        assert_eq!(status, 200, "{body}");
+        let doc = Value::from_json(&body).expect("valid JSON");
+        assert_eq!(doc.get("count").and_then(|c| c.as_i64()), Some(1), "{body}");
+        doc.get("keys")
+            .and_then(|k| k.as_array())
+            .expect("keys array")
+            .iter()
+            .filter_map(|k| k.as_str().map(str::to_string))
+            .collect()
+    };
+    let (keys_s, keys_p) = (keys(serial.addr()), keys(parallel.addr()));
+    assert_eq!(keys_s.len(), 1);
+    assert_eq!(keys_s, keys_p, "cache key must be independent of eval_threads");
+
+    serial.shutdown().expect("clean shutdown");
+    parallel.shutdown().expect("clean shutdown");
+}
