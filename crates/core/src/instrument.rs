@@ -1,0 +1,110 @@
+//! Process-wide counters for state-space construction.
+//!
+//! Structure/rate separation promises that a batch of structurally
+//! identical models (a sensitivity study's ±5% jobs, a catalog grid, a
+//! search space) costs **one** exploration per structural group, with every
+//! sibling produced by re-rating the shared [`dtc_petri::TangibleStructure`].
+//! These counters let integration tests pin that contract end to end —
+//! run a fig7 sensitivity set, assert explorations advanced by exactly 1
+//! while re-rates advanced by two per parameter — without threading a
+//! stats object through every layer (the same pattern
+//! `dtc_markov::instrument` uses for builds/marches).
+//!
+//! The counters live in the [`dtc_obs::global`] registry, so a `/metrics`
+//! scrape sees them alongside the solver counters:
+//!
+//! * `dtc_core_explorations_total`
+//! * `dtc_core_re_rates_total`
+//! * `dtc_core_rerate_fallbacks_total`
+//!
+//! Counters are cumulative for the process. Tests that assert on deltas
+//! should run in their own integration-test binary so concurrent tests in
+//! the same process cannot interleave extra evaluations.
+
+use dtc_obs::Counter;
+use std::sync::{Arc, OnceLock};
+
+fn core_counter<'a>(
+    cell: &'a OnceLock<Arc<Counter>>,
+    name: &'static str,
+    help: &'static str,
+) -> &'a Counter {
+    cell.get_or_init(|| dtc_obs::global().counter(name, help, &[]))
+}
+
+fn explorations_counter() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    core_counter(
+        &C,
+        "dtc_core_explorations_total",
+        "Full tangible state-space explorations since process start.",
+    )
+}
+
+fn re_rates_counter() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    core_counter(
+        &C,
+        "dtc_core_re_rates_total",
+        "Graphs produced by re-rating a shared structure since process start.",
+    )
+}
+
+fn fallbacks_counter() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    core_counter(
+        &C,
+        "dtc_core_rerate_fallbacks_total",
+        "Offered structures rejected (fingerprint mismatch or incompatible \
+         options), falling back to full exploration, since process start.",
+    )
+}
+
+/// Total full state-space explorations since process start.
+pub fn explorations() -> u64 {
+    explorations_counter().value()
+}
+
+/// Total graphs produced by re-rating a shared structure since process
+/// start.
+pub fn re_rates() -> u64 {
+    re_rates_counter().value()
+}
+
+/// Total re-rate fallbacks (structure offered but rejected) since process
+/// start.
+pub fn rerate_fallbacks() -> u64 {
+    fallbacks_counter().value()
+}
+
+/// Folds one [`dtc_petri::ExploreStats`] delta into the global counters.
+pub(crate) fn record_explore(stats: &dtc_petri::ExploreStats) {
+    if stats.explorations > 0 {
+        explorations_counter().add(stats.explorations);
+    }
+    if stats.re_rates > 0 {
+        re_rates_counter().add(stats.re_rates);
+    }
+    if stats.fallbacks > 0 {
+        fallbacks_counter().add(stats.fallbacks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone_and_scraped() {
+        let e0 = explorations();
+        let r0 = re_rates();
+        let f0 = rerate_fallbacks();
+        record_explore(&dtc_petri::ExploreStats { explorations: 1, re_rates: 2, fallbacks: 3 });
+        assert!(explorations() > e0);
+        assert!(re_rates() >= r0 + 2);
+        assert!(rerate_fallbacks() >= f0 + 3);
+        let text = dtc_obs::global().render();
+        assert!(text.contains("dtc_core_explorations_total"), "scrape: {text}");
+        assert!(text.contains("dtc_core_re_rates_total"), "scrape: {text}");
+    }
+}

@@ -53,6 +53,7 @@ pub mod analysis;
 pub mod blocks;
 pub mod economics;
 pub mod error;
+pub mod instrument;
 pub mod metrics;
 pub mod params;
 pub mod scenarios;
@@ -95,7 +96,8 @@ pub mod prelude {
     };
     pub use crate::slo::{SloTarget, DESIGN_SEARCH_KIND};
     pub use crate::sweep::{
-        evaluate_all_guarded, evaluate_guarded, sweep_reports, SweepOutcome,
+        evaluate_all_guarded, evaluate_all_shared, evaluate_guarded, evaluate_guarded_from,
+        sweep_reports, sweep_reports_from, StructureRegistry, SweepOutcome,
     };
     pub use crate::system::{
         CloudModel, CloudSystemSpec, DataCenterSpec, PmSpec, SystemSummary,

@@ -57,8 +57,10 @@
 
 use crate::error::{CloudError, Result};
 use crate::metrics::EvalOptions;
-use crate::sweep::sweep_reports;
+use crate::sweep::{evaluate_guarded_with_structure, sweep_reports_from};
 use crate::system::CloudSystemSpec;
+use dtc_petri::TangibleStructure;
+use std::sync::Arc;
 
 /// The default central-difference step used by the unified analysis API
 /// (±5% around the base point).
@@ -419,6 +421,12 @@ pub fn scale_parameter(
 /// Parameters absent from `spec` are skipped. Rows are sorted by
 /// descending `|elasticity|`.
 ///
+/// Perturbing a rate never changes the net's structure, so when the
+/// caller offers the baseline's explored [`TangibleStructure`], every
+/// perturbed job re-rates it instead of re-exploring — bit-identical
+/// results (see [`crate::CloudModel::state_space_from`]), one exploration
+/// for the whole study. Pass `None` to explore per job.
+///
 /// # Errors
 ///
 /// [`CloudError::BadSpec`] if `rel_step` is outside `(0, 1)` or the
@@ -431,6 +439,7 @@ pub fn sensitivity_with_baseline(
     opts: &EvalOptions,
     rel_step: f64,
     threads: usize,
+    structure: Option<&Arc<TangibleStructure>>,
 ) -> Result<Vec<SensitivityRow>> {
     if !(rel_step > 0.0 && rel_step < 1.0) {
         return Err(CloudError::BadSpec(format!(
@@ -446,7 +455,7 @@ pub fn sensitivity_with_baseline(
     let params: Vec<&Parameter> =
         params.iter().filter(|p| parameter_value(spec, p).is_some()).collect();
     let jobs = perturbed_jobs(spec, &params, rel_step);
-    let outcomes = sweep_reports(&jobs, opts, threads);
+    let outcomes = sweep_reports_from(&jobs, opts, threads, structure);
     let avail = |i: usize| -> Result<f64> {
         outcomes[i].report.as_ref().map(|r| r.availability).map_err(Clone::clone)
     };
@@ -511,25 +520,24 @@ pub fn availability_sensitivity(
     assert!(rel_step > 0.0 && rel_step < 1.0, "rel_step must be in (0,1)");
     let owned = applicable_parameters(spec);
     let params: Vec<&Parameter> = owned.iter().collect();
-    // The base point is job 0 of the *same* parallel sweep as the
-    // perturbed points, so its solve overlaps with theirs instead of
-    // serializing in front of them. (The unified pipeline skips this job
-    // entirely — its baseline is the analysis set's shared steady solve;
-    // see [`sensitivity_with_baseline`].)
-    let mut jobs = Vec::with_capacity(params.len() * 2 + 1);
-    jobs.push(spec.clone());
-    jobs.extend(perturbed_jobs(spec, &params, rel_step));
-    let outcomes = sweep_reports(&jobs, opts, threads);
-    let avail = |i: usize| -> Result<f64> {
-        outcomes[i].report.as_ref().map(|r| r.availability).map_err(Clone::clone)
-    };
-    let base = avail(0)?;
+    // The base point runs first and keeps its explored structure: every
+    // perturbed job is a rate-only sibling, so the whole study costs one
+    // exploration, with the 2·|params| perturbed graphs re-rated from it
+    // (bit-identical to exploring each — see
+    // [`crate::CloudModel::state_space_from`]).
+    let (base_report, structure) = evaluate_guarded_with_structure(spec, opts)?;
+    let base = base_report.availability;
     if !(base > 0.0 && base <= 1.0) {
         return Err(CloudError::BadSpec(format!(
             "sensitivity baseline availability {base} must be in (0, 1]"
         )));
     }
-    assemble_rows(spec, &params, base, rel_step, |k| Ok((avail(1 + 2 * k)?, avail(2 + 2 * k)?)))
+    let jobs = perturbed_jobs(spec, &params, rel_step);
+    let outcomes = sweep_reports_from(&jobs, opts, threads, Some(&structure));
+    let avail = |i: usize| -> Result<f64> {
+        outcomes[i].report.as_ref().map(|r| r.availability).map_err(Clone::clone)
+    };
+    assemble_rows(spec, &params, base, rel_step, |k| Ok((avail(2 * k)?, avail(2 * k + 1)?)))
 }
 
 #[cfg(test)]
@@ -635,6 +643,7 @@ mod tests {
             &EvalOptions::default(),
             0.05,
             1,
+            None,
         )
         .unwrap();
         assert!(rows.is_empty(), "absent parameters are skipped");
@@ -702,9 +711,16 @@ mod tests {
         let opts = EvalOptions::default();
         let full = availability_sensitivity(&s, &opts, 0.05, 2).unwrap();
         let base = crate::sweep::evaluate_guarded(&s, &opts).unwrap().availability;
-        let seeded =
-            sensitivity_with_baseline(&s, &applicable_parameters(&s), base, &opts, 0.05, 2)
-                .unwrap();
+        let seeded = sensitivity_with_baseline(
+            &s,
+            &applicable_parameters(&s),
+            base,
+            &opts,
+            0.05,
+            2,
+            None,
+        )
+        .unwrap();
         assert_eq!(full, seeded);
     }
 
@@ -721,13 +737,13 @@ mod tests {
         let opts = EvalOptions::default();
         for bad in [0.0, 1.0, -0.1, f64::NAN] {
             assert!(matches!(
-                sensitivity_with_baseline(&s, &params, 0.99, &opts, bad, 1),
+                sensitivity_with_baseline(&s, &params, 0.99, &opts, bad, 1, None),
                 Err(CloudError::BadSpec(_))
             ));
         }
         for bad in [0.0, -0.5, 1.5, f64::NAN] {
             assert!(matches!(
-                sensitivity_with_baseline(&s, &params, bad, &opts, 0.05, 1),
+                sensitivity_with_baseline(&s, &params, bad, &opts, 0.05, 1, None),
                 Err(CloudError::BadSpec(_))
             ));
         }

@@ -13,9 +13,11 @@ use crate::analysis::{AnalysisReport, AnalysisRequest};
 use crate::error::CloudError;
 use crate::metrics::{AvailabilityReport, EvalOptions};
 use crate::system::{CloudModel, CloudSystemSpec};
+use dtc_petri::TangibleStructure;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Result of evaluating one scenario in a sweep.
 #[derive(Debug, Clone)]
@@ -38,6 +40,37 @@ pub fn evaluate_guarded(
     guard(|| CloudModel::build(spec).and_then(|model| model.evaluate(opts)))
 }
 
+/// Like [`evaluate_guarded`], but re-rating `structure` instead of
+/// exploring when it matches the spec's compiled net (see
+/// [`CloudModel::state_space_from`]). Results are bit-identical either way;
+/// a mismatched structure silently falls back to full exploration.
+pub fn evaluate_guarded_from(
+    spec: &CloudSystemSpec,
+    opts: &EvalOptions,
+    structure: Option<&Arc<TangibleStructure>>,
+) -> Result<AvailabilityReport, CloudError> {
+    guard(|| {
+        let model = CloudModel::build(spec)?;
+        let graph = model.state_space_from(opts, structure)?;
+        model.evaluate_on(&graph, opts)
+    })
+}
+
+/// Like [`evaluate_guarded`], but also returning the explored
+/// [`TangibleStructure`] so rate-only siblings (a sensitivity study's
+/// perturbed jobs) can be re-rated from it.
+pub(crate) fn evaluate_guarded_with_structure(
+    spec: &CloudSystemSpec,
+    opts: &EvalOptions,
+) -> Result<(AvailabilityReport, Arc<TangibleStructure>), CloudError> {
+    guard(|| {
+        let model = CloudModel::build(spec)?;
+        let graph = model.state_space_from(opts, None)?;
+        let report = model.evaluate_on(&graph, opts)?;
+        Ok((report, Arc::clone(graph.structure())))
+    })
+}
+
 /// Builds one spec and runs a whole analysis set against a single
 /// state-space construction ([`CloudModel::evaluate_all`]), with the same
 /// panic isolation as [`evaluate_guarded`]. The multi-metric entry point
@@ -48,6 +81,77 @@ pub fn evaluate_all_guarded(
     opts: &EvalOptions,
 ) -> Result<Vec<AnalysisReport>, CloudError> {
     guard(|| CloudModel::build(spec).and_then(|model| model.evaluate_all(spec, requests, opts)))
+}
+
+/// Batch-scoped pool of explored structures, keyed by structural
+/// fingerprint ([`CloudModel::net_fingerprint`]).
+///
+/// A batch executor creates one registry per batch and routes every job
+/// through [`evaluate_all_shared`]: the first job of each structural group
+/// explores and publishes its structure; every later sibling re-rates it.
+/// Re-rated graphs are bit-identical to freshly explored ones, so
+/// concurrent first-comers racing on the same fingerprint cost at most a
+/// redundant exploration — never a different result.
+///
+/// Structure sharing is an execution detail (like thread counts): it must
+/// never leak into cache keys or report bytes.
+#[derive(Debug, Default)]
+pub struct StructureRegistry {
+    inner: Mutex<HashMap<u64, Arc<TangibleStructure>>>,
+}
+
+impl StructureRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The structure previously published for `fingerprint`, if any.
+    pub fn get(&self, fingerprint: u64) -> Option<Arc<TangibleStructure>> {
+        self.inner.lock().expect("registry mutex poisoned").get(&fingerprint).cloned()
+    }
+
+    /// Publishes `structure` for `fingerprint`; the first publication wins.
+    pub fn insert(&self, fingerprint: u64, structure: Arc<TangibleStructure>) {
+        self.inner
+            .lock()
+            .expect("registry mutex poisoned")
+            .entry(fingerprint)
+            .or_insert(structure);
+    }
+
+    /// Number of distinct structural groups seen so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry mutex poisoned").len()
+    }
+
+    /// Whether no structure has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Like [`evaluate_all_guarded`], but sharing explorations across a batch
+/// through `registry`: if a structure with this spec's fingerprint was
+/// already published, the state space is re-rated from it (bit-identical,
+/// no exploration); otherwise this job explores and publishes its structure
+/// for later siblings.
+pub fn evaluate_all_shared(
+    spec: &CloudSystemSpec,
+    requests: &[AnalysisRequest],
+    opts: &EvalOptions,
+    registry: &StructureRegistry,
+) -> Result<Vec<AnalysisReport>, CloudError> {
+    guard(|| {
+        let model = CloudModel::build(spec)?;
+        let fingerprint = model.net_fingerprint();
+        let shared = registry.get(fingerprint);
+        let graph = model.state_space_from(opts, shared.as_ref())?;
+        if shared.is_none() {
+            registry.insert(fingerprint, Arc::clone(graph.structure()));
+        }
+        model.evaluate_all_on(spec, &graph, requests, opts)
+    })
 }
 
 /// Converts panics inside `f` into [`CloudError::Panicked`].
@@ -74,6 +178,21 @@ pub fn sweep_reports(
     opts: &EvalOptions,
     threads: usize,
 ) -> Vec<SweepOutcome> {
+    sweep_reports_from(specs, opts, threads, None)
+}
+
+/// Like [`sweep_reports`], but offering every job a shared
+/// [`TangibleStructure`] to re-rate instead of exploring (see
+/// [`CloudModel::state_space_from`]). Jobs whose net does not match the
+/// structure fall back to full exploration, so a mixed batch is correct —
+/// just slower for the outliers. Results are bit-identical to
+/// [`sweep_reports`] either way.
+pub fn sweep_reports_from(
+    specs: &[CloudSystemSpec],
+    opts: &EvalOptions,
+    threads: usize,
+    structure: Option<&Arc<TangibleStructure>>,
+) -> Vec<SweepOutcome> {
     let threads = threads.max(1).min(specs.len().max(1));
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<SweepOutcome>>> = Mutex::new(vec![None; specs.len()]);
@@ -85,7 +204,7 @@ pub fn sweep_reports(
                 if i >= specs.len() {
                     break;
                 }
-                let report = evaluate_guarded(&specs[i], opts);
+                let report = evaluate_guarded_from(&specs[i], opts, structure);
                 let mut slots = results.lock().expect("results mutex poisoned");
                 slots[i] = Some(SweepOutcome { index: i, report });
             });

@@ -21,8 +21,9 @@ use crate::metrics::{AvailabilityReport, EvalOptions};
 use crate::params::{ComponentParams, VmParams};
 use dtc_petri::expr::{BoolExpr, IntExpr};
 use dtc_petri::model::{PetriNet, PetriNetBuilder, PlaceId};
-use dtc_petri::reach::{explore, Solution, TangibleGraph};
+use dtc_petri::reach::{explore_from, Solution, TangibleGraph, TangibleStructure};
 use dtc_sim::{Estimate, SimConfig, Simulator, TimingOverrides};
+use std::sync::Arc;
 
 /// One physical machine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -453,8 +454,44 @@ impl CloudModel {
     /// stage span in the [`dtc_obs::global`] registry, annotated with the
     /// state/edge counts when a request trace is active.
     pub fn state_space(&self, opts: &EvalOptions) -> Result<TangibleGraph> {
-        let _span = dtc_obs::stage_span("explore");
-        let graph = explore(&self.net, &opts.reach)?;
+        self.state_space_from(opts, None)
+    }
+
+    /// Structural fingerprint of the compiled net (see
+    /// [`dtc_petri::structural_fingerprint`]): equal fingerprints mean
+    /// rate-only siblings whose state spaces can be shared through
+    /// [`CloudModel::state_space_from`].
+    pub fn net_fingerprint(&self) -> u64 {
+        dtc_petri::structural_fingerprint(&self.net)
+    }
+
+    /// Like [`CloudModel::state_space`], but when `structure` is offered
+    /// and matches this model's net (same structural fingerprint), the
+    /// graph is produced by re-rating the shared structure — bit-identical
+    /// to a fresh exploration, without touching the state space. A
+    /// mismatched structure falls back to full exploration.
+    ///
+    /// Records an `explore` stage span only when an exploration actually
+    /// runs (`re_rate` otherwise), and folds the taken path into the
+    /// [`crate::instrument`] counters, so batch harnesses can pin "one
+    /// exploration per structural group".
+    pub fn state_space_from(
+        &self,
+        opts: &EvalOptions,
+        structure: Option<&Arc<TangibleStructure>>,
+    ) -> Result<TangibleGraph> {
+        // Mirror explore_from's decision so the span names what actually
+        // happens (the fingerprint check is microseconds on a net
+        // description; exploration is the expensive part being avoided).
+        let re_rating = structure.is_some_and(|s| {
+            opts.reach.vanishing == dtc_petri::VanishingPolicy::Eliminate
+                && s.num_states() <= opts.reach.max_states
+                && s.matches(&self.net)
+        });
+        let _span = dtc_obs::stage_span(if re_rating { "re_rate" } else { "explore" });
+        let mut explore_stats = dtc_petri::ExploreStats::default();
+        let graph = explore_from(&self.net, &opts.reach, structure, &mut explore_stats)?;
+        crate::instrument::record_explore(&explore_stats);
         let stats = graph.stats();
         dtc_obs::trace::attr_int("states", stats.tangible_states as i64);
         dtc_obs::trace::attr_int("edges", stats.edges as i64);
@@ -642,6 +679,9 @@ impl CloudModel {
                         steady.as_ref().expect("steady solve ran for sensitivity").availability;
                     let params = crate::sensitivity::filtered_parameters(spec, parameters);
                     let _span = dtc_obs::stage_span("sensitivity");
+                    // The perturbed jobs are rate-only siblings of this
+                    // model, so they re-rate the already-explored structure
+                    // instead of rebuilding the state space per job.
                     let rows = crate::sensitivity::sensitivity_with_baseline(
                         spec,
                         &params,
@@ -649,6 +689,7 @@ impl CloudModel {
                         opts,
                         *rel_step,
                         opts.resolved_sweep_threads(),
+                        Some(graph.structure()),
                     )?;
                     AnalysisReport::Sensitivity { rel_step: *rel_step, rows }
                 }

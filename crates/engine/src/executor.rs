@@ -15,7 +15,7 @@ use crate::catalog::Scenario;
 use crate::hash::{canonical_encoding_with, SpecKey};
 use dtc_core::analysis::{AnalysisReport, AnalysisRequest};
 use dtc_core::metrics::{AvailabilityReport, EvalOptions};
-use dtc_core::sweep::evaluate_all_guarded;
+use dtc_core::sweep::{evaluate_all_shared, StructureRegistry};
 use dtc_core::CloudError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -179,6 +179,13 @@ pub fn run_batch(
     }
     let resolved: Mutex<Vec<Option<Resolved>>> = Mutex::new(vec![None; uniques.len()]);
     let next = AtomicUsize::new(0);
+    // Batch-scoped structure pool: grid cells usually differ only in rates
+    // (same places/transitions/arcs), so after the first cache miss of each
+    // structural group explores, every later miss in the group re-rates
+    // that structure instead of re-exploring (bit-identical results, see
+    // `dtc_core::sweep::evaluate_all_shared`). Purely an execution detail:
+    // cache keys and report bytes are unchanged.
+    let registry = StructureRegistry::new();
     // When the calling thread has a request trace installed, carry it into
     // the scoped workers so their solver spans land in the same tree.
     let tracing = dtc_obs::trace::current();
@@ -197,8 +204,13 @@ pub fn run_batch(
                     let _scenario_span = dtc_obs::trace::trace_span("scenario");
                     dtc_obs::trace::attr_str("name", &scenarios[i].name);
                     let outcome = cache.get_or_compute(key, canonical, || {
-                        evaluate_all_guarded(&scenarios[i].spec, &opts.analyses, &eval)
-                            .map(Arc::new)
+                        evaluate_all_shared(
+                            &scenarios[i].spec,
+                            &opts.analyses,
+                            &eval,
+                            &registry,
+                        )
+                        .map(Arc::new)
                     });
                     dtc_obs::trace::event(
                         "cache_lookup",

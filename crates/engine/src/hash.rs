@@ -278,6 +278,22 @@ mod tests {
     }
 
     #[test]
+    fn store_keys_are_stable_across_releases() {
+        // A persisted v2 store must survive upgrades: the key minted for a
+        // known spec + options + analysis set is pinned to the literal it
+        // hashed to when the format was frozen. Structure sharing and
+        // warm-started solves are execution details — if either ever leaks
+        // into the encoding, this literal changes and the test fails.
+        let opts = EvalOptions::default();
+        let analyses = [
+            AnalysisRequest::SteadyState,
+            AnalysisRequest::Sensitivity { parameters: vec!["vm_mttf".into()], rel_step: 0.05 },
+        ];
+        let enc = canonical_encoding_with(&spec(), &opts, &analyses);
+        assert_eq!(key_of_encoding(&enc).0, "a074d15c4e9e887201b8867c883f7039");
+    }
+
+    #[test]
     fn analysis_set_is_part_of_the_identity() {
         let opts = EvalOptions::default();
         let one = canonical_encoding_with(&spec(), &opts, &[AnalysisRequest::SteadyState]);

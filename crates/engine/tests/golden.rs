@@ -127,6 +127,69 @@ fn table7_one_machine_sensitivity_ranking_is_pinned() {
     assert!(row("vm_mttr").elasticity < 0.0);
 }
 
+#[test]
+fn structure_sharing_is_invisible_in_report_bytes_and_cache_keys() {
+    // A rate-only grid (the one-machine Table VII row at three OSPM MTTF
+    // values) exercises the executor's batch structure sharing: the first
+    // cell explores, the other two re-rate. The contract is that sharing
+    // is a pure execution detail — every report byte-identical to the
+    // unshared per-spec path (`evaluate_all_guarded`, which explores each
+    // spec from scratch), and every cache key unchanged.
+    let catalog = catalogs::table7();
+    let base = catalog
+        .expand()
+        .unwrap()
+        .into_iter()
+        .find(|s| s.machines == Some(1))
+        .expect("table7 has the one-machine row");
+    let mut scenarios = Vec::new();
+    for (i, scale) in [1.0, 0.5, 2.0].into_iter().enumerate() {
+        let mut s = base.clone();
+        s.name = format!("{}-mttf-x{i}", s.name);
+        s.spec.ospm = dtc_core::params::ComponentParams::new(
+            s.spec.ospm.mttf_hours * scale,
+            s.spec.ospm.mttr_hours,
+        );
+        scenarios.push(s);
+    }
+
+    let cache = std::sync::Arc::new(EvalCache::in_memory());
+    let opts = RunOptions {
+        analyses: vec![
+            AnalysisRequest::SteadyState,
+            AnalysisRequest::Sensitivity { parameters: vec![], rel_step: 0.05 },
+        ],
+        ..RunOptions::default()
+    };
+    let result = run_batch(&scenarios, &cache, &opts);
+    assert_eq!(result.evaluated, 3, "three distinct rate points all solve");
+
+    for (scenario, outcome) in scenarios.iter().zip(&result.outcomes) {
+        // The unshared path: build + explore this spec alone. Thread
+        // knobs are derived inside run_batch, but they never change
+        // report bytes (deterministic kernels), so default options give
+        // the same bytes.
+        let unshared =
+            dtc_core::sweep::evaluate_all_guarded(&scenario.spec, &opts.analyses, &opts.eval)
+                .unwrap();
+        let shared = outcome.reports.as_ref().unwrap();
+        assert_eq!(
+            format!("{shared:?}"),
+            format!("{unshared:?}"),
+            "{}: shared-structure bytes must match the unshared path",
+            scenario.name
+        );
+        // Cache identity is untouched by structure sharing: the key is a
+        // pure function of spec + options + analyses.
+        let canonical = dtc_engine::hash::canonical_encoding_with(
+            &scenario.spec,
+            &opts.eval,
+            &opts.analyses,
+        );
+        assert_eq!(outcome.key, dtc_engine::hash::key_of_encoding(&canonical));
+    }
+}
+
 /// Transient + interval outputs of the **per-point** engine, captured (17
 /// significant digits) immediately before the single-pass curve engine
 /// replaced it: `graph.transient(t)` / `dtc_markov::interval_availability`

@@ -1,0 +1,152 @@
+//! Warm-started power solves: convergence and determinism contract.
+//!
+//! **One test per binary**: the iteration savings are asserted through the
+//! process-global `stationary_iterations` counter (like `one_march.rs`
+//! pins builds/marches), so no other test in this process may run a
+//! stationary solve concurrently.
+//!
+//! The pinned claims, on seeded random chains:
+//!
+//! 1. seeding [`Ctmc::steady_state_power_from`] with the exact stationary
+//!    vector converges in ≤ 1 iteration,
+//! 2. seeding with a perturbed neighbor's vector converges in no more
+//!    iterations than a cold start — strictly fewer in aggregate — with
+//!    the savings visible as `stationary_iterations` counter deltas,
+//! 3. the warm result matches the cold result within solver tolerance
+//!    (tolerance-equal, NOT bit-equal: that is why warm starts stay off
+//!    cached/golden paths).
+
+use dtc_markov::instrument::stationary_iterations;
+use dtc_markov::{Ctmc, CtmcBuilder, Method, SolverOptions};
+
+/// Deterministic pseudo-random stream (SplitMix64).
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+
+    /// A random irreducible chain: a directed cycle plus extra transitions,
+    /// returned as `(edges, n)` so a rate-perturbed sibling can be rebuilt
+    /// from the same structure.
+    fn chain(&mut self) -> (Vec<(usize, usize, f64)>, usize) {
+        let n = self.usize_in(8, 40);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i + 1) % n, self.f64_in(0.05, 5.0)));
+        }
+        for _ in 0..self.usize_in(n, 3 * n) {
+            let from = self.usize_in(0, n - 1);
+            let to = self.usize_in(0, n - 1);
+            if from != to {
+                edges.push((from, to, self.f64_in(0.01, 10.0)));
+            }
+        }
+        (edges, n)
+    }
+}
+
+fn build(edges: &[(usize, usize, f64)], n: usize, rate_scale: f64) -> Ctmc {
+    let mut b = CtmcBuilder::new(n);
+    for &(i, j, r) in edges {
+        b.rate(i, j, r * rate_scale);
+    }
+    b.build().unwrap()
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+const CASES: usize = 12;
+
+#[test]
+fn warm_started_solves_converge_faster_and_agree_with_cold() {
+    let opts = SolverOptions::default();
+    let mut g = Gen(0x0DD5_EED5);
+    let (mut total_cold, mut total_warm) = (0u64, 0u64);
+
+    for case in 0..CASES {
+        let (edges, n) = g.chain();
+        let neighbor = build(&edges, n, 1.0);
+        // A rate-only sibling: every rate scaled by one factor near 1, the
+        // shape of a sensitivity/search-grid neighbor.
+        let perturbed = build(&edges, n, 1.05);
+
+        let (pi_neighbor, _) = neighbor.steady_state_with(Method::Power, &opts).unwrap();
+
+        // (1) Exact seed: one multiply confirms the fixed point.
+        let (pi_exact, exact_stats) =
+            neighbor.steady_state_power_from(&pi_neighbor, &opts).unwrap();
+        assert!(
+            exact_stats.iterations <= 1,
+            "case {case} (n = {n}): exact seed took {} iterations",
+            exact_stats.iterations
+        );
+        assert!(
+            max_abs_diff(&pi_exact, &pi_neighbor) <= 1e-10,
+            "case {case}: exact seed moved the solution"
+        );
+
+        // (2) Neighbor seed vs cold, savings pinned via the global counter.
+        let before_cold = stationary_iterations();
+        let (pi_cold, cold_stats) = perturbed.steady_state_with(Method::Power, &opts).unwrap();
+        let after_cold = stationary_iterations();
+        assert_eq!(
+            after_cold - before_cold,
+            cold_stats.iterations as u64,
+            "case {case}: cold solve must tick the counter by its iterations"
+        );
+
+        let (pi_warm, warm_stats) =
+            perturbed.steady_state_power_from(&pi_neighbor, &opts).unwrap();
+        let after_warm = stationary_iterations();
+        assert_eq!(
+            after_warm - after_cold,
+            warm_stats.iterations as u64,
+            "case {case}: warm solve must tick the counter by its iterations"
+        );
+        assert!(
+            warm_stats.iterations <= cold_stats.iterations,
+            "case {case} (n = {n}): warm {} vs cold {} iterations",
+            warm_stats.iterations,
+            cold_stats.iterations
+        );
+        total_cold += cold_stats.iterations as u64;
+        total_warm += warm_stats.iterations as u64;
+
+        // (3) Tolerance-equal to the cold answer.
+        let diff = max_abs_diff(&pi_warm, &pi_cold);
+        assert!(diff <= 1e-9, "case {case} (n = {n}): warm/cold disagree by {diff:e}");
+
+        // Determinism: the same guess yields the same result, bit for bit.
+        let (pi_again, again_stats) =
+            perturbed.steady_state_power_from(&pi_neighbor, &opts).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(
+            bits(&pi_again),
+            bits(&pi_warm),
+            "case {case}: warm solve not deterministic"
+        );
+        assert_eq!(again_stats.iterations, warm_stats.iterations);
+    }
+
+    assert!(
+        total_warm < total_cold,
+        "warm starts must save iterations in aggregate: warm {total_warm} vs cold {total_cold}"
+    );
+}

@@ -39,6 +39,14 @@ pub enum PetriError {
     /// The tangible reachability graph is empty (the net never leaves
     /// vanishing markings).
     NoTangibleStates,
+    /// A re-rate was attempted against a net whose structural fingerprint
+    /// does not match the recorded structure.
+    StructureMismatch {
+        /// Fingerprint of the net the structure was explored from.
+        expected: u64,
+        /// Fingerprint of the offered sibling net.
+        got: u64,
+    },
     /// An error bubbled up from the CTMC solver.
     Markov(dtc_markov::MarkovError),
     /// A marking-dependent query referenced an unknown place name.
@@ -66,6 +74,13 @@ impl fmt::Display for PetriError {
             }
             PetriError::NoTangibleStates => {
                 write!(f, "no tangible marking is reachable")
+            }
+            PetriError::StructureMismatch { expected, got } => {
+                write!(
+                    f,
+                    "net structure {got:016x} does not match the explored structure \
+                     {expected:016x}; re-rate requires identical structure"
+                )
             }
             PetriError::Markov(e) => write!(f, "markov solver: {e}"),
             PetriError::UnknownPlace(name) => write!(f, "unknown place {name:?}"),
@@ -102,6 +117,7 @@ mod tests {
             PetriError::VanishingDepthExceeded { limit: 5 },
             PetriError::DeadInitialMarking,
             PetriError::NoTangibleStates,
+            PetriError::StructureMismatch { expected: 1, got: 2 },
             PetriError::Markov(dtc_markov::MarkovError::Empty),
             PetriError::UnknownPlace("X".into()),
         ];

@@ -56,4 +56,7 @@ pub use model::{
     Marking, PetriNet, PetriNetBuilder, PlaceId, ServerSemantics, Transition,
     TransitionBuilder, TransitionId, TransitionKind,
 };
-pub use reach::{explore, ReachOptions, ReachStats, Solution, TangibleGraph, VanishingPolicy};
+pub use reach::{
+    explore, explore_from, structural_fingerprint, ExploreStats, ReachOptions, ReachStats,
+    Solution, TangibleGraph, TangibleStructure, VanishingPolicy,
+};

@@ -19,9 +19,10 @@
 
 use crate::error::{PetriError, Result};
 use crate::expr::{BoolExpr, IntExpr};
-use crate::model::{Marking, PetriNet, PlaceId, TransitionId};
+use crate::model::{Marking, PetriNet, PlaceId, TransitionId, TransitionKind};
 use dtc_markov::{CooMatrix, CsrMatrix, Ctmc, Method, SolveStats, SolverOptions};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// How immediate transitions are treated during exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -67,35 +68,143 @@ pub struct ReachStats {
     pub edges: usize,
 }
 
+/// Statistics for structure-aware exploration ([`explore_from`]): how many
+/// graphs were built from scratch, how many were cheaply re-rated from a
+/// shared [`TangibleStructure`], and how many offered structures had to be
+/// rejected (fingerprint mismatch or non-rateable policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExploreStats {
+    /// Full explorations (no structure offered).
+    pub explorations: u64,
+    /// Graphs produced by re-rating an offered structure.
+    pub re_rates: u64,
+    /// Offered structures rejected — fell back to a full exploration.
+    pub fallbacks: u64,
+}
+
+/// One symbolic rate term of the tangible CTMC: timed transition
+/// `transition` fired at tangible state `source`, reaching tangible state
+/// `target` with elimination probability `prob` (the product of immediate
+/// branching probabilities along the vanishing cascade; `1.0` when the
+/// successor was already tangible). The numeric matrix entry is
+/// `firing_rate(transition, states[source]) * prob`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RateTerm {
+    source: usize,
+    transition: TransitionId,
+    prob: f64,
+    target: usize,
+}
+
+/// The rate-independent skeleton of a tangible reachability graph: the
+/// tangible markings, the initial distribution, and one symbolic rate term
+/// per matrix entry. Everything here depends only on the net's *structure*
+/// (places, arcs, guards, immediate weights/priorities) — never on timed
+/// rates — so a structure explored once can be [re-rated]
+/// (TangibleStructure::re_rate) against any sibling net whose
+/// [`structural_fingerprint`] matches, yielding a [`TangibleGraph`]
+/// bit-identical to a fresh [`explore`] of that sibling.
+#[derive(Debug)]
+pub struct TangibleStructure {
+    fingerprint: u64,
+    states: Vec<Marking>,
+    index: HashMap<Marking, usize>,
+    initial_distribution: Vec<(usize, f64)>,
+    /// Symbolic terms in triplet discovery order (empty when `!rateable`).
+    terms: Vec<RateTerm>,
+    vanishing_markings: usize,
+    /// `false` for graphs built under [`VanishingPolicy::ApproximateRate`],
+    /// whose matrix entries are not pure timed-rate terms.
+    rateable: bool,
+}
+
+impl TangibleStructure {
+    /// The structural fingerprint of the net this structure was explored
+    /// from. Two nets with equal fingerprints have identical reachability
+    /// structure and differ at most in timed transition rates.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of tangible states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether `net` can be re-rated on this structure: the structure came
+    /// from exact elimination and the net's [`structural_fingerprint`]
+    /// matches.
+    pub fn matches(&self, net: &PetriNet) -> bool {
+        self.rateable && self.fingerprint == structural_fingerprint(net)
+    }
+
+    /// Re-evaluates only the rate expressions of this structure against a
+    /// sibling net, producing a [`TangibleGraph`] **bit-identical** to a
+    /// fresh [`explore`] of `net`: the BFS state order, triplet order,
+    /// elimination probabilities and diagonal accumulation order are all
+    /// structure-determined, and each matrix entry is recomputed as the
+    /// same `rate * prob` product the explorer would have formed.
+    ///
+    /// # Errors
+    ///
+    /// [`PetriError::StructureMismatch`] when `net`'s fingerprint differs
+    /// from this structure's (or the structure is not rateable). Use
+    /// [`explore_from`] to fall back to a full exploration instead.
+    pub fn re_rate(self: &Arc<Self>, net: &PetriNet) -> Result<TangibleGraph> {
+        if !self.matches(net) {
+            return Err(PetriError::StructureMismatch {
+                expected: self.fingerprint,
+                got: structural_fingerprint(net),
+            });
+        }
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(self.terms.len());
+        for term in &self.terms {
+            let rate = net.firing_rate(term.transition, &self.states[term.source]).ok_or_else(
+                || PetriError::StructureMismatch {
+                    expected: self.fingerprint,
+                    got: structural_fingerprint(net),
+                },
+            )?;
+            triplets.push((term.source, term.target, rate * term.prob));
+        }
+        let n = self.states.len();
+        let stats = ReachStats {
+            tangible_states: n,
+            vanishing_markings: self.vanishing_markings,
+            edges: triplets.len(),
+        };
+        let ctmc = assemble_ctmc(n, &triplets)?;
+        Ok(TangibleGraph { structure: Arc::clone(self), ctmc, stats })
+    }
+}
+
 /// The tangible reachability graph of a net, with its CTMC.
 #[derive(Debug, Clone)]
 pub struct TangibleGraph {
-    states: Vec<Marking>,
-    index: HashMap<Marking, usize>,
+    structure: Arc<TangibleStructure>,
     ctmc: Ctmc,
-    initial_distribution: Vec<(usize, f64)>,
     stats: ReachStats,
 }
 
 impl TangibleGraph {
     /// Number of tangible states.
     pub fn num_states(&self) -> usize {
-        self.states.len()
+        self.structure.states.len()
     }
 
     /// The tangible markings, indexed by CTMC state.
     pub fn states(&self) -> &[Marking] {
-        &self.states
+        &self.structure.states
     }
 
     /// The marking of state `i`.
     pub fn marking(&self, i: usize) -> &[u32] {
-        &self.states[i]
+        &self.structure.states[i]
     }
 
     /// Index of a marking, if it is a reachable tangible state.
     pub fn state_index(&self, m: &[u32]) -> Option<usize> {
-        self.index.get(m).copied()
+        self.structure.index.get(m).copied()
     }
 
     /// The underlying CTMC.
@@ -103,10 +212,17 @@ impl TangibleGraph {
         &self.ctmc
     }
 
+    /// The rate-independent skeleton this graph was built on. Share it
+    /// (cheap `Arc` clone) with [`TangibleStructure::re_rate`] or
+    /// [`explore_from`] to evaluate sibling nets without re-exploring.
+    pub fn structure(&self) -> &Arc<TangibleStructure> {
+        &self.structure
+    }
+
     /// Probability distribution over tangible states at time zero (the
     /// initial marking resolved through any immediate firings).
     pub fn initial_distribution(&self) -> &[(usize, f64)] {
-        &self.initial_distribution
+        &self.structure.initial_distribution
     }
 
     /// Exploration statistics.
@@ -173,10 +289,23 @@ impl TangibleGraph {
         Ok(Solution { graph: self, pi, stats })
     }
 
+    /// Warm-started steady-state solve: power iteration seeded with a
+    /// neighboring graph's solution vector (tolerance-equal to a cold
+    /// solve, typically in far fewer iterations — see
+    /// [`dtc_markov::solve::power_stationary_from`]).
+    pub fn solve_power_from(
+        &self,
+        guess: &[f64],
+        opts: &SolverOptions,
+    ) -> Result<Solution<'_>> {
+        let (pi, stats) = self.ctmc.steady_state_power_from(guess, opts)?;
+        Ok(Solution { graph: self, pi, stats })
+    }
+
     /// The initial distribution as a dense vector over tangible states.
     pub fn initial_pi0(&self) -> Vec<f64> {
         let mut pi0 = vec![0.0; self.num_states()];
-        for &(i, p) in &self.initial_distribution {
+        for &(i, p) in self.initial_distribution() {
             pi0[i] = p;
         }
         pi0
@@ -237,7 +366,7 @@ impl<'a> Solution<'a> {
     /// `P{pred}` — total probability of tangible states satisfying `pred`.
     pub fn probability(&self, pred: &BoolExpr) -> f64 {
         self.graph
-            .states
+            .states()
             .iter()
             .zip(&self.pi)
             .filter(|(m, _)| pred.eval(&|p: PlaceId| m[p.index()]))
@@ -248,7 +377,7 @@ impl<'a> Solution<'a> {
     /// `E{expr}` — expectation of an integer marking expression.
     pub fn expected(&self, expr: &IntExpr) -> f64 {
         self.graph
-            .states
+            .states()
             .iter()
             .zip(&self.pi)
             .map(|(m, p)| expr.value(&|q: PlaceId| m[q.index()]) as f64 * p)
@@ -263,7 +392,7 @@ impl<'a> Solution<'a> {
     /// Expected firing rate (throughput) of a timed transition.
     pub fn throughput(&self, net: &PetriNet, t: TransitionId) -> f64 {
         self.graph
-            .states
+            .states()
             .iter()
             .zip(&self.pi)
             .map(|(m, p)| net.firing_rate(t, m).unwrap_or(0.0) * p)
@@ -351,12 +480,129 @@ pub fn explore(net: &PetriNet, opts: &ReachOptions) -> Result<TangibleGraph> {
     }
 }
 
+/// Structure-aware exploration: when `structure` is offered and matches
+/// `net` (same [`structural_fingerprint`], exact-elimination policy), the
+/// graph is produced by [`TangibleStructure::re_rate`] — bit-identical to a
+/// fresh [`explore`] but without touching the state space. Otherwise this
+/// falls back to a full [`explore`]. `stats` counts which path was taken.
+pub fn explore_from(
+    net: &PetriNet,
+    opts: &ReachOptions,
+    structure: Option<&Arc<TangibleStructure>>,
+    stats: &mut ExploreStats,
+) -> Result<TangibleGraph> {
+    if let Some(s) = structure {
+        // Re-rating replays the recorded exact-elimination terms, so it is
+        // only valid when the caller still wants that policy and the shared
+        // structure respects the caller's state bound.
+        let compatible = opts.vanishing == VanishingPolicy::Eliminate
+            && s.num_states() <= opts.max_states
+            && s.matches(net);
+        if compatible {
+            stats.re_rates += 1;
+            return s.re_rate(net);
+        }
+        stats.fallbacks += 1;
+    } else {
+        stats.explorations += 1;
+    }
+    explore(net, opts)
+}
+
+/// A digest of everything about a net **except** its timed transition
+/// rates: place names and initial tokens, transition names and kinds
+/// (server semantics for timed; weight and priority for immediate — both
+/// shape the tangible graph through enabling degrees and elimination
+/// probabilities), arcs with multiplicities, and guards. Two nets with
+/// equal fingerprints explore to identical tangible structures; a net is
+/// re-rateable on a structure exactly when their fingerprints match.
+pub fn structural_fingerprint(net: &PetriNet) -> u64 {
+    // FNV-1a-64 over a length-prefixed byte encoding (collision-safe
+    // framing: every variable-length field is preceded by its length).
+    let mut h = Fnv64::new();
+    h.usize(net.num_places());
+    let m0 = net.initial_marking();
+    for p in net.places() {
+        h.str_(net.place_name(p));
+        h.u32(m0[p.index()]);
+    }
+    h.usize(net.num_transitions());
+    for (_, t) in net.transitions() {
+        h.str_(&t.name);
+        match t.kind {
+            TransitionKind::Timed { rate: _, semantics } => {
+                // `rate` is the one excluded field.
+                h.u8(0);
+                h.str_(&semantics.to_string());
+            }
+            TransitionKind::Immediate { weight, priority } => {
+                h.u8(1);
+                h.f64_bits(weight);
+                h.u8(priority);
+            }
+        }
+        for arcs in [&t.inputs, &t.outputs, &t.inhibitors] {
+            h.usize(arcs.len());
+            for &(p, m) in arcs {
+                h.u32(p.index() as u32);
+                h.u32(m);
+            }
+        }
+        h.str_(&net.display_expr(&t.guard).to_string());
+    }
+    h.finish()
+}
+
+/// Minimal FNV-1a-64 accumulator for [`structural_fingerprint`].
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.bytes(&[v]);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.bytes(&(v as u64).to_le_bytes());
+    }
+
+    fn f64_bits(&mut self, v: f64) {
+        self.bytes(&v.to_bits().to_le_bytes());
+    }
+
+    fn str_(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 fn explore_eliminating(net: &PetriNet, opts: &ReachOptions) -> Result<TangibleGraph> {
     let mut eliminator = Eliminator::new(net, opts.max_vanishing_depth);
     let mut states: Vec<Marking> = Vec::new();
     let mut index: HashMap<Marking, usize> = HashMap::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+    // Symbolic twin of `triplets`, recorded in the same order so a re-rate
+    // replays the identical f64 products through the identical assembly.
+    let mut terms: Vec<RateTerm> = Vec::new();
 
     let intern = |m: Marking,
                   states: &mut Vec<Marking>,
@@ -391,6 +637,7 @@ fn explore_eliminating(net: &PetriNet, opts: &ReachOptions) -> Result<TangibleGr
                 let j = intern(tm, &mut states, &mut index, &mut queue);
                 if j != i {
                     triplets.push((i, j, rate * p));
+                    terms.push(RateTerm { source: i, transition: t, prob: p, target: j });
                 }
             }
         }
@@ -406,7 +653,16 @@ fn explore_eliminating(net: &PetriNet, opts: &ReachOptions) -> Result<TangibleGr
         edges: triplets.len(),
     };
     let ctmc = assemble_ctmc(n, &triplets)?;
-    Ok(TangibleGraph { states, index, ctmc, initial_distribution, stats })
+    let structure = Arc::new(TangibleStructure {
+        fingerprint: structural_fingerprint(net),
+        states,
+        index,
+        initial_distribution,
+        terms,
+        vanishing_markings: stats.vanishing_markings,
+        rateable: true,
+    });
+    Ok(TangibleGraph { structure, ctmc, stats })
 }
 
 fn explore_approximate(
@@ -456,7 +712,18 @@ fn explore_approximate(
     let n = states.len();
     let stats = ReachStats { tangible_states: n, vanishing_markings: 0, edges: triplets.len() };
     let ctmc = assemble_ctmc(n, &triplets)?;
-    Ok(TangibleGraph { states, index, ctmc, initial_distribution, stats })
+    // Approximate-rate matrices mix immediate weights into the entries, so
+    // the structure is kept (for state/index accessors) but not rateable.
+    let structure = Arc::new(TangibleStructure {
+        fingerprint: structural_fingerprint(net),
+        states,
+        index,
+        initial_distribution,
+        terms: Vec::new(),
+        vanishing_markings: 0,
+        rateable: false,
+    });
+    Ok(TangibleGraph { structure, ctmc, stats })
 }
 
 fn assemble_ctmc(n: usize, triplets: &[(usize, usize, f64)]) -> Result<Ctmc> {
@@ -761,6 +1028,110 @@ mod tests {
         let g = explore(&net, &ReachOptions::default()).unwrap();
         assert!(g.deadlock_states().is_empty());
         assert!(!g.is_irreducible());
+    }
+
+    /// CSR content of a graph's generator as `(row, col, bits)` triplets.
+    fn generator_bits(g: &TangibleGraph) -> Vec<(usize, u32, u64)> {
+        let q = g.ctmc().generator();
+        let mut out = Vec::new();
+        for i in 0..g.num_states() {
+            let (cols, vals) = q.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                out.push((i, *c, v.to_bits()));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn re_rate_is_bitwise_identical_to_fresh_explore() {
+        let base = simple(1000.0, 10.0);
+        let g = explore(&base, &ReachOptions::default()).unwrap();
+        // A rate-only sibling: same structure, different timed rates.
+        let sibling = simple(1234.5, 6.7);
+        let rerated = g.structure().re_rate(&sibling).unwrap();
+        let fresh = explore(&sibling, &ReachOptions::default()).unwrap();
+        assert_eq!(generator_bits(&rerated), generator_bits(&fresh));
+        assert_eq!(rerated.initial_distribution(), fresh.initial_distribution());
+        assert_eq!(rerated.states(), fresh.states());
+        assert_eq!(rerated.stats(), fresh.stats());
+        // The re-rated graph shares the original structure (no new states).
+        assert!(Arc::ptr_eq(rerated.structure(), g.structure()));
+    }
+
+    #[test]
+    fn fingerprint_ignores_rates_but_sees_structure() {
+        let base = structural_fingerprint(&simple(1000.0, 10.0));
+        assert_eq!(base, structural_fingerprint(&simple(1.0, 2.0)));
+
+        // An extra place changes the fingerprint.
+        let mut b = PetriNetBuilder::new();
+        let on = b.place("ON", 1);
+        let off = b.place("OFF", 0);
+        b.place("SPARE", 0);
+        b.timed_delay("FAIL", 1000.0, ServerSemantics::Single).input(on).output(off).done();
+        b.timed_delay("REPAIR", 10.0, ServerSemantics::Single).input(off).output(on).done();
+        let extra_place = b.build().unwrap();
+        assert_ne!(base, structural_fingerprint(&extra_place));
+
+        // Changed server semantics on a timed transition does, too.
+        let mut b = PetriNetBuilder::new();
+        let on = b.place("ON", 1);
+        let off = b.place("OFF", 0);
+        b.timed_delay("FAIL", 1000.0, ServerSemantics::Infinite).input(on).output(off).done();
+        b.timed_delay("REPAIR", 10.0, ServerSemantics::Single).input(off).output(on).done();
+        let semantics = b.build().unwrap();
+        assert_ne!(base, structural_fingerprint(&semantics));
+    }
+
+    #[test]
+    fn explore_from_counts_re_rates_and_fallbacks() {
+        let base = simple(1000.0, 10.0);
+        let opts = ReachOptions::default();
+        let mut stats = ExploreStats::default();
+
+        let g = explore_from(&base, &opts, None, &mut stats).unwrap();
+        assert_eq!(stats, ExploreStats { explorations: 1, re_rates: 0, fallbacks: 0 });
+
+        // Rate-only sibling: re-rated, not re-explored.
+        let sibling = simple(500.0, 5.0);
+        let shared = Arc::clone(g.structure());
+        let rerated = explore_from(&sibling, &opts, Some(&shared), &mut stats).unwrap();
+        assert_eq!(stats, ExploreStats { explorations: 1, re_rates: 1, fallbacks: 0 });
+        let fresh = explore(&sibling, &opts).unwrap();
+        assert_eq!(generator_bits(&rerated), generator_bits(&fresh));
+
+        // Structural sibling (extra transition): falls back to exploration.
+        let mut b = PetriNetBuilder::new();
+        let on = b.place("ON", 1);
+        let off = b.place("OFF", 0);
+        b.timed_delay("FAIL", 1000.0, ServerSemantics::Single).input(on).output(off).done();
+        b.timed_delay("REPAIR", 10.0, ServerSemantics::Single).input(off).output(on).done();
+        b.timed_delay("RESET", 99.0, ServerSemantics::Single).input(off).output(on).done();
+        let changed = b.build().unwrap();
+        let g2 = explore_from(&changed, &opts, Some(&shared), &mut stats).unwrap();
+        assert_eq!(stats, ExploreStats { explorations: 1, re_rates: 1, fallbacks: 1 });
+        assert_eq!(g2.num_states(), 2);
+
+        // Direct re_rate on a mismatched net is an error, not a fallback.
+        let err = shared.re_rate(&changed).unwrap_err();
+        assert!(matches!(err, PetriError::StructureMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn approximate_rate_structures_are_not_rateable() {
+        let net = simple(100.0, 1.0);
+        let opts = ReachOptions {
+            vanishing: VanishingPolicy::ApproximateRate(1e6),
+            ..Default::default()
+        };
+        let g = explore(&net, &opts).unwrap();
+        assert!(!g.structure().matches(&net));
+        let mut stats = ExploreStats::default();
+        let shared = Arc::clone(g.structure());
+        // Offering a non-rateable structure falls back (and is counted).
+        explore_from(&net, &ReachOptions::default(), Some(&shared), &mut stats).unwrap();
+        assert_eq!(stats.fallbacks, 1);
     }
 
     #[test]

@@ -95,6 +95,7 @@ fn sensitivity_through_the_unified_pipeline_shares_the_steady_baseline() {
         &opts,
         0.05,
         4,
+        None,
     )
     .unwrap();
     match &reports[1] {
